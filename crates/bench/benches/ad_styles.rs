@@ -1,0 +1,92 @@
+//! Criterion bench for experiment E9 (§2.3): AOT-synthesized derivatives
+//! vs. define-by-run runtime taping.
+//!
+//! The compile-time transformation synthesizes the derivative *once*; each
+//! evaluation then runs augmented-primal + pullback with no per-op
+//! recording machinery. The tape rebuilds its graph on every call — the
+//! per-call overhead the paper's AOT approach avoids (and why it targets
+//! edge devices "where the cost of tracing and JIT compilation are
+//! infeasible").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use s4tf_core::tape::Tape;
+use s4tf_sil::ad::vjp::differentiate;
+use s4tf_sil::parser::parse_module_unwrap;
+
+/// f(x, y) = sigmoid(sin(x)·y + x²/y), with a 16-iteration refinement loop.
+const PROGRAM: &str = r#"
+func @f(%x: f64, %y: f64) -> f64 {
+bb0(%x: f64, %y: f64):
+  %zero = const 0.0
+  %s0 = sin %x
+  %b = mul %s0, %y
+  br bb1(%b, %zero)
+bb1(%acc: f64, %k: f64):
+  %n = const 16.0
+  %c = cmp lt %k, %n
+  condbr %c, bb2(), bb3()
+bb2():
+  %t = tanh %acc
+  %q = mul %t, %x
+  %acc2 = add %acc, %q
+  %half = const 0.5
+  %acc3 = mul %acc2, %half
+  %one = const 1.0
+  %kn = add %k, %one
+  br bb1(%acc3, %kn)
+bb3():
+  %r = sigmoid %acc
+  ret %r
+}
+"#;
+
+fn tape_equivalent(x: f64, y: f64) -> (f64, f64) {
+    let tape = Tape::new();
+    let xv = tape.var(x);
+    let yv = tape.var(y);
+    let mut acc = xv.sin() * yv;
+    for _ in 0..16 {
+        acc = (acc + acc.tanh() * xv) * 0.5;
+    }
+    let out = ((-acc).exp() + 1.0).powf(-1.0);
+    let g = tape.gradients(out);
+    (g.wrt(xv), g.wrt(yv))
+}
+
+fn ad_styles(c: &mut Criterion) {
+    let module = parse_module_unwrap(PROGRAM);
+    let f = module.func_id("f").unwrap();
+
+    // Synthesis happens once, outside the measured loop — "compile time".
+    let synthesized = differentiate(&module, f).unwrap();
+
+    let mut group = c.benchmark_group("ad_styles");
+    group.bench_function("sil_aot_reverse", |b| {
+        b.iter(|| {
+            let (v, g) = synthesized
+                .value_with_gradient(std::hint::black_box(&[0.7, 1.3]), 1.0)
+                .unwrap();
+            std::hint::black_box((v, g));
+        })
+    });
+    group.bench_function("runtime_tape", |b| {
+        b.iter(|| std::hint::black_box(tape_equivalent(0.7, 1.3)))
+    });
+    group.bench_function("sil_synthesis_itself", |b| {
+        // What re-deriving per call would cost (what JIT systems amortize).
+        b.iter(|| std::hint::black_box(differentiate(&module, f).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep `cargo bench --workspace` under a few minutes
+    // while staying well above timer noise for these kernels.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = ad_styles
+}
+criterion_main!(benches);

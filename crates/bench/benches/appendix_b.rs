@@ -1,0 +1,38 @@
+//! Criterion bench for Appendix B: functional vs. `inout` subscript
+//! pullbacks across array sizes (the O(n) → O(1) claim, §4.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use s4tf_core::subscript::{my_op_with_functional_pullback, my_op_with_mutable_pullback};
+
+fn subscript_pullbacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subscript_pullback");
+    for &n in &[100usize, 10_000, 1_000_000] {
+        let values: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("functional", n), &values, |b, v| {
+            let (_, pb) = my_op_with_functional_pullback(v, 1, v.len() - 2);
+            b.iter(|| std::hint::black_box(pb(1.0)[1]));
+        });
+        group.bench_with_input(BenchmarkId::new("inout", n), &values, |b, v| {
+            let (_, pb) = my_op_with_mutable_pullback(v, 1, v.len() - 2);
+            let mut grad = vec![0.0f32; v.len()];
+            b.iter(|| {
+                pb(1.0, &mut grad);
+                std::hint::black_box(grad[1]);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep `cargo bench --workspace` under a few minutes
+    // while staying well above timer noise for these kernels.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = subscript_pullbacks
+}
+criterion_main!(benches);

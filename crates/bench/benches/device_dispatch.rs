@@ -1,0 +1,55 @@
+//! Criterion bench: per-op cost of the three execution strategies (§3) on
+//! a small tensor, where dispatch architecture — not kernel math —
+//! dominates. This isolates the overhead Table 3 attributes to eager
+//! op-by-op dispatch and lazy re-tracing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use s4tf_runtime::{DTensor, Device};
+use s4tf_tensor::Tensor;
+
+/// A 20-op elementwise program on a tiny tensor.
+fn program(x: &DTensor) -> DTensor {
+    let mut h = x.clone();
+    for _ in 0..10 {
+        h = h.relu().mul_scalar(0.99);
+    }
+    h
+}
+
+fn device_dispatch(c: &mut Criterion) {
+    let input = Tensor::<f32>::from_fn(&[64], |i| (i as f32) - 32.0);
+    let mut group = c.benchmark_group("per_op_dispatch");
+
+    let naive = Device::naive();
+    let xn = DTensor::from_tensor(input.clone(), &naive);
+    group.bench_function("naive_direct", |b| {
+        b.iter(|| std::hint::black_box(program(&xn).to_tensor()))
+    });
+
+    let eager = Device::eager();
+    let xe = DTensor::from_tensor(input.clone(), &eager);
+    group.bench_function("eager_async_dispatch", |b| {
+        b.iter(|| std::hint::black_box(program(&xe).to_tensor()))
+    });
+
+    let lazy = Device::lazy();
+    let xl = DTensor::from_tensor(input.clone(), &lazy);
+    // Warm the cache so the steady-state cost is retrace + lookup + run.
+    let _ = program(&xl).to_tensor();
+    group.bench_function("lazy_retrace_cached", |b| {
+        b.iter(|| std::hint::black_box(program(&xl).to_tensor()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep `cargo bench --workspace` under a few minutes
+    // while staying well above timer noise for these kernels.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = device_dispatch
+}
+criterion_main!(benches);

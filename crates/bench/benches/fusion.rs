@@ -1,0 +1,68 @@
+//! Criterion bench: the XLA-like compiler's fusion payoff (§3.3) —
+//! executing an elementwise chain as one fused kernel vs. op-by-op, and
+//! the program-cache lookup cost (§3.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use s4tf_tensor::Tensor;
+use s4tf_xla::{compile, compile_unoptimized, ElemBinary, ElemUnary, HloGraph, ProgramCache};
+
+/// swish-like chain: x · sigmoid(2x + 1), 6 elementwise ops.
+fn chain(dim: usize) -> HloGraph {
+    let mut g = HloGraph::new();
+    let x = g.parameter(0, &[dim]);
+    let two = g.constant(Tensor::scalar(2.0));
+    let one = g.constant(Tensor::scalar(1.0));
+    let a = g.binary(ElemBinary::Mul, x, two);
+    let b = g.binary(ElemBinary::Add, a, one);
+    let s = g.unary(ElemUnary::Sigmoid, b);
+    let y = g.binary(ElemBinary::Mul, x, s);
+    g.mark_output(y);
+    g
+}
+
+fn fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elementwise_fusion");
+    for &dim in &[1 << 12, 1 << 16, 1 << 20] {
+        let g = chain(dim);
+        let fused = compile(&g);
+        let unfused = compile_unoptimized(&g);
+        let input = Tensor::<f32>::from_fn(&[dim], |i| (i as f32 % 7.0) - 3.0);
+        group.throughput(Throughput::Elements(dim as u64));
+        group.bench_with_input(BenchmarkId::new("fused", dim), &input, |b, x| {
+            b.iter(|| std::hint::black_box(fused.run(&[x])))
+        });
+        group.bench_with_input(BenchmarkId::new("op_by_op", dim), &input, |b, x| {
+            b.iter(|| std::hint::black_box(unfused.run(&[x])))
+        });
+    }
+    group.finish();
+
+    // Cache lookup (per-step cost of the §3.4 program cache) vs. a cold
+    // compile (what the cache avoids).
+    let mut group = c.benchmark_group("program_cache");
+    let g = chain(1 << 10);
+    let cache = ProgramCache::new();
+    cache.get_or_compile(&g);
+    group.bench_function("hit", |b| {
+        b.iter(|| std::hint::black_box(cache.get_or_compile(&g)))
+    });
+    group.bench_function("cold_compile", |b| {
+        b.iter(|| std::hint::black_box(compile(&g)))
+    });
+    group.bench_function("fingerprint_only", |b| {
+        b.iter(|| std::hint::black_box(g.fingerprint()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep `cargo bench --workspace` under a few minutes
+    // while staying well above timer noise for these kernels.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30);
+    targets = fusion
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! A byte-counting global allocator, for the Table-4 memory-usage column:
+//! "the differences in peak process memory size before and after training"
+//! become, here, the peak live-byte watermark during each strategy's run.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// A [`System`]-backed allocator that tracks live and peak bytes.
+///
+/// Install it in a binary with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: s4tf_bench::alloc_track::TrackingAllocator =
+///     s4tf_bench::alloc_track::TrackingAllocator;
+/// ```
+pub struct TrackingAllocator;
+
+// SAFETY: delegates directly to `System`; the bookkeeping uses only
+// atomics and never allocates.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+/// Currently live bytes.
+pub fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Peak live bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the peak watermark to the current live count.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Runs `f` and returns `(result, peak_extra_bytes)`: the high-water mark
+/// of bytes allocated above the baseline during the call.
+pub fn measure_peak<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    reset_peak();
+    let baseline = live_bytes();
+    let out = f();
+    let peak = peak_bytes().saturating_sub(baseline);
+    (out, peak)
+}

@@ -1,0 +1,17 @@
+//! Dedicated binary for the Table-4 binary-size column: contains only the
+//! PlannedInterpreter spline-training strategy (see `table4`).
+
+use s4tf_data::{PersonalizationData, SplineDataSpec};
+use s4tf_models::spline::strategies::{SplineStrategy, PlannedInterpreter};
+use s4tf_models::spline::ConvergenceCriteria;
+
+fn main() {
+    let data = PersonalizationData::generate(SplineDataSpec::default(), 7);
+    let out = PlannedInterpreter.train(&data.local.x, &data.local.y, 24, ConvergenceCriteria::default());
+    println!(
+        "{}: converged to loss {:.6} in {} iterations",
+        PlannedInterpreter.name(),
+        out.final_loss,
+        out.iterations
+    );
+}

@@ -1,0 +1,104 @@
+//! Plain-text table rendering for the experiment binaries, matching the
+//! row/column layout of the paper's tables so paper-vs-measured comparison
+//! is line-by-line.
+
+/// One table row: a label plus formatted cell values.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (first column).
+    pub label: String,
+    /// Remaining cells, already formatted.
+    pub cells: Vec<String>,
+}
+
+impl Row {
+    /// Builds a row.
+    pub fn new(label: impl Into<String>, cells: Vec<String>) -> Self {
+        Row {
+            label: label.into(),
+            cells,
+        }
+    }
+}
+
+/// Prints a boxed table with a title, headers and rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Row]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        widths[0] = widths[0].max(row.label.len());
+        for (i, c) in row.cells.iter().enumerate() {
+            widths[i + 1] = widths[i + 1].max(c.len());
+        }
+    }
+    let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+    println!("\n{title}");
+    println!("{}", "=".repeat(total.min(100)));
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        line.push_str(&format!("| {h:<w$} "));
+    }
+    line.push('|');
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+    for row in rows {
+        let mut line = format!("| {:<w$} ", row.label, w = widths[0]);
+        for (c, w) in row.cells.iter().zip(&widths[1..]) {
+            line.push_str(&format!("| {c:>w$} "));
+        }
+        line.push('|');
+        println!("{line}");
+    }
+    println!();
+}
+
+/// Formats a duration in the most readable unit.
+pub fn fmt_duration(seconds: f64) -> String {
+    if seconds >= 60.0 {
+        format!("{:.1} min", seconds / 60.0)
+    } else if seconds >= 1.0 {
+        format!("{seconds:.2} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.1} ms", seconds * 1e3)
+    } else {
+        format!("{:.1} µs", seconds * 1e6)
+    }
+}
+
+/// Formats a byte count.
+pub fn fmt_bytes(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.1} MB", bytes as f64 / (1 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.1} KB", bytes as f64 / (1 << 10) as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_units() {
+        assert_eq!(fmt_duration(120.0), "2.0 min");
+        assert_eq!(fmt_duration(2.5), "2.50 s");
+        assert_eq!(fmt_duration(0.005), "5.0 ms");
+        assert_eq!(fmt_duration(1e-5), "10.0 µs");
+        assert_eq!(fmt_bytes(5), "5 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0 MB");
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(
+            "Test",
+            &["Platform", "Time"],
+            &[
+                Row::new("a", vec!["1".into()]),
+                Row::new("a much longer label", vec!["2222".into()]),
+            ],
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! The [`Differentiable`] protocol (paper Figure 1).
+
+use crate::vector_space::{AdditiveArithmetic, LossValue, VectorSpace};
+use s4tf_tensor::{Float, Tensor};
+
+/// A type whose values represent points on a differentiable manifold.
+///
+/// Direct transcription of the paper's Figure 1:
+///
+/// ```swift
+/// protocol Differentiable {
+///   associatedtype TangentVector: AdditiveArithmetic
+///   mutating func move(along direction: TangentVector)
+/// }
+/// ```
+///
+/// `TangentVector` values are vectors in the tangent space at a point;
+/// [`Differentiable::move_along`] is the exponential map, moving a value by
+/// the distance and direction a tangent vector indicates. For flat manifolds
+/// (`f64`, `Tensor`, structs of those) the tangent space is the type itself
+/// (up to shape) and `move_along` is `+=` — which is why an optimizer can
+/// update a model in place through a unique borrow (paper §4.2).
+pub trait Differentiable: Clone {
+    /// The type of tangent vectors at points of `Self`.
+    type TangentVector: VectorSpace;
+
+    /// Moves `self` along `direction` (the exponential map).
+    fn move_along(&mut self, direction: &Self::TangentVector);
+
+    /// Returns `self` moved along `direction` (the pure-functional spelling
+    /// of [`Differentiable::move_along`]; see paper Figure 8 for why the
+    /// two are equivalent).
+    fn moved(mut self, direction: &Self::TangentVector) -> Self {
+        self.move_along(direction);
+        self
+    }
+
+    /// A zero tangent vector for this point.
+    ///
+    /// Defaults to `TangentVector::zero()`; types whose tangent zero depends
+    /// on the point (e.g. `Tensor`, whose natural zero has the point's
+    /// shape) override this.
+    fn zero_tangent(&self) -> Self::TangentVector {
+        Self::TangentVector::zero()
+    }
+}
+
+impl Differentiable for f32 {
+    type TangentVector = f32;
+    fn move_along(&mut self, direction: &f32) {
+        *self += direction;
+    }
+}
+
+impl Differentiable for f64 {
+    type TangentVector = f64;
+    fn move_along(&mut self, direction: &f64) {
+        *self += direction;
+    }
+}
+
+impl<T: Float> Differentiable for Tensor<T> {
+    type TangentVector = Tensor<T>;
+
+    fn move_along(&mut self, direction: &Tensor<T>) {
+        // A scalar direction is the broadcastable zero-or-uniform tangent.
+        if direction.rank() == 0 {
+            self.add_scalar_assign(direction.scalar_value());
+        } else {
+            self.add_assign_tensor(direction);
+        }
+    }
+
+    fn zero_tangent(&self) -> Tensor<T> {
+        Tensor::zeros_like(self)
+    }
+}
+
+impl Differentiable for () {
+    type TangentVector = ();
+    fn move_along(&mut self, _: &()) {}
+}
+
+impl<A: Differentiable, B: Differentiable> Differentiable for (A, B) {
+    type TangentVector = (A::TangentVector, B::TangentVector);
+    fn move_along(&mut self, direction: &Self::TangentVector) {
+        self.0.move_along(&direction.0);
+        self.1.move_along(&direction.1);
+    }
+    fn zero_tangent(&self) -> Self::TangentVector {
+        (self.0.zero_tangent(), self.1.zero_tangent())
+    }
+}
+
+impl<A: Differentiable> Differentiable for Vec<A> {
+    type TangentVector = Vec<A::TangentVector>;
+    fn move_along(&mut self, direction: &Self::TangentVector) {
+        if direction.is_empty() {
+            return; // broadcastable zero
+        }
+        assert_eq!(self.len(), direction.len(), "tangent length mismatch");
+        for (x, d) in self.iter_mut().zip(direction) {
+            x.move_along(d);
+        }
+    }
+    fn zero_tangent(&self) -> Self::TangentVector {
+        self.iter().map(|x| x.zero_tangent()).collect()
+    }
+}
+
+impl LossValue for f32 {
+    fn unit_tangent(&self) -> f32 {
+        1.0
+    }
+    fn loss_value(&self) -> f64 {
+        *self as f64
+    }
+}
+
+impl LossValue for f64 {
+    fn unit_tangent(&self) -> f64 {
+        1.0
+    }
+    fn loss_value(&self) -> f64 {
+        *self
+    }
+}
+
+impl<T: Float> LossValue for Tensor<T> {
+    /// A ones tensor of the point's shape. For the scalar-valued losses the
+    /// `gradient` operator is meant for, this is the cotangent `1`.
+    fn unit_tangent(&self) -> Tensor<T> {
+        Tensor::ones(self.dims())
+    }
+
+    /// The mean of the elements (the value itself for scalar tensors).
+    fn loss_value(&self) -> f64 {
+        self.as_slice().iter().map(|x| x.to_f64()).sum::<f64>() / self.num_elements() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_move_along() {
+        let mut x = 1.0f64;
+        x.move_along(&0.5);
+        assert_eq!(x, 1.5);
+        assert_eq!(2.0f32.moved(&1.0), 3.0);
+        assert_eq!(1.0f64.zero_tangent(), 0.0);
+    }
+
+    #[test]
+    fn tensor_move_along() {
+        let mut t = Tensor::from_vec(vec![1.0f32, 2.0], &[2]);
+        t.move_along(&Tensor::from_vec(vec![0.5, -0.5], &[2]));
+        assert_eq!(t.as_slice(), &[1.5, 1.5]);
+        // scalar (broadcastable) tangent
+        t.move_along(&Tensor::scalar(1.0));
+        assert_eq!(t.as_slice(), &[2.5, 2.5]);
+        assert_eq!(t.zero_tangent().dims(), &[2]);
+    }
+
+    #[test]
+    fn tuple_and_vec_move_along() {
+        let mut p = (1.0f64, Tensor::from_vec(vec![1.0f32], &[1]));
+        p.move_along(&(1.0, Tensor::from_vec(vec![2.0f32], &[1])));
+        assert_eq!(p.0, 2.0);
+        assert_eq!(p.1.as_slice(), &[3.0]);
+
+        let mut v = vec![1.0f64, 2.0];
+        v.move_along(&vec![10.0, 20.0]);
+        assert_eq!(v, vec![11.0, 22.0]);
+        v.move_along(&Vec::new()); // zero tangent is a no-op
+        assert_eq!(v, vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn loss_values() {
+        assert_eq!(2.5f64.unit_tangent(), 1.0);
+        assert_eq!(2.5f32.loss_value(), 2.5);
+        let t = Tensor::scalar(4.0f32);
+        assert_eq!(t.unit_tangent().scalar_value(), 1.0);
+        assert_eq!(t.loss_value(), 4.0);
+        let v = Tensor::from_vec(vec![1.0f32, 3.0], &[2]);
+        assert_eq!(v.loss_value(), 2.0);
+    }
+}

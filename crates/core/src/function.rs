@@ -1,0 +1,354 @@
+//! Differentiable function values and the differential operators over them
+//! (paper §2.1, Figures 2 & 3).
+
+use crate::differentiable::Differentiable;
+use crate::vector_space::LossValue;
+use std::rc::Rc;
+
+/// A *differential*: the linear map a JVP returns
+/// (`(A.TangentVector) -> B.TangentVector`).
+pub type Differential<A, B> =
+    Box<dyn Fn(&<A as Differentiable>::TangentVector) -> <B as Differentiable>::TangentVector>;
+
+/// A *pullback*: the linear map a VJP returns
+/// (`(B.TangentVector) -> A.TangentVector`).
+pub type Pullback<A, B> =
+    Box<dyn Fn(&<B as Differentiable>::TangentVector) -> <A as Differentiable>::TangentVector>;
+
+type OrigFn<A, B> = Rc<dyn Fn(&A) -> B>;
+type JvpFn<A, B> = Rc<dyn Fn(&A) -> (B, Differential<A, B>)>;
+type VjpFn<A, B> = Rc<dyn Fn(&A) -> (B, Pullback<A, B>)>;
+
+/// A differentiable function value: the bundle of the original function with
+/// its JVP (forward mode) and VJP (reverse mode) derivative functions —
+/// the paper's `@differentiable (A) -> B` function type family (Figure 3).
+///
+/// Where Swift's compiler builds these bundles implicitly when a plain
+/// closure meets a `@differentiable` context, here they are built explicitly
+/// ([`DifferentiableFn::new`], [`DifferentiableFn::from_vjp`], …) or
+/// synthesized from IR by the `s4tf-sil` code transformation.
+///
+/// Bundles are cheaply clonable (the three function values are
+/// reference-counted) and compose: [`DifferentiableFn::compose`] chain-rules
+/// both derivative functions.
+pub struct DifferentiableFn<A: Differentiable, B: Differentiable> {
+    original: OrigFn<A, B>,
+    jvp: JvpFn<A, B>,
+    vjp: VjpFn<A, B>,
+}
+
+impl<A: Differentiable, B: Differentiable> Clone for DifferentiableFn<A, B> {
+    fn clone(&self) -> Self {
+        DifferentiableFn {
+            original: Rc::clone(&self.original),
+            jvp: Rc::clone(&self.jvp),
+            vjp: Rc::clone(&self.vjp),
+        }
+    }
+}
+
+impl<A: Differentiable, B: Differentiable> std::fmt::Debug for DifferentiableFn<A, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DifferentiableFn<{}, {}>",
+            std::any::type_name::<A>(),
+            std::any::type_name::<B>()
+        )
+    }
+}
+
+impl<A: Differentiable + 'static, B: Differentiable + 'static> DifferentiableFn<A, B> {
+    /// Builds a bundle from all three elements.
+    pub fn new(
+        original: impl Fn(&A) -> B + 'static,
+        jvp: impl Fn(&A) -> (B, Differential<A, B>) + 'static,
+        vjp: impl Fn(&A) -> (B, Pullback<A, B>) + 'static,
+    ) -> Self {
+        DifferentiableFn {
+            original: Rc::new(original),
+            jvp: Rc::new(jvp),
+            vjp: Rc::new(vjp),
+        }
+    }
+
+    /// Builds a bundle from a VJP alone (the common case for reverse-mode
+    /// work). The original function evaluates the VJP and discards the
+    /// pullback; the JVP is unavailable and panics if requested.
+    ///
+    /// # Panics
+    /// The resulting bundle's [`DifferentiableFn::jvp`] panics when called.
+    pub fn from_vjp(vjp: impl Fn(&A) -> (B, Pullback<A, B>) + 'static) -> Self {
+        let vjp = Rc::new(vjp);
+        let vjp_for_f = Rc::clone(&vjp);
+        DifferentiableFn {
+            original: Rc::new(move |x| vjp_for_f(x).0),
+            jvp: Rc::new(|_| {
+                panic!("this differentiable function value was built from a VJP only")
+            }),
+            vjp,
+        }
+    }
+
+    /// Calls the original function.
+    pub fn call(&self, x: &A) -> B {
+        (self.original)(x)
+    }
+
+    /// Evaluates the JVP: the value together with the differential at `x`.
+    pub fn jvp(&self, x: &A) -> (B, Differential<A, B>) {
+        (self.jvp)(x)
+    }
+
+    /// Evaluates the VJP: the value together with the pullback at `x`.
+    pub fn vjp(&self, x: &A) -> (B, Pullback<A, B>) {
+        (self.vjp)(x)
+    }
+
+    /// Chain rule: `g ∘ self`, with both derivative functions composed.
+    pub fn compose<C: Differentiable + 'static>(
+        &self,
+        g: &DifferentiableFn<B, C>,
+    ) -> DifferentiableFn<A, C> {
+        let (f0, g0) = (Rc::clone(&self.original), Rc::clone(&g.original));
+        let (fj, gj) = (Rc::clone(&self.jvp), Rc::clone(&g.jvp));
+        let (fv, gv) = (Rc::clone(&self.vjp), Rc::clone(&g.vjp));
+        DifferentiableFn {
+            original: Rc::new(move |x| g0(&f0(x))),
+            jvp: Rc::new(move |x| {
+                let (y, df) = fj(x);
+                let (z, dg) = gj(&y);
+                (
+                    z,
+                    Box::new(move |dx: &A::TangentVector| dg(&df(dx))) as Differential<A, C>,
+                )
+            }),
+            vjp: Rc::new(move |x| {
+                let (y, pbf) = fv(x);
+                let (z, pbg) = gv(&y);
+                (
+                    z,
+                    Box::new(move |dz: &C::TangentVector| pbf(&pbg(dz))) as Pullback<A, C>,
+                )
+            }),
+        }
+    }
+}
+
+impl<A: Differentiable + 'static> DifferentiableFn<A, A> {
+    /// The identity function, with identity derivatives.
+    pub fn identity() -> Self
+    where
+        A::TangentVector: Clone,
+    {
+        DifferentiableFn::new(
+            |x: &A| x.clone(),
+            |x| {
+                (
+                    x.clone(),
+                    Box::new(|dx: &A::TangentVector| dx.clone()) as Differential<A, A>,
+                )
+            },
+            |x| {
+                (
+                    x.clone(),
+                    Box::new(|dy: &A::TangentVector| dy.clone()) as Pullback<A, A>,
+                )
+            },
+        )
+    }
+}
+
+// --------------------------------------------------------------------------
+// Differential operators (paper Figure 2).
+// --------------------------------------------------------------------------
+
+/// Evaluates `f` at `x`, returning the value and the reverse-mode pullback.
+///
+/// This is the primitive the other operators are defined in terms of
+/// (paper §2.1).
+pub fn value_with_pullback<A: Differentiable + 'static, B: Differentiable + 'static>(
+    x: &A,
+    f: &DifferentiableFn<A, B>,
+) -> (B, Pullback<A, B>) {
+    f.vjp(x)
+}
+
+/// Evaluates `f` at `x`, returning the value and the gradient with respect
+/// to `x` — the paper's `valueWithGradient(at:in:)`.
+pub fn value_with_gradient<A, B>(x: &A, f: &DifferentiableFn<A, B>) -> (B, A::TangentVector)
+where
+    A: Differentiable + 'static,
+    B: LossValue + 'static,
+{
+    let (y, pullback) = f.vjp(x);
+    let grad = pullback(&y.unit_tangent());
+    (y, grad)
+}
+
+/// The gradient of a loss-valued `f` at `x` — the paper's Figure 2
+/// `gradient(at:in:)`.
+pub fn gradient<A, B>(x: &A, f: &DifferentiableFn<A, B>) -> A::TangentVector
+where
+    A: Differentiable + 'static,
+    B: LossValue + 'static,
+{
+    value_with_gradient(x, f).1
+}
+
+/// Evaluates `f` at `x`, returning the value and the forward-mode
+/// differential.
+pub fn value_with_differential<A: Differentiable + 'static, B: Differentiable + 'static>(
+    x: &A,
+    f: &DifferentiableFn<A, B>,
+) -> (B, Differential<A, B>) {
+    f.jvp(x)
+}
+
+/// The scalar derivative of `f` at `x` via forward mode (`d/dx f(x)` for
+/// `f: R → R`).
+pub fn derivative<B>(x: f64, f: &DifferentiableFn<f64, B>) -> B::TangentVector
+where
+    B: Differentiable + 'static,
+{
+    let (_, differential) = f.jvp(&x);
+    differential(&1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// x ↦ x² with hand-written JVP and VJP.
+    fn square() -> DifferentiableFn<f64, f64> {
+        DifferentiableFn::new(
+            |x: &f64| x * x,
+            |x: &f64| {
+                let x = *x;
+                (
+                    x * x,
+                    Box::new(move |dx: &f64| 2.0 * x * dx) as Differential<f64, f64>,
+                )
+            },
+            |x: &f64| {
+                let x = *x;
+                (
+                    x * x,
+                    Box::new(move |dy: &f64| 2.0 * x * dy) as Pullback<f64, f64>,
+                )
+            },
+        )
+    }
+
+    /// x ↦ sin(x).
+    fn sin_fn() -> DifferentiableFn<f64, f64> {
+        DifferentiableFn::new(
+            |x: &f64| x.sin(),
+            |x: &f64| {
+                let x = *x;
+                (
+                    x.sin(),
+                    Box::new(move |dx: &f64| x.cos() * dx) as Differential<f64, f64>,
+                )
+            },
+            |x: &f64| {
+                let x = *x;
+                (
+                    x.sin(),
+                    Box::new(move |dy: &f64| x.cos() * dy) as Pullback<f64, f64>,
+                )
+            },
+        )
+    }
+
+    #[test]
+    fn call_and_gradient() {
+        let f = square();
+        assert_eq!(f.call(&3.0), 9.0);
+        assert_eq!(gradient(&3.0, &f), 6.0);
+        let (v, g) = value_with_gradient(&3.0, &f);
+        assert_eq!((v, g), (9.0, 6.0));
+    }
+
+    #[test]
+    fn forward_mode() {
+        let f = square();
+        assert_eq!(derivative(3.0, &f), 6.0);
+        let (v, df) = value_with_differential(&3.0, &f);
+        assert_eq!(v, 9.0);
+        assert_eq!(df(&2.0), 12.0); // linearity in the seed
+    }
+
+    #[test]
+    fn composition_chain_rules_both_modes() {
+        // h(x) = sin(x²); h'(x) = cos(x²)·2x
+        let h = square().compose(&sin_fn());
+        let x = 0.7f64;
+        assert!((h.call(&x) - (x * x).sin()).abs() < 1e-12);
+        let expected = (x * x).cos() * 2.0 * x;
+        assert!((gradient(&x, &h) - expected).abs() < 1e-12);
+        assert!((derivative(x, &h) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_function() {
+        let id = DifferentiableFn::<f64, f64>::identity();
+        assert_eq!(id.call(&5.0), 5.0);
+        assert_eq!(gradient(&5.0, &id), 1.0);
+        assert_eq!(derivative(5.0, &id), 1.0);
+    }
+
+    #[test]
+    fn from_vjp_only() {
+        let f = DifferentiableFn::<f64, f64>::from_vjp(|x| {
+            let x = *x;
+            (x * 3.0, Box::new(move |dy: &f64| 3.0 * dy))
+        });
+        assert_eq!(f.call(&2.0), 6.0);
+        assert_eq!(gradient(&2.0, &f), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "VJP only")]
+    fn from_vjp_has_no_jvp() {
+        let f = DifferentiableFn::<f64, f64>::from_vjp(|x| {
+            let x = *x;
+            (x, Box::new(move |dy: &f64| *dy))
+        });
+        let _ = f.jvp(&1.0);
+    }
+
+    #[test]
+    fn pullback_is_linear() {
+        let f = square();
+        let (_, pb) = value_with_pullback(&4.0, &f);
+        assert_eq!(pb(&1.0) + pb(&2.0), pb(&3.0));
+    }
+
+    #[test]
+    fn tensor_valued_gradient() {
+        use s4tf_tensor::Tensor;
+        // f(x) = sum(x²): gradient is 2x.
+        let f = DifferentiableFn::<Tensor<f32>, Tensor<f32>>::from_vjp(|x| {
+            let x = x.clone();
+            let y = x.square().sum();
+            (
+                y,
+                Box::new(move |dy: &Tensor<f32>| x.mul_scalar(2.0).mul(dy)),
+            )
+        });
+        let x = Tensor::from_vec(vec![1.0f32, -2.0, 3.0], &[3]);
+        let g = gradient(&x, &f);
+        assert_eq!(g.as_slice(), &[2.0, -4.0, 6.0]);
+        let (v, _) = value_with_gradient(&x, &f);
+        assert_eq!(v.scalar_value(), 14.0);
+    }
+
+    #[test]
+    fn clone_and_debug() {
+        let f = square();
+        let g = f.clone();
+        assert_eq!(g.call(&2.0), 4.0);
+        assert!(format!("{f:?}").contains("DifferentiableFn"));
+    }
+}

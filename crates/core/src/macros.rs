@@ -1,0 +1,311 @@
+//! Derived `Differentiable` conformances for aggregate types.
+//!
+//! Swift for TensorFlow synthesizes a `TangentVector` struct (and its
+//! `AdditiveArithmetic` conformance) for any struct whose stored properties
+//! are `Differentiable` — that is what makes the paper's Figure 6 LeNet
+//! definition work with zero boilerplate. [`differentiable_struct!`] is the
+//! equivalent mechanism here: it declares the struct *and* synthesizes its
+//! tangent struct with all the impls.
+
+/// Declares a struct of `Differentiable` fields and derives its
+/// `TangentVector` struct, [`AdditiveArithmetic`](crate::AdditiveArithmetic),
+/// [`VectorSpace`](crate::VectorSpace) and
+/// [`Differentiable`](crate::Differentiable) conformances.
+///
+/// The input syntax mirrors the output (a struct declaration), with one
+/// extra clause naming the synthesized tangent struct:
+///
+/// ```
+/// use s4tf_core::prelude::*;
+/// use s4tf_tensor::Tensor;
+///
+/// differentiable_struct! {
+///     /// A dense layer's parameters.
+///     pub struct Params tangent ParamsTangent {
+///         pub weight: Tensor<f32>,
+///         pub bias: Tensor<f32>,
+///     }
+/// }
+///
+/// let mut p = Params {
+///     weight: Tensor::zeros(&[2, 2]),
+///     bias: Tensor::zeros(&[2]),
+/// };
+/// let g = ParamsTangent {
+///     weight: Tensor::ones(&[2, 2]),
+///     bias: Tensor::ones(&[2]),
+/// };
+/// // Gradient-descent step through a unique borrow (paper §4.2):
+/// p.move_along(&g.scaled_by(-0.1));
+/// assert_eq!(p.bias.as_slice(), &[-0.1, -0.1]);
+/// ```
+#[macro_export]
+macro_rules! differentiable_struct {
+    // Extended form with non-differentiable configuration fields — the
+    // equivalent of Swift's `@noDerivative` stored properties: `nodiff`
+    // fields live in the struct but not in the tangent vector.
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident tangent $tangent:ident {
+            params {
+                $( $(#[$fmeta:meta])* $fvis:vis $field:ident : $ftype:ty ),* $(,)?
+            }
+            nodiff {
+                $( $(#[$cmeta:meta])* $cvis:vis $cfield:ident : $ctype:ty ),* $(,)?
+            }
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Debug)]
+        $vis struct $name {
+            $( $(#[$fmeta])* $fvis $field : $ftype, )*
+            $( $(#[$cmeta])* $cvis $cfield : $ctype, )*
+        }
+
+        $crate::differentiable_struct! {
+            @impls $vis $name tangent $tangent {
+                $( $fvis $field : $ftype ),*
+            }
+        }
+    };
+
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident tangent $tangent:ident {
+            $( $(#[$fmeta:meta])* $fvis:vis $field:ident : $ftype:ty ),* $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Debug)]
+        $vis struct $name {
+            $( $(#[$fmeta])* $fvis $field : $ftype, )*
+        }
+
+        $crate::differentiable_struct! {
+            @impls $vis $name tangent $tangent {
+                $( $fvis $field : $ftype ),*
+            }
+        }
+    };
+
+    (
+        @impls $vis:vis $name:ident tangent $tangent:ident {
+            $( $fvis:vis $field:ident : $ftype:ty ),*
+        }
+    ) => {
+        #[doc = concat!("Synthesized tangent vector for [`", stringify!($name), "`].")]
+        #[derive(Clone, Debug, PartialEq)]
+        $vis struct $tangent {
+            $(
+                #[doc = concat!("Tangent component for `", stringify!($field), "`.")]
+                $fvis $field : <$ftype as $crate::Differentiable>::TangentVector,
+            )*
+        }
+
+        impl $crate::AdditiveArithmetic for $tangent {
+            fn zero() -> Self {
+                Self {
+                    $( $field: <<$ftype as $crate::Differentiable>::TangentVector
+                        as $crate::AdditiveArithmetic>::zero(), )*
+                }
+            }
+
+            fn adding(&self, rhs: &Self) -> Self {
+                Self {
+                    $( $field: $crate::AdditiveArithmetic::adding(
+                        &self.$field, &rhs.$field), )*
+                }
+            }
+
+            fn subtracting(&self, rhs: &Self) -> Self {
+                Self {
+                    $( $field: $crate::AdditiveArithmetic::subtracting(
+                        &self.$field, &rhs.$field), )*
+                }
+            }
+        }
+
+        impl $crate::VectorSpace for $tangent {
+            fn scaled_by(&self, factor: f64) -> Self {
+                Self {
+                    $( $field: $crate::VectorSpace::scaled_by(&self.$field, factor), )*
+                }
+            }
+        }
+
+        impl $crate::vector_space::PointwiseMath for $tangent {
+            fn pointwise_mul(&self, rhs: &Self) -> Self {
+                Self {
+                    $( $field: $crate::vector_space::PointwiseMath::pointwise_mul(
+                        &self.$field, &rhs.$field), )*
+                }
+            }
+
+            fn pointwise_div(&self, rhs: &Self) -> Self {
+                Self {
+                    $( $field: $crate::vector_space::PointwiseMath::pointwise_div(
+                        &self.$field, &rhs.$field), )*
+                }
+            }
+
+            fn pointwise_sqrt(&self) -> Self {
+                Self {
+                    $( $field: $crate::vector_space::PointwiseMath::pointwise_sqrt(
+                        &self.$field), )*
+                }
+            }
+
+            fn adding_scalar(&self, v: f64) -> Self {
+                Self {
+                    $( $field: $crate::vector_space::PointwiseMath::adding_scalar(
+                        &self.$field, v), )*
+                }
+            }
+        }
+
+        impl $crate::Differentiable for $name {
+            type TangentVector = $tangent;
+
+            fn move_along(&mut self, direction: &$tangent) {
+                $( $crate::Differentiable::move_along(
+                    &mut self.$field, &direction.$field); )*
+            }
+
+            fn zero_tangent(&self) -> $tangent {
+                $tangent {
+                    $( $field: $crate::Differentiable::zero_tangent(&self.$field), )*
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use s4tf_tensor::Tensor;
+
+    differentiable_struct! {
+        /// Two-field test model.
+        pub struct Model tangent ModelTangent {
+            pub w: Tensor<f32>,
+            pub b: f64,
+        }
+    }
+
+    // Nested: a struct whose field is itself a differentiable struct.
+    differentiable_struct! {
+        pub struct Outer tangent OuterTangent {
+            pub inner: Model,
+            pub scale: f32,
+        }
+    }
+
+    fn model() -> Model {
+        Model {
+            w: Tensor::from_vec(vec![1.0, 2.0], &[2]),
+            b: 3.0,
+        }
+    }
+
+    #[test]
+    fn tangent_zero_and_add() {
+        let z = ModelTangent::zero();
+        let g = ModelTangent {
+            w: Tensor::from_vec(vec![1.0, 1.0], &[2]),
+            b: 2.0,
+        };
+        assert_eq!(z.adding(&g), g);
+        assert_eq!(g.adding(&g).b, 4.0);
+        assert_eq!(g.subtracting(&g).b, 0.0);
+        assert_eq!(g.scaled_by(0.5).b, 1.0);
+        assert_eq!(g.scaled_by(0.5).w.as_slice(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn move_along_updates_all_fields() {
+        let mut m = model();
+        let g = ModelTangent {
+            w: Tensor::from_vec(vec![0.1, 0.2], &[2]),
+            b: -1.0,
+        };
+        m.move_along(&g);
+        assert_eq!(m.w.as_slice(), &[1.1, 2.2]);
+        assert_eq!(m.b, 2.0);
+    }
+
+    #[test]
+    fn zero_tangent_has_point_shapes() {
+        let m = model();
+        let z = m.zero_tangent();
+        assert_eq!(z.w.dims(), &[2]);
+        assert!(z.w.is_zero());
+        assert_eq!(z.b, 0.0);
+    }
+
+    #[test]
+    fn nested_structs_compose() {
+        let mut o = Outer {
+            inner: model(),
+            scale: 1.0,
+        };
+        let g = OuterTangent {
+            inner: ModelTangent {
+                w: Tensor::from_vec(vec![1.0, 1.0], &[2]),
+                b: 1.0,
+            },
+            scale: 0.5,
+        };
+        o.move_along(&g.scaled_by(2.0));
+        assert_eq!(o.inner.w.as_slice(), &[3.0, 4.0]);
+        assert_eq!(o.inner.b, 5.0);
+        assert_eq!(o.scale, 2.0);
+    }
+
+    differentiable_struct! {
+        /// A layer-like struct with non-differentiable configuration.
+        pub struct Configured tangent ConfiguredTangent {
+            params {
+                pub weight: Tensor<f32>,
+            }
+            nodiff {
+                pub name: String,
+                pub stride: usize,
+            }
+        }
+    }
+
+    #[test]
+    fn nodiff_fields_are_excluded_from_tangent() {
+        let mut c = Configured {
+            weight: Tensor::zeros(&[2]),
+            name: "conv".into(),
+            stride: 2,
+        };
+        let g = ConfiguredTangent {
+            weight: Tensor::ones(&[2]),
+        };
+        c.move_along(&g);
+        assert_eq!(c.weight.as_slice(), &[1.0, 1.0]);
+        assert_eq!(c.name, "conv");
+        assert_eq!(c.stride, 2, "config fields are untouched by movement");
+        // Tangent arithmetic only involves the params.
+        assert!(ConfiguredTangent::zero().weight.is_zero());
+        let h = g.adding(&g).scaled_by(0.25).pointwise_sqrt();
+        assert!((h.weight.as_slice()[0] - 0.70710677).abs() < 1e-6);
+    }
+
+    #[test]
+    fn value_semantics_of_models() {
+        // Paper Figure 5, third column, for user-defined aggregates:
+        // mutation through one variable is invisible through another.
+        let m1 = model();
+        let mut m2 = m1.clone();
+        m2.move_along(&ModelTangent {
+            w: Tensor::from_vec(vec![100.0, 100.0], &[2]),
+            b: 100.0,
+        });
+        assert_eq!(m1.w.as_slice(), &[1.0, 2.0]);
+        assert_eq!(m1.b, 3.0);
+    }
+}

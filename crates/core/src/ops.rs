@@ -1,0 +1,480 @@
+//! VJPs for the Tensor kernel suite — the "known base derivative functions"
+//! (paper §2.1) that layer pullbacks and the lazy runtime compose from.
+//!
+//! Each `vjp_*` function mirrors the paper's VJP shape (Figure 3):
+//! it returns the operation's value together with a *pullback* closure
+//! mapping an output cotangent to input cotangent(s). Binary ops are
+//! broadcast-aware: their pullbacks sum gradients over broadcast axes
+//! (`reduce_to_shape`), so the chain rule composes correctly for biases and
+//! scalar constants.
+
+use s4tf_tensor::{Float, Padding, Tensor};
+
+/// Boxed pullback from one cotangent to one cotangent.
+pub type TensorPullback<T> = Box<dyn Fn(&Tensor<T>) -> Tensor<T>>;
+/// Boxed pullback from one cotangent to a pair of cotangents.
+pub type TensorPullback2<T> = Box<dyn Fn(&Tensor<T>) -> (Tensor<T>, Tensor<T>)>;
+
+// ---------------------------------------------------------------- binary ops
+
+/// VJP of broadcasting addition.
+pub fn vjp_add<T: Float>(a: &Tensor<T>, b: &Tensor<T>) -> (Tensor<T>, TensorPullback2<T>) {
+    let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
+    (
+        a.add(b),
+        Box::new(move |dy| (dy.reduce_to_shape(&da), dy.reduce_to_shape(&db))),
+    )
+}
+
+/// VJP of broadcasting subtraction.
+pub fn vjp_sub<T: Float>(a: &Tensor<T>, b: &Tensor<T>) -> (Tensor<T>, TensorPullback2<T>) {
+    let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
+    (
+        a.sub(b),
+        Box::new(move |dy| (dy.reduce_to_shape(&da), dy.neg().reduce_to_shape(&db))),
+    )
+}
+
+/// VJP of broadcasting element-wise multiplication.
+pub fn vjp_mul<T: Float>(a: &Tensor<T>, b: &Tensor<T>) -> (Tensor<T>, TensorPullback2<T>) {
+    let (ac, bc) = (a.clone(), b.clone());
+    let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
+    (
+        a.mul(b),
+        Box::new(move |dy| {
+            (
+                dy.mul(&bc).reduce_to_shape(&da),
+                dy.mul(&ac).reduce_to_shape(&db),
+            )
+        }),
+    )
+}
+
+/// VJP of broadcasting element-wise division.
+pub fn vjp_div<T: Float>(a: &Tensor<T>, b: &Tensor<T>) -> (Tensor<T>, TensorPullback2<T>) {
+    let (ac, bc) = (a.clone(), b.clone());
+    let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
+    (
+        a.div(b),
+        Box::new(move |dy| {
+            let ga = dy.div(&bc).reduce_to_shape(&da);
+            let gb = dy
+                .mul(&ac)
+                .neg()
+                .div(&bc.square())
+                .reduce_to_shape(&db);
+            (ga, gb)
+        }),
+    )
+}
+
+/// VJP of matrix multiplication (`[m,k] × [k,n]`).
+pub fn vjp_matmul<T: Float>(a: &Tensor<T>, b: &Tensor<T>) -> (Tensor<T>, TensorPullback2<T>) {
+    let (ac, bc) = (a.clone(), b.clone());
+    (
+        a.matmul(b),
+        Box::new(move |dy| (dy.matmul_nt(&bc), ac.matmul_tn(dy))),
+    )
+}
+
+// ----------------------------------------------------------------- unary ops
+
+/// VJP of ReLU.
+pub fn vjp_relu<T: Float>(x: &Tensor<T>) -> (Tensor<T>, TensorPullback<T>) {
+    let mask = x.greater_mask(&Tensor::scalar(T::zero()));
+    (x.relu(), Box::new(move |dy| dy.mul(&mask)))
+}
+
+/// VJP of `exp`.
+pub fn vjp_exp<T: Float>(x: &Tensor<T>) -> (Tensor<T>, TensorPullback<T>) {
+    let y = x.exp();
+    let yc = y.clone();
+    (y, Box::new(move |dy| dy.mul(&yc)))
+}
+
+/// VJP of the natural logarithm.
+pub fn vjp_ln<T: Float>(x: &Tensor<T>) -> (Tensor<T>, TensorPullback<T>) {
+    let xc = x.clone();
+    (x.ln(), Box::new(move |dy| dy.div(&xc)))
+}
+
+/// VJP of `tanh`.
+pub fn vjp_tanh<T: Float>(x: &Tensor<T>) -> (Tensor<T>, TensorPullback<T>) {
+    let y = x.tanh();
+    let yc = y.clone();
+    (
+        y,
+        Box::new(move |dy| dy.mul(&yc.square().neg().add_scalar(T::one()))),
+    )
+}
+
+/// VJP of the logistic sigmoid.
+pub fn vjp_sigmoid<T: Float>(x: &Tensor<T>) -> (Tensor<T>, TensorPullback<T>) {
+    let y = x.sigmoid();
+    let yc = y.clone();
+    (
+        y,
+        Box::new(move |dy| dy.mul(&yc).mul(&yc.neg().add_scalar(T::one()))),
+    )
+}
+
+/// VJP of the element-wise square.
+pub fn vjp_square<T: Float>(x: &Tensor<T>) -> (Tensor<T>, TensorPullback<T>) {
+    let xc = x.clone();
+    (
+        x.square(),
+        Box::new(move |dy| dy.mul(&xc).mul_scalar(T::from_f64(2.0))),
+    )
+}
+
+/// VJP of the square root.
+pub fn vjp_sqrt<T: Float>(x: &Tensor<T>) -> (Tensor<T>, TensorPullback<T>) {
+    let y = x.sqrt();
+    let yc = y.clone();
+    (
+        y,
+        Box::new(move |dy| dy.div(&yc.mul_scalar(T::from_f64(2.0)))),
+    )
+}
+
+/// VJP of negation.
+pub fn vjp_neg<T: Float>(x: &Tensor<T>) -> (Tensor<T>, TensorPullback<T>) {
+    (x.neg(), Box::new(|dy| dy.neg()))
+}
+
+// --------------------------------------------------------------- reductions
+
+/// VJP of the full sum.
+pub fn vjp_sum<T: Float>(x: &Tensor<T>) -> (Tensor<T>, TensorPullback<T>) {
+    let dims = x.dims().to_vec();
+    (
+        x.sum(),
+        Box::new(move |dy| dy.broadcast_to(&dims)),
+    )
+}
+
+/// VJP of the full mean.
+pub fn vjp_mean<T: Float>(x: &Tensor<T>) -> (Tensor<T>, TensorPullback<T>) {
+    let dims = x.dims().to_vec();
+    let n = T::from_usize(x.num_elements());
+    (
+        x.mean(),
+        Box::new(move |dy| dy.broadcast_to(&dims).div_scalar(n)),
+    )
+}
+
+/// VJP of `sum_axis(axis, keep_dims=false)`.
+pub fn vjp_sum_axis<T: Float>(x: &Tensor<T>, axis: usize) -> (Tensor<T>, TensorPullback<T>) {
+    let dims = x.dims().to_vec();
+    (
+        x.sum_axis(axis, false),
+        Box::new(move |dy| dy.expand_dims(axis).broadcast_to(&dims)),
+    )
+}
+
+// ---------------------------------------------------------------- shape ops
+
+/// VJP of reshape.
+pub fn vjp_reshape<T: Float>(x: &Tensor<T>, dims: &[usize]) -> (Tensor<T>, TensorPullback<T>) {
+    let original = x.dims().to_vec();
+    (
+        x.reshape(dims),
+        Box::new(move |dy| dy.reshape(&original)),
+    )
+}
+
+/// VJP of a dimension permutation.
+pub fn vjp_transpose<T: Float>(x: &Tensor<T>, perm: &[usize]) -> (Tensor<T>, TensorPullback<T>) {
+    let mut inverse = vec![0usize; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inverse[p] = i;
+    }
+    (
+        x.transpose(perm),
+        Box::new(move |dy| dy.transpose(&inverse)),
+    )
+}
+
+/// VJP of `broadcast_to`.
+pub fn vjp_broadcast_to<T: Float>(
+    x: &Tensor<T>,
+    dims: &[usize],
+) -> (Tensor<T>, TensorPullback<T>) {
+    let original = x.dims().to_vec();
+    (
+        x.broadcast_to(dims),
+        Box::new(move |dy| dy.reduce_to_shape(&original)),
+    )
+}
+
+// ------------------------------------------------------------ conv & pooling
+
+/// VJP of 2-D convolution, pulling back to both the input and the filter.
+pub fn vjp_conv2d<T: Float>(
+    input: &Tensor<T>,
+    filter: &Tensor<T>,
+    strides: (usize, usize),
+    padding: Padding,
+) -> (Tensor<T>, TensorPullback2<T>) {
+    let y = input.conv2d(filter, strides, padding);
+    let (xc, wc) = (input.clone(), filter.clone());
+    let wdims = filter.dims().to_vec();
+    (
+        y,
+        Box::new(move |dy| {
+            let dx = xc.conv2d_backward_input(&wc, dy, strides, padding);
+            let dw = xc.conv2d_backward_filter(&wdims, dy, strides, padding);
+            (dx, dw)
+        }),
+    )
+}
+
+/// VJP of average pooling.
+pub fn vjp_avg_pool2d<T: Float>(
+    input: &Tensor<T>,
+    pool: (usize, usize),
+    strides: (usize, usize),
+    padding: Padding,
+) -> (Tensor<T>, TensorPullback<T>) {
+    let y = input.avg_pool2d(pool, strides, padding);
+    let xc = input.clone();
+    (
+        y,
+        Box::new(move |dy| xc.avg_pool2d_backward(dy, pool, strides, padding)),
+    )
+}
+
+/// VJP of max pooling.
+pub fn vjp_max_pool2d<T: Float>(
+    input: &Tensor<T>,
+    pool: (usize, usize),
+    strides: (usize, usize),
+    padding: Padding,
+) -> (Tensor<T>, TensorPullback<T>) {
+    let y = input.max_pool2d(pool, strides, padding);
+    let xc = input.clone();
+    (
+        y,
+        Box::new(move |dy| xc.max_pool2d_backward(dy, pool, strides, padding)),
+    )
+}
+
+// ------------------------------------------------------------------- losses
+
+/// VJP of softmax cross-entropy with one-hot labels, mean-reduced over the
+/// batch: `L = -mean_i Σ_c labels[i,c]·log_softmax(logits)[i,c]`.
+///
+/// Pullback is with respect to the logits only (labels are constants).
+///
+/// # Panics
+/// Panics unless `logits` and `labels` are rank 2 with identical shapes.
+pub fn vjp_softmax_cross_entropy<T: Float>(
+    logits: &Tensor<T>,
+    labels: &Tensor<T>,
+) -> (Tensor<T>, TensorPullback<T>) {
+    assert_eq!(logits.rank(), 2, "logits must be [batch, classes]");
+    assert_eq!(logits.dims(), labels.dims(), "labels shape mismatch");
+    let batch = T::from_usize(logits.dims()[0]);
+    let log_probs = logits.log_softmax();
+    let loss = labels.mul(&log_probs).sum().neg().div_scalar(batch);
+    let softmax = logits.softmax();
+    let grad = softmax.sub(labels).div_scalar(batch);
+    (
+        loss,
+        Box::new(move |dy| grad.mul(dy)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Central finite-difference gradient of `f: Tensor -> scalar` at `x`.
+    fn finite_diff<F: Fn(&Tensor<f64>) -> f64>(x: &Tensor<f64>, f: F) -> Tensor<f64> {
+        let eps = 1e-6;
+        let mut grad = Tensor::zeros_like(x);
+        for i in 0..x.num_elements() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            grad.as_mut_slice()[i] = (f(&xp) - f(&xm)) / (2.0 * eps);
+        }
+        grad
+    }
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn binary_vjps_match_finite_differences() {
+        let mut rng = rng();
+        let a = Tensor::<f64>::randn(&[3, 4], &mut rng);
+        let b = Tensor::<f64>::randn(&[3, 4], &mut rng).add_scalar(3.0); // keep away from 0 for div
+        type Case = (
+            &'static str,
+            fn(&Tensor<f64>, &Tensor<f64>) -> (Tensor<f64>, TensorPullback2<f64>),
+        );
+        let cases: Vec<Case> = vec![
+            ("add", vjp_add),
+            ("sub", vjp_sub),
+            ("mul", vjp_mul),
+            ("div", vjp_div),
+        ];
+        for (name, vjp) in cases {
+            let (_, pb) = vjp(&a, &b);
+            let (ga, gb) = pb(&Tensor::ones(&[3, 4]));
+            let fa = finite_diff(&a, |t| vjp(t, &b).0.sum().scalar_value());
+            let fb = finite_diff(&b, |t| vjp(&a, t).0.sum().scalar_value());
+            assert!(ga.allclose(&fa, 1e-4), "{name} grad-a");
+            assert!(gb.allclose(&fb, 1e-4), "{name} grad-b");
+        }
+    }
+
+    #[test]
+    fn broadcast_pullback_reduces() {
+        let mut rng = rng();
+        let a = Tensor::<f64>::randn(&[3, 4], &mut rng);
+        let bias = Tensor::<f64>::randn(&[4], &mut rng);
+        let (_, pb) = vjp_add(&a, &bias);
+        let (ga, gbias) = pb(&Tensor::ones(&[3, 4]));
+        assert_eq!(ga.dims(), &[3, 4]);
+        assert_eq!(gbias.dims(), &[4]);
+        assert_eq!(gbias.as_slice(), &[3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_vjp_matches_finite_differences() {
+        let mut rng = rng();
+        let a = Tensor::<f64>::randn(&[3, 5], &mut rng);
+        let b = Tensor::<f64>::randn(&[5, 2], &mut rng);
+        let (_, pb) = vjp_matmul(&a, &b);
+        let (ga, gb) = pb(&Tensor::ones(&[3, 2]));
+        let fa = finite_diff(&a, |t| t.matmul(&b).sum().scalar_value());
+        let fb = finite_diff(&b, |t| a.matmul(t).sum().scalar_value());
+        assert!(ga.allclose(&fa, 1e-4));
+        assert!(gb.allclose(&fb, 1e-4));
+    }
+
+    #[test]
+    fn unary_vjps_match_finite_differences() {
+        let mut rng = rng();
+        // strictly positive input so ln/sqrt are differentiable
+        let x = Tensor::<f64>::rand_uniform(&[17], 0.3, 2.0, &mut rng);
+        type Case = (
+            &'static str,
+            fn(&Tensor<f64>) -> (Tensor<f64>, TensorPullback<f64>),
+        );
+        let cases: Vec<Case> = vec![
+            ("relu", vjp_relu),
+            ("exp", vjp_exp),
+            ("ln", vjp_ln),
+            ("tanh", vjp_tanh),
+            ("sigmoid", vjp_sigmoid),
+            ("square", vjp_square),
+            ("sqrt", vjp_sqrt),
+            ("neg", vjp_neg),
+        ];
+        for (name, vjp) in cases {
+            let (_, pb) = vjp(&x);
+            let g = pb(&Tensor::ones(&[17]));
+            let fd = finite_diff(&x, |t| vjp(t).0.sum().scalar_value());
+            assert!(g.allclose(&fd, 1e-4), "{name}: {}", g.max_abs_diff(&fd));
+        }
+    }
+
+    #[test]
+    fn reduction_vjps() {
+        let mut rng = rng();
+        let x = Tensor::<f64>::randn(&[4, 3], &mut rng);
+        let (s, pb) = vjp_sum(&x);
+        assert_eq!(s.scalar_value(), x.sum().scalar_value());
+        assert_eq!(pb(&Tensor::scalar(2.0)).as_slice(), &[2.0; 12]);
+
+        let (_, pb) = vjp_mean(&x);
+        let g = pb(&Tensor::scalar(1.0));
+        assert!((g.as_slice()[0] - 1.0 / 12.0).abs() < 1e-12);
+
+        let (_, pb) = vjp_sum_axis(&x, 0);
+        let g = pb(&Tensor::ones(&[3]));
+        assert_eq!(g.dims(), &[4, 3]);
+        assert_eq!(g.as_slice(), &[1.0; 12]);
+    }
+
+    #[test]
+    fn shape_vjps_round_trip() {
+        let mut rng = rng();
+        let x = Tensor::<f64>::randn(&[2, 6], &mut rng);
+        let (y, pb) = vjp_reshape(&x, &[3, 4]);
+        assert_eq!(y.dims(), &[3, 4]);
+        assert_eq!(pb(&y).dims(), &[2, 6]);
+
+        let (y, pb) = vjp_transpose(&x, &[1, 0]);
+        assert_eq!(y.dims(), &[6, 2]);
+        assert_eq!(pb(&y), x);
+
+        let v = Tensor::<f64>::randn(&[6], &mut rng);
+        let (y, pb) = vjp_broadcast_to(&v, &[4, 6]);
+        assert_eq!(y.dims(), &[4, 6]);
+        let g = pb(&Tensor::ones(&[4, 6]));
+        assert_eq!(g.as_slice(), &[4.0; 6]);
+    }
+
+    #[test]
+    fn conv_and_pool_vjps_match_finite_differences() {
+        let mut rng = rng();
+        let x = Tensor::<f64>::randn(&[1, 6, 6, 2], &mut rng);
+        let w = Tensor::<f64>::randn(&[3, 3, 2, 2], &mut rng);
+        let (_, pb) = vjp_conv2d(&x, &w, (1, 1), Padding::Same);
+        let dy = Tensor::<f64>::ones(&[1, 6, 6, 2]);
+        let (dx, dw) = pb(&dy);
+        let fx = finite_diff(&x, |t| {
+            t.conv2d(&w, (1, 1), Padding::Same).sum().scalar_value()
+        });
+        let fw = finite_diff(&w, |t| {
+            x.conv2d(t, (1, 1), Padding::Same).sum().scalar_value()
+        });
+        assert!(dx.allclose(&fx, 1e-4));
+        assert!(dw.allclose(&fw, 1e-4));
+
+        let (_, pb) = vjp_avg_pool2d(&x, (2, 2), (2, 2), Padding::Valid);
+        let g = pb(&Tensor::ones(&[1, 3, 3, 2]));
+        let fd = finite_diff(&x, |t| {
+            t.avg_pool2d((2, 2), (2, 2), Padding::Valid)
+                .sum()
+                .scalar_value()
+        });
+        assert!(g.allclose(&fd, 1e-4));
+
+        let (_, pb) = vjp_max_pool2d(&x, (2, 2), (2, 2), Padding::Valid);
+        let g = pb(&Tensor::ones(&[1, 3, 3, 2]));
+        let fd = finite_diff(&x, |t| {
+            t.max_pool2d((2, 2), (2, 2), Padding::Valid)
+                .sum()
+                .scalar_value()
+        });
+        assert!(g.allclose(&fd, 1e-4));
+    }
+
+    #[test]
+    fn softmax_cross_entropy_vjp() {
+        let mut rng = rng();
+        let logits = Tensor::<f64>::randn(&[4, 3], &mut rng);
+        let labels: Tensor<f64> = Tensor::one_hot(&[0, 2, 1, 1], 3);
+        let (loss, pb) = vjp_softmax_cross_entropy(&logits, &labels);
+        assert!(loss.scalar_value() > 0.0);
+        let g = pb(&Tensor::scalar(1.0));
+        let fd = finite_diff(&logits, |t| {
+            vjp_softmax_cross_entropy(t, &labels).0.scalar_value()
+        });
+        assert!(g.allclose(&fd, 1e-5));
+        // gradient rows sum to ~0 (softmax minus one-hot)
+        let row_sums = g.sum_axis(1, false);
+        for &s in row_sums.as_slice() {
+            assert!(s.abs() < 1e-10);
+        }
+    }
+}

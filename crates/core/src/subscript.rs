@@ -1,0 +1,189 @@
+//! Array-subscript differentiation — the paper's §4.3 and Appendix B
+//! (Figure 9), transcribed to Rust.
+//!
+//! The operation `my_op(values, a, b) = values[a] + values[b]` is O(1), but
+//! the *functional* pullback formulation `(T) -> [T]` must materialize a
+//! zero array per subscript read, making the derivative O(n) — violating the
+//! efficient-gradient design goal. The *mutable-value-semantics* formulation
+//! `(T, inout [T]) -> ()` accumulates into a caller-provided gradient buffer
+//! in O(1).
+//!
+//! Both formulations are implemented below exactly as in Figure 9; the
+//! Appendix-B experiment (`s4tf-bench`, `appendix_b`) sweeps `n` to show the
+//! O(n) → O(1) gap.
+
+/// The example operation to differentiate (Figure 9): `values[a] + values[b]`.
+///
+/// # Panics
+/// Panics if `a` or `b` is out of bounds.
+pub fn my_op(values: &[f32], a: usize, b: usize) -> f32 {
+    values[a] + values[b]
+}
+
+// ---------------------------------------------------------------------------
+// Functional formulation: pullback type (T) -> [T]
+// ---------------------------------------------------------------------------
+
+/// Subscript read with an explicit pullback in the *functional* style.
+///
+/// The pullback allocates an all-zeros array of length `values.len()` —
+/// O(n) time and memory per call (Figure 9, "Functional representation").
+///
+/// # Panics
+/// Panics if `index` is out of bounds.
+pub fn subscript_with_functional_pullback(
+    values: &[f32],
+    index: usize,
+) -> (f32, impl Fn(f32) -> Vec<f32>) {
+    let size = values.len(); // optimization from the paper: capture only the size
+    (values[index], move |dx: f32| {
+        let mut tmp = vec![0.0f32; size]; // allocates O(n) memory!
+        tmp[index] = dx;
+        tmp
+    })
+}
+
+/// Element-wise sum of two gradient arrays (Figure 9's `sumArraysHelper`).
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn sum_arrays(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "gradient arrays must have equal length");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// `my_op` with its pullback written in the functional style: the pullback
+/// runs in O(n) (two zero-array materializations plus an O(n) sum).
+pub fn my_op_with_functional_pullback(
+    values: &[f32],
+    a: usize,
+    b: usize,
+) -> (f32, impl Fn(f32) -> Vec<f32>) {
+    let (a_val, a_pb) = subscript_with_functional_pullback(values, a);
+    let (b_val, b_pb) = subscript_with_functional_pullback(values, b);
+    (a_val + b_val, move |dx: f32| {
+        let da = a_pb(dx); // O(n), allocates O(n)
+        let db = b_pb(dx); // O(n), allocates O(n)
+        sum_arrays(&da, &db) // O(n)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Mutable-value-semantics formulation: pullback type (T, inout [T]) -> ()
+// ---------------------------------------------------------------------------
+
+/// Subscript read with an explicit pullback in the *value-semantic* style:
+/// the pullback accumulates into a uniquely borrowed gradient buffer in
+/// O(1) (Figure 9, "Value semantic representation").
+///
+/// # Panics
+/// The returned pullback panics if `index` is out of bounds for `d_values`.
+pub fn subscript_with_mutable_pullback(
+    values: &[f32],
+    index: usize,
+) -> (f32, impl Fn(f32, &mut Vec<f32>)) {
+    (values[index], move |dx: f32, d_values: &mut Vec<f32>| {
+        d_values[index] += dx; // constant time!
+    })
+}
+
+/// `my_op` with its pullback written in the value-semantic style: the
+/// pullback runs in O(1), irrespective of `values.len()`.
+pub fn my_op_with_mutable_pullback(
+    values: &[f32],
+    a: usize,
+    b: usize,
+) -> (f32, impl Fn(f32, &mut Vec<f32>)) {
+    let (a_val, a_pb) = subscript_with_mutable_pullback(values, a);
+    let (b_val, b_pb) = subscript_with_mutable_pullback(values, b);
+    (a_val + b_val, move |dx: f32, d_values: &mut Vec<f32>| {
+        a_pb(dx, d_values); // constant time
+        b_pb(dx, d_values); // constant time
+    })
+}
+
+/// Runs the full gradient of `my_op` through the functional formulation
+/// (allocates; O(n)).
+pub fn gradient_functional(values: &[f32], a: usize, b: usize) -> Vec<f32> {
+    let (_, pb) = my_op_with_functional_pullback(values, a, b);
+    pb(1.0)
+}
+
+/// Runs the full gradient of `my_op` through the `inout` formulation
+/// (accumulates into one buffer; O(1) per pullback call after the single
+/// zero-initialization the *caller* owns).
+pub fn gradient_mutable(values: &[f32], a: usize, b: usize) -> Vec<f32> {
+    let (_, pb) = my_op_with_mutable_pullback(values, a, b);
+    let mut grad = vec![0.0f32; values.len()];
+    pb(1.0, &mut grad);
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn my_op_value() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(my_op(&v, 0, 3), 5.0);
+        assert_eq!(my_op(&v, 2, 2), 6.0);
+    }
+
+    #[test]
+    fn functional_pullback_materializes_zeros() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        let (val, pb) = subscript_with_functional_pullback(&v, 1);
+        assert_eq!(val, 2.0);
+        assert_eq!(pb(1.0), vec![0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(pb(2.5), vec![0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn mutable_pullback_accumulates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        let (val, pb) = subscript_with_mutable_pullback(&v, 1);
+        assert_eq!(val, 2.0);
+        let mut grad = vec![0.0; 4];
+        pb(1.0, &mut grad);
+        pb(0.5, &mut grad);
+        assert_eq!(grad, vec![0.0, 1.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn both_formulations_agree() {
+        let v: Vec<f32> = (0..50).map(|i| i as f32).collect();
+        for &(a, b) in &[(0, 49), (3, 3), (10, 20)] {
+            assert_eq!(gradient_functional(&v, a, b), gradient_mutable(&v, a, b));
+        }
+    }
+
+    #[test]
+    fn repeated_index_doubles_gradient() {
+        let v = [1.0, 2.0, 3.0];
+        let g = gradient_mutable(&v, 1, 1);
+        assert_eq!(g, vec![0.0, 2.0, 0.0]);
+        assert_eq!(gradient_functional(&v, 1, 1), g);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let v: Vec<f32> = vec![1.0, -2.0, 0.5, 3.0];
+        let (a, b) = (0, 2);
+        let g = gradient_mutable(&v, a, b);
+        let eps = 1e-3f32;
+        for i in 0..v.len() {
+            let mut vp = v.clone();
+            vp[i] += eps;
+            let mut vm = v.clone();
+            vm[i] -= eps;
+            let fd = (my_op(&vp, a, b) - my_op(&vm, a, b)) / (2.0 * eps);
+            assert!((fd - g[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn sum_arrays_helper() {
+        assert_eq!(sum_arrays(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+    }
+}

@@ -1,0 +1,376 @@
+//! Define-by-run, runtime-taped reverse-mode AD.
+//!
+//! The paper (§2.3) contrasts its AOT compile-time code transformation with
+//! AD systems that "trace the computation at runtime and differentiate the
+//! trace" (Autograd, JAX, PyTorch, TensorFlow eager). This module implements
+//! that alternative design so the benchmarks (experiment E9) can measure the
+//! per-call overhead the compile-time transformation avoids: a [`Tape`]
+//! records every scalar operation into a growable node list and
+//! [`Tape::gradients`] walks it backwards.
+//!
+//! ```
+//! use s4tf_core::tape::Tape;
+//!
+//! let tape = Tape::new();
+//! let x = tape.var(3.0);
+//! let y = (x * x + x.sin()).exp();
+//! let grads = tape.gradients(y);
+//! let expected = (9.0f64 + 3.0f64.sin()).exp() * (6.0 + 3.0f64.cos());
+//! assert!((grads.wrt(x) - expected).abs() < 1e-9);
+//! ```
+
+use std::cell::RefCell;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// One recorded operation: up to two parents with their local partials.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    parents: [usize; 2],
+    partials: [f64; 2],
+    n_parents: u8,
+}
+
+/// A gradient tape recording scalar operations for reverse-mode AD.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+    values: RefCell<Vec<f64>>,
+}
+
+/// A scalar variable recorded on a [`Tape`].
+///
+/// `Var` is `Copy`: it is an index into the tape plus a cached value.
+#[derive(Debug, Clone, Copy)]
+pub struct Var<'t> {
+    tape: &'t Tape,
+    index: usize,
+    value: f64,
+}
+
+/// The gradients of one output with respect to every tape variable.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    adjoints: Vec<f64>,
+}
+
+impl Gradients {
+    /// The gradient with respect to `v`.
+    pub fn wrt(&self, v: Var<'_>) -> f64 {
+        self.adjoints[v.index]
+    }
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of recorded nodes (inputs included) — the tape-growth metric
+    /// the overhead benchmarks report.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records an input variable.
+    pub fn var(&self, value: f64) -> Var<'_> {
+        let index = self.push(Node {
+            parents: [0, 0],
+            partials: [0.0, 0.0],
+            n_parents: 0,
+        });
+        self.values.borrow_mut().push(value);
+        Var {
+            tape: self,
+            index,
+            value,
+        }
+    }
+
+    fn push(&self, node: Node) -> usize {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(node);
+        nodes.len() - 1
+    }
+
+    fn record1(&self, value: f64, parent: usize, partial: f64) -> Var<'_> {
+        let index = self.push(Node {
+            parents: [parent, 0],
+            partials: [partial, 0.0],
+            n_parents: 1,
+        });
+        self.values.borrow_mut().push(value);
+        Var {
+            tape: self,
+            index,
+            value,
+        }
+    }
+
+    fn record2(&self, value: f64, parents: [usize; 2], partials: [f64; 2]) -> Var<'_> {
+        let index = self.push(Node {
+            parents,
+            partials,
+            n_parents: 2,
+        });
+        self.values.borrow_mut().push(value);
+        Var {
+            tape: self,
+            index,
+            value,
+        }
+    }
+
+    /// Reverse pass: gradients of `output` with respect to every variable.
+    pub fn gradients(&self, output: Var<'_>) -> Gradients {
+        let nodes = self.nodes.borrow();
+        let mut adjoints = vec![0.0; nodes.len()];
+        adjoints[output.index] = 1.0;
+        for i in (0..=output.index).rev() {
+            let adj = adjoints[i];
+            if adj == 0.0 {
+                continue;
+            }
+            let node = nodes[i];
+            for p in 0..node.n_parents as usize {
+                adjoints[node.parents[p]] += adj * node.partials[p];
+            }
+        }
+        Gradients { adjoints }
+    }
+}
+
+impl<'t> Var<'t> {
+    /// The recorded value.
+    pub fn value(self) -> f64 {
+        self.value
+    }
+
+    /// `sin(self)`.
+    pub fn sin(self) -> Var<'t> {
+        self.tape
+            .record1(self.value.sin(), self.index, self.value.cos())
+    }
+
+    /// `cos(self)`.
+    pub fn cos(self) -> Var<'t> {
+        self.tape
+            .record1(self.value.cos(), self.index, -self.value.sin())
+    }
+
+    /// `e^self`.
+    pub fn exp(self) -> Var<'t> {
+        let y = self.value.exp();
+        self.tape.record1(y, self.index, y)
+    }
+
+    /// Natural logarithm.
+    pub fn ln(self) -> Var<'t> {
+        self.tape.record1(self.value.ln(), self.index, 1.0 / self.value)
+    }
+
+    /// `tanh(self)`.
+    pub fn tanh(self) -> Var<'t> {
+        let y = self.value.tanh();
+        self.tape.record1(y, self.index, 1.0 - y * y)
+    }
+
+    /// `max(self, 0)`.
+    pub fn relu(self) -> Var<'t> {
+        let grad = if self.value > 0.0 { 1.0 } else { 0.0 };
+        self.tape.record1(self.value.max(0.0), self.index, grad)
+    }
+
+    /// `self²`.
+    pub fn square(self) -> Var<'t> {
+        self.tape
+            .record1(self.value * self.value, self.index, 2.0 * self.value)
+    }
+
+    /// `self^p` for constant `p`.
+    pub fn powf(self, p: f64) -> Var<'t> {
+        self.tape.record1(
+            self.value.powf(p),
+            self.index,
+            p * self.value.powf(p - 1.0),
+        )
+    }
+}
+
+impl<'t> Add for Var<'t> {
+    type Output = Var<'t>;
+    fn add(self, rhs: Var<'t>) -> Var<'t> {
+        self.tape.record2(
+            self.value + rhs.value,
+            [self.index, rhs.index],
+            [1.0, 1.0],
+        )
+    }
+}
+
+impl<'t> Sub for Var<'t> {
+    type Output = Var<'t>;
+    fn sub(self, rhs: Var<'t>) -> Var<'t> {
+        self.tape.record2(
+            self.value - rhs.value,
+            [self.index, rhs.index],
+            [1.0, -1.0],
+        )
+    }
+}
+
+impl<'t> Mul for Var<'t> {
+    type Output = Var<'t>;
+    fn mul(self, rhs: Var<'t>) -> Var<'t> {
+        self.tape.record2(
+            self.value * rhs.value,
+            [self.index, rhs.index],
+            [rhs.value, self.value],
+        )
+    }
+}
+
+impl<'t> Div for Var<'t> {
+    type Output = Var<'t>;
+    fn div(self, rhs: Var<'t>) -> Var<'t> {
+        self.tape.record2(
+            self.value / rhs.value,
+            [self.index, rhs.index],
+            [1.0 / rhs.value, -self.value / (rhs.value * rhs.value)],
+        )
+    }
+}
+
+impl<'t> Neg for Var<'t> {
+    type Output = Var<'t>;
+    fn neg(self) -> Var<'t> {
+        self.tape.record1(-self.value, self.index, -1.0)
+    }
+}
+
+impl<'t> Add<f64> for Var<'t> {
+    type Output = Var<'t>;
+    fn add(self, rhs: f64) -> Var<'t> {
+        self.tape.record1(self.value + rhs, self.index, 1.0)
+    }
+}
+
+impl<'t> Mul<f64> for Var<'t> {
+    type Output = Var<'t>;
+    fn mul(self, rhs: f64) -> Var<'t> {
+        self.tape.record1(self.value * rhs, self.index, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polynomial_gradient() {
+        let tape = Tape::new();
+        let x = tape.var(3.0);
+        // y = x³ - 2x
+        let y = x * x * x - x * 2.0;
+        assert_eq!(y.value(), 21.0);
+        let g = tape.gradients(y);
+        assert_eq!(g.wrt(x), 25.0); // 3x² - 2 = 25
+    }
+
+    #[test]
+    fn multivariate_gradient() {
+        let tape = Tape::new();
+        let x = tape.var(2.0);
+        let y = tape.var(5.0);
+        // f = x·y + sin(x)
+        let f = x * y + x.sin();
+        let g = tape.gradients(f);
+        assert!((g.wrt(x) - (5.0 + 2.0f64.cos())).abs() < 1e-12);
+        assert_eq!(g.wrt(y), 2.0);
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        let tape = Tape::new();
+        let x = tape.var(3.0);
+        // f = x·x uses x twice: gradient must accumulate to 2x.
+        let f = x * x;
+        assert_eq!(tape.gradients(f).wrt(x), 6.0);
+    }
+
+    #[test]
+    fn transcendental_chain() {
+        let tape = Tape::new();
+        let x = tape.var(0.5);
+        let f = (x.square() + x.sin()).exp();
+        let expected = (0.25f64 + 0.5f64.sin()).exp() * (1.0 + 0.5f64.cos());
+        assert!((tape.gradients(f).wrt(x) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn division_and_neg() {
+        let tape = Tape::new();
+        let x = tape.var(2.0);
+        let y = tape.var(4.0);
+        let f = -(x / y);
+        let g = tape.gradients(f);
+        assert_eq!(g.wrt(x), -0.25);
+        assert_eq!(g.wrt(y), 0.125);
+    }
+
+    #[test]
+    fn relu_and_ln_and_powf() {
+        let tape = Tape::new();
+        let x = tape.var(2.0);
+        let f = x.relu().ln() + x.powf(3.0);
+        let g = tape.gradients(f);
+        assert!((g.wrt(x) - (0.5 + 12.0)).abs() < 1e-12);
+
+        let neg = tape.var(-1.0);
+        let r = neg.relu();
+        assert_eq!(tape.gradients(r).wrt(neg), 0.0);
+    }
+
+    #[test]
+    fn control_flow_is_just_host_control_flow() {
+        // Define-by-run: the tape records whichever branch ran.
+        fn f(tape: &Tape, x0: f64) -> (Var<'_>, Var<'_>) {
+            let x = tape.var(x0);
+            let y = if x0 > 0.0 { x * x } else { x * 3.0 };
+            (x, y)
+        }
+        let tape = Tape::new();
+        let (x, y) = f(&tape, 2.0);
+        assert_eq!(tape.gradients(y).wrt(x), 4.0);
+        let tape = Tape::new();
+        let (x, y) = f(&tape, -2.0);
+        assert_eq!(tape.gradients(y).wrt(x), 3.0);
+    }
+
+    #[test]
+    fn tape_growth_is_linear_in_ops() {
+        let tape = Tape::new();
+        let x = tape.var(1.0);
+        let mut acc = x;
+        for _ in 0..100 {
+            acc = acc * x + 1.0;
+        }
+        // 1 input + 100 iterations × 2 ops
+        assert_eq!(tape.len(), 201);
+        assert!(!tape.is_empty());
+    }
+
+    #[test]
+    fn gradient_of_intermediate() {
+        let tape = Tape::new();
+        let x = tape.var(3.0);
+        let y = x * x; // dy/dx = 6
+        let _z = y * y; // not requested
+        assert_eq!(tape.gradients(y).wrt(x), 6.0);
+    }
+}

@@ -1,0 +1,325 @@
+//! The algebraic requirements on tangent vectors.
+//!
+//! The paper (Figure 1) requires `TangentVector: AdditiveArithmetic`. In
+//! practice optimizers additionally need scalar scaling, which Swift for
+//! TensorFlow expressed through `VectorProtocol`; we mirror both as
+//! [`AdditiveArithmetic`] and [`VectorSpace`].
+
+use s4tf_tensor::{Float, Tensor};
+use std::fmt::Debug;
+
+/// A commutative additive group: zero, addition, subtraction.
+///
+/// # Shape-polymorphic zero
+///
+/// For `Tensor`, [`AdditiveArithmetic::zero`] cannot know the shape of the
+/// value it will be combined with, so it is the *scalar* zero tensor, and
+/// [`AdditiveArithmetic::adding`] broadcasts. (Swift for TensorFlow made
+/// exactly this compromise: `Tensor.zero` is special-cased and combines with
+/// any shape.) Consequently `adding` is total on any pair where one side is
+/// a broadcastable identity, and panics on genuinely incompatible shapes.
+pub trait AdditiveArithmetic: Clone + Debug + PartialEq + 'static {
+    /// The additive identity.
+    fn zero() -> Self;
+    /// `self + rhs`.
+    fn adding(&self, rhs: &Self) -> Self;
+    /// `self - rhs`.
+    fn subtracting(&self, rhs: &Self) -> Self;
+    /// True if this value is the additive identity.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+}
+
+/// An [`AdditiveArithmetic`] type that also supports scaling by a real
+/// number — what optimizers need to form `-learning_rate * gradient`.
+pub trait VectorSpace: AdditiveArithmetic {
+    /// `factor * self`.
+    fn scaled_by(&self, factor: f64) -> Self;
+}
+
+/// Element-wise (Hadamard) arithmetic on tangent vectors, beyond the plain
+/// vector-space structure — what adaptive optimizers (Adam, RMSProp) need
+/// to keep per-coordinate statistics. Swift for TensorFlow exposed this via
+/// `KeyPathIterable` traversals; here it is a derived capability of tangent
+/// types (see `differentiable_struct!`).
+pub trait PointwiseMath: VectorSpace {
+    /// Element-wise product.
+    fn pointwise_mul(&self, rhs: &Self) -> Self;
+    /// Element-wise quotient.
+    fn pointwise_div(&self, rhs: &Self) -> Self;
+    /// Element-wise square root.
+    fn pointwise_sqrt(&self) -> Self;
+    /// Adds a scalar to every element.
+    fn adding_scalar(&self, v: f64) -> Self;
+}
+
+macro_rules! impl_scalar_pointwise {
+    ($t:ty) => {
+        impl PointwiseMath for $t {
+            fn pointwise_mul(&self, rhs: &Self) -> Self {
+                self * rhs
+            }
+            fn pointwise_div(&self, rhs: &Self) -> Self {
+                self / rhs
+            }
+            fn pointwise_sqrt(&self) -> Self {
+                self.sqrt()
+            }
+            fn adding_scalar(&self, v: f64) -> Self {
+                self + v as $t
+            }
+        }
+    };
+}
+
+impl_scalar_pointwise!(f32);
+impl_scalar_pointwise!(f64);
+
+impl<T: Float> PointwiseMath for Tensor<T> {
+    fn pointwise_mul(&self, rhs: &Self) -> Self {
+        self.mul(rhs)
+    }
+    fn pointwise_div(&self, rhs: &Self) -> Self {
+        self.div(rhs)
+    }
+    fn pointwise_sqrt(&self) -> Self {
+        self.sqrt()
+    }
+    fn adding_scalar(&self, v: f64) -> Self {
+        self.add_scalar(T::from_f64(v))
+    }
+}
+
+impl PointwiseMath for () {
+    fn pointwise_mul(&self, _: &Self) -> Self {}
+    fn pointwise_div(&self, _: &Self) -> Self {}
+    fn pointwise_sqrt(&self) -> Self {}
+    fn adding_scalar(&self, _: f64) -> Self {}
+}
+
+impl<A: PointwiseMath, B: PointwiseMath> PointwiseMath for (A, B) {
+    fn pointwise_mul(&self, rhs: &Self) -> Self {
+        (self.0.pointwise_mul(&rhs.0), self.1.pointwise_mul(&rhs.1))
+    }
+    fn pointwise_div(&self, rhs: &Self) -> Self {
+        (self.0.pointwise_div(&rhs.0), self.1.pointwise_div(&rhs.1))
+    }
+    fn pointwise_sqrt(&self) -> Self {
+        (self.0.pointwise_sqrt(), self.1.pointwise_sqrt())
+    }
+    fn adding_scalar(&self, v: f64) -> Self {
+        (self.0.adding_scalar(v), self.1.adding_scalar(v))
+    }
+}
+
+impl<A: PointwiseMath> PointwiseMath for Vec<A> {
+    fn pointwise_mul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.len(), rhs.len(), "Vec tangent length mismatch");
+        self.iter()
+            .zip(rhs)
+            .map(|(a, b)| a.pointwise_mul(b))
+            .collect()
+    }
+    fn pointwise_div(&self, rhs: &Self) -> Self {
+        assert_eq!(self.len(), rhs.len(), "Vec tangent length mismatch");
+        self.iter()
+            .zip(rhs)
+            .map(|(a, b)| a.pointwise_div(b))
+            .collect()
+    }
+    fn pointwise_sqrt(&self) -> Self {
+        self.iter().map(|a| a.pointwise_sqrt()).collect()
+    }
+    fn adding_scalar(&self, v: f64) -> Self {
+        self.iter().map(|a| a.adding_scalar(v)).collect()
+    }
+}
+
+/// A differentiable output type that can seed reverse-mode AD — i.e. a
+/// loss-like value with a canonical unit cotangent.
+///
+/// The paper's `gradient` operator (Figure 2) is restricted to functions
+/// returning `Float`; `LossValue` generalizes that to any scalar-like type
+/// (`f32`, `f64`, and scalar `Tensor`s).
+pub trait LossValue: crate::differentiable::Differentiable {
+    /// The cotangent `1` used to seed a pullback.
+    fn unit_tangent(&self) -> Self::TangentVector;
+    /// The value as an `f64` (for line searches and logging).
+    fn loss_value(&self) -> f64;
+}
+
+macro_rules! impl_scalar_vector_space {
+    ($t:ty) => {
+        impl AdditiveArithmetic for $t {
+            fn zero() -> Self {
+                0.0
+            }
+            fn adding(&self, rhs: &Self) -> Self {
+                self + rhs
+            }
+            fn subtracting(&self, rhs: &Self) -> Self {
+                self - rhs
+            }
+        }
+
+        impl VectorSpace for $t {
+            fn scaled_by(&self, factor: f64) -> Self {
+                (*self as f64 * factor) as $t
+            }
+        }
+    };
+}
+
+impl_scalar_vector_space!(f32);
+impl_scalar_vector_space!(f64);
+
+impl<T: Float> AdditiveArithmetic for Tensor<T> {
+    /// The scalar zero tensor (see the trait-level note on
+    /// shape-polymorphic zero).
+    fn zero() -> Self {
+        Tensor::scalar(T::zero())
+    }
+
+    fn adding(&self, rhs: &Self) -> Self {
+        self.add(rhs)
+    }
+
+    fn subtracting(&self, rhs: &Self) -> Self {
+        self.sub(rhs)
+    }
+
+    fn is_zero(&self) -> bool {
+        self.as_slice().iter().all(|&x| x == T::zero())
+    }
+}
+
+impl<T: Float> VectorSpace for Tensor<T> {
+    fn scaled_by(&self, factor: f64) -> Self {
+        self.mul_scalar(T::from_f64(factor))
+    }
+}
+
+impl AdditiveArithmetic for () {
+    fn zero() -> Self {}
+    fn adding(&self, _: &Self) -> Self {}
+    fn subtracting(&self, _: &Self) -> Self {}
+}
+
+impl VectorSpace for () {
+    fn scaled_by(&self, _: f64) -> Self {}
+}
+
+impl<A: AdditiveArithmetic, B: AdditiveArithmetic> AdditiveArithmetic for (A, B) {
+    fn zero() -> Self {
+        (A::zero(), B::zero())
+    }
+    fn adding(&self, rhs: &Self) -> Self {
+        (self.0.adding(&rhs.0), self.1.adding(&rhs.1))
+    }
+    fn subtracting(&self, rhs: &Self) -> Self {
+        (self.0.subtracting(&rhs.0), self.1.subtracting(&rhs.1))
+    }
+}
+
+impl<A: VectorSpace, B: VectorSpace> VectorSpace for (A, B) {
+    fn scaled_by(&self, factor: f64) -> Self {
+        (self.0.scaled_by(factor), self.1.scaled_by(factor))
+    }
+}
+
+/// Element-wise vector-space structure on `Vec`.
+///
+/// The empty vector acts as a broadcastable zero (mirroring the scalar-zero
+/// compromise for tensors): `[] + v = v`.
+impl<A: AdditiveArithmetic> AdditiveArithmetic for Vec<A> {
+    fn zero() -> Self {
+        Vec::new()
+    }
+    fn adding(&self, rhs: &Self) -> Self {
+        if self.is_empty() {
+            return rhs.clone();
+        }
+        if rhs.is_empty() {
+            return self.clone();
+        }
+        assert_eq!(self.len(), rhs.len(), "Vec tangent length mismatch");
+        self.iter().zip(rhs).map(|(a, b)| a.adding(b)).collect()
+    }
+    fn subtracting(&self, rhs: &Self) -> Self {
+        if rhs.is_empty() {
+            return self.clone();
+        }
+        if self.is_empty() {
+            return rhs.iter().map(|b| A::zero().subtracting(b)).collect();
+        }
+        assert_eq!(self.len(), rhs.len(), "Vec tangent length mismatch");
+        self.iter().zip(rhs).map(|(a, b)| a.subtracting(b)).collect()
+    }
+}
+
+impl<A: VectorSpace> VectorSpace for Vec<A> {
+    fn scaled_by(&self, factor: f64) -> Self {
+        self.iter().map(|a| a.scaled_by(factor)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_axioms() {
+        assert_eq!(f64::zero(), 0.0);
+        assert_eq!(2.0f64.adding(&3.0), 5.0);
+        assert_eq!(2.0f64.subtracting(&3.0), -1.0);
+        assert_eq!(2.0f32.scaled_by(1.5), 3.0);
+        assert!(0.0f64.is_zero());
+        assert!(!1.0f64.is_zero());
+    }
+
+    #[test]
+    fn tensor_zero_broadcasts() {
+        let z = <Tensor<f32> as AdditiveArithmetic>::zero();
+        let x = Tensor::from_vec(vec![1.0f32, 2.0], &[2]);
+        assert_eq!(z.adding(&x), x);
+        assert_eq!(x.adding(&z), x);
+        assert!(z.is_zero());
+        assert!(Tensor::<f32>::zeros(&[3]).is_zero());
+        assert!(!x.is_zero());
+    }
+
+    #[test]
+    fn tensor_vector_space() {
+        let x = Tensor::from_vec(vec![1.0f32, -2.0], &[2]);
+        assert_eq!(x.scaled_by(2.0).as_slice(), &[2.0, -4.0]);
+        assert_eq!(x.subtracting(&x).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn tuple_and_unit() {
+        let a = (1.0f64, 2.0f64);
+        let b = (10.0f64, 20.0f64);
+        assert_eq!(a.adding(&b), (11.0, 22.0));
+        assert_eq!(b.subtracting(&a), (9.0, 18.0));
+        assert_eq!(a.scaled_by(2.0), (2.0, 4.0));
+        assert_eq!(<((), ())>::zero(), ((), ()));
+    }
+
+    #[test]
+    fn vec_tangent_with_empty_zero() {
+        let z = Vec::<f64>::zero();
+        let v = vec![1.0, 2.0];
+        assert_eq!(z.adding(&v), v);
+        assert_eq!(v.adding(&z), v);
+        assert_eq!(v.adding(&v), vec![2.0, 4.0]);
+        assert_eq!(z.subtracting(&v), vec![-1.0, -2.0]);
+        assert_eq!(v.scaled_by(0.5), vec![0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn vec_tangent_length_mismatch() {
+        vec![1.0f64].adding(&vec![1.0, 2.0]);
+    }
+}

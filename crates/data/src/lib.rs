@@ -1,0 +1,18 @@
+//! # s4tf-data
+//!
+//! Deterministic synthetic datasets standing in for the paper's evaluation
+//! data (§5.1): ImageNet 2012, CIFAR-10, MNIST-style digits, and the
+//! proprietary on-device personalization data of Table 4. See DESIGN.md's
+//! substitution table: the generators produce class-conditional structure a
+//! model must genuinely *learn* (training dynamics exist), with shapes and
+//! cardinalities matching the originals (scaled to laptop budgets).
+//!
+//! All generation is seeded and reproducible.
+
+pub mod images;
+pub mod ratings;
+pub mod spline_data;
+
+pub use images::{Dataset, ImageSpec};
+pub use ratings::{RatingsDataset, RatingsSpec};
+pub use spline_data::{PersonalizationData, SplineDataSpec};

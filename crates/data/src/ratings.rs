@@ -1,0 +1,167 @@
+//! Synthetic user–item ratings for the recommender experiments
+//! (swift-models, which this repository's §5 mirrors, includes
+//! recommendation systems among its example domains).
+//!
+//! Ratings follow a latent-factor model: each user and item has a hidden
+//! factor vector; an observed rating is their inner product plus user/item
+//! biases and noise — so matrix factorization can genuinely recover
+//! structure, and a train/test split measures generalization.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of the synthetic ratings dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatingsSpec {
+    /// Number of users.
+    pub users: usize,
+    /// Number of items.
+    pub items: usize,
+    /// Hidden factor dimensionality of the generator.
+    pub latent_dim: usize,
+    /// Observed (user, item) pairs.
+    pub observations: usize,
+    /// Rating noise standard deviation.
+    pub noise: f32,
+}
+
+impl Default for RatingsSpec {
+    fn default() -> Self {
+        RatingsSpec {
+            users: 64,
+            items: 48,
+            latent_dim: 4,
+            observations: 2048,
+            noise: 0.05,
+        }
+    }
+}
+
+/// Observed ratings: parallel `(user, item, rating)` columns.
+#[derive(Debug, Clone, Default)]
+pub struct Ratings {
+    /// User ids.
+    pub users: Vec<usize>,
+    /// Item ids.
+    pub items: Vec<usize>,
+    /// Observed ratings.
+    pub ratings: Vec<f32>,
+}
+
+impl Ratings {
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.ratings.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.ratings.is_empty()
+    }
+}
+
+/// A train/test split of synthetic ratings.
+#[derive(Debug, Clone)]
+pub struct RatingsDataset {
+    /// Training observations.
+    pub train: Ratings,
+    /// Held-out observations.
+    pub test: Ratings,
+    /// The generating spec.
+    pub spec: RatingsSpec,
+}
+
+impl RatingsDataset {
+    /// Generates a dataset (deterministic per seed); ~1/8 of observations
+    /// are held out for testing.
+    pub fn generate(spec: RatingsSpec, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let gauss = |rng: &mut ChaCha8Rng| -> f32 {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+        };
+        let factors = |n: usize, rng: &mut ChaCha8Rng| -> Vec<Vec<f32>> {
+            (0..n)
+                .map(|_| (0..spec.latent_dim).map(|_| gauss(rng) * 0.6).collect())
+                .collect()
+        };
+        let u_factors = factors(spec.users, &mut rng);
+        let i_factors = factors(spec.items, &mut rng);
+        let u_bias: Vec<f32> = (0..spec.users).map(|_| gauss(&mut rng) * 0.2).collect();
+        let i_bias: Vec<f32> = (0..spec.items).map(|_| gauss(&mut rng) * 0.2).collect();
+
+        let mut train = Ratings::default();
+        let mut test = Ratings::default();
+        for k in 0..spec.observations {
+            let u = rng.gen_range(0..spec.users);
+            let i = rng.gen_range(0..spec.items);
+            let dot: f32 = u_factors[u]
+                .iter()
+                .zip(&i_factors[i])
+                .map(|(a, b)| a * b)
+                .sum();
+            let r = dot + u_bias[u] + i_bias[i] + spec.noise * gauss(&mut rng);
+            let split = if k % 8 == 7 { &mut test } else { &mut train };
+            split.users.push(u);
+            split.items.push(i);
+            split.ratings.push(r);
+        }
+        RatingsDataset { train, test, spec }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation_and_split() {
+        let a = RatingsDataset::generate(RatingsSpec::default(), 5);
+        let b = RatingsDataset::generate(RatingsSpec::default(), 5);
+        assert_eq!(a.train.ratings, b.train.ratings);
+        assert_eq!(a.test.users, b.test.users);
+        assert_eq!(a.train.len() + a.test.len(), 2048);
+        assert_eq!(a.test.len(), 2048 / 8);
+        assert!(!a.train.is_empty());
+    }
+
+    #[test]
+    fn ids_are_in_range_and_ratings_bounded() {
+        let d = RatingsDataset::generate(RatingsSpec::default(), 6);
+        assert!(d.train.users.iter().all(|&u| u < 64));
+        assert!(d.train.items.iter().all(|&i| i < 48));
+        // Latent dot products of 4 small factors stay in a sane range.
+        assert!(d.train.ratings.iter().all(|r| r.abs() < 6.0));
+    }
+
+    #[test]
+    fn ratings_have_latent_structure() {
+        // The same (user, item) pair rated twice (different noise draws)
+        // must correlate far better than two random ratings do — i.e. the
+        // signal is not noise-dominated.
+        let spec = RatingsSpec {
+            noise: 0.05,
+            ..RatingsSpec::default()
+        };
+        let d = RatingsDataset::generate(spec, 7);
+        use std::collections::HashMap;
+        let mut by_pair: HashMap<(usize, usize), Vec<f32>> = HashMap::new();
+        for k in 0..d.train.len() {
+            by_pair
+                .entry((d.train.users[k], d.train.items[k]))
+                .or_default()
+                .push(d.train.ratings[k]);
+        }
+        let mut diffs = Vec::new();
+        for v in by_pair.values() {
+            if v.len() >= 2 {
+                diffs.push((v[0] - v[1]).abs());
+            }
+        }
+        assert!(!diffs.is_empty(), "dense enough to have repeat pairs");
+        let mean_diff: f32 = diffs.iter().sum::<f32>() / diffs.len() as f32;
+        assert!(mean_diff < 0.2, "repeat ratings differ only by noise");
+    }
+}

@@ -1,0 +1,168 @@
+//! Synthetic personalization data for the spline experiments (Table 4).
+//!
+//! The paper fine-tunes "a proprietary personalization model using splines"
+//! on-device: a *global* model is trained on anonymized aggregated data,
+//! then *fine-tuned on a user's device using only local data*. We generate
+//! the equivalent: a smooth global response curve with observation noise,
+//! and per-device local data whose response is a warped/shifted version of
+//! the global curve — so fine-tuning has real signal to chase.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of the synthetic personalization task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplineDataSpec {
+    /// Global (server-side) sample count.
+    pub global_samples: usize,
+    /// Local (on-device) sample count.
+    pub local_samples: usize,
+    /// Observation noise standard deviation.
+    pub noise: f32,
+    /// Magnitude of the per-device distribution shift.
+    pub personalization_shift: f32,
+}
+
+impl Default for SplineDataSpec {
+    fn default() -> Self {
+        SplineDataSpec {
+            global_samples: 2048,
+            local_samples: 256,
+            noise: 0.02,
+            personalization_shift: 0.3,
+        }
+    }
+}
+
+/// `(x, y)` observation pairs, `x ∈ [0, 1]`.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    /// Inputs.
+    pub x: Vec<f32>,
+    /// Responses.
+    pub y: Vec<f32>,
+}
+
+impl Samples {
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// The global curve every device starts from.
+fn global_curve(x: f32) -> f32 {
+    0.4 * (2.0 * std::f32::consts::PI * x).sin() + 0.3 * x + 0.2
+}
+
+/// A device's personalized curve: the global curve warped and shifted.
+fn local_curve(x: f32, shift: f32, device_seed: u64) -> f32 {
+    let phase = (device_seed % 7) as f32 * 0.17;
+    global_curve((x + phase * 0.1).clamp(0.0, 1.0)) + shift * (1.5 * x - 0.4)
+}
+
+/// Global + per-device data for the personalization experiment.
+#[derive(Debug, Clone)]
+pub struct PersonalizationData {
+    /// Server-side aggregated training data.
+    pub global: Samples,
+    /// On-device local data (distribution-shifted).
+    pub local: Samples,
+    /// Held-out local data for convergence measurement.
+    pub local_holdout: Samples,
+}
+
+impl PersonalizationData {
+    /// Generates data for one simulated device.
+    pub fn generate(spec: SplineDataSpec, device_seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(device_seed);
+        let noise = |rng: &mut ChaCha8Rng| -> f32 {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+        };
+        let sample = |n: usize,
+                          f: &dyn Fn(f32) -> f32,
+                          rng: &mut ChaCha8Rng|
+         -> Samples {
+            let mut s = Samples::default();
+            for _ in 0..n {
+                let x: f32 = rng.gen_range(0.0..1.0);
+                let e = noise(rng);
+                s.x.push(x);
+                s.y.push(f(x) + spec.noise * e);
+            }
+            s
+        };
+        let shift = spec.personalization_shift;
+        let global = sample(spec.global_samples, &global_curve, &mut rng);
+        let local_f = move |x: f32| local_curve(x, shift, device_seed);
+        let local = sample(spec.local_samples, &local_f, &mut rng);
+        let local_holdout = sample(spec.local_samples / 4, &local_f, &mut rng);
+        PersonalizationData {
+            global,
+            local,
+            local_holdout,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let spec = SplineDataSpec::default();
+        let a = PersonalizationData::generate(spec, 1);
+        let b = PersonalizationData::generate(spec, 1);
+        assert_eq!(a.global.x, b.global.x);
+        assert_eq!(a.local.y, b.local.y);
+        assert_eq!(a.global.len(), 2048);
+        assert_eq!(a.local.len(), 256);
+        assert_eq!(a.local_holdout.len(), 64);
+        assert!(!a.global.is_empty());
+    }
+
+    #[test]
+    fn inputs_are_in_unit_interval() {
+        let d = PersonalizationData::generate(SplineDataSpec::default(), 2);
+        assert!(d.global.x.iter().all(|&x| (0.0..1.0).contains(&x)));
+        assert!(d.local.x.iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn local_distribution_differs_from_global() {
+        // The device's curve must genuinely differ from the global one,
+        // otherwise fine-tuning would be a no-op.
+        let d = PersonalizationData::generate(SplineDataSpec::default(), 3);
+        let global_mean: f32 = d.global.y.iter().sum::<f32>() / d.global.len() as f32;
+        let local_mean: f32 = d.local.y.iter().sum::<f32>() / d.local.len() as f32;
+        assert!((global_mean - local_mean).abs() > 0.01);
+    }
+
+    #[test]
+    fn devices_differ_from_each_other() {
+        let spec = SplineDataSpec::default();
+        let a = PersonalizationData::generate(spec, 10);
+        let b = PersonalizationData::generate(spec, 11);
+        assert_ne!(a.local.y, b.local.y);
+    }
+
+    #[test]
+    fn noise_is_small_relative_to_signal() {
+        let d = PersonalizationData::generate(SplineDataSpec::default(), 4);
+        // y range should span the curve's range (~[−0.3, 1.0]), not be
+        // noise-dominated.
+        let min = d.global.y.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = d.global.y.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert!(max - min > 0.5);
+        assert!(max - min < 2.0);
+    }
+}

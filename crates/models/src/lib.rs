@@ -1,0 +1,17 @@
+//! # s4tf-models
+//!
+//! The models the paper evaluates (§5): LeNet-5 exactly as Figure 6, a
+//! configurable ResNet family (§3.5's dynamic-configuration argument,
+//! Tables 1–3), and the spline personalization model trained with
+//! backtracking line search (Table 4) in four implementation strategies
+//! mirroring the four platforms of Table 4.
+
+pub mod lenet;
+pub mod recommender;
+pub mod resnet;
+pub mod spline;
+
+pub use lenet::{LeNet, LeNetTangent};
+pub use recommender::{MatrixFactorizer, MatrixFactorizerTangent};
+pub use resnet::{ResNet, ResNetConfig};
+pub use spline::{BacktrackingLineSearch, SplineModel};

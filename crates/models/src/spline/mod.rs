@@ -1,0 +1,273 @@
+//! The spline personalization model (paper §5.1.3, Table 4).
+//!
+//! "Learning parameters through iterated optimization has applications
+//! beyond deep learning, such as learning knots in a polynomial spline.
+//! [...] Optimization algorithms such as backtracking line search use
+//! derivatives to determine the step direction."
+//!
+//! [`SplineModel`] is a degree-1 polynomial spline (piecewise-linear) over
+//! uniformly spaced knots on `[0, 1]` whose control points are learned by
+//! gradient descent with Armijo backtracking line search. Its gradient is
+//! the paper's §4.3 poster child: each sample reads *two* control points
+//! (a "big-to-small" indexing operation), so the functional pullback is
+//! O(k) per sample while the mutable-value-semantics (`inout`) pullback —
+//! used here — accumulates into a caller-owned gradient buffer in O(1).
+//!
+//! [`strategies`] holds the four implementation strategies compared in
+//! Table 4.
+
+pub mod strategies;
+
+/// A piecewise-linear spline with learnable control points over uniform
+/// knots on `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplineModel {
+    /// Control-point values at the knots.
+    pub control_points: Vec<f32>,
+}
+
+impl SplineModel {
+    /// A flat spline with `knots` control points.
+    ///
+    /// # Panics
+    /// Panics if `knots < 2`.
+    pub fn new(knots: usize) -> Self {
+        assert!(knots >= 2, "a spline needs at least two knots");
+        SplineModel {
+            control_points: vec![0.0; knots],
+        }
+    }
+
+    /// Number of knots.
+    pub fn knots(&self) -> usize {
+        self.control_points.len()
+    }
+
+    /// The segment index and interpolation weight for an input.
+    #[inline]
+    pub fn locate(&self, x: f32) -> (usize, f32) {
+        let k = self.control_points.len();
+        let pos = x.clamp(0.0, 1.0) * (k - 1) as f32;
+        let i = (pos as usize).min(k - 2);
+        (i, pos - i as f32)
+    }
+
+    /// Evaluates the spline at `x`.
+    #[inline]
+    pub fn predict(&self, x: f32) -> f32 {
+        let (i, t) = self.locate(x);
+        (1.0 - t) * self.control_points[i] + t * self.control_points[i + 1]
+    }
+
+    /// Mean-squared error over a dataset.
+    pub fn loss(&self, xs: &[f32], ys: &[f32]) -> f64 {
+        debug_assert_eq!(xs.len(), ys.len());
+        let mut acc = 0.0f64;
+        for (&x, &y) in xs.iter().zip(ys) {
+            let r = (self.predict(x) - y) as f64;
+            acc += r * r;
+        }
+        acc / xs.len().max(1) as f64
+    }
+
+    /// Accumulates `∂loss/∂control_points` into `grad` using the
+    /// mutable-value-semantics pullback (paper Appendix B): O(1) per
+    /// sample, no zero-array materialization.
+    ///
+    /// # Panics
+    /// Panics if `grad.len() != knots()`.
+    pub fn accumulate_gradient(&self, xs: &[f32], ys: &[f32], grad: &mut [f32]) {
+        assert_eq!(grad.len(), self.knots(), "gradient buffer size mismatch");
+        let n = xs.len().max(1) as f32;
+        for (&x, &y) in xs.iter().zip(ys) {
+            let (i, t) = self.locate(x);
+            let pred = (1.0 - t) * self.control_points[i] + t * self.control_points[i + 1];
+            let dpred = 2.0 * (pred - y) / n;
+            // inout formulation: dValues[index] += dx — constant time.
+            grad[i] += dpred * (1.0 - t);
+            grad[i + 1] += dpred * t;
+        }
+    }
+}
+
+/// Armijo backtracking line search over a gradient direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BacktrackingLineSearch {
+    /// Initial trial step.
+    pub initial_step: f64,
+    /// Sufficient-decrease constant (Armijo c₁).
+    pub sufficient_decrease: f64,
+    /// Step shrink factor per backtrack.
+    pub shrink: f64,
+    /// Maximum backtracks per iteration.
+    pub max_backtracks: usize,
+}
+
+impl Default for BacktrackingLineSearch {
+    fn default() -> Self {
+        BacktrackingLineSearch {
+            initial_step: 1.0,
+            sufficient_decrease: 1e-4,
+            shrink: 0.5,
+            max_backtracks: 30,
+        }
+    }
+}
+
+impl BacktrackingLineSearch {
+    /// Finds a step size satisfying the Armijo condition for descent
+    /// direction `-grad`, evaluating `loss_at(candidate_points)`.
+    ///
+    /// Returns `(step, evaluations)`.
+    pub fn search(
+        &self,
+        points: &[f32],
+        grad: &[f32],
+        current_loss: f64,
+        mut loss_at: impl FnMut(&[f32]) -> f64,
+    ) -> (f64, usize) {
+        let grad_sq: f64 = grad.iter().map(|&g| (g as f64) * (g as f64)).sum();
+        let mut step = self.initial_step;
+        let mut evals = 0;
+        let mut candidate = points.to_vec();
+        for _ in 0..self.max_backtracks {
+            for ((c, &p), &g) in candidate.iter_mut().zip(points).zip(grad) {
+                *c = p - step as f32 * g;
+            }
+            evals += 1;
+            let trial = loss_at(&candidate);
+            if trial <= current_loss - self.sufficient_decrease * step * grad_sq {
+                return (step, evals);
+            }
+            step *= self.shrink;
+        }
+        (step, evals)
+    }
+}
+
+/// Outcome of training a spline to convergence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainOutcome {
+    /// The fitted control points.
+    pub control_points: Vec<f32>,
+    /// Final training loss.
+    pub final_loss: f64,
+    /// Gradient-descent iterations used.
+    pub iterations: usize,
+    /// Total loss evaluations (line-search probes included).
+    pub loss_evaluations: usize,
+}
+
+/// Convergence criteria shared by all Table-4 strategies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceCriteria {
+    /// Stop when the relative loss improvement drops below this.
+    pub relative_tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for ConvergenceCriteria {
+    fn default() -> Self {
+        ConvergenceCriteria {
+            relative_tolerance: 1e-6,
+            max_iterations: 500,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predict_interpolates_linearly() {
+        let mut m = SplineModel::new(3); // knots at 0, 0.5, 1
+        m.control_points = vec![0.0, 1.0, 0.0];
+        assert_eq!(m.predict(0.0), 0.0);
+        assert_eq!(m.predict(0.5), 1.0);
+        assert_eq!(m.predict(1.0), 0.0);
+        assert!((m.predict(0.25) - 0.5).abs() < 1e-6);
+        assert!((m.predict(0.75) - 0.5).abs() < 1e-6);
+        // Out-of-range inputs clamp.
+        assert_eq!(m.predict(-1.0), 0.0);
+        assert_eq!(m.predict(2.0), 0.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut m = SplineModel::new(5);
+        m.control_points = vec![0.1, -0.2, 0.4, 0.0, 0.3];
+        let xs: Vec<f32> = (0..40).map(|i| i as f32 / 39.0).collect();
+        let ys: Vec<f32> = xs.iter().map(|&x| (x * 3.0).sin()).collect();
+        let mut grad = vec![0.0; 5];
+        m.accumulate_gradient(&xs, &ys, &mut grad);
+        let eps = 1e-3;
+        for i in 0..5 {
+            let mut mp = m.clone();
+            mp.control_points[i] += eps;
+            let mut mm = m.clone();
+            mm.control_points[i] -= eps;
+            let fd = (mp.loss(&xs, &ys) - mm.loss(&xs, &ys)) / (2.0 * eps as f64);
+            assert!(
+                (fd - grad[i] as f64).abs() < 1e-4,
+                "knot {i}: fd={fd} ad={}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn line_search_satisfies_armijo() {
+        let mut m = SplineModel::new(4);
+        m.control_points = vec![1.0, 1.0, 1.0, 1.0];
+        let xs: Vec<f32> = (0..20).map(|i| i as f32 / 19.0).collect();
+        let ys = vec![0.0; 20];
+        let loss0 = m.loss(&xs, &ys);
+        let mut grad = vec![0.0; 4];
+        m.accumulate_gradient(&xs, &ys, &mut grad);
+        let ls = BacktrackingLineSearch::default();
+        let (step, evals) = ls.search(&m.control_points, &grad, loss0, |c| {
+            let mut probe = m.clone();
+            probe.control_points = c.to_vec();
+            probe.loss(&xs, &ys)
+        });
+        assert!(step > 0.0);
+        assert!(evals >= 1);
+        let mut stepped = m.clone();
+        for (c, &g) in stepped.control_points.iter_mut().zip(&grad) {
+            *c -= step as f32 * g;
+        }
+        assert!(stepped.loss(&xs, &ys) < loss0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two knots")]
+    fn degenerate_spline_panics() {
+        SplineModel::new(1);
+    }
+
+    #[test]
+    fn gradient_buffer_reuse_is_exact() {
+        // The inout pullback composes by accumulation: two half-batches
+        // accumulated into one buffer equal one full batch.
+        let mut m = SplineModel::new(6);
+        m.control_points = vec![0.5; 6];
+        let xs: Vec<f32> = (0..30).map(|i| i as f32 / 29.0).collect();
+        let ys: Vec<f32> = xs.iter().map(|&x| x * x).collect();
+        let mut full = vec![0.0; 6];
+        m.accumulate_gradient(&xs, &ys, &mut full);
+        let mut halves = vec![0.0; 6];
+        // Mean normalization differs per call; compensate by scaling.
+        let mut a = vec![0.0; 6];
+        m.accumulate_gradient(&xs[..15], &ys[..15], &mut a);
+        let mut b = vec![0.0; 6];
+        m.accumulate_gradient(&xs[15..], &ys[15..], &mut b);
+        for i in 0..6 {
+            halves[i] = 0.5 * (a[i] + b[i]);
+        }
+        for i in 0..6 {
+            assert!((full[i] - halves[i]).abs() < 1e-6);
+        }
+    }
+}

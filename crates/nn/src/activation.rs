@@ -1,0 +1,133 @@
+//! Activation functions, with their VJPs.
+
+use s4tf_runtime::DTensor;
+
+/// An element-wise activation function, applied by layers after their
+/// affine transformation (the `activation:` argument in paper Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// No activation.
+    #[default]
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation.
+    pub fn apply(&self, x: &DTensor) -> DTensor {
+        match self {
+            Activation::Identity => x.clone(),
+            Activation::Relu => x.relu(),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => x.sigmoid(),
+        }
+    }
+
+    /// Applies the activation, returning the value and its pullback.
+    pub fn vjp(&self, x: &DTensor) -> (DTensor, Box<dyn Fn(&DTensor) -> DTensor + Send>) {
+        match self {
+            Activation::Identity => (x.clone(), Box::new(|dy: &DTensor| dy.clone())),
+            Activation::Relu => {
+                let mask = x.greater_mask(&x.scalar_like(0.0));
+                (x.relu(), Box::new(move |dy: &DTensor| dy.mul(&mask)))
+            }
+            Activation::Tanh => {
+                let y = x.tanh();
+                let yc = y.clone();
+                (
+                    y,
+                    Box::new(move |dy: &DTensor| {
+                        let one_minus = yc.square().neg().add_scalar(1.0);
+                        dy.mul(&one_minus)
+                    }),
+                )
+            }
+            Activation::Sigmoid => {
+                let y = x.sigmoid();
+                let yc = y.clone();
+                (
+                    y,
+                    Box::new(move |dy: &DTensor| {
+                        let deriv = yc.mul(&yc.neg().add_scalar(1.0));
+                        dy.mul(&deriv)
+                    }),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s4tf_runtime::Device;
+    use s4tf_tensor::Tensor;
+
+    fn x() -> DTensor {
+        DTensor::from_tensor(
+            Tensor::from_vec(vec![-1.5, -0.1, 0.3, 0.7, 2.0], &[5]),
+            &Device::naive(),
+        )
+    }
+
+    #[test]
+    fn forward_values() {
+        let x = x();
+        assert_eq!(Activation::Identity.apply(&x), x);
+        assert_eq!(
+            Activation::Relu.apply(&x).to_tensor().as_slice(),
+            &[0.0, 0.0, 0.3, 0.7, 2.0]
+        );
+        let t = Activation::Tanh.apply(&x).to_tensor();
+        assert!((t.as_slice()[4] - 2.0f32.tanh()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vjps_match_finite_differences() {
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ] {
+            let x = x();
+            let (_, pb) = act.vjp(&x);
+            let g = pb(&x.ones_like()).to_tensor();
+            let eps = 1e-3;
+            let base = x.to_tensor();
+            for i in 0..base.num_elements() {
+                let mut xp = base.clone();
+                xp.as_mut_slice()[i] += eps;
+                let mut xm = base.clone();
+                xm.as_mut_slice()[i] -= eps;
+                let d = Device::naive();
+                let fp = act
+                    .apply(&DTensor::from_tensor(xp, &d))
+                    .sum()
+                    .to_tensor()
+                    .scalar_value();
+                let fm = act
+                    .apply(&DTensor::from_tensor(xm, &d))
+                    .sum()
+                    .to_tensor()
+                    .scalar_value();
+                let fd = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (fd - g.as_slice()[i]).abs() < 1e-2,
+                    "{act:?}[{i}]: fd={fd} vjp={}",
+                    g.as_slice()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_identity() {
+        assert_eq!(Activation::default(), Activation::Identity);
+    }
+}

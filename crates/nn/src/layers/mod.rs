@@ -1,0 +1,21 @@
+//! The standard layer suite (paper Figure 6 uses `Conv2D`, `AvgPool2D`,
+//! `Flatten` and `Dense`; the ResNet models add `BatchNorm`, `MaxPool2D`
+//! and `Dropout`).
+
+mod batchnorm;
+mod chain;
+mod conv;
+mod dense;
+mod dropout;
+mod embedding;
+mod flatten;
+mod pool;
+
+pub use batchnorm::{BatchNorm, BatchNormTangent};
+pub use chain::Chain;
+pub use conv::{Conv2D, Conv2DTangent};
+pub use dense::{Dense, DenseTangent};
+pub use dropout::Dropout;
+pub use embedding::{Embedding, EmbeddingTangent};
+pub use flatten::Flatten;
+pub use pool::{AvgPool2D, MaxPool2D};

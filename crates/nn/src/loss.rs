@@ -1,0 +1,138 @@
+//! Loss functions with explicit VJPs.
+
+use s4tf_runtime::DTensor;
+
+/// A loss pullback: maps the loss cotangent (a scalar seed) to the
+/// prediction cotangent.
+pub type LossPullback = Box<dyn Fn(&DTensor) -> DTensor + Send>;
+
+/// Softmax cross-entropy with one-hot labels, mean-reduced over the batch:
+/// `L = −(1/B) Σᵢ Σ_c labels[i,c] · log_softmax(logits)[i,c]`.
+///
+/// Returns the scalar loss and the pullback with respect to the logits
+/// (labels are constants). The gradient is the classic
+/// `(softmax(logits) − labels) / B`.
+///
+/// # Panics
+/// Panics unless `logits` and `labels` are rank 2 with identical dims.
+pub fn softmax_cross_entropy(logits: &DTensor, labels: &DTensor) -> (DTensor, LossPullback) {
+    assert_eq!(logits.dims().len(), 2, "logits must be [batch, classes]");
+    assert_eq!(logits.dims(), labels.dims(), "labels shape mismatch");
+    let batch = logits.dims()[0] as f32;
+    let log_probs = logits.log_softmax();
+    let loss = labels.mul(&log_probs).sum().neg().div_scalar(batch);
+    let grad = logits.softmax().sub(labels).div_scalar(batch);
+    (
+        loss,
+        Box::new(move |seed: &DTensor| grad.mul(seed)),
+    )
+}
+
+/// Mean-squared error, mean-reduced over all elements:
+/// `L = mean((pred − target)²)`.
+///
+/// Returns the scalar loss and the pullback with respect to `pred`.
+///
+/// # Panics
+/// Panics if the dims differ.
+pub fn mse(pred: &DTensor, target: &DTensor) -> (DTensor, LossPullback) {
+    assert_eq!(pred.dims(), target.dims(), "mse shape mismatch");
+    let n = pred.num_elements() as f32;
+    let diff = pred.sub(target);
+    let loss = diff.square().mean();
+    let grad = diff.mul_scalar(2.0 / n);
+    (
+        loss,
+        Box::new(move |seed: &DTensor| grad.mul(seed)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use s4tf_runtime::Device;
+    use s4tf_tensor::Tensor;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let d = Device::naive();
+        // Extremely confident, correct logits.
+        let logits = DTensor::from_tensor(
+            Tensor::from_vec(vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0], &[2, 3]),
+            &d,
+        );
+        let labels = DTensor::from_tensor(Tensor::one_hot(&[0, 1], 3), &d);
+        let (loss, _) = softmax_cross_entropy(&logits, &labels);
+        assert!(loss.to_tensor().scalar_value() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_logits_is_ln_classes() {
+        let d = Device::naive();
+        let logits = DTensor::from_tensor(Tensor::zeros(&[4, 10]), &d);
+        let labels = DTensor::from_tensor(Tensor::one_hot(&[0, 3, 5, 9], 10), &d);
+        let (loss, _) = softmax_cross_entropy(&logits, &labels);
+        assert!((loss.to_tensor().scalar_value() - 10f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let d = Device::naive();
+        let base = Tensor::<f32>::randn(&[3, 4], &mut rng);
+        let labels = DTensor::from_tensor(Tensor::one_hot(&[1, 0, 3], 4), &d);
+        let logits = DTensor::from_tensor(base.clone(), &d);
+        let (_, pb) = softmax_cross_entropy(&logits, &labels);
+        let g = pb(&logits.scalar_like(1.0)).to_tensor();
+        let eps = 1e-3;
+        for i in 0..12 {
+            let mut lp = base.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = base.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let fp = softmax_cross_entropy(&DTensor::from_tensor(lp, &d), &labels)
+                .0
+                .to_tensor()
+                .scalar_value();
+            let fm = softmax_cross_entropy(&DTensor::from_tensor(lm, &d), &labels)
+                .0
+                .to_tensor()
+                .scalar_value();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - g.as_slice()[i]).abs() < 1e-3, "dlogits[{i}]");
+        }
+    }
+
+    #[test]
+    fn mse_values_and_gradient() {
+        let d = Device::naive();
+        let pred = DTensor::from_tensor(Tensor::from_vec(vec![1.0, 2.0], &[2]), &d);
+        let target = DTensor::from_tensor(Tensor::from_vec(vec![0.0, 4.0], &[2]), &d);
+        let (loss, pb) = mse(&pred, &target);
+        assert!((loss.to_tensor().scalar_value() - 2.5).abs() < 1e-6);
+        let g = pb(&pred.scalar_like(1.0)).to_tensor();
+        // d/dpred mean((p-t)²) = 2(p-t)/n
+        assert_eq!(g.as_slice(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn losses_agree_across_devices() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let logits_t = Tensor::<f32>::randn(&[4, 5], &mut rng);
+        let labels_t: Tensor<f32> = Tensor::one_hot(&[0, 1, 2, 3], 5);
+        let mut values = Vec::new();
+        for d in [Device::naive(), Device::eager(), Device::lazy()] {
+            let logits = DTensor::from_tensor(logits_t.clone(), &d);
+            let labels = DTensor::from_tensor(labels_t.clone(), &d);
+            let (loss, pb) = softmax_cross_entropy(&logits, &labels);
+            let g = pb(&loss.ones_like());
+            values.push((loss.to_tensor().scalar_value(), g.to_tensor()));
+        }
+        for (l, g) in &values[1..] {
+            assert!((l - values[0].0).abs() < 1e-6);
+            assert!(g.allclose(&values[0].1, 1e-6));
+        }
+    }
+}

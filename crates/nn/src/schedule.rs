@@ -1,0 +1,159 @@
+//! Learning-rate schedules.
+//!
+//! The paper's Table 1 notes its ResNet-50 run reached higher accuracy via
+//! "algorithmic tweaks inspired by fastai" — chiefly one-cycle learning-
+//! rate scheduling. Schedules here are plain value types producing a rate
+//! per step; optimizers expose `learning_rate` as a public field, so
+//! applying a schedule is one assignment per step.
+
+/// A learning-rate schedule: a pure function of the step index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Schedule {
+    /// A fixed rate.
+    Constant(f64),
+    /// Multiplies the base rate by `factor` every `every` steps.
+    StepDecay {
+        /// Initial rate.
+        base: f64,
+        /// Multiplier applied at each boundary.
+        factor: f64,
+        /// Steps between boundaries.
+        every: usize,
+    },
+    /// Cosine annealing from `base` to `floor` over `total` steps.
+    CosineAnnealing {
+        /// Initial rate.
+        base: f64,
+        /// Final rate.
+        floor: f64,
+        /// Steps to anneal over.
+        total: usize,
+    },
+    /// fastai-style one-cycle: linear warmup to `peak` over the first
+    /// `warmup` steps, then cosine decay to `floor` over the remainder.
+    OneCycle {
+        /// Peak rate reached at the end of warmup.
+        peak: f64,
+        /// Final rate.
+        floor: f64,
+        /// Warmup steps.
+        warmup: usize,
+        /// Total steps in the cycle.
+        total: usize,
+    },
+}
+
+impl Schedule {
+    /// The learning rate at `step` (0-indexed).
+    pub fn lr(&self, step: usize) -> f64 {
+        match *self {
+            Schedule::Constant(base) => base,
+            Schedule::StepDecay {
+                base,
+                factor,
+                every,
+            } => base * factor.powi((step / every.max(1)) as i32),
+            Schedule::CosineAnnealing { base, floor, total } => {
+                let t = (step.min(total) as f64) / total.max(1) as f64;
+                floor + 0.5 * (base - floor) * (1.0 + (std::f64::consts::PI * t).cos())
+            }
+            Schedule::OneCycle {
+                peak,
+                floor,
+                warmup,
+                total,
+            } => {
+                if step < warmup {
+                    peak * (step as f64 + 1.0) / warmup.max(1) as f64
+                } else {
+                    let span = total.saturating_sub(warmup).max(1) as f64;
+                    let t = ((step - warmup).min(total - warmup) as f64) / span;
+                    floor + 0.5 * (peak - floor) * (1.0 + (std::f64::consts::PI * t).cos())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant() {
+        let s = Schedule::Constant(0.1);
+        assert_eq!(s.lr(0), 0.1);
+        assert_eq!(s.lr(10_000), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves_at_boundaries() {
+        let s = Schedule::StepDecay {
+            base: 0.8,
+            factor: 0.5,
+            every: 10,
+        };
+        assert_eq!(s.lr(0), 0.8);
+        assert_eq!(s.lr(9), 0.8);
+        assert_eq!(s.lr(10), 0.4);
+        assert_eq!(s.lr(25), 0.2);
+    }
+
+    #[test]
+    fn cosine_annealing_endpoints_and_monotonicity() {
+        let s = Schedule::CosineAnnealing {
+            base: 1.0,
+            floor: 0.1,
+            total: 100,
+        };
+        assert!((s.lr(0) - 1.0).abs() < 1e-12);
+        assert!((s.lr(100) - 0.1).abs() < 1e-12);
+        assert_eq!(s.lr(1000), s.lr(100), "clamps past the horizon");
+        for step in 1..=100 {
+            assert!(s.lr(step) <= s.lr(step - 1) + 1e-12, "monotone decay");
+        }
+        assert!((s.lr(50) - 0.55).abs() < 1e-12, "midpoint is the mean");
+    }
+
+    #[test]
+    fn one_cycle_warms_up_then_decays() {
+        let s = Schedule::OneCycle {
+            peak: 0.4,
+            floor: 0.004,
+            warmup: 10,
+            total: 110,
+        };
+        // Warmup is linear and increasing.
+        for step in 1..10 {
+            assert!(s.lr(step) > s.lr(step - 1));
+        }
+        assert!((s.lr(9) - 0.4).abs() < 1e-12, "peak at end of warmup");
+        // Decay phase is decreasing to the floor.
+        for step in 11..=110 {
+            assert!(s.lr(step) <= s.lr(step - 1) + 1e-12);
+        }
+        assert!((s.lr(110) - 0.004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_drives_an_optimizer() {
+        use crate::optimizer::{Optimizer, Sgd};
+        // Minimize (x−3)² with one-cycle scheduling; the schedule mutates
+        // the optimizer's public learning_rate per step (§4.2's "no
+        // wrappers" philosophy: the optimizer is a plain mutable value).
+        let s = Schedule::OneCycle {
+            peak: 0.3,
+            floor: 0.001,
+            warmup: 5,
+            total: 60,
+        };
+        let mut x = 0.0f64;
+        let mut opt = Sgd::<f64>::new(0.0);
+        for step in 0..60 {
+            opt.learning_rate = s.lr(step);
+            let g = 2.0 * (x - 3.0);
+            opt.update(&mut x, &g);
+        }
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+}

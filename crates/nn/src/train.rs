@@ -1,0 +1,311 @@
+//! The training loop (paper Figure 7), with the automatic
+//! `LazyTensorBarrier()` after the optimizer update (paper §3.4: "a
+//! training-loop library can automatically call `LazyTensorBarrier()` after
+//! the optimizer update step on behalf of the user").
+
+use crate::layer::Layer;
+use crate::loss::softmax_cross_entropy;
+use crate::optimizer::Optimizer;
+use s4tf_core::{AdditiveArithmetic, LossValue, VectorSpace};
+use s4tf_runtime::DTensor;
+
+/// One classifier training step (paper Figure 7, one loop body):
+/// forward → softmax cross-entropy → pullback → in-place optimizer update →
+/// barrier. Returns the minibatch loss.
+///
+/// The gradients are a first-class `Model::TangentVector` value (paper
+/// §4.2: "both the model and its gradient are first class values").
+pub fn train_classifier_step<L, O>(
+    model: &mut L,
+    optimizer: &mut O,
+    images: &DTensor,
+    labels: &DTensor,
+) -> f64
+where
+    L: Layer,
+    O: Optimizer<L>,
+{
+    let device = images.device();
+    let (logits, pullback) = model.forward_with_pullback(images);
+    let (loss, loss_pullback) = softmax_cross_entropy(&logits, labels);
+    let dlogits = loss_pullback(&loss.scalar_like(1.0));
+    let (gradients, _dinput) = pullback(&dlogits);
+    optimizer.update(model, &gradients);
+    // The automatic barrier: cut (and on the lazy device, compile+run) the
+    // step's trace, materializing loss and updated parameters.
+    device.barrier();
+    loss.loss_value()
+}
+
+/// Like [`train_classifier_step`] but without reading the loss back — for
+/// throughput measurements where a host read per step would serialize the
+/// eager pipeline beyond what the experiment intends.
+pub fn train_classifier_step_no_metrics<L, O>(
+    model: &mut L,
+    optimizer: &mut O,
+    images: &DTensor,
+    labels: &DTensor,
+) where
+    L: Layer,
+    O: Optimizer<L>,
+{
+    let device = images.device();
+    let (logits, pullback) = model.forward_with_pullback(images);
+    let (loss, loss_pullback) = softmax_cross_entropy(&logits, labels);
+    let dlogits = loss_pullback(&loss.scalar_like(1.0));
+    let (gradients, _dinput) = pullback(&dlogits);
+    optimizer.update(model, &gradients);
+    device.barrier();
+}
+
+/// One *synchronous data-parallel* classifier step across worker threads —
+/// the training regime of the paper's Table 1 ("hosts synchronously
+/// training a single model in data-parallel fashion"), with real threads
+/// standing in for accelerator cores.
+///
+/// Each shard computes its gradient against the same model replica in
+/// parallel; the gradients are all-reduced (averaged — gradients are
+/// first-class `TangentVector` values, §4.2, so the reduction is ordinary
+/// value arithmetic) and applied once. With equal shard sizes this is
+/// *mathematically identical* to one large-batch step, which the tests
+/// assert.
+///
+/// Returns the mean of the shard losses.
+///
+/// # Panics
+/// Panics if `shards` is empty.
+pub fn data_parallel_classifier_step<L, O>(
+    model: &mut L,
+    optimizer: &mut O,
+    shards: &[(DTensor, DTensor)],
+) -> f64
+where
+    L: Layer + Sync,
+    L::TangentVector: Send,
+    O: Optimizer<L>,
+{
+    assert!(!shards.is_empty(), "data-parallel step needs ≥1 shard");
+    let results: Vec<(f64, L::TangentVector)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|(images, labels)| {
+                let model_ref = &*model;
+                scope.spawn(move || {
+                    let (logits, pullback) = model_ref.forward_with_pullback(images);
+                    let (loss, loss_pullback) = softmax_cross_entropy(&logits, labels);
+                    let dlogits = loss_pullback(&loss.scalar_like(1.0));
+                    let (gradients, _) = pullback(&dlogits);
+                    (loss.loss_value(), gradients)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    // All-reduce: average the shard gradients.
+    let n = results.len();
+    let mut losses = 0.0;
+    let mut summed: Option<L::TangentVector> = None;
+    for (loss, grad) in results {
+        losses += loss;
+        summed = Some(match summed.take() {
+            None => grad,
+            Some(acc) => acc.adding(&grad),
+        });
+    }
+    let mean_grad = summed.expect("non-empty shards").scaled_by(1.0 / n as f64);
+    optimizer.update(model, &mean_grad);
+    shards[0].0.device().barrier();
+    losses / n as f64
+}
+
+/// One regression training step with mean-squared error.
+pub fn train_regressor_step<L, O>(
+    model: &mut L,
+    optimizer: &mut O,
+    inputs: &DTensor,
+    targets: &DTensor,
+) -> f64
+where
+    L: Layer,
+    O: Optimizer<L>,
+{
+    let device = inputs.device();
+    let (pred, pullback) = model.forward_with_pullback(inputs);
+    let (loss, loss_pullback) = crate::loss::mse(&pred, targets);
+    let dpred = loss_pullback(&loss.scalar_like(1.0));
+    let (gradients, _) = pullback(&dpred);
+    optimizer.update(model, &gradients);
+    device.barrier();
+    loss.loss_value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::layers::Dense;
+    use crate::metrics::accuracy;
+    use crate::optimizer::Sgd;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use s4tf_runtime::Device;
+    use s4tf_tensor::Tensor;
+
+    /// A linearly separable 2-class problem.
+    fn toy_data(device: &Device) -> (DTensor, DTensor, Vec<usize>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let n = 64;
+        let mut data = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let center = if class == 0 { -2.0 } else { 2.0 };
+            data.push(center + Tensor::<f32>::randn(&[1], &mut rng).scalar_value() * 0.5);
+            data.push(center * 0.5 + Tensor::<f32>::randn(&[1], &mut rng).scalar_value() * 0.5);
+            labels.push(class);
+        }
+        let x = DTensor::from_tensor(Tensor::from_vec(data, &[n, 2]), device);
+        let y = DTensor::from_tensor(Tensor::one_hot(&labels, 2), device);
+        (x, y, labels)
+    }
+
+    #[test]
+    fn classifier_trains_on_every_device() {
+        for device in [Device::naive(), Device::eager(), Device::lazy()] {
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            let (x, y, labels) = toy_data(&device);
+            let mut model = Dense::new(2, 2, Activation::Identity, &device, &mut rng);
+            let mut opt = Sgd::new(0.5);
+            let first_loss = train_classifier_step(&mut model, &mut opt, &x, &y);
+            let mut last_loss = first_loss;
+            for _ in 0..30 {
+                last_loss = train_classifier_step(&mut model, &mut opt, &x, &y);
+            }
+            assert!(
+                last_loss < first_loss * 0.5,
+                "{}: loss {first_loss} → {last_loss}",
+                device.kind()
+            );
+            let logits = model.forward(&x).to_tensor();
+            assert!(
+                accuracy(&logits, &labels) > 0.95,
+                "{}: accuracy too low",
+                device.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_training_reuses_one_compiled_program() {
+        let device = Device::lazy();
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let (x, y, _) = toy_data(&device);
+        let mut model = Dense::new(2, 2, Activation::Identity, &device, &mut rng);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..10 {
+            train_classifier_step_no_metrics(&mut model, &mut opt, &x, &y);
+        }
+        if let Device::Lazy(ctx) = &device {
+            let stats = ctx.cache().stats();
+            assert_eq!(
+                stats.misses, 1,
+                "identical step traces must compile exactly once"
+            );
+            assert_eq!(stats.hits, 9);
+        }
+    }
+
+    #[test]
+    fn data_parallel_equals_large_batch() {
+        // With equal shard sizes and mean-reduced losses, K-way synchronous
+        // data parallelism is mathematically identical to one large-batch
+        // step. Run both and compare the resulting models exactly.
+        let device = Device::naive();
+        let mut rng = ChaCha8Rng::seed_from_u64(20);
+        let (x, y, _) = toy_data(&device);
+        let reference_init = Dense::new(2, 2, Activation::Tanh, &device, &mut rng);
+
+        // Large-batch step.
+        let mut single = reference_init.clone();
+        let mut opt1 = Sgd::new(0.3);
+        train_classifier_step(&mut single, &mut opt1, &x, &y);
+
+        // 4-way sharded step over the same 64 samples.
+        let xt = x.to_tensor();
+        let yt = y.to_tensor();
+        let shards: Vec<(DTensor, DTensor)> = (0..4)
+            .map(|k| {
+                (
+                    DTensor::from_tensor(xt.slice_axis(0, k * 16, 16), &device),
+                    DTensor::from_tensor(yt.slice_axis(0, k * 16, 16), &device),
+                )
+            })
+            .collect();
+        let mut parallel = reference_init.clone();
+        let mut opt2 = Sgd::new(0.3);
+        let loss = data_parallel_classifier_step(&mut parallel, &mut opt2, &shards);
+        assert!(loss.is_finite());
+
+        assert!(
+            single
+                .weight
+                .to_tensor()
+                .allclose(&parallel.weight.to_tensor(), 1e-6),
+            "data-parallel must equal large-batch"
+        );
+        assert!(single
+            .bias
+            .to_tensor()
+            .allclose(&parallel.bias.to_tensor(), 1e-6));
+    }
+
+    #[test]
+    fn data_parallel_training_converges() {
+        let device = Device::naive();
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let (x, y, labels) = toy_data(&device);
+        let xt = x.to_tensor();
+        let yt = y.to_tensor();
+        let shards: Vec<(DTensor, DTensor)> = (0..2)
+            .map(|k| {
+                (
+                    DTensor::from_tensor(xt.slice_axis(0, k * 32, 32), &device),
+                    DTensor::from_tensor(yt.slice_axis(0, k * 32, 32), &device),
+                )
+            })
+            .collect();
+        let mut model = Dense::new(2, 2, Activation::Identity, &device, &mut rng);
+        let mut opt = Sgd::new(0.5);
+        for _ in 0..30 {
+            data_parallel_classifier_step(&mut model, &mut opt, &shards);
+        }
+        let logits = model.forward(&x).to_tensor();
+        assert!(accuracy(&logits, &labels) > 0.95);
+    }
+
+    #[test]
+    fn regressor_trains() {
+        let device = Device::naive();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        // Fit y = 2x + 1.
+        let xs = Tensor::<f32>::rand_uniform(&[32, 1], -1.0, 1.0, &mut rng);
+        let ys = xs.mul_scalar(2.0).add_scalar(1.0);
+        let x = DTensor::from_tensor(xs, &device);
+        let y = DTensor::from_tensor(ys, &device);
+        let mut model = Dense::new(1, 1, Activation::Identity, &device, &mut rng);
+        let mut opt = Sgd::new(0.5);
+        let mut loss = f64::INFINITY;
+        for _ in 0..100 {
+            loss = train_regressor_step(&mut model, &mut opt, &x, &y);
+        }
+        assert!(loss < 1e-4, "final loss {loss}");
+        let w = model.weight.to_tensor().scalar_value();
+        let b = model.bias.to_tensor().scalar_value();
+        assert!((w - 2.0).abs() < 0.05);
+        assert!((b - 1.0).abs() < 0.05);
+    }
+}

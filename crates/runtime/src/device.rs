@@ -1,0 +1,97 @@
+//! Device handles: the user-facing way to pick an execution strategy
+//! (paper §3.3: "end-users can switch between the two implementations by
+//! specifying a device for the computation to run on").
+
+use crate::eager::EagerQueue;
+use crate::lazy::LazyContext;
+use std::sync::Arc;
+
+/// An execution device.
+#[derive(Clone, Debug)]
+pub enum Device {
+    /// Direct synchronous CPU kernels (paper §3.1, "naïve Tensor").
+    Naive,
+    /// Asynchronous op-by-op dispatch to a worker thread (§3.2).
+    Eager(EagerQueue),
+    /// Trace-record with JIT compilation and a program cache (§3.3).
+    Lazy(Arc<LazyContext>),
+}
+
+impl Device {
+    /// The naive CPU device.
+    pub fn naive() -> Device {
+        Device::Naive
+    }
+
+    /// A fresh eager device (spawns its worker thread).
+    pub fn eager() -> Device {
+        Device::Eager(EagerQueue::new())
+    }
+
+    /// A fresh lazy device (its own trace and program cache).
+    pub fn lazy() -> Device {
+        Device::Lazy(Arc::new(LazyContext::new()))
+    }
+
+    /// A short name for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Device::Naive => "naive",
+            Device::Eager(_) => "eager",
+            Device::Lazy(_) => "lazy",
+        }
+    }
+
+    /// Synchronization point: the paper's `LazyTensorBarrier()` on the
+    /// lazy device, a pipeline drain on the eager device, a no-op on the
+    /// naive device.
+    pub fn barrier(&self) {
+        match self {
+            Device::Naive => {}
+            Device::Eager(q) => q.sync(),
+            Device::Lazy(ctx) => ctx.barrier(),
+        }
+    }
+
+    /// True if both handles denote the same device instance.
+    pub fn same_device(&self, other: &Device) -> bool {
+        match (self, other) {
+            (Device::Naive, Device::Naive) => true,
+            (Device::Eager(a), Device::Eager(b)) => a.same_queue(b),
+            (Device::Lazy(a), Device::Lazy(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds() {
+        assert_eq!(Device::naive().kind(), "naive");
+        assert_eq!(Device::eager().kind(), "eager");
+        assert_eq!(Device::lazy().kind(), "lazy");
+    }
+
+    #[test]
+    fn identity() {
+        let a = Device::lazy();
+        let b = a.clone();
+        assert!(a.same_device(&b));
+        assert!(!a.same_device(&Device::lazy()));
+        assert!(Device::naive().same_device(&Device::naive()));
+        assert!(!Device::naive().same_device(&a));
+        let e = Device::eager();
+        assert!(e.same_device(&e.clone()));
+        assert!(!e.same_device(&Device::eager()));
+    }
+
+    #[test]
+    fn barriers_do_not_panic() {
+        for d in [Device::naive(), Device::eager(), Device::lazy()] {
+            d.barrier();
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! The eager device: asynchronous op-by-op dispatch (paper §3.2).
+//!
+//! "The kernels are dispatched to the accelerator to execute asynchronously
+//! and control is returned to the user's program before the kernel
+//! finishes. As long as the user's program does not observe the contents of
+//! a Tensor, the user's program runs ahead and fills a pipeline of
+//! accelerator kernel invocations."
+//!
+//! Here the "accelerator" is a worker thread fed boxed kernel invocations
+//! over a channel. The per-op cost of this strategy — allocation, boxing,
+//! channel send, slot synchronization — is exactly the dispatch overhead
+//! Table 3 measures against the lazy backend.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use s4tf_tensor::{Shape, Tensor};
+use s4tf_xla::{eval_op, HloOp};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A write-once result slot the host can block on.
+#[derive(Default)]
+struct Slot {
+    value: Mutex<Option<Tensor<f32>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn fill(&self, t: Tensor<f32>) {
+        let mut guard = self.value.lock();
+        debug_assert!(guard.is_none(), "slot filled twice");
+        *guard = Some(t);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Tensor<f32> {
+        let mut guard = self.value.lock();
+        while guard.is_none() {
+            self.ready.wait(&mut guard);
+        }
+        guard.clone().expect("checked above")
+    }
+
+    /// Non-blocking read (used inside the worker, where FIFO execution
+    /// guarantees operands are already filled).
+    fn take_ready(&self) -> Tensor<f32> {
+        self.value
+            .lock()
+            .clone()
+            .expect("FIFO worker ordering guarantees operands are ready")
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct QueueInner {
+    sender: Option<Sender<Job>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    dispatched: AtomicU64,
+}
+
+impl QueueInner {
+    fn sender(&self) -> &Sender<Job> {
+        self.sender.as_ref().expect("sender lives until drop")
+    }
+}
+
+impl Drop for QueueInner {
+    fn drop(&mut self) {
+        // Close the channel so the worker exits, then join it.
+        self.sender = None;
+        if let Some(handle) = self.worker.get_mut().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The eager device's dispatch queue and worker thread.
+#[derive(Clone)]
+pub struct EagerQueue {
+    inner: Arc<QueueInner>,
+}
+
+impl std::fmt::Debug for EagerQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EagerQueue(dispatched: {})", self.dispatched())
+    }
+}
+
+impl Default for EagerQueue {
+    fn default() -> Self {
+        EagerQueue::new()
+    }
+}
+
+impl EagerQueue {
+    /// Starts a queue with its worker thread.
+    pub fn new() -> Self {
+        let (sender, receiver) = unbounded::<Job>();
+        let worker = std::thread::Builder::new()
+            .name("s4tf-eager-worker".into())
+            .spawn(move || {
+                for job in receiver {
+                    job();
+                }
+            })
+            .expect("failed to spawn eager worker");
+        EagerQueue {
+            inner: Arc::new(QueueInner {
+                sender: Some(sender),
+                worker: Mutex::new(Some(worker)),
+                dispatched: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// True if both handles share one worker queue.
+    pub fn same_queue(&self, other: &EagerQueue) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Total kernels dispatched so far (the op-by-op overhead metric).
+    pub fn dispatched(&self) -> u64 {
+        self.inner.dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until every dispatched kernel has executed.
+    pub fn sync(&self) {
+        let slot = Arc::new(Slot::default());
+        let s = Arc::clone(&slot);
+        self.inner
+            .sender()
+            .send(Box::new(move || s.fill(Tensor::scalar(0.0))))
+            .expect("eager worker is alive");
+        slot.wait();
+    }
+
+    fn dispatch(&self, job: Job) {
+        self.inner.dispatched.fetch_add(1, Ordering::Relaxed);
+        self.inner.sender().send(job).expect("eager worker is alive");
+    }
+}
+
+/// A tensor resident on the eager device: a future-like handle whose shape
+/// is known immediately (shape inference is synchronous, §3.2) but whose
+/// contents materialize asynchronously.
+#[derive(Clone, Debug)]
+pub struct EagerTensor {
+    queue: EagerQueue,
+    shape: Shape,
+    slot: Arc<Slot>,
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = if self.value.lock().is_some() {
+            "ready"
+        } else {
+            "pending"
+        };
+        write!(f, "Slot({state})")
+    }
+}
+
+impl EagerTensor {
+    /// Transfers a host tensor to the device (immediate).
+    pub fn from_host(queue: &EagerQueue, t: Tensor<f32>) -> Self {
+        let slot = Arc::new(Slot::default());
+        let shape = t.shape().clone();
+        slot.fill(t);
+        EagerTensor {
+            queue: queue.clone(),
+            shape,
+            slot,
+        }
+    }
+
+    /// The tensor's shape (known without blocking).
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dispatches one kernel asynchronously; returns immediately with a
+    /// handle to the (future) result.
+    ///
+    /// # Panics
+    /// Panics (synchronously) on shape-inference failures.
+    pub fn dispatch_op(queue: &EagerQueue, op: HloOp, inputs: &[&EagerTensor]) -> EagerTensor {
+        let shapes: Vec<&Shape> = inputs.iter().map(|t| &t.shape).collect();
+        let shape = op.infer_shape(&shapes);
+        let slot = Arc::new(Slot::default());
+        let out = Arc::clone(&slot);
+        let in_slots: Vec<Arc<Slot>> = inputs.iter().map(|t| Arc::clone(&t.slot)).collect();
+        queue.dispatch(Box::new(move || {
+            let tensors: Vec<Tensor<f32>> = in_slots.iter().map(|s| s.take_ready()).collect();
+            let refs: Vec<&Tensor<f32>> = tensors.iter().collect();
+            out.fill(eval_op(&op, &refs));
+        }));
+        EagerTensor {
+            queue: queue.clone(),
+            shape,
+            slot,
+        }
+    }
+
+    /// Observes the contents: blocks until the pipeline has produced them.
+    pub fn to_host(&self) -> Tensor<f32> {
+        self.slot.wait()
+    }
+
+    /// The queue this tensor lives on.
+    pub fn queue(&self) -> &EagerQueue {
+        &self.queue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s4tf_xla::{ElemBinary, ElemUnary};
+
+    #[test]
+    fn dispatch_and_observe() {
+        let q = EagerQueue::new();
+        let x = EagerTensor::from_host(&q, Tensor::from_vec(vec![-1.0, 2.0], &[2]));
+        let y = EagerTensor::dispatch_op(&q, HloOp::Unary(ElemUnary::Relu), &[&x]);
+        assert_eq!(y.shape().dims(), &[2]);
+        assert_eq!(y.to_host().as_slice(), &[0.0, 2.0]);
+        assert_eq!(q.dispatched(), 1);
+    }
+
+    #[test]
+    fn pipeline_runs_ahead() {
+        let q = EagerQueue::new();
+        let mut t = EagerTensor::from_host(&q, Tensor::ones(&[64]));
+        // Dispatch a long chain without observing anything: returns fast.
+        for _ in 0..100 {
+            t = EagerTensor::dispatch_op(
+                &q,
+                HloOp::Binary(ElemBinary::Add),
+                &[&t, &t],
+            );
+        }
+        assert_eq!(q.dispatched(), 100);
+        // Observation drains the pipeline.
+        let v = t.to_host();
+        assert_eq!(v.as_slice()[0], 2.0f32.powi(100));
+    }
+
+    #[test]
+    fn sync_drains() {
+        let q = EagerQueue::new();
+        let x = EagerTensor::from_host(&q, Tensor::ones(&[8]));
+        let y = EagerTensor::dispatch_op(&q, HloOp::Unary(ElemUnary::Exp), &[&x]);
+        q.sync();
+        // After sync the slot is filled; to_host returns without waiting.
+        assert!((y.to_host().as_slice()[0] - std::f32::consts::E).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shape_errors_are_synchronous() {
+        let q = EagerQueue::new();
+        let a = EagerTensor::from_host(&q, Tensor::ones(&[2, 3]));
+        let b = EagerTensor::from_host(&q, Tensor::ones(&[4]));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            EagerTensor::dispatch_op(&q, HloOp::Binary(ElemBinary::Add), &[&a, &b])
+        }));
+        assert!(r.is_err(), "shape mismatch must fail at dispatch");
+    }
+
+    #[test]
+    fn queues_are_independent() {
+        let q1 = EagerQueue::new();
+        let q2 = EagerQueue::new();
+        let x = EagerTensor::from_host(&q1, Tensor::ones(&[4]));
+        let _ = EagerTensor::dispatch_op(&q1, HloOp::Unary(ElemUnary::Neg), &[&x]);
+        assert_eq!(q1.dispatched(), 1);
+        assert_eq!(q2.dispatched(), 0);
+    }
+}

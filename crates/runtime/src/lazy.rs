@@ -1,0 +1,491 @@
+//! The lazy device: trace-record / JIT-compile / cache (paper §3.3–3.4).
+//!
+//! Operations on a [`LazyTensor`] do not execute; they append nodes to the
+//! device's trace under construction. The trace is *cut* when the program
+//! observes a tensor's contents (`to_host`) or calls the barrier
+//! ([`LazyContext::barrier`] — the paper's `LazyTensorBarrier()`). At a
+//! cut, every pending tensor becomes an output of the trace, the trace is
+//! hashed into the program cache (compiling at most once per unique
+//! trace), executed, and the pending handles become materialized values —
+//! which the *next* trace consumes as parameters.
+//!
+//! The host therefore re-traces every step of a training loop (the §3.4
+//! retracing overhead, measured by experiment E8), but pays JIT compilation
+//! only on cache misses.
+
+use parking_lot::Mutex;
+use s4tf_tensor::{Shape, Tensor};
+use s4tf_xla::graph::HloGraph;
+use s4tf_xla::{HloOp, NodeId, ProgramCache};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// The state of one lazy handle.
+#[derive(Debug)]
+enum LazyState {
+    /// Materialized on the host.
+    Value {
+        tensor: Tensor<f32>,
+        /// Parameter node already minted for the current trace, if any.
+        lifted: Option<(u64, NodeId)>,
+        /// Embed as a trace *constant* instead of a runtime parameter.
+        /// Used for program-stable scalars (literals, hyper-parameters):
+        /// constants participate in constant folding and fusion immediates,
+        /// while the fingerprint stays stable across steps because the
+        /// values do not change. Data and weights stay parameters so new
+        /// values hit the program cache.
+        as_constant: bool,
+    },
+    /// Pending node in the current trace.
+    Pending { generation: u64, node: NodeId },
+}
+
+struct TraceState {
+    graph: HloGraph,
+    params: Vec<Tensor<f32>>,
+    generation: u64,
+    /// Live pending handles; all become outputs at the next cut.
+    pending: Vec<Weak<Mutex<LazyState>>>,
+    /// Time spent recording trace nodes (the §3.4 tracing overhead).
+    trace_time: Duration,
+    cuts: u64,
+}
+
+impl TraceState {
+    fn fresh(generation: u64) -> Self {
+        TraceState {
+            graph: HloGraph::new(),
+            params: Vec::new(),
+            generation,
+            pending: Vec::new(),
+            trace_time: Duration::ZERO,
+            cuts: 0,
+        }
+    }
+}
+
+/// A lazy device: one trace under construction plus the program cache.
+pub struct LazyContext {
+    trace: Mutex<TraceState>,
+    cache: ProgramCache,
+}
+
+impl std::fmt::Debug for LazyContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let t = self.trace.lock();
+        write!(
+            f,
+            "LazyContext(trace: {} nodes, gen {}, cache: {:?})",
+            t.graph.len(),
+            t.generation,
+            self.cache
+        )
+    }
+}
+
+impl Default for LazyContext {
+    fn default() -> Self {
+        LazyContext {
+            trace: Mutex::new(TraceState::fresh(0)),
+            cache: ProgramCache::new(),
+        }
+    }
+}
+
+impl LazyContext {
+    /// A fresh lazy device.
+    pub fn new() -> Self {
+        LazyContext::default()
+    }
+
+    /// The program cache (hit/miss statistics, compile time).
+    pub fn cache(&self) -> &ProgramCache {
+        &self.cache
+    }
+
+    /// Number of nodes in the trace currently under construction.
+    pub fn trace_len(&self) -> usize {
+        self.trace.lock().graph.len()
+    }
+
+    /// Number of trace cuts so far (observations + barriers).
+    pub fn cuts(&self) -> u64 {
+        self.trace.lock().cuts
+    }
+
+    /// Cumulative time spent recording trace nodes.
+    pub fn trace_time(&self) -> Duration {
+        self.trace.lock().trace_time
+    }
+
+    /// The current trace rendered as DOT (paper Figure 4).
+    pub fn trace_dot(&self, title: &str) -> String {
+        self.trace.lock().graph.to_dot(title)
+    }
+
+    /// Op histogram of the current trace.
+    pub fn trace_histogram(&self) -> Vec<(String, usize)> {
+        self.trace.lock().graph.op_histogram()
+    }
+
+    /// Snapshots the current trace as a compilable graph, with every live
+    /// pending tensor marked as an output (exactly what [`barrier`] would
+    /// compile) — but *without* compiling or executing anything.
+    ///
+    /// Used by the accelerator-simulation experiments, which feed real
+    /// traces of datacenter-scale models through the real compiler while
+    /// simulating only the kernel clock. The trace keeps accumulating;
+    /// call [`barrier`] (or drop the tensors) to discard it.
+    ///
+    /// [`barrier`]: LazyContext::barrier
+    pub fn snapshot_trace(&self) -> s4tf_xla::graph::HloGraph {
+        let trace = self.trace.lock();
+        let mut graph = trace.graph.clone();
+        for weak in &trace.pending {
+            if let Some(handle) = weak.upgrade() {
+                if let LazyState::Pending { node, .. } = *handle.lock() {
+                    graph.mark_output(node);
+                }
+            }
+        }
+        graph
+    }
+
+    /// Discards the trace under construction without executing it. Pending
+    /// tensors become unusable (their nodes are gone); intended for
+    /// simulation workflows that only needed the trace structure.
+    pub fn abandon_trace(&self) {
+        let mut trace = self.trace.lock();
+        let generation = trace.generation + 1;
+        let (cuts, trace_time) = (trace.cuts, trace.trace_time);
+        *trace = TraceState::fresh(generation);
+        trace.cuts = cuts;
+        trace.trace_time = trace_time;
+    }
+
+    /// Cuts the trace (the paper's `LazyTensorBarrier()`): compiles (via
+    /// the cache) and executes the pending graph, materializing every
+    /// pending tensor, and starts a fresh trace.
+    pub fn barrier(self: &Arc<Self>) {
+        let mut trace = self.trace.lock();
+        trace.cuts += 1;
+
+        // Collect live pending handles and mark their nodes as outputs.
+        let pending: Vec<Arc<Mutex<LazyState>>> = trace
+            .pending
+            .iter()
+            .filter_map(Weak::upgrade)
+            .collect();
+        let mut outputs: Vec<(Arc<Mutex<LazyState>>, NodeId)> = Vec::new();
+        for handle in pending {
+            let state = handle.lock();
+            if let LazyState::Pending { generation, node } = *state {
+                debug_assert_eq!(generation, trace.generation);
+                outputs.push((Arc::clone(&handle), node));
+            }
+        }
+        if outputs.is_empty() {
+            let generation = trace.generation + 1;
+            *trace = TraceState::fresh(generation);
+            return;
+        }
+        let mut graph = std::mem::take(&mut trace.graph);
+        for &(_, node) in &outputs {
+            graph.mark_output(node);
+        }
+
+        let exe = self.cache.get_or_compile(&graph);
+        let params = std::mem::take(&mut trace.params);
+        let refs: Vec<&Tensor<f32>> = params.iter().collect();
+        let results = exe.run(&refs);
+
+        for ((handle, _), tensor) in outputs.into_iter().zip(results) {
+            *handle.lock() = LazyState::Value {
+                tensor,
+                lifted: None,
+                as_constant: false,
+            };
+        }
+        let generation = trace.generation + 1;
+        let (cuts, trace_time) = (trace.cuts, trace.trace_time);
+        *trace = TraceState::fresh(generation);
+        trace.cuts = cuts;
+        trace.trace_time = trace_time;
+    }
+}
+
+/// A tensor on the lazy device. Cloning shares the handle — which is safe
+/// because the logical value never changes (pending → materialized is the
+/// same value); mutation in the `DTensor` layer rebinds, preserving value
+/// semantics.
+#[derive(Clone)]
+pub struct LazyTensor {
+    ctx: Arc<LazyContext>,
+    shape: Shape,
+    state: Arc<Mutex<LazyState>>,
+}
+
+impl std::fmt::Debug for LazyTensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match &*self.state.lock() {
+            LazyState::Value { .. } => "materialized",
+            LazyState::Pending { .. } => "pending",
+        };
+        write!(f, "LazyTensor(shape: {}, {state})", self.shape)
+    }
+}
+
+impl LazyTensor {
+    /// Transfers a host tensor to the device (no trace node until used).
+    pub fn from_host(ctx: &Arc<LazyContext>, t: Tensor<f32>) -> Self {
+        LazyTensor {
+            ctx: Arc::clone(ctx),
+            shape: t.shape().clone(),
+            state: Arc::new(Mutex::new(LazyState::Value {
+                tensor: t,
+                lifted: None,
+                as_constant: false,
+            })),
+        }
+    }
+
+    /// Transfers a host tensor to the device, to be embedded in traces as
+    /// a *constant* (see `LazyState::Value::as_constant`). Use only for
+    /// program-stable values; varying values would each compile their own
+    /// program.
+    pub fn constant_from_host(ctx: &Arc<LazyContext>, t: Tensor<f32>) -> Self {
+        LazyTensor {
+            ctx: Arc::clone(ctx),
+            shape: t.shape().clone(),
+            state: Arc::new(Mutex::new(LazyState::Value {
+                tensor: t,
+                lifted: None,
+                as_constant: true,
+            })),
+        }
+    }
+
+    /// The tensor's shape (always known: shape inference runs at record
+    /// time).
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The device context.
+    pub fn context(&self) -> &Arc<LazyContext> {
+        &self.ctx
+    }
+
+    /// The node for this tensor in the *current* trace, minting a
+    /// parameter node for materialized values.
+    fn node_in_current_trace(&self, trace: &mut TraceState) -> NodeId {
+        let mut state = self.state.lock();
+        match &mut *state {
+            LazyState::Pending { generation, node } => {
+                assert_eq!(
+                    *generation, trace.generation,
+                    "lazy tensor used after its trace was cut without being \
+                     materialized (it was not live at the barrier)"
+                );
+                *node
+            }
+            LazyState::Value {
+                tensor,
+                lifted,
+                as_constant,
+            } => {
+                if let Some((generation, node)) = lifted {
+                    if *generation == trace.generation {
+                        return *node;
+                    }
+                }
+                let node = if *as_constant {
+                    trace.graph.constant(tensor.clone())
+                } else {
+                    let index = trace.params.len();
+                    trace.params.push(tensor.clone());
+                    trace.graph.parameter(index, tensor.dims())
+                };
+                *lifted = Some((trace.generation, node));
+                node
+            }
+        }
+    }
+
+    /// Records one operation into the trace; returns a pending handle.
+    ///
+    /// # Panics
+    /// Panics on shape-inference failures (at record time, like the
+    /// paper's lazy tracing) and when inputs live on different lazy
+    /// devices.
+    pub fn record_op(ctx: &Arc<LazyContext>, op: HloOp, inputs: &[&LazyTensor]) -> LazyTensor {
+        let start = std::time::Instant::now();
+        let mut trace = ctx.trace.lock();
+        for t in inputs {
+            assert!(
+                Arc::ptr_eq(&t.ctx, ctx),
+                "lazy tensors must live on the same device"
+            );
+        }
+        let nodes: Vec<NodeId> = inputs
+            .iter()
+            .map(|t| t.node_in_current_trace(&mut trace))
+            .collect();
+        let node = trace.graph.add(op, &nodes);
+        let shape = trace.graph.node(node).shape.clone();
+        let state = Arc::new(Mutex::new(LazyState::Pending {
+            generation: trace.generation,
+            node,
+        }));
+        trace.pending.push(Arc::downgrade(&state));
+        trace.trace_time += start.elapsed();
+        LazyTensor {
+            ctx: Arc::clone(ctx),
+            shape,
+            state,
+        }
+    }
+
+
+    /// Observes the contents: cuts the trace if this tensor is pending.
+    pub fn to_host(&self) -> Tensor<f32> {
+        loop {
+            {
+                let state = self.state.lock();
+                if let LazyState::Value { tensor, .. } = &*state {
+                    return tensor.clone();
+                }
+            }
+            self.ctx.barrier();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s4tf_xla::{ElemBinary, ElemUnary, HloOp};
+
+    fn ctx() -> Arc<LazyContext> {
+        Arc::new(LazyContext::new())
+    }
+
+    #[test]
+    fn nothing_executes_until_observation() {
+        let c = ctx();
+        let x = LazyTensor::from_host(&c, Tensor::from_vec(vec![1.0, -1.0], &[2]));
+        let y = LazyTensor::record_op(&c, HloOp::Unary(ElemUnary::Relu), &[&x]);
+        let z = LazyTensor::record_op(&c, HloOp::Binary(ElemBinary::Add), &[&y, &x]);
+        assert_eq!(c.cache().stats().misses, 0, "no compilation yet");
+        assert!(c.trace_len() >= 3);
+        assert_eq!(z.to_host().as_slice(), &[2.0, -1.0]);
+        assert_eq!(c.cache().stats().misses, 1);
+        assert_eq!(c.cuts(), 1);
+    }
+
+    #[test]
+    fn observation_materializes_all_pending() {
+        let c = ctx();
+        let x = LazyTensor::from_host(&c, Tensor::ones(&[4]));
+        let a = LazyTensor::record_op(&c, HloOp::Unary(ElemUnary::Exp), &[&x]);
+        let b = LazyTensor::record_op(&c, HloOp::Unary(ElemUnary::Neg), &[&x]);
+        let _ = a.to_host();
+        // b was live at the cut, so it materialized too: no new compile.
+        let before = c.cache().stats();
+        assert_eq!(b.to_host().as_slice(), &[-1.0; 4]);
+        assert_eq!(c.cache().stats(), before, "b was already materialized");
+    }
+
+    #[test]
+    fn retrace_hits_the_cache() {
+        let c = ctx();
+        let run = |c: &Arc<LazyContext>, data: Vec<f32>| {
+            let x = LazyTensor::from_host(c, Tensor::from_vec(data, &[2]));
+            let y = LazyTensor::record_op(c, HloOp::Unary(ElemUnary::Square), &[&x]);
+            y.to_host()
+        };
+        assert_eq!(run(&c, vec![2.0, 3.0]).as_slice(), &[4.0, 9.0]);
+        assert_eq!(run(&c, vec![4.0, 5.0]).as_slice(), &[16.0, 25.0]);
+        assert_eq!(run(&c, vec![6.0, 7.0]).as_slice(), &[36.0, 49.0]);
+        let stats = c.cache().stats();
+        assert_eq!(stats.misses, 1, "identical traces compile once");
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn shape_change_recompiles() {
+        let c = ctx();
+        for dims in [&[2usize][..], &[3], &[2]] {
+            let x = LazyTensor::from_host(&c, Tensor::ones(dims));
+            let y = LazyTensor::record_op(&c, HloOp::Unary(ElemUnary::Neg), &[&x]);
+            y.to_host();
+        }
+        let stats = c.cache().stats();
+        // §3.4: a dimension change triggers recompilation; the third run
+        // reuses the first program.
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn barrier_cuts_an_unobserved_trace() {
+        let c = ctx();
+        let x = LazyTensor::from_host(&c, Tensor::ones(&[2]));
+        let y = LazyTensor::record_op(&c, HloOp::Unary(ElemUnary::Neg), &[&x]);
+        assert!(c.trace_len() > 0);
+        c.barrier();
+        assert_eq!(c.trace_len(), 0, "barrier starts a fresh trace");
+        // y is already materialized; no further compile on observation.
+        let misses = c.cache().stats().misses;
+        assert_eq!(y.to_host().as_slice(), &[-1.0, -1.0]);
+        assert_eq!(c.cache().stats().misses, misses);
+    }
+
+    #[test]
+    fn empty_barrier_is_cheap() {
+        let c = ctx();
+        c.barrier();
+        c.barrier();
+        assert_eq!(c.cache().stats().misses, 0);
+    }
+
+    #[test]
+    fn materialized_values_feed_the_next_trace_as_parameters() {
+        let c = ctx();
+        let x = LazyTensor::from_host(&c, Tensor::from_vec(vec![3.0], &[1]));
+        let y = LazyTensor::record_op(&c, HloOp::Unary(ElemUnary::Square), &[&x]);
+        assert_eq!(y.to_host().as_slice(), &[9.0]);
+        // Second trace consumes y (a materialized value) as a parameter —
+        // and is structurally identical to the first, so it hits the cache.
+        let z = LazyTensor::record_op(&c, HloOp::Unary(ElemUnary::Square), &[&y]);
+        assert_eq!(z.to_host().as_slice(), &[81.0]);
+        let stats = c.cache().stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn trace_instrumentation() {
+        let c = ctx();
+        let x = LazyTensor::from_host(&c, Tensor::ones(&[2]));
+        let y = LazyTensor::record_op(&c, HloOp::Unary(ElemUnary::Exp), &[&x]);
+        let _ = LazyTensor::record_op(&c, HloOp::Binary(ElemBinary::Mul), &[&y, &y]);
+        let hist = c.trace_histogram();
+        assert!(hist.iter().any(|(n, c)| n == "exp" && *c == 1));
+        let dot = c.trace_dot("t");
+        assert!(dot.contains("digraph"));
+        assert!(c.trace_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn dropped_pending_tensors_are_not_outputs() {
+        let c = ctx();
+        let x = LazyTensor::from_host(&c, Tensor::ones(&[2]));
+        {
+            let _dead = LazyTensor::record_op(&c, HloOp::Unary(ElemUnary::Exp), &[&x]);
+            // dropped before the cut
+        }
+        let y = LazyTensor::record_op(&c, HloOp::Unary(ElemUnary::Neg), &[&x]);
+        assert_eq!(y.to_host().as_slice(), &[-1.0, -1.0]);
+    }
+}

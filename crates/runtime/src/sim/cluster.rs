@@ -1,0 +1,121 @@
+//! Synchronous data-parallel cluster model with ring all-reduce — the
+//! training regime of Table 1 ("8 hosts synchronously training a single
+//! model in data-parallel fashion").
+
+use crate::sim::cost::AcceleratorModel;
+
+/// A homogeneous accelerator cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterModel {
+    /// The per-core accelerator.
+    pub core: AcceleratorModel,
+    /// Number of cores training synchronously.
+    pub num_cores: usize,
+    /// Per-link interconnect bandwidth, bytes/s.
+    pub link_bandwidth: f64,
+    /// Per-hop interconnect latency, seconds.
+    pub link_latency: f64,
+}
+
+impl ClusterModel {
+    /// A TPUv3 pod slice with `num_cores` cores.
+    pub fn tpu_v3(num_cores: usize) -> Self {
+        ClusterModel {
+            core: AcceleratorModel::tpu_v3_core(),
+            num_cores,
+            link_bandwidth: 70.0e9, // ICI per-link
+            link_latency: 2.0e-6,
+        }
+    }
+
+    /// Ring all-reduce time for `bytes` of gradients:
+    /// `2·(n−1)/n · bytes / bw + 2·(n−1)·latency`.
+    ///
+    /// The bandwidth term is nearly constant in `n`; the latency term grows
+    /// linearly — which is why per-core throughput decays slowly with
+    /// scale (Table 1's right-hand column).
+    pub fn allreduce_time(&self, bytes: f64) -> f64 {
+        let n = self.num_cores as f64;
+        if self.num_cores <= 1 {
+            return 0.0;
+        }
+        2.0 * (n - 1.0) / n * bytes / self.link_bandwidth + 2.0 * (n - 1.0) * self.link_latency
+    }
+
+    /// One synchronous training step: per-core compute then gradient
+    /// all-reduce.
+    pub fn step_time(&self, per_core_compute: f64, grad_bytes: f64) -> f64 {
+        per_core_compute + self.allreduce_time(grad_bytes)
+    }
+
+    /// Global examples/second at the given per-core batch size.
+    pub fn throughput(
+        &self,
+        per_core_batch: usize,
+        per_core_compute: f64,
+        grad_bytes: f64,
+    ) -> f64 {
+        let step = self.step_time(per_core_compute, grad_bytes);
+        (per_core_batch * self.num_cores) as f64 / step
+    }
+
+    /// Per-core examples/second (Table 1's scaling-retention column).
+    pub fn per_core_throughput(
+        &self,
+        per_core_batch: usize,
+        per_core_compute: f64,
+        grad_bytes: f64,
+    ) -> f64 {
+        self.throughput(per_core_batch, per_core_compute, grad_bytes) / self.num_cores as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_bandwidth_term_saturates() {
+        let c16 = ClusterModel::tpu_v3(16);
+        let c128 = ClusterModel::tpu_v3(128);
+        let bytes = 100.0e6;
+        let t16 = c16.allreduce_time(bytes);
+        let t128 = c128.allreduce_time(bytes);
+        assert!(t128 > t16, "latency term grows with scale");
+        // But far less than linearly: the bandwidth term is ~constant.
+        assert!(t128 < t16 * 2.0);
+    }
+
+    #[test]
+    fn single_core_has_no_allreduce() {
+        let c = ClusterModel::tpu_v3(1);
+        assert_eq!(c.allreduce_time(1e9), 0.0);
+    }
+
+    #[test]
+    fn throughput_scales_nearly_linearly() {
+        let compute = 0.025; // seconds per step per core
+        let grads = 102.0e6; // ResNet-50's ~25.6M f32 params
+        let t16 = ClusterModel::tpu_v3(16).throughput(16, compute, grads);
+        let t128 = ClusterModel::tpu_v3(128).throughput(16, compute, grads);
+        let scaling = t128 / t16;
+        assert!(
+            scaling > 7.0 && scaling < 8.0,
+            "8× cores give a bit under 8× throughput, got {scaling:.2}×"
+        );
+    }
+
+    #[test]
+    fn per_core_throughput_declines_gently() {
+        let compute = 0.025;
+        let grads = 102.0e6;
+        let p16 = ClusterModel::tpu_v3(16).per_core_throughput(16, compute, grads);
+        let p128 = ClusterModel::tpu_v3(128).per_core_throughput(16, compute, grads);
+        assert!(p128 < p16);
+        let retention = p128 / p16;
+        assert!(
+            retention > 0.90,
+            "Table 1 shape: ≥90% per-core retention at 8× scale, got {retention:.3}"
+        );
+    }
+}

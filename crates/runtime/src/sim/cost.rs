@@ -1,0 +1,300 @@
+//! Analytic kernel costs: FLOPs and memory traffic per compiled HLO node,
+//! and a roofline accelerator model.
+
+use s4tf_xla::graph::{HloGraph, HloNode};
+use s4tf_xla::{Executable, HloOp};
+
+/// The cost of one kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelCost {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Bytes moved to/from device memory.
+    pub bytes: f64,
+}
+
+impl KernelCost {
+    /// Component-wise sum.
+    pub fn plus(self, other: KernelCost) -> KernelCost {
+        KernelCost {
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+        }
+    }
+}
+
+const F32: f64 = 4.0;
+
+/// The cost of one node, given its (shape-inferred) graph context.
+pub fn node_cost(graph: &HloGraph, node: &HloNode) -> KernelCost {
+    let out_elems = node.shape.num_elements() as f64;
+    let in_bytes: f64 = node
+        .inputs
+        .iter()
+        .map(|&i| graph.node(i).shape.num_elements() as f64 * F32)
+        .sum();
+    let touch = in_bytes + out_elems * F32;
+    match &node.op {
+        // Leaves are resident; no kernel.
+        HloOp::Parameter(_) | HloOp::Constant(_) => KernelCost::default(),
+        HloOp::Unary(_) => KernelCost {
+            flops: out_elems,
+            bytes: touch,
+        },
+        HloOp::Binary(_) => KernelCost {
+            flops: out_elems,
+            bytes: touch,
+        },
+        // Fusion's payoff: k ops of work but one input/output sweep —
+        // no intermediate buffers.
+        HloOp::Fused { insts, .. } => KernelCost {
+            flops: out_elems * insts.len() as f64,
+            bytes: touch,
+        },
+        HloOp::MatMul { .. } => {
+            let k = graph.node(node.inputs[0]).shape.num_elements() as f64
+                / node.shape.dim(0) as f64;
+            KernelCost {
+                flops: 2.0 * node.shape.num_elements() as f64 * k,
+                bytes: touch,
+            }
+        }
+        HloOp::Conv2D { .. } => {
+            let f = &graph.node(node.inputs[1]).shape;
+            let work_per_out = 2.0 * (f.dim(0) * f.dim(1) * f.dim(2)) as f64;
+            KernelCost {
+                flops: out_elems * work_per_out,
+                bytes: touch,
+            }
+        }
+        HloOp::Conv2DBackwardInput { .. } | HloOp::Conv2DBackwardFilter { .. } => {
+            // Same asymptotic work as the forward convolution.
+            let f_elems = match &node.op {
+                HloOp::Conv2DBackwardInput { .. } => {
+                    graph.node(node.inputs[0]).shape.num_elements() as f64
+                }
+                _ => node.shape.num_elements() as f64,
+            };
+            let grad = &graph.node(node.inputs[1]).shape;
+            // out_elems of the *forward* output ≈ grad elements.
+            let per_out = 2.0 * f_elems / node.shape.dim(3).max(1) as f64;
+            KernelCost {
+                flops: grad.num_elements() as f64 * per_out.max(2.0),
+                bytes: touch,
+            }
+        }
+        HloOp::AvgPool { pool, .. }
+        | HloOp::MaxPool { pool, .. }
+        | HloOp::AvgPoolGrad { pool, .. }
+        | HloOp::MaxPoolGrad { pool, .. } => KernelCost {
+            flops: out_elems * (pool.0 * pool.1) as f64,
+            bytes: touch,
+        },
+        HloOp::Reduce { .. } | HloOp::ReduceToShape(_) => KernelCost {
+            flops: in_bytes / F32,
+            bytes: touch,
+        },
+        // Pure data movement.
+        HloOp::GatherRows | HloOp::GatherRowsGrad { .. } => KernelCost {
+            flops: out_elems,
+            bytes: touch,
+        },
+        HloOp::Transpose(_) | HloOp::Broadcast(_) => KernelCost {
+            flops: 0.0,
+            bytes: touch,
+        },
+        // Metadata-only.
+        HloOp::Reshape(_) => KernelCost::default(),
+    }
+}
+
+/// Total cost of a graph (sum over kernels) plus the launch count.
+pub fn graph_cost(graph: &HloGraph) -> (KernelCost, usize) {
+    let mut total = KernelCost::default();
+    let mut launches = 0usize;
+    for node in &graph.nodes {
+        let c = node_cost(graph, node);
+        if !matches!(node.op, HloOp::Parameter(_) | HloOp::Constant(_) | HloOp::Reshape(_)) {
+            launches += 1;
+        }
+        total = total.plus(c);
+    }
+    (total, launches)
+}
+
+/// A roofline accelerator: each kernel takes
+/// `max(flops/peak·eff, bytes/bandwidth) + launch_overhead`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorModel {
+    /// Peak FLOP/s.
+    pub peak_flops: f64,
+    /// Sustained fraction of peak achieved by compiled kernels.
+    pub efficiency: f64,
+    /// Device-memory bandwidth, bytes/s.
+    pub mem_bandwidth: f64,
+    /// Fixed cost per kernel launch, seconds.
+    pub launch_overhead: f64,
+}
+
+impl AcceleratorModel {
+    /// A TPUv3-core-like model. Constants are calibrated so a ResNet-50
+    /// training step at the paper's per-core batch lands near Table 1's
+    /// per-core throughput (see EXPERIMENTS.md for the calibration note).
+    pub fn tpu_v3_core() -> Self {
+        AcceleratorModel {
+            peak_flops: 61.0e12, // half a 123-TFLOP TPUv3 chip
+            efficiency: 0.35,    // MLPerf-era ResNet-50 MXU utilization
+            mem_bandwidth: 450.0e9,
+            launch_overhead: 1.5e-6,
+        }
+    }
+
+    /// A GTX-1080-like model (Table 3's device).
+    pub fn gtx_1080() -> Self {
+        AcceleratorModel {
+            peak_flops: 8.9e12,
+            efficiency: 0.25,
+            mem_bandwidth: 320.0e9,
+            launch_overhead: 8.0e-6,
+        }
+    }
+
+    /// Time for one kernel.
+    pub fn kernel_time(&self, cost: KernelCost) -> f64 {
+        let compute = cost.flops / (self.peak_flops * self.efficiency);
+        let memory = cost.bytes / self.mem_bandwidth;
+        compute.max(memory) + self.launch_overhead
+    }
+
+    /// Time for a whole compiled program (kernels run back-to-back).
+    pub fn program_time(&self, graph: &HloGraph) -> f64 {
+        let mut total = 0.0;
+        for node in &graph.nodes {
+            if matches!(
+                node.op,
+                HloOp::Parameter(_) | HloOp::Constant(_) | HloOp::Reshape(_)
+            ) {
+                continue;
+            }
+            total += self.kernel_time(node_cost(graph, node));
+        }
+        total
+    }
+}
+
+/// Simulated compute time of a compiled executable on `model`.
+pub fn exec_compute_time(exe: &Executable, model: &AcceleratorModel) -> f64 {
+    model.program_time(exe.graph())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s4tf_tensor::Tensor;
+    use s4tf_xla::{compile, compile_unoptimized, ElemBinary, ElemUnary, HloGraph};
+
+    fn chain_graph(n_ops: usize, dim: usize) -> HloGraph {
+        let mut g = HloGraph::new();
+        let mut x = g.parameter(0, &[dim]);
+        for _ in 0..n_ops {
+            x = g.unary(ElemUnary::Tanh, x);
+        }
+        g.mark_output(x);
+        g
+    }
+
+    #[test]
+    fn matmul_flops() {
+        let mut g = HloGraph::new();
+        let a = g.parameter(0, &[16, 32]);
+        let b = g.parameter(1, &[32, 8]);
+        let m = g.add(
+            s4tf_xla::HloOp::MatMul {
+                t_lhs: false,
+                t_rhs: false,
+            },
+            &[a, b],
+        );
+        g.mark_output(m);
+        let node = g.node(m);
+        let c = node_cost(&g, node);
+        assert_eq!(c.flops, 2.0 * 16.0 * 32.0 * 8.0);
+        assert_eq!(c.bytes, (16.0 * 32.0 + 32.0 * 8.0 + 16.0 * 8.0) * 4.0);
+    }
+
+    #[test]
+    fn conv_flops() {
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[2, 8, 8, 3]);
+        let w = g.parameter(1, &[3, 3, 3, 16]);
+        let c = g.add(
+            s4tf_xla::HloOp::Conv2D {
+                strides: (1, 1),
+                padding: s4tf_tensor::Padding::Same,
+            },
+            &[x, w],
+        );
+        g.mark_output(c);
+        let cost = node_cost(&g, g.node(c));
+        let out_elems = 2.0 * 8.0 * 8.0 * 16.0;
+        assert_eq!(cost.flops, out_elems * 2.0 * 27.0);
+    }
+
+    #[test]
+    fn fusion_reduces_modeled_time() {
+        let g = chain_graph(8, 1 << 16);
+        let model = AcceleratorModel::gtx_1080();
+        let fused = compile(&g);
+        let unfused = compile_unoptimized(&g);
+        let t_fused = exec_compute_time(&fused, &model);
+        let t_unfused = exec_compute_time(&unfused, &model);
+        assert!(
+            t_fused < t_unfused / 2.0,
+            "fusion must cut launch + traffic costs: {t_fused} vs {t_unfused}"
+        );
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let g = chain_graph(10, 4);
+        let model = AcceleratorModel::gtx_1080();
+        let t = model.program_time(&g);
+        assert!(t >= 10.0 * model.launch_overhead);
+        assert!(t < 10.0 * model.launch_overhead * 1.5);
+    }
+
+    #[test]
+    fn graph_cost_counts_launches() {
+        let mut g = chain_graph(3, 8);
+        let c = g.constant(Tensor::scalar(1.0));
+        let last = s4tf_xla::NodeId(g.len() as u32 - 2);
+        let y = g.binary(ElemBinary::Add, last, c);
+        let r = g.add(s4tf_xla::HloOp::Reshape(vec![8, 1]), &[y]);
+        g.mark_output(r);
+        let (total, launches) = graph_cost(&g);
+        assert_eq!(launches, 4, "3 tanh + 1 add; reshape/const/param free");
+        assert!(total.flops > 0.0);
+    }
+
+    #[test]
+    fn roofline_picks_the_max() {
+        let m = AcceleratorModel {
+            peak_flops: 1e12,
+            efficiency: 1.0,
+            mem_bandwidth: 1e9,
+            launch_overhead: 0.0,
+        };
+        // Memory-bound kernel.
+        let t = m.kernel_time(KernelCost {
+            flops: 1e6,
+            bytes: 1e9,
+        });
+        assert!((t - 1.0).abs() < 1e-9);
+        // Compute-bound kernel.
+        let t = m.kernel_time(KernelCost {
+            flops: 1e12,
+            bytes: 1e3,
+        });
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based cross-backend consistency: random tensor programs must
+//! produce identical results on the naive, eager and lazy devices — the
+//! paper's "illusion of eager execution" (§3.3) as a fuzzed invariant,
+//! including random mid-program observations (which cut lazy traces at
+//! arbitrary points) and random barrier insertions.
+
+use proptest::prelude::*;
+use s4tf_runtime::{DTensor, Device};
+use s4tf_tensor::Tensor;
+
+/// One step of a random elementwise/matmul program over two live values.
+#[derive(Debug, Clone)]
+enum Op {
+    Relu,
+    Tanh,
+    Sigmoid,
+    Square,
+    Neg,
+    AddScalar(f32),
+    MulScalar(f32),
+    AddPair,
+    MulPair,
+    Matmul,
+    Softmax,
+    SumAxisZero,
+    Observe,
+    Barrier,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Relu),
+        Just(Op::Tanh),
+        Just(Op::Sigmoid),
+        Just(Op::Square),
+        Just(Op::Neg),
+        (-2.0f32..2.0).prop_map(Op::AddScalar),
+        (-1.5f32..1.5).prop_map(Op::MulScalar),
+        Just(Op::AddPair),
+        Just(Op::MulPair),
+        Just(Op::Matmul),
+        Just(Op::Softmax),
+        Just(Op::SumAxisZero),
+        Just(Op::Observe),
+        Just(Op::Barrier),
+    ]
+}
+
+/// Runs the program on one device, returning the final materialized value.
+fn run(ops: &[Op], a0: &Tensor<f32>, b0: &Tensor<f32>, device: &Device) -> Tensor<f32> {
+    let mut a = DTensor::from_tensor(a0.clone(), device);
+    let b = DTensor::from_tensor(b0.clone(), device);
+    for op in ops {
+        a = match op {
+            Op::Relu => a.relu(),
+            Op::Tanh => a.tanh(),
+            Op::Sigmoid => a.sigmoid(),
+            Op::Square => a.square(),
+            Op::Neg => a.neg(),
+            Op::AddScalar(s) => a.add_scalar(*s),
+            Op::MulScalar(s) => a.mul_scalar(*s),
+            Op::AddPair => a.add(&b),
+            Op::MulPair => a.mul(&b),
+            // Keep shapes square so every op stays applicable.
+            Op::Matmul => a.matmul(&b).tanh(),
+            Op::Softmax => a.softmax(),
+            Op::SumAxisZero => {
+                let dims = a.dims();
+                a.sum_axis(0).broadcast_to(&dims)
+            }
+            Op::Observe => {
+                // A host observation in the middle of the program: forces
+                // execution on async backends without changing the value.
+                let _ = a.to_tensor();
+                a
+            }
+            Op::Barrier => {
+                device.barrier();
+                a
+            }
+        };
+    }
+    a.to_tensor()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_backends_agree_on_random_programs(
+        ops in prop::collection::vec(op_strategy(), 1..14),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let a0 = Tensor::<f32>::rand_uniform(&[4, 4], -1.0, 1.0, &mut rng);
+        let b0 = Tensor::<f32>::rand_uniform(&[4, 4], -1.0, 1.0, &mut rng);
+
+        let reference = run(&ops, &a0, &b0, &Device::naive());
+        prop_assume!(reference.all_finite());
+        for device in [Device::eager(), Device::lazy()] {
+            let out = run(&ops, &a0, &b0, &device);
+            prop_assert!(
+                out.allclose(&reference, 1e-4),
+                "{} diverged by {} on {ops:?}",
+                device.kind(),
+                out.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_device_caches_repeated_random_programs(
+        ops in prop::collection::vec(op_strategy(), 1..10),
+    ) {
+        let device = Device::lazy();
+        let a0 = Tensor::<f32>::from_fn(&[3, 3], |i| (i as f32) * 0.1 - 0.4);
+        let b0 = Tensor::<f32>::from_fn(&[3, 3], |i| 0.3 - (i as f32) * 0.05);
+        let first = run(&ops, &a0, &b0, &device);
+        let Device::Lazy(ctx) = &device else { unreachable!() };
+        let misses_after_first = ctx.cache().stats().misses;
+        // Re-running the identical program must not compile anything new.
+        let second = run(&ops, &a0, &b0, &device);
+        prop_assert_eq!(ctx.cache().stats().misses, misses_after_first);
+        let diff = first.max_abs_diff(&second);
+        prop_assert!(diff == 0.0 || (first.all_finite() && diff < 1e-6));
+    }
+}

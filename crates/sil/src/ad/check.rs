@@ -1,0 +1,178 @@
+//! Differentiability checking (paper §2.2, step 2): "detects
+//! non-differentiable instructions and emits errors and warnings (e.g. a
+//! differentiable function whose return value does not depend on
+//! differentiable arguments) that help users catch errors before
+//! execution."
+
+use crate::ad::activity::Activity;
+use crate::interp::is_non_differentiable_unary;
+use crate::ir::{Function, Inst, Terminator};
+use s4tf_core::registry;
+
+/// Diagnostics produced by differentiability checking.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    /// Hard errors: differentiation must be rejected.
+    pub errors: Vec<String>,
+    /// Warnings: differentiation proceeds, but the user likely erred.
+    pub warnings: Vec<String>,
+}
+
+impl Diagnostics {
+    /// True if no errors were found (warnings allowed).
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Checks that `f` can be differentiated, given its activity analysis.
+///
+/// Errors:
+/// * an *active* instruction whose operation has no registered derivative
+///   (unknown ops, and the piecewise-constant-free builtins `floor`,
+///   `ceil`, `round`, `trunc`);
+/// * an active `call` (the pipeline inlines calls before synthesis; a
+///   remaining active call means a recursive function, which this
+///   implementation does not differentiate).
+///
+/// Warnings:
+/// * the returned value is not varied — the function's output does not
+///   depend on its differentiable arguments, so every gradient is zero.
+pub fn check(f: &Function, activity: &Activity) -> Diagnostics {
+    let mut d = Diagnostics::default();
+
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for (result, inst) in &block.insts {
+            if !activity.is_active(*result) {
+                continue; // inactive instructions need no derivative
+            }
+            match inst {
+                Inst::Unary { op, .. } => {
+                    if is_non_differentiable_unary(op) {
+                        d.errors.push(format!(
+                            "bb{bi}: active use of non-differentiable operation '{op}'"
+                        ));
+                    } else if registry::lookup_unary(op).is_none() {
+                        d.errors.push(format!(
+                            "bb{bi}: no registered derivative for operation '{op}'"
+                        ));
+                    }
+                }
+                Inst::Binary { op, .. } => {
+                    if registry::lookup_binary(op).is_none() {
+                        d.errors.push(format!(
+                            "bb{bi}: no registered derivative for operation '{op}'"
+                        ));
+                    }
+                }
+                Inst::Call { .. } => {
+                    d.errors.push(format!(
+                        "bb{bi}: active call survived inlining (recursive functions \
+                         cannot be differentiated by this implementation)"
+                    ));
+                }
+                Inst::Const(_) | Inst::Cmp { .. } => {}
+            }
+        }
+        if let Terminator::Ret(vals) = &block.terminator {
+            if !vals.iter().any(|v| activity.varied.contains(v)) {
+                d.warnings.push(format!(
+                    "bb{bi}: return value does not depend on differentiable arguments; \
+                     the gradient is zero everywhere"
+                ));
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ad::activity::analyze;
+    use crate::parser::parse_module_unwrap;
+
+    fn diag(src: &str) -> Diagnostics {
+        let m = parse_module_unwrap(src);
+        let f = m.func(m.func_id("f").unwrap());
+        check(f, &analyze(f))
+    }
+
+    #[test]
+    fn clean_function_passes() {
+        let d = diag(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = sin %x
+              ret %y
+            }
+            "#,
+        );
+        assert!(d.is_ok());
+        assert!(d.warnings.is_empty());
+    }
+
+    #[test]
+    fn active_floor_is_an_error() {
+        let d = diag(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = floor %x
+              ret %y
+            }
+            "#,
+        );
+        assert!(!d.is_ok());
+        assert!(d.errors[0].contains("non-differentiable operation 'floor'"));
+    }
+
+    #[test]
+    fn inactive_floor_is_fine() {
+        // floor applied to a constant is inactive: no error.
+        let d = diag(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %c = const 2.7
+              %fl = floor %c
+              %y = mul %x, %fl
+              ret %y
+            }
+            "#,
+        );
+        assert!(d.is_ok(), "{:?}", d.errors);
+    }
+
+    #[test]
+    fn unknown_op_is_an_error() {
+        let d = diag(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = mystery_op %x
+              ret %y
+            }
+            "#,
+        );
+        assert!(!d.is_ok());
+        assert!(d.errors[0].contains("no registered derivative"));
+    }
+
+    #[test]
+    fn constant_return_warns() {
+        let d = diag(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %c = const 1.0
+              ret %c
+            }
+            "#,
+        );
+        assert!(d.is_ok());
+        assert_eq!(d.warnings.len(), 1);
+        assert!(d.warnings[0].contains("does not depend"));
+    }
+}

@@ -1,0 +1,487 @@
+//! Forward-mode derivative synthesis: the JVP transform.
+//!
+//! `(A) -> B` becomes `(A, A.Tangent) -> (B, B.Tangent)` (paper Figure 3):
+//! the synthesized function takes the original parameters plus one tangent
+//! per `f64` parameter, and returns the original results plus their
+//! tangents. Tangents flow *forwards* along the original control-flow
+//! graph, so the transform is purely structural: each block gets tangent
+//! parameters, each active instruction gets tangent-computation code
+//! emitted from the symbolic [`RuleSet`].
+//!
+//! The output is ordinary IR — run [`crate::passes::optimize`] over it and
+//! the zero-tangent chains of inactive code fold away (tested), which is
+//! the paper's "fully amenable to the same set of compile-time
+//! optimizations" claim in action.
+
+use crate::ad::activity::analyze;
+use crate::ad::check::check;
+use crate::ad::rules::{Emitter, RuleSet};
+use crate::ad::AdError;
+use crate::interp::Interpreter;
+use crate::ir::{Block, FuncId, Function, Inst, Module, Terminator, Type, ValueId};
+use crate::passes::inline::inline_all;
+use std::collections::HashMap;
+
+/// Synthesizes the JVP of `func`, adds it to the module and returns its id.
+///
+/// The new function is named `<orig>_jvp`, takes `params ++ tangent-params`
+/// and returns `results ++ tangent-results`.
+///
+/// # Errors
+/// Returns [`AdError::NotDifferentiable`] when differentiability checking
+/// fails (active non-differentiable or unregistered operations, recursion).
+pub fn transform(module: &mut Module, func: FuncId, rules: &RuleSet) -> Result<FuncId, AdError> {
+    // 0. Copy and inline the call tree ("recursively transform callees").
+    let mut work = module.func(func).clone();
+    work.name = format!("{}_jvp_work", work.name);
+    let work_id = module.add_function(work);
+    inline_all(module, work_id);
+
+    let orig = module.func(work_id).clone();
+    // Any call surviving inlining is recursive.
+    let has_calls = orig
+        .blocks
+        .iter()
+        .any(|b| b.insts.iter().any(|(_, i)| matches!(i, Inst::Call { .. })));
+    if has_calls {
+        module.functions.pop(); // drop the work copy
+        return Err(AdError::NotDifferentiable {
+            errors: vec!["recursive call cannot be differentiated".into()],
+        });
+    }
+
+    // 1–2. Activity analysis + differentiability checking.
+    let activity = analyze(&orig);
+    let diags = check(&orig, &activity);
+    if !diags.is_ok() {
+        module.functions.pop();
+        return Err(AdError::NotDifferentiable {
+            errors: diags.errors,
+        });
+    }
+
+    // 3. Derivative synthesis.
+    let mut out = Function {
+        name: format!("{}_jvp", module.func(func).name),
+        blocks: Vec::new(),
+        result_types: {
+            let mut t = orig.result_types.clone();
+            t.extend(orig.result_types.iter().filter(|&&ty| ty == Type::F64));
+            t
+        },
+        next_value: 0,
+    };
+
+    // Primal and tangent value maps (old id → new id).
+    let mut pmap: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut tmap: HashMap<ValueId, ValueId> = HashMap::new();
+
+    // Create all blocks with primal + tangent parameters first.
+    for old_block in &orig.blocks {
+        let mut params = Vec::new();
+        for &(v, ty) in &old_block.params {
+            let nv = out.fresh_value();
+            pmap.insert(v, nv);
+            params.push((nv, ty));
+        }
+        for &(v, ty) in &old_block.params {
+            if ty == Type::F64 {
+                let tv = out.fresh_value();
+                tmap.insert(v, tv);
+                params.push((tv, Type::F64));
+            }
+        }
+        out.blocks.push(Block {
+            params,
+            insts: Vec::new(),
+            terminator: Terminator::Ret(vec![]),
+        });
+    }
+
+    for (bi, old_block) in orig.blocks.iter().enumerate() {
+        for (result, inst) in &old_block.insts {
+            let mut e = Emitter::new(&mut out, bi);
+            match inst {
+                Inst::Const(c) => {
+                    let p = e.emit(Inst::Const(*c));
+                    let t = e.constant(0.0);
+                    pmap.insert(*result, p);
+                    tmap.insert(*result, t);
+                }
+                Inst::Cmp { pred, lhs, rhs } => {
+                    let p = e.emit(Inst::Cmp {
+                        pred: *pred,
+                        lhs: pmap[lhs],
+                        rhs: pmap[rhs],
+                    });
+                    pmap.insert(*result, p);
+                }
+                Inst::Unary { op, operand } => {
+                    let x = pmap[operand];
+                    let p = e.unary(op, x);
+                    let t = if activity.is_active(*result) {
+                        let rule = rules.unary_rule(op).unwrap_or_else(|| {
+                            panic!("checked op '{op}' has no symbolic rule")
+                        });
+                        let partial = rule(&mut e, x);
+                        let dx = tmap[operand];
+                        e.binary("mul", partial, dx)
+                    } else {
+                        e.constant(0.0)
+                    };
+                    pmap.insert(*result, p);
+                    tmap.insert(*result, t);
+                }
+                Inst::Binary { op, lhs, rhs } => {
+                    let (a, b) = (pmap[lhs], pmap[rhs]);
+                    let p = e.binary(op, a, b);
+                    let t = if activity.is_active(*result) {
+                        let rule = rules.binary_rule(op).unwrap_or_else(|| {
+                            panic!("checked op '{op}' has no symbolic rule")
+                        });
+                        let (pa, pb) = rule(&mut e, a, b);
+                        let (da, db) = (tmap[lhs], tmap[rhs]);
+                        let ta = e.binary("mul", pa, da);
+                        let tb = e.binary("mul", pb, db);
+                        e.binary("add", ta, tb)
+                    } else {
+                        e.constant(0.0)
+                    };
+                    pmap.insert(*result, p);
+                    tmap.insert(*result, t);
+                }
+                Inst::Call { .. } => unreachable!("calls rejected above"),
+            }
+        }
+        // Terminator: append tangent args after primal args.
+        let types = orig.value_types(module);
+        let widen = |args: &[ValueId]| -> Vec<ValueId> {
+            let mut v: Vec<ValueId> = args.iter().map(|a| pmap[a]).collect();
+            v.extend(
+                args.iter()
+                    .filter(|a| types[a] == Type::F64)
+                    .map(|a| tmap[a]),
+            );
+            v
+        };
+        out.blocks[bi].terminator = match &old_block.terminator {
+            Terminator::Br { target, args } => Terminator::Br {
+                target: *target,
+                args: widen(args),
+            },
+            Terminator::CondBr {
+                cond,
+                then_target,
+                then_args,
+                else_target,
+                else_args,
+            } => Terminator::CondBr {
+                cond: pmap[cond],
+                then_target: *then_target,
+                then_args: widen(then_args),
+                else_target: *else_target,
+                else_args: widen(else_args),
+            },
+            Terminator::Ret(vals) => Terminator::Ret(widen(vals)),
+        };
+    }
+
+    // Drop the inlined work copy, keep the jvp.
+    module.functions.pop();
+    Ok(module.add_function(out))
+}
+
+/// One-shot forward-mode directional derivative:
+/// `(f(x), df(x)[dx])` for a single-result `func`.
+///
+/// Synthesizes the JVP (into a scratch clone of the module) and evaluates
+/// it. For repeated use, call [`transform`] once and interpret the result.
+///
+/// # Errors
+/// Propagates synthesis and evaluation errors.
+pub fn value_and_derivative(
+    module: &Module,
+    func: FuncId,
+    x: &[f64],
+    dx: &[f64],
+) -> Result<(f64, f64), AdError> {
+    assert_eq!(x.len(), dx.len(), "one tangent per argument");
+    let mut scratch = module.clone();
+    let jvp = transform(&mut scratch, func, &RuleSet::builtin())?;
+    let mut args = x.to_vec();
+    args.extend_from_slice(dx);
+    let out = Interpreter::new().run(&scratch, jvp, &args)?;
+    assert_eq!(out.len(), 2, "single-result function expected");
+    Ok((out[0], out[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module_unwrap;
+    use crate::passes::optimize;
+    use crate::verify::verify_module;
+
+    fn fd(module: &Module, f: FuncId, x: &[f64], dx: &[f64]) -> f64 {
+        let eps = 1e-6;
+        let xp: Vec<f64> = x.iter().zip(dx).map(|(a, d)| a + eps * d).collect();
+        let xm: Vec<f64> = x.iter().zip(dx).map(|(a, d)| a - eps * d).collect();
+        let mut i = Interpreter::new();
+        (i.run(module, f, &xp).unwrap()[0] - i.run(module, f, &xm).unwrap()[0]) / (2.0 * eps)
+    }
+
+    #[test]
+    fn straight_line_jvp() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = mul %x, %x
+              %z = sin %y
+              ret %z
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let (v, d) = value_and_derivative(&m, f, &[0.7], &[1.0]).unwrap();
+        assert!((v - (0.49f64).sin()).abs() < 1e-15);
+        assert!((d - (0.49f64.cos() * 1.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jvp_is_linear_in_tangent() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64, %y: f64) -> f64 {
+            bb0(%x: f64, %y: f64):
+              %p = mul %x, %y
+              %e = exp %p
+              ret %e
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let (_, d10) = value_and_derivative(&m, f, &[0.5, 0.8], &[1.0, 0.0]).unwrap();
+        let (_, d01) = value_and_derivative(&m, f, &[0.5, 0.8], &[0.0, 1.0]).unwrap();
+        let (_, d23) = value_and_derivative(&m, f, &[0.5, 0.8], &[2.0, 3.0]).unwrap();
+        assert!((d23 - (2.0 * d10 + 3.0 * d01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jvp_through_control_flow() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %zero = const 0.0
+              %c = cmp gt %x, %zero
+              condbr %c, bb1(), bb2()
+            bb1():
+              %a = mul %x, %x
+              br bb3(%a)
+            bb2():
+              %b3 = const 3.0
+              %b = mul %x, %b3
+              br bb3(%b)
+            bb3(%r: f64):
+              %s = sin %r
+              ret %s
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        // x > 0: d/dx sin(x²) = cos(x²)·2x
+        let (_, d) = value_and_derivative(&m, f, &[2.0], &[1.0]).unwrap();
+        assert!((d - 4.0f64.cos() * 4.0).abs() < 1e-12);
+        // x < 0: d/dx sin(3x) = 3cos(3x)
+        let (_, d) = value_and_derivative(&m, f, &[-1.0], &[1.0]).unwrap();
+        assert!((d - 3.0 * (-3.0f64).cos()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jvp_through_loops() {
+        // f(x) = x^n by repeated multiplication; f'(x) = n·x^(n-1).
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64, %n: f64) -> f64 {
+            bb0(%x: f64, %n: f64):
+              %zero = const 0.0
+              %one = const 1.0
+              br bb1(%zero, %one)
+            bb1(%k: f64, %acc: f64):
+              %c = cmp lt %k, %n
+              condbr %c, bb2(), bb3()
+            bb2():
+              %acc2 = mul %acc, %x
+              %kn = add %k, %one
+              br bb1(%kn, %acc2)
+            bb3():
+              ret %acc
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let (v, d) = value_and_derivative(&m, f, &[1.3, 5.0], &[1.0, 0.0]).unwrap();
+        assert!((v - 1.3f64.powi(5)).abs() < 1e-12);
+        assert!((d - 5.0 * 1.3f64.powi(4)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jvp_through_calls_via_inlining() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = call @g(%x)
+              %z = call @g(%y)
+              ret %z
+            }
+            func @g(%a: f64) -> f64 {
+            bb0(%a: f64):
+              %r = mul %a, %a
+              ret %r
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        // f(x) = x⁴ → f'(2) = 32
+        let (v, d) = value_and_derivative(&m, f, &[2.0], &[1.0]).unwrap();
+        assert_eq!(v, 16.0);
+        assert!((d - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jvp_matches_finite_differences_on_many_functions() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64, %y: f64) -> f64 {
+            bb0(%x: f64, %y: f64):
+              %s = sin %x
+              %t = tanh %y
+              %q = mul %s, %t
+              %two = const 2.0
+              %p = pow %x, %two
+              %r = add %q, %p
+              %d = div %r, %y
+              %sg = sigmoid %d
+              ret %sg
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        for &(x, y) in &[(0.4, 1.2), (1.1, 0.7), (2.0, 2.0)] {
+            for &dir in &[[1.0, 0.0], [0.0, 1.0], [0.6, -0.8]] {
+                let (_, d) = value_and_derivative(&m, f, &[x, y], &dir).unwrap();
+                let numeric = fd(&m, f, &[x, y], &dir);
+                assert!((d - numeric).abs() < 1e-5, "at ({x},{y}) dir {dir:?}: {d} vs {numeric}");
+            }
+        }
+    }
+
+    #[test]
+    fn synthesized_jvp_verifies_and_optimizes() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %c = const 4.0
+              %u = mul %c, %c
+              %y = mul %x, %u
+              %z = exp %y
+              ret %z
+            }
+            "#,
+        );
+        let mut m2 = m.clone();
+        let f = m2.func_id("f").unwrap();
+        let jvp = transform(&mut m2, f, &RuleSet::builtin()).unwrap();
+        verify_module(&m2).unwrap();
+        let before = m2.func(jvp).inst_count();
+        // The paper's claim: AD output is ordinary IR, so the standard
+        // pipeline optimizes it (inactive-code tangents fold to zero).
+        optimize(&mut m2, jvp);
+        verify_module(&m2).unwrap();
+        let after = m2.func(jvp).inst_count();
+        assert!(after < before, "optimizer must shrink the JVP ({before} → {after})");
+        let out = Interpreter::new().run(&m2, jvp, &[0.5, 1.0]).unwrap();
+        assert!((out[1] - 16.0 * 8.0f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_rule_used_by_synthesis() {
+        // Register semantics for 'cube' and a custom symbolic rule.
+        s4tf_core::registry::register_unary(
+            "cube",
+            s4tf_core::registry::UnaryDerivative {
+                f: |x| x * x * x,
+                df: |x| 3.0 * x * x,
+            },
+        );
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = cube %x
+              ret %y
+            }
+            "#,
+        );
+        let mut m2 = m.clone();
+        let f = m2.func_id("f").unwrap();
+        let rules = RuleSet::builtin().with_custom_unary("cube", |e, x| {
+            let sq = e.unary("square", x);
+            let three = e.constant(3.0);
+            e.binary("mul", three, sq)
+        });
+        let jvp = transform(&mut m2, f, &rules).unwrap();
+        let out = Interpreter::new().run(&m2, jvp, &[2.0, 1.0]).unwrap();
+        assert_eq!(out, vec![8.0, 12.0]);
+    }
+
+    #[test]
+    fn non_differentiable_rejected() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = floor %x
+              ret %y
+            }
+            "#,
+        );
+        let mut m2 = m.clone();
+        let f = m2.func_id("f").unwrap();
+        let n_before = m2.functions.len();
+        let err = transform(&mut m2, f, &RuleSet::builtin()).unwrap_err();
+        assert!(matches!(err, AdError::NotDifferentiable { .. }));
+        assert_eq!(m2.functions.len(), n_before, "no work function leaked");
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %one = const 1.0
+              %c = cmp lt %x, %one
+              condbr %c, bb1(), bb2()
+            bb1():
+              ret %x
+            bb2():
+              %d = sub %x, %one
+              %y = call @f(%d)
+              %r = mul %y, %x
+              ret %r
+            }
+            "#,
+        );
+        let mut m2 = m.clone();
+        let f = m2.func_id("f").unwrap();
+        let err = transform(&mut m2, f, &RuleSet::builtin()).unwrap_err();
+        let AdError::NotDifferentiable { errors } = err else {
+            panic!("expected NotDifferentiable");
+        };
+        assert!(errors[0].contains("recursive"));
+    }
+}

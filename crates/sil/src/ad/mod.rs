@@ -1,0 +1,94 @@
+//! The differentiation code transformation (paper §2.2).
+//!
+//! Pipeline, exactly as the paper lays it out:
+//!
+//! 1. **Inline callees** — the paper's transformation "recursively
+//!    transforms the callees to get their derivative functions"; here the
+//!    recursion is realized by inlining the call tree into the function
+//!    being differentiated, terminating at named operations whose
+//!    derivatives are *registered* (the `@derivative(of:)` base cases,
+//!    `s4tf_core::registry`).
+//! 2. **Activity analysis** ([`activity`]) — instructions both *varied*
+//!    (depend on the inputs) and *useful* (contribute to the output) are
+//!    *active* and need a derivative.
+//! 3. **Differentiability checking** ([`check`]) — errors for active
+//!    non-differentiable instructions, warnings for functions whose return
+//!    value does not depend on differentiable arguments.
+//! 4. **Derivative synthesis** ([`jvp`], [`vjp`]) — forward mode is a pure
+//!    IR-to-IR transform; reverse mode synthesizes per-basic-block pullback
+//!    records linked into a branch trace at runtime.
+//!
+//! All synthesis happens *before* any execution, from static analysis only —
+//! the "AOT-compile-time" property the paper claims. The synthesized JVP is
+//! ordinary IR, so the standard passes optimize it (tested).
+
+pub mod activity;
+pub mod check;
+pub mod jvp;
+pub mod rules;
+pub mod vjp;
+
+use crate::interp::EvalError;
+use crate::ir::{FuncId, Module};
+use std::error::Error;
+use std::fmt;
+
+/// Failures of the differentiation transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdError {
+    /// Differentiability checking found errors (paper §2.2 step 2).
+    NotDifferentiable {
+        /// The diagnostics, one string per error.
+        errors: Vec<String>,
+    },
+    /// Executing a synthesized derivative failed.
+    Eval(EvalError),
+}
+
+impl fmt::Display for AdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdError::NotDifferentiable { errors } => {
+                write!(f, "function is not differentiable: {}", errors.join("; "))
+            }
+            AdError::Eval(e) => write!(f, "derivative evaluation failed: {e}"),
+        }
+    }
+}
+
+impl Error for AdError {}
+
+impl From<EvalError> for AdError {
+    fn from(e: EvalError) -> Self {
+        AdError::Eval(e)
+    }
+}
+
+/// Convenience: synthesizes the VJP of `func` and evaluates its gradient at
+/// `args` (reverse mode, seed 1).
+///
+/// For repeated evaluation at many points, synthesize once with
+/// [`vjp::differentiate`] and reuse the result — synthesis is the
+/// "compile-time" step and is not meant to run per data point.
+///
+/// # Errors
+/// Returns [`AdError`] if the function is not differentiable or evaluation
+/// fails.
+pub fn gradient(module: &Module, func: FuncId, args: &[f64]) -> Result<Vec<f64>, AdError> {
+    let d = vjp::differentiate(module, func)?;
+    let (_, grad) = d.value_with_gradient(args, 1.0)?;
+    Ok(grad)
+}
+
+/// Convenience: value and gradient together (reverse mode).
+///
+/// # Errors
+/// See [`gradient`].
+pub fn value_with_gradient(
+    module: &Module,
+    func: FuncId,
+    args: &[f64],
+) -> Result<(f64, Vec<f64>), AdError> {
+    let d = vjp::differentiate(module, func)?;
+    Ok(d.value_with_gradient(args, 1.0)?)
+}

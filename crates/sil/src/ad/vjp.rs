@@ -1,0 +1,789 @@
+//! Reverse-mode derivative synthesis: the VJP transform.
+//!
+//! `(A) -> B` becomes `(A) -> (B, (B.Tangent) -> A.Tangent)` (paper
+//! Figure 3). Control flow is handled with the paper's mechanism:
+//! "statically-typed records corresponding to the basic blocks of the
+//! control flow graph that store intermediate state used in derivative
+//! calculations. These records form a nested data structure of control
+//! flow branches between basic blocks that have been taken during the
+//! execution of the function."
+//!
+//! Synthesis (all before any execution, from static analysis only):
+//!
+//! * per basic block, a **capture list** — exactly the primal values the
+//!   block's adjoint computation will need (operands of active
+//!   instructions), the fields of the block's statically-typed pullback
+//!   record;
+//! * per basic block, an **adjoint program** — the block's active
+//!   instructions reversed, each compiled to an adjoint operation that
+//!   propagates `adj[result]` into its operands through the registered
+//!   derivative (`s4tf_core::registry`, the `@derivative(of:)` base cases).
+//!
+//! Execution:
+//!
+//! * the **augmented primal** runs forward, pushing one record per
+//!   basic-block execution (captures + which successor was taken) — the
+//!   nested branch-trace structure;
+//! * the **pullback** walks the records in reverse, running each block's
+//!   adjoint program; loop iterations pop their own records, so
+//!   loop-carried gradients accumulate correctly through block-argument
+//!   transfers.
+
+use crate::ad::activity::{analyze, Activity};
+use crate::ad::check::check;
+use crate::ad::AdError;
+use crate::interp::builtin_non_differentiable_unary;
+use crate::ir::{BlockId, FuncId, Function, Inst, Module, Terminator, Type, ValueId};
+use crate::passes::inline::inline_all;
+use s4tf_core::registry;
+use std::collections::HashMap;
+
+/// One adjoint operation: propagate the adjoint of `result` into the
+/// adjoints of the operands, through the op's registered derivative.
+#[derive(Debug, Clone, PartialEq)]
+enum AdjointOp {
+    /// `adj[operand] += adj[result] · d op/dx (captured x)`
+    Unary {
+        result: ValueId,
+        op: String,
+        operand: ValueId,
+    },
+    /// `adj[lhs] += adj[result]·∂a;  adj[rhs] += adj[result]·∂b`
+    Binary {
+        result: ValueId,
+        op: String,
+        lhs: ValueId,
+        rhs: ValueId,
+    },
+    /// `adj[result]` is consumed with no propagation (constants).
+    Sink { result: ValueId },
+}
+
+/// The statically-determined pullback structure of one basic block.
+#[derive(Debug, Clone, Default)]
+struct BlockPullback {
+    /// Primal values this block's record must capture.
+    captures: Vec<ValueId>,
+    /// Adjoint program, already in reverse instruction order.
+    adjoints: Vec<AdjointOp>,
+}
+
+/// Which successor a block execution took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Taken {
+    /// Fell out of the function.
+    Ret,
+    /// Unconditional branch.
+    Br,
+    /// Conditional branch, then-side.
+    CondThen,
+    /// Conditional branch, else-side.
+    CondElse,
+}
+
+/// One runtime pullback record: the captured primal values of one
+/// basic-block execution plus the branch taken. A [`Trace`] is the linked
+/// sequence of these records.
+#[derive(Debug, Clone)]
+struct Record {
+    block: BlockId,
+    captures: Vec<f64>,
+    taken: Taken,
+}
+
+/// The branch trace of one primal execution: the runtime form of the
+/// paper's "nested data structure of control flow branches".
+#[derive(Debug, Clone)]
+pub struct Trace {
+    records: Vec<Record>,
+    result: f64,
+}
+
+impl Trace {
+    /// The primal result.
+    pub fn value(&self) -> f64 {
+        self.result
+    }
+
+    /// Number of block-execution records (trace length).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the trace is empty (never: a run records at least one block).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// A synthesized reverse-mode derivative: the augmented primal plus the
+/// per-block pullback structures. Self-contained (the call tree was
+/// inlined), so it can be executed without the originating module.
+#[derive(Debug, Clone)]
+pub struct SynthesizedVjp {
+    primal: Function,
+    pullbacks: Vec<BlockPullback>,
+    /// Warnings from differentiability checking (e.g. constant returns).
+    pub warnings: Vec<String>,
+    fuel: u64,
+}
+
+/// Synthesizes the VJP of `func` (paper §2.2): inline → activity analysis →
+/// differentiability check → per-block pullback synthesis.
+///
+/// # Errors
+/// Returns [`AdError::NotDifferentiable`] for active non-differentiable
+/// operations or recursion.
+pub fn differentiate(module: &Module, func: FuncId) -> Result<SynthesizedVjp, AdError> {
+    let mut scratch = module.clone();
+    inline_all(&mut scratch, func);
+    let primal = scratch.func(func).clone();
+    if primal
+        .blocks
+        .iter()
+        .any(|b| b.insts.iter().any(|(_, i)| matches!(i, Inst::Call { .. })))
+    {
+        return Err(AdError::NotDifferentiable {
+            errors: vec!["recursive call cannot be differentiated".into()],
+        });
+    }
+    assert_eq!(
+        primal.result_types,
+        vec![Type::F64],
+        "reverse mode expects a single f64 result"
+    );
+
+    let activity = analyze(&primal);
+    let diags = check(&primal, &activity);
+    if !diags.is_ok() {
+        return Err(AdError::NotDifferentiable {
+            errors: diags.errors,
+        });
+    }
+
+    let pullbacks = primal
+        .blocks
+        .iter()
+        .map(|block| synthesize_block(block, &activity))
+        .collect();
+
+    Ok(SynthesizedVjp {
+        primal,
+        pullbacks,
+        warnings: diags.warnings,
+        fuel: 10_000_000,
+    })
+}
+
+fn synthesize_block(block: &crate::ir::Block, activity: &Activity) -> BlockPullback {
+    let mut captures = Vec::new();
+    let capture = |v: ValueId, captures: &mut Vec<ValueId>| {
+        if !captures.contains(&v) {
+            captures.push(v);
+        }
+    };
+    let mut adjoints = Vec::new();
+    for (result, inst) in block.insts.iter().rev() {
+        if !activity.is_active(*result) {
+            continue;
+        }
+        match inst {
+            Inst::Const(_) => adjoints.push(AdjointOp::Sink { result: *result }),
+            Inst::Unary { op, operand } => {
+                capture(*operand, &mut captures);
+                adjoints.push(AdjointOp::Unary {
+                    result: *result,
+                    op: op.clone(),
+                    operand: *operand,
+                });
+            }
+            Inst::Binary { op, lhs, rhs } => {
+                capture(*lhs, &mut captures);
+                capture(*rhs, &mut captures);
+                adjoints.push(AdjointOp::Binary {
+                    result: *result,
+                    op: op.clone(),
+                    lhs: *lhs,
+                    rhs: *rhs,
+                });
+            }
+            // Cmp results are bool (never active); calls were inlined.
+            Inst::Cmp { .. } | Inst::Call { .. } => {}
+        }
+    }
+    BlockPullback { captures, adjoints }
+}
+
+impl SynthesizedVjp {
+    /// The augmented primal function (for inspection and code-size metrics).
+    pub fn primal(&self) -> &Function {
+        &self.primal
+    }
+
+    /// Runs the augmented primal, returning the value and the branch trace.
+    ///
+    /// # Errors
+    /// Returns [`AdError::Eval`] for unknown ops or fuel exhaustion.
+    pub fn value_with_trace(&self, args: &[f64]) -> Result<Trace, AdError> {
+        let f = &self.primal;
+        if args.len() != f.params().len() {
+            return Err(AdError::Eval(crate::interp::EvalError::ArityMismatch {
+                func: f.name.clone(),
+                expected: f.params().len(),
+                actual: args.len(),
+            }));
+        }
+        let mut env: HashMap<ValueId, f64> = HashMap::new();
+        let mut bools: HashMap<ValueId, bool> = HashMap::new();
+        let mut records = Vec::new();
+        let mut block = BlockId(0);
+        let mut incoming: Vec<f64> = args.to_vec();
+        let mut fuel = self.fuel;
+        loop {
+            let b = f.block(block);
+            for (&(p, ty), v) in b.params.iter().zip(&incoming) {
+                debug_assert_eq!(ty, Type::F64, "block params carrying data are f64");
+                env.insert(p, *v);
+            }
+            for (result, inst) in &b.insts {
+                if fuel == 0 {
+                    return Err(AdError::Eval(crate::interp::EvalError::OutOfFuel));
+                }
+                fuel -= 1;
+                match inst {
+                    Inst::Const(x) => {
+                        env.insert(*result, *x);
+                    }
+                    Inst::Unary { op, operand } => {
+                        let d = registry::lookup_unary(op)
+                            .or_else(|| builtin_non_differentiable_unary(op))
+                            .ok_or_else(|| {
+                                AdError::Eval(crate::interp::EvalError::UnknownOp(op.clone()))
+                            })?;
+                        env.insert(*result, (d.f)(env[operand]));
+                    }
+                    Inst::Binary { op, lhs, rhs } => {
+                        let d = registry::lookup_binary(op).ok_or_else(|| {
+                            AdError::Eval(crate::interp::EvalError::UnknownOp(op.clone()))
+                        })?;
+                        env.insert(*result, (d.f)(env[lhs], env[rhs]));
+                    }
+                    Inst::Cmp { pred, lhs, rhs } => {
+                        bools.insert(*result, pred.apply(env[lhs], env[rhs]));
+                    }
+                    Inst::Call { .. } => unreachable!("calls rejected by differentiate"),
+                }
+            }
+            let captures = self.pullbacks[block.0 as usize]
+                .captures
+                .iter()
+                .map(|v| env[v])
+                .collect();
+            match &b.terminator {
+                Terminator::Ret(vals) => {
+                    records.push(Record {
+                        block,
+                        captures,
+                        taken: Taken::Ret,
+                    });
+                    return Ok(Trace {
+                        records,
+                        result: env[&vals[0]],
+                    });
+                }
+                Terminator::Br { target, args } => {
+                    records.push(Record {
+                        block,
+                        captures,
+                        taken: Taken::Br,
+                    });
+                    incoming = args.iter().map(|v| env[v]).collect();
+                    block = *target;
+                }
+                Terminator::CondBr {
+                    cond,
+                    then_target,
+                    then_args,
+                    else_target,
+                    else_args,
+                } => {
+                    if bools[cond] {
+                        records.push(Record {
+                            block,
+                            captures,
+                            taken: Taken::CondThen,
+                        });
+                        incoming = then_args.iter().map(|v| env[v]).collect();
+                        block = *then_target;
+                    } else {
+                        records.push(Record {
+                            block,
+                            captures,
+                            taken: Taken::CondElse,
+                        });
+                        incoming = else_args.iter().map(|v| env[v]).collect();
+                        block = *else_target;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the pullback over a recorded trace: maps an output cotangent
+    /// (`seed`) to the cotangents of the function parameters.
+    ///
+    /// The pullback is linear in `seed` (tested), as a VJP must be.
+    pub fn pullback(&self, trace: &Trace, seed: f64) -> Vec<f64> {
+        let f = &self.primal;
+        let mut adj: HashMap<ValueId, f64> = HashMap::new();
+
+        for (ri, record) in trace.records.iter().enumerate().rev() {
+            let block = f.block(record.block);
+            let pb = &self.pullbacks[record.block.0 as usize];
+            let cap: HashMap<ValueId, f64> = pb
+                .captures
+                .iter()
+                .copied()
+                .zip(record.captures.iter().copied())
+                .collect();
+
+            // 1. Terminator transfer: successor params → branch args.
+            match (&block.terminator, record.taken) {
+                (Terminator::Ret(vals), Taken::Ret) => {
+                    debug_assert_eq!(ri, trace.records.len() - 1);
+                    *adj.entry(vals[0]).or_insert(0.0) += seed;
+                }
+                (Terminator::Br { target, args }, Taken::Br) => {
+                    transfer(f, &mut adj, *target, args);
+                }
+                (
+                    Terminator::CondBr {
+                        then_target,
+                        then_args,
+                        ..
+                    },
+                    Taken::CondThen,
+                ) => {
+                    transfer(f, &mut adj, *then_target, then_args);
+                }
+                (
+                    Terminator::CondBr {
+                        else_target,
+                        else_args,
+                        ..
+                    },
+                    Taken::CondElse,
+                ) => {
+                    transfer(f, &mut adj, *else_target, else_args);
+                }
+                (t, taken) => unreachable!("record {taken:?} does not match terminator {t:?}"),
+            }
+
+            // 2. Reverse adjoint program (already reversed at synthesis).
+            for op in &pb.adjoints {
+                match op {
+                    AdjointOp::Sink { result } => {
+                        adj.remove(result);
+                    }
+                    AdjointOp::Unary {
+                        result,
+                        op,
+                        operand,
+                    } => {
+                        let a = adj.remove(result).unwrap_or(0.0);
+                        if a != 0.0 {
+                            let d = registry::lookup_unary(op).expect("checked op");
+                            *adj.entry(*operand).or_insert(0.0) += a * (d.df)(cap[operand]);
+                        }
+                    }
+                    AdjointOp::Binary {
+                        result,
+                        op,
+                        lhs,
+                        rhs,
+                    } => {
+                        let a = adj.remove(result).unwrap_or(0.0);
+                        if a != 0.0 {
+                            let d = registry::lookup_binary(op).expect("checked op");
+                            let (pa, pb2) = (d.df)(cap[lhs], cap[rhs]);
+                            *adj.entry(*lhs).or_insert(0.0) += a * pa;
+                            *adj.entry(*rhs).or_insert(0.0) += a * pb2;
+                        }
+                    }
+                }
+            }
+
+            // 3. Non-entry block params were fully consumed by this record's
+            //    predecessors-to-come; clear them so earlier executions of
+            //    the same block start clean. (Entry params keep accumulating
+            //    — they are the gradient.)
+            if record.block != BlockId(0) {
+                // Params are consumed by the *preceding* record's transfer,
+                // which runs after this; do not clear here. Clearing happens
+                // in `transfer` (it removes the successor's param adjoints).
+            }
+        }
+
+        f.params()
+            .iter()
+            .map(|&(p, _)| adj.get(&p).copied().unwrap_or(0.0))
+            .collect()
+    }
+
+    /// Value and gradient at `args` with output cotangent `seed`.
+    ///
+    /// # Errors
+    /// Propagates evaluation errors from the forward pass.
+    pub fn value_with_gradient(&self, args: &[f64], seed: f64) -> Result<(f64, Vec<f64>), AdError> {
+        let trace = self.value_with_trace(args)?;
+        let grad = self.pullback(&trace, seed);
+        Ok((trace.value(), grad))
+    }
+}
+
+/// Moves the adjoints of `target`'s block params onto the branch args that
+/// fed them, clearing the param adjoints (they belong to the successor's
+/// completed execution).
+fn transfer(f: &Function, adj: &mut HashMap<ValueId, f64>, target: BlockId, args: &[ValueId]) {
+    let params = &f.block(target).params;
+    for (arg, &(param, _)) in args.iter().zip(params) {
+        if let Some(a) = adj.remove(&param) {
+            *adj.entry(*arg).or_insert(0.0) += a;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ad::gradient;
+    use crate::interp::Interpreter;
+    use crate::parser::parse_module_unwrap;
+
+    fn fd_grad(m: &Module, f: FuncId, x: &[f64]) -> Vec<f64> {
+        let eps = 1e-6;
+        let mut g = vec![0.0; x.len()];
+        let mut i = Interpreter::new();
+        for k in 0..x.len() {
+            let mut xp = x.to_vec();
+            xp[k] += eps;
+            let mut xm = x.to_vec();
+            xm[k] -= eps;
+            g[k] = (i.run(m, f, &xp).unwrap()[0] - i.run(m, f, &xm).unwrap()[0]) / (2.0 * eps);
+        }
+        g
+    }
+
+    fn assert_grad_matches(src: &str, points: &[&[f64]]) {
+        let m = parse_module_unwrap(src);
+        let f = m.func_id("f").unwrap();
+        let d = differentiate(&m, f).unwrap();
+        for &x in points {
+            let (v, g) = d.value_with_gradient(x, 1.0).unwrap();
+            let expected_v = Interpreter::new().run(&m, f, x).unwrap()[0];
+            assert!((v - expected_v).abs() < 1e-12, "primal value at {x:?}");
+            let numeric = fd_grad(&m, f, x);
+            for (a, b) in g.iter().zip(&numeric) {
+                assert!((a - b).abs() < 1e-4, "at {x:?}: ad {g:?} vs fd {numeric:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_gradient() {
+        assert_grad_matches(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = mul %x, %x
+              %z = sin %y
+              ret %z
+            }
+            "#,
+            &[&[0.7], &[2.0], &[-1.3]],
+        );
+    }
+
+    #[test]
+    fn multivariate_gradient() {
+        assert_grad_matches(
+            r#"
+            func @f(%x: f64, %y: f64) -> f64 {
+            bb0(%x: f64, %y: f64):
+              %p = mul %x, %y
+              %s = sin %x
+              %q = add %p, %s
+              %e = exp %q
+              ret %e
+            }
+            "#,
+            &[&[0.5, 0.8], &[1.0, -0.5]],
+        );
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // f(x) = x·x + x: gradient 2x + 1 requires adjoint accumulation.
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = mul %x, %x
+              %z = add %y, %x
+              ret %z
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let g = gradient(&m, f, &[3.0]).unwrap();
+        assert!((g[0] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_through_branches() {
+        assert_grad_matches(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %zero = const 0.0
+              %c = cmp gt %x, %zero
+              condbr %c, bb1(), bb2()
+            bb1():
+              %a = mul %x, %x
+              br bb3(%a)
+            bb2():
+              %k = const 3.0
+              %b = mul %x, %k
+              br bb3(%b)
+            bb3(%r: f64):
+              %s = sin %r
+              ret %s
+            }
+            "#,
+            &[&[2.0], &[-1.5]],
+        );
+    }
+
+    #[test]
+    fn gradient_through_loops() {
+        // f(x, n) = x^n by repeated multiplication.
+        let src = r#"
+            func @f(%x: f64, %n: f64) -> f64 {
+            bb0(%x: f64, %n: f64):
+              %zero = const 0.0
+              %one = const 1.0
+              br bb1(%zero, %one)
+            bb1(%k: f64, %acc: f64):
+              %c = cmp lt %k, %n
+              condbr %c, bb2(), bb3()
+            bb2():
+              %acc2 = mul %acc, %x
+              %kn = add %k, %one
+              br bb1(%kn, %acc2)
+            bb3():
+              ret %acc
+            }
+            "#;
+        let m = parse_module_unwrap(src);
+        let f = m.func_id("f").unwrap();
+        let d = differentiate(&m, f).unwrap();
+        for n in [0usize, 1, 2, 5, 10] {
+            let (v, g) = d.value_with_gradient(&[1.1, n as f64], 1.0).unwrap();
+            assert!((v - 1.1f64.powi(n as i32)).abs() < 1e-12);
+            let expected = n as f64 * 1.1f64.powi(n as i32 - 1);
+            assert!(
+                (g[0] - expected).abs() < 1e-9,
+                "n={n}: {} vs {expected}",
+                g[0]
+            );
+            assert_eq!(g[1], 0.0, "loop bound is not differentiable data");
+        }
+    }
+
+    #[test]
+    fn trace_length_reflects_control_flow() {
+        let src = r#"
+            func @f(%x: f64, %n: f64) -> f64 {
+            bb0(%x: f64, %n: f64):
+              %zero = const 0.0
+              %one = const 1.0
+              br bb1(%zero, %one)
+            bb1(%k: f64, %acc: f64):
+              %c = cmp lt %k, %n
+              condbr %c, bb2(), bb3()
+            bb2():
+              %acc2 = mul %acc, %x
+              %kn = add %k, %one
+              br bb1(%kn, %acc2)
+            bb3():
+              ret %acc
+            }
+            "#;
+        let m = parse_module_unwrap(src);
+        let f = m.func_id("f").unwrap();
+        let d = differentiate(&m, f).unwrap();
+        let t3 = d.value_with_trace(&[2.0, 3.0]).unwrap();
+        let t5 = d.value_with_trace(&[2.0, 5.0]).unwrap();
+        assert!(!t3.is_empty());
+        // Each extra iteration adds two records (header + body).
+        assert_eq!(t5.len() - t3.len(), 4);
+    }
+
+    #[test]
+    fn pullback_is_linear_in_seed() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = tanh %x
+              %z = mul %y, %x
+              ret %z
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let d = differentiate(&m, f).unwrap();
+        let trace = d.value_with_trace(&[0.8]).unwrap();
+        let g1 = d.pullback(&trace, 1.0);
+        let g2 = d.pullback(&trace, 2.5);
+        assert!((g2[0] - 2.5 * g1[0]).abs() < 1e-12);
+        // Reusing the trace for several seeds must not corrupt it.
+        let g1_again = d.pullback(&trace, 1.0);
+        assert_eq!(g1, g1_again);
+    }
+
+    #[test]
+    fn gradient_through_calls() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = call @square(%x)
+              %z = call @square(%y)
+              ret %z
+            }
+            func @square(%a: f64) -> f64 {
+            bb0(%a: f64):
+              %r = mul %a, %a
+              ret %r
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        // f(x) = x⁴, f'(2) = 32.
+        let g = gradient(&m, f, &[2.0]).unwrap();
+        assert!((g[0] - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relu_and_abs_kinks() {
+        assert_grad_matches(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %r = relu %x
+              %a = abs %x
+              %s = add %r, %a
+              ret %s
+            }
+            "#,
+            &[&[1.5], &[-1.5]],
+        );
+    }
+
+    #[test]
+    fn capture_lists_are_minimal() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %c = const 10.0
+              %dead = mul %c, %c
+              %y = sin %x
+              ret %y
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let d = differentiate(&m, f).unwrap();
+        // Only %x (operand of the active sin) is captured — the inactive
+        // mul contributes nothing to the record.
+        assert_eq!(d.pullbacks[0].captures.len(), 1);
+        assert_eq!(d.pullbacks[0].adjoints.len(), 1);
+    }
+
+    #[test]
+    fn constant_return_warns_and_gives_zero_gradient() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %c = const 42.0
+              ret %c
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let d = differentiate(&m, f).unwrap();
+        assert_eq!(d.warnings.len(), 1);
+        let (v, g) = d.value_with_gradient(&[7.0], 1.0).unwrap();
+        assert_eq!(v, 42.0);
+        assert_eq!(g, vec![0.0]);
+    }
+
+    #[test]
+    fn non_differentiable_rejected() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = round %x
+              ret %y
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        assert!(matches!(
+            differentiate(&m, f),
+            Err(AdError::NotDifferentiable { .. })
+        ));
+    }
+
+    #[test]
+    fn nested_loops() {
+        // f(x) = sum_{i<2} sum_{j<3} x·x = 6x²; f'(x) = 12x.
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %zero = const 0.0
+              %one = const 1.0
+              %two = const 2.0
+              %three = const 3.0
+              br bb1(%zero, %zero)
+            bb1(%i: f64, %acc: f64):
+              %ci = cmp lt %i, %two
+              condbr %ci, bb2(%zero, %acc), bb5()
+            bb2(%j: f64, %acc2: f64):
+              %cj = cmp lt %j, %three
+              condbr %cj, bb3(), bb4()
+            bb3():
+              %xx = mul %x, %x
+              %acc3 = add %acc2, %xx
+              %jn = add %j, %one
+              br bb2(%jn, %acc3)
+            bb4():
+              %in = add %i, %one
+              br bb1(%in, %acc2)
+            bb5():
+              ret %acc
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let d = differentiate(&m, f).unwrap();
+        let (v, g) = d.value_with_gradient(&[1.5], 1.0).unwrap();
+        assert!((v - 6.0 * 2.25).abs() < 1e-12);
+        assert!((g[0] - 18.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,430 @@
+//! The IR's executable semantics: a small-step interpreter with fuel.
+//!
+//! Every transformation in this crate is tested against the interpreter:
+//! a pass (or derivative synthesis) is correct iff the interpreted behavior
+//! is preserved (or matches finite differences).
+
+use crate::ir::{FuncId, Function, Inst, Module, Terminator, Type, ValueId};
+use s4tf_core::registry;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// A float.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The float payload.
+    ///
+    /// # Panics
+    /// Panics if the value is a bool.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::F64(x) => x,
+            Value::Bool(_) => panic!("expected f64, found bool"),
+        }
+    }
+
+    /// The bool payload.
+    ///
+    /// # Panics
+    /// Panics if the value is a float.
+    pub fn as_bool(self) -> bool {
+        match self {
+            Value::Bool(b) => b,
+            Value::F64(_) => panic!("expected bool, found f64"),
+        }
+    }
+}
+
+/// Evaluation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An unregistered unary/binary operation name.
+    UnknownOp(String),
+    /// Argument count mismatch at entry or at a call.
+    ArityMismatch {
+        /// Function involved.
+        func: String,
+        /// Parameters expected.
+        expected: usize,
+        /// Arguments provided.
+        actual: usize,
+    },
+    /// The fuel budget was exhausted (probable infinite loop).
+    OutOfFuel,
+    /// Call stack exceeded the recursion limit.
+    RecursionLimit,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownOp(op) => write!(f, "unknown operation '{op}'"),
+            EvalError::ArityMismatch {
+                func,
+                expected,
+                actual,
+            } => write!(f, "function '{func}' takes {expected} arguments, got {actual}"),
+            EvalError::OutOfFuel => write!(f, "evaluation exceeded its fuel budget"),
+            EvalError::RecursionLimit => write!(f, "call stack exceeded the recursion limit"),
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+/// An IR interpreter.
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    /// Remaining instruction budget (guards against diverging programs).
+    fuel: u64,
+    /// Maximum call depth.
+    max_depth: usize,
+    /// Instructions actually executed by the last `run`.
+    steps: u64,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Interpreter {
+            fuel: 10_000_000,
+            max_depth: 128,
+            steps: 0,
+        }
+    }
+}
+
+impl Interpreter {
+    /// An interpreter with the default fuel budget.
+    pub fn new() -> Self {
+        Interpreter::default()
+    }
+
+    /// An interpreter with a custom fuel budget (instructions).
+    pub fn with_fuel(fuel: u64) -> Self {
+        Interpreter {
+            fuel,
+            ..Interpreter::default()
+        }
+    }
+
+    /// Instructions executed by the most recent [`Interpreter::run`].
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Runs `func` on float arguments, returning its results as floats.
+    ///
+    /// # Errors
+    /// Returns [`EvalError`] on arity mismatches, unknown operations, fuel
+    /// exhaustion or call-stack overflow.
+    pub fn run(&mut self, module: &Module, func: FuncId, args: &[f64]) -> Result<Vec<f64>, EvalError> {
+        self.steps = 0;
+        let vals: Vec<Value> = args.iter().map(|&x| Value::F64(x)).collect();
+        let out = self.run_values(module, func, &vals, 0)?;
+        Ok(out.into_iter().map(Value::as_f64).collect())
+    }
+
+    /// Runs `func` on typed values.
+    ///
+    /// # Errors
+    /// See [`Interpreter::run`].
+    pub fn run_values(
+        &mut self,
+        module: &Module,
+        func: FuncId,
+        args: &[Value],
+        depth: usize,
+    ) -> Result<Vec<Value>, EvalError> {
+        if depth > self.max_depth {
+            return Err(EvalError::RecursionLimit);
+        }
+        let f: &Function = module.func(func);
+        if args.len() != f.params().len() {
+            return Err(EvalError::ArityMismatch {
+                func: f.name.clone(),
+                expected: f.params().len(),
+                actual: args.len(),
+            });
+        }
+
+        let mut env: HashMap<ValueId, Value> = HashMap::new();
+        let mut block = 0u32;
+        let mut incoming: Vec<Value> = args.to_vec();
+
+        loop {
+            let b = &f.blocks[block as usize];
+            debug_assert_eq!(incoming.len(), b.params.len(), "block arg mismatch");
+            for (&(p, ty), v) in b.params.iter().zip(incoming.iter()) {
+                debug_assert!(matches!(
+                    (ty, v),
+                    (Type::F64, Value::F64(_)) | (Type::Bool, Value::Bool(_))
+                ));
+                env.insert(p, *v);
+            }
+            for (result, inst) in &b.insts {
+                if self.fuel == 0 {
+                    return Err(EvalError::OutOfFuel);
+                }
+                self.fuel -= 1;
+                self.steps += 1;
+                let value = self.eval_inst(module, inst, &env, depth)?;
+                env.insert(*result, value);
+            }
+            match &b.terminator {
+                Terminator::Ret(vals) => {
+                    return Ok(vals.iter().map(|v| env[v]).collect());
+                }
+                Terminator::Br { target, args } => {
+                    incoming = args.iter().map(|v| env[v]).collect();
+                    block = target.0;
+                }
+                Terminator::CondBr {
+                    cond,
+                    then_target,
+                    then_args,
+                    else_target,
+                    else_args,
+                } => {
+                    if env[cond].as_bool() {
+                        incoming = then_args.iter().map(|v| env[v]).collect();
+                        block = then_target.0;
+                    } else {
+                        incoming = else_args.iter().map(|v| env[v]).collect();
+                        block = else_target.0;
+                    }
+                }
+            }
+        }
+    }
+
+    fn eval_inst(
+        &mut self,
+        module: &Module,
+        inst: &Inst,
+        env: &HashMap<ValueId, Value>,
+        depth: usize,
+    ) -> Result<Value, EvalError> {
+        Ok(match inst {
+            Inst::Const(x) => Value::F64(*x),
+            Inst::Unary { op, operand } => {
+                let d = registry::lookup_unary(op)
+                    .or_else(|| builtin_non_differentiable_unary(op))
+                    .ok_or_else(|| EvalError::UnknownOp(op.clone()))?;
+                Value::F64((d.f)(env[operand].as_f64()))
+            }
+            Inst::Binary { op, lhs, rhs } => {
+                let d = registry::lookup_binary(op).ok_or_else(|| EvalError::UnknownOp(op.clone()))?;
+                Value::F64((d.f)(env[lhs].as_f64(), env[rhs].as_f64()))
+            }
+            Inst::Cmp { pred, lhs, rhs } => {
+                Value::Bool(pred.apply(env[lhs].as_f64(), env[rhs].as_f64()))
+            }
+            Inst::Call { callee, args } => {
+                let vals: Vec<Value> = args.iter().map(|a| env[a]).collect();
+                let mut out = self.run_values(module, *callee, &vals, depth + 1)?;
+                debug_assert_eq!(out.len(), 1, "calls require single-result callees");
+                out.pop().expect("non-empty results")
+            }
+        })
+    }
+}
+
+/// Unary operations with semantics but *no registered derivative* — the
+/// non-differentiable instructions the paper's differentiability checking
+/// (§2.2) must diagnose when they are active.
+pub fn builtin_non_differentiable_unary(op: &str) -> Option<s4tf_core::registry::UnaryDerivative> {
+    // `df` is never consulted for these: the AD check rejects them first.
+    let f: fn(f64) -> f64 = match op {
+        "floor" => f64::floor,
+        "ceil" => f64::ceil,
+        "round" => f64::round,
+        "trunc" => f64::trunc,
+        _ => return None,
+    };
+    Some(s4tf_core::registry::UnaryDerivative {
+        f,
+        df: |_| f64::NAN,
+    })
+}
+
+/// True if `op` is one of the non-differentiable builtins.
+pub fn is_non_differentiable_unary(op: &str) -> bool {
+    matches!(op, "floor" | "ceil" | "round" | "trunc")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ir::{CmpPred, Type};
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut module = Module::new();
+        let mut b = FunctionBuilder::new("f", &[Type::F64, Type::F64]);
+        let (x, y) = (b.param(0), b.param(1));
+        let p = b.binary("mul", x, y);
+        let s = b.unary("sin", p);
+        let c = b.constant(1.0);
+        let r = b.binary("add", s, c);
+        b.ret(&[r]);
+        let f = module.add_function(b.finish());
+        let out = Interpreter::new().run(&module, f, &[2.0, 3.0]).unwrap();
+        assert!((out[0] - (6.0f64.sin() + 1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn branch_abs() {
+        let mut module = Module::new();
+        let mut b = FunctionBuilder::new("abs", &[Type::F64]);
+        let x = b.param(0);
+        let zero = b.constant(0.0);
+        let c = b.cmp(CmpPred::Lt, x, zero);
+        let neg_bb = b.add_block(&[]);
+        let join = b.add_block(&[Type::F64]);
+        b.cond_br(c, neg_bb, &[], join, &[x]);
+        b.switch_to(neg_bb);
+        let n = b.unary("neg", x);
+        b.br(join, &[n]);
+        b.switch_to(join);
+        let r = b.block_param(join, 0);
+        b.ret(&[r]);
+        let f = module.add_function(b.finish());
+        let mut interp = Interpreter::new();
+        assert_eq!(interp.run(&module, f, &[-3.0]).unwrap(), vec![3.0]);
+        assert_eq!(interp.run(&module, f, &[4.0]).unwrap(), vec![4.0]);
+    }
+
+    /// A counting loop: sum of k² for k in 0..n.
+    fn loop_func(module: &mut Module) -> FuncId {
+        let mut b = FunctionBuilder::new("sumsq", &[Type::F64]);
+        let n = b.param(0);
+        let zero = b.constant(0.0);
+        // header(k, acc)
+        let header = b.add_block(&[Type::F64, Type::F64]);
+        let body = b.add_block(&[]);
+        let exit = b.add_block(&[]);
+        b.br(header, &[zero, zero]);
+        b.switch_to(header);
+        let k = b.block_param(header, 0);
+        let acc = b.block_param(header, 1);
+        let c = b.cmp(CmpPred::Lt, k, n);
+        b.cond_br(c, body, &[], exit, &[]);
+        b.switch_to(body);
+        let k2 = b.binary("mul", k, k);
+        let acc2 = b.binary("add", acc, k2);
+        let one = b.constant(1.0);
+        let k_next = b.binary("add", k, one);
+        b.br(header, &[k_next, acc2]);
+        b.switch_to(exit);
+        b.ret(&[acc]);
+        module.add_function(b.finish())
+    }
+
+    #[test]
+    fn loops_execute() {
+        let mut module = Module::new();
+        let f = loop_func(&mut module);
+        let mut interp = Interpreter::new();
+        // 0²+1²+2²+3² = 14
+        assert_eq!(interp.run(&module, f, &[4.0]).unwrap(), vec![14.0]);
+        assert!(interp.steps() > 10);
+    }
+
+    #[test]
+    fn fuel_guards_divergence() {
+        let mut module = Module::new();
+        let mut b = FunctionBuilder::new("diverge", &[]);
+        let spin = b.add_block(&[]);
+        b.br(spin, &[]);
+        b.switch_to(spin);
+        let c = b.constant(0.0);
+        let _ = b.unary("neg", c);
+        b.br(spin, &[]);
+        let f = module.add_function(b.finish());
+        let err = Interpreter::with_fuel(1000).run(&module, f, &[]);
+        assert_eq!(err, Err(EvalError::OutOfFuel));
+    }
+
+    #[test]
+    fn calls_and_recursion_limit() {
+        let mut module = Module::new();
+        // g(x) = x + 1
+        let mut b = FunctionBuilder::new("g", &[Type::F64]);
+        let x = b.param(0);
+        let one = b.constant(1.0);
+        let r = b.binary("add", x, one);
+        b.ret(&[r]);
+        let g = module.add_function(b.finish());
+        // f(x) = g(g(x))
+        let mut b = FunctionBuilder::new("f", &[Type::F64]);
+        let x = b.param(0);
+        let y = b.call(g, &[x]);
+        let z = b.call(g, &[y]);
+        b.ret(&[z]);
+        let f = module.add_function(b.finish());
+        assert_eq!(Interpreter::new().run(&module, f, &[5.0]).unwrap(), vec![7.0]);
+
+        // infinite recursion: h(x) = h(x)
+        let mut b = FunctionBuilder::new("h", &[Type::F64]);
+        let x = b.param(0);
+        // self-call: the callee id will be this function's own id (2 funcs exist)
+        let self_id = FuncId(module.functions.len() as u32);
+        let y = b.call(self_id, &[x]);
+        b.ret(&[y]);
+        let h = module.add_function(b.finish());
+        assert_eq!(
+            Interpreter::new().run(&module, h, &[1.0]),
+            Err(EvalError::RecursionLimit)
+        );
+    }
+
+    #[test]
+    fn arity_and_unknown_op_errors() {
+        let mut module = Module::new();
+        let mut b = FunctionBuilder::new("f", &[Type::F64]);
+        let x = b.param(0);
+        let y = b.unary("no_such_op_xyz", x);
+        b.ret(&[y]);
+        let f = module.add_function(b.finish());
+        assert_eq!(
+            Interpreter::new().run(&module, f, &[1.0, 2.0]),
+            Err(EvalError::ArityMismatch {
+                func: "f".into(),
+                expected: 1,
+                actual: 2
+            })
+        );
+        assert_eq!(
+            Interpreter::new().run(&module, f, &[1.0]),
+            Err(EvalError::UnknownOp("no_such_op_xyz".into()))
+        );
+    }
+
+    #[test]
+    fn non_differentiable_builtins_evaluate() {
+        let mut module = Module::new();
+        let mut b = FunctionBuilder::new("f", &[Type::F64]);
+        let x = b.param(0);
+        let y = b.unary("floor", x);
+        b.ret(&[y]);
+        let f = module.add_function(b.finish());
+        assert_eq!(Interpreter::new().run(&module, f, &[2.7]).unwrap(), vec![2.0]);
+        assert!(is_non_differentiable_unary("floor"));
+        assert!(!is_non_differentiable_unary("sin"));
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::F64(1.5).as_f64(), 1.5);
+        assert!(Value::Bool(true).as_bool());
+    }
+}

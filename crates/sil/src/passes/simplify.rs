@@ -1,0 +1,190 @@
+//! Algebraic simplification: strength-reducing identities on `add`, `sub`,
+//! `mul`, `div` with constant 0/1 operands.
+
+use super::Pass;
+use crate::ir::{FuncId, Inst, Module, ValueId};
+use std::collections::HashMap;
+
+/// The algebraic-simplification pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlgebraicSimplify;
+
+impl Pass for AlgebraicSimplify {
+    fn name(&self) -> &'static str {
+        "simplify"
+    }
+
+    fn run(&self, module: &mut Module, func: FuncId) -> bool {
+        let mut changed = false;
+        let f = module.func_mut(func);
+        let mut consts: HashMap<ValueId, f64> = HashMap::new();
+        for block in &f.blocks {
+            for (v, inst) in &block.insts {
+                if let Inst::Const(x) = inst {
+                    consts.insert(*v, *x);
+                }
+            }
+        }
+        // Value-level replacements discovered (x*1 → x, …).
+        let mut replace: HashMap<ValueId, ValueId> = HashMap::new();
+        for block in &mut f.blocks {
+            for (result, inst) in &mut block.insts {
+                inst.map_operands(|v| *replace.get(&v).unwrap_or(&v));
+                let Inst::Binary { op, lhs, rhs } = inst else {
+                    continue;
+                };
+                let lc = consts.get(lhs).copied();
+                let rc = consts.get(rhs).copied();
+                let rewrite: Option<Rewrite> = match op.as_str() {
+                    "add" => match (lc, rc) {
+                        (Some(0.0), _) => Some(Rewrite::Alias(*rhs)),
+                        (_, Some(0.0)) => Some(Rewrite::Alias(*lhs)),
+                        _ => None,
+                    },
+                    "sub" => match rc {
+                        Some(0.0) => Some(Rewrite::Alias(*lhs)),
+                        _ => None,
+                    },
+                    "mul" => match (lc, rc) {
+                        (Some(1.0), _) => Some(Rewrite::Alias(*rhs)),
+                        (_, Some(1.0)) => Some(Rewrite::Alias(*lhs)),
+                        (Some(0.0), _) | (_, Some(0.0)) => Some(Rewrite::Const(0.0)),
+                        _ => None,
+                    },
+                    "div" => match rc {
+                        Some(1.0) => Some(Rewrite::Alias(*lhs)),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                match rewrite {
+                    Some(Rewrite::Alias(v)) => {
+                        replace.insert(*result, v);
+                        changed = true;
+                    }
+                    Some(Rewrite::Const(c)) => {
+                        *inst = Inst::Const(c);
+                        consts.insert(*result, c);
+                        changed = true;
+                    }
+                    None => {}
+                }
+            }
+            block
+                .terminator
+                .map_operands(|v| *replace.get(&v).unwrap_or(&v));
+        }
+        if !replace.is_empty() {
+            // A replacement target may itself be replaced later in the same
+            // sweep only within a block; run operand rewriting once more to
+            // settle cross-block uses.
+            for block in &mut f.blocks {
+                for (_, inst) in &mut block.insts {
+                    inst.map_operands(|v| *replace.get(&v).unwrap_or(&v));
+                }
+                block
+                    .terminator
+                    .map_operands(|v| *replace.get(&v).unwrap_or(&v));
+            }
+        }
+        changed
+    }
+}
+
+enum Rewrite {
+    Alias(ValueId),
+    Const(f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module_unwrap;
+    use crate::passes::dce::Dce;
+    use crate::passes::testutil::assert_same_semantics;
+    use crate::verify::verify_module;
+
+    fn simplified(src: &str) -> (Module, Module, FuncId) {
+        let m = parse_module_unwrap(src);
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        AlgebraicSimplify.run(&mut opt, f);
+        Dce.run(&mut opt, f);
+        verify_module(&opt).unwrap();
+        (m, opt, f)
+    }
+
+    #[test]
+    fn mul_by_one_and_zero() {
+        let (m, opt, f) = simplified(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %one = const 1.0
+              %zero = const 0.0
+              %a = mul %x, %one
+              %b = mul %zero, %x
+              %c = add %a, %b
+              ret %c
+            }
+            "#,
+        );
+        // %a → %x; %b → const 0; %c = add %x, 0 → %x on a second sweep.
+        assert!(opt.func(f).inst_count() < m.func(f).inst_count());
+        assert_same_semantics(&m, &opt, f, 1);
+    }
+
+    #[test]
+    fn add_zero_and_sub_zero_and_div_one() {
+        let (m, opt, f) = simplified(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %zero = const 0.0
+              %one = const 1.0
+              %a = add %zero, %x
+              %b = sub %a, %zero
+              %c = div %b, %one
+              ret %c
+            }
+            "#,
+        );
+        // Everything aliases to %x; only the unused consts could remain.
+        assert_eq!(opt.func(f).inst_count(), 0);
+        assert_same_semantics(&m, &opt, f, 1);
+    }
+
+    #[test]
+    fn cascading_within_one_sweep() {
+        let (m, opt, f) = simplified(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %one = const 1.0
+              %a = mul %x, %one
+              %b = mul %a, %one
+              ret %b
+            }
+            "#,
+        );
+        assert_eq!(opt.func(f).inst_count(), 0);
+        assert_same_semantics(&m, &opt, f, 1);
+    }
+
+    #[test]
+    fn leaves_general_code() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %two = const 2.0
+              %a = mul %x, %two
+              ret %a
+            }
+            "#,
+        );
+        let f = m.func_id("f").unwrap();
+        let mut opt = m.clone();
+        assert!(!AlgebraicSimplify.run(&mut opt, f));
+    }
+}

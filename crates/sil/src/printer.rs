@@ -1,0 +1,155 @@
+//! Textual form of the IR (round-trippable with [`crate::parser`]).
+
+use crate::ir::{Block, Function, Inst, Module, Terminator, ValueId};
+use std::fmt::Write;
+
+/// Prints a module in textual form.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    for (i, f) in module.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_function(f, module));
+    }
+    out
+}
+
+/// Prints one function in textual form.
+pub fn print_function(f: &Function, module: &Module) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params()
+        .iter()
+        .map(|(v, ty)| format!("{}: {ty}", val(*v)))
+        .collect();
+    let results: Vec<String> = f.result_types.iter().map(|t| t.to_string()).collect();
+    let _ = writeln!(
+        out,
+        "func @{}({}) -> {} {{",
+        f.name,
+        params.join(", "),
+        results.join(", ")
+    );
+    for (i, block) in f.blocks.iter().enumerate() {
+        print_block(&mut out, i, block, module);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn print_block(out: &mut String, index: usize, block: &Block, module: &Module) {
+    let params: Vec<String> = block
+        .params
+        .iter()
+        .map(|(v, ty)| format!("{}: {ty}", val(*v)))
+        .collect();
+    let _ = writeln!(out, "bb{index}({}):", params.join(", "));
+    for (result, inst) in &block.insts {
+        let _ = writeln!(out, "  {} = {}", val(*result), print_inst(inst, module));
+    }
+    let _ = writeln!(out, "  {}", print_terminator(&block.terminator));
+}
+
+fn print_inst(inst: &Inst, module: &Module) -> String {
+    match inst {
+        Inst::Const(x) => format!("const {x:?}"),
+        Inst::Unary { op, operand } => format!("{op} {}", val(*operand)),
+        Inst::Binary { op, lhs, rhs } => format!("{op} {}, {}", val(*lhs), val(*rhs)),
+        Inst::Cmp { pred, lhs, rhs } => {
+            format!("cmp {} {}, {}", pred.mnemonic(), val(*lhs), val(*rhs))
+        }
+        Inst::Call { callee, args } => {
+            let args: Vec<String> = args.iter().map(|a| val(*a)).collect();
+            format!("call @{}({})", module.func(*callee).name, args.join(", "))
+        }
+    }
+}
+
+fn print_terminator(t: &Terminator) -> String {
+    match t {
+        Terminator::Ret(vals) => {
+            let vals: Vec<String> = vals.iter().map(|v| val(*v)).collect();
+            format!("ret {}", vals.join(", "))
+        }
+        Terminator::Br { target, args } => {
+            let args: Vec<String> = args.iter().map(|a| val(*a)).collect();
+            format!("br bb{}({})", target.0, args.join(", "))
+        }
+        Terminator::CondBr {
+            cond,
+            then_target,
+            then_args,
+            else_target,
+            else_args,
+        } => {
+            let t: Vec<String> = then_args.iter().map(|a| val(*a)).collect();
+            let e: Vec<String> = else_args.iter().map(|a| val(*a)).collect();
+            format!(
+                "condbr {}, bb{}({}), bb{}({})",
+                val(*cond),
+                then_target.0,
+                t.join(", "),
+                else_target.0,
+                e.join(", ")
+            )
+        }
+    }
+}
+
+fn val(v: ValueId) -> String {
+    format!("%{}", v.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ir::{CmpPred, Type};
+
+    #[test]
+    fn prints_straight_line() {
+        let mut module = Module::new();
+        let mut b = FunctionBuilder::new("f", &[Type::F64]);
+        let x = b.param(0);
+        let two = b.constant(2.0);
+        let y = b.binary("mul", x, two);
+        b.ret(&[y]);
+        module.add_function(b.finish());
+        let text = print_module(&module);
+        assert!(text.contains("func @f(%0: f64) -> f64 {"));
+        assert!(text.contains("%1 = const 2.0"));
+        assert!(text.contains("%2 = mul %0, %1"));
+        assert!(text.contains("ret %2"));
+    }
+
+    #[test]
+    fn prints_control_flow_and_calls() {
+        let mut module = Module::new();
+        let mut b = FunctionBuilder::new("g", &[Type::F64]);
+        let x = b.param(0);
+        b.ret(&[x]);
+        let g = module.add_function(b.finish());
+
+        let mut b = FunctionBuilder::new("f", &[Type::F64]);
+        let x = b.param(0);
+        let zero = b.constant(0.0);
+        let c = b.cmp(CmpPred::Gt, x, zero);
+        let t = b.add_block(&[]);
+        let j = b.add_block(&[Type::F64]);
+        b.cond_br(c, t, &[], j, &[x]);
+        b.switch_to(t);
+        let y = b.call(g, &[x]);
+        b.br(j, &[y]);
+        b.switch_to(j);
+        let p = b.block_param(j, 0);
+        b.ret(&[p]);
+        module.add_function(b.finish());
+
+        let text = print_module(&module);
+        assert!(text.contains("cmp gt"));
+        assert!(text.contains("condbr %2, bb1(), bb2(%0)"), "{text}");
+        assert!(text.contains("call @g(%0)"));
+        assert!(text.contains("bb2(%3: f64):"), "{text}");
+    }
+}

@@ -1,0 +1,405 @@
+//! Structural and SSA verification: single definitions, dominance of uses,
+//! branch-argument agreement, return-type agreement.
+
+use crate::ir::{BlockId, FuncId, Function, Module, Terminator, Type, ValueId};
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The function in which the failure was found.
+    pub function: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification of '{}' failed: {}", self.function, self.message)
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies every function in the module.
+///
+/// # Errors
+/// Returns the first [`VerifyError`] encountered.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for id in module.func_ids() {
+        verify_function(module, id)?;
+    }
+    Ok(())
+}
+
+/// Verifies one function.
+///
+/// # Errors
+/// Returns a [`VerifyError`] describing the first problem found.
+pub fn verify_function(module: &Module, func: FuncId) -> Result<(), VerifyError> {
+    let f = module.func(func);
+    let fail = |message: String| {
+        Err(VerifyError {
+            function: f.name.clone(),
+            message,
+        })
+    };
+
+    if f.blocks.is_empty() {
+        return fail("function has no blocks".into());
+    }
+
+    // Single definition of every value; collect defining block.
+    let mut def_block: HashMap<ValueId, BlockId> = HashMap::new();
+    for id in f.block_ids() {
+        for v in f.block(id).defined_values() {
+            if def_block.insert(v, id).is_some() {
+                return fail(format!("value %{} defined more than once", v.0));
+            }
+            if v.0 >= f.next_value {
+                return fail(format!("value %{} exceeds next_value", v.0));
+            }
+        }
+    }
+
+    let types = f.value_types(module);
+    let doms = dominators(f);
+
+    // Position of each instruction within its block, for same-block ordering.
+    let mut def_pos: HashMap<ValueId, usize> = HashMap::new();
+    for id in f.block_ids() {
+        let b = f.block(id);
+        for &(v, _) in &b.params {
+            def_pos.insert(v, 0);
+        }
+        for (i, (v, _)) in b.insts.iter().enumerate() {
+            def_pos.insert(*v, i + 1);
+        }
+    }
+
+    let check_use = |user_block: BlockId, user_pos: usize, v: ValueId| -> Result<(), VerifyError> {
+        let Some(&db) = def_block.get(&v) else {
+            return Err(VerifyError {
+                function: f.name.clone(),
+                message: format!("use of undefined value %{}", v.0),
+            });
+        };
+        let ok = if db == user_block {
+            def_pos[&v] <= user_pos
+        } else {
+            doms[&user_block].contains(&db)
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(VerifyError {
+                function: f.name.clone(),
+                message: format!(
+                    "use of %{} in bb{} is not dominated by its definition in bb{}",
+                    v.0, user_block.0, db.0
+                ),
+            })
+        }
+    };
+
+    for id in f.block_ids() {
+        let b = f.block(id);
+        for (i, (_, inst)) in b.insts.iter().enumerate() {
+            for v in inst.operands() {
+                check_use(id, i + 1, v)?;
+            }
+            if let crate::ir::Inst::Call { callee, args } = inst {
+                if callee.0 as usize >= module.functions.len() {
+                    return fail(format!("call to out-of-range function {}", callee.0));
+                }
+                let target = module.func(*callee);
+                if target.params().len() != args.len() {
+                    return fail(format!(
+                        "call to '{}' with {} args, expected {}",
+                        target.name,
+                        args.len(),
+                        target.params().len()
+                    ));
+                }
+                if target.result_types.len() != 1 {
+                    return fail(format!(
+                        "call to multi-result function '{}'",
+                        target.name
+                    ));
+                }
+            }
+        }
+        let term_pos = b.insts.len() + 1;
+        for v in b.terminator.operands() {
+            check_use(id, term_pos, v)?;
+        }
+        match &b.terminator {
+            Terminator::Ret(vals) => {
+                if vals.len() != f.result_types.len() {
+                    return fail(format!(
+                        "ret with {} values, function declares {}",
+                        vals.len(),
+                        f.result_types.len()
+                    ));
+                }
+                for (v, &ty) in vals.iter().zip(&f.result_types) {
+                    if types[v] != ty {
+                        return fail(format!("ret value %{} has type {}, expected {ty}", v.0, types[v]));
+                    }
+                }
+            }
+            t => {
+                for succ in t.successors() {
+                    if succ.0 as usize >= f.blocks.len() {
+                        return fail(format!("branch to out-of-range block bb{}", succ.0));
+                    }
+                }
+                let check_args = |target: BlockId, args: &[ValueId]| -> Result<(), VerifyError> {
+                    let params = &f.block(target).params;
+                    if params.len() != args.len() {
+                        return Err(VerifyError {
+                            function: f.name.clone(),
+                            message: format!(
+                                "branch to bb{} with {} args, block has {} params",
+                                target.0,
+                                args.len(),
+                                params.len()
+                            ),
+                        });
+                    }
+                    for (a, &(_, ty)) in args.iter().zip(params) {
+                        if types[a] != ty {
+                            return Err(VerifyError {
+                                function: f.name.clone(),
+                                message: format!(
+                                    "branch arg %{} has type {}, bb{} param expects {ty}",
+                                    a.0, types[a], target.0
+                                ),
+                            });
+                        }
+                    }
+                    Ok(())
+                };
+                match t {
+                    Terminator::Br { target, args } => check_args(*target, args)?,
+                    Terminator::CondBr {
+                        cond,
+                        then_target,
+                        then_args,
+                        else_target,
+                        else_args,
+                    } => {
+                        if types[cond] != Type::Bool {
+                            return fail(format!("condbr condition %{} is not bool", cond.0));
+                        }
+                        check_args(*then_target, then_args)?;
+                        check_args(*else_target, else_args)?;
+                    }
+                    Terminator::Ret(_) => unreachable!(),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Computes the dominator sets of every block (iterative dataflow).
+///
+/// `doms[b]` contains every block that dominates `b`, including `b` itself.
+/// Unreachable blocks dominate-set defaults to all blocks (standard
+/// initialization), which makes uses inside unreachable code vacuously pass.
+pub fn dominators(f: &Function) -> HashMap<BlockId, HashSet<BlockId>> {
+    let all: HashSet<BlockId> = f.block_ids().collect();
+    let preds = f.predecessors();
+    let entry = BlockId(0);
+    let mut doms: HashMap<BlockId, HashSet<BlockId>> = f
+        .block_ids()
+        .map(|b| {
+            if b == entry {
+                (b, HashSet::from([entry]))
+            } else {
+                (b, all.clone())
+            }
+        })
+        .collect();
+    let order: Vec<BlockId> = f.block_ids().collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            if b == entry {
+                continue;
+            }
+            if preds[&b].is_empty() {
+                // Unreachable: keep the all-blocks initialization so uses
+                // inside dead code verify vacuously.
+                continue;
+            }
+            let mut new: Option<HashSet<BlockId>> = None;
+            for &p in &preds[&b] {
+                let pd = &doms[&p];
+                new = Some(match new {
+                    None => pd.clone(),
+                    Some(acc) => acc.intersection(pd).copied().collect(),
+                });
+            }
+            let mut new = new.expect("non-empty predecessors");
+            new.insert(b);
+            if new != doms[&b] {
+                doms.insert(b, new);
+                changed = true;
+            }
+        }
+    }
+    doms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module_unwrap;
+
+    #[test]
+    fn valid_programs_verify() {
+        let m = parse_module_unwrap(
+            r#"
+            func @loop(%n: f64) -> f64 {
+            bb0(%n: f64):
+              %zero = const 0.0
+              br bb1(%zero, %zero)
+            bb1(%k: f64, %acc: f64):
+              %c = cmp lt %k, %n
+              condbr %c, bb2(), bb3()
+            bb2():
+              %k2 = mul %k, %k
+              %acc2 = add %acc, %k2
+              %one = const 1.0
+              %kn = add %k, %one
+              br bb1(%kn, %acc2)
+            bb3():
+              ret %acc
+            }
+            "#,
+        );
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let m = parse_module_unwrap(
+            r#"
+            func @d(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %zero = const 0.0
+              %c = cmp gt %x, %zero
+              condbr %c, bb1(), bb2()
+            bb1():
+              br bb3(%x)
+            bb2():
+              br bb3(%zero)
+            bb3(%r: f64):
+              ret %r
+            }
+            "#,
+        );
+        let f = m.func(m.func_id("d").unwrap());
+        let doms = dominators(f);
+        assert!(doms[&BlockId(3)].contains(&BlockId(0)));
+        assert!(!doms[&BlockId(3)].contains(&BlockId(1)));
+        assert!(doms[&BlockId(1)].contains(&BlockId(0)));
+        assert_eq!(doms[&BlockId(0)].len(), 1);
+    }
+
+    #[test]
+    fn rejects_non_dominating_use() {
+        // bb2 uses %y defined in bb1, but bb1 does not dominate bb2.
+        let m = parse_module_unwrap(
+            r#"
+            func @bad(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %zero = const 0.0
+              %c = cmp gt %x, %zero
+              condbr %c, bb1(), bb2()
+            bb1():
+              %y = neg %x
+              br bb3()
+            bb2():
+              %z = add %y, %x
+              br bb3()
+            bb3():
+              ret %x
+            }
+            "#,
+        );
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("not dominated"), "{e}");
+    }
+
+    #[test]
+    fn rejects_branch_arity_mismatch() {
+        let m = parse_module_unwrap(
+            r#"
+            func @bad(%x: f64) -> f64 {
+            bb0(%x: f64):
+              br bb1()
+            bb1(%y: f64):
+              ret %y
+            }
+            "#,
+        );
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("branch to bb1"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bool_return_when_f64_declared() {
+        let m = parse_module_unwrap(
+            r#"
+            func @bad(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %c = cmp gt %x, %x
+              ret %c
+            }
+            "#,
+        );
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("ret value"), "{e}");
+    }
+
+    #[test]
+    fn rejects_non_bool_condition() {
+        let m = parse_module_unwrap(
+            r#"
+            func @bad(%x: f64) -> f64 {
+            bb0(%x: f64):
+              condbr %x, bb1(), bb1()
+            bb1():
+              ret %x
+            }
+            "#,
+        );
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("not bool"), "{e}");
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let m = parse_module_unwrap(
+            r#"
+            func @f(%x: f64) -> f64 {
+            bb0(%x: f64):
+              %y = call @g(%x, %x)
+              ret %y
+            }
+            func @g(%x: f64) -> f64 {
+            bb0(%x: f64):
+              ret %x
+            }
+            "#,
+        );
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("call to 'g'"), "{e}");
+    }
+}

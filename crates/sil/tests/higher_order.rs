@@ -1,0 +1,169 @@
+//! Higher-order differentiation — an *extension beyond the paper*.
+//!
+//! §2.3 lists two limitations of Swift for TensorFlow's AD: no
+//! higher-order differentiation, and "the code transformation currently
+//! cannot transform its own output because the output makes heavy use of
+//! closure captures". In this reproduction the forward-mode transform's
+//! output is plain IR with no closures at all — so the transformation can
+//! be applied to its own output, and forward-over-forward second (and
+//! third) derivatives fall out. These tests demonstrate and verify that.
+
+use s4tf_sil::ad::jvp::transform;
+use s4tf_sil::ad::rules::RuleSet;
+use s4tf_sil::parser::parse_module_unwrap;
+use s4tf_sil::passes::optimize;
+use s4tf_sil::verify::verify_module;
+use s4tf_sil::Interpreter;
+
+/// Computes the k-th forward derivative tower of a 1-argument function by
+/// repeatedly transforming the transform's own output.
+///
+/// After k applications the function takes 2^k arguments and returns 2^k
+/// results. The standard forward-over-forward seeding puts the point in
+/// slot 0 and a unit tangent in each power-of-two slot (each level
+/// differentiates the whole previous tower: the new tangent of `x` is 1,
+/// the new tangents of previous *seeds* are 0); the last result is then
+/// the k-th derivative.
+fn nth_derivative(src: &str, k: usize, x: f64) -> f64 {
+    let mut module = parse_module_unwrap(src);
+    let mut f = module.func_id("f").expect("function @f");
+    for _ in 0..k {
+        f = transform(&mut module, f, &RuleSet::builtin()).expect("differentiable");
+    }
+    verify_module(&module).unwrap();
+    let arity = module.func(f).params().len();
+    assert_eq!(arity, 1 << k, "each level doubles the arity");
+    let args: Vec<f64> = (0..arity)
+        .map(|i| {
+            if i == 0 {
+                x
+            } else if i.is_power_of_two() {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let out = Interpreter::new().run(&module, f, &args).unwrap();
+    *out.last().expect("non-empty results")
+}
+
+const SIN: &str = r#"
+func @f(%x: f64) -> f64 {
+bb0(%x: f64):
+  %y = sin %x
+  ret %y
+}
+"#;
+
+#[test]
+fn second_derivative_of_sin_is_minus_sin() {
+    for &x in &[0.0f64, 0.5, 1.3, -2.1] {
+        let d2 = nth_derivative(SIN, 2, x);
+        assert!((d2 - (-x.sin())).abs() < 1e-12, "at {x}: {d2}");
+    }
+}
+
+#[test]
+fn third_derivative_of_sin_is_minus_cos() {
+    for &x in &[0.3f64, 1.1] {
+        let d3 = nth_derivative(SIN, 3, x);
+        assert!((d3 - (-x.cos())).abs() < 1e-12, "at {x}: {d3}");
+    }
+}
+
+#[test]
+fn second_derivative_of_a_composite() {
+    // f(x) = exp(x²): f'' = (2 + 4x²)·exp(x²).
+    let src = r#"
+    func @f(%x: f64) -> f64 {
+    bb0(%x: f64):
+      %x2 = mul %x, %x
+      %y = exp %x2
+      ret %y
+    }
+    "#;
+    for &x in &[0.2f64, 0.9, -0.6] {
+        let d2 = nth_derivative(src, 2, x);
+        let expected = (2.0 + 4.0 * x * x) * (x * x).exp();
+        assert!(
+            (d2 - expected).abs() < 1e-9 * (1.0 + expected.abs()),
+            "at {x}: {d2} vs {expected}"
+        );
+    }
+}
+
+#[test]
+fn second_derivative_through_control_flow() {
+    // f(x) = x³ for x > 0 else sin(x): f'' = 6x or −sin(x).
+    let src = r#"
+    func @f(%x: f64) -> f64 {
+    bb0(%x: f64):
+      %zero = const 0.0
+      %c = cmp gt %x, %zero
+      condbr %c, bb1(), bb2()
+    bb1():
+      %x2 = mul %x, %x
+      %x3 = mul %x2, %x
+      br bb3(%x3)
+    bb2():
+      %s = sin %x
+      br bb3(%s)
+    bb3(%r: f64):
+      ret %r
+    }
+    "#;
+    let d2_pos = nth_derivative(src, 2, 1.5);
+    assert!((d2_pos - 9.0).abs() < 1e-10, "{d2_pos}");
+    let d2_neg = nth_derivative(src, 2, -1.0);
+    assert!((d2_neg - 1.0f64.sin()).abs() < 1e-12, "{d2_neg}");
+}
+
+#[test]
+fn second_derivative_through_a_loop() {
+    // f(x) = x^5 via repeated multiplication: f'' = 20x³.
+    let src = r#"
+    func @f(%x: f64) -> f64 {
+    bb0(%x: f64):
+      %zero = const 0.0
+      %one = const 1.0
+      br bb1(%zero, %one)
+    bb1(%k: f64, %acc: f64):
+      %n = const 5.0
+      %c = cmp lt %k, %n
+      condbr %c, bb2(), bb3()
+    bb2():
+      %acc2 = mul %acc, %x
+      %kn = add %k, %one
+      br bb1(%kn, %acc2)
+    bb3():
+      ret %acc
+    }
+    "#;
+    let x = 1.2f64;
+    let d2 = nth_derivative(src, 2, x);
+    assert!((d2 - 20.0 * x.powi(3)).abs() < 1e-9, "{d2}");
+}
+
+#[test]
+fn towers_are_ordinary_ir_and_optimize() {
+    // The paper's claimed obstacle — closure captures in the transform's
+    // output — does not exist here: the second-order output verifies,
+    // optimizes with the standard pipeline, and still evaluates correctly.
+    let mut module = parse_module_unwrap(SIN);
+    let f0 = module.func_id("f").unwrap();
+    let f1 = transform(&mut module, f0, &RuleSet::builtin()).unwrap();
+    let f2 = transform(&mut module, f1, &RuleSet::builtin()).unwrap();
+    verify_module(&module).unwrap();
+    let before = module.func(f2).inst_count();
+    optimize(&mut module, f2);
+    verify_module(&module).unwrap();
+    let after = module.func(f2).inst_count();
+    assert!(after < before, "tower shrinks under optimization: {before}→{after}");
+    let out = Interpreter::new()
+        .run(&module, f2, &[0.7, 1.0, 1.0, 0.0])
+        .unwrap();
+    assert_eq!(out.len(), 4);
+    assert!((out[0] - 0.7f64.sin()).abs() < 1e-15);
+    assert!((out[3] - (-0.7f64.sin())).abs() < 1e-12, "d² via mixed seeds");
+}

@@ -1,0 +1,200 @@
+//! Property-based tests over random IR programs: the optimization
+//! pipeline preserves interpreter semantics, synthesized derivatives match
+//! finite differences, and printing round-trips.
+
+use proptest::prelude::*;
+use s4tf_sil::ad::vjp::differentiate;
+use s4tf_sil::ir::{CmpPred, Module, Type};
+use s4tf_sil::parser::parse_module_unwrap;
+use s4tf_sil::passes::optimize;
+use s4tf_sil::printer::print_module;
+use s4tf_sil::verify::verify_module;
+use s4tf_sil::{FunctionBuilder, Interpreter, ValueId};
+
+/// A recipe for one random straight-line instruction.
+#[derive(Debug, Clone)]
+enum Step {
+    Const(f64),
+    Unary(usize, usize),         // op index, operand pick
+    Binary(usize, usize, usize), // op index, lhs pick, rhs pick
+}
+
+const UNARY_OPS: &[&str] = &["sin", "cos", "exp", "tanh", "sigmoid", "square", "neg"];
+const BINARY_OPS: &[&str] = &["add", "sub", "mul"];
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (-2.0f64..2.0).prop_map(Step::Const),
+        (0..UNARY_OPS.len(), any::<usize>()).prop_map(|(o, p)| Step::Unary(o, p)),
+        (0..BINARY_OPS.len(), any::<usize>(), any::<usize>())
+            .prop_map(|(o, a, b)| Step::Binary(o, a, b)),
+    ]
+}
+
+/// Builds a random single-block function over `arity` parameters.
+fn build_straight_line(steps: &[Step], arity: usize) -> Module {
+    let mut module = Module::new();
+    let mut b = FunctionBuilder::new("f", &vec![Type::F64; arity]);
+    let mut values: Vec<ValueId> = (0..arity).map(|i| b.param(i)).collect();
+    for step in steps {
+        let v = match step {
+            Step::Const(c) => b.constant(*c),
+            Step::Unary(o, p) => {
+                let x = values[p % values.len()];
+                b.unary(UNARY_OPS[o % UNARY_OPS.len()], x)
+            }
+            Step::Binary(o, l, r) => {
+                let (x, y) = (values[l % values.len()], values[r % values.len()]);
+                b.binary(BINARY_OPS[o % BINARY_OPS.len()], x, y)
+            }
+        };
+        values.push(v);
+    }
+    let ret = *values.last().expect("at least the params");
+    b.ret(&[ret]);
+    module.add_function(b.finish());
+    module
+}
+
+/// Builds a random two-armed diamond: `if x0 > t { armA } else { armB }`.
+fn build_diamond(steps_a: &[Step], steps_b: &[Step], threshold: f64) -> Module {
+    // Build each arm as textual snippets through the builder API directly.
+    let mut module = Module::new();
+    let mut b = FunctionBuilder::new("f", &[Type::F64, Type::F64]);
+    let x0 = b.param(0);
+    let t = b.constant(threshold);
+    let c = b.cmp(CmpPred::Gt, x0, t);
+    let arm_a = b.add_block(&[]);
+    let arm_b = b.add_block(&[]);
+    let join = b.add_block(&[Type::F64]);
+    b.cond_br(c, arm_a, &[], arm_b, &[]);
+    for (block, steps) in [(arm_a, steps_a), (arm_b, steps_b)] {
+        b.switch_to(block);
+        let mut values = vec![b.param(0), b.param(1)];
+        for step in steps {
+            let v = match step {
+                Step::Const(cv) => b.constant(*cv),
+                Step::Unary(o, p) => {
+                    let x = values[p % values.len()];
+                    b.unary(UNARY_OPS[o % UNARY_OPS.len()], x)
+                }
+                Step::Binary(o, l, r) => {
+                    let (x, y) = (values[l % values.len()], values[r % values.len()]);
+                    b.binary(BINARY_OPS[o % BINARY_OPS.len()], x, y)
+                }
+            };
+            values.push(v);
+        }
+        let last = *values.last().expect("non-empty");
+        b.br(join, &[last]);
+    }
+    b.switch_to(join);
+    let out = b.block_param(join, 0);
+    b.ret(&[out]);
+    module.add_function(b.finish());
+    module
+}
+
+fn run(module: &Module, args: &[f64]) -> f64 {
+    let f = module.func_id("f").unwrap();
+    Interpreter::new().run(module, f, args).unwrap()[0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimizer_preserves_straight_line_semantics(
+        steps in prop::collection::vec(step_strategy(), 1..24),
+        args in prop::collection::vec(-2.0f64..2.0, 2),
+    ) {
+        let module = build_straight_line(&steps, 2);
+        verify_module(&module).unwrap();
+        let mut opt = module.clone();
+        let f = opt.func_id("f").unwrap();
+        optimize(&mut opt, f);
+        verify_module(&opt).unwrap();
+        let before = run(&module, &args);
+        let after = run(&opt, &args);
+        prop_assert!(
+            (before - after).abs() < 1e-9 || (before.is_nan() && after.is_nan()),
+            "{before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn optimizer_preserves_diamond_semantics(
+        steps_a in prop::collection::vec(step_strategy(), 1..12),
+        steps_b in prop::collection::vec(step_strategy(), 1..12),
+        threshold in -1.0f64..1.0,
+        args in prop::collection::vec(-2.0f64..2.0, 2),
+    ) {
+        let module = build_diamond(&steps_a, &steps_b, threshold);
+        verify_module(&module).unwrap();
+        let mut opt = module.clone();
+        let f = opt.func_id("f").unwrap();
+        optimize(&mut opt, f);
+        verify_module(&opt).unwrap();
+        let before = run(&module, &args);
+        let after = run(&opt, &args);
+        prop_assert!(
+            (before - after).abs() < 1e-9 || (before.is_nan() && after.is_nan()),
+        );
+    }
+
+    #[test]
+    fn printer_round_trips_random_programs(
+        steps in prop::collection::vec(step_strategy(), 1..16),
+    ) {
+        let module = build_straight_line(&steps, 2);
+        let text = print_module(&module);
+        let reparsed = parse_module_unwrap(&text);
+        prop_assert_eq!(print_module(&reparsed), text);
+        // And semantics agree on a probe point.
+        let a = run(&module, &[0.3, -0.7]);
+        let b = run(&reparsed, &[0.3, -0.7]);
+        prop_assert!((a - b).abs() < 1e-12 || (a.is_nan() && b.is_nan()));
+    }
+
+    #[test]
+    fn synthesized_gradients_match_finite_differences(
+        steps in prop::collection::vec(step_strategy(), 1..16),
+        x in -1.2f64..1.2,
+        y in -1.2f64..1.2,
+    ) {
+        let module = build_straight_line(&steps, 2);
+        let f = module.func_id("f").unwrap();
+        let d = differentiate(&module, f).unwrap();
+        let (v, g) = d.value_with_gradient(&[x, y], 1.0).unwrap();
+        prop_assume!(v.is_finite());
+        let eps = 1e-6;
+        let mut i = Interpreter::new();
+        let fdx = (i.run(&module, f, &[x + eps, y]).unwrap()[0]
+            - i.run(&module, f, &[x - eps, y]).unwrap()[0])
+            / (2.0 * eps);
+        let fdy = (i.run(&module, f, &[x, y + eps]).unwrap()[0]
+            - i.run(&module, f, &[x, y - eps]).unwrap()[0])
+            / (2.0 * eps);
+        prop_assume!(fdx.is_finite() && fdy.is_finite());
+        // exp chains can amplify; compare with relative tolerance.
+        let tol = |fd: f64| 1e-4 * (1.0 + fd.abs());
+        prop_assert!((g[0] - fdx).abs() < tol(fdx), "d/dx: {} vs {fdx}", g[0]);
+        prop_assert!((g[1] - fdy).abs() < tol(fdy), "d/dy: {} vs {fdy}", g[1]);
+    }
+
+    #[test]
+    fn gradient_of_optimized_equals_gradient_of_original(
+        steps in prop::collection::vec(step_strategy(), 1..16),
+        x in -1.0f64..1.0,
+    ) {
+        let module = build_straight_line(&steps, 1);
+        let f = module.func_id("f").unwrap();
+        let mut opt = module.clone();
+        optimize(&mut opt, f);
+        let g1 = differentiate(&module, f).unwrap().value_with_gradient(&[x], 1.0).unwrap();
+        let g2 = differentiate(&opt, f).unwrap().value_with_gradient(&[x], 1.0).unwrap();
+        prop_assume!(g1.0.is_finite() && g1.1[0].is_finite());
+        prop_assert!((g1.0 - g2.0).abs() < 1e-9);
+        prop_assert!((g1.1[0] - g2.1[0]).abs() < 1e-6 * (1.0 + g1.1[0].abs()));
+    }
+}

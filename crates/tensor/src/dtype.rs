@@ -1,0 +1,223 @@
+//! Scalar element types.
+//!
+//! The paper's `Tensor<Scalar>` is generic over its element type; we mirror
+//! that with a sealed [`Scalar`] trait (integer and floating-point elements)
+//! and a [`Float`] refinement for the transcendental kernels.
+
+use std::fmt::Debug;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+    impl Sealed for i32 {}
+    impl Sealed for i64 {}
+}
+
+/// Element type storable in a [`crate::Tensor`].
+///
+/// This trait is sealed; it is implemented for `f32`, `f64`, `i32` and `i64`.
+pub trait Scalar:
+    private::Sealed
+    + Copy
+    + Debug
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Lossy conversion from `f64` (used by fills, ranges and literals).
+    fn from_f64(v: f64) -> Self;
+    /// Lossy conversion to `f64` (used by reductions and display).
+    fn to_f64(self) -> f64;
+    /// Conversion from `usize` (used by `arange` and counts).
+    fn from_usize(v: usize) -> Self {
+        Self::from_f64(v as f64)
+    }
+    /// Element-wise maximum.
+    fn maximum(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+    /// Element-wise minimum.
+    fn minimum(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+    /// Absolute value.
+    fn abs_val(self) -> Self {
+        if self < Self::zero() {
+            -self
+        } else {
+            self
+        }
+    }
+}
+
+/// Floating-point element type, required by transcendental kernels
+/// (`exp`, `ln`, `softmax`, …), random initializers and gradient checking.
+pub trait Float: Scalar {
+    /// Smallest positive normal value (used to guard divisions).
+    fn tiny() -> Self;
+    /// Negative infinity (identity for max-reductions).
+    fn neg_infinity() -> Self;
+    /// `e^self`.
+    fn exp_(self) -> Self;
+    /// Natural logarithm.
+    fn ln_(self) -> Self;
+    /// Square root.
+    fn sqrt_(self) -> Self;
+    /// `self^p`.
+    fn powf_(self, p: Self) -> Self;
+    /// Hyperbolic tangent.
+    fn tanh_(self) -> Self;
+    /// Sine.
+    fn sin_(self) -> Self;
+    /// Cosine.
+    fn cos_(self) -> Self;
+    /// True if NaN.
+    fn is_nan_(self) -> bool;
+    /// True if finite.
+    fn is_finite_(self) -> bool;
+}
+
+macro_rules! impl_scalar_float {
+    ($t:ty) => {
+        impl Scalar for $t {
+            fn zero() -> Self {
+                0.0
+            }
+            fn one() -> Self {
+                1.0
+            }
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+
+        impl Float for $t {
+            fn tiny() -> Self {
+                <$t>::MIN_POSITIVE
+            }
+            fn neg_infinity() -> Self {
+                <$t>::NEG_INFINITY
+            }
+            fn exp_(self) -> Self {
+                self.exp()
+            }
+            fn ln_(self) -> Self {
+                self.ln()
+            }
+            fn sqrt_(self) -> Self {
+                self.sqrt()
+            }
+            fn powf_(self, p: Self) -> Self {
+                self.powf(p)
+            }
+            fn tanh_(self) -> Self {
+                self.tanh()
+            }
+            fn sin_(self) -> Self {
+                self.sin()
+            }
+            fn cos_(self) -> Self {
+                self.cos()
+            }
+            fn is_nan_(self) -> bool {
+                self.is_nan()
+            }
+            fn is_finite_(self) -> bool {
+                self.is_finite()
+            }
+        }
+    };
+}
+
+macro_rules! impl_scalar_int {
+    ($t:ty) => {
+        impl Scalar for $t {
+            fn zero() -> Self {
+                0
+            }
+            fn one() -> Self {
+                1
+            }
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+    };
+}
+
+impl_scalar_float!(f32);
+impl_scalar_float!(f64);
+impl_scalar_int!(i32);
+impl_scalar_int!(i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        assert_eq!(f32::zero(), 0.0);
+        assert_eq!(f32::one(), 1.0);
+        assert_eq!(i32::zero(), 0);
+        assert_eq!(i64::one(), 1);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(f64::from_f64(2.5).to_f64(), 2.5);
+        assert_eq!(i32::from_f64(2.9), 2);
+        assert_eq!(f32::from_usize(7), 7.0);
+    }
+
+    #[test]
+    fn min_max_abs() {
+        assert_eq!(Scalar::maximum(3.0f32, -4.0), 3.0);
+        assert_eq!(Scalar::minimum(3.0f32, -4.0), -4.0);
+        assert_eq!((-4i32).abs_val(), 4);
+        assert_eq!(4i64.abs_val(), 4);
+    }
+
+    #[test]
+    fn float_ops() {
+        assert!((1.0f32.exp_() - std::f32::consts::E).abs() < 1e-6);
+        assert_eq!(4.0f64.sqrt_(), 2.0);
+        assert!(f32::neg_infinity() < f32::MIN);
+        assert!(f64::tiny() > 0.0);
+        assert!((0.0f32 / 0.0).is_nan_());
+        assert!(1.0f32.is_finite_());
+    }
+}

@@ -1,0 +1,109 @@
+//! Error types for fallible tensor operations.
+//!
+//! Most kernels validate shapes with panics (documented per method) because a
+//! shape mismatch is a programming error; the `try_*` entry points on
+//! [`crate::Tensor`] return [`TensorError`] for callers — such as the lazy
+//! graph compiler in `s4tf-xla` — that need to recover.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Error produced by a fallible tensor operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that must match (possibly after broadcasting) do not.
+    ShapeMismatch {
+        /// Left-hand shape, as dims.
+        lhs: Vec<usize>,
+        /// Right-hand shape, as dims.
+        rhs: Vec<usize>,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// An operation requires a specific rank.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the argument.
+        actual: usize,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// A reshape target has a different element count.
+    ElementCountMismatch {
+        /// Element count of the source.
+        from: usize,
+        /// Element count of the target shape.
+        to: usize,
+    },
+    /// An axis argument is out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// An index is out of bounds for a dimension.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The dimension size.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => {
+                write!(f, "rank mismatch in {op}: expected {expected}, got {actual}")
+            }
+            TensorError::ElementCountMismatch { from, to } => {
+                write!(f, "cannot reshape {from} elements into {to} elements")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::IndexOutOfBounds { index, dim } => {
+                write!(f, "index {index} out of bounds for dimension of size {dim}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TensorError::ShapeMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![4],
+            op: "add",
+        };
+        assert_eq!(e.to_string(), "shape mismatch in add: [2, 3] vs [4]");
+        let e = TensorError::ElementCountMismatch { from: 6, to: 8 };
+        assert_eq!(e.to_string(), "cannot reshape 6 elements into 8 elements");
+        let e = TensorError::AxisOutOfRange { axis: 3, rank: 2 };
+        assert_eq!(e.to_string(), "axis 3 out of range for rank 2");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TensorError>();
+    }
+}

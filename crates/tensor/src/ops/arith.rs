@@ -1,0 +1,155 @@
+//! Operator-trait sugar (`+`, `-`, `*`, `/`, unary `-`, `+=`, `-=`, `*=`)
+//! over tensors and scalars.
+//!
+//! All binary operators broadcast (see
+//! [`Shape::broadcast`](crate::Shape::broadcast)) and panic on incompatible
+//! shapes, matching the behavior of the named methods they forward to.
+
+use crate::dtype::Scalar;
+use crate::tensor::Tensor;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+macro_rules! impl_binary_op {
+    ($trait:ident, $method:ident, $kernel:ident) => {
+        impl<T: Scalar> $trait<&Tensor<T>> for &Tensor<T> {
+            type Output = Tensor<T>;
+            fn $method(self, rhs: &Tensor<T>) -> Tensor<T> {
+                Tensor::<T>::$kernel(self, rhs)
+            }
+        }
+
+        impl<T: Scalar> $trait<Tensor<T>> for Tensor<T> {
+            type Output = Tensor<T>;
+            fn $method(self, rhs: Tensor<T>) -> Tensor<T> {
+                Tensor::<T>::$kernel(&self, &rhs)
+            }
+        }
+
+        impl<T: Scalar> $trait<&Tensor<T>> for Tensor<T> {
+            type Output = Tensor<T>;
+            fn $method(self, rhs: &Tensor<T>) -> Tensor<T> {
+                Tensor::<T>::$kernel(&self, rhs)
+            }
+        }
+
+        impl<T: Scalar> $trait<Tensor<T>> for &Tensor<T> {
+            type Output = Tensor<T>;
+            fn $method(self, rhs: Tensor<T>) -> Tensor<T> {
+                Tensor::<T>::$kernel(self, &rhs)
+            }
+        }
+
+        impl<T: Scalar> $trait<T> for &Tensor<T> {
+            type Output = Tensor<T>;
+            fn $method(self, rhs: T) -> Tensor<T> {
+                Tensor::<T>::$kernel(self, &Tensor::scalar(rhs))
+            }
+        }
+
+        impl<T: Scalar> $trait<T> for Tensor<T> {
+            type Output = Tensor<T>;
+            fn $method(self, rhs: T) -> Tensor<T> {
+                Tensor::<T>::$kernel(&self, &Tensor::scalar(rhs))
+            }
+        }
+    };
+}
+
+impl_binary_op!(Add, add, add);
+impl_binary_op!(Sub, sub, sub);
+impl_binary_op!(Mul, mul, mul);
+impl_binary_op!(Div, div, div);
+
+impl<T: Scalar> Neg for &Tensor<T> {
+    type Output = Tensor<T>;
+    fn neg(self) -> Tensor<T> {
+        Tensor::neg(self)
+    }
+}
+
+impl<T: Scalar> Neg for Tensor<T> {
+    type Output = Tensor<T>;
+    fn neg(self) -> Tensor<T> {
+        Tensor::neg(&self)
+    }
+}
+
+impl<T: Scalar> AddAssign<&Tensor<T>> for Tensor<T> {
+    fn add_assign(&mut self, rhs: &Tensor<T>) {
+        self.add_assign_tensor(rhs);
+    }
+}
+
+impl<T: Scalar> AddAssign<Tensor<T>> for Tensor<T> {
+    fn add_assign(&mut self, rhs: Tensor<T>) {
+        self.add_assign_tensor(&rhs);
+    }
+}
+
+impl<T: Scalar> SubAssign<&Tensor<T>> for Tensor<T> {
+    fn sub_assign(&mut self, rhs: &Tensor<T>) {
+        self.sub_assign_tensor(rhs);
+    }
+}
+
+impl<T: Scalar> SubAssign<Tensor<T>> for Tensor<T> {
+    fn sub_assign(&mut self, rhs: Tensor<T>) {
+        self.sub_assign_tensor(&rhs);
+    }
+}
+
+impl<T: Scalar> MulAssign<T> for Tensor<T> {
+    fn mul_assign(&mut self, rhs: T) {
+        self.mul_scalar_assign(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32]) -> Tensor<f32> {
+        let n = data.len();
+        Tensor::from_vec(data.to_vec(), &[n])
+    }
+
+    #[test]
+    fn operators_all_reference_combinations() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[10.0, 20.0]);
+        assert_eq!((&a + &b).as_slice(), &[11.0, 22.0]);
+        assert_eq!((a.clone() + b.clone()).as_slice(), &[11.0, 22.0]);
+        assert_eq!((a.clone() + &b).as_slice(), &[11.0, 22.0]);
+        assert_eq!((&a + b.clone()).as_slice(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn scalar_rhs() {
+        let a = t(&[1.0, 2.0]);
+        assert_eq!((&a + 1.0).as_slice(), &[2.0, 3.0]);
+        assert_eq!((&a * 3.0).as_slice(), &[3.0, 6.0]);
+        assert_eq!((a / 2.0).as_slice(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn sub_mul_div_neg() {
+        let a = t(&[4.0, 9.0]);
+        let b = t(&[2.0, 3.0]);
+        assert_eq!((&a - &b).as_slice(), &[2.0, 6.0]);
+        assert_eq!((&a * &b).as_slice(), &[8.0, 27.0]);
+        assert_eq!((&a / &b).as_slice(), &[2.0, 3.0]);
+        assert_eq!((-&a).as_slice(), &[-4.0, -9.0]);
+        assert_eq!((-a).as_slice(), &[-4.0, -9.0]);
+    }
+
+    #[test]
+    fn assign_operators() {
+        let mut a = t(&[1.0, 2.0]);
+        a += &t(&[1.0, 1.0]);
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+        a -= t(&[0.5, 0.5]);
+        assert_eq!(a.as_slice(), &[1.5, 2.5]);
+        a *= 2.0;
+        assert_eq!(a.as_slice(), &[3.0, 5.0]);
+    }
+}

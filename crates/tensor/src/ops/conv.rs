@@ -1,0 +1,343 @@
+//! 2-D convolution kernels (NHWC layout, HWIO filters — TensorFlow's
+//! convention, which the paper's `Conv2D` layer uses) and the two gradient
+//! kernels the `Conv2D` pullback needs.
+
+use crate::dtype::Float;
+use crate::tensor::Tensor;
+use crate::Padding;
+
+/// Validated geometry for one conv2d application.
+#[derive(Debug, Clone, Copy)]
+struct ConvGeom {
+    batch: usize,
+    in_h: usize,
+    in_w: usize,
+    in_c: usize,
+    k_h: usize,
+    k_w: usize,
+    out_c: usize,
+    out_h: usize,
+    out_w: usize,
+    pad_top: usize,
+    pad_left: usize,
+    stride: (usize, usize),
+}
+
+fn geometry<T: Float>(
+    input: &Tensor<T>,
+    filter: &Tensor<T>,
+    strides: (usize, usize),
+    padding: Padding,
+) -> ConvGeom {
+    assert_eq!(input.rank(), 4, "conv2d input must be NHWC (rank 4)");
+    assert_eq!(filter.rank(), 4, "conv2d filter must be HWIO (rank 4)");
+    let (batch, in_h, in_w, in_c) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let (k_h, k_w, f_in, out_c) = (
+        filter.dims()[0],
+        filter.dims()[1],
+        filter.dims()[2],
+        filter.dims()[3],
+    );
+    assert_eq!(
+        in_c, f_in,
+        "conv2d channel mismatch: input has {in_c}, filter expects {f_in}"
+    );
+    assert!(strides.0 > 0 && strides.1 > 0, "strides must be positive");
+    let out_h = padding.output_dim(in_h, k_h, strides.0);
+    let out_w = padding.output_dim(in_w, k_w, strides.1);
+    let (pad_top, _) = padding.amounts(in_h, k_h, strides.0);
+    let (pad_left, _) = padding.amounts(in_w, k_w, strides.1);
+    ConvGeom {
+        batch,
+        in_h,
+        in_w,
+        in_c,
+        k_h,
+        k_w,
+        out_c,
+        out_h,
+        out_w,
+        pad_top,
+        pad_left,
+        stride: strides,
+    }
+}
+
+impl<T: Float> Tensor<T> {
+    /// 2-D convolution: input `[N,H,W,Cin]` ⊛ filter `[Kh,Kw,Cin,Cout]` →
+    /// `[N,H',W',Cout]`.
+    ///
+    /// # Panics
+    /// Panics on rank or channel mismatches, zero strides, or (for
+    /// [`Padding::Valid`]) kernels larger than the input.
+    pub fn conv2d(
+        &self,
+        filter: &Tensor<T>,
+        strides: (usize, usize),
+        padding: Padding,
+    ) -> Tensor<T> {
+        let g = geometry(self, filter, strides, padding);
+        let x = self.as_slice();
+        let w = filter.as_slice();
+        let mut out = vec![T::zero(); g.batch * g.out_h * g.out_w * g.out_c];
+        for n in 0..g.batch {
+            for oy in 0..g.out_h {
+                for ox in 0..g.out_w {
+                    let out_base = ((n * g.out_h + oy) * g.out_w + ox) * g.out_c;
+                    for ky in 0..g.k_h {
+                        let iy = (oy * g.stride.0 + ky) as isize - g.pad_top as isize;
+                        if iy < 0 || iy as usize >= g.in_h {
+                            continue;
+                        }
+                        for kx in 0..g.k_w {
+                            let ix = (ox * g.stride.1 + kx) as isize - g.pad_left as isize;
+                            if ix < 0 || ix as usize >= g.in_w {
+                                continue;
+                            }
+                            let in_base =
+                                ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
+                            let w_base = (ky * g.k_w + kx) * g.in_c * g.out_c;
+                            for ic in 0..g.in_c {
+                                let xv = x[in_base + ic];
+                                let wrow = &w[w_base + ic * g.out_c..w_base + (ic + 1) * g.out_c];
+                                let orow = &mut out[out_base..out_base + g.out_c];
+                                for (ov, &wv) in orow.iter_mut().zip(wrow) {
+                                    *ov += xv * wv;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[g.batch, g.out_h, g.out_w, g.out_c])
+    }
+
+    /// Gradient of [`Tensor::conv2d`] with respect to its *input*.
+    ///
+    /// `self` is the input (only its shape matters for geometry); `grad_out`
+    /// has the forward output's shape.
+    ///
+    /// # Panics
+    /// Panics on geometry mismatches.
+    pub fn conv2d_backward_input(
+        &self,
+        filter: &Tensor<T>,
+        grad_out: &Tensor<T>,
+        strides: (usize, usize),
+        padding: Padding,
+    ) -> Tensor<T> {
+        let g = geometry(self, filter, strides, padding);
+        assert_eq!(
+            grad_out.dims(),
+            &[g.batch, g.out_h, g.out_w, g.out_c],
+            "grad_out shape mismatch"
+        );
+        let dy = grad_out.as_slice();
+        let w = filter.as_slice();
+        let mut dx = vec![T::zero(); g.batch * g.in_h * g.in_w * g.in_c];
+        for n in 0..g.batch {
+            for oy in 0..g.out_h {
+                for ox in 0..g.out_w {
+                    let out_base = ((n * g.out_h + oy) * g.out_w + ox) * g.out_c;
+                    for ky in 0..g.k_h {
+                        let iy = (oy * g.stride.0 + ky) as isize - g.pad_top as isize;
+                        if iy < 0 || iy as usize >= g.in_h {
+                            continue;
+                        }
+                        for kx in 0..g.k_w {
+                            let ix = (ox * g.stride.1 + kx) as isize - g.pad_left as isize;
+                            if ix < 0 || ix as usize >= g.in_w {
+                                continue;
+                            }
+                            let in_base =
+                                ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
+                            let w_base = (ky * g.k_w + kx) * g.in_c * g.out_c;
+                            for ic in 0..g.in_c {
+                                let wrow = &w[w_base + ic * g.out_c..w_base + (ic + 1) * g.out_c];
+                                let dyrow = &dy[out_base..out_base + g.out_c];
+                                let mut acc = T::zero();
+                                for (&wv, &dyv) in wrow.iter().zip(dyrow) {
+                                    acc += wv * dyv;
+                                }
+                                dx[in_base + ic] += acc;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(dx, &[g.batch, g.in_h, g.in_w, g.in_c])
+    }
+
+    /// Gradient of [`Tensor::conv2d`] with respect to its *filter*.
+    ///
+    /// # Panics
+    /// Panics on geometry mismatches.
+    pub fn conv2d_backward_filter(
+        &self,
+        filter_dims: &[usize],
+        grad_out: &Tensor<T>,
+        strides: (usize, usize),
+        padding: Padding,
+    ) -> Tensor<T> {
+        let filter_shape = Tensor::<T>::zeros(filter_dims);
+        let g = geometry(self, &filter_shape, strides, padding);
+        assert_eq!(
+            grad_out.dims(),
+            &[g.batch, g.out_h, g.out_w, g.out_c],
+            "grad_out shape mismatch"
+        );
+        let x = self.as_slice();
+        let dy = grad_out.as_slice();
+        let mut dw = vec![T::zero(); g.k_h * g.k_w * g.in_c * g.out_c];
+        for n in 0..g.batch {
+            for oy in 0..g.out_h {
+                for ox in 0..g.out_w {
+                    let out_base = ((n * g.out_h + oy) * g.out_w + ox) * g.out_c;
+                    for ky in 0..g.k_h {
+                        let iy = (oy * g.stride.0 + ky) as isize - g.pad_top as isize;
+                        if iy < 0 || iy as usize >= g.in_h {
+                            continue;
+                        }
+                        for kx in 0..g.k_w {
+                            let ix = (ox * g.stride.1 + kx) as isize - g.pad_left as isize;
+                            if ix < 0 || ix as usize >= g.in_w {
+                                continue;
+                            }
+                            let in_base =
+                                ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
+                            let w_base = (ky * g.k_w + kx) * g.in_c * g.out_c;
+                            for ic in 0..g.in_c {
+                                let xv = x[in_base + ic];
+                                let dyrow = &dy[out_base..out_base + g.out_c];
+                                let dwrow =
+                                    &mut dw[w_base + ic * g.out_c..w_base + (ic + 1) * g.out_c];
+                                for (dwv, &dyv) in dwrow.iter_mut().zip(dyrow) {
+                                    *dwv += xv * dyv;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(dw, filter_dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn conv_identity_filter() {
+        // 1x1 filter with weight 1 is the identity.
+        let x = Tensor::<f32>::from_fn(&[1, 3, 3, 1], |i| i as f32);
+        let f = Tensor::<f32>::ones(&[1, 1, 1, 1]);
+        assert_eq!(x.conv2d(&f, (1, 1), Padding::Valid), x);
+    }
+
+    #[test]
+    fn conv_known_values_valid() {
+        // 2x2 box filter over a 3x3 image.
+        let x = Tensor::from_vec(
+            vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 3, 3, 1],
+        );
+        let f = Tensor::<f32>::ones(&[2, 2, 1, 1]);
+        let y = x.conv2d(&f, (1, 1), Padding::Valid);
+        assert_eq!(y.dims(), &[1, 2, 2, 1]);
+        assert_eq!(y.as_slice(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn conv_same_padding_shape() {
+        let x = Tensor::<f32>::ones(&[2, 5, 5, 3]);
+        let f = Tensor::<f32>::ones(&[3, 3, 3, 4]);
+        let y = x.conv2d(&f, (1, 1), Padding::Same);
+        assert_eq!(y.dims(), &[2, 5, 5, 4]);
+        // center output = 3*3*3 = 27; corner = 2*2*3 = 12
+        assert_eq!(y.at(&[0, 2, 2, 0]), 27.0);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 12.0);
+    }
+
+    #[test]
+    fn conv_stride() {
+        let x = Tensor::<f32>::from_fn(&[1, 4, 4, 1], |i| i as f32);
+        let f = Tensor::<f32>::ones(&[2, 2, 1, 1]);
+        let y = x.conv2d(&f, (2, 2), Padding::Valid);
+        assert_eq!(y.dims(), &[1, 2, 2, 1]);
+        assert_eq!(y.as_slice(), &[10.0, 18.0, 42.0, 50.0]);
+    }
+
+    #[test]
+    fn conv_multi_channel() {
+        // Input 2 channels, filter routes channel sums to 1 output channel.
+        let x = Tensor::from_vec(vec![1.0f32, 10.0], &[1, 1, 1, 2]);
+        let f = Tensor::from_vec(vec![2.0f32, 3.0], &[1, 1, 2, 1]);
+        let y = x.conv2d(&f, (1, 1), Padding::Valid);
+        assert_eq!(y.as_slice(), &[32.0]);
+    }
+
+    /// Finite-difference check of both gradient kernels.
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let x = Tensor::<f64>::randn(&[2, 5, 5, 2], &mut rng);
+        let w = Tensor::<f64>::randn(&[3, 3, 2, 3], &mut rng);
+        for padding in [Padding::Same, Padding::Valid] {
+            let strides = (2, 1);
+            let y = x.conv2d(&w, strides, padding);
+            // loss = sum(y); dL/dy = ones
+            let dy = Tensor::<f64>::ones(y.dims());
+            let dx = x.conv2d_backward_input(&w, &dy, strides, padding);
+            let dw = x.conv2d_backward_filter(w.dims(), &dy, strides, padding);
+            let eps = 1e-5;
+            // Check a sample of input coordinates.
+            for flat in [0usize, 7, 23, 49] {
+                let mut xp = x.clone();
+                xp.as_mut_slice()[flat] += eps;
+                let mut xm = x.clone();
+                xm.as_mut_slice()[flat] -= eps;
+                let num = (xp.conv2d(&w, strides, padding).sum().scalar_value()
+                    - xm.conv2d(&w, strides, padding).sum().scalar_value())
+                    / (2.0 * eps);
+                assert!(
+                    (num - dx.as_slice()[flat]).abs() < 1e-5,
+                    "dx[{flat}] fd={num} ad={}",
+                    dx.as_slice()[flat]
+                );
+            }
+            for flat in [0usize, 5, 17, 53] {
+                let mut wp = w.clone();
+                wp.as_mut_slice()[flat] += eps;
+                let mut wm = w.clone();
+                wm.as_mut_slice()[flat] -= eps;
+                let num = (x.conv2d(&wp, strides, padding).sum().scalar_value()
+                    - x.conv2d(&wm, strides, padding).sum().scalar_value())
+                    / (2.0 * eps);
+                assert!(
+                    (num - dw.as_slice()[flat]).abs() < 1e-5,
+                    "dw[{flat}] fd={num} ad={}",
+                    dw.as_slice()[flat]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn conv_channel_mismatch_panics() {
+        let x = Tensor::<f32>::ones(&[1, 3, 3, 2]);
+        let f = Tensor::<f32>::ones(&[2, 2, 3, 1]);
+        x.conv2d(&f, (1, 1), Padding::Valid);
+    }
+}

@@ -1,0 +1,16 @@
+//! Tensor kernels: the operation suite the paper's Tensor type exposes (§3).
+//!
+//! Every differentiable kernel has a corresponding *gradient kernel* in the
+//! same module (e.g. [`Tensor::conv2d`](crate::Tensor::conv2d) ↔
+//! [`Tensor::conv2d_backward_input`](crate::Tensor::conv2d_backward_input)),
+//! so the AD layers in `s4tf-core` / `s4tf-nn` can register pullbacks without
+//! re-deriving kernels.
+
+pub mod arith;
+pub mod conv;
+pub mod elementwise;
+pub mod matmul;
+pub mod nn_ops;
+pub mod pool;
+pub mod reduce;
+pub mod shape_ops;

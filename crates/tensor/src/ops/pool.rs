@@ -1,0 +1,339 @@
+//! 2-D pooling kernels (NHWC): average and max pooling with their gradient
+//! kernels, as used by the paper's `AvgPool2D` in the LeNet-5 model
+//! (Figure 6).
+
+use crate::dtype::Float;
+use crate::tensor::Tensor;
+use crate::Padding;
+
+#[derive(Debug, Clone, Copy)]
+struct PoolGeom {
+    batch: usize,
+    in_h: usize,
+    in_w: usize,
+    ch: usize,
+    k_h: usize,
+    k_w: usize,
+    out_h: usize,
+    out_w: usize,
+    pad_top: usize,
+    pad_left: usize,
+    stride: (usize, usize),
+}
+
+fn geometry<T: Float>(
+    input: &Tensor<T>,
+    pool: (usize, usize),
+    strides: (usize, usize),
+    padding: Padding,
+) -> PoolGeom {
+    assert_eq!(input.rank(), 4, "pooling input must be NHWC (rank 4)");
+    assert!(pool.0 > 0 && pool.1 > 0, "pool size must be positive");
+    assert!(strides.0 > 0 && strides.1 > 0, "strides must be positive");
+    let (batch, in_h, in_w, ch) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let out_h = padding.output_dim(in_h, pool.0, strides.0);
+    let out_w = padding.output_dim(in_w, pool.1, strides.1);
+    let (pad_top, _) = padding.amounts(in_h, pool.0, strides.0);
+    let (pad_left, _) = padding.amounts(in_w, pool.1, strides.1);
+    PoolGeom {
+        batch,
+        in_h,
+        in_w,
+        ch,
+        k_h: pool.0,
+        k_w: pool.1,
+        out_h,
+        out_w,
+        pad_top,
+        pad_left,
+        stride: strides,
+    }
+}
+
+impl<T: Float> Tensor<T> {
+    /// Average pooling over `[N,H,W,C]`. Padded cells are excluded from the
+    /// mean (count-include-pad = false), so `Same` padding never biases edge
+    /// averages toward zero.
+    ///
+    /// # Panics
+    /// Panics on rank mismatch, zero pool/stride, or (for
+    /// [`Padding::Valid`]) pools larger than the input.
+    pub fn avg_pool2d(
+        &self,
+        pool: (usize, usize),
+        strides: (usize, usize),
+        padding: Padding,
+    ) -> Tensor<T> {
+        let g = geometry(self, pool, strides, padding);
+        let x = self.as_slice();
+        let mut out = vec![T::zero(); g.batch * g.out_h * g.out_w * g.ch];
+        for n in 0..g.batch {
+            for oy in 0..g.out_h {
+                for ox in 0..g.out_w {
+                    let out_base = ((n * g.out_h + oy) * g.out_w + ox) * g.ch;
+                    let mut count = 0usize;
+                    for ky in 0..g.k_h {
+                        let iy = (oy * g.stride.0 + ky) as isize - g.pad_top as isize;
+                        if iy < 0 || iy as usize >= g.in_h {
+                            continue;
+                        }
+                        for kx in 0..g.k_w {
+                            let ix = (ox * g.stride.1 + kx) as isize - g.pad_left as isize;
+                            if ix < 0 || ix as usize >= g.in_w {
+                                continue;
+                            }
+                            count += 1;
+                            let in_base =
+                                ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.ch;
+                            for c in 0..g.ch {
+                                out[out_base + c] += x[in_base + c];
+                            }
+                        }
+                    }
+                    let inv = T::one() / T::from_usize(count.max(1));
+                    for c in 0..g.ch {
+                        out[out_base + c] *= inv;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[g.batch, g.out_h, g.out_w, g.ch])
+    }
+
+    /// Gradient of [`Tensor::avg_pool2d`] with respect to its input.
+    ///
+    /// # Panics
+    /// Panics on geometry mismatches.
+    pub fn avg_pool2d_backward(
+        &self,
+        grad_out: &Tensor<T>,
+        pool: (usize, usize),
+        strides: (usize, usize),
+        padding: Padding,
+    ) -> Tensor<T> {
+        let g = geometry(self, pool, strides, padding);
+        assert_eq!(
+            grad_out.dims(),
+            &[g.batch, g.out_h, g.out_w, g.ch],
+            "grad_out shape mismatch"
+        );
+        let dy = grad_out.as_slice();
+        let mut dx = vec![T::zero(); self.num_elements()];
+        for n in 0..g.batch {
+            for oy in 0..g.out_h {
+                for ox in 0..g.out_w {
+                    let out_base = ((n * g.out_h + oy) * g.out_w + ox) * g.ch;
+                    // First pass: count valid cells (matches forward).
+                    let mut count = 0usize;
+                    for ky in 0..g.k_h {
+                        let iy = (oy * g.stride.0 + ky) as isize - g.pad_top as isize;
+                        if iy < 0 || iy as usize >= g.in_h {
+                            continue;
+                        }
+                        for kx in 0..g.k_w {
+                            let ix = (ox * g.stride.1 + kx) as isize - g.pad_left as isize;
+                            if ix >= 0 && (ix as usize) < g.in_w {
+                                count += 1;
+                            }
+                        }
+                    }
+                    let inv = T::one() / T::from_usize(count.max(1));
+                    for ky in 0..g.k_h {
+                        let iy = (oy * g.stride.0 + ky) as isize - g.pad_top as isize;
+                        if iy < 0 || iy as usize >= g.in_h {
+                            continue;
+                        }
+                        for kx in 0..g.k_w {
+                            let ix = (ox * g.stride.1 + kx) as isize - g.pad_left as isize;
+                            if ix < 0 || ix as usize >= g.in_w {
+                                continue;
+                            }
+                            let in_base =
+                                ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.ch;
+                            for c in 0..g.ch {
+                                dx[in_base + c] += dy[out_base + c] * inv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(dx, self.dims())
+    }
+
+    /// Max pooling over `[N,H,W,C]`.
+    ///
+    /// # Panics
+    /// See [`Tensor::avg_pool2d`].
+    pub fn max_pool2d(
+        &self,
+        pool: (usize, usize),
+        strides: (usize, usize),
+        padding: Padding,
+    ) -> Tensor<T> {
+        let g = geometry(self, pool, strides, padding);
+        let x = self.as_slice();
+        let mut out = vec![T::neg_infinity(); g.batch * g.out_h * g.out_w * g.ch];
+        for n in 0..g.batch {
+            for oy in 0..g.out_h {
+                for ox in 0..g.out_w {
+                    let out_base = ((n * g.out_h + oy) * g.out_w + ox) * g.ch;
+                    for ky in 0..g.k_h {
+                        let iy = (oy * g.stride.0 + ky) as isize - g.pad_top as isize;
+                        if iy < 0 || iy as usize >= g.in_h {
+                            continue;
+                        }
+                        for kx in 0..g.k_w {
+                            let ix = (ox * g.stride.1 + kx) as isize - g.pad_left as isize;
+                            if ix < 0 || ix as usize >= g.in_w {
+                                continue;
+                            }
+                            let in_base =
+                                ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.ch;
+                            for c in 0..g.ch {
+                                out[out_base + c] = out[out_base + c].maximum(x[in_base + c]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[g.batch, g.out_h, g.out_w, g.ch])
+    }
+
+    /// Gradient of [`Tensor::max_pool2d`]: routes each output gradient to
+    /// the (first) argmax cell of its window.
+    ///
+    /// # Panics
+    /// Panics on geometry mismatches.
+    pub fn max_pool2d_backward(
+        &self,
+        grad_out: &Tensor<T>,
+        pool: (usize, usize),
+        strides: (usize, usize),
+        padding: Padding,
+    ) -> Tensor<T> {
+        let g = geometry(self, pool, strides, padding);
+        assert_eq!(
+            grad_out.dims(),
+            &[g.batch, g.out_h, g.out_w, g.ch],
+            "grad_out shape mismatch"
+        );
+        let x = self.as_slice();
+        let dy = grad_out.as_slice();
+        let mut dx = vec![T::zero(); self.num_elements()];
+        for n in 0..g.batch {
+            for oy in 0..g.out_h {
+                for ox in 0..g.out_w {
+                    let out_base = ((n * g.out_h + oy) * g.out_w + ox) * g.ch;
+                    for c in 0..g.ch {
+                        let mut best = T::neg_infinity();
+                        let mut best_flat = None;
+                        for ky in 0..g.k_h {
+                            let iy = (oy * g.stride.0 + ky) as isize - g.pad_top as isize;
+                            if iy < 0 || iy as usize >= g.in_h {
+                                continue;
+                            }
+                            for kx in 0..g.k_w {
+                                let ix = (ox * g.stride.1 + kx) as isize - g.pad_left as isize;
+                                if ix < 0 || ix as usize >= g.in_w {
+                                    continue;
+                                }
+                                let flat = ((n * g.in_h + iy as usize) * g.in_w + ix as usize)
+                                    * g.ch
+                                    + c;
+                                if x[flat] > best {
+                                    best = x[flat];
+                                    best_flat = Some(flat);
+                                }
+                            }
+                        }
+                        if let Some(flat) = best_flat {
+                            dx[flat] += dy[out_base + c];
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(dx, self.dims())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn avg_pool_known() {
+        let x = Tensor::from_vec(
+            vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 4, 4, 1],
+        );
+        let y = x.avg_pool2d((2, 2), (2, 2), Padding::Valid);
+        assert_eq!(y.dims(), &[1, 2, 2, 1]);
+        assert_eq!(y.as_slice(), &[3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn max_pool_known() {
+        let x = Tensor::from_vec(
+            vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 4, 4, 1],
+        );
+        let y = x.max_pool2d((2, 2), (2, 2), Padding::Valid);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn avg_pool_same_excludes_padding() {
+        let x = Tensor::<f32>::ones(&[1, 3, 3, 1]);
+        let y = x.avg_pool2d((2, 2), (1, 1), Padding::Same);
+        assert_eq!(y.dims(), &[1, 3, 3, 1]);
+        // Every average over ones must be exactly 1 when pad cells are
+        // excluded from the count.
+        assert!(y.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn avg_pool_gradient_matches_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let x = Tensor::<f64>::randn(&[1, 4, 4, 2], &mut rng);
+        let y = x.avg_pool2d((2, 2), (2, 2), Padding::Valid);
+        let dy = Tensor::<f64>::ones(y.dims());
+        let dx = x.avg_pool2d_backward(&dy, (2, 2), (2, 2), Padding::Valid);
+        let eps = 1e-6;
+        for flat in 0..x.num_elements() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[flat] += eps;
+            let num = (xp.avg_pool2d((2, 2), (2, 2), Padding::Valid).sum().scalar_value()
+                - y.sum().scalar_value())
+                / eps;
+            assert!((num - dx.as_slice()[flat]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn max_pool_gradient_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0f32, 9.0, 2.0, 3.0], &[1, 2, 2, 1]);
+        let y = x.max_pool2d((2, 2), (2, 2), Padding::Valid);
+        assert_eq!(y.scalar_value(), 9.0);
+        let dy = Tensor::<f32>::ones(&[1, 1, 1, 1]);
+        let dx = x.max_pool2d_backward(&dy, (2, 2), (2, 2), Padding::Valid);
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pool_stride_one() {
+        let x = Tensor::<f32>::from_fn(&[1, 3, 3, 1], |i| i as f32);
+        let y = x.max_pool2d((2, 2), (1, 1), Padding::Valid);
+        assert_eq!(y.dims(), &[1, 2, 2, 1]);
+        assert_eq!(y.as_slice(), &[4.0, 5.0, 7.0, 8.0]);
+    }
+}

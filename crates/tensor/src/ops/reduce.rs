@@ -1,0 +1,278 @@
+//! Reduction kernels: sum / mean / max over all elements or along an axis,
+//! plus `argmax` and the gradient helper `unreduce`.
+
+use crate::dtype::{Float, Scalar};
+use crate::tensor::Tensor;
+
+impl<T: Scalar> Tensor<T> {
+    /// Sum of all elements, as a rank-0 tensor.
+    pub fn sum(&self) -> Tensor<T> {
+        Tensor::scalar(self.as_slice().iter().copied().sum())
+    }
+
+    /// Sum along `axis`. With `keep_dims` the axis is retained with extent 1.
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank`.
+    pub fn sum_axis(&self, axis: usize, keep_dims: bool) -> Tensor<T> {
+        self.reduce_axis(axis, keep_dims, T::zero(), |acc, x| acc + x)
+    }
+
+    /// Sum along several axes (deduplicated), keeping dims.
+    ///
+    /// # Panics
+    /// Panics if any axis is out of range.
+    pub fn sum_axes_keep(&self, axes: &[usize]) -> Tensor<T> {
+        let mut sorted: Vec<usize> = axes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut out = self.clone();
+        for &axis in &sorted {
+            out = out.sum_axis(axis, true);
+        }
+        out
+    }
+
+    /// Reduces a gradient of shape `self.dims()` back to `target_dims` by
+    /// summing over broadcast axes — the pullback of broadcasting.
+    ///
+    /// # Panics
+    /// Panics if `target_dims` does not broadcast to `self.dims()`.
+    pub fn reduce_to_shape(&self, target_dims: &[usize]) -> Tensor<T> {
+        let target = crate::Shape::new(target_dims);
+        if self.shape() == &target {
+            return self.clone();
+        }
+        let axes = target.broadcast_reduction_axes(self.shape());
+        let summed = self.sum_axes_keep(&axes);
+        summed.reshape(target_dims)
+    }
+
+    /// Maximum element, as a rank-0 tensor.
+    ///
+    /// # Panics
+    /// Panics on an empty tensor.
+    pub fn max(&self) -> Tensor<T> {
+        assert!(self.num_elements() > 0, "max of empty tensor");
+        let m = self
+            .as_slice()
+            .iter()
+            .copied()
+            .fold(self.as_slice()[0], |a, b| a.maximum(b));
+        Tensor::scalar(m)
+    }
+
+    /// Minimum element, as a rank-0 tensor.
+    ///
+    /// # Panics
+    /// Panics on an empty tensor.
+    pub fn min(&self) -> Tensor<T> {
+        assert!(self.num_elements() > 0, "min of empty tensor");
+        let m = self
+            .as_slice()
+            .iter()
+            .copied()
+            .fold(self.as_slice()[0], |a, b| a.minimum(b));
+        Tensor::scalar(m)
+    }
+
+    /// Maximum along `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank` or the axis has extent 0.
+    pub fn max_axis(&self, axis: usize, keep_dims: bool) -> Tensor<T> {
+        assert!(self.dims()[axis] > 0, "max over empty axis");
+        let mut out: Option<Tensor<T>> = None;
+        for i in 0..self.dims()[axis] {
+            let s = self.slice_axis(axis, i, 1);
+            out = Some(match out {
+                None => s,
+                Some(acc) => acc.max_elements(&s),
+            });
+        }
+        let out = out.unwrap();
+        if keep_dims {
+            out
+        } else {
+            out.squeeze(axis)
+        }
+    }
+
+    /// Index of the maximum element along `axis` (ties favor the first).
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank` or the axis has extent 0.
+    pub fn argmax_axis(&self, axis: usize) -> Tensor<i64> {
+        assert!(axis < self.rank(), "axis out of range");
+        let d = self.dims()[axis];
+        assert!(d > 0, "argmax over empty axis");
+        let outer: usize = self.dims()[..axis].iter().product();
+        let inner: usize = self.dims()[axis + 1..].iter().product();
+        let src = self.as_slice();
+        let mut out = vec![0i64; outer * inner];
+        for o in 0..outer {
+            for i in 0..inner {
+                let mut best = src[o * d * inner + i];
+                let mut best_idx = 0i64;
+                for k in 1..d {
+                    let v = src[o * d * inner + k * inner + i];
+                    if v > best {
+                        best = v;
+                        best_idx = k as i64;
+                    }
+                }
+                out[o * inner + i] = best_idx;
+            }
+        }
+        let dims = self.shape().removing(axis);
+        Tensor::from_vec(out, dims.dims())
+    }
+
+    fn reduce_axis(
+        &self,
+        axis: usize,
+        keep_dims: bool,
+        init: T,
+        f: impl Fn(T, T) -> T,
+    ) -> Tensor<T> {
+        assert!(axis < self.rank(), "axis {axis} out of range");
+        let d = self.dims()[axis];
+        let outer: usize = self.dims()[..axis].iter().product();
+        let inner: usize = self.dims()[axis + 1..].iter().product();
+        let src = self.as_slice();
+        let mut out = vec![init; outer * inner];
+        for o in 0..outer {
+            for k in 0..d {
+                let base = o * d * inner + k * inner;
+                for i in 0..inner {
+                    out[o * inner + i] = f(out[o * inner + i], src[base + i]);
+                }
+            }
+        }
+        let shape = if keep_dims {
+            self.shape().keeping(axis)
+        } else {
+            self.shape().removing(axis)
+        };
+        Tensor::from_vec(out, shape.dims())
+    }
+}
+
+impl<T: Float> Tensor<T> {
+    /// Mean of all elements, as a rank-0 tensor.
+    ///
+    /// # Panics
+    /// Panics on an empty tensor.
+    pub fn mean(&self) -> Tensor<T> {
+        assert!(self.num_elements() > 0, "mean of empty tensor");
+        self.sum().div_scalar(T::from_usize(self.num_elements()))
+    }
+
+    /// Mean along `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank`.
+    pub fn mean_axis(&self, axis: usize, keep_dims: bool) -> Tensor<T> {
+        self.sum_axis(axis, keep_dims)
+            .div_scalar(T::from_usize(self.dims()[axis]))
+    }
+
+    /// Variance along `axis` (population variance).
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank`.
+    pub fn var_axis(&self, axis: usize, keep_dims: bool) -> Tensor<T> {
+        let mean = self.mean_axis(axis, true);
+        let centered = self.sub(&mean);
+        centered
+            .square()
+            .mean_axis(axis, keep_dims)
+    }
+
+    /// Euclidean (L2) norm of all elements, as a plain scalar.
+    pub fn norm(&self) -> T {
+        self.square().sum().scalar_value().sqrt_()
+    }
+
+    /// Dot product with another tensor of identical shape.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn dot(&self, other: &Tensor<T>) -> T {
+        assert_eq!(self.shape(), other.shape(), "dot requires identical shapes");
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor<f32> {
+        Tensor::from_vec(data.to_vec(), dims)
+    }
+
+    #[test]
+    fn sum_all_and_axis() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(a.sum().scalar_value(), 21.0);
+        assert_eq!(a.sum_axis(0, false).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.sum_axis(1, false).as_slice(), &[6.0, 15.0]);
+        let k = a.sum_axis(1, true);
+        assert_eq!(k.dims(), &[2, 1]);
+    }
+
+    #[test]
+    fn sum_axes_keep_dedups() {
+        let a = Tensor::<f32>::ones(&[2, 3, 4]);
+        let s = a.sum_axes_keep(&[0, 2, 0]);
+        assert_eq!(s.dims(), &[1, 3, 1]);
+        assert_eq!(s.as_slice(), &[8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn reduce_to_shape_inverts_broadcast() {
+        let grad = Tensor::<f32>::ones(&[4, 2, 3]);
+        assert_eq!(grad.reduce_to_shape(&[1, 3]).as_slice(), &[8.0, 8.0, 8.0]);
+        assert_eq!(grad.reduce_to_shape(&[3]).as_slice(), &[8.0, 8.0, 8.0]);
+        let s = grad.reduce_to_shape(&[]);
+        assert_eq!(s.scalar_value(), 24.0);
+        assert_eq!(grad.reduce_to_shape(&[4, 2, 3]), grad);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = t(&[3.0, -1.0, 2.0], &[3]);
+        assert_eq!(a.max().scalar_value(), 3.0);
+        assert_eq!(a.min().scalar_value(), -1.0);
+        let m = t(&[1.0, 5.0, 3.0, 2.0], &[2, 2]);
+        assert_eq!(m.max_axis(0, false).as_slice(), &[3.0, 5.0]);
+        assert_eq!(m.max_axis(1, false).as_slice(), &[5.0, 3.0]);
+        assert_eq!(m.max_axis(1, true).dims(), &[2, 1]);
+    }
+
+    #[test]
+    fn argmax() {
+        let m = t(&[1.0, 5.0, 3.0, 2.0, 9.0, 0.0], &[2, 3]);
+        assert_eq!(m.argmax_axis(1).as_slice(), &[1, 1]);
+        assert_eq!(m.argmax_axis(0).as_slice(), &[1, 1, 0]);
+        // ties favor first
+        let ties = t(&[2.0, 2.0], &[1, 2]);
+        assert_eq!(ties.argmax_axis(1).as_slice(), &[0]);
+    }
+
+    #[test]
+    fn mean_var_norm_dot() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.mean().scalar_value(), 2.5);
+        assert_eq!(a.mean_axis(0, false).as_slice(), &[2.0, 3.0]);
+        let v = a.var_axis(0, false);
+        assert_eq!(v.as_slice(), &[1.0, 1.0]);
+        assert_eq!(t(&[3.0, 4.0], &[2]).norm(), 5.0);
+        assert_eq!(t(&[1.0, 2.0], &[2]).dot(&t(&[3.0, 4.0], &[2])), 11.0);
+    }
+}

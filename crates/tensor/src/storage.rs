@@ -1,0 +1,169 @@
+//! Copy-on-write element storage — the mechanism behind the paper's
+//! "large values are copied lazily, upon mutation, and only when shared"
+//! (§4, "Mutable value semantics").
+//!
+//! A [`Storage`] clones in O(1) by bumping a reference count. The first
+//! mutation through a *shared* storage copies the buffer
+//! ([`std::sync::Arc::make_mut`]); mutation through a *uniquely owned*
+//! storage is in-place and free. This is exactly Swift's CoW array behavior
+//! that the paper relies on for both value semantics (§4) and in-place
+//! optimizer updates (§4.2).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Global count of CoW buffer copies, for tests and the memory experiments
+/// (Table 4): proves that unique mutation does not copy.
+static COW_COPIES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of copy-on-write buffer copies performed process-wide so far.
+pub fn cow_copy_count() -> u64 {
+    COW_COPIES.load(Ordering::Relaxed)
+}
+
+/// Reference-counted, copy-on-write element buffer.
+///
+/// ```
+/// use s4tf_tensor::Storage;
+/// let mut a = Storage::from_vec(vec![1, 2, 3]);
+/// let b = a.clone();            // O(1): shared
+/// a.as_mut_slice()[0] = 9;      // copies, then mutates
+/// assert_eq!(b.as_slice()[0], 1);
+/// assert_eq!(a.as_slice()[0], 9);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Storage<T> {
+    data: Arc<Vec<T>>,
+}
+
+impl<T: Clone> Storage<T> {
+    /// Creates storage owning `data`.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        Storage {
+            data: Arc::new(data),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the elements.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the elements.
+    ///
+    /// If the buffer is shared with another `Storage`, it is copied first
+    /// (copy-on-write); if uniquely owned, this is free.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if Arc::strong_count(&self.data) > 1 {
+            COW_COPIES.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// True if this storage uniquely owns its buffer (mutation will not
+    /// copy).
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.data) == 1
+    }
+
+    /// True if `self` and `other` share the same underlying buffer.
+    pub fn ptr_eq(&self, other: &Storage<T>) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Extracts the underlying vector, copying only if shared.
+    pub fn into_vec(self) -> Vec<T> {
+        match Arc::try_unwrap(self.data) {
+            Ok(v) => v,
+            Err(arc) => {
+                COW_COPIES.fetch_add(1, Ordering::Relaxed);
+                (*arc).clone()
+            }
+        }
+    }
+}
+
+impl<T: Clone> From<Vec<T>> for Storage<T> {
+    fn from(data: Vec<T>) -> Self {
+        Storage::from_vec(data)
+    }
+}
+
+impl<T: Clone> FromIterator<T> for Storage<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Storage::from_vec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_buffer() {
+        let a = Storage::from_vec(vec![1, 2, 3]);
+        let b = a.clone();
+        assert!(a.ptr_eq(&b));
+        assert!(!a.is_unique());
+        assert!(!b.is_unique());
+    }
+
+    #[test]
+    fn mutation_through_shared_copies() {
+        let before = cow_copy_count();
+        let mut a = Storage::from_vec(vec![1, 2, 3]);
+        let b = a.clone();
+        a.as_mut_slice()[0] = 42;
+        assert_eq!(cow_copy_count(), before + 1);
+        assert!(!a.ptr_eq(&b));
+        assert_eq!(a.as_slice(), &[42, 2, 3]);
+        assert_eq!(b.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn unique_mutation_is_in_place() {
+        let mut a = Storage::from_vec(vec![1, 2, 3]);
+        let before = cow_copy_count();
+        let ptr = a.as_slice().as_ptr();
+        a.as_mut_slice()[1] = 7;
+        assert_eq!(cow_copy_count(), before);
+        assert_eq!(a.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn into_vec_unique_does_not_copy() {
+        let a = Storage::from_vec(vec![1, 2, 3]);
+        let before = cow_copy_count();
+        let v = a.into_vec();
+        assert_eq!(cow_copy_count(), before);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn into_vec_shared_copies() {
+        let a = Storage::from_vec(vec![1, 2, 3]);
+        let _b = a.clone();
+        let before = cow_copy_count();
+        let v = a.into_vec();
+        assert_eq!(cow_copy_count(), before + 1);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn collect_and_len() {
+        let s: Storage<i32> = (0..4).collect();
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert!(Storage::<i32>::from_vec(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for the tensor substrate: broadcast algebra,
+//! copy-on-write invariants, shape round-trips and kernel identities.
+
+use proptest::prelude::*;
+use s4tf_tensor::{Shape, Tensor};
+
+/// Strategy: a small shape (rank ≤ 4, dims ≤ 5, non-empty).
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=5, 0..=4)
+}
+
+/// Strategy: a tensor with the given dims and values in [-10, 10].
+fn tensor_with(dims: Vec<usize>) -> impl Strategy<Value = Tensor<f64>> {
+    let n: usize = dims.iter().product::<usize>().max(1);
+    prop::collection::vec(-10.0f64..10.0, n..=n)
+        .prop_map(move |data| Tensor::from_vec(data, &dims))
+}
+
+fn arb_tensor() -> impl Strategy<Value = Tensor<f64>> {
+    small_shape().prop_flat_map(tensor_with)
+}
+
+proptest! {
+    // ------------------------------------------------------ broadcast algebra
+
+    #[test]
+    fn broadcast_is_commutative(a in small_shape(), b in small_shape()) {
+        let sa = Shape::new(&a);
+        let sb = Shape::new(&b);
+        let ab = Shape::broadcast(&sa, &sb);
+        let ba = Shape::broadcast(&sb, &sa);
+        prop_assert_eq!(ab.is_ok(), ba.is_ok());
+        if let (Ok(x), Ok(y)) = (ab, ba) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn broadcast_with_self_is_identity(a in small_shape()) {
+        let s = Shape::new(&a);
+        prop_assert_eq!(Shape::broadcast(&s, &s).unwrap(), s);
+    }
+
+    #[test]
+    fn broadcast_with_scalar_is_identity(a in small_shape()) {
+        let s = Shape::new(&a);
+        prop_assert_eq!(Shape::broadcast(&s, &Shape::scalar()).unwrap(), s);
+    }
+
+    #[test]
+    fn flat_multi_index_round_trip(a in small_shape(), flat_seed in any::<usize>()) {
+        let s = Shape::new(&a);
+        let flat = flat_seed % s.num_elements().max(1);
+        prop_assert_eq!(s.flat_index(&s.multi_index(flat)), flat);
+    }
+
+    // --------------------------------------------------------- value semantics
+
+    #[test]
+    fn mutation_never_observed_through_clone(t in arb_tensor(), delta in -5.0f64..5.0) {
+        let before = t.clone();
+        let mut mutated = t.clone();
+        mutated.add_scalar_assign(delta);
+        prop_assert_eq!(&t, &before, "mutation leaked through a copy");
+        if delta != 0.0 && t.num_elements() > 0 {
+            prop_assert!(!mutated.shares_storage_with(&t));
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_data_and_shares_storage(t in arb_tensor()) {
+        let n = t.num_elements();
+        let flat = t.reshape(&[n]);
+        prop_assert_eq!(flat.as_slice(), t.as_slice());
+        prop_assert!(flat.shares_storage_with(&t));
+    }
+
+    // ------------------------------------------------------- kernel identities
+
+    #[test]
+    fn add_commutes(dims in small_shape(), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let a = Tensor::<f64>::randn(&dims, &mut rng);
+        let b = Tensor::<f64>::randn(&dims, &mut rng);
+        prop_assert!(a.add(&b).allclose(&b.add(&a), 1e-12));
+    }
+
+    #[test]
+    fn sub_then_add_round_trips(t in arb_tensor(), delta in -5.0f64..5.0) {
+        let d = Tensor::full(delta, t.dims());
+        let round = t.sub(&d).add(&d);
+        prop_assert!(round.allclose(&t, 1e-9));
+    }
+
+    #[test]
+    fn relu_is_idempotent(t in arb_tensor()) {
+        let r = t.relu();
+        prop_assert_eq!(r.relu(), r);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(dims in prop::collection::vec(1usize..=5, 1..=3),
+                                      seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let t = Tensor::<f64>::randn(&dims, &mut rng);
+        let s = t.softmax();
+        prop_assert!(s.as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let sums = s.sum_axis(dims.len() - 1, false);
+        for &x in sums.as_slice() {
+            prop_assert!((x - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sum_axis_totals_match_full_sum(t in arb_tensor()) {
+        if t.rank() == 0 { return Ok(()); }
+        for axis in 0..t.rank() {
+            let partial = t.sum_axis(axis, false).sum().scalar_value();
+            prop_assert!((partial - t.sum().scalar_value()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(dims in prop::collection::vec(1usize..=5, 2..=4),
+                               seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let t = Tensor::<f64>::randn(&dims, &mut rng);
+        prop_assert_eq!(t.t().t(), t);
+    }
+
+    #[test]
+    fn matmul_identity_both_sides(n in 1usize..8, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let a = Tensor::<f64>::randn(&[n, n], &mut rng);
+        let i = Tensor::<f64>::eye(n);
+        prop_assert!(a.matmul(&i).allclose(&a, 1e-12));
+        prop_assert!(i.matmul(&a).allclose(&a, 1e-12));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(m in 1usize..5, k in 1usize..5, n in 1usize..5,
+                                   seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let a = Tensor::<f64>::randn(&[m, k], &mut rng);
+        let b = Tensor::<f64>::randn(&[k, n], &mut rng);
+        let c = Tensor::<f64>::randn(&[k, n], &mut rng);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.allclose(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn pad_unpad_round_trip(t in arb_tensor(),
+                            pads_seed in prop::collection::vec((0usize..3, 0usize..3), 0..=4)) {
+        let pads: Vec<(usize, usize)> =
+            (0..t.rank()).map(|i| *pads_seed.get(i).unwrap_or(&(0, 0))).collect();
+        let p = t.pad(&pads);
+        prop_assert_eq!(p.unpad(&pads), t);
+    }
+
+    #[test]
+    fn concat_slice_round_trip(dims in prop::collection::vec(1usize..=4, 1..=3),
+                               seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let a = Tensor::<f64>::randn(&dims, &mut rng);
+        let b = Tensor::<f64>::randn(&dims, &mut rng);
+        for axis in 0..dims.len() {
+            let c = Tensor::concat(&[&a, &b], axis);
+            prop_assert_eq!(c.slice_axis(axis, 0, dims[axis]), a.clone());
+            prop_assert_eq!(c.slice_axis(axis, dims[axis], dims[axis]), b.clone());
+        }
+    }
+
+    #[test]
+    fn broadcast_to_then_reduce_is_scaling(dims in prop::collection::vec(1usize..=4, 1..=3),
+                                           lead in 1usize..4, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let t = Tensor::<f64>::randn(&dims, &mut rng);
+        let mut target = vec![lead];
+        target.extend_from_slice(&dims);
+        let b = t.broadcast_to(&target);
+        let reduced = b.reduce_to_shape(&dims);
+        prop_assert!(reduced.allclose(&t.mul_scalar(lead as f64), 1e-9));
+    }
+}

@@ -1,0 +1,53 @@
+//! Checkpoint serialization: tensors are plain values (shape + contents),
+//! so serializing them is trivial — one of the practical payoffs of value
+//! semantics (no graph state, no variable objects, nothing to detach).
+
+use s4tf_tensor::Tensor;
+
+#[test]
+fn json_round_trip_preserves_shape_and_data() {
+    let t = Tensor::from_vec(vec![1.5f32, -2.0, 0.0, 3.25, 7.0, -0.5], &[2, 3]);
+    let json = serde_json::to_string(&t).unwrap();
+    let back: Tensor<f32> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, t);
+    assert_eq!(back.dims(), &[2, 3]);
+}
+
+#[test]
+fn scalar_and_empty_shapes_round_trip() {
+    let s = Tensor::scalar(42.0f64);
+    let back: Tensor<f64> = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+    assert_eq!(back, s);
+    assert_eq!(back.rank(), 0);
+
+    let z = Tensor::<f32>::zeros(&[0, 4]);
+    let back: Tensor<f32> = serde_json::from_str(&serde_json::to_string(&z).unwrap()).unwrap();
+    assert_eq!(back.dims(), &[0, 4]);
+}
+
+#[test]
+fn integer_tensors_round_trip() {
+    let t = Tensor::from_vec(vec![1i64, -2, 3], &[3]);
+    let back: Tensor<i64> = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+    assert_eq!(back, t);
+}
+
+#[test]
+fn corrupt_checkpoints_are_rejected() {
+    // Mismatched element count must fail cleanly, not panic.
+    let bad = r#"{"dims":[2,2],"data":[1.0,2.0,3.0]}"#;
+    let res: Result<Tensor<f32>, _> = serde_json::from_str(bad);
+    assert!(res.is_err());
+    let msg = res.unwrap_err().to_string();
+    assert!(msg.contains("reshape") || msg.contains("elements"), "{msg}");
+}
+
+#[test]
+fn deserialized_tensor_is_an_independent_value() {
+    let t = Tensor::from_vec(vec![1.0f32, 2.0], &[2]);
+    let mut back: Tensor<f32> =
+        serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+    back.add_scalar_assign(10.0);
+    assert_eq!(t.as_slice(), &[1.0, 2.0]);
+    assert_eq!(back.as_slice(), &[11.0, 12.0]);
+}

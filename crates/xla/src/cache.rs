@@ -1,0 +1,190 @@
+//! The XLA-program cache (paper §3.4): "trace fragments are hashed to
+//! become keys in an XLA-program cache; each unique trace is only compiled
+//! by XLA once. Even though we reuse previously compiled traces, we still
+//! incur tracing overhead on each iteration."
+//!
+//! Shape changes alter the fingerprint and therefore force recompilation —
+//! the behavior §3.4 calls out as a limitation, reproduced faithfully and
+//! measured by the retracing ablation (experiment E8).
+
+use crate::exec::{compile, Executable};
+use crate::graph::HloGraph;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a compiled program.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (0 when empty).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    // Fingerprint → compiled entries. A bucket holds the graphs too so a
+    // (vanishingly unlikely) fingerprint collision cannot return the wrong
+    // program.
+    entries: HashMap<u64, Vec<(HloGraph, Arc<Executable>)>>,
+    stats: CacheStats,
+    compile_time: Duration,
+}
+
+/// A thread-safe compiled-program cache keyed by trace fingerprint.
+#[derive(Default)]
+pub struct ProgramCache {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for ProgramCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        write!(
+            f,
+            "ProgramCache(programs: {}, stats: {:?})",
+            inner.entries.values().map(Vec::len).sum::<usize>(),
+            inner.stats
+        )
+    }
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ProgramCache::default()
+    }
+
+    /// Returns the compiled program for `graph`, compiling at most once
+    /// per unique trace.
+    pub fn get_or_compile(&self, graph: &HloGraph) -> Arc<Executable> {
+        let key = graph.fingerprint();
+        let mut inner = self.inner.lock();
+        if let Some(bucket) = inner.entries.get(&key) {
+            if let Some((_, exe)) = bucket.iter().find(|(g, _)| g == graph) {
+                let exe = Arc::clone(exe);
+                inner.stats.hits += 1;
+                return exe;
+            }
+        }
+        inner.stats.misses += 1;
+        let start = std::time::Instant::now();
+        let exe = Arc::new(compile(graph));
+        inner.compile_time += start.elapsed();
+        inner
+            .entries
+            .entry(key)
+            .or_default()
+            .push((graph.clone(), Arc::clone(&exe)));
+        exe
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Total time spent compiling (the JIT cost the cache amortizes).
+    pub fn compile_time(&self) -> Duration {
+        self.inner.lock().compile_time
+    }
+
+    /// Number of distinct compiled programs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.values().map(Vec::len).sum()
+    }
+
+    /// True if nothing has been compiled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all compiled programs and statistics.
+    pub fn clear(&self) {
+        *self.inner.lock() = Inner::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{ElemBinary, ElemUnary};
+    use s4tf_tensor::Tensor;
+
+    fn graph(dim: usize, scale: f32) -> HloGraph {
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[dim]);
+        let c = g.constant(Tensor::scalar(scale));
+        let m = g.binary(ElemBinary::Mul, x, c);
+        let r = g.unary(ElemUnary::Relu, m);
+        g.mark_output(r);
+        g
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = ProgramCache::new();
+        let g = graph(8, 2.0);
+        let a = cache.get_or_compile(&g);
+        let b = cache.get_or_compile(&g);
+        assert!(Arc::ptr_eq(&a, &b), "same trace must reuse the program");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shape_change_forces_recompile() {
+        let cache = ProgramCache::new();
+        cache.get_or_compile(&graph(8, 2.0));
+        cache.get_or_compile(&graph(16, 2.0)); // §3.4: new shape → compile
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn distinct_constants_are_distinct_programs() {
+        let cache = ProgramCache::new();
+        cache.get_or_compile(&graph(8, 2.0));
+        cache.get_or_compile(&graph(8, 3.0));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn stats_and_clear() {
+        let cache = ProgramCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hit_ratio(), 0.0);
+        let g = graph(4, 1.5);
+        for _ in 0..9 {
+            cache.get_or_compile(&g);
+        }
+        assert!((cache.stats().hit_ratio() - 8.0 / 9.0).abs() < 1e-12);
+        assert!(cache.compile_time() > Duration::ZERO);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn compiled_program_runs_correctly_from_cache() {
+        let cache = ProgramCache::new();
+        let g = graph(3, 2.0);
+        let exe = cache.get_or_compile(&g);
+        let out = exe.run(&[&Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3])]);
+        assert_eq!(out[0].as_slice(), &[0.0, 1.0, 4.0]);
+    }
+}

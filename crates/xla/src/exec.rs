@@ -1,0 +1,458 @@
+//! Compilation and execution: an [`Executable`] is the optimized,
+//! topologically ordered kernel plan for one trace.
+
+use crate::graph::{HloGraph, NodeId};
+use crate::op::{FusedInst, HloOp, ReduceKind};
+use crate::passes;
+use s4tf_tensor::Tensor;
+
+/// A compiled trace: the optimized graph plus execution bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Executable {
+    graph: HloGraph,
+    /// Nodes that actually execute (excludes parameters/constants).
+    kernel_count: usize,
+}
+
+/// Compiles a graph: runs the whole-program pass pipeline (constant
+/// folding, CSE, algebraic simplification, fusion, DCE) and fixes the
+/// execution plan.
+pub fn compile(graph: &HloGraph) -> Executable {
+    let mut g = graph.clone();
+    passes::optimize(&mut g);
+    let kernel_count = g
+        .nodes
+        .iter()
+        .filter(|n| !matches!(n.op, HloOp::Parameter(_) | HloOp::Constant(_)))
+        .count();
+    Executable {
+        graph: g,
+        kernel_count,
+    }
+}
+
+/// Compiles without optimization (for pass-effect comparisons).
+pub fn compile_unoptimized(graph: &HloGraph) -> Executable {
+    let g = graph.clone();
+    let kernel_count = g
+        .nodes
+        .iter()
+        .filter(|n| !matches!(n.op, HloOp::Parameter(_) | HloOp::Constant(_)))
+        .count();
+    Executable {
+        graph: g,
+        kernel_count,
+    }
+}
+
+impl Executable {
+    /// The optimized graph.
+    pub fn graph(&self) -> &HloGraph {
+        &self.graph
+    }
+
+    /// Number of kernel launches per run (post-fusion) — the metric the
+    /// fusion experiments report.
+    pub fn kernel_count(&self) -> usize {
+        self.kernel_count
+    }
+
+    /// Executes the plan on runtime parameters.
+    ///
+    /// # Panics
+    /// Panics if the number or shapes of `params` disagree with the trace.
+    pub fn run(&self, params: &[&Tensor<f32>]) -> Vec<Tensor<f32>> {
+        assert_eq!(
+            params.len(),
+            self.graph.n_params,
+            "executable expects {} parameters, got {}",
+            self.graph.n_params,
+            params.len()
+        );
+        let mut values: Vec<Option<Tensor<f32>>> = vec![None; self.graph.nodes.len()];
+        for (i, node) in self.graph.nodes.iter().enumerate() {
+            let get = |id: NodeId| -> &Tensor<f32> {
+                values[id.0 as usize]
+                    .as_ref()
+                    .expect("topological order guarantees operands are ready")
+            };
+            let out = match &node.op {
+                HloOp::Parameter(p) => {
+                    let t = params[*p];
+                    assert_eq!(
+                        t.shape(),
+                        &node.shape,
+                        "parameter {p} has shape {}, trace recorded {}",
+                        t.shape(),
+                        node.shape
+                    );
+                    t.clone()
+                }
+                HloOp::Constant(c) => c.clone(),
+                // Fused kernels take their output shape from the plan (a
+                // trailing-broadcast input may tie the element count).
+                HloOp::Fused { insts, .. } => {
+                    let inputs: Vec<&Tensor<f32>> =
+                        node.inputs.iter().map(|&i| get(i)).collect();
+                    run_fused(insts, &inputs, node.shape.dims())
+                }
+                op => {
+                    let inputs: Vec<&Tensor<f32>> =
+                        node.inputs.iter().map(|&i| get(i)).collect();
+                    eval_op(op, &inputs)
+                }
+            };
+            debug_assert_eq!(
+                out.shape(),
+                &node.shape,
+                "{} produced {}, inference said {}",
+                node.op.mnemonic(),
+                out.shape(),
+                node.shape
+            );
+            values[i] = Some(out);
+        }
+        self.graph
+            .outputs
+            .iter()
+            .map(|o| values[o.0 as usize].clone().expect("outputs computed"))
+            .collect()
+    }
+}
+
+/// Evaluates one (non-leaf) operation on materialized tensors — the shared
+/// kernel-dispatch used by the compiled executor here and by the naive and
+/// eager devices in `s4tf-runtime` (all backends run the *same* kernels;
+/// they differ only in execution strategy, §3).
+///
+/// # Panics
+/// Panics on [`HloOp::Parameter`]/[`HloOp::Constant`] (leaves have no
+/// kernel) and on operand-shape mismatches.
+pub fn eval_op(op: &HloOp, inputs: &[&Tensor<f32>]) -> Tensor<f32> {
+    match op {
+        HloOp::Parameter(_) | HloOp::Constant(_) => {
+            unreachable!("leaves are materialized by the caller")
+        }
+        HloOp::Unary(u) => {
+            let u = *u;
+            inputs[0].map(move |x| u.apply(x))
+        }
+        HloOp::Binary(b) => {
+            let b = *b;
+            apply_binary(inputs[0], inputs[1], move |a, c| b.apply(a, c))
+        }
+        HloOp::MatMul { t_lhs, t_rhs } => match (t_lhs, t_rhs) {
+            (false, false) => inputs[0].matmul(inputs[1]),
+            (true, false) => inputs[0].matmul_tn(inputs[1]),
+            (false, true) => inputs[0].matmul_nt(inputs[1]),
+            (true, true) => inputs[0].t().matmul(&inputs[1].t()),
+        },
+        HloOp::Conv2D { strides, padding } => inputs[0].conv2d(inputs[1], *strides, *padding),
+        HloOp::Conv2DBackwardInput {
+            input_dims,
+            strides,
+            padding,
+        } => {
+            let phantom = Tensor::zeros(input_dims);
+            phantom.conv2d_backward_input(inputs[0], inputs[1], *strides, *padding)
+        }
+        HloOp::Conv2DBackwardFilter {
+            filter_dims,
+            strides,
+            padding,
+        } => inputs[0].conv2d_backward_filter(filter_dims, inputs[1], *strides, *padding),
+        HloOp::AvgPool {
+            pool,
+            strides,
+            padding,
+        } => inputs[0].avg_pool2d(*pool, *strides, *padding),
+        HloOp::AvgPoolGrad {
+            pool,
+            strides,
+            padding,
+        } => inputs[0].avg_pool2d_backward(inputs[1], *pool, *strides, *padding),
+        HloOp::MaxPool {
+            pool,
+            strides,
+            padding,
+        } => inputs[0].max_pool2d(*pool, *strides, *padding),
+        HloOp::MaxPoolGrad {
+            pool,
+            strides,
+            padding,
+        } => inputs[0].max_pool2d_backward(inputs[1], *pool, *strides, *padding),
+        HloOp::GatherRows => {
+            let idx: Vec<usize> = inputs[1]
+                .as_slice()
+                .iter()
+                .map(|&x| x.round() as usize)
+                .collect();
+            inputs[0].gather_rows(&idx)
+        }
+        HloOp::GatherRowsGrad { table_rows } => {
+            let idx: Vec<usize> = inputs[0]
+                .as_slice()
+                .iter()
+                .map(|&x| x.round() as usize)
+                .collect();
+            let mut dims = vec![*table_rows];
+            dims.extend_from_slice(&inputs[1].dims()[1..]);
+            let mut out = Tensor::zeros(&dims);
+            out.scatter_add_rows(&idx, inputs[1]);
+            out
+        }
+        HloOp::Reduce { kind, axis } => {
+            let x = inputs[0];
+            match (kind, axis) {
+                (ReduceKind::Sum, None) => x.sum(),
+                (ReduceKind::Mean, None) => x.mean(),
+                (ReduceKind::Max, None) => x.max(),
+                (ReduceKind::Sum, Some(a)) => x.sum_axis(*a, false),
+                (ReduceKind::Mean, Some(a)) => x.mean_axis(*a, false),
+                (ReduceKind::Max, Some(a)) => x.max_axis(*a, false),
+            }
+        }
+        HloOp::Reshape(dims) => inputs[0].reshape(dims),
+        HloOp::Transpose(perm) => inputs[0].transpose(perm),
+        HloOp::Broadcast(dims) => inputs[0].broadcast_to(dims),
+        HloOp::ReduceToShape(dims) => inputs[0].reduce_to_shape(dims),
+        HloOp::Fused { insts, .. } => {
+            // Outside a compiled plan the output shape is the largest
+            // input's (the fusion criteria guarantee one full-shape input).
+            let dims = inputs
+                .iter()
+                .max_by_key(|t| t.num_elements())
+                .map(|t| t.dims().to_vec())
+                .unwrap_or_default();
+            run_fused(insts, inputs, &dims)
+        }
+    }
+}
+
+pub(crate) fn apply_binary(
+    a: &Tensor<f32>,
+    b: &Tensor<f32>,
+    f: impl Fn(f32, f32) -> f32 + Copy,
+) -> Tensor<f32> {
+    if a.shape() == b.shape() {
+        a.zip_map(b, f)
+    } else {
+        let target = s4tf_tensor::Shape::broadcast(a.shape(), b.shape())
+            .unwrap_or_else(|e| panic!("{e}"));
+        let ab = a.broadcast_to(target.dims());
+        let bb = b.broadcast_to(target.dims());
+        ab.zip_map(&bb, f)
+    }
+}
+
+/// Fused-kernel chunk width: big enough to amortize instruction dispatch,
+/// small enough that the whole register file stays cache-resident.
+const FUSED_CHUNK: usize = 512;
+
+/// Executes a fused elementwise program: one pass over the elements, no
+/// intermediate full-size buffers — the fusion payoff. Execution is a
+/// *vectorized interpreter*: instructions dispatch once per chunk and then
+/// run tight per-element loops, so dispatch cost is amortized 512×.
+/// Inputs smaller than the output are trailing-suffix broadcasts, indexed
+/// modulo their length (bias vectors, batch-norm scales, …).
+fn run_fused(insts: &[FusedInst], inputs: &[&Tensor<f32>], out_dims: &[usize]) -> Tensor<f32> {
+    let n: usize = out_dims.iter().product();
+    let slices: Vec<&[f32]> = inputs.iter().map(|t| t.as_slice()).collect();
+    let mut out = vec![0.0f32; n];
+    // Chunk-wide registers, one row per instruction.
+    let mut regs = vec![0.0f32; insts.len() * FUSED_CHUNK];
+    let mut start = 0usize;
+    while start < n {
+        let len = FUSED_CHUNK.min(n - start);
+        for (r, inst) in insts.iter().enumerate() {
+            // Split the register file so an instruction can read earlier
+            // rows while writing its own.
+            let (read, write) = regs.split_at_mut(r * FUSED_CHUNK);
+            let dst = &mut write[..len];
+            match inst {
+                FusedInst::Input(i) => {
+                    let src = slices[*i];
+                    if src.len() == n {
+                        dst.copy_from_slice(&src[start..start + len]);
+                    } else {
+                        let m = src.len();
+                        for (j, d) in dst.iter_mut().enumerate() {
+                            *d = src[(start + j) % m];
+                        }
+                    }
+                }
+                FusedInst::Imm(x) => dst.fill(*x),
+                FusedInst::Unary(u, a) => {
+                    let src = &read[a * FUSED_CHUNK..a * FUSED_CHUNK + len];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d = u.apply(s);
+                    }
+                }
+                FusedInst::Binary(b, a, c) => {
+                    let lhs = &read[a * FUSED_CHUNK..a * FUSED_CHUNK + len];
+                    let rhs = &read[c * FUSED_CHUNK..c * FUSED_CHUNK + len];
+                    for ((d, &x), &y) in dst.iter_mut().zip(lhs).zip(rhs) {
+                        *d = b.apply(x, y);
+                    }
+                }
+            }
+        }
+        let last = (insts.len() - 1) * FUSED_CHUNK;
+        out[start..start + len].copy_from_slice(&regs[last..last + len]);
+        start += len;
+    }
+    Tensor::from_vec(out, out_dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{ElemBinary, ElemUnary};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor<f32> {
+        Tensor::from_vec(data.to_vec(), dims)
+    }
+
+    #[test]
+    fn runs_elementwise_chain() {
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[3]);
+        let e = g.unary(ElemUnary::Exp, x);
+        let s = g.binary(ElemBinary::Add, e, x);
+        g.mark_output(s);
+        for exe in [compile(&g), compile_unoptimized(&g)] {
+            let out = exe.run(&[&t(&[0.0, 1.0, 2.0], &[3])]);
+            for (i, &xv) in [0.0f32, 1.0, 2.0].iter().enumerate() {
+                assert!((out[0].as_slice()[i] - (xv.exp() + xv)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_matches_unoptimized_on_mixed_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[4, 5]);
+        let w = g.parameter(1, &[5, 3]);
+        let mm = g.add(
+            HloOp::MatMul {
+                t_lhs: false,
+                t_rhs: false,
+            },
+            &[x, w],
+        );
+        let c = g.constant(Tensor::scalar(0.5));
+        let scaled = g.binary(ElemBinary::Mul, mm, c);
+        let r = g.unary(ElemUnary::Relu, scaled);
+        let sum = g.add(
+            HloOp::Reduce {
+                kind: ReduceKind::Sum,
+                axis: None,
+            },
+            &[r],
+        );
+        g.mark_output(r);
+        g.mark_output(sum);
+
+        let xs = Tensor::<f32>::randn(&[4, 5], &mut rng);
+        let ws = Tensor::<f32>::randn(&[5, 3], &mut rng);
+        let fast = compile(&g).run(&[&xs, &ws]);
+        let slow = compile_unoptimized(&g).run(&[&xs, &ws]);
+        assert!(fast[0].allclose(&slow[0], 1e-6));
+        assert!(fast[1].allclose(&slow[1], 1e-5));
+    }
+
+    #[test]
+    fn fusion_reduces_kernel_count() {
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[1000]);
+        let a = g.unary(ElemUnary::Neg, x);
+        let b = g.unary(ElemUnary::Exp, a);
+        let one = g.constant(Tensor::scalar(1.0));
+        let c = g.binary(ElemBinary::Add, b, one);
+        let d = g.unary(ElemUnary::Recip, c); // = sigmoid(x), 4 element ops
+        g.mark_output(d);
+        let unopt = compile_unoptimized(&g);
+        let opt = compile(&g);
+        assert_eq!(unopt.kernel_count(), 4);
+        assert_eq!(opt.kernel_count(), 1, "whole chain fuses");
+        let input = t(&[0.5, -0.5], &[2]);
+        // shape mismatch with the trace is rejected below, so rebuild:
+        let mut g2 = HloGraph::new();
+        let x = g2.parameter(0, &[2]);
+        let a = g2.unary(ElemUnary::Neg, x);
+        let b = g2.unary(ElemUnary::Exp, a);
+        let one = g2.constant(Tensor::scalar(1.0));
+        let c = g2.binary(ElemBinary::Add, b, one);
+        let d = g2.unary(ElemUnary::Recip, c);
+        g2.mark_output(d);
+        let out = compile(&g2).run(&[&input]);
+        for (o, &xv) in out[0].as_slice().iter().zip(input.as_slice()) {
+            assert!((o - 1.0 / (1.0 + (-xv).exp())).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter 0 has shape")]
+    fn shape_change_is_rejected_at_run_time() {
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[3]);
+        let y = g.unary(ElemUnary::Neg, x);
+        g.mark_output(y);
+        compile(&g).run(&[&t(&[1.0, 2.0], &[2])]);
+    }
+
+    #[test]
+    fn conv_pool_and_grads_execute() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let x = Tensor::<f32>::randn(&[1, 8, 8, 2], &mut rng);
+        let w = Tensor::<f32>::randn(&[3, 3, 2, 4], &mut rng);
+        let mut g = HloGraph::new();
+        let xp = g.parameter(0, &[1, 8, 8, 2]);
+        let wp = g.parameter(1, &[3, 3, 2, 4]);
+        let conv = g.add(
+            HloOp::Conv2D {
+                strides: (1, 1),
+                padding: s4tf_tensor::Padding::Same,
+            },
+            &[xp, wp],
+        );
+        let pool = g.add(
+            HloOp::AvgPool {
+                pool: (2, 2),
+                strides: (2, 2),
+                padding: s4tf_tensor::Padding::Valid,
+            },
+            &[conv],
+        );
+        g.mark_output(pool);
+        let out = compile(&g).run(&[&x, &w]);
+        let expected = x
+            .conv2d(&w, (1, 1), s4tf_tensor::Padding::Same)
+            .avg_pool2d((2, 2), (2, 2), s4tf_tensor::Padding::Valid);
+        assert!(out[0].allclose(&expected, 1e-5));
+    }
+
+    #[test]
+    fn reductions_and_shape_ops_execute() {
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[2, 3]);
+        let s = g.add(
+            HloOp::Reduce {
+                kind: ReduceKind::Sum,
+                axis: Some(0),
+            },
+            &[x],
+        );
+        let r = g.add(HloOp::Reshape(vec![3, 1]), &[s]);
+        let b = g.add(HloOp::Broadcast(vec![3, 2]), &[r]);
+        let back = g.add(HloOp::ReduceToShape(vec![3, 1]), &[b]);
+        let tr = g.add(HloOp::Transpose(vec![1, 0]), &[back]);
+        g.mark_output(tr);
+        let out = compile(&g).run(&[&t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])]);
+        assert_eq!(out[0].dims(), &[1, 3]);
+        assert_eq!(out[0].as_slice(), &[10.0, 14.0, 18.0]);
+    }
+}

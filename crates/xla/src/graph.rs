@@ -1,0 +1,284 @@
+//! The HLO operation DAG: the in-memory form of a LazyTensor trace
+//! (paper Figure 4) and the unit of JIT compilation.
+
+use crate::op::HloOp;
+use s4tf_tensor::{Shape, Tensor};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Identifies a node within one graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// One node: an operation, its operand edges and its inferred shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HloNode {
+    /// The operation.
+    pub op: HloOp,
+    /// Operand nodes (positional).
+    pub inputs: Vec<NodeId>,
+    /// The node's output shape.
+    pub shape: Shape,
+}
+
+/// An operation DAG in topological order (operands precede users).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HloGraph {
+    /// The nodes; indices are [`NodeId`]s.
+    pub nodes: Vec<HloNode>,
+    /// The graph's outputs (what the executable returns).
+    pub outputs: Vec<NodeId>,
+    /// Number of runtime parameters.
+    pub n_params: usize,
+}
+
+impl HloGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        HloGraph::default()
+    }
+
+    /// Adds a runtime parameter with the given shape.
+    ///
+    /// # Panics
+    /// Panics if `index` is not the next parameter index (parameters must
+    /// be added in order).
+    pub fn parameter(&mut self, index: usize, dims: &[usize]) -> NodeId {
+        assert_eq!(index, self.n_params, "parameters must be added in order");
+        self.n_params += 1;
+        self.push(HloNode {
+            op: HloOp::Parameter(index),
+            inputs: vec![],
+            shape: Shape::new(dims),
+        })
+    }
+
+    /// Adds an embedded constant.
+    pub fn constant(&mut self, value: Tensor<f32>) -> NodeId {
+        let shape = value.shape().clone();
+        self.push(HloNode {
+            op: HloOp::Constant(value),
+            inputs: vec![],
+            shape,
+        })
+    }
+
+    /// Adds an operation node, inferring its shape.
+    ///
+    /// # Panics
+    /// Panics on shape-inference failures (reported at record time, like
+    /// the paper's lazy tracing).
+    pub fn add(&mut self, op: HloOp, inputs: &[NodeId]) -> NodeId {
+        let shapes: Vec<&Shape> = inputs.iter().map(|&i| &self.node(i).shape).collect();
+        let shape = op.infer_shape(&shapes);
+        self.push(HloNode {
+            op,
+            inputs: inputs.to_vec(),
+            shape,
+        })
+    }
+
+    /// Convenience: elementwise unary.
+    pub fn unary(&mut self, op: crate::op::ElemUnary, x: NodeId) -> NodeId {
+        self.add(HloOp::Unary(op), &[x])
+    }
+
+    /// Convenience: elementwise binary.
+    pub fn binary(&mut self, op: crate::op::ElemBinary, a: NodeId, b: NodeId) -> NodeId {
+        self.add(HloOp::Binary(op), &[a, b])
+    }
+
+    /// Marks a node as a graph output.
+    pub fn mark_output(&mut self, id: NodeId) {
+        self.outputs.push(id);
+    }
+
+    fn push(&mut self, node: HloNode) -> NodeId {
+        self.nodes.push(node);
+        NodeId(self.nodes.len() as u32 - 1)
+    }
+
+    /// Access a node.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &HloNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Histogram of op mnemonics (for trace summaries, Figure 4).
+    pub fn op_histogram(&self) -> Vec<(String, usize)> {
+        let mut h: std::collections::BTreeMap<String, usize> = Default::default();
+        for n in &self.nodes {
+            let name = match &n.op {
+                HloOp::Constant(_) => "const".to_string(),
+                HloOp::Parameter(_) => "param".to_string(),
+                op => op.mnemonic(),
+            };
+            *h.entry(name).or_insert(0) += 1;
+        }
+        h.into_iter().collect()
+    }
+
+    /// A structural fingerprint: the key under which compiled programs are
+    /// cached (paper §3.4). Two traces with the same ops, edges, static
+    /// configuration, constants and shapes collide; anything else
+    /// (including a shape change, which forces recompilation) differs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.n_params.hash(&mut h);
+        self.outputs.hash(&mut h);
+        for node in &self.nodes {
+            node.inputs.hash(&mut h);
+            node.shape.dims().hash(&mut h);
+            match &node.op {
+                // Constants hash by exact contents (Debug truncates data).
+                HloOp::Constant(t) => {
+                    "const".hash(&mut h);
+                    t.dims().hash(&mut h);
+                    for &x in t.as_slice() {
+                        x.to_bits().hash(&mut h);
+                    }
+                }
+                // Everything else: the Debug form covers the op kind and
+                // all static configuration (strides, padding, dims, fused
+                // programs, …).
+                op => format!("{op:?}").hash(&mut h),
+            }
+        }
+        h.finish()
+    }
+
+    /// Renders the graph as Graphviz DOT (paper Figure 4: "LazyTensor
+    /// trace of the LeNet-5 model's forward pass").
+    pub fn to_dot(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("digraph \"{title}\" {{\n"));
+        out.push_str("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+        for (i, node) in self.nodes.iter().enumerate() {
+            let label = format!("{}\\n{}", node.op.mnemonic(), node.shape);
+            let style = match node.op {
+                HloOp::Parameter(_) => ", style=filled, fillcolor=lightblue",
+                HloOp::Constant(_) => ", style=filled, fillcolor=lightgray",
+                _ => "",
+            };
+            out.push_str(&format!("  n{i} [label=\"{label}\"{style}];\n"));
+            for input in &node.inputs {
+                out.push_str(&format!("  n{} -> n{i};\n", input.0));
+            }
+        }
+        for o in &self.outputs {
+            out.push_str(&format!(
+                "  out{0} [label=\"output\", shape=ellipse];\n  n{0} -> out{0};\n",
+                o.0
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{ElemBinary, ElemUnary};
+
+    fn sample_graph() -> HloGraph {
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[2, 3]);
+        let c = g.constant(Tensor::scalar(2.0));
+        let m = g.binary(ElemBinary::Mul, x, c);
+        let r = g.unary(ElemUnary::Relu, m);
+        g.mark_output(r);
+        g
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = sample_graph();
+        assert_eq!(g.len(), 4);
+        assert!(!g.is_empty());
+        assert_eq!(g.n_params, 1);
+        assert_eq!(g.node(NodeId(2)).shape, Shape::new(&[2, 3]));
+        assert_eq!(g.outputs, vec![NodeId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameters must be added in order")]
+    fn out_of_order_parameters_panic() {
+        let mut g = HloGraph::new();
+        g.parameter(1, &[2]);
+    }
+
+    #[test]
+    fn fingerprint_stability_and_sensitivity() {
+        let a = sample_graph();
+        let b = sample_graph();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same trace, same key");
+
+        // Different shape → different key (shape changes force recompiles).
+        let mut c = HloGraph::new();
+        let x = c.parameter(0, &[2, 4]);
+        let k = c.constant(Tensor::scalar(2.0));
+        let m = c.binary(ElemBinary::Mul, x, k);
+        let r = c.unary(ElemUnary::Relu, m);
+        c.mark_output(r);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+
+        // Different constant value → different key.
+        let mut d = HloGraph::new();
+        let x = d.parameter(0, &[2, 3]);
+        let k = d.constant(Tensor::scalar(3.0));
+        let m = d.binary(ElemBinary::Mul, x, k);
+        let r = d.unary(ElemUnary::Relu, m);
+        d.mark_output(r);
+        assert_ne!(a.fingerprint(), d.fingerprint());
+
+        // Different op → different key.
+        let mut e = HloGraph::new();
+        let x = e.parameter(0, &[2, 3]);
+        let k = e.constant(Tensor::scalar(2.0));
+        let m = e.binary(ElemBinary::Add, x, k);
+        let r = e.unary(ElemUnary::Relu, m);
+        e.mark_output(r);
+        assert_ne!(a.fingerprint(), e.fingerprint());
+    }
+
+    #[test]
+    fn histogram_and_dot() {
+        let g = sample_graph();
+        let h = g.op_histogram();
+        assert!(h.contains(&("relu".to_string(), 1)));
+        assert!(h.contains(&("param".to_string(), 1)));
+        let dot = g.to_dot("test");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("relu"));
+        assert!(dot.contains("n2 -> n3"));
+        assert!(dot.contains("output"));
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn shape_errors_surface_at_record_time() {
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[1, 8, 8, 3]);
+        let f = g.parameter(1, &[3, 3, 4, 8]);
+        g.add(
+            HloOp::Conv2D {
+                strides: (1, 1),
+                padding: s4tf_tensor::Padding::Same,
+            },
+            &[x, f],
+        );
+    }
+}

@@ -1,0 +1,616 @@
+//! Whole-program optimizations over [`HloGraph`]s — the domain-specific
+//! compiler's payoff (paper §3.3): because the lazy trace exposes the whole
+//! program, the compiler can fold constants, share subexpressions and —
+//! most importantly — *fuse* chains of elementwise operations into single
+//! kernels.
+
+use crate::exec::apply_binary;
+use crate::graph::{HloGraph, HloNode, NodeId};
+use crate::op::{FusedInst, HloOp};
+use s4tf_tensor::Tensor;
+use std::collections::{HashMap, HashSet};
+
+/// Runs the full pipeline: constant folding → CSE → algebraic
+/// simplification → elementwise fusion → DCE.
+pub fn optimize(g: &mut HloGraph) {
+    constant_fold(g);
+    cse(g);
+    algebraic_simplify(g);
+    fuse_elementwise(g);
+    dce(g);
+}
+
+/// Replaces every use of keys in `replace` (chased to fixpoint) across
+/// node inputs and graph outputs.
+fn apply_replacements(g: &mut HloGraph, replace: &HashMap<NodeId, NodeId>) {
+    if replace.is_empty() {
+        return;
+    }
+    let chase = |mut id: NodeId| {
+        while let Some(&next) = replace.get(&id) {
+            id = next;
+        }
+        id
+    };
+    for node in &mut g.nodes {
+        for input in &mut node.inputs {
+            *input = chase(*input);
+        }
+    }
+    for o in &mut g.outputs {
+        *o = chase(*o);
+    }
+}
+
+/// Folds elementwise operations over constants into constants.
+pub fn constant_fold(g: &mut HloGraph) -> bool {
+    let mut changed = false;
+    for i in 0..g.nodes.len() {
+        let node = &g.nodes[i];
+        if !node.op.is_elementwise() {
+            continue;
+        }
+        let inputs: Vec<Option<Tensor<f32>>> = node
+            .inputs
+            .iter()
+            .map(|&id| match &g.node(id).op {
+                HloOp::Constant(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect();
+        if inputs.iter().any(Option::is_none) {
+            continue;
+        }
+        let folded = match (&node.op, inputs.len()) {
+            (HloOp::Unary(u), 1) => {
+                let u = *u;
+                inputs[0].as_ref().unwrap().map(move |x| u.apply(x))
+            }
+            (HloOp::Binary(b), 2) => {
+                let b = *b;
+                apply_binary(
+                    inputs[0].as_ref().unwrap(),
+                    inputs[1].as_ref().unwrap(),
+                    move |x, y| b.apply(x, y),
+                )
+            }
+            _ => continue,
+        };
+        g.nodes[i].op = HloOp::Constant(folded);
+        g.nodes[i].inputs.clear();
+        changed = true;
+    }
+    changed
+}
+
+/// Common-subexpression elimination: structurally identical nodes merge.
+pub fn cse(g: &mut HloGraph) -> bool {
+    let mut seen: HashMap<String, NodeId> = HashMap::new();
+    let mut replace: HashMap<NodeId, NodeId> = HashMap::new();
+    for i in 0..g.nodes.len() {
+        // Inputs may reference earlier replaced nodes; normalize first.
+        let inputs: Vec<NodeId> = g.nodes[i]
+            .inputs
+            .iter()
+            .map(|id| *replace.get(id).unwrap_or(id))
+            .collect();
+        g.nodes[i].inputs = inputs.clone();
+        let key = match &g.nodes[i].op {
+            HloOp::Constant(t) => format!(
+                "const:{:?}:{:?}",
+                t.dims(),
+                t.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            ),
+            op => format!("{op:?}:{inputs:?}"),
+        };
+        match seen.get(&key) {
+            Some(&prior) => {
+                replace.insert(NodeId(i as u32), prior);
+            }
+            None => {
+                seen.insert(key, NodeId(i as u32));
+            }
+        }
+    }
+    let changed = !replace.is_empty();
+    apply_replacements(g, &replace);
+    changed
+}
+
+/// Scalar-identity simplification: `x·1 → x`, `x+0 → x`, `x−0 → x`,
+/// `x/1 → x`.
+pub fn algebraic_simplify(g: &mut HloGraph) -> bool {
+    use crate::op::ElemBinary::{Add, Div, Mul, Sub};
+    let scalar_const = |g: &HloGraph, id: NodeId| -> Option<f32> {
+        match &g.node(id).op {
+            HloOp::Constant(t) if t.rank() == 0 => Some(t.scalar_value()),
+            _ => None,
+        }
+    };
+    let mut replace: HashMap<NodeId, NodeId> = HashMap::new();
+    for i in 0..g.nodes.len() {
+        let HloOp::Binary(b) = g.nodes[i].op else {
+            continue;
+        };
+        let (l, r) = (g.nodes[i].inputs[0], g.nodes[i].inputs[1]);
+        let (lc, rc) = (scalar_const(g, l), scalar_const(g, r));
+        // Only valid when the surviving operand already has the output
+        // shape (a scalar identity never changes the broadcast result).
+        let this = NodeId(i as u32);
+        let alias = |g: &HloGraph, keep: NodeId| g.node(keep).shape == g.node(this).shape;
+        let target = match (b, lc, rc) {
+            (Mul, _, Some(1.0)) | (Add, _, Some(0.0)) | (Sub, _, Some(0.0)) | (Div, _, Some(1.0)) => {
+                Some(l)
+            }
+            (Mul, Some(1.0), _) | (Add, Some(0.0), _) => Some(r),
+            _ => None,
+        };
+        if let Some(keep) = target {
+            if alias(g, keep) {
+                replace.insert(this, keep);
+            }
+        }
+    }
+    let changed = !replace.is_empty();
+    apply_replacements(g, &replace);
+    changed
+}
+
+/// Elementwise fusion: maximal groups of same-shape elementwise nodes whose
+/// interior members have no consumers outside the group collapse into one
+/// [`HloOp::Fused`] kernel. Rank-0 constants feeding a group become
+/// immediates.
+pub fn fuse_elementwise(g: &mut HloGraph) -> bool {
+    // Consumers of each node.
+    let mut consumers: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for (i, node) in g.nodes.iter().enumerate() {
+        for &input in &node.inputs {
+            consumers.entry(input).or_default().push(NodeId(i as u32));
+        }
+    }
+    let output_set: HashSet<NodeId> = g.outputs.iter().copied().collect();
+
+    let is_scalar_const = |g: &HloGraph, id: NodeId| {
+        matches!(&g.node(id).op, HloOp::Constant(t) if t.rank() == 0)
+    };
+    // A node can sit inside a fused kernel of `shape` only if every input
+    // edge indexes elementwise: same shape, a scalar immediate, or a
+    // trailing-suffix broadcast (e.g. a `[C]` bias against `[N,H,W,C]`),
+    // which the fused executor indexes as `e % len`.
+    let inputs_fusable = |g: &HloGraph, id: NodeId, shape: &s4tf_tensor::Shape| {
+        g.node(id).inputs.iter().all(|&i| {
+            let in_shape = &g.node(i).shape;
+            in_shape == shape
+                || is_scalar_const(g, i)
+                || crate::op::is_trailing_broadcast(in_shape, shape)
+        })
+    };
+
+    // Build groups: walk roots from the end (consumers come after
+    // producers in topological order).
+    let mut assigned: HashSet<NodeId> = HashSet::new();
+    let mut groups: Vec<Vec<NodeId>> = Vec::new(); // members, topo order
+    for i in (0..g.nodes.len()).rev() {
+        let root = NodeId(i as u32);
+        if assigned.contains(&root) || !g.node(root).op.is_elementwise() {
+            continue;
+        }
+        let shape = g.node(root).shape.clone();
+        if !inputs_fusable(g, root, &shape) {
+            continue;
+        }
+        let mut group: HashSet<NodeId> = HashSet::from([root]);
+        // Grow towards producers until stable.
+        loop {
+            let mut grew = false;
+            let members: Vec<NodeId> = group.iter().copied().collect();
+            for m in members {
+                for &input in &g.node(m).inputs {
+                    if group.contains(&input) || assigned.contains(&input) {
+                        continue;
+                    }
+                    let n = g.node(input);
+                    let fusable = n.op.is_elementwise()
+                        && n.shape == shape
+                        && inputs_fusable(g, input, &shape)
+                        && !output_set.contains(&input)
+                        && consumers
+                            .get(&input)
+                            .map(|cs| cs.iter().all(|c| group.contains(c)))
+                            .unwrap_or(false);
+                    if fusable {
+                        group.insert(input);
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        if group.len() >= 2 {
+            let mut members: Vec<NodeId> = group.iter().copied().collect();
+            members.sort(); // topological within the graph
+            assigned.extend(&members);
+            groups.push(members);
+        }
+    }
+    if groups.is_empty() {
+        return false;
+    }
+
+    // Root (last member) of each group, and membership lookup.
+    let mut group_of: HashMap<NodeId, usize> = HashMap::new();
+    for (gi, members) in groups.iter().enumerate() {
+        for &m in members {
+            group_of.insert(m, gi);
+        }
+    }
+
+    // Rebuild the graph.
+    let old_nodes = std::mem::take(&mut g.nodes);
+    let old_outputs = std::mem::take(&mut g.outputs);
+    let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut emitted_groups: HashSet<usize> = HashSet::new();
+
+    for (i, node) in old_nodes.iter().enumerate() {
+        let old_id = NodeId(i as u32);
+        match group_of.get(&old_id) {
+            None => {
+                let mut n = node.clone();
+                for input in &mut n.inputs {
+                    *input = remap[input];
+                }
+                g.nodes.push(n);
+                remap.insert(old_id, NodeId(g.nodes.len() as u32 - 1));
+            }
+            Some(&gi) => {
+                let members = &groups[gi];
+                let root = *members.last().expect("non-empty group");
+                if old_id != root {
+                    continue; // interior nodes emit with the root
+                }
+                debug_assert!(emitted_groups.insert(gi));
+                // Kernel inputs: external edges; rank-0 constants inline.
+                let mut kernel_inputs: Vec<NodeId> = Vec::new(); // old ids
+                let mut insts: Vec<FusedInst> = Vec::new();
+                let mut reg_of: HashMap<NodeId, usize> = HashMap::new();
+                let member_set: HashSet<NodeId> = members.iter().copied().collect();
+                for &m in members {
+                    let mnode = &old_nodes[m.0 as usize];
+                    let arg_reg = |input: NodeId,
+                                       insts: &mut Vec<FusedInst>,
+                                       kernel_inputs: &mut Vec<NodeId>,
+                                       reg_of: &mut HashMap<NodeId, usize>|
+                     -> usize {
+                        if member_set.contains(&input) {
+                            return reg_of[&input];
+                        }
+                        if let Some(r) = reg_of.get(&input) {
+                            return *r;
+                        }
+                        let inst = match &old_nodes[input.0 as usize].op {
+                            HloOp::Constant(t) if t.rank() == 0 => {
+                                FusedInst::Imm(t.scalar_value())
+                            }
+                            _ => {
+                                let pos = kernel_inputs
+                                    .iter()
+                                    .position(|&k| k == input)
+                                    .unwrap_or_else(|| {
+                                        kernel_inputs.push(input);
+                                        kernel_inputs.len() - 1
+                                    });
+                                FusedInst::Input(pos)
+                            }
+                        };
+                        insts.push(inst);
+                        let r = insts.len() - 1;
+                        reg_of.insert(input, r);
+                        r
+                    };
+                    let inst = match &mnode.op {
+                        HloOp::Unary(u) => {
+                            let a =
+                                arg_reg(mnode.inputs[0], &mut insts, &mut kernel_inputs, &mut reg_of);
+                            FusedInst::Unary(*u, a)
+                        }
+                        HloOp::Binary(b) => {
+                            let a =
+                                arg_reg(mnode.inputs[0], &mut insts, &mut kernel_inputs, &mut reg_of);
+                            let c =
+                                arg_reg(mnode.inputs[1], &mut insts, &mut kernel_inputs, &mut reg_of);
+                            FusedInst::Binary(*b, a, c)
+                        }
+                        _ => unreachable!("groups contain only elementwise ops"),
+                    };
+                    insts.push(inst);
+                    reg_of.insert(m, insts.len() - 1);
+                }
+                let n_inputs = kernel_inputs.len();
+                let inputs: Vec<NodeId> =
+                    kernel_inputs.iter().map(|k| remap[k]).collect();
+                let shape = old_nodes[root.0 as usize].shape.clone();
+                g.nodes.push(HloNode {
+                    op: HloOp::Fused { insts, n_inputs },
+                    inputs,
+                    shape,
+                });
+                remap.insert(root, NodeId(g.nodes.len() as u32 - 1));
+            }
+        }
+    }
+    g.outputs = old_outputs.iter().map(|o| remap[o]).collect();
+    true
+}
+
+/// Removes nodes unreachable from the outputs, compacting ids.
+pub fn dce(g: &mut HloGraph) -> bool {
+    let mut live: HashSet<NodeId> = HashSet::new();
+    let mut work: Vec<NodeId> = g.outputs.clone();
+    while let Some(id) = work.pop() {
+        if !live.insert(id) {
+            continue;
+        }
+        work.extend(g.node(id).inputs.iter().copied());
+    }
+    if live.len() == g.nodes.len() {
+        return false;
+    }
+    let old_nodes = std::mem::take(&mut g.nodes);
+    let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut n_params = 0usize;
+    for (i, node) in old_nodes.into_iter().enumerate() {
+        let old_id = NodeId(i as u32);
+        if !live.contains(&old_id) {
+            continue;
+        }
+        if matches!(node.op, HloOp::Parameter(_)) {
+            n_params += 1;
+        }
+        let mut n = node;
+        for input in &mut n.inputs {
+            *input = remap[input];
+        }
+        g.nodes.push(n);
+        remap.insert(old_id, NodeId(g.nodes.len() as u32 - 1));
+    }
+    // Dead parameters keep their indices (callers still pass them); the
+    // parameter count is the max index + 1 of surviving parameters, but
+    // the runtime supplies all original parameters, so keep n_params as
+    // the original count.
+    let _ = n_params;
+    g.outputs = g.outputs.iter().map(|o| remap[o]).collect();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{compile_unoptimized, Executable};
+    use crate::op::{ElemBinary, ElemUnary};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn assert_equivalent(g: &HloGraph, opt: &HloGraph, param_dims: &[&[usize]]) {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let params: Vec<Tensor<f32>> = param_dims
+            .iter()
+            .map(|d| Tensor::<f32>::randn(d, &mut rng))
+            .collect();
+        let refs: Vec<&Tensor<f32>> = params.iter().collect();
+        let a = compile_unoptimized(g).run(&refs);
+        let b = Executable::run(&compile_unoptimized(opt), &refs);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.allclose(y, 1e-5), "pass changed semantics");
+        }
+    }
+
+    #[test]
+    fn constant_fold_folds_scalar_math() {
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[3]);
+        let a = g.constant(Tensor::scalar(2.0));
+        let b = g.constant(Tensor::scalar(3.0));
+        let c = g.binary(ElemBinary::Mul, a, b);
+        let y = g.binary(ElemBinary::Add, x, c);
+        g.mark_output(y);
+        let mut opt = g.clone();
+        assert!(constant_fold(&mut opt));
+        assert!(matches!(&opt.node(NodeId(3)).op, HloOp::Constant(t) if t.scalar_value() == 6.0));
+        assert_equivalent(&g, &opt, &[&[3]]);
+    }
+
+    #[test]
+    fn cse_merges_identical_subgraphs() {
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[4]);
+        let a = g.unary(ElemUnary::Exp, x);
+        let b = g.unary(ElemUnary::Exp, x);
+        let s = g.binary(ElemBinary::Add, a, b);
+        g.mark_output(s);
+        let mut opt = g.clone();
+        assert!(cse(&mut opt));
+        dce(&mut opt);
+        assert_eq!(opt.len(), 3, "one exp remains");
+        assert_equivalent(&g, &opt, &[&[4]]);
+    }
+
+    #[test]
+    fn simplify_identities() {
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[4]);
+        let one = g.constant(Tensor::scalar(1.0));
+        let zero = g.constant(Tensor::scalar(0.0));
+        let a = g.binary(ElemBinary::Mul, x, one);
+        let b = g.binary(ElemBinary::Add, a, zero);
+        let c = g.binary(ElemBinary::Div, b, one);
+        g.mark_output(c);
+        let mut opt = g.clone();
+        assert!(algebraic_simplify(&mut opt));
+        dce(&mut opt);
+        assert_eq!(opt.len(), 1, "everything folds to the parameter");
+        assert_equivalent(&g, &opt, &[&[4]]);
+    }
+
+    #[test]
+    fn fusion_groups_chains() {
+        // relu(x·2 + 1): 3 elementwise → 1 fused kernel.
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[8]);
+        let two = g.constant(Tensor::scalar(2.0));
+        let one = g.constant(Tensor::scalar(1.0));
+        let m = g.binary(ElemBinary::Mul, x, two);
+        let a = g.binary(ElemBinary::Add, m, one);
+        let r = g.unary(ElemUnary::Relu, a);
+        g.mark_output(r);
+        let mut opt = g.clone();
+        assert!(fuse_elementwise(&mut opt));
+        dce(&mut opt);
+        let fused: Vec<_> = opt
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, HloOp::Fused { .. }))
+            .collect();
+        assert_eq!(fused.len(), 1);
+        assert_equivalent(&g, &opt, &[&[8]]);
+    }
+
+    #[test]
+    fn fusion_respects_external_consumers() {
+        // y = exp(x); out1 = y + 1; out2 = y·2 — y has two consumers in
+        // different groups and is itself an output: it must not fuse away.
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[4]);
+        let y = g.unary(ElemUnary::Exp, x);
+        let one = g.constant(Tensor::scalar(1.0));
+        let two = g.constant(Tensor::scalar(2.0));
+        let o1 = g.binary(ElemBinary::Add, y, one);
+        let o2 = g.binary(ElemBinary::Mul, y, two);
+        g.mark_output(y);
+        g.mark_output(o1);
+        g.mark_output(o2);
+        let mut opt = g.clone();
+        fuse_elementwise(&mut opt);
+        dce(&mut opt);
+        assert_equivalent(&g, &opt, &[&[4]]);
+    }
+
+    #[test]
+    fn fusion_handles_trailing_broadcast_bias() {
+        // relu(x + bias) with a [3] bias against [2,3]: a trailing-suffix
+        // broadcast, fusable via modulo indexing (the conv-bias pattern).
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[2, 3]);
+        let b = g.parameter(1, &[3]);
+        let s = g.binary(ElemBinary::Add, x, b);
+        let r = g.unary(ElemUnary::Relu, s);
+        g.mark_output(r);
+        let mut opt = g.clone();
+        assert!(fuse_elementwise(&mut opt));
+        dce(&mut opt);
+        assert_eq!(
+            opt.nodes
+                .iter()
+                .filter(|n| matches!(n.op, HloOp::Fused { .. }))
+                .count(),
+            1
+        );
+        assert_equivalent(&g, &opt, &[&[2, 3], &[3]]);
+    }
+
+    #[test]
+    fn fusion_skips_interior_broadcast_shapes() {
+        // A [2,1] column broadcast is NOT a trailing suffix of [2,3]:
+        // modulo indexing would be wrong, so it must not fuse.
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[2, 3]);
+        let col = g.parameter(1, &[2, 1]);
+        let s = g.binary(ElemBinary::Add, x, col);
+        let r = g.unary(ElemUnary::Relu, s);
+        g.mark_output(r);
+        let mut opt = g.clone();
+        fuse_elementwise(&mut opt);
+        dce(&mut opt);
+        assert!(
+            !opt.nodes
+                .iter()
+                .any(|n| matches!(&n.op, HloOp::Fused { n_inputs, .. } if *n_inputs > 1)),
+            "interior broadcasts must stay out of fused kernels"
+        );
+        assert_equivalent(&g, &opt, &[&[2, 3], &[2, 1]]);
+    }
+
+    #[test]
+    fn fusion_batchnorm_affine_pattern() {
+        // (x − mean)/std·γ + β over NHWC with [C]-shaped statistics: the
+        // whole affine chain fuses into one kernel.
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[2, 4, 4, 3]);
+        let mean = g.parameter(1, &[3]);
+        let std = g.parameter(2, &[3]);
+        let gamma = g.parameter(3, &[3]);
+        let beta = g.parameter(4, &[3]);
+        let c = g.binary(ElemBinary::Sub, x, mean);
+        let h = g.binary(ElemBinary::Div, c, std);
+        let s = g.binary(ElemBinary::Mul, h, gamma);
+        let y = g.binary(ElemBinary::Add, s, beta);
+        g.mark_output(y);
+        let mut opt = g.clone();
+        assert!(fuse_elementwise(&mut opt));
+        dce(&mut opt);
+        let fused: Vec<_> = opt
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, HloOp::Fused { .. }))
+            .collect();
+        assert_eq!(fused.len(), 1, "one fused kernel for the whole affine");
+        assert_equivalent(&g, &opt, &[&[2, 4, 4, 3], &[3], &[3], &[3], &[3]]);
+    }
+
+    #[test]
+    fn dce_removes_dead_branches() {
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[4]);
+        let dead = g.unary(ElemUnary::Exp, x);
+        let _dead2 = g.unary(ElemUnary::Neg, dead);
+        let live = g.unary(ElemUnary::Relu, x);
+        g.mark_output(live);
+        let mut opt = g.clone();
+        assert!(dce(&mut opt));
+        assert_eq!(opt.len(), 2);
+        assert_equivalent(&g, &opt, &[&[4]]);
+    }
+
+    #[test]
+    fn full_pipeline_on_composite_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[5, 4]);
+        let w = g.parameter(1, &[4, 3]);
+        let mm = g.add(
+            HloOp::MatMul {
+                t_lhs: false,
+                t_rhs: false,
+            },
+            &[x, w],
+        );
+        let one = g.constant(Tensor::scalar(1.0));
+        let zero = g.constant(Tensor::scalar(0.0));
+        let a = g.binary(ElemBinary::Mul, mm, one); // identity
+        let b = g.binary(ElemBinary::Add, a, zero); // identity
+        let c = g.unary(ElemUnary::Tanh, b);
+        let d = g.unary(ElemUnary::Square, c);
+        let e = g.binary(ElemBinary::Add, c, d); // fusable chain
+        g.mark_output(e);
+        let mut opt = g.clone();
+        optimize(&mut opt);
+        assert!(opt.len() < g.len());
+        let xs = Tensor::<f32>::randn(&[5, 4], &mut rng);
+        let ws = Tensor::<f32>::randn(&[4, 3], &mut rng);
+        let before = compile_unoptimized(&g).run(&[&xs, &ws]);
+        let after = compile_unoptimized(&opt).run(&[&xs, &ws]);
+        assert!(before[0].allclose(&after[0], 1e-5));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the XLA-like compiler: on random operation
+//! DAGs, the optimized executable must be semantically identical to the
+//! unoptimized one, and trace fingerprints must be stable and injective
+//! enough for cache correctness.
+
+use proptest::prelude::*;
+use s4tf_tensor::Tensor;
+use s4tf_xla::graph::HloGraph;
+use s4tf_xla::{compile, compile_unoptimized, ElemBinary, ElemUnary, HloOp, NodeId, ReduceKind};
+
+#[derive(Debug, Clone)]
+enum Step {
+    Unary(usize, usize),
+    Binary(usize, usize, usize),
+    ScalarConst(f32),
+    BiasAdd(usize),       // trailing-broadcast add against a [C] parameter
+    ReduceSumAxis0(usize),
+    MarkExtraOutput(usize),
+}
+
+const UNARY: &[ElemUnary] = &[
+    ElemUnary::Neg,
+    ElemUnary::Exp,
+    ElemUnary::Tanh,
+    ElemUnary::Sigmoid,
+    ElemUnary::Relu,
+    ElemUnary::Square,
+];
+const BINARY: &[ElemBinary] = &[
+    ElemBinary::Add,
+    ElemBinary::Sub,
+    ElemBinary::Mul,
+    ElemBinary::Max,
+    ElemBinary::Min,
+];
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..UNARY.len(), any::<usize>()).prop_map(|(o, p)| Step::Unary(o, p)),
+        (0..BINARY.len(), any::<usize>(), any::<usize>())
+            .prop_map(|(o, a, b)| Step::Binary(o, a, b)),
+        (-2.0f32..2.0).prop_map(Step::ScalarConst),
+        any::<usize>().prop_map(Step::BiasAdd),
+        any::<usize>().prop_map(Step::ReduceSumAxis0),
+        any::<usize>().prop_map(Step::MarkExtraOutput),
+    ]
+}
+
+/// Builds a random graph over a `[R, C]` parameter and a `[C]` bias
+/// parameter. Tracks each live value's shape class so ops stay valid.
+fn build(steps: &[Step], r: usize, c: usize) -> HloGraph {
+    let mut g = HloGraph::new();
+    let x = g.parameter(0, &[r, c]);
+    let bias = g.parameter(1, &[c]);
+    // values of shape [R, C] only (scalars live as consts on the side).
+    let mut full: Vec<NodeId> = vec![x];
+    let mut scalars: Vec<NodeId> = Vec::new();
+    for step in steps {
+        match step {
+            Step::Unary(o, p) => {
+                let v = full[p % full.len()];
+                let n = g.unary(UNARY[o % UNARY.len()], v);
+                full.push(n);
+            }
+            Step::Binary(o, a, b) => {
+                let (x1, x2) = (full[a % full.len()], full[b % full.len()]);
+                let n = g.binary(BINARY[o % BINARY.len()], x1, x2);
+                full.push(n);
+            }
+            Step::ScalarConst(v) => {
+                let k = g.constant(Tensor::scalar(*v));
+                scalars.push(k);
+                let base = full[scalars.len() % full.len()];
+                let n = g.binary(ElemBinary::Add, base, k);
+                full.push(n);
+            }
+            Step::BiasAdd(p) => {
+                let v = full[p % full.len()];
+                let n = g.binary(ElemBinary::Mul, v, bias);
+                full.push(n);
+            }
+            Step::ReduceSumAxis0(p) => {
+                let v = full[p % full.len()];
+                let reduced = g.add(
+                    HloOp::Reduce {
+                        kind: ReduceKind::Sum,
+                        axis: Some(0),
+                    },
+                    &[v],
+                ); // shape [C]
+                let back = g.add(HloOp::Broadcast(vec![r, c]), &[reduced]);
+                full.push(back);
+            }
+            Step::MarkExtraOutput(p) => {
+                let v = full[p % full.len()];
+                g.mark_output(v);
+            }
+        }
+    }
+    g.mark_output(*full.last().expect("non-empty"));
+    g
+}
+
+fn inputs(r: usize, c: usize, seed: u64) -> (Tensor<f32>, Tensor<f32>) {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (
+        Tensor::<f32>::rand_uniform(&[r, c], -1.0, 1.0, &mut rng),
+        Tensor::<f32>::rand_uniform(&[c], 0.5, 1.5, &mut rng),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimized_equals_unoptimized_on_random_dags(
+        steps in prop::collection::vec(step_strategy(), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let (r, c) = (3usize, 4usize);
+        let g = build(&steps, r, c);
+        let (x, b) = inputs(r, c, seed);
+        let fast = compile(&g).run(&[&x, &b]);
+        let slow = compile_unoptimized(&g).run(&[&x, &b]);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert_eq!(f.dims(), s.dims());
+            if s.all_finite() {
+                prop_assert!(
+                    f.allclose(s, 1e-4),
+                    "optimization changed semantics by {}",
+                    f.max_abs_diff(s)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic_and_shape_sensitive(
+        steps in prop::collection::vec(step_strategy(), 1..12),
+    ) {
+        let a = build(&steps, 3, 4);
+        let b = build(&steps, 3, 4);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint(), "same program, same key");
+        let c = build(&steps, 5, 4);
+        prop_assert_ne!(a.fingerprint(), c.fingerprint(), "shape change, new key");
+    }
+
+    #[test]
+    fn optimization_never_grows_the_kernel_count(
+        steps in prop::collection::vec(step_strategy(), 1..20),
+    ) {
+        let g = build(&steps, 3, 4);
+        let fused = compile(&g).kernel_count();
+        let unfused = compile_unoptimized(&g).kernel_count();
+        prop_assert!(fused <= unfused, "{fused} > {unfused}");
+    }
+}

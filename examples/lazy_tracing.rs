@@ -1,0 +1,73 @@
+//! LazyTensor tracing in action (paper §3.3 and Figure 4).
+//!
+//! Builds LeNet-5 on the lazy device, runs its forward pass *without
+//! observing any tensor* — nothing executes, a trace accumulates — then
+//! dumps the trace DAG as Graphviz DOT (the paper's Figure 4), cuts it
+//! with the barrier, and shows the fusion and caching effects.
+//!
+//! ```sh
+//! cargo run --release --example lazy_tracing > lenet_trace.dot
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use s4tf::models::LeNet;
+use s4tf::prelude::*;
+
+fn main() {
+    let device = Device::lazy();
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let model = LeNet::new(&device, &mut rng);
+    let x = DTensor::from_tensor(Tensor::<f32>::randn(&[1, 28, 28, 1], &mut rng), &device);
+
+    // Forward pass: records a trace; no kernel has run yet.
+    let logits = model.forward(&x);
+
+    let Device::Lazy(ctx) = &device else {
+        unreachable!()
+    };
+    eprintln!("trace after forward pass (nothing executed yet):");
+    eprintln!("  nodes: {}", ctx.trace_len());
+    eprintln!("  op histogram:");
+    for (op, count) in ctx.trace_histogram() {
+        eprintln!("    {op:20} ×{count}");
+    }
+    assert_eq!(ctx.cache().stats().misses, 0, "no compilation before the cut");
+
+    // Figure 4: the trace of the LeNet-5 forward pass, as DOT on stdout.
+    println!("{}", ctx.trace_dot("LeNet-5 forward trace"));
+
+    // Observing the logits cuts the trace: hash → compile (fusion!) → run.
+    let values = logits.to_tensor();
+    eprintln!("logits: {values:?}");
+    let stats = ctx.cache().stats();
+    eprintln!(
+        "after observation: {} program(s) compiled in {:.2?}",
+        stats.misses,
+        ctx.cache().compile_time()
+    );
+
+    // Re-run the identical program: re-traced (the §3.4 overhead), but the
+    // compiled program is reused from the cache.
+    for _ in 0..5 {
+        let x = DTensor::from_tensor(Tensor::<f32>::randn(&[1, 28, 28, 1], &mut rng), &device);
+        let _ = model.forward(&x).to_tensor();
+    }
+    let stats = ctx.cache().stats();
+    eprintln!(
+        "after 5 more iterations: misses={}, hits={} (tracing time so far: {:.2?})",
+        stats.misses,
+        stats.hits,
+        ctx.trace_time()
+    );
+    assert_eq!(stats.misses, 1, "identical traces compile exactly once");
+
+    // A shape change (batch 2) forces a recompile — the §3.4 limitation.
+    let x2 = DTensor::from_tensor(Tensor::<f32>::randn(&[2, 28, 28, 1], &mut rng), &device);
+    let _ = model.forward(&x2).to_tensor();
+    eprintln!(
+        "after a batch-size change: misses={} (shape changes recompile)",
+        ctx.cache().stats().misses
+    );
+    assert_eq!(ctx.cache().stats().misses, 2);
+}

@@ -1,0 +1,55 @@
+//! # s4tf — Swift for TensorFlow, reproduced in Rust
+//!
+//! A from-scratch reproduction of *Swift for TensorFlow: A portable,
+//! flexible platform for deep learning* (Saeta et al., MLSys 2021): a
+//! language-integrated automatic-differentiation system decoupled from any
+//! Tensor type, multiple Tensor execution backends (naive / eager /
+//! lazy-tracing with a fusing JIT and program cache), and APIs organized
+//! around mutable value semantics.
+//!
+//! This umbrella crate re-exports the platform's crates:
+//!
+//! | module | crate | paper section |
+//! |--------|-------|---------------|
+//! | [`tensor`] | `s4tf-tensor` | §3.1, §4 — CoW value-semantic tensors + CPU kernels |
+//! | [`core`] | `s4tf-core` | §2.1 — `Differentiable`, differentiable function values, `@derivative(of:)` registry, Appendix B |
+//! | [`sil`] | `s4tf-sil` | §2.2 — SSA IR + the AD code transformation (activity analysis, checking, JVP/VJP synthesis) |
+//! | [`xla`] | `s4tf-xla` | §3.3 — the HLO-like fusing JIT + program cache |
+//! | [`runtime`] | `s4tf-runtime` | §3 — naive/eager/lazy devices, `DTensor`, accelerator simulator |
+//! | [`nn`] | `s4tf-nn` | §4.1–4.2 — `Layer`, optimizers (`inout` updates), training loop |
+//! | [`models`] | `s4tf-models` | §5 — LeNet-5 (Figure 6), the ResNet family, the spline model |
+//! | [`data`] | `s4tf-data` | §5 — synthetic dataset substitutes |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use s4tf::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let device = Device::lazy(); // or Device::naive() / Device::eager()
+//! let mut model = Dense::new(4, 2, Activation::Identity, &device, &mut rng);
+//! let mut optimizer = Sgd::new(0.1);
+//!
+//! let x = DTensor::from_tensor(Tensor::randn(&[8, 4], &mut rng), &device);
+//! let labels = DTensor::from_tensor(
+//!     Tensor::one_hot(&[0, 1, 0, 1, 0, 1, 0, 1], 2), &device);
+//! let loss = s4tf::nn::train::train_classifier_step(
+//!     &mut model, &mut optimizer, &x, &labels);
+//! assert!(loss.is_finite());
+//! ```
+
+pub use s4tf_core as core;
+pub use s4tf_data as data;
+pub use s4tf_models as models;
+pub use s4tf_nn as nn;
+pub use s4tf_runtime as runtime;
+pub use s4tf_sil as sil;
+pub use s4tf_tensor as tensor;
+pub use s4tf_xla as xla;
+
+/// The combined prelude: model-building surface plus the differentiable-
+/// programming protocol.
+pub mod prelude {
+    pub use s4tf_nn::prelude::*;
+}

@@ -1,0 +1,198 @@
+//! Cross-system AD consistency: the compile-time SIL transformation
+//! (forward and reverse), the runtime tape, the differentiable-function
+//! bundles, and central finite differences must all agree on the same
+//! functions — including through control flow.
+
+use s4tf::core::tape::Tape;
+use s4tf::sil::ad::jvp::value_and_derivative;
+use s4tf::sil::ad::vjp::differentiate;
+use s4tf::sil::parser::parse_module_unwrap;
+use s4tf::sil::Interpreter;
+
+/// f(x, y) = sigmoid(sin(x)·y + x²/y), as IR.
+const FANCY: &str = r#"
+func @f(%x: f64, %y: f64) -> f64 {
+bb0(%x: f64, %y: f64):
+  %s = sin %x
+  %sy = mul %s, %y
+  %x2 = mul %x, %x
+  %q = div %x2, %y
+  %sum = add %sy, %q
+  %r = sigmoid %sum
+  ret %r
+}
+"#;
+
+fn fancy_host(x: f64, y: f64) -> f64 {
+    let s = x.sin() * y + x * x / y;
+    1.0 / (1.0 + (-s).exp())
+}
+
+fn fancy_tape_grad(x: f64, y: f64) -> (f64, f64) {
+    let tape = Tape::new();
+    let xv = tape.var(x);
+    let yv = tape.var(y);
+    let inner = xv.sin() * yv + xv * xv / yv;
+    // sigmoid via primitives
+    let out = ((-inner).exp() + 1.0).powf(-1.0);
+    let g = tape.gradients(out);
+    (g.wrt(xv), g.wrt(yv))
+}
+
+#[test]
+fn four_systems_agree_on_a_smooth_function() {
+    let module = parse_module_unwrap(FANCY);
+    let f = module.func_id("f").unwrap();
+    let vjp = differentiate(&module, f).unwrap();
+    let eps = 1e-6;
+
+    for &(x, y) in &[(0.3, 1.2), (1.5, 0.7), (-0.8, 2.0)] {
+        // Primal value agreement.
+        let v_ir = Interpreter::new().run(&module, f, &[x, y]).unwrap()[0];
+        assert!((v_ir - fancy_host(x, y)).abs() < 1e-12);
+
+        // Reverse via SIL.
+        let (_, g_sil) = vjp.value_with_gradient(&[x, y], 1.0).unwrap();
+        // Forward via SIL (two directional derivatives).
+        let (_, dx_fwd) = value_and_derivative(&module, f, &[x, y], &[1.0, 0.0]).unwrap();
+        let (_, dy_fwd) = value_and_derivative(&module, f, &[x, y], &[0.0, 1.0]).unwrap();
+        // Runtime tape.
+        let (tx, ty) = fancy_tape_grad(x, y);
+        // Finite differences.
+        let fdx = (fancy_host(x + eps, y) - fancy_host(x - eps, y)) / (2.0 * eps);
+        let fdy = (fancy_host(x, y + eps) - fancy_host(x, y - eps)) / (2.0 * eps);
+
+        for (name, gx, gy) in [
+            ("sil-reverse", g_sil[0], g_sil[1]),
+            ("sil-forward", dx_fwd, dy_fwd),
+            ("tape", tx, ty),
+        ] {
+            assert!((gx - fdx).abs() < 1e-5, "{name} d/dx at ({x},{y}): {gx} vs {fdx}");
+            assert!((gy - fdy).abs() < 1e-5, "{name} d/dy at ({x},{y}): {gy} vs {fdy}");
+        }
+    }
+}
+
+/// An iterative function with data-dependent trip count: Newton-like
+/// babylonian square root. Derivative of sqrt at a via iteration should
+/// approach 1/(2√a).
+const BABYLONIAN: &str = r#"
+func @sqrt_iter(%a: f64) -> f64 {
+bb0(%a: f64):
+  %one = const 1.0
+  %zero = const 0.0
+  br bb1(%a, %zero)
+bb1(%g: f64, %k: f64):
+  %iters = const 20.0
+  %c = cmp lt %k, %iters
+  condbr %c, bb2(), bb3()
+bb2():
+  %q = div %a, %g
+  %s = add %g, %q
+  %half = const 0.5
+  %gn = mul %s, %half
+  %one2 = const 1.0
+  %kn = add %k, %one2
+  br bb1(%gn, %kn)
+bb3():
+  ret %g
+}
+"#;
+
+#[test]
+fn gradient_through_an_iterative_algorithm() {
+    let module = parse_module_unwrap(BABYLONIAN);
+    let f = module.func_id("sqrt_iter").unwrap();
+    let vjp = differentiate(&module, f).unwrap();
+    for &a in &[2.0f64, 9.0, 0.25, 123.456] {
+        let (v, g) = vjp.value_with_gradient(&[a], 1.0).unwrap();
+        assert!((v - a.sqrt()).abs() < 1e-9, "value at {a}");
+        let expected = 0.5 / a.sqrt();
+        assert!(
+            (g[0] - expected).abs() < 1e-6,
+            "gradient at {a}: {} vs {expected}",
+            g[0]
+        );
+    }
+}
+
+/// The DifferentiableFn layer and SIL agree through composition.
+#[test]
+fn differentiable_fn_bundles_match_sil() {
+    use s4tf::core::prelude::*;
+
+    // h(x) = exp(sin(x)) built two ways.
+    let sin_bundle = DifferentiableFn::<f64, f64>::new(
+        |x| x.sin(),
+        |x| {
+            let x = *x;
+            (x.sin(), Box::new(move |dx: &f64| x.cos() * dx) as _)
+        },
+        |x| {
+            let x = *x;
+            (x.sin(), Box::new(move |dy: &f64| x.cos() * dy) as _)
+        },
+    );
+    let exp_bundle = DifferentiableFn::<f64, f64>::new(
+        |x| x.exp(),
+        |x| {
+            let y = x.exp();
+            (y, Box::new(move |dx: &f64| y * dx) as _)
+        },
+        |x| {
+            let y = x.exp();
+            (y, Box::new(move |dy: &f64| y * dy) as _)
+        },
+    );
+    let h = sin_bundle.compose(&exp_bundle);
+
+    let module = parse_module_unwrap(
+        r#"
+        func @h(%x: f64) -> f64 {
+        bb0(%x: f64):
+          %s = sin %x
+          %e = exp %s
+          ret %e
+        }
+        "#,
+    );
+    let f = module.func_id("h").unwrap();
+    for &x in &[0.1f64, 0.9, 2.2] {
+        let bundle_grad = gradient(&x, &h);
+        let sil_grad = s4tf::sil::ad::gradient(&module, f, &[x]).unwrap()[0];
+        assert!((bundle_grad - sil_grad).abs() < 1e-12);
+        let bundle_fwd = derivative(x, &h);
+        assert!((bundle_fwd - sil_grad).abs() < 1e-12);
+    }
+}
+
+/// Custom derivatives (the @derivative(of:) registry) flow through SIL
+/// synthesis end to end.
+#[test]
+fn custom_registered_derivative_is_used_by_both_modes() {
+    s4tf::core::registry::register_unary(
+        "softplus_custom",
+        s4tf::core::registry::UnaryDerivative {
+            f: |x| (1.0 + x.exp()).ln(),
+            df: |x| 1.0 / (1.0 + (-x).exp()),
+        },
+    );
+    let module = parse_module_unwrap(
+        r#"
+        func @f(%x: f64) -> f64 {
+        bb0(%x: f64):
+          %y = softplus_custom %x
+          %z = mul %y, %y
+          ret %z
+        }
+        "#,
+    );
+    let f = module.func_id("f").unwrap();
+    let vjp = differentiate(&module, f).unwrap();
+    let x = 0.8f64;
+    let (v, g) = vjp.value_with_gradient(&[x], 1.0).unwrap();
+    let sp = (1.0 + x.exp()).ln();
+    let dsp = 1.0 / (1.0 + (-x).exp());
+    assert!((v - sp * sp).abs() < 1e-12);
+    assert!((g[0] - 2.0 * sp * dsp).abs() < 1e-12);
+}

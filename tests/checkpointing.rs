@@ -1,0 +1,82 @@
+//! End-to-end checkpointing: because models are value types of plain
+//! tensors (§4.1 — no `Variable` wrappers), a checkpoint is just the
+//! parameter tensors, serializable with ordinary serde.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use s4tf::models::LeNet;
+use s4tf::prelude::*;
+use std::collections::BTreeMap;
+
+/// Extracts a LeNet's parameters as named host tensors.
+fn checkpoint(model: &LeNet) -> BTreeMap<String, Tensor<f32>> {
+    let mut m = BTreeMap::new();
+    m.insert("conv1.filter".into(), model.conv1.filter.to_tensor());
+    m.insert("conv1.bias".into(), model.conv1.bias.to_tensor());
+    m.insert("conv2.filter".into(), model.conv2.filter.to_tensor());
+    m.insert("conv2.bias".into(), model.conv2.bias.to_tensor());
+    m.insert("fc1.weight".into(), model.fc1.weight.to_tensor());
+    m.insert("fc1.bias".into(), model.fc1.bias.to_tensor());
+    m.insert("fc2.weight".into(), model.fc2.weight.to_tensor());
+    m.insert("fc2.bias".into(), model.fc2.bias.to_tensor());
+    m.insert("fc3.weight".into(), model.fc3.weight.to_tensor());
+    m.insert("fc3.bias".into(), model.fc3.bias.to_tensor());
+    m
+}
+
+/// Restores a checkpoint onto a model placed on `device`.
+fn restore(model: &mut LeNet, ckpt: &BTreeMap<String, Tensor<f32>>, device: &Device) {
+    let get = |k: &str| DTensor::from_tensor(ckpt[k].clone(), device);
+    model.conv1.filter = get("conv1.filter");
+    model.conv1.bias = get("conv1.bias");
+    model.conv2.filter = get("conv2.filter");
+    model.conv2.bias = get("conv2.bias");
+    model.fc1.weight = get("fc1.weight");
+    model.fc1.bias = get("fc1.bias");
+    model.fc2.weight = get("fc2.weight");
+    model.fc2.bias = get("fc2.bias");
+    model.fc3.weight = get("fc3.weight");
+    model.fc3.bias = get("fc3.bias");
+}
+
+#[test]
+fn lenet_checkpoint_round_trips_through_json_across_devices() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let naive = Device::naive();
+    let trained = LeNet::new(&naive, &mut rng);
+    let x = DTensor::from_tensor(Tensor::<f32>::randn(&[2, 28, 28, 1], &mut rng), &naive);
+    let expected = trained.forward(&x).to_tensor();
+
+    // Serialize → JSON → deserialize.
+    let json = serde_json::to_string(&checkpoint(&trained)).unwrap();
+    let restored_ckpt: BTreeMap<String, Tensor<f32>> = serde_json::from_str(&json).unwrap();
+
+    // Restore onto a *lazy-device* model: checkpoints are device-agnostic.
+    let lazy = Device::lazy();
+    let mut rng2 = ChaCha8Rng::seed_from_u64(99); // different init, then overwritten
+    let mut fresh = LeNet::new(&lazy, &mut rng2);
+    restore(&mut fresh, &restored_ckpt, &lazy);
+    let xl = DTensor::from_tensor(x.to_tensor(), &lazy);
+    let out = fresh.forward(&xl).to_tensor();
+    assert!(
+        out.allclose(&expected, 1e-5),
+        "restored model must reproduce the trained model's outputs"
+    );
+}
+
+#[test]
+fn checkpoints_are_snapshots_not_references() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let d = Device::naive();
+    let mut model = LeNet::new(&d, &mut rng);
+    let ckpt = checkpoint(&model);
+    // Train the live model; the checkpoint must not move (value semantics).
+    let x = DTensor::from_tensor(Tensor::<f32>::randn(&[1, 28, 28, 1], &mut rng), &d);
+    let (y, pb) = model.forward_with_pullback(&x);
+    let (g, _) = pb(&y.ones_like());
+    model.move_along(&g.scaled_by(-1.0));
+    assert!(
+        ckpt["fc3.weight"].max_abs_diff(&model.fc3.weight.to_tensor()) > 1e-6,
+        "training moved the live weights"
+    );
+}

@@ -1,0 +1,127 @@
+//! End-to-end training convergence: the models of §5 genuinely learn on
+//! the synthetic datasets, and the four Table-4 spline strategies agree.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use s4tf::data::{Dataset, ImageSpec, PersonalizationData, SplineDataSpec};
+use s4tf::models::spline::strategies::{all_strategies, NativeAot, SplineStrategy};
+use s4tf::models::spline::ConvergenceCriteria;
+use s4tf::models::{LeNet, ResNet, ResNetConfig};
+use s4tf::nn::metrics::accuracy;
+use s4tf::nn::train::train_classifier_step;
+use s4tf::prelude::*;
+
+#[test]
+fn lenet_learns_synthetic_mnist() {
+    let device = Device::naive();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let train = Dataset::generate(ImageSpec::mnist_like(), 256, 1);
+    let test = Dataset::generate(ImageSpec::mnist_like(), 80, 2);
+    let mut model = LeNet::new(&device, &mut rng);
+    let mut opt = Sgd::with_momentum(0.05, 0.9);
+    for step in 0..24 {
+        let batch = train.batch(32, step, (step / 8) as u64);
+        let x = DTensor::from_tensor(batch.images.clone(), &device);
+        let y = DTensor::from_tensor(batch.one_hot(10), &device);
+        train_classifier_step(&mut model, &mut opt, &x, &y);
+    }
+    let logits = model
+        .forward(&DTensor::from_tensor(test.images.clone(), &device))
+        .to_tensor();
+    let acc = accuracy(&logits, &test.labels);
+    assert!(acc > 0.6, "LeNet should be well past chance: {acc}");
+}
+
+#[test]
+fn lenet_with_adam_learns_too() {
+    let device = Device::naive();
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let train = Dataset::generate(ImageSpec::mnist_like(), 128, 3);
+    let mut model = LeNet::new(&device, &mut rng);
+    let mut opt = Adam::new(0.002);
+    let mut first = 0.0;
+    let mut last = 0.0;
+    for step in 0..16 {
+        let batch = train.batch(32, step, 0);
+        let x = DTensor::from_tensor(batch.images.clone(), &device);
+        let y = DTensor::from_tensor(batch.one_hot(10), &device);
+        let loss = train_classifier_step(&mut model, &mut opt, &x, &y);
+        if step == 0 {
+            first = loss;
+        }
+        last = loss;
+    }
+    assert!(last < first, "Adam: loss {first} → {last}");
+}
+
+#[test]
+fn small_resnet_learns_synthetic_cifar() {
+    let device = Device::naive();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let train = Dataset::generate(ImageSpec::cifar_like(), 128, 4);
+    let mut model = ResNet::new(ResNetConfig::resnet8_cifar(), &device, &mut rng);
+    let mut opt = Sgd::with_momentum(0.03, 0.9);
+    let mut losses = Vec::new();
+    for step in 0..10 {
+        let batch = train.batch(16, step, 0);
+        let x = DTensor::from_tensor(batch.images.clone(), &device);
+        let y = DTensor::from_tensor(batch.one_hot(10), &device);
+        losses.push(train_classifier_step(&mut model, &mut opt, &x, &y));
+    }
+    let early: f64 = losses[..3].iter().sum::<f64>() / 3.0;
+    let late: f64 = losses[losses.len() - 3..].iter().sum::<f64>() / 3.0;
+    assert!(late < early, "ResNet loss should trend down: {losses:?}");
+}
+
+#[test]
+fn spline_strategies_converge_and_agree_on_real_data() {
+    let data = PersonalizationData::generate(SplineDataSpec::default(), 5);
+    let reference = NativeAot.train(
+        &data.global.x,
+        &data.global.y,
+        16,
+        ConvergenceCriteria::default(),
+    );
+    assert!(reference.final_loss < 2e-3, "{}", reference.final_loss);
+    for strategy in all_strategies() {
+        let out = strategy.train(
+            &data.global.x,
+            &data.global.y,
+            16,
+            ConvergenceCriteria::default(),
+        );
+        // The paper's Table-4 verification: control points within 1.5%.
+        for (a, b) in out.control_points.iter().zip(&reference.control_points) {
+            let denom = b.abs().max(0.05);
+            assert!(
+                ((a - b) / denom).abs() < 0.015,
+                "{}: {a} vs {b}",
+                strategy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn dynamic_resnet_variants_assemble_and_run() {
+    // §3.5: the ResNet family from one dynamically-configured constructor.
+    let device = Device::lazy();
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    for n in [1usize, 2] {
+        let cfg = ResNetConfig::cifar_variant(n);
+        let depth = cfg.depth();
+        let model = ResNet::new(cfg, &device, &mut rng);
+        assert_eq!(model.blocks.len(), 3 * n);
+        let x = DTensor::from_tensor(
+            s4tf::tensor::Tensor::<f32>::randn(&[1, 16, 16, 3], &mut rng),
+            &device,
+        );
+        let y = model.forward(&x).to_tensor();
+        assert_eq!(y.dims(), &[1, 10], "depth-{depth} variant");
+        assert!(y.all_finite());
+    }
+    // Distinct variants produce distinct traces → distinct cached programs.
+    if let Device::Lazy(ctx) = &device {
+        assert_eq!(ctx.cache().stats().misses, 2);
+    }
+}
