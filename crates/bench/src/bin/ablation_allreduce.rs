@@ -16,15 +16,10 @@ const PER_CORE_BATCH: usize = 16;
 fn main() {
     println!("All-reduce sensitivity ablation (Table 1's per-core column)");
     eprintln!("tracing the ImageNet-geometry step once…");
-    let step = trace_resnet_training_step(
-        ResNetConfig::resnet_imagenet(),
-        PER_CORE_BATCH,
-        224,
-        224,
-    );
+    let step =
+        trace_resnet_training_step(ResNetConfig::resnet_imagenet(), PER_CORE_BATCH, 224, 224);
     let exe = compile(&step.graph);
-    let compute =
-        AcceleratorModel::tpu_v3_core().program_time(exe.graph()) + step.trace_seconds;
+    let compute = AcceleratorModel::tpu_v3_core().program_time(exe.graph()) + step.trace_seconds;
     let grad_bytes = step.param_count as f64 * 4.0;
 
     let retention = |bandwidth: f64, latency: f64| -> f64 {

@@ -31,10 +31,7 @@ fn main() {
     };
 
     let run_step = |batch: usize, rng: &mut ChaCha8Rng| -> f64 {
-        let x = DTensor::from_tensor(
-            Tensor::<f32>::randn(&[batch, 28, 28, 1], rng),
-            &device,
-        );
+        let x = DTensor::from_tensor(Tensor::<f32>::randn(&[batch, 28, 28, 1], rng), &device);
         let start = Instant::now();
         let y = model.forward(&x);
         let _ = y.to_tensor(); // observation = cut + (maybe compile) + run
@@ -58,15 +55,28 @@ fn main() {
     let recompiled = ctx.cache().stats().misses > misses_before;
 
     let rows = vec![
-        Row::new("first step (trace + JIT compile + run)", vec![fmt_duration(first)]),
-        Row::new("steady state (trace + cache hit + run)", vec![fmt_duration(steady_mean)]),
-        Row::new("  of which: re-tracing (measured)", vec![fmt_duration(retrace)]),
+        Row::new(
+            "first step (trace + JIT compile + run)",
+            vec![fmt_duration(first)],
+        ),
+        Row::new(
+            "steady state (trace + cache hit + run)",
+            vec![fmt_duration(steady_mean)],
+        ),
+        Row::new(
+            "  of which: re-tracing (measured)",
+            vec![fmt_duration(retrace)],
+        ),
         Row::new(
             format!("batch-size change (recompiled: {recompiled})"),
             vec![fmt_duration(shape_change)],
         ),
     ];
-    print_table("LeNet-5 forward under the lazy backend", &["Step", "Time"], &rows);
+    print_table(
+        "LeNet-5 forward under the lazy backend",
+        &["Step", "Time"],
+        &rows,
+    );
     assert!(recompiled, "a shape change must force a recompile");
     assert!(first > steady_mean, "the cache must amortize the JIT");
 
@@ -79,10 +89,7 @@ fn main() {
         let mut rng2 = ChaCha8Rng::seed_from_u64(1);
         let mut outputs = Vec::new(); // keep tensors live, as a loop would
         for i in 0..16 {
-            let x = DTensor::from_tensor(
-                Tensor::<f32>::randn(&[4, 28, 28, 1], &mut rng2),
-                &device,
-            );
+            let x = DTensor::from_tensor(Tensor::<f32>::randn(&[4, 28, 28, 1], &mut rng2), &device);
             outputs.push(model.forward(&x));
             max_trace = max_trace.max(ctx.trace_len());
             if (i + 1) % barrier_every == 0 {

@@ -9,9 +9,7 @@
 //! Run: `cargo run -p s4tf-bench --release --bin appendix_b`
 
 use s4tf_bench::report::{fmt_duration, print_table, Row};
-use s4tf_core::subscript::{
-    my_op_with_functional_pullback, my_op_with_mutable_pullback,
-};
+use s4tf_core::subscript::{my_op_with_functional_pullback, my_op_with_mutable_pullback};
 use std::time::Instant;
 
 fn time_functional(values: &[f32], reps: usize) -> f64 {

@@ -2,12 +2,17 @@
 //! FusedKernel spline-training strategy (see `table4`).
 
 use s4tf_data::{PersonalizationData, SplineDataSpec};
-use s4tf_models::spline::strategies::{SplineStrategy, FusedKernel};
+use s4tf_models::spline::strategies::{FusedKernel, SplineStrategy};
 use s4tf_models::spline::ConvergenceCriteria;
 
 fn main() {
     let data = PersonalizationData::generate(SplineDataSpec::default(), 7);
-    let out = FusedKernel.train(&data.local.x, &data.local.y, 24, ConvergenceCriteria::default());
+    let out = FusedKernel.train(
+        &data.local.x,
+        &data.local.y,
+        24,
+        ConvergenceCriteria::default(),
+    );
     println!(
         "{}: converged to loss {:.6} in {} iterations",
         FusedKernel.name(),

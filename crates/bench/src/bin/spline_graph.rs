@@ -2,12 +2,17 @@
 //! GraphInterpreter spline-training strategy (see `table4`).
 
 use s4tf_data::{PersonalizationData, SplineDataSpec};
-use s4tf_models::spline::strategies::{SplineStrategy, GraphInterpreter};
+use s4tf_models::spline::strategies::{GraphInterpreter, SplineStrategy};
 use s4tf_models::spline::ConvergenceCriteria;
 
 fn main() {
     let data = PersonalizationData::generate(SplineDataSpec::default(), 7);
-    let out = GraphInterpreter.train(&data.local.x, &data.local.y, 24, ConvergenceCriteria::default());
+    let out = GraphInterpreter.train(
+        &data.local.x,
+        &data.local.y,
+        24,
+        ConvergenceCriteria::default(),
+    );
     println!(
         "{}: converged to loss {:.6} in {} iterations",
         GraphInterpreter.name(),

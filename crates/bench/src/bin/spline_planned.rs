@@ -2,12 +2,17 @@
 //! PlannedInterpreter spline-training strategy (see `table4`).
 
 use s4tf_data::{PersonalizationData, SplineDataSpec};
-use s4tf_models::spline::strategies::{SplineStrategy, PlannedInterpreter};
+use s4tf_models::spline::strategies::{PlannedInterpreter, SplineStrategy};
 use s4tf_models::spline::ConvergenceCriteria;
 
 fn main() {
     let data = PersonalizationData::generate(SplineDataSpec::default(), 7);
-    let out = PlannedInterpreter.train(&data.local.x, &data.local.y, 24, ConvergenceCriteria::default());
+    let out = PlannedInterpreter.train(
+        &data.local.x,
+        &data.local.y,
+        24,
+        ConvergenceCriteria::default(),
+    );
     println!(
         "{}: converged to loss {:.6} in {} iterations",
         PlannedInterpreter.name(),

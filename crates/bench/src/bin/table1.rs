@@ -17,9 +17,9 @@ use s4tf_bench::report::{fmt_duration, print_table, Row};
 use s4tf_bench::tracing::trace_resnet_training_step;
 use s4tf_models::{ResNet, ResNetConfig};
 use s4tf_nn::metrics::accuracy;
-use s4tf_nn::Layer;
 use s4tf_nn::optimizer::Sgd;
 use s4tf_nn::train::train_classifier_step;
+use s4tf_nn::Layer;
 use s4tf_runtime::sim::{AcceleratorModel, ClusterModel};
 use s4tf_runtime::{DTensor, Device};
 use s4tf_xla::compile;
@@ -41,12 +41,8 @@ fn main() {
 
     // 1. Trace one real training step at ImageNet geometry.
     eprintln!("tracing the ImageNet-geometry training step (this builds the full graph)…");
-    let step = trace_resnet_training_step(
-        ResNetConfig::resnet_imagenet(),
-        PER_CORE_BATCH,
-        224,
-        224,
-    );
+    let step =
+        trace_resnet_training_step(ResNetConfig::resnet_imagenet(), PER_CORE_BATCH, 224, 224);
     eprintln!(
         "  trace: {} nodes, {} params, recorded in {}",
         step.graph.len(),
@@ -78,8 +74,7 @@ fn main() {
     let mut rows = Vec::new();
     for &(cores, paper_minutes, paper_tput, paper_per_core) in PAPER {
         let cluster = ClusterModel::tpu_v3(cores);
-        let step_time =
-            cluster.step_time(per_core_compute + host_overhead, grad_bytes);
+        let step_time = cluster.step_time(per_core_compute + host_overhead, grad_bytes);
         let throughput = (PER_CORE_BATCH * cores) as f64 / step_time;
         let per_core = throughput / cores as f64;
         let train_seconds = EPOCHS * IMAGENET_TRAIN_IMAGES / throughput;
@@ -111,10 +106,16 @@ fn main() {
     // Scaling-retention check (the table's point): per-core throughput is
     // largely maintained from 16 → 128 cores.
     let retention = {
-        let t16 = ClusterModel::tpu_v3(16)
-            .per_core_throughput(PER_CORE_BATCH, per_core_compute + host_overhead, grad_bytes);
-        let t128 = ClusterModel::tpu_v3(128)
-            .per_core_throughput(PER_CORE_BATCH, per_core_compute + host_overhead, grad_bytes);
+        let t16 = ClusterModel::tpu_v3(16).per_core_throughput(
+            PER_CORE_BATCH,
+            per_core_compute + host_overhead,
+            grad_bytes,
+        );
+        let t128 = ClusterModel::tpu_v3(128).per_core_throughput(
+            PER_CORE_BATCH,
+            per_core_compute + host_overhead,
+            grad_bytes,
+        );
         t128 / t16
     };
     println!(

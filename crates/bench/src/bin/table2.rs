@@ -42,12 +42,8 @@ fn main() {
     println!("Table 2 reproduction: framework pipelines on a simulated TPUv3-32");
 
     eprintln!("tracing the training step…");
-    let step = trace_resnet_training_step(
-        ResNetConfig::resnet_imagenet(),
-        PER_CORE_BATCH,
-        224,
-        224,
-    );
+    let step =
+        trace_resnet_training_step(ResNetConfig::resnet_imagenet(), PER_CORE_BATCH, 224, 224);
     let exe = compile(&step.graph);
     let core = AcceleratorModel::tpu_v3_core();
     let device_time = core.program_time(exe.graph());
@@ -109,7 +105,12 @@ fn main() {
     }
     print_table(
         "Framework comparison on simulated TPUv3-32",
-        &["Pipeline", "Training time", "Throughput (ex/s)", "Paper row"],
+        &[
+            "Pipeline",
+            "Training time",
+            "Throughput (ex/s)",
+            "Paper row",
+        ],
         &rows,
     );
 

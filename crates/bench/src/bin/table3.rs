@@ -125,10 +125,7 @@ fn simulated_table() {
     let lazy = program_time(fused.graph(), &gpu, tuned_launch) + step.trace_seconds;
 
     let mut rows = Vec::new();
-    for ((name, paper_tput), time) in PAPER
-        .iter()
-        .zip([pytorch, tensorflow, eager, lazy])
-    {
+    for ((name, paper_tput), time) in PAPER.iter().zip([pytorch, tensorflow, eager, lazy]) {
         let tput = BATCH as f64 / time;
         rows.push(Row::new(
             *name,
@@ -160,6 +157,11 @@ fn real_cpu_table() {
     let (h, w, b) = (16usize, 16usize, 8usize);
     let steps = 4;
 
+    // Profile the timed region: the per-backend spans (enqueue/barrier/
+    // compile/execute) explain *where* the throughput gaps come from.
+    let profile_was_on = s4tf_profile::enabled();
+    s4tf_profile::set_enabled(true);
+    let mut lazy_report = None;
     let mut rows = Vec::new();
     for device in [Device::naive(), Device::eager(), Device::lazy()] {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
@@ -170,6 +172,7 @@ fn real_cpu_table() {
         let labels = DTensor::from_tensor(Tensor::one_hot(&label_ids, 10), &device);
         // Warm-up step (JIT compile on the lazy device).
         train_classifier_step_no_metrics(&mut model, &mut opt, &images, &labels);
+        s4tf_profile::reset();
         let start = Instant::now();
         for _ in 0..steps {
             train_classifier_step_no_metrics(&mut model, &mut opt, &images, &labels);
@@ -179,27 +182,36 @@ fn real_cpu_table() {
             format!("{:.1}", b as f64 / per_step),
             fmt_duration(per_step),
         ];
-        if let Device::Lazy(ctx) = &device {
-            let stats = ctx.cache().stats();
+        if let Some(stats) = device.cache_stats() {
+            let compile = match &device {
+                Device::Lazy(ctx) => ctx.cache().compile_time().as_secs_f64(),
+                _ => 0.0,
+            };
             cells.push(format!(
                 "cache {}h/{}m; compile {}",
                 stats.hits,
                 stats.misses,
-                fmt_duration(ctx.cache().compile_time().as_secs_f64())
+                fmt_duration(compile)
             ));
         } else {
             cells.push(String::new());
         }
-        rows.push(Row::new(
-            format!("s4tf ({})", device.kind()),
-            cells,
-        ));
+        rows.push(Row::new(format!("s4tf ({})", device.kind()), cells));
+        if matches!(device, Device::Lazy(_)) {
+            lazy_report = Some(s4tf_profile::report());
+        }
     }
+    s4tf_profile::set_enabled(profile_was_on);
+    s4tf_profile::reset();
     print_table(
         "Real CPU wall clock (post-warmup, scaled model)",
         &["Backend", "Throughput (ex/s)", "Step time", "Notes"],
         &rows,
     );
+    if let Some(report) = lazy_report {
+        println!("\nlazy-backend profile over the {steps} timed steps:");
+        println!("{report}");
+    }
     println!(
         "note: on a CPU the kernels dwarf dispatch costs, so real-clock gaps are\n\
          smaller than the paper's GPU gaps; the simulated table above isolates the\n\

@@ -62,9 +62,8 @@ fn main() {
         // Warm-up (page in code paths), then measure.
         let _ = strategy.train(&data.local.x, &data.local.y, KNOTS, criteria);
         let start = Instant::now();
-        let (outcome, peak) = measure_peak(|| {
-            strategy.train(&data.local.x, &data.local.y, KNOTS, criteria)
-        });
+        let (outcome, peak) =
+            measure_peak(|| strategy.train(&data.local.x, &data.local.y, KNOTS, criteria));
         let elapsed = start.elapsed().as_secs_f64();
 
         // Verify all strategies converge to the same control points

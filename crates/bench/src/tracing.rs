@@ -42,16 +42,14 @@ pub fn trace_resnet_training_step(
     let mut model = ResNet::new(config, &device, &mut rng);
     let param_count = resnet_param_count(&model);
 
-    let images = DTensor::from_tensor(
-        Tensor::zeros(&[batch, height, width, channels]),
-        &device,
-    );
+    let images = DTensor::from_tensor(Tensor::zeros(&[batch, height, width, channels]), &device);
     let label_ids: Vec<usize> = (0..batch).map(|i| i % classes).collect();
     let labels = DTensor::from_tensor(Tensor::one_hot(&label_ids, classes), &device);
 
     let Device::Lazy(ctx) = &device else {
         unreachable!()
     };
+    let mut span = s4tf_profile::span("bench.trace_resnet_step");
     let trace_before = ctx.trace_time();
     let wall = std::time::Instant::now();
     // The exact body of `train_classifier_step`, minus the barrier.
@@ -66,6 +64,10 @@ pub fn trace_resnet_training_step(
 
     let graph = ctx.snapshot_trace();
     ctx.abandon_trace();
+    if span.is_recording() {
+        span.annotate_f64("nodes", graph.len() as f64);
+        span.annotate_f64("params", param_count as f64);
+    }
     TracedStep {
         graph,
         // Recording time includes both the lock-protected graph appends
@@ -107,12 +109,19 @@ mod tests {
     #[test]
     fn traces_a_small_step_without_executing() {
         let step = trace_resnet_training_step(ResNetConfig::resnet8_cifar(), 4, 16, 16);
-        assert!(step.graph.len() > 100, "full step trace: {}", step.graph.len());
+        assert!(
+            step.graph.len() > 100,
+            "full step trace: {}",
+            step.graph.len()
+        );
         assert!(!step.graph.outputs.is_empty());
         assert!(step.trace_seconds > 0.0);
         // ResNet-8 CIFAR: stem (448+16+32) + 3 blocks + head (650).
-        assert!(step.param_count > 70_000 && step.param_count < 90_000,
-            "{}", step.param_count);
+        assert!(
+            step.param_count > 70_000 && step.param_count < 90_000,
+            "{}",
+            step.param_count
+        );
         // The graph compiles (passes run) even though we never execute it.
         let exe = s4tf_xla::compile(&step.graph);
         assert!(exe.kernel_count() > 0);

@@ -58,11 +58,7 @@ pub fn vjp_div<T: Float>(a: &Tensor<T>, b: &Tensor<T>) -> (Tensor<T>, TensorPull
         a.div(b),
         Box::new(move |dy| {
             let ga = dy.div(&bc).reduce_to_shape(&da);
-            let gb = dy
-                .mul(&ac)
-                .neg()
-                .div(&bc.square())
-                .reduce_to_shape(&db);
+            let gb = dy.mul(&ac).neg().div(&bc.square()).reduce_to_shape(&db);
             (ga, gb)
         }),
     )
@@ -147,10 +143,7 @@ pub fn vjp_neg<T: Float>(x: &Tensor<T>) -> (Tensor<T>, TensorPullback<T>) {
 /// VJP of the full sum.
 pub fn vjp_sum<T: Float>(x: &Tensor<T>) -> (Tensor<T>, TensorPullback<T>) {
     let dims = x.dims().to_vec();
-    (
-        x.sum(),
-        Box::new(move |dy| dy.broadcast_to(&dims)),
-    )
+    (x.sum(), Box::new(move |dy| dy.broadcast_to(&dims)))
 }
 
 /// VJP of the full mean.
@@ -177,10 +170,7 @@ pub fn vjp_sum_axis<T: Float>(x: &Tensor<T>, axis: usize) -> (Tensor<T>, TensorP
 /// VJP of reshape.
 pub fn vjp_reshape<T: Float>(x: &Tensor<T>, dims: &[usize]) -> (Tensor<T>, TensorPullback<T>) {
     let original = x.dims().to_vec();
-    (
-        x.reshape(dims),
-        Box::new(move |dy| dy.reshape(&original)),
-    )
+    (x.reshape(dims), Box::new(move |dy| dy.reshape(&original)))
 }
 
 /// VJP of a dimension permutation.
@@ -196,10 +186,7 @@ pub fn vjp_transpose<T: Float>(x: &Tensor<T>, perm: &[usize]) -> (Tensor<T>, Ten
 }
 
 /// VJP of `broadcast_to`.
-pub fn vjp_broadcast_to<T: Float>(
-    x: &Tensor<T>,
-    dims: &[usize],
-) -> (Tensor<T>, TensorPullback<T>) {
+pub fn vjp_broadcast_to<T: Float>(x: &Tensor<T>, dims: &[usize]) -> (Tensor<T>, TensorPullback<T>) {
     let original = x.dims().to_vec();
     (
         x.broadcast_to(dims),
@@ -279,10 +266,7 @@ pub fn vjp_softmax_cross_entropy<T: Float>(
     let loss = labels.mul(&log_probs).sum().neg().div_scalar(batch);
     let softmax = logits.softmax();
     let grad = softmax.sub(labels).div_scalar(batch);
-    (
-        loss,
-        Box::new(move |dy| grad.mul(dy)),
-    )
+    (loss, Box::new(move |dy| grad.mul(dy)))
 }
 
 #[cfg(test)]

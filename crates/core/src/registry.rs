@@ -188,10 +188,7 @@ mod tests {
             for &x in &[0.4f64, 1.3, 2.1] {
                 let fd = ((d.f)(x + eps) - (d.f)(x - eps)) / (2.0 * eps);
                 let ad = (d.df)(x);
-                assert!(
-                    (fd - ad).abs() < 1e-4,
-                    "{name} at {x}: fd={fd} ad={ad}"
-                );
+                assert!((fd - ad).abs() < 1e-4, "{name} at {x}: fd={fd} ad={ad}");
             }
         }
     }

@@ -171,7 +171,8 @@ impl<'t> Var<'t> {
 
     /// Natural logarithm.
     pub fn ln(self) -> Var<'t> {
-        self.tape.record1(self.value.ln(), self.index, 1.0 / self.value)
+        self.tape
+            .record1(self.value.ln(), self.index, 1.0 / self.value)
     }
 
     /// `tanh(self)`.
@@ -194,33 +195,24 @@ impl<'t> Var<'t> {
 
     /// `self^p` for constant `p`.
     pub fn powf(self, p: f64) -> Var<'t> {
-        self.tape.record1(
-            self.value.powf(p),
-            self.index,
-            p * self.value.powf(p - 1.0),
-        )
+        self.tape
+            .record1(self.value.powf(p), self.index, p * self.value.powf(p - 1.0))
     }
 }
 
 impl<'t> Add for Var<'t> {
     type Output = Var<'t>;
     fn add(self, rhs: Var<'t>) -> Var<'t> {
-        self.tape.record2(
-            self.value + rhs.value,
-            [self.index, rhs.index],
-            [1.0, 1.0],
-        )
+        self.tape
+            .record2(self.value + rhs.value, [self.index, rhs.index], [1.0, 1.0])
     }
 }
 
 impl<'t> Sub for Var<'t> {
     type Output = Var<'t>;
     fn sub(self, rhs: Var<'t>) -> Var<'t> {
-        self.tape.record2(
-            self.value - rhs.value,
-            [self.index, rhs.index],
-            [1.0, -1.0],
-        )
+        self.tape
+            .record2(self.value - rhs.value, [self.index, rhs.index], [1.0, -1.0])
     }
 }
 

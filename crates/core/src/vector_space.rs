@@ -254,7 +254,10 @@ impl<A: AdditiveArithmetic> AdditiveArithmetic for Vec<A> {
             return rhs.iter().map(|b| A::zero().subtracting(b)).collect();
         }
         assert_eq!(self.len(), rhs.len(), "Vec tangent length mismatch");
-        self.iter().zip(rhs).map(|(a, b)| a.subtracting(b)).collect()
+        self.iter()
+            .zip(rhs)
+            .map(|(a, b)| a.subtracting(b))
+            .collect()
     }
 }
 

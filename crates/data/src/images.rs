@@ -103,17 +103,14 @@ impl Dataset {
             for y in 0..spec.height {
                 for x in 0..spec.width {
                     for c in 0..spec.channels {
-                        let sy = (y as i32 + shift_y)
-                            .rem_euclid(spec.height as i32) as usize;
-                        let sx = (x as i32 + shift_x)
-                            .rem_euclid(spec.width as i32) as usize;
+                        let sy = (y as i32 + shift_y).rem_euclid(spec.height as i32) as usize;
+                        let sx = (x as i32 + shift_x).rem_euclid(spec.width as i32) as usize;
                         let clean = spec.prototype_pixel(class, sy, sx, c);
                         let noise: f32 = {
                             // Box–Muller
                             let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
                             let u2: f32 = rng.gen_range(0.0..1.0);
-                            (-2.0 * u1.ln()).sqrt()
-                                * (2.0 * std::f32::consts::PI * u2).cos()
+                            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
                         };
                         data.push(clean + spec.noise * noise);
                     }
@@ -121,10 +118,7 @@ impl Dataset {
             }
         }
         Dataset {
-            images: Tensor::from_vec(
-                data,
-                &[n, spec.height, spec.width, spec.channels],
-            ),
+            images: Tensor::from_vec(data, &[n, spec.height, spec.width, spec.channels]),
             labels,
             spec,
         }
@@ -257,9 +251,7 @@ mod tests {
         let b0_again = d.batch(10, 0, 5);
         assert_eq!(b0.labels, b0_again.labels);
         // All three batch indices together cover all 30 samples.
-        let mut seen: Vec<usize> = (0..3)
-            .flat_map(|i| d.batch(10, i, 5).labels)
-            .collect();
+        let mut seen: Vec<usize> = (0..3).flat_map(|i| d.batch(10, i, 5).labels).collect();
         seen.sort_unstable();
         let mut expected = d.labels.clone();
         expected.sort_unstable();

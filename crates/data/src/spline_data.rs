@@ -87,10 +87,7 @@ impl PersonalizationData {
             let u2: f32 = rng.gen_range(0.0..1.0);
             (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
         };
-        let sample = |n: usize,
-                          f: &dyn Fn(f32) -> f32,
-                          rng: &mut ChaCha8Rng|
-         -> Samples {
+        let sample = |n: usize, f: &dyn Fn(f32) -> f32, rng: &mut ChaCha8Rng| -> Samples {
             let mut s = Samples::default();
             for _ in 0..n {
                 let x: f32 = rng.gen_range(0.0..1.0);

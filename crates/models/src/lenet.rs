@@ -78,11 +78,16 @@ impl Layer for LeNet {
     /// Figure 6's `callAsFunction`: `input.sequenced(through: conv1, pool1,
     /// conv2, pool2)` then `(flatten, fc1, fc2, fc3)`.
     fn forward(&self, input: &DTensor) -> DTensor {
-        let convolved = self
-            .pool2
-            .forward(&self.conv2.forward(&self.pool1.forward(&self.conv1.forward(input))));
-        self.fc3
-            .forward(&self.fc2.forward(&self.fc1.forward(&self.flatten.forward(&convolved))))
+        let convolved = self.pool2.forward(
+            &self
+                .conv2
+                .forward(&self.pool1.forward(&self.conv1.forward(input))),
+        );
+        self.fc3.forward(
+            &self
+                .fc2
+                .forward(&self.fc1.forward(&self.flatten.forward(&convolved))),
+        )
     }
 
     fn forward_with_pullback(&self, input: &DTensor) -> (DTensor, PullbackFn<Self>) {

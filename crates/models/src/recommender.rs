@@ -31,8 +31,7 @@ differentiable_struct! {
 }
 
 /// The pullback of [`MatrixFactorizer::predict_with_pullback`].
-pub type RecommenderPullback =
-    Box<dyn Fn(&DTensor) -> MatrixFactorizerTangent + Send>;
+pub type RecommenderPullback = Box<dyn Fn(&DTensor) -> MatrixFactorizerTangent + Send>;
 
 impl MatrixFactorizer {
     /// A fresh factorizer on `device`.
@@ -83,9 +82,7 @@ impl MatrixFactorizer {
         let (ub, pb_ub) = self.user_bias.forward_with_pullback(users);
         let (ib, pb_ib) = self.item_bias.forward_with_pullback(items);
         let dot = u.mul(&v).sum_axis(1);
-        let pred = dot
-            .add(&ub.reshape(&[batch]))
-            .add(&ib.reshape(&[batch]));
+        let pred = dot.add(&ub.reshape(&[batch])).add(&ib.reshape(&[batch]));
         (
             pred,
             Box::new(move |dy: &DTensor| {

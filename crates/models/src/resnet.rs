@@ -282,7 +282,13 @@ impl ResNet {
                 in_filters = filters;
             }
         }
-        let head = Dense::new(in_filters, config.classes, Activation::Identity, device, rng);
+        let head = Dense::new(
+            in_filters,
+            config.classes,
+            Activation::Identity,
+            device,
+            rng,
+        );
         ResNet {
             stem,
             stem_bn: BatchNorm::new(config.stem_filters, device),
@@ -310,8 +316,7 @@ impl ResNet {
 
 impl Layer for ResNet {
     fn forward(&self, input: &DTensor) -> DTensor {
-        let mut h = self
-            .stem_pool(&self.stem_bn.forward(&self.stem.forward(input)).relu());
+        let mut h = self.stem_pool(&self.stem_bn.forward(&self.stem.forward(input)).relu());
         for block in &self.blocks {
             h = block.forward(&h);
         }
@@ -346,12 +351,7 @@ impl Layer for ResNet {
                 // Undo global average pool: expand and scale.
                 let batch = dfeat.dims()[0];
                 let dgap = dfeat.reshape(&[batch, 1, 1, c2]);
-                let dpre_gap = pre_gap.avg_pool2d_backward(
-                    &dgap,
-                    (h2, w2),
-                    (1, 1),
-                    Padding::Valid,
-                );
+                let dpre_gap = pre_gap.avg_pool2d_backward(&dgap, (h2, w2), (1, 1), Padding::Valid);
                 let mut d = dpre_gap;
                 let mut g_blocks_rev = Vec::with_capacity(block_pbs.len());
                 for pb in block_pbs.iter().rev() {
@@ -444,9 +444,8 @@ mod tests {
         let x = DTensor::from_tensor(Tensor::<f32>::randn(&[1, 5, 5, 4], &mut rng), &d);
         let (y, pb) = block.forward_with_pullback(&x);
         let (g, dx) = pb(&y.ones_like());
-        let loss = |b: &BasicBlock, x: &DTensor| {
-            b.forward(x).sum().to_tensor().scalar_value() as f64
-        };
+        let loss =
+            |b: &BasicBlock, x: &DTensor| b.forward(x).sum().to_tensor().scalar_value() as f64;
         let eps = 1e-2f64;
         // conv1 filter element
         {
@@ -497,8 +496,7 @@ mod tests {
         let d = Device::naive();
         let mut model = ResNet::new(ResNetConfig::resnet8_cifar(), &d, &mut rng);
         let x = DTensor::from_tensor(Tensor::<f32>::randn(&[8, 16, 16, 3], &mut rng), &d);
-        let labels =
-            DTensor::from_tensor(Tensor::one_hot(&[0, 1, 2, 3, 4, 5, 6, 7], 10), &d);
+        let labels = DTensor::from_tensor(Tensor::one_hot(&[0, 1, 2, 3, 4, 5, 6, 7], 10), &d);
         let mut opt = Sgd::new(0.05);
         let first = train_classifier_step(&mut model, &mut opt, &x, &labels);
         let mut last = first;

@@ -203,17 +203,13 @@ mod tests {
         let mut grad = vec![0.0; 5];
         m.accumulate_gradient(&xs, &ys, &mut grad);
         let eps = 1e-3;
-        for i in 0..5 {
+        for (i, &g) in grad.iter().enumerate() {
             let mut mp = m.clone();
             mp.control_points[i] += eps;
             let mut mm = m.clone();
             mm.control_points[i] -= eps;
             let fd = (mp.loss(&xs, &ys) - mm.loss(&xs, &ys)) / (2.0 * eps as f64);
-            assert!(
-                (fd - grad[i] as f64).abs() < 1e-4,
-                "knot {i}: fd={fd} ad={}",
-                grad[i]
-            );
+            assert!((fd - g as f64).abs() < 1e-4, "knot {i}: fd={fd} ad={g}");
         }
     }
 
@@ -257,7 +253,7 @@ mod tests {
         let ys: Vec<f32> = xs.iter().map(|&x| x * x).collect();
         let mut full = vec![0.0; 6];
         m.accumulate_gradient(&xs, &ys, &mut full);
-        let mut halves = vec![0.0; 6];
+        let mut halves = [0.0; 6];
         // Mean normalization differs per call; compensate by scaling.
         let mut a = vec![0.0; 6];
         m.accumulate_gradient(&xs[..15], &ys[..15], &mut a);

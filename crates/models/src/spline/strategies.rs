@@ -37,11 +37,7 @@ pub trait SplineStrategy {
 /// The strategy-agnostic training driver: gradient descent with Armijo
 /// backtracking, identical across strategies so measured differences are
 /// pure execution architecture.
-fn descend(
-    exec: &mut dyn Executor,
-    knots: usize,
-    criteria: ConvergenceCriteria,
-) -> TrainOutcome {
+fn descend(exec: &mut dyn Executor, knots: usize, criteria: ConvergenceCriteria) -> TrainOutcome {
     let mut points = vec![0.0f32; knots];
     let mut grad = vec![0.0f32; knots];
     let line_search = BacktrackingLineSearch::default();
@@ -223,7 +219,6 @@ impl SplineStrategy for FusedKernel {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PlannedInterpreter;
 
-
 trait PlannedOp {
     fn run(&self, arena: &mut Arena);
 }
@@ -239,7 +234,6 @@ struct Arena {
     grad: Vec<f32>,
     scalar: f64,
 }
-
 
 struct LocateOp;
 impl PlannedOp for LocateOp {

@@ -2,6 +2,10 @@
 
 use s4tf_runtime::DTensor;
 
+/// The pullback an activation's VJP returns: maps the output cotangent to
+/// the input cotangent.
+pub type ActivationPullback = Box<dyn Fn(&DTensor) -> DTensor + Send>;
+
 /// An element-wise activation function, applied by layers after their
 /// affine transformation (the `activation:` argument in paper Figure 6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -29,7 +33,7 @@ impl Activation {
     }
 
     /// Applies the activation, returning the value and its pullback.
-    pub fn vjp(&self, x: &DTensor) -> (DTensor, Box<dyn Fn(&DTensor) -> DTensor + Send>) {
+    pub fn vjp(&self, x: &DTensor) -> (DTensor, ActivationPullback) {
         match self {
             Activation::Identity => (x.clone(), Box::new(|dy: &DTensor| dy.clone())),
             Activation::Relu => {

@@ -8,6 +8,19 @@ use s4tf_runtime::DTensor;
 pub type PullbackFn<L> =
     Box<dyn Fn(&DTensor) -> (<L as Differentiable>::TangentVector, DTensor) + Send>;
 
+/// The pullback of two composed layers (see [`compose_pullbacks`]).
+pub type ComposedPullbackFn<F, G> = Box<
+    dyn Fn(
+            &DTensor,
+        ) -> (
+            (
+                <F as Differentiable>::TangentVector,
+                <G as Differentiable>::TangentVector,
+            ),
+            DTensor,
+        ) + Send,
+>;
+
 /// A neural-network layer: a `Differentiable` value whose application to an
 /// input is differentiable with respect to *both* the parameters and the
 /// input.
@@ -37,7 +50,7 @@ pub trait Layer: Differentiable {
 pub fn compose_pullbacks<F: Layer, G: Layer>(
     f_pb: PullbackFn<F>,
     g_pb: PullbackFn<G>,
-) -> Box<dyn Fn(&DTensor) -> ((F::TangentVector, G::TangentVector), DTensor) + Send> {
+) -> ComposedPullbackFn<F, G> {
     Box::new(move |dy: &DTensor| {
         let (g_grad, dh) = g_pb(dy);
         let (f_grad, dx) = f_pb(&dh);

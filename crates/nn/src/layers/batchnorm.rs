@@ -105,7 +105,9 @@ mod tests {
         let d = Device::naive();
         let l = BatchNorm::new(3, &d);
         let x = DTensor::from_tensor(
-            Tensor::<f32>::randn(&[4, 2, 2, 3], &mut rng).mul_scalar(2.0).add_scalar(1.0),
+            Tensor::<f32>::randn(&[4, 2, 2, 3], &mut rng)
+                .mul_scalar(2.0)
+                .add_scalar(1.0),
             &d,
         );
         (l, x)
@@ -117,13 +119,7 @@ mod tests {
         let y = l.forward(&x).to_tensor();
         // Per feature: mean ≈ 0, var ≈ 1.
         for f in 0..3 {
-            let vals: Vec<f32> = y
-                .as_slice()
-                .iter()
-                .skip(f)
-                .step_by(3)
-                .copied()
-                .collect();
+            let vals: Vec<f32> = y.as_slice().iter().skip(f).step_by(3).copied().collect();
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
             let var: f32 =
                 vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
@@ -184,16 +180,8 @@ mod tests {
             let mut sp = l.scale.to_tensor();
             sp.as_mut_slice()[i] += eps;
             lp.scale = DTensor::from_tensor(sp, &d);
-            let base = l
-                .forward(&x)
-                .sum()
-                .to_tensor()
-                .scalar_value() as f64;
-            let fp = lp
-                .forward(&x)
-                .sum()
-                .to_tensor()
-                .scalar_value() as f64;
+            let base = l.forward(&x).sum().to_tensor().scalar_value() as f64;
+            let fp = lp.forward(&x).sum().to_tensor().scalar_value() as f64;
             let fd = (fp - base) / eps as f64;
             assert!((fd - gs.as_slice()[i] as f64).abs() < 1e-2, "dγ[{i}]");
         }

@@ -153,9 +153,7 @@ mod tests {
         let x = DTensor::from_tensor(Tensor::<f32>::randn(&[2, 3], &mut rng), &d);
         let (y, pb) = model.forward_with_pullback(&x);
         let (g, _) = pb(&y.ones_like());
-        let loss = |m: &Chain<Dense, Dense>| {
-            m.forward(&x).sum().to_tensor().scalar_value() as f64
-        };
+        let loss = |m: &Chain<Dense, Dense>| m.forward(&x).sum().to_tensor().scalar_value() as f64;
         let eps = 1e-3f32;
         let mut mp = model.clone();
         let mut w = mp.first.weight.to_tensor();

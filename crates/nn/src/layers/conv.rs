@@ -47,8 +47,7 @@ impl Conv2D {
         let (kh, kw, cin, cout) = filter_shape;
         let fan_in = kh * kw * cin;
         let fan_out = kh * kw * cout;
-        let filter =
-            Tensor::<f32>::glorot_uniform(&[kh, kw, cin, cout], fan_in, fan_out, rng);
+        let filter = Tensor::<f32>::glorot_uniform(&[kh, kw, cin, cout], fan_in, fan_out, rng);
         Conv2D {
             filter: DTensor::from_tensor(filter, device),
             bias: DTensor::from_tensor(Tensor::zeros(&[cout]), device),

@@ -36,12 +36,8 @@ impl Dense {
         device: &Device,
         rng: &mut R,
     ) -> Self {
-        let weight = Tensor::<f32>::glorot_uniform(
-            &[input_size, output_size],
-            input_size,
-            output_size,
-            rng,
-        );
+        let weight =
+            Tensor::<f32>::glorot_uniform(&[input_size, output_size], input_size, output_size, rng);
         Dense {
             weight: DTensor::from_tensor(weight, device),
             bias: DTensor::from_tensor(Tensor::zeros(&[output_size]), device),
@@ -167,7 +163,10 @@ mod tests {
                 let mut lp = l.clone();
                 lp.bias = DTensor::from_tensor(bp, &d);
                 let fd = (loss(&lp, &x) - loss(&l, &x)) / eps as f64;
-                assert!((fd - gb.as_slice()[i] as f64).abs() < 1e-2, "{act:?} db[{i}]");
+                assert!(
+                    (fd - gb.as_slice()[i] as f64).abs() < 1e-2,
+                    "{act:?} db[{i}]"
+                );
             }
 
             // d/dx
@@ -181,7 +180,10 @@ mod tests {
                 let fd = (loss(&l, &DTensor::from_tensor(xp, &d))
                     - loss(&l, &DTensor::from_tensor(xm, &d)))
                     / (2.0 * eps as f64);
-                assert!((fd - gx.as_slice()[i] as f64).abs() < 1e-2, "{act:?} dx[{i}]");
+                assert!(
+                    (fd - gx.as_slice()[i] as f64).abs() < 1e-2,
+                    "{act:?} dx[{i}]"
+                );
             }
         }
     }

@@ -44,13 +44,7 @@ impl Dropout {
         let keep = 1.0 - self.rate;
         let scale = 1.0 / keep;
         let mut rng = self.rng.lock();
-        Tensor::from_fn(dims, |_| {
-            if rng.gen::<f32>() < keep {
-                scale
-            } else {
-                0.0
-            }
-        })
+        Tensor::from_fn(dims, |_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
     }
 }
 
@@ -75,10 +69,7 @@ impl Layer for Dropout {
         }
         let mask = DTensor::from_tensor(self.sample_mask(&input.dims()), &input.device());
         let y = input.mul(&mask);
-        (
-            y,
-            Box::new(move |dy: &DTensor| ((), dy.mul(&mask))),
-        )
+        (y, Box::new(move |dy: &DTensor| ((), dy.mul(&mask))))
     }
 }
 

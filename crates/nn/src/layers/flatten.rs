@@ -33,10 +33,7 @@ impl Layer for Flatten {
     fn forward_with_pullback(&self, input: &DTensor) -> (DTensor, PullbackFn<Self>) {
         let original = input.dims();
         let y = self.forward(input);
-        (
-            y,
-            Box::new(move |dy: &DTensor| ((), dy.reshape(&original))),
-        )
+        (y, Box::new(move |dy: &DTensor| ((), dy.reshape(&original))))
     }
 }
 

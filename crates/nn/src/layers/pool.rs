@@ -44,9 +44,7 @@ impl Layer for AvgPool2D {
         let (pool, strides, padding) = (self.pool_size, self.strides, self.padding);
         (
             y,
-            Box::new(move |dy: &DTensor| {
-                ((), x.avg_pool2d_backward(dy, pool, strides, padding))
-            }),
+            Box::new(move |dy: &DTensor| ((), x.avg_pool2d_backward(dy, pool, strides, padding))),
         )
     }
 }
@@ -89,9 +87,7 @@ impl Layer for MaxPool2D {
         let (pool, strides, padding) = (self.pool_size, self.strides, self.padding);
         (
             y,
-            Box::new(move |dy: &DTensor| {
-                ((), x.max_pool2d_backward(dy, pool, strides, padding))
-            }),
+            Box::new(move |dy: &DTensor| ((), x.max_pool2d_backward(dy, pool, strides, padding))),
         )
     }
 }

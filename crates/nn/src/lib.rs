@@ -33,12 +33,15 @@ pub mod layers;
 pub mod loss;
 pub mod metrics;
 pub mod optimizer;
+mod prof;
 pub mod schedule;
 pub mod train;
 
 pub use activation::Activation;
 pub use layer::{Layer, PullbackFn};
-pub use layers::{AvgPool2D, BatchNorm, Chain, Conv2D, Dense, Dropout, Embedding, Flatten, MaxPool2D};
+pub use layers::{
+    AvgPool2D, BatchNorm, Chain, Conv2D, Dense, Dropout, Embedding, Flatten, MaxPool2D,
+};
 pub use loss::{mse, softmax_cross_entropy};
 pub use optimizer::{Adam, Optimizer, RmsProp, Sgd};
 pub use schedule::Schedule;
@@ -47,7 +50,9 @@ pub use schedule::Schedule;
 pub mod prelude {
     pub use crate::activation::Activation;
     pub use crate::layer::{Layer, PullbackFn};
-    pub use crate::layers::{AvgPool2D, BatchNorm, Chain, Conv2D, Dense, Dropout, Embedding, Flatten, MaxPool2D};
+    pub use crate::layers::{
+        AvgPool2D, BatchNorm, Chain, Conv2D, Dense, Dropout, Embedding, Flatten, MaxPool2D,
+    };
     pub use crate::loss::{mse, softmax_cross_entropy};
     pub use crate::optimizer::{Adam, Optimizer, RmsProp, Sgd};
     pub use crate::schedule::Schedule;

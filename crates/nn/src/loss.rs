@@ -22,10 +22,7 @@ pub fn softmax_cross_entropy(logits: &DTensor, labels: &DTensor) -> (DTensor, Lo
     let log_probs = logits.log_softmax();
     let loss = labels.mul(&log_probs).sum().neg().div_scalar(batch);
     let grad = logits.softmax().sub(labels).div_scalar(batch);
-    (
-        loss,
-        Box::new(move |seed: &DTensor| grad.mul(seed)),
-    )
+    (loss, Box::new(move |seed: &DTensor| grad.mul(seed)))
 }
 
 /// Mean-squared error, mean-reduced over all elements:
@@ -41,10 +38,7 @@ pub fn mse(pred: &DTensor, target: &DTensor) -> (DTensor, LossPullback) {
     let diff = pred.sub(target);
     let loss = diff.square().mean();
     let grad = diff.mul_scalar(2.0 / n);
-    (
-        loss,
-        Box::new(move |seed: &DTensor| grad.mul(seed)),
-    )
+    (loss, Box::new(move |seed: &DTensor| grad.mul(seed)))
 }
 
 #[cfg(test)]

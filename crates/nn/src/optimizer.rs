@@ -50,10 +50,7 @@ impl<M: Differentiable> Optimizer<M> for Sgd<M> {
         let step = if self.momentum == 0.0 {
             gradient.scaled_by(-self.learning_rate)
         } else {
-            let prev = self
-                .velocity
-                .take()
-                .unwrap_or_else(M::TangentVector::zero);
+            let prev = self.velocity.take().unwrap_or_else(M::TangentVector::zero);
             let v = prev
                 .scaled_by(self.momentum)
                 .adding(&gradient.scaled_by(-self.learning_rate));

@@ -6,6 +6,7 @@
 use crate::layer::Layer;
 use crate::loss::softmax_cross_entropy;
 use crate::optimizer::Optimizer;
+use crate::prof;
 use s4tf_core::{AdditiveArithmetic, LossValue, VectorSpace};
 use s4tf_runtime::DTensor;
 
@@ -25,6 +26,7 @@ where
     L: Layer,
     O: Optimizer<L>,
 {
+    let mut span = prof::span("train.step");
     let device = images.device();
     let (logits, pullback) = model.forward_with_pullback(images);
     let (loss, loss_pullback) = softmax_cross_entropy(&logits, labels);
@@ -34,7 +36,11 @@ where
     // The automatic barrier: cut (and on the lazy device, compile+run) the
     // step's trace, materializing loss and updated parameters.
     device.barrier();
-    loss.loss_value()
+    let loss = loss.loss_value();
+    if span.is_recording() {
+        span.annotate_f64("loss", loss);
+    }
+    loss
 }
 
 /// Like [`train_classifier_step`] but without reading the loss back — for
@@ -49,6 +55,7 @@ pub fn train_classifier_step_no_metrics<L, O>(
     L: Layer,
     O: Optimizer<L>,
 {
+    let _span = prof::span("train.step");
     let device = images.device();
     let (logits, pullback) = model.forward_with_pullback(images);
     let (loss, loss_pullback) = softmax_cross_entropy(&logits, labels);
@@ -85,6 +92,10 @@ where
     O: Optimizer<L>,
 {
     assert!(!shards.is_empty(), "data-parallel step needs ≥1 shard");
+    let mut span = prof::span("train.step");
+    if span.is_recording() {
+        span.annotate_f64("shards", shards.len() as f64);
+    }
     let results: Vec<(f64, L::TangentVector)> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
@@ -119,7 +130,11 @@ where
     let mean_grad = summed.expect("non-empty shards").scaled_by(1.0 / n as f64);
     optimizer.update(model, &mean_grad);
     shards[0].0.device().barrier();
-    losses / n as f64
+    let loss = losses / n as f64;
+    if span.is_recording() {
+        span.annotate_f64("loss", loss);
+    }
+    loss
 }
 
 /// One regression training step with mean-squared error.
@@ -133,6 +148,7 @@ where
     L: Layer,
     O: Optimizer<L>,
 {
+    let mut span = prof::span("train.step");
     let device = inputs.device();
     let (pred, pullback) = model.forward_with_pullback(inputs);
     let (loss, loss_pullback) = crate::loss::mse(&pred, targets);
@@ -140,7 +156,11 @@ where
     let (gradients, _) = pullback(&dpred);
     optimizer.update(model, &gradients);
     device.barrier();
-    loss.loss_value()
+    let loss = loss.loss_value();
+    if span.is_recording() {
+        span.annotate_f64("loss", loss);
+    }
+    loss
 }
 
 #[cfg(test)]

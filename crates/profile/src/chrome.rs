@@ -1,0 +1,93 @@
+//! Chrome-trace (Perfetto JSON) export of raw profiler events.
+//!
+//! Emits the `{"traceEvents": [...]}` object format: spans as `"ph":
+//! "X"` complete events, gauges as `"ph": "C"` counter tracks and
+//! counter totals as one final `"C"` sample each, all under a single
+//! `pid`. The file loads directly in `chrome://tracing` and
+//! <https://ui.perfetto.dev>.
+
+use std::fmt::Write as _;
+
+use crate::{push_json_string, Recorder};
+
+const PID: u64 = 1;
+
+pub(crate) fn render(recorder: &mut Recorder) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+
+    for event in &recorder.spans {
+        sep(&mut out, &mut first);
+        out.push_str("{\"name\":");
+        push_json_string(&mut out, &event.name);
+        let _ = write!(
+            out,
+            ",\"cat\":\"s4tf\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{PID},\"tid\":{}",
+            event.start_us, event.dur_us, event.thread
+        );
+        if !event.annotations.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (key, value)) in event.annotations.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_string(&mut out, key);
+                out.push(':');
+                push_json_string(&mut out, value);
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+
+    for (name, samples) in &recorder.gauges {
+        for sample in samples {
+            sep(&mut out, &mut first);
+            counter_event(&mut out, name, sample.ts_us, sample.value);
+        }
+    }
+
+    // Counters carry only totals; exported as a single sample at the
+    // last known timestamp so the track shows the final value.
+    let last_ts = recorder
+        .spans
+        .iter()
+        .map(|s| s.start_us + s.dur_us)
+        .max()
+        .unwrap_or(0);
+    for (name, total) in &recorder.counters {
+        sep(&mut out, &mut first);
+        counter_event(&mut out, name, last_ts, *total as f64);
+    }
+
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+fn counter_event(out: &mut String, name: &str, ts_us: u64, value: f64) {
+    out.push_str("{\"name\":");
+    push_json_string(out, name);
+    let _ = write!(
+        out,
+        ",\"cat\":\"s4tf\",\"ph\":\"C\",\"ts\":{ts_us},\"pid\":{PID},\"args\":{{\"value\":{}}}}}",
+        json_number(value)
+    );
+}
+
+/// Formats an f64 as a JSON-legal number (no NaN/inf, no `1e5` for
+/// round values the `f64::to_string` already avoids).
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        value.to_string()
+    } else {
+        "0".to_string()
+    }
+}

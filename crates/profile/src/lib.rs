@@ -1,0 +1,277 @@
+//! Runtime-wide profiling for the s4tf runtime: scoped RAII spans,
+//! monotonic counters, gauges, aggregated reports and Chrome-trace
+//! (Perfetto-compatible) JSON export.
+//!
+//! The profiler is a process-wide singleton designed so that the
+//! *disabled* path costs a single relaxed atomic load — cheap enough to
+//! leave instrumentation in every dispatch path of the eager, lazy and
+//! XLA backends. It is enabled either programmatically via
+//! [`set_enabled`] or by setting the `S4TF_PROFILE` environment
+//! variable (`1`, `true`, `on`) before first use.
+//!
+//! ```
+//! s4tf_profile::set_enabled(true);
+//! {
+//!     let mut span = s4tf_profile::span("compile");
+//!     span.annotate("kernels", "3");
+//! } // span records its duration when dropped
+//! s4tf_profile::counter_add("cache.miss", 1);
+//! let report = s4tf_profile::report();
+//! assert_eq!(report.span("compile").unwrap().count, 1);
+//! s4tf_profile::set_enabled(false);
+//! s4tf_profile::reset();
+//! ```
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+mod chrome;
+mod report;
+
+pub use report::{CounterTotal, ProfileReport, SpanStats};
+
+// --------------------------------------------------------------- state
+
+/// Tri-state enable flag: 0 = uninitialized (consult `S4TF_PROFILE`),
+/// 1 = disabled, 2 = enabled.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+/// Returns whether profiling is currently enabled.
+///
+/// This is the hot-path check every instrumentation site performs; when
+/// the profiler is off it is exactly one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        0 => init_from_env(),
+        state => state == STATE_ON,
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = matches!(
+        std::env::var("S4TF_PROFILE").as_deref(),
+        Ok("1") | Ok("true") | Ok("on") | Ok("TRUE") | Ok("ON")
+    );
+    let state = if on { STATE_ON } else { STATE_OFF };
+    // Racing initializers compute the same value; last store wins
+    // harmlessly unless `set_enabled` ran in between, so only install
+    // when still uninitialized.
+    let _ = STATE.compare_exchange(0, state, Ordering::Relaxed, Ordering::Relaxed);
+    STATE.load(Ordering::Relaxed) == STATE_ON
+}
+
+/// Turns the profiler on or off, overriding `S4TF_PROFILE`.
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+/// Microseconds since the profiler's (lazily fixed) epoch.
+fn now_us() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_micros() as u64
+}
+
+/// Small dense per-thread id used as the Chrome-trace `tid`.
+fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ID.with(|id| *id)
+}
+
+// ---------------------------------------------------------- recording
+
+/// A finished span occurrence.
+#[derive(Debug, Clone)]
+pub(crate) struct SpanEvent {
+    pub name: Cow<'static, str>,
+    pub start_us: u64,
+    pub dur_us: u64,
+    pub thread: u64,
+    pub annotations: Vec<(Cow<'static, str>, String)>,
+}
+
+/// One recorded gauge sample.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GaugeSample {
+    pub ts_us: u64,
+    pub value: f64,
+}
+
+#[derive(Default)]
+pub(crate) struct Recorder {
+    pub spans: Vec<SpanEvent>,
+    pub counters: HashMap<Cow<'static, str>, u64>,
+    pub gauges: HashMap<Cow<'static, str>, Vec<GaugeSample>>,
+}
+
+static RECORDER: Mutex<Option<Recorder>> = Mutex::new(None);
+
+fn with_recorder<R>(f: impl FnOnce(&mut Recorder) -> R) -> R {
+    let mut guard = match RECORDER.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(guard.get_or_insert_with(Recorder::default))
+}
+
+// -------------------------------------------------------------- spans
+
+/// RAII guard for a profiling span; records `[start, drop)` on drop.
+///
+/// When profiling is disabled the guard is inert: construction is one
+/// atomic load and drop is a `None` check.
+#[must_use = "a span measures the scope it is bound to; binding to `_` drops it immediately"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    name: Cow<'static, str>,
+    start_us: u64,
+    annotations: Vec<(Cow<'static, str>, String)>,
+}
+
+/// Opens a span named `name`, closed (and recorded) when the returned
+/// guard drops.
+#[inline]
+pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: None };
+    }
+    SpanGuard {
+        active: Some(ActiveSpan {
+            name: name.into(),
+            start_us: now_us(),
+            annotations: Vec::new(),
+        }),
+    }
+}
+
+impl SpanGuard {
+    /// Attaches a key/value annotation, exported into the Chrome-trace
+    /// `args` object. A no-op when the profiler was disabled at open.
+    pub fn annotate(&mut self, key: impl Into<Cow<'static, str>>, value: impl Into<String>) {
+        if let Some(active) = &mut self.active {
+            active.annotations.push((key.into(), value.into()));
+        }
+    }
+
+    /// Numeric-annotation convenience; the value is formatted lazily
+    /// only when the span is live.
+    pub fn annotate_f64(&mut self, key: impl Into<Cow<'static, str>>, value: f64) {
+        if self.active.is_some() {
+            self.annotate(key, format!("{value}"));
+        }
+    }
+
+    /// Whether this guard is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            let end = now_us();
+            let event = SpanEvent {
+                dur_us: end.saturating_sub(active.start_us),
+                start_us: active.start_us,
+                name: active.name,
+                thread: thread_id(),
+                annotations: active.annotations,
+            };
+            with_recorder(|r| r.spans.push(event));
+        }
+    }
+}
+
+// -------------------------------------------- counters and gauges
+
+/// Adds `delta` to the named monotonic counter (no-op when disabled).
+#[inline]
+pub fn counter_add(name: impl Into<Cow<'static, str>>, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|r| *r.counters.entry(name.into()).or_insert(0) += delta);
+}
+
+/// Records an instantaneous gauge sample, e.g. a queue depth
+/// (no-op when disabled).
+#[inline]
+pub fn gauge_set(name: impl Into<Cow<'static, str>>, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let sample = GaugeSample {
+        ts_us: now_us(),
+        value,
+    };
+    with_recorder(|r| r.gauges.entry(name.into()).or_default().push(sample));
+}
+
+// ------------------------------------------------------------ exports
+
+/// Aggregates everything recorded so far into a [`ProfileReport`].
+pub fn report() -> ProfileReport {
+    with_recorder(report::build)
+}
+
+/// Renders everything recorded so far as Chrome-trace JSON, loadable in
+/// `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+pub fn chrome_trace_json() -> String {
+    with_recorder(chrome::render)
+}
+
+/// Discards all recorded spans, counters and gauges (the enabled flag
+/// is left unchanged).
+pub fn reset() {
+    with_recorder(|r| *r = Recorder::default());
+}
+
+// Hand-rolled string formatting helpers shared by the exporters.
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    // The profiler is process-global state; tests that flip it live in
+    // `tests/profiler.rs` behind a serializing lock. Unit tests here
+    // only touch pure helpers.
+    use super::push_json_string;
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,208 @@
+//! Aggregation of raw profiler events into a human-readable report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Recorder;
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    /// Span name as passed to [`crate::span`].
+    pub name: String,
+    /// Number of recorded occurrences.
+    pub count: u64,
+    /// Sum of all durations, microseconds.
+    pub total_us: u64,
+    /// Mean duration, microseconds.
+    pub mean_us: f64,
+    /// 95th-percentile duration, microseconds.
+    pub p95_us: u64,
+    /// Shortest occurrence, microseconds.
+    pub min_us: u64,
+    /// Longest occurrence, microseconds.
+    pub max_us: u64,
+}
+
+/// Final value of one monotonic counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterTotal {
+    /// Counter name as passed to [`crate::counter_add`].
+    pub name: String,
+    /// Accumulated total.
+    pub total: u64,
+}
+
+/// An aggregated view over everything the profiler recorded.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    spans: Vec<SpanStats>,
+    counters: Vec<CounterTotal>,
+    gauges: Vec<(String, f64)>,
+}
+
+impl ProfileReport {
+    /// Span statistics, sorted by descending total time.
+    pub fn spans(&self) -> &[SpanStats] {
+        &self.spans
+    }
+
+    /// Looks up one span's statistics by name.
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Counter totals, sorted by name.
+    pub fn counters(&self) -> &[CounterTotal] {
+        &self.counters
+    }
+
+    /// Looks up one counter's total; `None` if it never fired.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.total)
+    }
+
+    /// Last sampled value of each gauge, sorted by name.
+    pub fn gauges(&self) -> &[(String, f64)] {
+        &self.gauges
+    }
+
+    /// True when nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.gauges.is_empty()
+    }
+
+    /// Plain-text rendering (also available via `Display`).
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "profile: no events recorded");
+        }
+        if !self.spans.is_empty() {
+            let name_w = self
+                .spans
+                .iter()
+                .map(|s| s.name.len())
+                .max()
+                .unwrap_or(4)
+                .max(4);
+            writeln!(
+                f,
+                "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>12}",
+                "span", "count", "total", "mean", "p95"
+            )?;
+            for s in &self.spans {
+                writeln!(
+                    f,
+                    "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>12}",
+                    s.name,
+                    s.count,
+                    fmt_us(s.total_us as f64),
+                    fmt_us(s.mean_us),
+                    fmt_us(s.p95_us as f64),
+                )?;
+            }
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for c in &self.counters {
+                writeln!(f, "  {} = {}", c.name, c.total)?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges (last value):")?;
+            for (name, value) in &self.gauges {
+                writeln!(f, "  {name} = {value}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn fmt_us(us: f64) -> String {
+    if us >= 1_000_000.0 {
+        format!("{:.2}s", us / 1_000_000.0)
+    } else if us >= 1_000.0 {
+        format!("{:.2}ms", us / 1_000.0)
+    } else {
+        format!("{us:.0}us")
+    }
+}
+
+/// Nearest-rank 95th percentile of a sorted duration list.
+fn p95(sorted: &[u64]) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (sorted.len() as f64 * 0.95).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+pub(crate) fn build(recorder: &mut Recorder) -> ProfileReport {
+    let mut durations: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    for event in &recorder.spans {
+        durations.entry(&event.name).or_default().push(event.dur_us);
+    }
+    let mut spans: Vec<SpanStats> = durations
+        .into_iter()
+        .map(|(name, mut durs)| {
+            durs.sort_unstable();
+            let count = durs.len() as u64;
+            let total_us: u64 = durs.iter().sum();
+            SpanStats {
+                name: name.to_string(),
+                count,
+                total_us,
+                mean_us: total_us as f64 / count as f64,
+                p95_us: p95(&durs),
+                min_us: durs[0],
+                max_us: *durs.last().unwrap(),
+            }
+        })
+        .collect();
+    spans.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+
+    let mut counters: Vec<CounterTotal> = recorder
+        .counters
+        .iter()
+        .map(|(name, total)| CounterTotal {
+            name: name.to_string(),
+            total: *total,
+        })
+        .collect();
+    counters.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let mut gauges: Vec<(String, f64)> = recorder
+        .gauges
+        .iter()
+        .filter_map(|(name, samples)| samples.last().map(|s| (name.to_string(), s.value)))
+        .collect();
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
+
+    ProfileReport {
+        spans,
+        counters,
+        gauges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::p95;
+
+    #[test]
+    fn p95_nearest_rank() {
+        assert_eq!(p95(&[7]), 7);
+        assert_eq!(p95(&[1, 2]), 2);
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(p95(&hundred), 95);
+        let twenty: Vec<u64> = (1..=20).collect();
+        assert_eq!(p95(&twenty), 19);
+    }
+}

@@ -1,0 +1,194 @@
+//! Integration tests for the process-global profiler.
+//!
+//! The profiler is a singleton, so every test that enables, records or
+//! resets it must hold `PROFILER_LOCK` — cargo runs tests in one binary
+//! on multiple threads, and unserialized tests would see each other's
+//! spans.
+
+use std::sync::{Mutex, MutexGuard};
+
+static PROFILER_LOCK: Mutex<()> = Mutex::new(());
+
+/// Takes the serializing lock and starts from a clean, enabled profiler.
+fn exclusive_profiler(enabled: bool) -> MutexGuard<'static, ()> {
+    let guard = PROFILER_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    s4tf_profile::set_enabled(enabled);
+    s4tf_profile::reset();
+    guard
+}
+
+#[test]
+fn disabled_mode_records_nothing() {
+    let _guard = exclusive_profiler(false);
+    {
+        let mut span = s4tf_profile::span("never");
+        assert!(!span.is_recording());
+        span.annotate("key", "value");
+        span.annotate_f64("n", 1.0);
+    }
+    s4tf_profile::counter_add("never.counter", 5);
+    s4tf_profile::gauge_set("never.gauge", 1.0);
+    let report = s4tf_profile::report();
+    assert!(report.is_empty());
+    assert!(report.span("never").is_none());
+    assert!(report.counter("never.counter").is_none());
+}
+
+#[test]
+fn counters_accumulate_exactly_across_threads() {
+    let _guard = exclusive_profiler(true);
+    const THREADS: u64 = 8;
+    const ADDS: u64 = 250;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..ADDS {
+                    s4tf_profile::counter_add("test.adds", 1);
+                }
+                s4tf_profile::counter_add("test.bulk", 10);
+            });
+        }
+    });
+    let report = s4tf_profile::report();
+    assert_eq!(report.counter("test.adds"), Some(THREADS * ADDS));
+    assert_eq!(report.counter("test.bulk"), Some(THREADS * 10));
+    s4tf_profile::set_enabled(false);
+    s4tf_profile::reset();
+}
+
+#[test]
+fn nested_spans_record_on_every_thread() {
+    let _guard = exclusive_profiler(true);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let _outer = s4tf_profile::span("outer");
+                for _ in 0..3 {
+                    let _inner = s4tf_profile::span("inner");
+                    std::hint::black_box(0u64);
+                }
+            });
+        }
+    });
+    let report = s4tf_profile::report();
+    let outer = report.span("outer").expect("outer spans recorded");
+    let inner = report.span("inner").expect("inner spans recorded");
+    assert_eq!(outer.count, 4);
+    assert_eq!(inner.count, 12);
+    // The outer span closes after its inner spans, so it cannot be
+    // shorter than any single inner span on the same thread; the
+    // aggregate check below is the weaker cross-thread version.
+    assert!(outer.total_us >= inner.min_us * 4 || inner.min_us == 0);
+    s4tf_profile::set_enabled(false);
+    s4tf_profile::reset();
+}
+
+#[test]
+fn report_aggregation_math_holds() {
+    let _guard = exclusive_profiler(true);
+    for i in 0..10 {
+        let _span = s4tf_profile::span("work");
+        // Spread the durations so min < max.
+        std::thread::sleep(std::time::Duration::from_micros(50 * (i + 1)));
+    }
+    let report = s4tf_profile::report();
+    let stats = report.span("work").expect("spans recorded");
+    assert_eq!(stats.count, 10);
+    assert!(stats.min_us <= stats.max_us);
+    assert!(stats.min_us as f64 <= stats.mean_us && stats.mean_us <= stats.max_us as f64);
+    assert!((stats.mean_us - stats.total_us as f64 / 10.0).abs() < 1e-9);
+    assert!(stats.p95_us >= stats.min_us && stats.p95_us <= stats.max_us);
+    // Sleeps are monotonically increasing, so p95 lands near the top.
+    assert!(stats.p95_us as f64 >= stats.mean_us);
+
+    let rendered = report.to_string();
+    assert!(rendered.contains("work"));
+    assert!(rendered.contains("count"));
+    s4tf_profile::set_enabled(false);
+    s4tf_profile::reset();
+}
+
+#[test]
+fn reset_discards_everything() {
+    let _guard = exclusive_profiler(true);
+    {
+        let _span = s4tf_profile::span("gone");
+    }
+    s4tf_profile::counter_add("gone.counter", 1);
+    assert!(!s4tf_profile::report().is_empty());
+    s4tf_profile::reset();
+    assert!(s4tf_profile::report().is_empty());
+    s4tf_profile::set_enabled(false);
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_expected_events() {
+    let _guard = exclusive_profiler(true);
+    {
+        let mut span = s4tf_profile::span("compile \"fast\"");
+        span.annotate("kernels", "3");
+        std::thread::sleep(std::time::Duration::from_micros(100));
+    }
+    s4tf_profile::counter_add("cache.miss", 2);
+    s4tf_profile::gauge_set("queue.depth", 4.0);
+
+    let json = s4tf_profile::chrome_trace_json();
+    let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+
+    let display = value.get("displayTimeUnit").expect("displayTimeUnit");
+    assert_eq!(display, &serde_json::Value::Str("ms".to_string()));
+
+    let events = match value.get("traceEvents") {
+        Some(serde_json::Value::Array(events)) => events,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    let get_str = |event: &serde_json::Value, key: &str| -> String {
+        match event.get(key) {
+            Some(serde_json::Value::Str(s)) => s.clone(),
+            other => panic!("{key} must be a string, got {other:?}"),
+        }
+    };
+
+    // The complete ("X") event for the span, with escaped name and args.
+    let span_event = events
+        .iter()
+        .find(|e| get_str(e, "ph") == "X")
+        .expect("span event present");
+    assert_eq!(get_str(span_event, "name"), "compile \"fast\"");
+    assert_eq!(get_str(span_event, "cat"), "s4tf");
+    assert!(span_event.get("ts").is_some());
+    assert!(span_event.get("dur").is_some());
+    assert!(span_event.get("pid").is_some());
+    assert!(span_event.get("tid").is_some());
+    let args = span_event.get("args").expect("span args");
+    assert_eq!(
+        args.get("kernels"),
+        Some(&serde_json::Value::Str("3".to_string()))
+    );
+
+    // Counter ("C") events for both the counter and the gauge.
+    let counter_names: Vec<String> = events
+        .iter()
+        .filter(|e| get_str(e, "ph") == "C")
+        .map(|e| get_str(e, "name"))
+        .collect();
+    assert!(counter_names.iter().any(|n| n == "cache.miss"));
+    assert!(counter_names.iter().any(|n| n == "queue.depth"));
+
+    s4tf_profile::set_enabled(false);
+    s4tf_profile::reset();
+}
+
+#[test]
+fn span_names_accept_owned_strings() {
+    let _guard = exclusive_profiler(true);
+    let dynamic = format!("pass.{}", 7);
+    {
+        let _span = s4tf_profile::span(dynamic.clone());
+    }
+    assert!(s4tf_profile::report().span(&dynamic).is_some());
+    s4tf_profile::set_enabled(false);
+    s4tf_profile::reset();
+}

@@ -4,6 +4,7 @@
 
 use crate::eager::EagerQueue;
 use crate::lazy::LazyContext;
+use s4tf_xla::CacheStats;
 use std::sync::Arc;
 
 /// An execution device.
@@ -53,6 +54,15 @@ impl Device {
         }
     }
 
+    /// Program-cache hit/miss statistics: `Some` on the lazy device (the
+    /// only backend with a JIT cache), `None` otherwise.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        match self {
+            Device::Lazy(ctx) => Some(ctx.cache().stats()),
+            _ => None,
+        }
+    }
+
     /// True if both handles denote the same device instance.
     pub fn same_device(&self, other: &Device) -> bool {
         match (self, other) {
@@ -93,5 +103,12 @@ mod tests {
         for d in [Device::naive(), Device::eager(), Device::lazy()] {
             d.barrier();
         }
+    }
+
+    #[test]
+    fn cache_stats_only_on_lazy() {
+        assert!(Device::naive().cache_stats().is_none());
+        assert!(Device::eager().cache_stats().is_none());
+        assert_eq!(Device::lazy().cache_stats(), Some(CacheStats::default()));
     }
 }

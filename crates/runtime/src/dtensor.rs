@@ -125,10 +125,7 @@ impl DTensor {
                     .iter()
                     .map(|t| match t {
                         DTensor::Eager(e) => {
-                            assert!(
-                                e.queue().same_queue(q),
-                                "eager tensors must share a device"
-                            );
+                            assert!(e.queue().same_queue(q), "eager tensors must share a device");
                             e.clone()
                         }
                         DTensor::Cpu(c) => EagerTensor::from_host(q, c.clone()),
@@ -653,15 +650,15 @@ mod tests {
     fn conv_pool_on_every_device() {
         let x = Tensor::<f32>::from_fn(&[1, 4, 4, 1], |i| i as f32);
         let f = Tensor::<f32>::ones(&[2, 2, 1, 1]);
-        let reference = x
-            .conv2d(&f, (1, 1), Padding::Same)
-            .max_pool2d((2, 2), (2, 2), Padding::Valid);
+        let reference =
+            x.conv2d(&f, (1, 1), Padding::Same)
+                .max_pool2d((2, 2), (2, 2), Padding::Valid);
         for d in devices() {
             let xd = DTensor::from_tensor(x.clone(), &d);
             let fd = DTensor::from_tensor(f.clone(), &d);
-            let y = xd
-                .conv2d(&fd, (1, 1), Padding::Same)
-                .max_pool2d((2, 2), (2, 2), Padding::Valid);
+            let y =
+                xd.conv2d(&fd, (1, 1), Padding::Same)
+                    .max_pool2d((2, 2), (2, 2), Padding::Valid);
             assert_eq!(y.dims(), vec![1, 2, 2, 1]);
             assert!(y.to_tensor().allclose(&reference, 1e-6));
         }
@@ -679,7 +676,10 @@ mod tests {
             assert_eq!(xd.reshape(&[3, 2]).dims(), vec![3, 2]);
             assert_eq!(xd.transpose(&[1, 0]).dims(), vec![3, 2]);
             let b = xd.sum_axis(0).broadcast_to(&[2, 3]);
-            assert_eq!(b.reduce_to_shape(&[3]).to_tensor().as_slice(), &[10.0, 14.0, 18.0]);
+            assert_eq!(
+                b.reduce_to_shape(&[3]).to_tensor().as_slice(),
+                &[10.0, 14.0, 18.0]
+            );
         }
     }
 

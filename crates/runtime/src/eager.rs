@@ -11,6 +11,7 @@
 //! channel send, slot synchronization — is exactly the dispatch overhead
 //! Table 3 measures against the lazy backend.
 
+use crate::prof;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use s4tf_tensor::{Shape, Tensor};
@@ -58,6 +59,10 @@ struct QueueInner {
     sender: Option<Sender<Job>>,
     worker: Mutex<Option<JoinHandle<()>>>,
     dispatched: AtomicU64,
+    /// Kernels the worker has finished. Held behind its own `Arc` so
+    /// jobs can bump it without keeping the whole queue alive (which
+    /// would make the worker join itself on teardown).
+    completed: Arc<AtomicU64>,
 }
 
 impl QueueInner {
@@ -111,6 +116,7 @@ impl EagerQueue {
                 sender: Some(sender),
                 worker: Mutex::new(Some(worker)),
                 dispatched: AtomicU64::new(0),
+                completed: Arc::new(AtomicU64::new(0)),
             }),
         }
     }
@@ -136,9 +142,22 @@ impl EagerQueue {
         slot.wait();
     }
 
+    /// Kernels dispatched but not yet executed by the worker.
+    pub fn queue_depth(&self) -> u64 {
+        self.dispatched()
+            .saturating_sub(self.inner.completed.load(Ordering::Relaxed))
+    }
+
     fn dispatch(&self, job: Job) {
+        let _span = prof::span("eager.enqueue");
         self.inner.dispatched.fetch_add(1, Ordering::Relaxed);
-        self.inner.sender().send(job).expect("eager worker is alive");
+        self.inner
+            .sender()
+            .send(job)
+            .expect("eager worker is alive");
+        if prof::enabled() {
+            prof::gauge_set("eager.queue_depth", self.queue_depth() as f64);
+        }
     }
 }
 
@@ -192,10 +211,16 @@ impl EagerTensor {
         let slot = Arc::new(Slot::default());
         let out = Arc::clone(&slot);
         let in_slots: Vec<Arc<Slot>> = inputs.iter().map(|t| Arc::clone(&t.slot)).collect();
+        let completed = Arc::clone(&queue.inner.completed);
         queue.dispatch(Box::new(move || {
+            let mut span = prof::span("eager.kernel_run");
+            if span.is_recording() {
+                span.annotate("op", op.mnemonic());
+            }
             let tensors: Vec<Tensor<f32>> = in_slots.iter().map(|s| s.take_ready()).collect();
             let refs: Vec<&Tensor<f32>> = tensors.iter().collect();
             out.fill(eval_op(&op, &refs));
+            completed.fetch_add(1, Ordering::Relaxed);
         }));
         EagerTensor {
             queue: queue.clone(),
@@ -206,6 +231,7 @@ impl EagerTensor {
 
     /// Observes the contents: blocks until the pipeline has produced them.
     pub fn to_host(&self) -> Tensor<f32> {
+        let _span = prof::span("eager.block_on_observe");
         self.slot.wait()
     }
 
@@ -236,11 +262,7 @@ mod tests {
         let mut t = EagerTensor::from_host(&q, Tensor::ones(&[64]));
         // Dispatch a long chain without observing anything: returns fast.
         for _ in 0..100 {
-            t = EagerTensor::dispatch_op(
-                &q,
-                HloOp::Binary(ElemBinary::Add),
-                &[&t, &t],
-            );
+            t = EagerTensor::dispatch_op(&q, HloOp::Binary(ElemBinary::Add), &[&t, &t]);
         }
         assert_eq!(q.dispatched(), 100);
         // Observation drains the pipeline.

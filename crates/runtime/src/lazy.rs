@@ -13,6 +13,7 @@
 //! retracing overhead, measured by experiment E8), but pays JIT compilation
 //! only on cache misses.
 
+use crate::prof;
 use parking_lot::Mutex;
 use s4tf_tensor::{Shape, Tensor};
 use s4tf_xla::graph::HloGraph;
@@ -167,15 +168,13 @@ impl LazyContext {
     /// the cache) and executes the pending graph, materializing every
     /// pending tensor, and starts a fresh trace.
     pub fn barrier(self: &Arc<Self>) {
+        let mut span = prof::span("lazy.barrier");
         let mut trace = self.trace.lock();
         trace.cuts += 1;
 
         // Collect live pending handles and mark their nodes as outputs.
-        let pending: Vec<Arc<Mutex<LazyState>>> = trace
-            .pending
-            .iter()
-            .filter_map(Weak::upgrade)
-            .collect();
+        let pending: Vec<Arc<Mutex<LazyState>>> =
+            trace.pending.iter().filter_map(Weak::upgrade).collect();
         let mut outputs: Vec<(Arc<Mutex<LazyState>>, NodeId)> = Vec::new();
         for handle in pending {
             let state = handle.lock();
@@ -192,6 +191,10 @@ impl LazyContext {
         let mut graph = std::mem::take(&mut trace.graph);
         for &(_, node) in &outputs {
             graph.mark_output(node);
+        }
+        if span.is_recording() {
+            span.annotate_f64("nodes", graph.len() as f64);
+            span.annotate_f64("outputs", outputs.len() as f64);
         }
 
         let exe = self.cache.get_or_compile(&graph);
@@ -339,13 +342,13 @@ impl LazyTensor {
         }));
         trace.pending.push(Arc::downgrade(&state));
         trace.trace_time += start.elapsed();
+        prof::counter_add("lazy.trace_append", 1);
         LazyTensor {
             ctx: Arc::clone(ctx),
             shape,
             state,
         }
     }
-
 
     /// Observes the contents: cuts the trace if this tensor is pending.
     pub fn to_host(&self) -> Tensor<f32> {

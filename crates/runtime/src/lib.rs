@@ -42,7 +42,9 @@ pub mod device;
 pub mod dtensor;
 pub mod eager;
 pub mod lazy;
+mod prof;
 pub mod sim;
 
 pub use device::Device;
 pub use dtensor::DTensor;
+pub use s4tf_xla::CacheStats;

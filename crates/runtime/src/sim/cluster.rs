@@ -49,12 +49,7 @@ impl ClusterModel {
     }
 
     /// Global examples/second at the given per-core batch size.
-    pub fn throughput(
-        &self,
-        per_core_batch: usize,
-        per_core_compute: f64,
-        grad_bytes: f64,
-    ) -> f64 {
+    pub fn throughput(&self, per_core_batch: usize, per_core_compute: f64, grad_bytes: f64) -> f64 {
         let step = self.step_time(per_core_compute, grad_bytes);
         (per_core_batch * self.num_cores) as f64 / step
     }

@@ -52,8 +52,8 @@ pub fn node_cost(graph: &HloGraph, node: &HloNode) -> KernelCost {
             bytes: touch,
         },
         HloOp::MatMul { .. } => {
-            let k = graph.node(node.inputs[0]).shape.num_elements() as f64
-                / node.shape.dim(0) as f64;
+            let k =
+                graph.node(node.inputs[0]).shape.num_elements() as f64 / node.shape.dim(0) as f64;
             KernelCost {
                 flops: 2.0 * node.shape.num_elements() as f64 * k,
                 bytes: touch,
@@ -114,7 +114,10 @@ pub fn graph_cost(graph: &HloGraph) -> (KernelCost, usize) {
     let mut launches = 0usize;
     for node in &graph.nodes {
         let c = node_cost(graph, node);
-        if !matches!(node.op, HloOp::Parameter(_) | HloOp::Constant(_) | HloOp::Reshape(_)) {
+        if !matches!(
+            node.op,
+            HloOp::Parameter(_) | HloOp::Constant(_) | HloOp::Reshape(_)
+        ) {
             launches += 1;
         }
         total = total.plus(c);

@@ -1,0 +1,96 @@
+//! End-to-end checks that the eager and lazy devices feed the profiler
+//! the right spans and counters for a *known* op sequence.
+//!
+//! The profiler is process-global, so these tests serialize on a mutex
+//! (this binary is its own process; other test binaries are unaffected).
+
+use s4tf_runtime::eager::{EagerQueue, EagerTensor};
+use s4tf_runtime::lazy::{LazyContext, LazyTensor};
+use s4tf_runtime::Device;
+use s4tf_tensor::Tensor;
+use s4tf_xla::{ElemBinary, ElemUnary, HloOp};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+static PROFILER_LOCK: Mutex<()> = Mutex::new(());
+
+fn exclusive_profiler() -> MutexGuard<'static, ()> {
+    let guard = PROFILER_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    s4tf_profile::set_enabled(true);
+    s4tf_profile::reset();
+    guard
+}
+
+fn teardown() {
+    s4tf_profile::set_enabled(false);
+    s4tf_profile::reset();
+}
+
+#[test]
+fn lazy_device_reports_trace_compile_and_cache_activity() {
+    let _guard = exclusive_profiler();
+    let ctx = Arc::new(LazyContext::new());
+    let run = |data: Vec<f32>| {
+        let x = LazyTensor::from_host(&ctx, Tensor::from_vec(data, &[2]));
+        let y = LazyTensor::record_op(&ctx, HloOp::Unary(ElemUnary::Square), &[&x]);
+        let z = LazyTensor::record_op(&ctx, HloOp::Binary(ElemBinary::Add), &[&y, &x]);
+        z.to_host()
+    };
+    // First run compiles; the structurally identical second one hits.
+    assert_eq!(run(vec![2.0, 3.0]).as_slice(), &[6.0, 12.0]);
+    assert_eq!(run(vec![1.0, 4.0]).as_slice(), &[2.0, 20.0]);
+
+    let report = s4tf_profile::report();
+    // Two record_op calls per run.
+    assert_eq!(report.counter("lazy.trace_append"), Some(4));
+    assert_eq!(report.counter("xla.cache_miss"), Some(1));
+    assert_eq!(report.counter("xla.cache_hit"), Some(1));
+    // The profiler counters agree with the Device cache-stats API.
+    let device = Device::Lazy(Arc::clone(&ctx));
+    let stats = device.cache_stats().expect("lazy device has a cache");
+    assert_eq!(Some(stats.misses), report.counter("xla.cache_miss"));
+    assert_eq!(Some(stats.hits), report.counter("xla.cache_hit"));
+
+    assert_eq!(report.span("lazy.barrier").unwrap().count, 2);
+    assert_eq!(report.span("xla.compile").unwrap().count, 1);
+    assert_eq!(report.span("xla.execute").unwrap().count, 2);
+    for pass in [
+        "xla.pass.constant_fold",
+        "xla.pass.cse",
+        "xla.pass.algebraic_simplify",
+        "xla.pass.fuse_elementwise",
+        "xla.pass.dce",
+    ] {
+        assert_eq!(report.span(pass).unwrap().count, 1, "{pass}");
+    }
+    assert!(report.counter("xla.kernels_run").unwrap_or(0) >= 2);
+    teardown();
+}
+
+#[test]
+fn eager_device_reports_dispatch_and_observe_activity() {
+    let _guard = exclusive_profiler();
+    const OPS: u64 = 5;
+    {
+        let q = EagerQueue::new();
+        let mut t = EagerTensor::from_host(&q, Tensor::ones(&[4]));
+        for _ in 0..OPS {
+            t = EagerTensor::dispatch_op(&q, HloOp::Unary(ElemUnary::Neg), &[&t]);
+        }
+        assert_eq!(t.to_host().as_slice(), &[-1.0; 4]);
+        q.sync(); // all kernel_run spans recorded once the queue drains
+        assert_eq!(q.dispatched(), OPS);
+        assert_eq!(q.queue_depth(), 0, "drained queue has no pending work");
+    }
+    let report = s4tf_profile::report();
+    assert_eq!(report.span("eager.enqueue").unwrap().count, OPS);
+    assert_eq!(report.span("eager.kernel_run").unwrap().count, OPS);
+    assert_eq!(report.span("eager.block_on_observe").unwrap().count, 1);
+    let gauges = report.gauges();
+    assert!(
+        gauges.iter().any(|(name, _)| name == "eager.queue_depth"),
+        "queue-depth gauge sampled"
+    );
+    teardown();
+}

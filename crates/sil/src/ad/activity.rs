@@ -36,8 +36,7 @@ pub fn analyze(f: &Function) -> Activity {
 }
 
 fn varied_set(f: &Function) -> HashSet<ValueId> {
-    let mut varied: HashSet<ValueId> =
-        f.params().iter().map(|&(v, _)| v).collect();
+    let mut varied: HashSet<ValueId> = f.params().iter().map(|&(v, _)| v).collect();
     let mut changed = true;
     while changed {
         changed = false;

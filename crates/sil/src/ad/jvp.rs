@@ -120,9 +120,9 @@ pub fn transform(module: &mut Module, func: FuncId, rules: &RuleSet) -> Result<F
                     let x = pmap[operand];
                     let p = e.unary(op, x);
                     let t = if activity.is_active(*result) {
-                        let rule = rules.unary_rule(op).unwrap_or_else(|| {
-                            panic!("checked op '{op}' has no symbolic rule")
-                        });
+                        let rule = rules
+                            .unary_rule(op)
+                            .unwrap_or_else(|| panic!("checked op '{op}' has no symbolic rule"));
                         let partial = rule(&mut e, x);
                         let dx = tmap[operand];
                         e.binary("mul", partial, dx)
@@ -136,9 +136,9 @@ pub fn transform(module: &mut Module, func: FuncId, rules: &RuleSet) -> Result<F
                     let (a, b) = (pmap[lhs], pmap[rhs]);
                     let p = e.binary(op, a, b);
                     let t = if activity.is_active(*result) {
-                        let rule = rules.binary_rule(op).unwrap_or_else(|| {
-                            panic!("checked op '{op}' has no symbolic rule")
-                        });
+                        let rule = rules
+                            .binary_rule(op)
+                            .unwrap_or_else(|| panic!("checked op '{op}' has no symbolic rule"));
                         let (pa, pb) = rule(&mut e, a, b);
                         let (da, db) = (tmap[lhs], tmap[rhs]);
                         let ta = e.binary("mul", pa, da);
@@ -373,7 +373,10 @@ mod tests {
             for &dir in &[[1.0, 0.0], [0.0, 1.0], [0.6, -0.8]] {
                 let (_, d) = value_and_derivative(&m, f, &[x, y], &dir).unwrap();
                 let numeric = fd(&m, f, &[x, y], &dir);
-                assert!((d - numeric).abs() < 1e-5, "at ({x},{y}) dir {dir:?}: {d} vs {numeric}");
+                assert!(
+                    (d - numeric).abs() < 1e-5,
+                    "at ({x},{y}) dir {dir:?}: {d} vs {numeric}"
+                );
             }
         }
     }
@@ -402,7 +405,10 @@ mod tests {
         optimize(&mut m2, jvp);
         verify_module(&m2).unwrap();
         let after = m2.func(jvp).inst_count();
-        assert!(after < before, "optimizer must shrink the JVP ({before} → {after})");
+        assert!(
+            after < before,
+            "optimizer must shrink the JVP ({before} → {after})"
+        );
         let out = Interpreter::new().run(&m2, jvp, &[0.5, 1.0]).unwrap();
         assert!((out[1] - 16.0 * 8.0f64.exp()).abs() < 1e-9);
     }

@@ -90,5 +90,5 @@ pub fn value_with_gradient(
     args: &[f64],
 ) -> Result<(f64, Vec<f64>), AdError> {
     let d = vjp::differentiate(module, func)?;
-    Ok(d.value_with_gradient(args, 1.0)?)
+    d.value_with_gradient(args, 1.0)
 }

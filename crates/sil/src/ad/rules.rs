@@ -61,7 +61,8 @@ impl<'f> Emitter<'f> {
 /// Emits IR for `∂op/∂x` at `x` (unary ops).
 pub type UnaryPartialEmitter = Rc<dyn Fn(&mut Emitter<'_>, ValueId) -> ValueId>;
 /// Emits IR for `(∂op/∂a, ∂op/∂b)` at `(a, b)` (binary ops).
-pub type BinaryPartialEmitter = Rc<dyn Fn(&mut Emitter<'_>, ValueId, ValueId) -> (ValueId, ValueId)>;
+pub type BinaryPartialEmitter =
+    Rc<dyn Fn(&mut Emitter<'_>, ValueId, ValueId) -> (ValueId, ValueId)>;
 
 /// The symbolic rule table consulted by derivative synthesis.
 #[derive(Clone)]
@@ -74,7 +75,11 @@ impl std::fmt::Debug for RuleSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut u: Vec<&String> = self.unary.keys().collect();
         u.sort();
-        write!(f, "RuleSet(unary: {u:?}, binary: {} ops)", self.binary.len())
+        write!(
+            f,
+            "RuleSet(unary: {u:?}, binary: {} ops)",
+            self.binary.len()
+        )
     }
 }
 
@@ -243,8 +248,8 @@ mod tests {
     #[test]
     fn unary_rules_match_registry_derivatives() {
         for op in [
-            "sin", "cos", "exp", "ln", "sqrt", "tanh", "sigmoid", "relu", "square", "neg",
-            "recip", "abs",
+            "sin", "cos", "exp", "ln", "sqrt", "tanh", "sigmoid", "relu", "square", "neg", "recip",
+            "abs",
         ] {
             let d = s4tf_core::registry::lookup_unary(op).unwrap();
             for &x in &[0.4f64, 1.1, 2.3] {
@@ -292,12 +297,11 @@ mod tests {
 
     #[test]
     fn custom_rule_overrides() {
-        let rules =
-            RuleSet::builtin().with_custom_unary("cube", |e, x| {
-                let sq = e.unary("square", x);
-                let three = e.constant(3.0);
-                e.binary("mul", three, sq)
-            });
+        let rules = RuleSet::builtin().with_custom_unary("cube", |e, x| {
+            let sq = e.unary("square", x);
+            let three = e.constant(3.0);
+            e.binary("mul", three, sq)
+        });
         assert!(rules.unary_rule("cube").is_some());
         assert!(RuleSet::builtin().unary_rule("cube").is_none());
         assert!(format!("{rules:?}").contains("RuleSet"));

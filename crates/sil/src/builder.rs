@@ -107,10 +107,7 @@ impl FunctionBuilder {
             self.current
         );
         let v = self.func.fresh_value();
-        self.func
-            .block_mut(self.current)
-            .insts
-            .push((v, inst));
+        self.func.block_mut(self.current).insts.push((v, inst));
         v
     }
 

@@ -71,7 +71,10 @@ impl fmt::Display for EvalError {
                 func,
                 expected,
                 actual,
-            } => write!(f, "function '{func}' takes {expected} arguments, got {actual}"),
+            } => write!(
+                f,
+                "function '{func}' takes {expected} arguments, got {actual}"
+            ),
             EvalError::OutOfFuel => write!(f, "evaluation exceeded its fuel budget"),
             EvalError::RecursionLimit => write!(f, "call stack exceeded the recursion limit"),
         }
@@ -125,7 +128,12 @@ impl Interpreter {
     /// # Errors
     /// Returns [`EvalError`] on arity mismatches, unknown operations, fuel
     /// exhaustion or call-stack overflow.
-    pub fn run(&mut self, module: &Module, func: FuncId, args: &[f64]) -> Result<Vec<f64>, EvalError> {
+    pub fn run(
+        &mut self,
+        module: &Module,
+        func: FuncId,
+        args: &[f64],
+    ) -> Result<Vec<f64>, EvalError> {
         self.steps = 0;
         let vals: Vec<Value> = args.iter().map(|&x| Value::F64(x)).collect();
         let out = self.run_values(module, func, &vals, 0)?;
@@ -221,7 +229,8 @@ impl Interpreter {
                 Value::F64((d.f)(env[operand].as_f64()))
             }
             Inst::Binary { op, lhs, rhs } => {
-                let d = registry::lookup_binary(op).ok_or_else(|| EvalError::UnknownOp(op.clone()))?;
+                let d =
+                    registry::lookup_binary(op).ok_or_else(|| EvalError::UnknownOp(op.clone()))?;
                 Value::F64((d.f)(env[lhs].as_f64(), env[rhs].as_f64()))
             }
             Inst::Cmp { pred, lhs, rhs } => {
@@ -371,7 +380,10 @@ mod tests {
         let z = b.call(g, &[y]);
         b.ret(&[z]);
         let f = module.add_function(b.finish());
-        assert_eq!(Interpreter::new().run(&module, f, &[5.0]).unwrap(), vec![7.0]);
+        assert_eq!(
+            Interpreter::new().run(&module, f, &[5.0]).unwrap(),
+            vec![7.0]
+        );
 
         // infinite recursion: h(x) = h(x)
         let mut b = FunctionBuilder::new("h", &[Type::F64]);
@@ -417,7 +429,10 @@ mod tests {
         let y = b.unary("floor", x);
         b.ret(&[y]);
         let f = module.add_function(b.finish());
-        assert_eq!(Interpreter::new().run(&module, f, &[2.7]).unwrap(), vec![2.0]);
+        assert_eq!(
+            Interpreter::new().run(&module, f, &[2.7]).unwrap(),
+            vec![2.0]
+        );
         assert!(is_non_differentiable_unary("floor"));
         assert!(!is_non_differentiable_unary("sin"));
     }

@@ -169,7 +169,11 @@ impl Inst {
             Inst::Cmp { .. } => Type::Bool,
             Inst::Call { callee, .. } => {
                 let f = module.func(*callee);
-                assert_eq!(f.result_types.len(), 1, "calls require single-result callees");
+                assert_eq!(
+                    f.result_types.len(),
+                    1,
+                    "calls require single-result callees"
+                );
                 f.result_types[0]
             }
             _ => Type::F64,

@@ -4,7 +4,9 @@
 //! `%name` (any identifier), blocks are `bbN`, functions are `@name`.
 //! Forward references to functions and blocks are allowed.
 
-use crate::ir::{Block, BlockId, CmpPred, FuncId, Function, Inst, Module, Terminator, Type, ValueId};
+use crate::ir::{
+    Block, BlockId, CmpPred, FuncId, Function, Inst, Module, Terminator, Type, ValueId,
+};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -113,14 +115,15 @@ impl<'a> Parser<'a> {
         let (line, header) = self.next_line().expect("caller checked");
         let header = header.trim();
         let Some(rest) = header.strip_prefix("func @") else {
-            return self.err(line, format!("expected 'func @name(...)', found '{header}'"));
-        };
-        let open = rest
-            .find('(')
-            .ok_or_else(|| ParseError {
+            return self.err(
                 line,
-                message: "missing '(' in function header".into(),
-            })?;
+                format!("expected 'func @name(...)', found '{header}'"),
+            );
+        };
+        let open = rest.find('(').ok_or_else(|| ParseError {
+            line,
+            message: "missing '(' in function header".into(),
+        })?;
         let name = rest[..open].to_string();
         let close = rest.find(')').ok_or_else(|| ParseError {
             line,
@@ -166,7 +169,10 @@ impl<'a> Parser<'a> {
             }
             // Block header: bbN(%a: f64, ...):
             let Some(rest) = bline.strip_prefix("bb") else {
-                return self.err(bl, format!("expected block header or '}}', found '{bline}'"));
+                return self.err(
+                    bl,
+                    format!("expected block header or '}}', found '{bline}'"),
+                );
             };
             let open = rest.find('(').ok_or_else(|| ParseError {
                 line: bl,
@@ -177,7 +183,10 @@ impl<'a> Parser<'a> {
                 message: format!("bad block index '{}'", &rest[..open]),
             })?;
             if index != blocks.len() {
-                return self.err(bl, format!("blocks must be in order; expected bb{}", blocks.len()));
+                return self.err(
+                    bl,
+                    format!("blocks must be in order; expected bb{}", blocks.len()),
+                );
             }
             let close = rest.rfind(')').ok_or_else(|| ParseError {
                 line: bl,
@@ -206,7 +215,10 @@ impl<'a> Parser<'a> {
                 }
                 // %v = <inst>
                 let Some((lhs, rhs)) = iline.split_once('=') else {
-                    return self.err(il, format!("expected '%v = <inst>' or terminator, found '{iline}'"));
+                    return self.err(
+                        il,
+                        format!("expected '%v = <inst>' or terminator, found '{iline}'"),
+                    );
                 };
                 let vname = self.parse_value_name(il, lhs.trim())?;
                 let (inst, pending) = self.parse_inst(il, rhs.trim(), &names)?;
@@ -563,7 +575,9 @@ mod tests {
 
     #[test]
     fn error_reporting() {
-        let e = parse_module("func @f(%x: f64) -> f64 {\nbb0(%x: f64):\n  %y = mul %x %q\n  ret %y\n}").unwrap_err();
+        let e =
+            parse_module("func @f(%x: f64) -> f64 {\nbb0(%x: f64):\n  %y = mul %x %q\n  ret %y\n}")
+                .unwrap_err();
         assert!(e.to_string().contains("line 3"), "{e}");
 
         let e = parse_module("nonsense").unwrap_err();
@@ -575,14 +589,17 @@ mod tests {
         .unwrap_err();
         assert!(e.message.contains("undefined function"));
 
-        let e = parse_module("func @f(%x: f64) -> f64 {\nbb0(%x: f64):\n  %y = frobnicate\n  ret %y\n}")
-            .unwrap_err();
+        let e = parse_module(
+            "func @f(%x: f64) -> f64 {\nbb0(%x: f64):\n  %y = frobnicate\n  ret %y\n}",
+        )
+        .unwrap_err();
         assert!(e.message.contains("cannot parse"));
     }
 
     #[test]
     fn undefined_value_is_an_error() {
-        let e = parse_module("func @f(%x: f64) -> f64 {\nbb0(%x: f64):\n  ret %nope\n}").unwrap_err();
+        let e =
+            parse_module("func @f(%x: f64) -> f64 {\nbb0(%x: f64):\n  ret %nope\n}").unwrap_err();
         assert!(e.message.contains("undefined value"));
     }
 

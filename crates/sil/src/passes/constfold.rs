@@ -123,8 +123,10 @@ mod tests {
             .collect();
         assert_eq!(folded.len(), 4);
         assert_same_semantics(&m, &opt, f, 1);
-        // Second run: nothing more to fold.
-        assert!(!ConstFold.run(&mut opt.clone(), f) || true);
+        // Second run: idempotent — semantics unchanged either way.
+        let mut opt2 = opt.clone();
+        ConstFold.run(&mut opt2, f);
+        assert_same_semantics(&opt, &opt2, f, 1);
     }
 
     #[test]

@@ -136,11 +136,7 @@ fn inline_site(module: &mut Module, func: FuncId, site: CallSite) {
 
     // Splice remapped callee blocks.
     for block in &callee.blocks {
-        let params = block
-            .params
-            .iter()
-            .map(|&(v, ty)| (vmap[&v], ty))
-            .collect();
+        let params = block.params.iter().map(|&(v, ty)| (vmap[&v], ty)).collect();
         let insts = block
             .insts
             .iter()
@@ -338,9 +334,6 @@ mod tests {
         let mut opt = m.clone();
         assert_eq!(inline_all(&mut opt, f), 1);
         verify_module(&opt).unwrap();
-        assert_eq!(
-            Interpreter::new().run(&opt, f, &[4.0]).unwrap(),
-            vec![14.0]
-        );
+        assert_eq!(Interpreter::new().run(&opt, f, &[4.0]).unwrap(), vec![14.0]);
     }
 }

@@ -17,7 +17,11 @@ pub struct VerifyError {
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "verification of '{}' failed: {}", self.function, self.message)
+        write!(
+            f,
+            "verification of '{}' failed: {}",
+            self.function, self.message
+        )
     }
 }
 
@@ -124,10 +128,7 @@ pub fn verify_function(module: &Module, func: FuncId) -> Result<(), VerifyError>
                     ));
                 }
                 if target.result_types.len() != 1 {
-                    return fail(format!(
-                        "call to multi-result function '{}'",
-                        target.name
-                    ));
+                    return fail(format!("call to multi-result function '{}'", target.name));
                 }
             }
         }
@@ -146,7 +147,10 @@ pub fn verify_function(module: &Module, func: FuncId) -> Result<(), VerifyError>
                 }
                 for (v, &ty) in vals.iter().zip(&f.result_types) {
                     if types[v] != ty {
-                        return fail(format!("ret value %{} has type {}, expected {ty}", v.0, types[v]));
+                        return fail(format!(
+                            "ret value %{} has type {}, expected {ty}",
+                            v.0, types[v]
+                        ));
                     }
                 }
             }

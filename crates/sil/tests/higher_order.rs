@@ -159,11 +159,17 @@ fn towers_are_ordinary_ir_and_optimize() {
     optimize(&mut module, f2);
     verify_module(&module).unwrap();
     let after = module.func(f2).inst_count();
-    assert!(after < before, "tower shrinks under optimization: {before}→{after}");
+    assert!(
+        after < before,
+        "tower shrinks under optimization: {before}→{after}"
+    );
     let out = Interpreter::new()
         .run(&module, f2, &[0.7, 1.0, 1.0, 0.0])
         .unwrap();
     assert_eq!(out.len(), 4);
     assert!((out[0] - 0.7f64.sin()).abs() < 1e-15);
-    assert!((out[3] - (-0.7f64.sin())).abs() < 1e-12, "d² via mixed seeds");
+    assert!(
+        (out[3] - (-0.7f64.sin())).abs() < 1e-12,
+        "d² via mixed seeds"
+    );
 }

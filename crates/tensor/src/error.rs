@@ -66,7 +66,10 @@ impl fmt::Display for TensorError {
                 actual,
                 op,
             } => {
-                write!(f, "rank mismatch in {op}: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "rank mismatch in {op}: expected {expected}, got {actual}"
+                )
             }
             TensorError::ElementCountMismatch { from, to } => {
                 write!(f, "cannot reshape {from} elements into {to} elements")

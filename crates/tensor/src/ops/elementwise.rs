@@ -14,8 +14,7 @@ fn broadcast_binary<T: Scalar>(
     op: &'static str,
     f: impl Fn(T, T) -> T,
 ) -> Tensor<T> {
-    try_broadcast_binary(lhs, rhs, op, f)
-        .unwrap_or_else(|e| panic!("{e}"))
+    try_broadcast_binary(lhs, rhs, op, f).unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn try_broadcast_binary<T: Scalar>(
@@ -324,10 +323,7 @@ mod tests {
         // broadcast in both directions
         let a = t(&[1.0, 2.0], &[2, 1]);
         let b = t(&[10.0, 20.0, 30.0], &[1, 3]);
-        assert_eq!(
-            a.add(&b).as_slice(),
-            &[11.0, 21.0, 31.0, 12.0, 22.0, 32.0]
-        );
+        assert_eq!(a.add(&b).as_slice(), &[11.0, 21.0, 31.0, 12.0, 22.0, 32.0]);
     }
 
     #[test]

@@ -7,14 +7,7 @@ use crate::tensor::Tensor;
 /// Cache block edge (elements). 64×64 f32 blocks fit comfortably in L1.
 const BLOCK: usize = 64;
 
-fn gemm<T: Scalar>(
-    a: &[T],
-    b: &[T],
-    c: &mut [T],
-    m: usize,
-    k: usize,
-    n: usize,
-) {
+fn gemm<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, k: usize, n: usize) {
     // C[m,n] += A[m,k] * B[k,n], blocked over all three loops with an
     // i-k-j inner order so the innermost loop streams B and C rows.
     for i0 in (0..m).step_by(BLOCK) {
@@ -48,11 +41,7 @@ impl<T: Scalar> Tensor<T> {
         assert_eq!(rhs.rank(), 2, "matmul rhs must be rank 2");
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
-        assert_eq!(
-            k, k2,
-            "matmul inner dims differ: {}x{k} vs {k2}x{n}",
-            m
-        );
+        assert_eq!(k, k2, "matmul inner dims differ: {}x{k} vs {k2}x{n}", m);
         let mut out = vec![T::zero(); m * n];
         gemm(self.as_slice(), rhs.as_slice(), &mut out, m, k, n);
         Tensor::from_vec(out, &[m, n])

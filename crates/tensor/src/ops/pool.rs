@@ -244,9 +244,8 @@ impl<T: Float> Tensor<T> {
                                 if ix < 0 || ix as usize >= g.in_w {
                                     continue;
                                 }
-                                let flat = ((n * g.in_h + iy as usize) * g.in_w + ix as usize)
-                                    * g.ch
-                                    + c;
+                                let flat =
+                                    ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.ch + c;
                                 if x[flat] > best {
                                     best = x[flat];
                                     best_flat = Some(flat);
@@ -273,7 +272,10 @@ mod tests {
     #[test]
     fn avg_pool_known() {
         let x = Tensor::from_vec(
-            vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 4, 4, 1],
         );
         let y = x.avg_pool2d((2, 2), (2, 2), Padding::Valid);
@@ -284,7 +286,10 @@ mod tests {
     #[test]
     fn max_pool_known() {
         let x = Tensor::from_vec(
-            vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 4, 4, 1],
         );
         let y = x.max_pool2d((2, 2), (2, 2), Padding::Valid);
@@ -312,7 +317,10 @@ mod tests {
         for flat in 0..x.num_elements() {
             let mut xp = x.clone();
             xp.as_mut_slice()[flat] += eps;
-            let num = (xp.avg_pool2d((2, 2), (2, 2), Padding::Valid).sum().scalar_value()
+            let num = (xp
+                .avg_pool2d((2, 2), (2, 2), Padding::Valid)
+                .sum()
+                .scalar_value()
                 - y.sum().scalar_value())
                 / eps;
             assert!((num - dx.as_slice()[flat]).abs() < 1e-4);

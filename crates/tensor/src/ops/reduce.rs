@@ -184,9 +184,7 @@ impl<T: Float> Tensor<T> {
     pub fn var_axis(&self, axis: usize, keep_dims: bool) -> Tensor<T> {
         let mean = self.mean_axis(axis, true);
         let centered = self.sub(&mean);
-        centered
-            .square()
-            .mean_axis(axis, keep_dims)
+        centered.square().mean_axis(axis, keep_dims)
     }
 
     /// Euclidean (L2) norm of all elements, as a plain scalar.

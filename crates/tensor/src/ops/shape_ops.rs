@@ -71,10 +71,10 @@ impl<T: Scalar> Tensor<T> {
         if self.shape() == &target {
             return self.clone();
         }
-        let out_shape = Shape::broadcast(self.shape(), &target)
-            .unwrap_or_else(|e| panic!("{e}"));
+        let out_shape = Shape::broadcast(self.shape(), &target).unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(
-            out_shape, target,
+            out_shape,
+            target,
             "{} does not broadcast to {}",
             self.shape(),
             target
@@ -264,8 +264,7 @@ impl<T: Scalar> Tensor<T> {
             for (a, &coord) in multi.iter().enumerate() {
                 dst_flat += (coord + pads[a].0) * out_strides[a];
             }
-            dst[dst_flat..dst_flat + inner]
-                .copy_from_slice(&src[row * inner..row * inner + inner]);
+            dst[dst_flat..dst_flat + inner].copy_from_slice(&src[row * inner..row * inner + inner]);
         }
         out
     }
@@ -306,16 +305,8 @@ impl<T: Scalar> Tensor<T> {
     /// indices.len()`, or if any index is out of bounds.
     pub fn scatter_add_rows(&mut self, indices: &[usize], src: &Tensor<T>) {
         assert_eq!(self.rank(), src.rank(), "rank mismatch in scatter_add");
-        assert_eq!(
-            src.dims()[0],
-            indices.len(),
-            "one source row per index"
-        );
-        assert_eq!(
-            &self.dims()[1..],
-            &src.dims()[1..],
-            "row shapes must match"
-        );
+        assert_eq!(src.dims()[0], indices.len(), "one source row per index");
+        assert_eq!(&self.dims()[1..], &src.dims()[1..], "row shapes must match");
         let row = self.num_elements() / self.dims()[0].max(1);
         let n_rows = self.dims()[0];
         let s = src.as_slice();
@@ -348,7 +339,6 @@ impl<T: Scalar> Tensor<T> {
         dims[0] = indices.len();
         Tensor::from_vec(out, &dims)
     }
-
 }
 
 #[cfg(test)]

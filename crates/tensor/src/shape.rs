@@ -16,8 +16,21 @@ use std::fmt;
 /// assert_eq!(s.num_elements(), 24);
 /// assert_eq!(s.strides(), vec![12, 4, 1]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct Shape(Vec<usize>);
+
+impl serde::Serialize for Shape {
+    /// Serializes as the bare dims array.
+    fn to_value(&self) -> serde::Value {
+        serde::Serialize::to_value(&self.0)
+    }
+}
+
+impl serde::Deserialize for Shape {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        Vec::<usize>::from_value(value).map(Shape)
+    }
+}
 
 impl Shape {
     /// Creates a shape from dimension extents.
@@ -55,7 +68,7 @@ impl Shape {
 
     /// True if any dimension is zero.
     pub fn is_empty(&self) -> bool {
-        self.0.iter().any(|&d| d == 0)
+        self.0.contains(&0)
     }
 
     /// Row-major (C-order) strides, in elements.
@@ -167,7 +180,7 @@ impl Shape {
     pub fn broadcast(lhs: &Shape, rhs: &Shape) -> Result<Shape> {
         let rank = lhs.rank().max(rhs.rank());
         let mut dims = vec![0; rank];
-        for i in 0..rank {
+        for (i, dim) in dims.iter_mut().enumerate() {
             let l = if i < rank - lhs.rank() {
                 1
             } else {
@@ -179,7 +192,7 @@ impl Shape {
                 rhs.0[i - (rank - rhs.rank())]
             };
             if l == r || l == 1 || r == 1 {
-                dims[i] = l.max(r);
+                *dim = l.max(r);
             } else {
                 return Err(TensorError::ShapeMismatch {
                     lhs: lhs.0.clone(),
@@ -203,9 +216,7 @@ impl Shape {
         let offset = target.rank() - self.rank();
         let mut axes = Vec::new();
         for i in 0..target.rank() {
-            if i < offset {
-                axes.push(i);
-            } else if self.0[i - offset] == 1 && target.0[i] != 1 {
+            if i < offset || (self.0[i - offset] == 1 && target.0[i] != 1) {
                 axes.push(i);
             }
         }

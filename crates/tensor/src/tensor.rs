@@ -334,29 +334,22 @@ impl<T: Float> Tensor<T> {
 impl<T: Scalar + serde::Serialize> serde::Serialize for Tensor<T> {
     /// Serializes as `{ dims, data }` — the value-semantics checkpoint
     /// format (a tensor is just its shape and contents; no graph state).
-    fn serialize<S: serde::Serializer>(
-        &self,
-        serializer: S,
-    ) -> std::result::Result<S::Ok, S::Error> {
-        use serde::ser::SerializeStruct;
-        let mut s = serializer.serialize_struct("Tensor", 2)?;
-        s.serialize_field("dims", self.dims())?;
-        s.serialize_field("data", self.as_slice())?;
-        s.end()
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("dims".to_string(), serde::Serialize::to_value(self.dims())),
+            (
+                "data".to_string(),
+                serde::Serialize::to_value(self.as_slice()),
+            ),
+        ])
     }
 }
 
-impl<'de, T: Scalar + serde::Deserialize<'de>> serde::Deserialize<'de> for Tensor<T> {
-    fn deserialize<D: serde::Deserializer<'de>>(
-        deserializer: D,
-    ) -> std::result::Result<Self, D::Error> {
-        #[derive(serde::Deserialize)]
-        struct Repr<T> {
-            dims: Vec<usize>,
-            data: Vec<T>,
-        }
-        let repr = Repr::<T>::deserialize(deserializer)?;
-        Tensor::try_from_vec(repr.data, &repr.dims).map_err(serde::de::Error::custom)
+impl<T: Scalar + serde::Deserialize> serde::Deserialize for Tensor<T> {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let dims: Vec<usize> = serde::field(value, "dims")?;
+        let data: Vec<T> = serde::field(value, "data")?;
+        Tensor::try_from_vec(data, &dims).map_err(serde::de::Error::custom)
     }
 }
 
@@ -380,7 +373,13 @@ impl<T: Scalar> fmt::Debug for Tensor<T> {
         if slice.len() <= 16 {
             write!(f, "data={slice:?})")
         } else {
-            write!(f, "data=[{:?}, {:?}, …; {}])", slice[0], slice[1], slice.len())
+            write!(
+                f,
+                "data=[{:?}, {:?}, …; {}])",
+                slice[0],
+                slice[1],
+                slice.len()
+            )
         }
     }
 }
@@ -424,10 +423,7 @@ mod tests {
         assert_eq!(Tensor::<f32>::zeros(&[2, 2]).as_slice(), &[0.0; 4]);
         assert_eq!(Tensor::<f32>::ones(&[3]).as_slice(), &[1.0; 3]);
         assert_eq!(Tensor::full(2.5f32, &[2]).as_slice(), &[2.5, 2.5]);
-        assert_eq!(
-            Tensor::<f32>::eye(2).as_slice(),
-            &[1.0, 0.0, 0.0, 1.0]
-        );
+        assert_eq!(Tensor::<f32>::eye(2).as_slice(), &[1.0, 0.0, 0.0, 1.0]);
         assert_eq!(Tensor::<f32>::arange(3).as_slice(), &[0.0, 1.0, 2.0]);
         assert_eq!(Tensor::<i32>::arange(3).as_slice(), &[0, 1, 2]);
         let t = Tensor::<f32>::from_fn(&[2, 2], |i| i as f32);
@@ -510,7 +506,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let t = Tensor::<f64>::randn(&[10000], &mut rng);
         let mean = t.as_slice().iter().sum::<f64>() / 10000.0;
-        let var = t.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 10000.0;
+        let var = t
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / 10000.0;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

@@ -12,8 +12,7 @@ fn small_shape() -> impl Strategy<Value = Vec<usize>> {
 /// Strategy: a tensor with the given dims and values in [-10, 10].
 fn tensor_with(dims: Vec<usize>) -> impl Strategy<Value = Tensor<f64>> {
     let n: usize = dims.iter().product::<usize>().max(1);
-    prop::collection::vec(-10.0f64..10.0, n..=n)
-        .prop_map(move |data| Tensor::from_vec(data, &dims))
+    prop::collection::vec(-10.0f64..10.0, n..=n).prop_map(move |data| Tensor::from_vec(data, &dims))
 }
 
 fn arb_tensor() -> impl Strategy<Value = Tensor<f64>> {
@@ -170,10 +169,10 @@ proptest! {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let a = Tensor::<f64>::randn(&dims, &mut rng);
         let b = Tensor::<f64>::randn(&dims, &mut rng);
-        for axis in 0..dims.len() {
+        for (axis, &d) in dims.iter().enumerate() {
             let c = Tensor::concat(&[&a, &b], axis);
-            prop_assert_eq!(c.slice_axis(axis, 0, dims[axis]), a.clone());
-            prop_assert_eq!(c.slice_axis(axis, dims[axis], dims[axis]), b.clone());
+            prop_assert_eq!(c.slice_axis(axis, 0, d), a.clone());
+            prop_assert_eq!(c.slice_axis(axis, d, d), b.clone());
         }
     }
 

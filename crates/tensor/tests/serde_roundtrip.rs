@@ -45,8 +45,7 @@ fn corrupt_checkpoints_are_rejected() {
 #[test]
 fn deserialized_tensor_is_an_independent_value() {
     let t = Tensor::from_vec(vec![1.0f32, 2.0], &[2]);
-    let mut back: Tensor<f32> =
-        serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+    let mut back: Tensor<f32> = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
     back.add_scalar_assign(10.0);
     assert_eq!(t.as_slice(), &[1.0, 2.0]);
     assert_eq!(back.as_slice(), &[11.0, 12.0]);

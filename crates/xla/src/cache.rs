@@ -9,6 +9,7 @@
 
 use crate::exec::{compile, Executable};
 use crate::graph::HloGraph;
+use crate::prof;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -78,10 +79,12 @@ impl ProgramCache {
             if let Some((_, exe)) = bucket.iter().find(|(g, _)| g == graph) {
                 let exe = Arc::clone(exe);
                 inner.stats.hits += 1;
+                prof::counter_add("xla.cache_hit", 1);
                 return exe;
             }
         }
         inner.stats.misses += 1;
+        prof::counter_add("xla.cache_miss", 1);
         let start = std::time::Instant::now();
         let exe = Arc::new(compile(graph));
         inner.compile_time += start.elapsed();

@@ -4,6 +4,7 @@
 use crate::graph::{HloGraph, NodeId};
 use crate::op::{FusedInst, HloOp, ReduceKind};
 use crate::passes;
+use crate::prof;
 use s4tf_tensor::Tensor;
 
 /// A compiled trace: the optimized graph plus execution bookkeeping.
@@ -18,6 +19,7 @@ pub struct Executable {
 /// folding, CSE, algebraic simplification, fusion, DCE) and fixes the
 /// execution plan.
 pub fn compile(graph: &HloGraph) -> Executable {
+    let mut span = prof::span("xla.compile");
     let mut g = graph.clone();
     passes::optimize(&mut g);
     let kernel_count = g
@@ -25,6 +27,16 @@ pub fn compile(graph: &HloGraph) -> Executable {
         .iter()
         .filter(|n| !matches!(n.op, HloOp::Parameter(_) | HloOp::Constant(_)))
         .count();
+    if span.is_recording() {
+        span.annotate_f64("nodes_in", graph.len() as f64);
+        span.annotate_f64("kernels_out", kernel_count as f64);
+        let fused = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, HloOp::Fused { .. }))
+            .count();
+        prof::counter_add("xla.fused_kernels", fused as u64);
+    }
     Executable {
         graph: g,
         kernel_count,
@@ -62,6 +74,11 @@ impl Executable {
     /// # Panics
     /// Panics if the number or shapes of `params` disagree with the trace.
     pub fn run(&self, params: &[&Tensor<f32>]) -> Vec<Tensor<f32>> {
+        let mut span = prof::span("xla.execute");
+        if span.is_recording() {
+            span.annotate_f64("kernels", self.kernel_count as f64);
+            prof::counter_add("xla.kernels_run", self.kernel_count as u64);
+        }
         assert_eq!(
             params.len(),
             self.graph.n_params,
@@ -92,13 +109,11 @@ impl Executable {
                 // Fused kernels take their output shape from the plan (a
                 // trailing-broadcast input may tie the element count).
                 HloOp::Fused { insts, .. } => {
-                    let inputs: Vec<&Tensor<f32>> =
-                        node.inputs.iter().map(|&i| get(i)).collect();
+                    let inputs: Vec<&Tensor<f32>> = node.inputs.iter().map(|&i| get(i)).collect();
                     run_fused(insts, &inputs, node.shape.dims())
                 }
                 op => {
-                    let inputs: Vec<&Tensor<f32>> =
-                        node.inputs.iter().map(|&i| get(i)).collect();
+                    let inputs: Vec<&Tensor<f32>> = node.inputs.iter().map(|&i| get(i)).collect();
                     eval_op(op, &inputs)
                 }
             };
@@ -237,8 +252,8 @@ pub(crate) fn apply_binary(
     if a.shape() == b.shape() {
         a.zip_map(b, f)
     } else {
-        let target = s4tf_tensor::Shape::broadcast(a.shape(), b.shape())
-            .unwrap_or_else(|e| panic!("{e}"));
+        let target =
+            s4tf_tensor::Shape::broadcast(a.shape(), b.shape()).unwrap_or_else(|e| panic!("{e}"));
         let ab = a.broadcast_to(target.dims());
         let bb = b.broadcast_to(target.dims());
         ab.zip_map(&bb, f)
@@ -429,9 +444,11 @@ mod tests {
         );
         g.mark_output(pool);
         let out = compile(&g).run(&[&x, &w]);
-        let expected = x
-            .conv2d(&w, (1, 1), s4tf_tensor::Padding::Same)
-            .avg_pool2d((2, 2), (2, 2), s4tf_tensor::Padding::Valid);
+        let expected = x.conv2d(&w, (1, 1), s4tf_tensor::Padding::Same).avg_pool2d(
+            (2, 2),
+            (2, 2),
+            s4tf_tensor::Padding::Valid,
+        );
         assert!(out[0].allclose(&expected, 1e-5));
     }
 

@@ -52,8 +52,9 @@ pub mod exec;
 pub mod graph;
 pub mod op;
 pub mod passes;
+mod prof;
 
-pub use cache::ProgramCache;
+pub use cache::{CacheStats, ProgramCache};
 pub use exec::{compile, compile_unoptimized, eval_op, Executable};
 pub use graph::{HloGraph, NodeId};
 pub use op::{ElemBinary, ElemUnary, HloOp, ReduceKind};

@@ -395,11 +395,7 @@ impl HloOp {
                 expect(2);
                 let (indices, grad) = (operands[0], operands[1]);
                 assert_eq!(indices.rank(), 1, "gather indices must be rank 1");
-                assert_eq!(
-                    indices.dim(0),
-                    grad.dim(0),
-                    "one gradient row per index"
-                );
+                assert_eq!(indices.dim(0), grad.dim(0), "one gradient row per index");
                 let mut dims = vec![*table_rows];
                 dims.extend_from_slice(&grad.dims()[1..]);
                 Shape::new(&dims)
@@ -479,7 +475,10 @@ mod tests {
     fn shape_inference_matmul_variants() {
         let a = Shape::new(&[5, 3]);
         let b = Shape::new(&[3, 7]);
-        let mm = |tl, tr| HloOp::MatMul { t_lhs: tl, t_rhs: tr };
+        let mm = |tl, tr| HloOp::MatMul {
+            t_lhs: tl,
+            t_rhs: tr,
+        };
         assert_eq!(mm(false, false).infer_shape(&[&a, &b]), Shape::new(&[5, 7]));
         assert_eq!(
             mm(true, false).infer_shape(&[&Shape::new(&[3, 5]), &b]),

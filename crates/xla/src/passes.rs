@@ -13,11 +13,26 @@ use std::collections::{HashMap, HashSet};
 /// Runs the full pipeline: constant folding → CSE → algebraic
 /// simplification → elementwise fusion → DCE.
 pub fn optimize(g: &mut HloGraph) {
-    constant_fold(g);
-    cse(g);
-    algebraic_simplify(g);
-    fuse_elementwise(g);
-    dce(g);
+    {
+        let _span = crate::prof::span("xla.pass.constant_fold");
+        constant_fold(g);
+    }
+    {
+        let _span = crate::prof::span("xla.pass.cse");
+        cse(g);
+    }
+    {
+        let _span = crate::prof::span("xla.pass.algebraic_simplify");
+        algebraic_simplify(g);
+    }
+    {
+        let _span = crate::prof::span("xla.pass.fuse_elementwise");
+        fuse_elementwise(g);
+    }
+    {
+        let _span = crate::prof::span("xla.pass.dce");
+        dce(g);
+    }
 }
 
 /// Replaces every use of keys in `replace` (chased to fixpoint) across
@@ -139,9 +154,10 @@ pub fn algebraic_simplify(g: &mut HloGraph) -> bool {
         let this = NodeId(i as u32);
         let alias = |g: &HloGraph, keep: NodeId| g.node(keep).shape == g.node(this).shape;
         let target = match (b, lc, rc) {
-            (Mul, _, Some(1.0)) | (Add, _, Some(0.0)) | (Sub, _, Some(0.0)) | (Div, _, Some(1.0)) => {
-                Some(l)
-            }
+            (Mul, _, Some(1.0))
+            | (Add, _, Some(0.0))
+            | (Sub, _, Some(0.0))
+            | (Div, _, Some(1.0)) => Some(l),
             (Mul, Some(1.0), _) | (Add, Some(0.0), _) => Some(r),
             _ => None,
         };
@@ -170,9 +186,8 @@ pub fn fuse_elementwise(g: &mut HloGraph) -> bool {
     }
     let output_set: HashSet<NodeId> = g.outputs.iter().copied().collect();
 
-    let is_scalar_const = |g: &HloGraph, id: NodeId| {
-        matches!(&g.node(id).op, HloOp::Constant(t) if t.rank() == 0)
-    };
+    let is_scalar_const =
+        |g: &HloGraph, id: NodeId| matches!(&g.node(id).op, HloOp::Constant(t) if t.rank() == 0);
     // A node can sit inside a fused kernel of `shape` only if every input
     // edge indexes elementwise: same shape, a scalar immediate, or a
     // trailing-suffix broadcast (e.g. a `[C]` bias against `[N,H,W,C]`),
@@ -279,9 +294,9 @@ pub fn fuse_elementwise(g: &mut HloGraph) -> bool {
                 for &m in members {
                     let mnode = &old_nodes[m.0 as usize];
                     let arg_reg = |input: NodeId,
-                                       insts: &mut Vec<FusedInst>,
-                                       kernel_inputs: &mut Vec<NodeId>,
-                                       reg_of: &mut HashMap<NodeId, usize>|
+                                   insts: &mut Vec<FusedInst>,
+                                   kernel_inputs: &mut Vec<NodeId>,
+                                   reg_of: &mut HashMap<NodeId, usize>|
                      -> usize {
                         if member_set.contains(&input) {
                             return reg_of[&input];
@@ -290,9 +305,7 @@ pub fn fuse_elementwise(g: &mut HloGraph) -> bool {
                             return *r;
                         }
                         let inst = match &old_nodes[input.0 as usize].op {
-                            HloOp::Constant(t) if t.rank() == 0 => {
-                                FusedInst::Imm(t.scalar_value())
-                            }
+                            HloOp::Constant(t) if t.rank() == 0 => FusedInst::Imm(t.scalar_value()),
                             _ => {
                                 let pos = kernel_inputs
                                     .iter()
@@ -311,15 +324,27 @@ pub fn fuse_elementwise(g: &mut HloGraph) -> bool {
                     };
                     let inst = match &mnode.op {
                         HloOp::Unary(u) => {
-                            let a =
-                                arg_reg(mnode.inputs[0], &mut insts, &mut kernel_inputs, &mut reg_of);
+                            let a = arg_reg(
+                                mnode.inputs[0],
+                                &mut insts,
+                                &mut kernel_inputs,
+                                &mut reg_of,
+                            );
                             FusedInst::Unary(*u, a)
                         }
                         HloOp::Binary(b) => {
-                            let a =
-                                arg_reg(mnode.inputs[0], &mut insts, &mut kernel_inputs, &mut reg_of);
-                            let c =
-                                arg_reg(mnode.inputs[1], &mut insts, &mut kernel_inputs, &mut reg_of);
+                            let a = arg_reg(
+                                mnode.inputs[0],
+                                &mut insts,
+                                &mut kernel_inputs,
+                                &mut reg_of,
+                            );
+                            let c = arg_reg(
+                                mnode.inputs[1],
+                                &mut insts,
+                                &mut kernel_inputs,
+                                &mut reg_of,
+                            );
                             FusedInst::Binary(*b, a, c)
                         }
                         _ => unreachable!("groups contain only elementwise ops"),
@@ -328,8 +353,7 @@ pub fn fuse_elementwise(g: &mut HloGraph) -> bool {
                     reg_of.insert(m, insts.len() - 1);
                 }
                 let n_inputs = kernel_inputs.len();
-                let inputs: Vec<NodeId> =
-                    kernel_inputs.iter().map(|k| remap[k]).collect();
+                let inputs: Vec<NodeId> = kernel_inputs.iter().map(|k| remap[k]).collect();
                 let shape = old_nodes[root.0 as usize].shape.clone();
                 g.nodes.push(HloNode {
                     op: HloOp::Fused { insts, n_inputs },

@@ -13,7 +13,7 @@ enum Step {
     Unary(usize, usize),
     Binary(usize, usize, usize),
     ScalarConst(f32),
-    BiasAdd(usize),       // trailing-broadcast add against a [C] parameter
+    BiasAdd(usize), // trailing-broadcast add against a [C] parameter
     ReduceSumAxis0(usize),
     MarkExtraOutput(usize),
 }

@@ -108,6 +108,9 @@ fn main() {
     let down = interp.run(&module, f, &[angle - eps]).unwrap()[0];
     let fd = (up - down) / (2.0 * eps);
     let (_, g) = derivative.value_with_gradient(&[angle], 1.0).unwrap();
-    println!("gradient check at optimum: ad {:+.6} vs fd {:+.6}", g[0], fd);
+    println!(
+        "gradient check at optimum: ad {:+.6} vs fd {:+.6}",
+        g[0], fd
+    );
     assert!((g[0] - fd).abs() < 1e-4);
 }

@@ -32,7 +32,11 @@ fn main() {
     for (op, count) in ctx.trace_histogram() {
         eprintln!("    {op:20} ×{count}");
     }
-    assert_eq!(ctx.cache().stats().misses, 0, "no compilation before the cut");
+    assert_eq!(
+        ctx.cache().stats().misses,
+        0,
+        "no compilation before the cut"
+    );
 
     // Figure 4: the trace of the LeNet-5 forward pass, as DOT on stdout.
     println!("{}", ctx.trace_dot("LeNet-5 forward trace"));

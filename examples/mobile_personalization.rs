@@ -78,10 +78,7 @@ fn main() {
             "  device {device_seed}: holdout loss {before:.5} → {after:.5} \
              ({iterations} fine-tune iterations)"
         );
-        assert!(
-            after < before,
-            "personalization must improve the local fit"
-        );
+        assert!(after < before, "personalization must improve the local fit");
     }
     println!("personalization improved every device's holdout fit.");
 }

@@ -1,0 +1,73 @@
+//! Profile the Figure 6 LeNet-5 training loop on each of the three
+//! execution backends, and print their side-by-side `ProfileReport`s:
+//! where the naive backend spends everything in kernels, the eager
+//! backend shows enqueue/observe pipelining and the lazy backend shows
+//! barrier/compile/execute phases plus program-cache hit counters.
+//!
+//! ```sh
+//! cargo run --release --example profiling
+//! ```
+//!
+//! Pass a path to also write a Chrome-trace of the *last* (lazy) run,
+//! loadable in `chrome://tracing` or <https://ui.perfetto.dev>:
+//!
+//! ```sh
+//! cargo run --release --example profiling -- /tmp/s4tf-trace.json
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use s4tf::data::{Dataset, ImageSpec};
+use s4tf::models::LeNet;
+use s4tf::nn::train::train_classifier_step;
+use s4tf::prelude::*;
+use s4tf::profile;
+
+fn main() {
+    let trace_path = std::env::args().nth(1);
+    let train = Dataset::generate(ImageSpec::mnist_like(), 256, 1);
+    let batch_size = 32;
+    let steps = train.batches_per_epoch(batch_size);
+
+    profile::set_enabled(true);
+    for device in [Device::naive(), Device::eager(), Device::lazy()] {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut model = LeNet::new(&device, &mut rng);
+        let mut optimizer = Sgd::with_momentum(0.05, 0.9);
+
+        profile::reset();
+        let start = std::time::Instant::now();
+        let mut loss = 0.0;
+        for b in 0..steps {
+            let batch = train.batch(batch_size, b, 0);
+            let x = DTensor::from_tensor(batch.images.clone(), &device);
+            let y = DTensor::from_tensor(batch.one_hot(10), &device);
+            loss = train_classifier_step(&mut model, &mut optimizer, &x, &y);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+
+        println!(
+            "=== device: {} — {steps} steps in {elapsed:.2}s, final loss {loss:.4} ===",
+            device.kind()
+        );
+        println!("{}", profile::report());
+        if let Some(stats) = device.cache_stats() {
+            println!(
+                "program cache: {} compiled, {} hits ({:.0}% hit rate)\n",
+                stats.misses,
+                stats.hits,
+                stats.hit_ratio() * 100.0
+            );
+        } else {
+            println!();
+        }
+    }
+
+    // The profiler still holds the lazy run's events; export them.
+    if let Some(path) = trace_path {
+        let json = profile::chrome_trace_json();
+        std::fs::write(&path, &json).expect("write Chrome trace");
+        println!("wrote Chrome trace ({} bytes) to {path}", json.len());
+    }
+    profile::set_enabled(false);
+}

@@ -51,8 +51,7 @@ fn main() {
             acc * 100.0,
             start.elapsed().as_secs_f64()
         );
-        if let Device::Lazy(ctx) = &device {
-            let stats = ctx.cache().stats();
+        if let Some(stats) = device.cache_stats() {
             println!(
                 "  lazy JIT: {} programs compiled, {} cache hits ({:.0}% hit rate)",
                 stats.misses,
@@ -61,5 +60,13 @@ fn main() {
             );
         }
         assert!(acc > 0.5, "model should beat chance comfortably");
+    }
+
+    // With `S4TF_PROFILE=1` (or s4tf::profile::set_enabled) the run above
+    // was recorded; dump the aggregate so the overheads are visible.
+    if s4tf::profile::enabled() {
+        let report = s4tf::profile::report();
+        assert!(!report.is_empty(), "profiling was on but recorded nothing");
+        println!("\nprofile report (all devices combined):\n{report}");
     }
 }

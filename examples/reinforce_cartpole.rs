@@ -51,8 +51,7 @@ impl CartPole {
         let cos = self.theta.cos();
         let sin = self.theta.sin();
         let temp = (force + mp * l * self.theta_dot * self.theta_dot * sin) / total;
-        let theta_acc =
-            (g * sin - cos * temp) / (l * (4.0 / 3.0 - mp * cos * cos / total));
+        let theta_acc = (g * sin - cos * temp) / (l * (4.0 / 3.0 - mp * cos * cos / total));
         let x_acc = temp - mp * l * theta_acc * cos / total;
         self.x += dt * self.x_dot;
         self.x_dot += dt * x_acc;
@@ -126,7 +125,11 @@ fn main() {
             });
         }
         // In-place policy update through unique borrows (§4.2).
-        hidden.move_along(&g_hidden.expect("episode has steps").scaled_by(-learning_rate));
+        hidden.move_along(
+            &g_hidden
+                .expect("episode has steps")
+                .scaled_by(-learning_rate),
+        );
         head.move_along(&g_head.expect("episode has steps").scaled_by(-learning_rate));
 
         recent.push(t_max as f64);

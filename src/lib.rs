@@ -19,6 +19,7 @@
 //! | [`nn`] | `s4tf-nn` | §4.1–4.2 — `Layer`, optimizers (`inout` updates), training loop |
 //! | [`models`] | `s4tf-models` | §5 — LeNet-5 (Figure 6), the ResNet family, the spline model |
 //! | [`data`] | `s4tf-data` | §5 — synthetic dataset substitutes |
+//! | [`profile`] | `s4tf-profile` | spans, counters and Chrome-trace export across every backend |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@ pub use s4tf_core as core;
 pub use s4tf_data as data;
 pub use s4tf_models as models;
 pub use s4tf_nn as nn;
+pub use s4tf_profile as profile;
 pub use s4tf_runtime as runtime;
 pub use s4tf_sil as sil;
 pub use s4tf_tensor as tensor;

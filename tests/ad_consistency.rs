@@ -67,8 +67,14 @@ fn four_systems_agree_on_a_smooth_function() {
             ("sil-forward", dx_fwd, dy_fwd),
             ("tape", tx, ty),
         ] {
-            assert!((gx - fdx).abs() < 1e-5, "{name} d/dx at ({x},{y}): {gx} vs {fdx}");
-            assert!((gy - fdy).abs() < 1e-5, "{name} d/dy at ({x},{y}): {gy} vs {fdy}");
+            assert!(
+                (gx - fdx).abs() < 1e-5,
+                "{name} d/dx at ({x},{y}): {gx} vs {fdx}"
+            );
+            assert!(
+                (gy - fdy).abs() < 1e-5,
+                "{name} d/dy at ({x},{y}): {gy} vs {fdy}"
+            );
         }
     }
 }

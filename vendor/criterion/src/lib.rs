@@ -1,0 +1,244 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness with the same surface API (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `Bencher::iter`).
+//!
+//! Unlike the real crate there is no statistical analysis, outlier
+//! rejection or HTML report — each benchmark is warmed up briefly, then
+//! timed for the configured measurement window, and the mean
+//! nanoseconds per iteration is printed. When the binary is invoked
+//! with `--test` (as `cargo test` does for `harness = false` bench
+//! targets) every benchmark body runs exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle; configuration is builder-style.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how long each benchmark spins before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in takes one
+    /// continuous measurement rather than `n` samples.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+}
+
+/// Throughput annotation for a group (printed, not analyzed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier: function name plus a parameter value.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id like `"fused/4096"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        match throughput {
+            Throughput::Elements(n) => println!("  throughput: {n} elements/iter"),
+            Throughput::Bytes(n) => println!("  throughput: {n} bytes/iter"),
+        }
+    }
+
+    /// Runs a benchmark with no input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.into(), &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+            test_mode: self.criterion.test_mode,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some((iters, elapsed)) if iters > 0 => {
+                let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                println!(
+                    "  {}/{id}: {per_iter:.1} ns/iter ({iters} iters)",
+                    self.name
+                );
+            }
+            _ => println!("  {}/{id}: ran (test mode)", self.name),
+        }
+    }
+
+    /// Ends the group (report flushing in the real crate; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// code under measurement.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then iterating for the
+    /// measurement window. In `--test` mode runs it exactly once.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.report = None;
+            return;
+        }
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let deadline = start + self.measurement;
+        while Instant::now() < deadline {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.report = Some((iters, start.elapsed()));
+    }
+}
+
+/// Prevents the optimizer from discarding a value (re-export shim).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group: a function list plus optional config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_squares(c: &mut Criterion) {
+        let mut group = c.benchmark_group("squares");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("direct", |b| b.iter(|| black_box(7u64 * 7)));
+        group.bench_with_input(BenchmarkId::new("param", 9), &9u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_benchmarks() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        c.test_mode = false;
+        bench_squares(&mut c);
+    }
+
+    criterion_group! {
+        name = grouped;
+        config = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1))
+            .sample_size(10);
+        targets = bench_squares
+    }
+
+    #[test]
+    fn group_macro_produces_runner() {
+        grouped();
+    }
+}

@@ -1,0 +1,541 @@
+//! Offline stand-in for `proptest`: deterministic property-based testing.
+//!
+//! Implements the subset of the proptest API this workspace uses —
+//! `Strategy` with `prop_map`/`prop_flat_map`, range/tuple/`Just`
+//! strategies, `prop::collection::vec`, `any::<T>()`, `prop_oneof!` and
+//! the `proptest!`/`prop_assert*`/`prop_assume!` macros. Differences
+//! from the real crate: inputs are generated from a seed derived from
+//! the test name and case index (fully deterministic across runs, no
+//! `PROPTEST_*` env handling), and failing cases are reported but not
+//! shrunk.
+
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value using the runner's RNG.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Transforms generated values with a function.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Chains into a second strategy derived from the first's value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, runner: &mut TestRunner) -> U {
+            (self.f)(self.inner.generate(runner))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            (self.f)(self.inner.generate(runner)).generate(runner)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            self.0.generate(runner)
+        }
+    }
+
+    /// Uniformly picks one of several boxed strategies per generated
+    /// value; backs the `prop_oneof!` macro.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over a non-empty list of alternatives.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            let idx = runner.rng.gen_range(0..self.options.len());
+            self.options[idx].generate(runner)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.generate(runner),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// Types with a canonical full-range strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(runner: &mut TestRunner) -> Self {
+                    runner.rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary!(bool, i8, i16, i32, i64, u8, u16, u32, u64, f32, f64);
+
+    impl Arbitrary for usize {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng.gen::<u64>() as usize
+        }
+    }
+
+    impl Arbitrary for isize {
+        fn arbitrary(runner: &mut TestRunner) -> Self {
+            runner.rng.gen::<i64>() as isize
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive element-count range for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let len = runner.rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    /// A strategy for `Vec`s whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Per-case state handed to strategies: the case's RNG.
+    pub struct TestRunner {
+        /// The deterministic RNG driving all generation for this case.
+        pub rng: ChaCha8Rng,
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the property is violated.
+        Fail(String),
+        /// `prop_assume!` filtered this input out; not a failure.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed property (see `prop_assert!`).
+        pub fn fail(msg: impl std::fmt::Display) -> Self {
+            TestCaseError::Fail(msg.to_string())
+        }
+
+        /// A rejected input (see `prop_assume!`).
+        pub fn reject(msg: impl std::fmt::Display) -> Self {
+            TestCaseError::Reject(msg.to_string())
+        }
+    }
+
+    /// Runner configuration, set via `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` generated inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real crate defaults to 256; 64 keeps the offline
+            // deterministic suite fast while exercising each property
+            // across many shapes.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Drives one property: `cases` deterministic inputs seeded from the
+    /// test name, panicking (with the seed) on the first failure.
+    pub fn run<F>(name: &str, config: &ProptestConfig, mut test: F)
+    where
+        F: FnMut(&mut TestRunner) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name.as_bytes());
+        for case in 0..config.cases as u64 {
+            // Golden-ratio stride decorrelates consecutive case seeds.
+            let seed = base ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut runner = TestRunner {
+                rng: ChaCha8Rng::seed_from_u64(seed),
+            };
+            match test(&mut runner) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("property `{name}` failed at case {case} (seed {seed:#x}): {msg}")
+                }
+            }
+        }
+    }
+}
+
+/// Declares property tests: each `fn` becomes a `#[test]` whose
+/// arguments are drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body $config; $($rest)*);
+    };
+    (@body $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::test_runner::run(stringify!($name), &config, |runner| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), runner);)+
+                let out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                out
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// A strategy choosing uniformly between the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking directly) so the runner can report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two values compare equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts two values compare unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Rejects the current input without failing the property.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs, matching the real crate's
+    //! `proptest::prelude::*` (including `prop` as a crate alias).
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            xs in prop::collection::vec(any::<u8>(), 2..=5),
+            exact in prop::collection::vec(0u32..9, 3usize),
+        ) {
+            prop_assert!((2..=5).contains(&xs.len()));
+            prop_assert_eq!(exact.len(), 3);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            Just(0usize),
+            (1usize..4).prop_map(|n| n * 10),
+        ]) {
+            prop_assert!(v == 0 || (10..40).contains(&v), "v = {}", v);
+            prop_assume!(v != 0);
+            prop_assert_ne!(v, 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::ProptestConfig;
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            crate::test_runner::run("det", &ProptestConfig::with_cases(5), |runner| {
+                out.push((0u64..1000).generate(runner));
+                Ok(())
+            });
+        }
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,325 @@
+//! Offline stand-in for `serde`: value-tree serialization traits.
+//!
+//! Instead of serde's zero-copy `Serializer`/`Deserializer` machinery,
+//! types convert to and from a JSON-shaped [`Value`] tree. The
+//! companion `serde_json` stand-in renders/parses that tree. The derive
+//! macros are not provided — the workspace's handful of serializable
+//! types implement the traits by hand.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A JSON-shaped value tree: the wire format of this serde stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent).
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short description of the value's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error carrying an arbitrary message (mirrors
+    /// `serde::de::Error::custom`).
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// `serde::de` module shim: the error constructor lives here in real serde.
+pub mod de {
+    pub use crate::Error;
+}
+
+/// `serde::ser` module shim.
+pub mod ser {
+    pub use crate::Error;
+}
+
+/// Types convertible to a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self`, failing with a message on shape mismatches.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ------------------------------------------------------------- primitives
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            v => Err(Error::custom(format!("expected bool, found {}", v.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n: i64 = match value {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i64,
+                    v => return Err(Error::custom(format!(
+                        "expected integer, found {}", v.kind()))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n: u64 = match value {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) => u64::try_from(*n)
+                        .map_err(|_| Error::custom("negative integer for unsigned type"))?,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    v => return Err(Error::custom(format!(
+                        "expected integer, found {}", v.kind()))),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    v => Err(Error::custom(format!(
+                        "expected number, found {}", v.kind()))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            v => Err(Error::custom(format!(
+                "expected string, found {}",
+                v.kind()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------- containers & refs
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            v => Err(Error::custom(format!("expected array, found {}", v.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            v => T::from_value(v).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            v => Err(Error::custom(format!(
+                "expected object, found {}",
+                v.kind()
+            ))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so output is deterministic.
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            v => Err(Error::custom(format!(
+                "expected object, found {}",
+                v.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+/// Extracts and deserializes a required object field.
+pub fn field<T: Deserialize>(value: &Value, key: &str) -> Result<T, Error> {
+    match value.get(key) {
+        Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("field `{key}`: {e}"))),
+        None => Err(Error::custom(format!("missing field `{key}`"))),
+    }
+}
