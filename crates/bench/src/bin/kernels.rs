@@ -1,0 +1,218 @@
+//! CPU kernel microbenchmarks: GEMM, conv2d and elementwise ops timed
+//! with the thread pool pinned to 1 thread and to N threads in the same
+//! process, writing the comparison to `BENCH_kernels.json`.
+//!
+//! ```sh
+//! cargo run -p s4tf-bench --release --bin kernels            # full sizes
+//! cargo run -p s4tf-bench --release --bin kernels -- --smoke # CI smoke
+//! ```
+//!
+//! `--out PATH` overrides the output path (default `BENCH_kernels.json`
+//! in the current directory). The JSON records the host's
+//! `available_parallelism` verbatim: on a single-core runner the N-thread
+//! column measures pool overhead, not speedup, and the file says so.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use s4tf_tensor::{Padding, Tensor};
+use serde::Value;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Thread count for the parallel column: `S4TF_NUM_THREADS` when it names
+/// more than one thread, else 4 (the acceptance point of comparison).
+fn parallel_threads() -> usize {
+    std::env::var("S4TF_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 1)
+        .unwrap_or(4)
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds, after one warmup run.
+fn time_best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+struct Case {
+    kernel: &'static str,
+    name: String,
+    run: Box<dyn FnMut()>,
+}
+
+fn gemm_case(m: usize, k: usize, n: usize, rng: &mut ChaCha8Rng) -> Case {
+    let a = Tensor::<f32>::randn(&[m, k], rng);
+    let b = Tensor::<f32>::randn(&[k, n], rng);
+    Case {
+        kernel: "gemm",
+        name: format!("{m}x{k}x{n}"),
+        run: Box::new(move || {
+            black_box(a.matmul(&b));
+        }),
+    }
+}
+
+fn matvec_case(m: usize, k: usize, rng: &mut ChaCha8Rng) -> Case {
+    let a = Tensor::<f32>::randn(&[m, k], rng);
+    let v = Tensor::<f32>::randn(&[k], rng);
+    Case {
+        kernel: "matvec",
+        name: format!("{m}x{k}"),
+        run: Box::new(move || {
+            black_box(a.matvec(&v));
+        }),
+    }
+}
+
+fn conv_case(
+    label: &str,
+    x_dims: &[usize],
+    w_dims: &[usize],
+    padding: Padding,
+    rng: &mut ChaCha8Rng,
+) -> Case {
+    let x = Tensor::<f32>::randn(x_dims, rng);
+    let w = Tensor::<f32>::randn(w_dims, rng);
+    Case {
+        kernel: "conv2d",
+        name: label.to_string(),
+        run: Box::new(move || {
+            black_box(x.conv2d(&w, (1, 1), padding));
+        }),
+    }
+}
+
+fn elementwise_case(n: usize, rng: &mut ChaCha8Rng) -> Case {
+    let x = Tensor::<f32>::randn(&[n], rng);
+    Case {
+        kernel: "elementwise",
+        name: format!("map n={n}"),
+        run: Box::new(move || {
+            black_box(x.map(|v| v.mul_add(1.0001, 0.5)));
+        }),
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads_n = parallel_threads();
+    let reps = if smoke { 2 } else { 5 };
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+
+    let mut cases: Vec<Case> = Vec::new();
+    if smoke {
+        cases.push(gemm_case(64, 64, 64, &mut rng));
+        cases.push(matvec_case(256, 256, &mut rng));
+        cases.push(conv_case(
+            "lenet-c1 8x28x28x1*5x5x1x6",
+            &[8, 28, 28, 1],
+            &[5, 5, 1, 6],
+            Padding::Same,
+            &mut rng,
+        ));
+        for n in [64usize, 4096, 65_536] {
+            cases.push(elementwise_case(n, &mut rng));
+        }
+    } else {
+        for s in [128usize, 256, 512] {
+            cases.push(gemm_case(s, s, s, &mut rng));
+        }
+        cases.push(matvec_case(1024, 1024, &mut rng));
+        cases.push(conv_case(
+            "lenet-c1 32x28x28x1*5x5x1x6",
+            &[32, 28, 28, 1],
+            &[5, 5, 1, 6],
+            Padding::Same,
+            &mut rng,
+        ));
+        cases.push(conv_case(
+            "lenet-c2 32x14x14x6*5x5x6x16",
+            &[32, 14, 14, 6],
+            &[5, 5, 6, 16],
+            Padding::Valid,
+            &mut rng,
+        ));
+        for n in [64usize, 4096, 1 << 20] {
+            cases.push(elementwise_case(n, &mut rng));
+        }
+    }
+
+    println!(
+        "kernel bench: {} cases, best of {reps}, 1 vs {threads_n} threads \
+         (host parallelism {host}){}",
+        cases.len(),
+        if smoke { ", smoke" } else { "" }
+    );
+
+    let mut results = Vec::new();
+    for case in &mut cases {
+        s4tf_threads::set_num_threads(1);
+        let t1 = time_best_ms(reps, &mut case.run);
+        s4tf_threads::set_num_threads(threads_n);
+        let tn = time_best_ms(reps, &mut case.run);
+        let speedup = t1 / tn;
+        println!(
+            "  {:<11} {:<28} 1T {t1:>9.3} ms   {threads_n}T {tn:>9.3} ms   {speedup:>5.2}x",
+            case.kernel, case.name
+        );
+        results.push(obj(vec![
+            ("kernel", Value::Str(case.kernel.to_string())),
+            ("case", Value::Str(case.name.clone())),
+            ("threads_1_ms", Value::Float(t1)),
+            ("threads_n_ms", Value::Float(tn)),
+            ("speedup", Value::Float(speedup)),
+        ]));
+    }
+    s4tf_threads::set_num_threads(1);
+
+    let note = if host >= threads_n {
+        "speedup = threads_1_ms / threads_n_ms on this host".to_string()
+    } else {
+        format!(
+            "host has parallelism {host} < {threads_n} benchmark threads: the \
+             N-thread column measures pool overhead under oversubscription, \
+             not speedup; rerun on a >= {threads_n}-core host for the scaling \
+             comparison"
+        )
+    };
+    let report = obj(vec![
+        ("bench", Value::Str("kernels".to_string())),
+        ("smoke", Value::Bool(smoke)),
+        ("host_parallelism", Value::UInt(host as u64)),
+        (
+            "threads_compared",
+            Value::Array(vec![Value::UInt(1), Value::UInt(threads_n as u64)]),
+        ),
+        ("reps_best_of", Value::UInt(reps as u64)),
+        ("note", Value::Str(note)),
+        ("results", Value::Array(results)),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json.as_bytes()).expect("write benchmark JSON");
+    println!("wrote {out_path} ({} bytes)", json.len());
+}

@@ -223,6 +223,43 @@ pub fn gauge_set(name: impl Into<Cow<'static, str>>, value: f64) {
     with_recorder(|r| r.gauges.entry(name.into()).or_default().push(sample));
 }
 
+// ------------------------------------------------------- pool statistics
+
+/// Lifetime counters for the kernel thread pool (`s4tf-threads`), in the
+/// style of `Device::cache_stats()`: independent of the span recorder and
+/// never reset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads currently spawned (excludes callers).
+    pub workers: usize,
+    /// Chunks executed by pool workers.
+    pub tasks_run: u64,
+    /// Chunks handed to the pool queue.
+    pub chunks_dispatched: u64,
+    /// Parallel calls that ran inline (below grain, single-threaded, or
+    /// nested inside a worker).
+    pub inline_runs: u64,
+    /// Total wall time workers spent executing chunks, in microseconds.
+    pub busy_us: u64,
+}
+
+/// Snapshot provider installed by the thread-pool crate; `s4tf-profile`
+/// sits below `s4tf-threads` in the dependency graph, so the pool pushes
+/// its accessor up here instead of being linked directly.
+static POOL_STATS_PROVIDER: OnceLock<fn() -> PoolStats> = OnceLock::new();
+
+/// Registers the pool's stats accessor (called by `s4tf-threads` on
+/// first use; later registrations are ignored).
+pub fn register_pool_stats(provider: fn() -> PoolStats) {
+    let _ = POOL_STATS_PROVIDER.set(provider);
+}
+
+/// Current kernel-pool counters, or `None` if no pool has announced
+/// itself yet (e.g. a build with the pool's `profile` feature off).
+pub fn pool_stats() -> Option<PoolStats> {
+    POOL_STATS_PROVIDER.get().map(|provider| provider())
+}
+
 // ------------------------------------------------------------ exports
 
 /// Aggregates everything recorded so far into a [`ProfileReport`].

@@ -216,6 +216,7 @@ impl EagerTensor {
             let mut span = prof::span("eager.kernel_run");
             if span.is_recording() {
                 span.annotate("op", op.mnemonic());
+                span.annotate_f64("threads_used", s4tf_threads::num_threads() as f64);
             }
             let tensors: Vec<Tensor<f32>> = in_slots.iter().map(|s| s.take_ready()).collect();
             let refs: Vec<&Tensor<f32>> = tensors.iter().collect();

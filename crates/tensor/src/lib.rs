@@ -45,6 +45,7 @@
 pub mod dtype;
 pub mod error;
 pub mod ops;
+mod par;
 pub mod shape;
 pub mod storage;
 pub mod tensor;

@@ -1,10 +1,25 @@
 //! 2-D convolution kernels (NHWC layout, HWIO filters — TensorFlow's
 //! convention, which the paper's `Conv2D` layer uses) and the two gradient
 //! kernels the `Conv2D` pullback needs.
+//!
+//! Large forward convolutions lower to the packed GEMM in [`super::gemm`]:
+//! HWIO filters flatten row-major to exactly the `[k_h*k_w*in_c, out_c]`
+//! matrix GEMM wants, and an im2col scratch built per `(image, output
+//! row)` strip turns each strip into a `[out_w, k] × [k, out_c]` product.
+//! Work splits across the thread pool over `batch × out_h` strips
+//! (forward) and over images (both backward kernels).
 
+use super::gemm::{self, Layout};
 use crate::dtype::Float;
 use crate::tensor::Tensor;
 use crate::Padding;
+
+/// Below this many multiply-accumulates the direct loops beat the
+/// im2col + GEMM lowering (scratch setup dominates).
+const DIRECT_MAX_MACS: usize = 1 << 15;
+
+/// Target multiply-accumulates per parallel chunk.
+const CHUNK_MACS: usize = 1 << 16;
 
 /// Validated geometry for one conv2d application.
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +36,13 @@ struct ConvGeom {
     pad_top: usize,
     pad_left: usize,
     stride: (usize, usize),
+}
+
+impl ConvGeom {
+    /// im2col row width: the GEMM reduction dimension.
+    fn kdim(&self) -> usize {
+        self.k_h * self.k_w * self.in_c
+    }
 }
 
 fn geometry<T: Float>(
@@ -68,9 +90,134 @@ fn geometry<T: Float>(
     }
 }
 
+/// Fills `col` (`out_w × kdim`) with the patch matrix for output row
+/// `oy` of image `n`; padded positions become zeros.
+fn im2col_strip<T: Float>(x: &[T], g: &ConvGeom, n: usize, oy: usize, col: &mut [T]) {
+    let kdim = g.kdim();
+    for ox in 0..g.out_w {
+        let dst = &mut col[ox * kdim..(ox + 1) * kdim];
+        for ky in 0..g.k_h {
+            let iy = (oy * g.stride.0 + ky) as isize - g.pad_top as isize;
+            let row_ok = iy >= 0 && (iy as usize) < g.in_h;
+            for kx in 0..g.k_w {
+                let ix = (ox * g.stride.1 + kx) as isize - g.pad_left as isize;
+                let patch = &mut dst[(ky * g.k_w + kx) * g.in_c..(ky * g.k_w + kx + 1) * g.in_c];
+                if row_ok && ix >= 0 && (ix as usize) < g.in_w {
+                    let base = ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
+                    patch.copy_from_slice(&x[base..base + g.in_c]);
+                } else {
+                    patch.fill(T::zero());
+                }
+            }
+        }
+    }
+}
+
+/// The original direct (no-scratch) forward loops, kept for small
+/// problems where im2col setup costs more than it saves.
+fn conv2d_direct<T: Float>(x: &[T], w: &[T], out: &mut [T], g: &ConvGeom) {
+    for n in 0..g.batch {
+        for oy in 0..g.out_h {
+            for ox in 0..g.out_w {
+                let out_base = ((n * g.out_h + oy) * g.out_w + ox) * g.out_c;
+                for ky in 0..g.k_h {
+                    let iy = (oy * g.stride.0 + ky) as isize - g.pad_top as isize;
+                    if iy < 0 || iy as usize >= g.in_h {
+                        continue;
+                    }
+                    for kx in 0..g.k_w {
+                        let ix = (ox * g.stride.1 + kx) as isize - g.pad_left as isize;
+                        if ix < 0 || ix as usize >= g.in_w {
+                            continue;
+                        }
+                        let in_base = ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
+                        let w_base = (ky * g.k_w + kx) * g.in_c * g.out_c;
+                        for ic in 0..g.in_c {
+                            let xv = x[in_base + ic];
+                            let wrow = &w[w_base + ic * g.out_c..w_base + (ic + 1) * g.out_c];
+                            let orow = &mut out[out_base..out_base + g.out_c];
+                            for (ov, &wv) in orow.iter_mut().zip(wrow) {
+                                *ov += xv * wv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Input-gradient loops for one image; `dx_img` is that image's
+/// `in_h × in_w × in_c` slice.
+fn backward_input_image<T: Float>(dy: &[T], w: &[T], dx_img: &mut [T], g: &ConvGeom, n: usize) {
+    for oy in 0..g.out_h {
+        for ox in 0..g.out_w {
+            let out_base = ((n * g.out_h + oy) * g.out_w + ox) * g.out_c;
+            for ky in 0..g.k_h {
+                let iy = (oy * g.stride.0 + ky) as isize - g.pad_top as isize;
+                if iy < 0 || iy as usize >= g.in_h {
+                    continue;
+                }
+                for kx in 0..g.k_w {
+                    let ix = (ox * g.stride.1 + kx) as isize - g.pad_left as isize;
+                    if ix < 0 || ix as usize >= g.in_w {
+                        continue;
+                    }
+                    let in_base = ((iy as usize) * g.in_w + ix as usize) * g.in_c;
+                    let w_base = (ky * g.k_w + kx) * g.in_c * g.out_c;
+                    for ic in 0..g.in_c {
+                        let wrow = &w[w_base + ic * g.out_c..w_base + (ic + 1) * g.out_c];
+                        let dyrow = &dy[out_base..out_base + g.out_c];
+                        let mut acc = T::zero();
+                        for (&wv, &dyv) in wrow.iter().zip(dyrow) {
+                            acc += wv * dyv;
+                        }
+                        dx_img[in_base + ic] += acc;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Filter-gradient loops for one image, accumulated into `dw`.
+fn backward_filter_image<T: Float>(x: &[T], dy: &[T], dw: &mut [T], g: &ConvGeom, n: usize) {
+    for oy in 0..g.out_h {
+        for ox in 0..g.out_w {
+            let out_base = ((n * g.out_h + oy) * g.out_w + ox) * g.out_c;
+            for ky in 0..g.k_h {
+                let iy = (oy * g.stride.0 + ky) as isize - g.pad_top as isize;
+                if iy < 0 || iy as usize >= g.in_h {
+                    continue;
+                }
+                for kx in 0..g.k_w {
+                    let ix = (ox * g.stride.1 + kx) as isize - g.pad_left as isize;
+                    if ix < 0 || ix as usize >= g.in_w {
+                        continue;
+                    }
+                    let in_base = ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
+                    let w_base = (ky * g.k_w + kx) * g.in_c * g.out_c;
+                    for ic in 0..g.in_c {
+                        let xv = x[in_base + ic];
+                        let dyrow = &dy[out_base..out_base + g.out_c];
+                        let dwrow = &mut dw[w_base + ic * g.out_c..w_base + (ic + 1) * g.out_c];
+                        for (dwv, &dyv) in dwrow.iter_mut().zip(dyrow) {
+                            *dwv += xv * dyv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl<T: Float> Tensor<T> {
     /// 2-D convolution: input `[N,H,W,Cin]` ⊛ filter `[Kh,Kw,Cin,Cout]` →
     /// `[N,H',W',Cout]`.
+    ///
+    /// Large problems run as im2col + packed GEMM, parallel over
+    /// `batch × out_h` strips; results are bit-identical for every
+    /// thread count.
     ///
     /// # Panics
     /// Panics on rank or channel mismatches, zero strides, or (for
@@ -85,40 +232,45 @@ impl<T: Float> Tensor<T> {
         let x = self.as_slice();
         let w = filter.as_slice();
         let mut out = vec![T::zero(); g.batch * g.out_h * g.out_w * g.out_c];
-        for n in 0..g.batch {
-            for oy in 0..g.out_h {
-                for ox in 0..g.out_w {
-                    let out_base = ((n * g.out_h + oy) * g.out_w + ox) * g.out_c;
-                    for ky in 0..g.k_h {
-                        let iy = (oy * g.stride.0 + ky) as isize - g.pad_top as isize;
-                        if iy < 0 || iy as usize >= g.in_h {
-                            continue;
-                        }
-                        for kx in 0..g.k_w {
-                            let ix = (ox * g.stride.1 + kx) as isize - g.pad_left as isize;
-                            if ix < 0 || ix as usize >= g.in_w {
-                                continue;
-                            }
-                            let in_base =
-                                ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
-                            let w_base = (ky * g.k_w + kx) * g.in_c * g.out_c;
-                            for ic in 0..g.in_c {
-                                let xv = x[in_base + ic];
-                                let wrow = &w[w_base + ic * g.out_c..w_base + (ic + 1) * g.out_c];
-                                let orow = &mut out[out_base..out_base + g.out_c];
-                                for (ov, &wv) in orow.iter_mut().zip(wrow) {
-                                    *ov += xv * wv;
-                                }
-                            }
-                        }
+        let kdim = g.kdim();
+        let macs = out.len() * kdim;
+        if macs < DIRECT_MAX_MACS {
+            conv2d_direct(x, w, &mut out, &g);
+        } else {
+            // HWIO row-major is already the [kdim, out_c] GEMM operand.
+            let wp = gemm::pack_b(w, Layout::row_major(g.out_c), kdim, g.out_c);
+            let strip = g.out_w * g.out_c;
+            let strip_macs = (strip * kdim).max(1);
+            let grain_strips = (CHUNK_MACS / strip_macs).max(1);
+            s4tf_threads::parallel_chunks_mut(
+                &mut out,
+                strip,
+                grain_strips * strip,
+                |start, chunk| {
+                    // One im2col scratch per chunk, reused across strips.
+                    let mut col = vec![T::zero(); g.out_w * kdim];
+                    let strip0 = start / strip;
+                    for (u, cslice) in chunk.chunks_mut(strip).enumerate() {
+                        let id = strip0 + u;
+                        let (n, oy) = (id / g.out_h, id % g.out_h);
+                        im2col_strip(x, &g, n, oy, &mut col);
+                        gemm::gemm_rows(
+                            &col,
+                            Layout::row_major(kdim),
+                            &wp,
+                            cslice,
+                            g.out_c,
+                            0..g.out_w,
+                        );
                     }
-                }
-            }
+                },
+            );
         }
         Tensor::from_vec(out, &[g.batch, g.out_h, g.out_w, g.out_c])
     }
 
-    /// Gradient of [`Tensor::conv2d`] with respect to its *input*.
+    /// Gradient of [`Tensor::conv2d`] with respect to its *input*,
+    /// parallel over images (each image's `dx` slice is disjoint).
     ///
     /// `self` is the input (only its shape matters for geometry); `grad_out`
     /// has the forward output's shape.
@@ -141,41 +293,22 @@ impl<T: Float> Tensor<T> {
         let dy = grad_out.as_slice();
         let w = filter.as_slice();
         let mut dx = vec![T::zero(); g.batch * g.in_h * g.in_w * g.in_c];
-        for n in 0..g.batch {
-            for oy in 0..g.out_h {
-                for ox in 0..g.out_w {
-                    let out_base = ((n * g.out_h + oy) * g.out_w + ox) * g.out_c;
-                    for ky in 0..g.k_h {
-                        let iy = (oy * g.stride.0 + ky) as isize - g.pad_top as isize;
-                        if iy < 0 || iy as usize >= g.in_h {
-                            continue;
-                        }
-                        for kx in 0..g.k_w {
-                            let ix = (ox * g.stride.1 + kx) as isize - g.pad_left as isize;
-                            if ix < 0 || ix as usize >= g.in_w {
-                                continue;
-                            }
-                            let in_base =
-                                ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
-                            let w_base = (ky * g.k_w + kx) * g.in_c * g.out_c;
-                            for ic in 0..g.in_c {
-                                let wrow = &w[w_base + ic * g.out_c..w_base + (ic + 1) * g.out_c];
-                                let dyrow = &dy[out_base..out_base + g.out_c];
-                                let mut acc = T::zero();
-                                for (&wv, &dyv) in wrow.iter().zip(dyrow) {
-                                    acc += wv * dyv;
-                                }
-                                dx[in_base + ic] += acc;
-                            }
-                        }
-                    }
-                }
+        let img = g.in_h * g.in_w * g.in_c;
+        let img_macs = (g.out_h * g.out_w * g.out_c * g.kdim()).max(1);
+        let grain_imgs = (CHUNK_MACS / img_macs).max(1);
+        s4tf_threads::parallel_chunks_mut(&mut dx, img, grain_imgs * img, |start, chunk| {
+            let n0 = start / img;
+            for (u, dx_img) in chunk.chunks_mut(img).enumerate() {
+                backward_input_image(dy, w, dx_img, &g, n0 + u);
             }
-        }
+        });
         Tensor::from_vec(dx, &[g.batch, g.in_h, g.in_w, g.in_c])
     }
 
-    /// Gradient of [`Tensor::conv2d`] with respect to its *filter*.
+    /// Gradient of [`Tensor::conv2d`] with respect to its *filter*,
+    /// parallel over images: each chunk accumulates a private partial
+    /// `dw`, combined in chunk order afterwards (so within every chunk
+    /// the summation order is the serial one).
     ///
     /// # Panics
     /// Panics on geometry mismatches.
@@ -195,36 +328,20 @@ impl<T: Float> Tensor<T> {
         );
         let x = self.as_slice();
         let dy = grad_out.as_slice();
-        let mut dw = vec![T::zero(); g.k_h * g.k_w * g.in_c * g.out_c];
-        for n in 0..g.batch {
-            for oy in 0..g.out_h {
-                for ox in 0..g.out_w {
-                    let out_base = ((n * g.out_h + oy) * g.out_w + ox) * g.out_c;
-                    for ky in 0..g.k_h {
-                        let iy = (oy * g.stride.0 + ky) as isize - g.pad_top as isize;
-                        if iy < 0 || iy as usize >= g.in_h {
-                            continue;
-                        }
-                        for kx in 0..g.k_w {
-                            let ix = (ox * g.stride.1 + kx) as isize - g.pad_left as isize;
-                            if ix < 0 || ix as usize >= g.in_w {
-                                continue;
-                            }
-                            let in_base =
-                                ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
-                            let w_base = (ky * g.k_w + kx) * g.in_c * g.out_c;
-                            for ic in 0..g.in_c {
-                                let xv = x[in_base + ic];
-                                let dyrow = &dy[out_base..out_base + g.out_c];
-                                let dwrow =
-                                    &mut dw[w_base + ic * g.out_c..w_base + (ic + 1) * g.out_c];
-                                for (dwv, &dyv) in dwrow.iter_mut().zip(dyrow) {
-                                    *dwv += xv * dyv;
-                                }
-                            }
-                        }
-                    }
-                }
+        let dw_len = g.k_h * g.k_w * g.in_c * g.out_c;
+        let img_macs = (g.out_h * g.out_w * g.out_c * g.kdim()).max(1);
+        let grain_imgs = (CHUNK_MACS / img_macs).max(1);
+        let partials = s4tf_threads::parallel_map_chunks(0..g.batch, grain_imgs, |imgs| {
+            let mut partial = vec![T::zero(); dw_len];
+            for n in imgs {
+                backward_filter_image(x, dy, &mut partial, &g, n);
+            }
+            partial
+        });
+        let mut dw = vec![T::zero(); dw_len];
+        for partial in partials {
+            for (acc, p) in dw.iter_mut().zip(partial) {
+                *acc += p;
             }
         }
         Tensor::from_vec(dw, filter_dims)
@@ -285,6 +402,27 @@ mod tests {
         let f = Tensor::from_vec(vec![2.0f32, 3.0], &[1, 1, 2, 1]);
         let y = x.conv2d(&f, (1, 1), Padding::Valid);
         assert_eq!(y.as_slice(), &[32.0]);
+    }
+
+    /// The im2col + GEMM path (sizes past `DIRECT_MAX_MACS`) must match
+    /// a naive reference.
+    #[test]
+    fn conv_im2col_path_matches_naive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let x = Tensor::<f32>::randn(&[3, 12, 12, 4], &mut rng);
+        let w = Tensor::<f32>::randn(&[3, 3, 4, 8], &mut rng);
+        for (padding, strides) in [(Padding::Same, (1, 1)), (Padding::Valid, (2, 1))] {
+            let g = geometry(&x, &w, strides, padding);
+            assert!(
+                g.batch * g.out_h * g.out_w * g.out_c * g.kdim() >= DIRECT_MAX_MACS,
+                "test must exercise the GEMM path"
+            );
+            let y = x.conv2d(&w, strides, padding);
+            let mut naive = vec![0.0f32; g.batch * g.out_h * g.out_w * g.out_c];
+            conv2d_direct(x.as_slice(), w.as_slice(), &mut naive, &g);
+            let naive = Tensor::from_vec(naive, &[g.batch, g.out_h, g.out_w, g.out_c]);
+            assert!(y.allclose(&naive, 1e-4), "padding {padding:?}");
+        }
     }
 
     /// Finite-difference check of both gradient kernels.

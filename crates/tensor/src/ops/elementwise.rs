@@ -12,7 +12,7 @@ fn broadcast_binary<T: Scalar>(
     lhs: &Tensor<T>,
     rhs: &Tensor<T>,
     op: &'static str,
-    f: impl Fn(T, T) -> T,
+    f: impl Fn(T, T) -> T + Sync,
 ) -> Tensor<T> {
     try_broadcast_binary(lhs, rhs, op, f).unwrap_or_else(|e| panic!("{e}"))
 }
@@ -21,7 +21,7 @@ fn try_broadcast_binary<T: Scalar>(
     lhs: &Tensor<T>,
     rhs: &Tensor<T>,
     op: &'static str,
-    f: impl Fn(T, T) -> T,
+    f: impl Fn(T, T) -> T + Sync,
 ) -> Result<Tensor<T>> {
     if lhs.shape() == rhs.shape() {
         // Fast path: identical shapes, single fused loop.
@@ -37,6 +37,20 @@ fn try_broadcast_binary<T: Scalar>(
     let l = lhs.broadcast_to(out_shape.dims());
     let r = rhs.broadcast_to(out_shape.dims());
     Ok(l.zip_map(&r, f))
+}
+
+/// `f(dst[i], src[i])` over two equal-length slices, thread-pooled
+/// above the element-wise grain — the shared engine of the `*_assign`
+/// kernels (each destination element is written by exactly one chunk,
+/// so results never depend on the thread count).
+fn zip_assign<T: Scalar>(dst: &mut [T], src: &[T], f: impl Fn(&mut T, T) + Sync) {
+    debug_assert_eq!(dst.len(), src.len());
+    s4tf_threads::parallel_chunks_mut(dst, 1, crate::par::ELEMWISE_GRAIN, |start, chunk| {
+        let src = &src[start..start + chunk.len()];
+        for (d, &s) in chunk.iter_mut().zip(src) {
+            f(d, s);
+        }
+    });
 }
 
 impl<T: Scalar> Tensor<T> {
@@ -174,10 +188,7 @@ impl<T: Scalar> Tensor<T> {
     /// Panics if `rhs` does not broadcast to `self`'s shape.
     pub fn add_assign_tensor(&mut self, rhs: &Tensor<T>) {
         if self.shape() == rhs.shape() {
-            let dst = self.as_mut_slice();
-            for (d, &s) in dst.iter_mut().zip(rhs.as_slice()) {
-                *d += s;
-            }
+            zip_assign(self.as_mut_slice(), rhs.as_slice(), |d, s| *d += s);
         } else {
             let r = rhs.broadcast_to(self.dims());
             self.add_assign_tensor(&r);
@@ -190,10 +201,7 @@ impl<T: Scalar> Tensor<T> {
     /// Panics if `rhs` does not broadcast to `self`'s shape.
     pub fn sub_assign_tensor(&mut self, rhs: &Tensor<T>) {
         if self.shape() == rhs.shape() {
-            let dst = self.as_mut_slice();
-            for (d, &s) in dst.iter_mut().zip(rhs.as_slice()) {
-                *d -= s;
-            }
+            zip_assign(self.as_mut_slice(), rhs.as_slice(), |d, s| *d -= s);
         } else {
             let r = rhs.broadcast_to(self.dims());
             self.sub_assign_tensor(&r);
@@ -206,10 +214,7 @@ impl<T: Scalar> Tensor<T> {
     /// Panics if `rhs` does not broadcast to `self`'s shape.
     pub fn mul_assign_tensor(&mut self, rhs: &Tensor<T>) {
         if self.shape() == rhs.shape() {
-            let dst = self.as_mut_slice();
-            for (d, &s) in dst.iter_mut().zip(rhs.as_slice()) {
-                *d *= s;
-            }
+            zip_assign(self.as_mut_slice(), rhs.as_slice(), |d, s| *d *= s);
         } else {
             let r = rhs.broadcast_to(self.dims());
             self.mul_assign_tensor(&r);
@@ -237,10 +242,7 @@ impl<T: Scalar> Tensor<T> {
             rhs.shape(),
             "scaled_add_assign requires identical shapes"
         );
-        let dst = self.as_mut_slice();
-        for (d, &s) in dst.iter_mut().zip(rhs.as_slice()) {
-            *d += alpha * s;
-        }
+        zip_assign(self.as_mut_slice(), rhs.as_slice(), |d, s| *d += alpha * s);
     }
 }
 

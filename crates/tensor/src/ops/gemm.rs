@@ -1,0 +1,209 @@
+//! Shared packed-GEMM engine behind `matmul` / `matmul_tn` / `matmul_nt`
+//! and the im2col convolution path.
+//!
+//! The design is the classic GotoBLAS decomposition, sized for the small
+//! matrices this workload sees (Dense layers, LeNet-scale convs):
+//!
+//! * **Pack B once** into panels of [`NR`] columns, so the micro-kernel
+//!   streams B contiguously regardless of the operand's original layout
+//!   (normal or transposed — see [`Layout`]). Edge panels are
+//!   zero-padded, which lets the inner loop always run `NR` wide.
+//! * **Register-tile micro-kernel**: an [`MR`]`×`[`NR`] accumulator array
+//!   with fixed loop bounds, which the compiler fully unrolls (and, for
+//!   f32/f64, vectorizes) on the full-tile path.
+//! * **Parallelize over row-blocks of C**: each chunk of C rows is
+//!   written by exactly one task, with A and packed-B shared read-only.
+//!
+//! Determinism: splitting over *rows* never reorders the k-summation of
+//! any output element, so results are bit-identical for every thread
+//! count (the property `tests/parallel_consistency.rs` checks).
+
+use std::ops::Range;
+
+use crate::dtype::Scalar;
+
+/// Micro-kernel tile height (rows of C per register tile).
+pub(crate) const MR: usize = 4;
+/// Micro-kernel tile width (columns of C per register tile; also the
+/// packed-panel width).
+pub(crate) const NR: usize = 8;
+
+/// Multiply-accumulate count per parallel chunk: tuned so a chunk is
+/// worth a queue round-trip (documented in DESIGN.md).
+const GEMM_CHUNK_MACS: usize = 1 << 16;
+
+/// Addressing scheme for an operand: element `(row, col)` of the
+/// *logical* matrix lives at `data[row * rs + col * cs]`. Transposed
+/// variants are handled by swapping the strides instead of
+/// materializing the transpose.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Layout {
+    pub rs: usize,
+    pub cs: usize,
+}
+
+impl Layout {
+    /// Row-major `[rows, cols]` storage.
+    pub(crate) fn row_major(cols: usize) -> Layout {
+        Layout { rs: cols, cs: 1 }
+    }
+
+    /// The logical transpose of row-major `[cols, rows]` storage.
+    pub(crate) fn transposed(rows: usize) -> Layout {
+        Layout { rs: 1, cs: rows }
+    }
+}
+
+/// B packed into `ceil(n / NR)` panels; panel `p` holds columns
+/// `p*NR .. p*NR+NR` as `k` contiguous NR-wide rows (zero-padded past
+/// column `n`).
+pub(crate) struct PackedB<T> {
+    data: Vec<T>,
+    panels: usize,
+    k: usize,
+}
+
+pub(crate) fn pack_b<T: Scalar>(b: &[T], layout: Layout, k: usize, n: usize) -> PackedB<T> {
+    let panels = n.div_ceil(NR);
+    let mut data = vec![T::zero(); panels * k * NR];
+    for p in 0..panels {
+        let j0 = p * NR;
+        let width = NR.min(n - j0);
+        let dst = &mut data[p * k * NR..(p + 1) * k * NR];
+        for kk in 0..k {
+            let row = &mut dst[kk * NR..kk * NR + width];
+            for (c, slot) in row.iter_mut().enumerate() {
+                *slot = b[kk * layout.rs + (j0 + c) * layout.cs];
+            }
+        }
+    }
+    PackedB { data, panels, k }
+}
+
+/// `C[rows, :n] += A[rows, :k] × B` for one row range.
+///
+/// `a` is indexed with the *global* row numbers in `rows`; `c` is the
+/// destination sub-slice covering exactly those rows (`rows.len() * n`
+/// elements). Works on any row split: tiles shorter than [`MR`] at a
+/// chunk boundary take the edge path, which computes the same sums in
+/// the same k-order.
+pub(crate) fn gemm_rows<T: Scalar>(
+    a: &[T],
+    la: Layout,
+    bp: &PackedB<T>,
+    c: &mut [T],
+    n: usize,
+    rows: Range<usize>,
+) {
+    debug_assert_eq!(c.len(), rows.len() * n);
+    let k = bp.k;
+    let mut i = rows.start;
+    while i < rows.end {
+        let mr = MR.min(rows.end - i);
+        let c_base = (i - rows.start) * n;
+        for p in 0..bp.panels {
+            let j0 = p * NR;
+            let nr = NR.min(n - j0);
+            let panel = &bp.data[p * k * NR..(p + 1) * k * NR];
+            let mut acc = [[T::zero(); NR]; MR];
+            if mr == MR {
+                // Full tile: fixed bounds so the 4×8 update unrolls.
+                for kk in 0..k {
+                    let brow = &panel[kk * NR..kk * NR + NR];
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let av = a[(i + r) * la.rs + kk * la.cs];
+                        for (slot, &bv) in accr.iter_mut().zip(brow) {
+                            *slot += av * bv;
+                        }
+                    }
+                }
+            } else {
+                for kk in 0..k {
+                    let brow = &panel[kk * NR..kk * NR + NR];
+                    for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+                        let av = a[(i + r) * la.rs + kk * la.cs];
+                        for (slot, &bv) in accr.iter_mut().zip(brow) {
+                            *slot += av * bv;
+                        }
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate().take(mr) {
+                let crow = &mut c[c_base + r * n + j0..c_base + r * n + j0 + nr];
+                for (cv, &av) in crow.iter_mut().zip(accr) {
+                    *cv += av;
+                }
+            }
+        }
+        i += mr;
+    }
+}
+
+/// `C += A × B` with C pre-zeroed by the caller: packs B, then splits
+/// the rows of C across the thread pool (inline when the pool is
+/// single-threaded or the matrix is below the chunk grain).
+pub(crate) fn gemm_parallel<T: Scalar>(
+    a: &[T],
+    la: Layout,
+    b: &[T],
+    lb: Layout,
+    c: &mut [T],
+    k: usize,
+    n: usize,
+) {
+    if c.is_empty() || n == 0 {
+        return;
+    }
+    debug_assert!(c.len().is_multiple_of(n));
+    let bp = pack_b(b, lb, k, n);
+    let grain_rows = (GEMM_CHUNK_MACS / (k * n).max(1)).max(1);
+    s4tf_threads::parallel_chunks_mut(c, n, grain_rows * n, |start, chunk| {
+        let row0 = start / n;
+        gemm_rows(a, la, &bp, chunk, n, row0..row0 + chunk.len() / n);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_panels_are_zero_padded() {
+        // 2x3 B in row-major: one panel, columns 3..8 padded with zeros.
+        let b = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let bp = pack_b(&b, Layout::row_major(3), 2, 3);
+        assert_eq!(bp.panels, 1);
+        assert_eq!(&bp.data[..NR], &[1.0, 2.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(&bp.data[NR..12], &[4.0, 5.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn transposed_layout_packs_columns() {
+        // B stored [n=2, k=2]; logical [k, n] via swapped strides.
+        let b = [1.0f32, 2.0, 3.0, 4.0]; // rows: [1,2], [3,4]
+        let bp = pack_b(&b, Layout::transposed(2), 2, 2);
+        // logical B' = [[1,3],[2,4]]
+        assert_eq!(&bp.data[..2], &[1.0, 3.0]);
+        assert_eq!(&bp.data[NR..NR + 2], &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn tile_edges_match_naive() {
+        // Odd sizes exercise both the partial-row and partial-panel paths.
+        let (m, k, n) = (7, 5, 11);
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32 - 3.0).collect();
+        let mut c = vec![0.0f32; m * n];
+        let bp = pack_b(&b, Layout::row_major(n), k, n);
+        gemm_rows(&a, Layout::row_major(k), &bp, &mut c, n, 0..m);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                assert_eq!(c[i * n + j], acc, "C[{i},{j}]");
+            }
+        }
+    }
+}

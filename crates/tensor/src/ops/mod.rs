@@ -9,6 +9,7 @@
 pub mod arith;
 pub mod conv;
 pub mod elementwise;
+pub(crate) mod gemm;
 pub mod matmul;
 pub mod nn_ops;
 pub mod pool;

@@ -6,8 +6,21 @@ use crate::tensor::Tensor;
 
 impl<T: Scalar> Tensor<T> {
     /// Sum of all elements, as a rank-0 tensor.
+    ///
+    /// Large tensors sum per-chunk partials on the thread pool, combined
+    /// in chunk-index order: exact for integers; for floats the order
+    /// within each chunk is the serial one, so results are deterministic
+    /// for a fixed thread count (DESIGN.md, "CPU parallelism").
     pub fn sum(&self) -> Tensor<T> {
-        Tensor::scalar(self.as_slice().iter().copied().sum())
+        let src = self.as_slice();
+        if src.len() < crate::par::REDUCE_GRAIN {
+            return Tensor::scalar(src.iter().copied().sum());
+        }
+        let parts =
+            s4tf_threads::parallel_map_chunks(0..src.len(), crate::par::REDUCE_GRAIN, |r| {
+                src[r].iter().copied().sum::<T>()
+            });
+        Tensor::scalar(parts.into_iter().sum())
     }
 
     /// Sum along `axis`. With `keep_dims` the axis is retained with extent 1.
@@ -54,12 +67,18 @@ impl<T: Scalar> Tensor<T> {
     /// Panics on an empty tensor.
     pub fn max(&self) -> Tensor<T> {
         assert!(self.num_elements() > 0, "max of empty tensor");
-        let m = self
-            .as_slice()
-            .iter()
-            .copied()
-            .fold(self.as_slice()[0], |a, b| a.maximum(b));
-        Tensor::scalar(m)
+        let src = self.as_slice();
+        if src.len() < crate::par::REDUCE_GRAIN {
+            return Tensor::scalar(src.iter().copied().fold(src[0], |a, b| a.maximum(b)));
+        }
+        // max is associative and commutative, so the chunk combine is
+        // exact for floats too.
+        let parts =
+            s4tf_threads::parallel_map_chunks(0..src.len(), crate::par::REDUCE_GRAIN, |r| {
+                let first = src[r.start];
+                src[r].iter().copied().fold(first, |a, b| a.maximum(b))
+            });
+        Tensor::scalar(parts.into_iter().fold(src[0], |a, b| a.maximum(b)))
     }
 
     /// Minimum element, as a rank-0 tensor.
@@ -68,12 +87,16 @@ impl<T: Scalar> Tensor<T> {
     /// Panics on an empty tensor.
     pub fn min(&self) -> Tensor<T> {
         assert!(self.num_elements() > 0, "min of empty tensor");
-        let m = self
-            .as_slice()
-            .iter()
-            .copied()
-            .fold(self.as_slice()[0], |a, b| a.minimum(b));
-        Tensor::scalar(m)
+        let src = self.as_slice();
+        if src.len() < crate::par::REDUCE_GRAIN {
+            return Tensor::scalar(src.iter().copied().fold(src[0], |a, b| a.minimum(b)));
+        }
+        let parts =
+            s4tf_threads::parallel_map_chunks(0..src.len(), crate::par::REDUCE_GRAIN, |r| {
+                let first = src[r.start];
+                src[r].iter().copied().fold(first, |a, b| a.minimum(b))
+            });
+        Tensor::scalar(parts.into_iter().fold(src[0], |a, b| a.minimum(b)))
     }
 
     /// Maximum along `axis`.
@@ -110,19 +133,26 @@ impl<T: Scalar> Tensor<T> {
         let inner: usize = self.dims()[axis + 1..].iter().product();
         let src = self.as_slice();
         let mut out = vec![0i64; outer * inner];
-        for o in 0..outer {
-            for i in 0..inner {
-                let mut best = src[o * d * inner + i];
-                let mut best_idx = 0i64;
-                for k in 1..d {
-                    let v = src[o * d * inner + k * inner + i];
-                    if v > best {
-                        best = v;
-                        best_idx = k as i64;
+        if !out.is_empty() {
+            let grain = (crate::par::REDUCE_GRAIN / d.max(1)).max(1);
+            s4tf_threads::parallel_chunks_mut(&mut out, inner, grain, |start, chunk| {
+                let o0 = start / inner;
+                for (u, orow) in chunk.chunks_mut(inner).enumerate() {
+                    let o = o0 + u;
+                    for (i, slot) in orow.iter_mut().enumerate() {
+                        let mut best = src[o * d * inner + i];
+                        let mut best_idx = 0i64;
+                        for k in 1..d {
+                            let v = src[o * d * inner + k * inner + i];
+                            if v > best {
+                                best = v;
+                                best_idx = k as i64;
+                            }
+                        }
+                        *slot = best_idx;
                     }
                 }
-                out[o * inner + i] = best_idx;
-            }
+            });
         }
         let dims = self.shape().removing(axis);
         Tensor::from_vec(out, dims.dims())
@@ -133,7 +163,7 @@ impl<T: Scalar> Tensor<T> {
         axis: usize,
         keep_dims: bool,
         init: T,
-        f: impl Fn(T, T) -> T,
+        f: impl Fn(T, T) -> T + Sync,
     ) -> Tensor<T> {
         assert!(axis < self.rank(), "axis {axis} out of range");
         let d = self.dims()[axis];
@@ -141,13 +171,23 @@ impl<T: Scalar> Tensor<T> {
         let inner: usize = self.dims()[axis + 1..].iter().product();
         let src = self.as_slice();
         let mut out = vec![init; outer * inner];
-        for o in 0..outer {
-            for k in 0..d {
-                let base = o * d * inner + k * inner;
-                for i in 0..inner {
-                    out[o * inner + i] = f(out[o * inner + i], src[base + i]);
+        if !out.is_empty() {
+            // Chunks split on whole output rows (quantum = inner), so
+            // every output element is reduced by one task in the serial
+            // k-order — bit-identical for every thread count.
+            let grain = (crate::par::REDUCE_GRAIN / d.max(1)).max(1);
+            s4tf_threads::parallel_chunks_mut(&mut out, inner, grain, |start, chunk| {
+                let o0 = start / inner;
+                for (u, orow) in chunk.chunks_mut(inner).enumerate() {
+                    let o = o0 + u;
+                    for k in 0..d {
+                        let base = o * d * inner + k * inner;
+                        for (i, ov) in orow.iter_mut().enumerate() {
+                            *ov = f(*ov, src[base + i]);
+                        }
+                    }
                 }
-            }
+            });
         }
         let shape = if keep_dims {
             self.shape().keeping(axis)
@@ -198,11 +238,19 @@ impl<T: Float> Tensor<T> {
     /// Panics if the shapes differ.
     pub fn dot(&self, other: &Tensor<T>) -> T {
         assert_eq!(self.shape(), other.shape(), "dot requires identical shapes");
-        self.as_slice()
-            .iter()
-            .zip(other.as_slice())
-            .map(|(&a, &b)| a * b)
-            .sum()
+        let a = self.as_slice();
+        let b = other.as_slice();
+        if a.len() < crate::par::REDUCE_GRAIN {
+            return a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+        }
+        let parts = s4tf_threads::parallel_map_chunks(0..a.len(), crate::par::REDUCE_GRAIN, |r| {
+            a[r.clone()]
+                .iter()
+                .zip(&b[r])
+                .map(|(&x, &y)| x * y)
+                .sum::<T>()
+        });
+        parts.into_iter().sum()
     }
 }
 

@@ -1,0 +1,10 @@
+//! Grain sizes for the thread-pooled CPU kernels (rationale in
+//! DESIGN.md, "CPU parallelism").
+
+/// Elements per chunk for element-wise kernels (`map`, `zip_map`, the
+/// in-place assigns): below this, pool dispatch costs more than the
+/// loop itself, so small tensors always run inline on the caller.
+pub(crate) const ELEMWISE_GRAIN: usize = 4096;
+
+/// Source elements per chunk for reductions (`sum`, `dot`, `max`, …).
+pub(crate) const REDUCE_GRAIN: usize = 4096;

@@ -213,19 +213,48 @@ impl<T: Scalar> Tensor<T> {
 
     // ------------------------------------------------------------ functional
 
-    /// Applies `f` element-wise, producing a new tensor.
-    pub fn map<U: Scalar>(&self, f: impl Fn(T) -> U) -> Tensor<U> {
+    /// Applies `f` element-wise, producing a new tensor. Large tensors
+    /// split across the thread pool; results are identical for every
+    /// thread count since `f` is applied independently per element.
+    pub fn map<U: Scalar>(&self, f: impl Fn(T) -> U + Sync) -> Tensor<U> {
+        let src = self.as_slice();
+        let storage = if src.len() >= crate::par::ELEMWISE_GRAIN && s4tf_threads::num_threads() > 1
+        {
+            let mut out = vec![U::zero(); src.len()];
+            s4tf_threads::parallel_chunks_mut(
+                &mut out,
+                1,
+                crate::par::ELEMWISE_GRAIN,
+                |start, chunk| {
+                    let src = &src[start..start + chunk.len()];
+                    for (o, &x) in chunk.iter_mut().zip(src) {
+                        *o = f(x);
+                    }
+                },
+            );
+            Storage::from_vec(out)
+        } else {
+            src.iter().map(|&x| f(x)).collect()
+        };
         Tensor {
             shape: self.shape.clone(),
-            storage: self.as_slice().iter().map(|&x| f(x)).collect(),
+            storage,
         }
     }
 
-    /// Applies `f` element-wise in place.
-    pub fn map_assign(&mut self, f: impl Fn(T) -> T) {
-        for x in self.as_mut_slice() {
-            *x = f(*x);
-        }
+    /// Applies `f` element-wise in place (thread-pooled above the
+    /// element-wise grain; see [`Tensor::map`]).
+    pub fn map_assign(&mut self, f: impl Fn(T) -> T + Sync) {
+        s4tf_threads::parallel_chunks_mut(
+            self.as_mut_slice(),
+            1,
+            crate::par::ELEMWISE_GRAIN,
+            |_, chunk| {
+                for x in chunk {
+                    *x = f(*x);
+                }
+            },
+        );
     }
 
     /// Element-wise combination of two same-shaped tensors.
@@ -234,20 +263,34 @@ impl<T: Scalar> Tensor<T> {
     /// Panics if the shapes differ (no broadcasting; see
     /// [`Tensor::add`](crate::ops::elementwise) and friends for broadcasting
     /// variants).
-    pub fn zip_map(&self, other: &Tensor<T>, f: impl Fn(T, T) -> T) -> Tensor<T> {
+    pub fn zip_map(&self, other: &Tensor<T>, f: impl Fn(T, T) -> T + Sync) -> Tensor<T> {
         assert_eq!(
             self.shape, other.shape,
             "zip_map requires identical shapes ({} vs {})",
             self.shape, other.shape
         );
+        let lhs = self.as_slice();
+        let rhs = other.as_slice();
+        let storage = if lhs.len() >= crate::par::ELEMWISE_GRAIN && s4tf_threads::num_threads() > 1
+        {
+            let mut out = vec![T::zero(); lhs.len()];
+            s4tf_threads::parallel_chunks_mut(
+                &mut out,
+                1,
+                crate::par::ELEMWISE_GRAIN,
+                |start, chunk| {
+                    for (i, o) in chunk.iter_mut().enumerate() {
+                        *o = f(lhs[start + i], rhs[start + i]);
+                    }
+                },
+            );
+            Storage::from_vec(out)
+        } else {
+            lhs.iter().zip(rhs).map(|(&a, &b)| f(a, b)).collect()
+        };
         Tensor {
             shape: self.shape.clone(),
-            storage: self
-                .as_slice()
-                .iter()
-                .zip(other.as_slice())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            storage,
         }
     }
 

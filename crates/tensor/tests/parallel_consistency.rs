@@ -1,0 +1,188 @@
+//! Thread-count consistency for every parallelized kernel: each property
+//! computes the same op with the pool pinned to 1 thread and to 4 threads
+//! and compares.
+//!
+//! The determinism contract (DESIGN.md §"CPU parallelism"):
+//!
+//! - GEMM (all matmul variants), conv2d forward, conv2d_backward_input,
+//!   elementwise maps and axis reductions are **bit-identical** across
+//!   thread counts — the parallel split never reorders any per-element
+//!   summation.
+//! - Full reductions (`sum`, `dot`) and `conv2d_backward_filter` combine
+//!   per-chunk partials, so f32 results may differ by rounding (bounded
+//!   here by a tolerance scaled to the magnitude of the operands) while
+//!   integer results stay exact (integer addition is associative).
+//!
+//! The pool's thread count is process-global, so every comparison holds
+//! one mutex for its 1-vs-4 pair.
+
+use proptest::prelude::*;
+use s4tf_tensor::{Padding, Tensor};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serializes every `set_num_threads` flip in this test binary.
+fn pool_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Runs `f` single-threaded, then with a 4-thread pool; restores 1.
+fn one_vs_four<R>(f: impl Fn() -> R) -> (R, R) {
+    let _guard = pool_lock();
+    s4tf_threads::set_num_threads(1);
+    let serial = f();
+    s4tf_threads::set_num_threads(4);
+    let parallel = f();
+    s4tf_threads::set_num_threads(1);
+    (serial, parallel)
+}
+
+fn randn_f32(dims: &[usize], seed: u64) -> Tensor<f32> {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    Tensor::randn(dims, &mut rng)
+}
+
+fn randi(dims: &[usize], seed: u64) -> Tensor<i32> {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let n: usize = dims.iter().product();
+    let data: Vec<i32> = Tensor::<f32>::randn(&[n.max(1)], &mut rng)
+        .as_slice()
+        .iter()
+        .map(|&v| (v * 100.0) as i32)
+        .collect();
+    Tensor::from_vec(data, dims)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Spans the serial/packed-parallel threshold (PACKED_MIN_MACS = 2^15
+    // multiply-accumulates: 32^3 is the boundary), so both code paths get
+    // compared.
+    #[test]
+    fn matmul_variants_bit_identical(m in 16usize..=48, k in 16usize..=64,
+                                     n in 16usize..=48, seed in any::<u64>()) {
+        let a = randn_f32(&[m, k], seed);
+        let b = randn_f32(&[k, n], seed ^ 1);
+        let at = randn_f32(&[k, m], seed ^ 2);
+        let bt = randn_f32(&[n, k], seed ^ 3);
+        let (s, p) = one_vs_four(|| {
+            (a.matmul(&b), at.matmul_tn(&b), a.matmul_nt(&bt))
+        });
+        prop_assert_eq!(s.0.as_slice(), p.0.as_slice());
+        prop_assert_eq!(s.1.as_slice(), p.1.as_slice());
+        prop_assert_eq!(s.2.as_slice(), p.2.as_slice());
+    }
+
+    #[test]
+    fn matmul_i32_bit_identical(m in 16usize..=48, k in 16usize..=64,
+                                n in 16usize..=48, seed in any::<u64>()) {
+        let a = randi(&[m, k], seed);
+        let b = randi(&[k, n], seed ^ 1);
+        let (s, p) = one_vs_four(|| a.matmul(&b));
+        prop_assert_eq!(s.as_slice(), p.as_slice());
+    }
+
+    #[test]
+    fn matvec_bit_identical(m in 64usize..=300, k in 16usize..=128,
+                            seed in any::<u64>()) {
+        let a = randn_f32(&[m, k], seed);
+        let v = randn_f32(&[k], seed ^ 1);
+        let (s, p) = one_vs_four(|| a.matvec(&v));
+        prop_assert_eq!(s.as_slice(), p.as_slice());
+    }
+
+    // Spans the direct/im2col threshold (DIRECT_MAX_MACS = 2^15).
+    #[test]
+    fn conv2d_and_gradients_consistent(batch in 1usize..=3, hw in 8usize..=14,
+                                       in_c in 1usize..=4, out_c in 4usize..=8,
+                                       seed in any::<u64>()) {
+        let x = randn_f32(&[batch, hw, hw, in_c], seed);
+        let w = randn_f32(&[3, 3, in_c, out_c], seed ^ 1);
+        let (s, p) = one_vs_four(|| {
+            let y = x.conv2d(&w, (1, 1), Padding::Same);
+            let dx = x.conv2d_backward_input(&w, &y, (1, 1), Padding::Same);
+            let dw = x.conv2d_backward_filter(w.dims(), &y, (1, 1), Padding::Same);
+            (y, dx, dw)
+        });
+        // Forward and input gradient never reorder a summation.
+        prop_assert_eq!(s.0.as_slice(), p.0.as_slice());
+        prop_assert_eq!(s.1.as_slice(), p.1.as_slice());
+        // Filter gradient combines per-chunk partials: relative tolerance
+        // (allclose is absolute; dw entries accumulate batch*out_h*out_w
+        // products, so scale 1e-5 by the gradient's own magnitude).
+        let scale = s.2.as_slice().iter().fold(1.0f32, |m, v| m.max(v.abs()));
+        prop_assert!(
+            s.2.allclose(&p.2, 1e-5 * f64::from(scale)),
+            "dw diverged beyond relative 1e-5"
+        );
+    }
+
+    // Spans ELEMWISE_GRAIN = 4096.
+    #[test]
+    fn elementwise_bit_identical(n in 1usize..=12_000, seed in any::<u64>()) {
+        let a = randn_f32(&[n], seed);
+        let b = randn_f32(&[n], seed ^ 1);
+        let (s, p) = one_vs_four(|| {
+            let mapped = a.map(|v| v.mul_add(0.25, -1.5));
+            let zipped = a.mul(&b);
+            let mut assigned = a.clone();
+            assigned.scaled_add_assign(0.5, &b);
+            (mapped, zipped, assigned)
+        });
+        prop_assert_eq!(s.0.as_slice(), p.0.as_slice());
+        prop_assert_eq!(s.1.as_slice(), p.1.as_slice());
+        prop_assert_eq!(s.2.as_slice(), p.2.as_slice());
+    }
+
+    // Spans REDUCE_GRAIN = 4096.
+    #[test]
+    fn axis_reductions_bit_identical(rows in 2usize..=40, cols in 2usize..=200,
+                                     seed in any::<u64>()) {
+        let t = randn_f32(&[rows, cols], seed);
+        let (s, p) = one_vs_four(|| {
+            (t.sum_axis(0, false), t.sum_axis(1, false), t.argmax_axis(1))
+        });
+        prop_assert_eq!(s.0.as_slice(), p.0.as_slice());
+        prop_assert_eq!(s.1.as_slice(), p.1.as_slice());
+        prop_assert_eq!(s.2.as_slice(), p.2.as_slice());
+    }
+
+    #[test]
+    fn full_reductions_within_tolerance(n in 1usize..=20_000, seed in any::<u64>()) {
+        let a = randn_f32(&[n], seed);
+        let b = randn_f32(&[n], seed ^ 1);
+        let (s, p) = one_vs_four(|| {
+            (a.sum().scalar_value(), a.dot(&b), a.max().scalar_value())
+        });
+        // Chunk-order rounding, bounded relative to operand magnitude.
+        let scale: f32 = a.as_slice().iter().map(|v| v.abs()).sum::<f32>() + 1.0;
+        prop_assert!((s.0 - p.0).abs() <= 1e-5 * scale, "sum diverged");
+        prop_assert!((s.1 - p.1).abs() <= 1e-5 * scale * 4.0, "dot diverged");
+        // max is exact: combining maxima is associative.
+        prop_assert_eq!(s.2, p.2);
+    }
+
+    #[test]
+    fn integer_full_sum_exact(n in 1usize..=20_000, seed in any::<u64>()) {
+        let a = randi(&[n], seed);
+        let (s, p) = one_vs_four(|| a.sum().scalar_value());
+        prop_assert_eq!(s, p);
+    }
+}
+
+/// The 4-thread halves above must actually split work: pin the pool to 4
+/// threads and check the chunking decision for a post-grain size.
+#[test]
+fn four_thread_runs_exercise_the_pool() {
+    let _guard = pool_lock();
+    s4tf_threads::set_num_threads(4);
+    assert!(s4tf_threads::effective_chunks(20_000, 4096) > 1);
+    assert_eq!(s4tf_threads::effective_chunks(64, 4096), 1);
+    s4tf_threads::set_num_threads(1);
+}

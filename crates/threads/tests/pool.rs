@@ -1,0 +1,160 @@
+//! Behavioral tests for the global work-chunking pool.
+//!
+//! The configured thread count is process-global state, so every test
+//! here serializes on one lock (the same pattern as the profiler's
+//! test suite) and restores a known count before asserting.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use s4tf_threads::{
+    in_worker, num_threads, parallel_chunks, parallel_chunks_mut, parallel_map_chunks, pool_stats,
+    set_num_threads,
+};
+
+fn serialize() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[test]
+fn covers_every_index_exactly_once() {
+    let _g = serialize();
+    set_num_threads(4);
+    let mut counts = vec![0u8; 10_007];
+    parallel_chunks_mut(&mut counts, 1, 64, |_, chunk| {
+        for c in chunk {
+            *c += 1;
+        }
+    });
+    assert!(counts.iter().all(|&c| c == 1), "each index visited once");
+}
+
+#[test]
+fn single_thread_runs_inline_on_caller() {
+    let _g = serialize();
+    set_num_threads(1);
+    assert_eq!(num_threads(), 1);
+    let caller = std::thread::current().id();
+    let calls = AtomicUsize::new(0);
+    let before = pool_stats().inline_runs;
+    parallel_chunks(0..100_000, 1, |sub| {
+        assert_eq!(sub, 0..100_000, "one chunk covering the whole range");
+        assert_eq!(std::thread::current().id(), caller, "ran inline");
+        calls.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(calls.load(Ordering::Relaxed), 1);
+    assert!(pool_stats().inline_runs > before);
+}
+
+#[test]
+fn below_grain_runs_inline() {
+    let _g = serialize();
+    set_num_threads(4);
+    let caller = std::thread::current().id();
+    parallel_chunks(0..64, 64, |sub| {
+        assert_eq!(sub, 0..64);
+        assert_eq!(std::thread::current().id(), caller);
+    });
+}
+
+#[test]
+fn panics_propagate_and_pool_survives() {
+    let _g = serialize();
+    set_num_threads(4);
+    let result = std::panic::catch_unwind(|| {
+        parallel_chunks(0..10_000, 16, |sub| {
+            if sub.contains(&7_777) {
+                panic!("chunk exploded at 7777");
+            }
+        });
+    });
+    let payload = result.expect_err("panic must reach the caller");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("chunk exploded"), "payload preserved: {msg}");
+
+    // The pool is still fully operational afterwards.
+    let sum = parallel_map_chunks(0..1_000, 16, |sub| sub.sum::<usize>())
+        .into_iter()
+        .sum::<usize>();
+    assert_eq!(sum, 1_000 * 999 / 2);
+}
+
+#[test]
+fn nested_calls_run_inline_without_deadlock() {
+    let _g = serialize();
+    set_num_threads(4);
+    let total = AtomicUsize::new(0);
+    parallel_chunks(0..4_096, 16, |outer| {
+        // A kernel invoked from inside a chunk: must complete without
+        // blocking on the (possibly busy) pool.
+        let from_worker = in_worker();
+        let inner_calls = AtomicUsize::new(0);
+        parallel_chunks(outer.clone(), 16, |inner| {
+            inner_calls.fetch_add(1, Ordering::Relaxed);
+            total.fetch_add(inner.len(), Ordering::Relaxed);
+        });
+        if from_worker {
+            // On a worker the nested call may not split further.
+            assert_eq!(
+                inner_calls.load(Ordering::Relaxed),
+                1,
+                "nested call on a worker ran as one inline chunk"
+            );
+        }
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 4_096);
+}
+
+#[test]
+fn map_chunks_is_ordered_and_deterministic() {
+    let _g = serialize();
+    set_num_threads(4);
+    let parts = parallel_map_chunks(100..1_100, 10, |sub| sub.start);
+    let mut sorted = parts.clone();
+    sorted.sort_unstable();
+    assert_eq!(parts, sorted, "results arrive in chunk order");
+    assert_eq!(parts[0], 100);
+
+    set_num_threads(1);
+    let single = parallel_map_chunks(100..1_100, 10, |sub| sub.len());
+    assert_eq!(single, vec![1_000], "one chunk when single-threaded");
+}
+
+#[test]
+fn quantum_alignment_is_respected() {
+    let _g = serialize();
+    set_num_threads(4);
+    let mut data = vec![0u32; 3 * 1_000];
+    parallel_chunks_mut(&mut data, 3, 8, |start, chunk| {
+        assert_eq!(start % 3, 0, "chunk start aligned to quantum");
+        assert_eq!(chunk.len() % 3, 0, "chunk length aligned to quantum");
+        for v in chunk {
+            *v = 1;
+        }
+    });
+    assert!(data.iter().all(|&v| v == 1));
+}
+
+#[test]
+fn stats_count_dispatches() {
+    let _g = serialize();
+    set_num_threads(4);
+    let before = pool_stats();
+    parallel_chunks(0..100_000, 8, |sub| {
+        std::hint::black_box(sub.len());
+    });
+    let after = pool_stats();
+    assert!(
+        after.chunks_dispatched > before.chunks_dispatched,
+        "queued chunks counted"
+    );
+    assert!(after.workers >= 1, "workers spawned");
+}

@@ -77,6 +77,7 @@ impl Executable {
         let mut span = prof::span("xla.execute");
         if span.is_recording() {
             span.annotate_f64("kernels", self.kernel_count as f64);
+            span.annotate_f64("threads_used", s4tf_threads::num_threads() as f64);
             prof::counter_add("xla.kernels_run", self.kernel_count as u64);
         }
         assert_eq!(
@@ -247,7 +248,7 @@ pub fn eval_op(op: &HloOp, inputs: &[&Tensor<f32>]) -> Tensor<f32> {
 pub(crate) fn apply_binary(
     a: &Tensor<f32>,
     b: &Tensor<f32>,
-    f: impl Fn(f32, f32) -> f32 + Copy,
+    f: impl Fn(f32, f32) -> f32 + Copy + Sync,
 ) -> Tensor<f32> {
     if a.shape() == b.shape() {
         a.zip_map(b, f)
@@ -270,52 +271,64 @@ const FUSED_CHUNK: usize = 512;
 /// run tight per-element loops, so dispatch cost is amortized 512×.
 /// Inputs smaller than the output are trailing-suffix broadcasts, indexed
 /// modulo their length (bias vectors, batch-norm scales, …).
+/// Elements per pool task: several dispatch chunks, so a task amortizes
+/// its private register-file allocation.
+const FUSED_GRAIN: usize = 8 * FUSED_CHUNK;
+
 fn run_fused(insts: &[FusedInst], inputs: &[&Tensor<f32>], out_dims: &[usize]) -> Tensor<f32> {
     let n: usize = out_dims.iter().product();
     let slices: Vec<&[f32]> = inputs.iter().map(|t| t.as_slice()).collect();
     let mut out = vec![0.0f32; n];
-    // Chunk-wide registers, one row per instruction.
-    let mut regs = vec![0.0f32; insts.len() * FUSED_CHUNK];
-    let mut start = 0usize;
-    while start < n {
-        let len = FUSED_CHUNK.min(n - start);
-        for (r, inst) in insts.iter().enumerate() {
-            // Split the register file so an instruction can read earlier
-            // rows while writing its own.
-            let (read, write) = regs.split_at_mut(r * FUSED_CHUNK);
-            let dst = &mut write[..len];
-            match inst {
-                FusedInst::Input(i) => {
-                    let src = slices[*i];
-                    if src.len() == n {
-                        dst.copy_from_slice(&src[start..start + len]);
-                    } else {
-                        let m = src.len();
-                        for (j, d) in dst.iter_mut().enumerate() {
-                            *d = src[(start + j) % m];
+    // Outputs above the grain split across the thread pool; each task
+    // interprets a disjoint output range with its own chunk-register
+    // file, so per-element evaluation is unchanged by the split
+    // (bit-identical for every thread count).
+    s4tf_threads::parallel_chunks_mut(&mut out, 1, FUSED_GRAIN, |task_start, out_chunk| {
+        // Chunk-wide registers, one row per instruction.
+        let mut regs = vec![0.0f32; insts.len() * FUSED_CHUNK];
+        let mut start = 0usize;
+        while start < out_chunk.len() {
+            let len = FUSED_CHUNK.min(out_chunk.len() - start);
+            // Broadcast inputs index by *global* element position.
+            let global = task_start + start;
+            for (r, inst) in insts.iter().enumerate() {
+                // Split the register file so an instruction can read earlier
+                // rows while writing its own.
+                let (read, write) = regs.split_at_mut(r * FUSED_CHUNK);
+                let dst = &mut write[..len];
+                match inst {
+                    FusedInst::Input(i) => {
+                        let src = slices[*i];
+                        if src.len() == n {
+                            dst.copy_from_slice(&src[global..global + len]);
+                        } else {
+                            let m = src.len();
+                            for (j, d) in dst.iter_mut().enumerate() {
+                                *d = src[(global + j) % m];
+                            }
+                        }
+                    }
+                    FusedInst::Imm(x) => dst.fill(*x),
+                    FusedInst::Unary(u, a) => {
+                        let src = &read[a * FUSED_CHUNK..a * FUSED_CHUNK + len];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d = u.apply(s);
+                        }
+                    }
+                    FusedInst::Binary(b, a, c) => {
+                        let lhs = &read[a * FUSED_CHUNK..a * FUSED_CHUNK + len];
+                        let rhs = &read[c * FUSED_CHUNK..c * FUSED_CHUNK + len];
+                        for ((d, &x), &y) in dst.iter_mut().zip(lhs).zip(rhs) {
+                            *d = b.apply(x, y);
                         }
                     }
                 }
-                FusedInst::Imm(x) => dst.fill(*x),
-                FusedInst::Unary(u, a) => {
-                    let src = &read[a * FUSED_CHUNK..a * FUSED_CHUNK + len];
-                    for (d, &s) in dst.iter_mut().zip(src) {
-                        *d = u.apply(s);
-                    }
-                }
-                FusedInst::Binary(b, a, c) => {
-                    let lhs = &read[a * FUSED_CHUNK..a * FUSED_CHUNK + len];
-                    let rhs = &read[c * FUSED_CHUNK..c * FUSED_CHUNK + len];
-                    for ((d, &x), &y) in dst.iter_mut().zip(lhs).zip(rhs) {
-                        *d = b.apply(x, y);
-                    }
-                }
             }
+            let last = (insts.len() - 1) * FUSED_CHUNK;
+            out_chunk[start..start + len].copy_from_slice(&regs[last..last + len]);
+            start += len;
         }
-        let last = (insts.len() - 1) * FUSED_CHUNK;
-        out[start..start + len].copy_from_slice(&regs[last..last + len]);
-        start += len;
-    }
+    });
     Tensor::from_vec(out, out_dims)
 }
 

@@ -25,6 +25,12 @@ use s4tf::profile;
 
 fn main() {
     let trace_path = std::env::args().nth(1);
+    // Exercise the kernel thread pool even on single-core CI hosts (where
+    // `available_parallelism` would otherwise pin it to one worker); an
+    // explicit S4TF_NUM_THREADS still wins.
+    if std::env::var("S4TF_NUM_THREADS").is_err() {
+        s4tf::threads::set_num_threads(4);
+    }
     let train = Dataset::generate(ImageSpec::mnist_like(), 256, 1);
     let batch_size = 32;
     let steps = train.batches_per_epoch(batch_size);
@@ -62,6 +68,16 @@ fn main() {
             println!();
         }
     }
+
+    let stats = profile::pool_stats().expect("kernel pool ran, so stats must be registered");
+    assert!(
+        stats.tasks_run + stats.inline_runs > 0,
+        "the training loops above must have driven the kernel pool"
+    );
+    println!(
+        "kernel pool: {} workers, {} tasks ({} chunks), {} inline runs, {}us busy",
+        stats.workers, stats.tasks_run, stats.chunks_dispatched, stats.inline_runs, stats.busy_us
+    );
 
     // The profiler still holds the lazy run's events; export them.
     if let Some(path) = trace_path {

@@ -20,6 +20,7 @@
 //! | [`models`] | `s4tf-models` | §5 — LeNet-5 (Figure 6), the ResNet family, the spline model |
 //! | [`data`] | `s4tf-data` | §5 — synthetic dataset substitutes |
 //! | [`profile`] | `s4tf-profile` | spans, counters and Chrome-trace export across every backend |
+//! | [`threads`] | `s4tf-threads` | the work-chunking kernel thread pool (`S4TF_NUM_THREADS`) |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use s4tf_profile as profile;
 pub use s4tf_runtime as runtime;
 pub use s4tf_sil as sil;
 pub use s4tf_tensor as tensor;
+pub use s4tf_threads as threads;
 pub use s4tf_xla as xla;
 
 /// The combined prelude: model-building surface plus the differentiable-
