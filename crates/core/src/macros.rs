@@ -131,6 +131,10 @@ macro_rules! differentiable_struct {
                     $( $field: $crate::VectorSpace::scaled_by(&self.$field, factor), )*
                 }
             }
+
+            fn norm_squared(&self) -> f64 {
+                0.0 $( + $crate::VectorSpace::norm_squared(&self.$field) )*
+            }
         }
 
         impl $crate::vector_space::PointwiseMath for $tangent {

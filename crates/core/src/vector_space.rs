@@ -36,6 +36,11 @@ pub trait AdditiveArithmetic: Clone + Debug + PartialEq + 'static {
 pub trait VectorSpace: AdditiveArithmetic {
     /// `factor * self`.
     fn scaled_by(&self, factor: f64) -> Self;
+    /// The squared Euclidean norm `‖self‖²`, summed over every scalar
+    /// component. Used for gradient-norm telemetry and clipping; the
+    /// squared form composes additively across structs and tuples so the
+    /// final `sqrt` happens once, at the top.
+    fn norm_squared(&self) -> f64;
 }
 
 /// Element-wise (Hadamard) arithmetic on tangent vectors, beyond the plain
@@ -167,6 +172,9 @@ macro_rules! impl_scalar_vector_space {
             fn scaled_by(&self, factor: f64) -> Self {
                 (*self as f64 * factor) as $t
             }
+            fn norm_squared(&self) -> f64 {
+                (*self as f64) * (*self as f64)
+            }
         }
     };
 }
@@ -198,6 +206,15 @@ impl<T: Float> VectorSpace for Tensor<T> {
     fn scaled_by(&self, factor: f64) -> Self {
         self.mul_scalar(T::from_f64(factor))
     }
+    fn norm_squared(&self) -> f64 {
+        self.as_slice()
+            .iter()
+            .map(|&x| {
+                let v = x.to_f64();
+                v * v
+            })
+            .sum()
+    }
 }
 
 impl AdditiveArithmetic for () {
@@ -208,6 +225,9 @@ impl AdditiveArithmetic for () {
 
 impl VectorSpace for () {
     fn scaled_by(&self, _: f64) -> Self {}
+    fn norm_squared(&self) -> f64 {
+        0.0
+    }
 }
 
 impl<A: AdditiveArithmetic, B: AdditiveArithmetic> AdditiveArithmetic for (A, B) {
@@ -225,6 +245,9 @@ impl<A: AdditiveArithmetic, B: AdditiveArithmetic> AdditiveArithmetic for (A, B)
 impl<A: VectorSpace, B: VectorSpace> VectorSpace for (A, B) {
     fn scaled_by(&self, factor: f64) -> Self {
         (self.0.scaled_by(factor), self.1.scaled_by(factor))
+    }
+    fn norm_squared(&self) -> f64 {
+        self.0.norm_squared() + self.1.norm_squared()
     }
 }
 
@@ -264,6 +287,9 @@ impl<A: AdditiveArithmetic> AdditiveArithmetic for Vec<A> {
 impl<A: VectorSpace> VectorSpace for Vec<A> {
     fn scaled_by(&self, factor: f64) -> Self {
         self.iter().map(|a| a.scaled_by(factor)).collect()
+    }
+    fn norm_squared(&self) -> f64 {
+        self.iter().map(VectorSpace::norm_squared).sum()
     }
 }
 
@@ -324,5 +350,18 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn vec_tangent_length_mismatch() {
         vec![1.0f64].adding(&vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn norm_squared_composes_across_structure() {
+        assert_eq!(3.0f64.norm_squared(), 9.0);
+        assert_eq!((-2.0f32).norm_squared(), 4.0);
+        assert_eq!(().norm_squared(), 0.0);
+        let t = Tensor::from_vec(vec![3.0f32, 4.0], &[2]);
+        assert_eq!(t.norm_squared(), 25.0);
+        assert_eq!((1.0f64, 2.0f64).norm_squared(), 5.0);
+        assert_eq!(vec![1.0f64, 2.0, 2.0].norm_squared(), 9.0);
+        // Nested: Vec of tuples, the shape gradients actually take.
+        assert_eq!(vec![(3.0f64, 4.0f64)].norm_squared().sqrt(), 5.0);
     }
 }

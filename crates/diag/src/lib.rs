@@ -1,0 +1,187 @@
+//! Semantic diagnostics for the s4tf runtime: numerics checking, IR and
+//! trace dumping, memory tracking, a bounded structured event log, and a
+//! training-metrics stream.
+//!
+//! Where `s4tf-profile` answers *"where did the time go?"*, this crate
+//! answers *"what did the program actually do?"* — which op produced the
+//! first NaN, what the lazy trace and XLA graph looked like before and
+//! after each pass, how many bytes of tensor storage are live, and what
+//! each training step's loss and gradient norm were.
+//!
+//! Four pillars, each independently gated so the disabled path stays one
+//! relaxed atomic load (the pattern established by `s4tf-profile`):
+//!
+//! | pillar | env var | API |
+//! |--------|---------|-----|
+//! | numerics checking | `S4TF_CHECK_NUMERICS=1`/`panic` | [`set_numerics_mode`], [`check_f32s`], [`first_violation`] |
+//! | IR / trace dumps | `S4TF_DUMP=<dir>` | [`set_dump_dir`], [`dump`] |
+//! | event log | `S4TF_DIAG_EVENTS=1` | [`set_events_enabled`], [`event!`], [`events_jsonl`] |
+//! | training metrics | `S4TF_METRICS_FILE=<path>` | [`set_metrics_path`], [`record_step`] |
+//!
+//! Memory tracking ([`track_alloc`] / [`track_free`] / [`memory_stats`])
+//! has no gate of its own: the counters are plain relaxed atomics bumped
+//! by `tensor::storage`, in the same spirit as the tensor crate's
+//! copy-on-write counter — the cost is a few relaxed RMWs per buffer
+//! allocation, dwarfed by the allocation itself.
+//!
+//! This crate is std-only with zero dependencies so that `s4tf-tensor`
+//! (which itself must stay dependency-light) can sit above it.
+
+use std::borrow::Cow;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+mod dump;
+mod events;
+mod memory;
+mod metrics;
+mod numerics;
+
+pub use dump::{dump, dump_dir, dump_enabled, set_dump_dir};
+pub use events::{
+    clear_events, events, events_enabled, events_jsonl, record_event, set_events_enabled,
+    EventRecord,
+};
+pub use memory::{memory_stats, reset_peak_bytes, track_alloc, track_free, MemoryStats};
+pub use metrics::{
+    metrics_enabled, next_step, record_step, reset_step_counter, set_metrics_path, StepRecord,
+};
+pub use numerics::{
+    check_f32s, clear_numerics, first_violation, numerics_enabled, numerics_mode, scans_performed,
+    set_numerics_mode, NumericsMode, Violation,
+};
+
+// ----------------------------------------------------------- shared bits
+
+/// Tri-state atomic gate shared by the pillars: `0` = uninitialized
+/// (consult the environment once), [`GATE_OFF`], [`GATE_ON`].
+pub(crate) struct Gate {
+    state: AtomicU8,
+    init: fn() -> u8,
+}
+
+pub(crate) const GATE_OFF: u8 = 1;
+pub(crate) const GATE_ON: u8 = 2;
+
+impl Gate {
+    pub(crate) const fn new(init: fn() -> u8) -> Self {
+        Gate {
+            state: AtomicU8::new(0),
+            init,
+        }
+    }
+
+    /// The hot-path check: one relaxed load once initialized.
+    #[inline]
+    pub(crate) fn raw(&self) -> u8 {
+        match self.state.load(Ordering::Relaxed) {
+            0 => self.init_slow(),
+            state => state,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn on(&self) -> bool {
+        self.raw() >= GATE_ON
+    }
+
+    #[cold]
+    fn init_slow(&self) -> u8 {
+        let computed = (self.init)();
+        // Racing initializers compute the same value; only install when
+        // still uninitialized so an explicit `set` in between wins.
+        let _ = self
+            .state
+            .compare_exchange(0, computed, Ordering::Relaxed, Ordering::Relaxed);
+        self.state.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set(&self, state: u8) {
+        self.state.store(state, Ordering::Relaxed);
+    }
+}
+
+/// `1`/`true`/`on` (any case) counts as set.
+pub(crate) fn env_truthy(var: &str) -> bool {
+    match std::env::var(var) {
+        Ok(v) => matches!(v.to_ascii_lowercase().as_str(), "1" | "true" | "on" | "yes"),
+        Err(_) => false,
+    }
+}
+
+/// Microseconds since this crate's (lazily fixed) epoch.
+pub(crate) fn now_us() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_micros() as u64
+}
+
+/// Locks a mutex, shrugging off poisoning: diagnostics must keep working
+/// after a `NumericsMode::Panic` unwound through a holder.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// JSON string escaping shared by the JSONL exporters.
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders an `f64` as JSON: finite values print plainly, non-finite
+/// values (legal in a metrics stream that *reports on* NaNs) become
+/// strings `"NaN"` / `"Infinity"` / `"-Infinity"`.
+pub(crate) fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else if v.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if v > 0.0 {
+        out.push_str("\"Infinity\"");
+    } else {
+        out.push_str("\"-Infinity\"");
+    }
+}
+
+pub(crate) type FieldList = Vec<(Cow<'static, str>, String)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_f64_non_finite() {
+        let mut out = String::new();
+        push_json_f64(&mut out, f64::NAN);
+        out.push(',');
+        push_json_f64(&mut out, f64::INFINITY);
+        out.push(',');
+        push_json_f64(&mut out, 1.5);
+        assert_eq!(out, "\"NaN\",\"Infinity\",1.5");
+    }
+}

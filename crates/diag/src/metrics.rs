@@ -1,0 +1,145 @@
+//! Pillar 4b: the training telemetry stream.
+//!
+//! With `S4TF_METRICS_FILE=<path>` (or [`set_metrics_path`]) the
+//! training loop appends one JSON object per optimization step:
+//!
+//! ```json
+//! {"step":1,"loss":2.3025,"grad_norm":0.4812,"examples_per_sec":15873.0,
+//!  "peak_bytes":1048576,"live_bytes":524288,"backend":"lazy"}
+//! ```
+//!
+//! The file is opened in append mode per write, so several short runs
+//! can share one log and a crashed run loses at most the in-flight line.
+
+use crate::{lock_unpoisoned, push_json_f64, Gate, GATE_OFF, GATE_ON};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+static STEP: AtomicU64 = AtomicU64::new(0);
+
+fn init_from_env() -> u8 {
+    match std::env::var("S4TF_METRICS_FILE") {
+        Ok(p) if !p.is_empty() => {
+            *lock_unpoisoned(&PATH) = Some(PathBuf::from(p));
+            GATE_ON
+        }
+        _ => GATE_OFF,
+    }
+}
+
+static GATE: Gate = Gate::new(init_from_env);
+
+/// Whether a metrics sink is configured — the one-relaxed-load branch
+/// the training loop takes before computing gradient norms or timings.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    GATE.on()
+}
+
+/// Points the stream at `path` (`None` disables). Overrides
+/// `S4TF_METRICS_FILE`.
+pub fn set_metrics_path(path: Option<&Path>) {
+    *lock_unpoisoned(&PATH) = path.map(Path::to_path_buf);
+    GATE.set(if path.is_some() { GATE_ON } else { GATE_OFF });
+}
+
+/// Next 1-based global step number (process-wide, shared by every
+/// training loop so the stream stays monotonic).
+pub fn next_step() -> u64 {
+    STEP.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// Rewinds the global step counter (tests).
+pub fn reset_step_counter() {
+    STEP.store(0, Ordering::Relaxed);
+}
+
+/// One training step's telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRecord {
+    /// 1-based step number (usually from [`next_step`]).
+    pub step: u64,
+    /// Scalar loss.
+    pub loss: f64,
+    /// Global L2 norm of the parameter gradient.
+    pub grad_norm: f64,
+    /// Batch size divided by wall-clock step time.
+    pub examples_per_sec: f64,
+    /// Peak tensor-storage bytes (see [`crate::memory_stats`]).
+    pub peak_bytes: u64,
+    /// Live tensor-storage bytes at the end of the step.
+    pub live_bytes: u64,
+    /// Device the step ran on (`naive` / `eager` / `lazy`).
+    pub backend: &'static str,
+}
+
+impl StepRecord {
+    /// The JSONL rendering (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        out.push_str("{\"step\":");
+        out.push_str(&self.step.to_string());
+        out.push_str(",\"loss\":");
+        push_json_f64(&mut out, self.loss);
+        out.push_str(",\"grad_norm\":");
+        push_json_f64(&mut out, self.grad_norm);
+        out.push_str(",\"examples_per_sec\":");
+        push_json_f64(&mut out, self.examples_per_sec);
+        out.push_str(",\"peak_bytes\":");
+        out.push_str(&self.peak_bytes.to_string());
+        out.push_str(",\"live_bytes\":");
+        out.push_str(&self.live_bytes.to_string());
+        out.push_str(",\"backend\":\"");
+        out.push_str(self.backend);
+        out.push_str("\"}");
+        out
+    }
+}
+
+/// Appends `record` to the metrics file (no-op when no sink is set).
+pub fn record_step(record: &StepRecord) {
+    if !metrics_enabled() {
+        return;
+    }
+    let Some(path) = lock_unpoisoned(&PATH).clone() else {
+        return;
+    };
+    let line = record.to_json();
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = result {
+        eprintln!(
+            "[s4tf-diag] metrics write to {} failed: {e}",
+            path.display()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_record_json_shape() {
+        let r = StepRecord {
+            step: 3,
+            loss: 0.5,
+            grad_norm: 1.25,
+            examples_per_sec: 100.0,
+            peak_bytes: 2048,
+            live_bytes: 1024,
+            backend: "naive",
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"step\":3,\"loss\":0.5,\"grad_norm\":1.25,\"examples_per_sec\":100,\
+             \"peak_bytes\":2048,\"live_bytes\":1024,\"backend\":\"naive\"}"
+        );
+    }
+}

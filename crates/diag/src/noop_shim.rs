@@ -1,0 +1,98 @@
+// Inert mirror of the `s4tf-diag` surface the runtime crates
+// instrument against. Not compiled into `s4tf-diag` itself: consumer
+// crates `include!` it from their `diag.rs` shim when their `diag`
+// feature is off, so every instrumentation site compiles identically
+// and costs nothing (see the matching pattern in
+// `crates/profile/src/noop_shim.rs`).
+
+/// Inert stand-in for `s4tf_diag::MemoryStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct MemoryStats {
+    pub live_bytes: u64,
+    pub peak_bytes: u64,
+    pub allocs: u64,
+    pub frees: u64,
+}
+
+/// Inert stand-in for `s4tf_diag::StepRecord`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct StepRecord {
+    pub step: u64,
+    pub loss: f64,
+    pub grad_norm: f64,
+    pub examples_per_sec: f64,
+    pub peak_bytes: u64,
+    pub live_bytes: u64,
+    pub backend: &'static str,
+}
+
+#[inline(always)]
+pub(crate) fn numerics_enabled() -> bool {
+    false
+}
+
+#[inline(always)]
+pub(crate) fn check_f32s(
+    _op: &str,
+    _backend: &'static str,
+    _dims: &[usize],
+    _data: &[f32],
+    _span: Option<&str>,
+) {
+}
+
+#[inline(always)]
+pub(crate) fn dump_enabled() -> bool {
+    false
+}
+
+#[inline(always)]
+pub(crate) fn dump(
+    _category: &str,
+    _name: &str,
+    _ext: &str,
+    _contents: &str,
+) -> Option<std::path::PathBuf> {
+    None
+}
+
+#[inline(always)]
+pub(crate) fn events_enabled() -> bool {
+    false
+}
+
+#[inline(always)]
+pub(crate) fn track_alloc(_bytes: usize) {}
+
+#[inline(always)]
+pub(crate) fn track_free(_bytes: usize) {}
+
+#[inline(always)]
+pub(crate) fn memory_stats() -> MemoryStats {
+    MemoryStats::default()
+}
+
+#[inline(always)]
+pub(crate) fn reset_peak_bytes() {}
+
+#[inline(always)]
+pub(crate) fn metrics_enabled() -> bool {
+    false
+}
+
+#[inline(always)]
+pub(crate) fn next_step() -> u64 {
+    0
+}
+
+#[inline(always)]
+pub(crate) fn record_step(_record: &StepRecord) {}
+
+/// Inert stand-in for `s4tf_diag::event!`: expands to nothing, so field
+/// expressions are never evaluated.
+macro_rules! event {
+    ($kind:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        ()
+    };
+}
+pub(crate) use event;

@@ -28,6 +28,7 @@
 //! model definition trains on the naive, eager and lazy backends.
 
 pub mod activation;
+mod diag;
 pub mod layer;
 pub mod layers;
 pub mod loss;

@@ -1,43 +1,13 @@
-//! Internal shim over `s4tf-profile`: with the `profile` feature (the
-//! default) this re-exports the real profiler; without it, a no-op
-//! mirror with the same signatures, so instrumentation sites compile
-//! identically and cost nothing.
+//! Internal shim over `s4tf-profile`: with the `profile` feature this
+//! re-exports the real profiler; without it, the shared no-op mirror
+//! (`crates/profile/src/noop_shim.rs`) is `include!`d, so
+//! instrumentation sites compile identically and cost nothing.
 
 // Not every crate uses every hook; keep the shim surface uniform.
 #![allow(dead_code, unused_imports)]
 
 #[cfg(feature = "profile")]
-pub(crate) use s4tf_profile::{counter_add, enabled, gauge_set, span, SpanGuard};
+pub(crate) use s4tf_profile::{counter_add, current_span, enabled, gauge_set, span, SpanGuard};
 
 #[cfg(not(feature = "profile"))]
-mod noop {
-    /// Inert stand-in for `s4tf_profile::SpanGuard`.
-    pub(crate) struct SpanGuard;
-
-    impl SpanGuard {
-        pub(crate) fn annotate(&mut self, _key: &'static str, _value: impl Into<String>) {}
-        pub(crate) fn annotate_f64(&mut self, _key: &'static str, _value: f64) {}
-        pub(crate) fn is_recording(&self) -> bool {
-            false
-        }
-    }
-
-    #[inline(always)]
-    pub(crate) fn enabled() -> bool {
-        false
-    }
-
-    #[inline(always)]
-    pub(crate) fn span(_name: &'static str) -> SpanGuard {
-        SpanGuard
-    }
-
-    #[inline(always)]
-    pub(crate) fn counter_add(_name: &'static str, _delta: u64) {}
-
-    #[inline(always)]
-    pub(crate) fn gauge_set(_name: &'static str, _value: f64) {}
-}
-
-#[cfg(not(feature = "profile"))]
-pub(crate) use noop::*;
+include!("../../profile/src/noop_shim.rs");

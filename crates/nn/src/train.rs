@@ -3,12 +3,53 @@
 //! training-loop library can automatically call `LazyTensorBarrier()` after
 //! the optimizer update step on behalf of the user").
 
+use crate::diag;
 use crate::layer::Layer;
 use crate::loss::softmax_cross_entropy;
 use crate::optimizer::Optimizer;
 use crate::prof;
 use s4tf_core::{AdditiveArithmetic, LossValue, VectorSpace};
 use s4tf_runtime::DTensor;
+
+/// Emits one [`diag::StepRecord`] to the `S4TF_METRICS_FILE` stream.
+///
+/// Called after the barrier, so on the lazy device the gradient is already
+/// materialized and the host-side norm read does not pollute the next
+/// trace. The peak-bytes counter is reset afterwards so each record reports
+/// a per-step high-water mark.
+fn emit_step_metrics<G: VectorSpace>(
+    loss: f64,
+    gradients: &G,
+    examples: usize,
+    elapsed: std::time::Duration,
+    backend: &'static str,
+) {
+    let grad_norm = gradients.norm_squared().sqrt();
+    let secs = elapsed.as_secs_f64();
+    let stats = diag::memory_stats();
+    let record = diag::StepRecord {
+        step: diag::next_step(),
+        loss,
+        grad_norm,
+        examples_per_sec: if secs > 0.0 {
+            examples as f64 / secs
+        } else {
+            0.0
+        },
+        peak_bytes: stats.peak_bytes,
+        live_bytes: stats.live_bytes,
+        backend,
+    };
+    diag::event!(
+        "train.step",
+        step = record.step,
+        loss = record.loss,
+        grad_norm = record.grad_norm,
+        backend = backend,
+    );
+    diag::record_step(&record);
+    diag::reset_peak_bytes();
+}
 
 /// One classifier training step (paper Figure 7, one loop body):
 /// forward → softmax cross-entropy → pullback → in-place optimizer update →
@@ -27,6 +68,7 @@ where
     O: Optimizer<L>,
 {
     let mut span = prof::span("train.step");
+    let start = std::time::Instant::now();
     let device = images.device();
     let (logits, pullback) = model.forward_with_pullback(images);
     let (loss, loss_pullback) = softmax_cross_entropy(&logits, labels);
@@ -39,6 +81,10 @@ where
     let loss = loss.loss_value();
     if span.is_recording() {
         span.annotate_f64("loss", loss);
+    }
+    if diag::metrics_enabled() {
+        let examples = images.dims().first().copied().unwrap_or(1);
+        emit_step_metrics(loss, &gradients, examples, start.elapsed(), device.kind());
     }
     loss
 }
@@ -93,6 +139,7 @@ where
 {
     assert!(!shards.is_empty(), "data-parallel step needs ≥1 shard");
     let mut span = prof::span("train.step");
+    let start = std::time::Instant::now();
     if span.is_recording() {
         span.annotate_f64("shards", shards.len() as f64);
     }
@@ -134,6 +181,19 @@ where
     if span.is_recording() {
         span.annotate_f64("loss", loss);
     }
+    if diag::metrics_enabled() {
+        let examples: usize = shards
+            .iter()
+            .map(|(x, _)| x.dims().first().copied().unwrap_or(1))
+            .sum();
+        emit_step_metrics(
+            loss,
+            &mean_grad,
+            examples,
+            start.elapsed(),
+            shards[0].0.device().kind(),
+        );
+    }
     loss
 }
 
@@ -149,6 +209,7 @@ where
     O: Optimizer<L>,
 {
     let mut span = prof::span("train.step");
+    let start = std::time::Instant::now();
     let device = inputs.device();
     let (pred, pullback) = model.forward_with_pullback(inputs);
     let (loss, loss_pullback) = crate::loss::mse(&pred, targets);
@@ -159,6 +220,10 @@ where
     let loss = loss.loss_value();
     if span.is_recording() {
         span.annotate_f64("loss", loss);
+    }
+    if diag::metrics_enabled() {
+        let examples = inputs.dims().first().copied().unwrap_or(1);
+        emit_step_metrics(loss, &gradients, examples, start.elapsed(), device.kind());
     }
     loss
 }

@@ -81,6 +81,21 @@ fn now_us() -> u64 {
     Instant::now().duration_since(epoch).as_micros() as u64
 }
 
+thread_local! {
+    /// Names of the spans currently open on this thread, innermost last.
+    /// Maintained only while the profiler is enabled; read by
+    /// [`current_span`] so diagnostics (e.g. a numerics violation) can
+    /// report the enclosing span as provenance.
+    static SPAN_STACK: std::cell::RefCell<Vec<Cow<'static, str>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The innermost profile span open on the calling thread, or `None`
+/// when the profiler is off or no span is open.
+pub fn current_span() -> Option<String> {
+    SPAN_STACK.with(|stack| stack.borrow().last().map(|name| name.to_string()))
+}
+
 /// Small dense per-thread id used as the Chrome-trace `tid`.
 fn thread_id() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(1);
@@ -150,9 +165,11 @@ pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
     if !enabled() {
         return SpanGuard { active: None };
     }
+    let name = name.into();
+    SPAN_STACK.with(|stack| stack.borrow_mut().push(name.clone()));
     SpanGuard {
         active: Some(ActiveSpan {
-            name: name.into(),
+            name,
             start_us: now_us(),
             annotations: Vec::new(),
         }),
@@ -185,6 +202,12 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(active) = self.active.take() {
+            // RAII guards close LIFO, so popping restores the enclosing
+            // span. (A guard sent to another thread would pop that
+            // thread's stack instead; spans are scope-local in practice.)
+            SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
             let end = now_us();
             let event = SpanEvent {
                 dur_us: end.saturating_sub(active.start_us),

@@ -1,0 +1,38 @@
+// Inert mirror of the `s4tf-profile` surface the runtime crates
+// instrument against. Not compiled into `s4tf-profile` itself: consumer
+// crates `include!` this file from their `prof.rs` shim when their
+// `profile` feature is off, so every instrumentation site compiles
+// identically and costs nothing. Keeping the one copy here (instead of
+// a per-crate paste) is what lets the shims stay four lines each.
+
+/// Inert stand-in for `s4tf_profile::SpanGuard`.
+pub(crate) struct SpanGuard;
+
+impl SpanGuard {
+    pub(crate) fn annotate(&mut self, _key: &'static str, _value: impl Into<String>) {}
+    pub(crate) fn annotate_f64(&mut self, _key: &'static str, _value: f64) {}
+    pub(crate) fn is_recording(&self) -> bool {
+        false
+    }
+}
+
+#[inline(always)]
+pub(crate) fn enabled() -> bool {
+    false
+}
+
+#[inline(always)]
+pub(crate) fn span(_name: impl Into<std::borrow::Cow<'static, str>>) -> SpanGuard {
+    SpanGuard
+}
+
+#[inline(always)]
+pub(crate) fn counter_add(_name: impl Into<std::borrow::Cow<'static, str>>, _delta: u64) {}
+
+#[inline(always)]
+pub(crate) fn gauge_set(_name: impl Into<std::borrow::Cow<'static, str>>, _value: f64) {}
+
+#[inline(always)]
+pub(crate) fn current_span() -> Option<String> {
+    None
+}

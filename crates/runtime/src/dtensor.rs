@@ -118,7 +118,17 @@ impl DTensor {
             Device::Naive => {
                 let tensors: Vec<Tensor<f32>> = inputs.iter().map(|t| t.to_tensor()).collect();
                 let refs: Vec<&Tensor<f32>> = tensors.iter().collect();
-                DTensor::Cpu(s4tf_xla::eval_op(&op, &refs))
+                let result = s4tf_xla::eval_op(&op, &refs);
+                if crate::diag::numerics_enabled() {
+                    let _ = crate::diag::check_f32s(
+                        &op.mnemonic(),
+                        "naive",
+                        result.dims(),
+                        result.as_slice(),
+                        crate::prof::current_span().as_deref(),
+                    );
+                }
+                DTensor::Cpu(result)
             }
             Device::Eager(q) => {
                 let lifted: Vec<EagerTensor> = inputs
@@ -562,6 +572,20 @@ impl AdditiveArithmetic for DTensor {
 impl VectorSpace for DTensor {
     fn scaled_by(&self, factor: f64) -> Self {
         self.mul_scalar(factor as f32)
+    }
+
+    /// Computed host-side: observing the value forces materialization, so
+    /// on the lazy device call this only at a natural trace cut (the
+    /// training loop computes grad norms after its barrier).
+    fn norm_squared(&self) -> f64 {
+        self.to_tensor()
+            .as_slice()
+            .iter()
+            .map(|&x| {
+                let v = x as f64;
+                v * v
+            })
+            .sum()
     }
 }
 

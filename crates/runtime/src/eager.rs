@@ -11,6 +11,7 @@
 //! channel send, slot synchronization — is exactly the dispatch overhead
 //! Table 3 measures against the lazy backend.
 
+use crate::diag;
 use crate::prof;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
@@ -212,6 +213,7 @@ impl EagerTensor {
         let out = Arc::clone(&slot);
         let in_slots: Vec<Arc<Slot>> = inputs.iter().map(|t| Arc::clone(&t.slot)).collect();
         let completed = Arc::clone(&queue.inner.completed);
+        diag::event!("op.dispatch", op = op.mnemonic(), backend = "eager");
         queue.dispatch(Box::new(move || {
             let mut span = prof::span("eager.kernel_run");
             if span.is_recording() {
@@ -220,8 +222,34 @@ impl EagerTensor {
             }
             let tensors: Vec<Tensor<f32>> = in_slots.iter().map(|s| s.take_ready()).collect();
             let refs: Vec<&Tensor<f32>> = tensors.iter().collect();
-            out.fill(eval_op(&op, &refs));
-            completed.fetch_add(1, Ordering::Relaxed);
+            let result = eval_op(&op, &refs);
+            if diag::numerics_enabled() {
+                // Fill the slot *before* scanning: in Panic mode the scan
+                // unwinds the worker thread, and an unfilled slot would
+                // deadlock any host thread already blocked in `to_host`.
+                // Observers get the (non-finite) value; the worker dies and
+                // the next dispatch fails loudly. The clone is an Arc bump,
+                // not a data copy.
+                let probe = result.clone();
+                out.fill(result);
+                if prof::enabled() {
+                    prof::gauge_set(
+                        "mem.live_bytes.eager",
+                        diag::memory_stats().live_bytes as f64,
+                    );
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                let _ = diag::check_f32s(
+                    &op.mnemonic(),
+                    "eager",
+                    probe.dims(),
+                    probe.as_slice(),
+                    prof::current_span().as_deref(),
+                );
+            } else {
+                out.fill(result);
+                completed.fetch_add(1, Ordering::Relaxed);
+            }
         }));
         EagerTensor {
             queue: queue.clone(),

@@ -13,6 +13,7 @@
 //! retracing overhead, measured by experiment E8), but pays JIT compilation
 //! only on cache misses.
 
+use crate::diag;
 use crate::prof;
 use parking_lot::Mutex;
 use s4tf_tensor::{Shape, Tensor};
@@ -196,11 +197,16 @@ impl LazyContext {
             span.annotate_f64("nodes", graph.len() as f64);
             span.annotate_f64("outputs", outputs.len() as f64);
         }
+        if diag::dump_enabled() {
+            // The raw trace as cut, before any compiler pass touches it
+            // (the pass pipeline writes its own before/after dumps).
+            let _ = diag::dump("lazy", "trace", "dot", &graph.to_dot("lazy trace"));
+        }
 
         let exe = self.cache.get_or_compile(&graph);
         let params = std::mem::take(&mut trace.params);
         let refs: Vec<&Tensor<f32>> = params.iter().collect();
-        let results = exe.run(&refs);
+        let results = exe.run_with_backend(&refs, "lazy");
 
         for ((handle, _), tensor) in outputs.into_iter().zip(results) {
             *handle.lock() = LazyState::Value {

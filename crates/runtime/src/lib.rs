@@ -39,6 +39,7 @@
 //! ```
 
 pub mod device;
+mod diag;
 pub mod dtensor;
 pub mod eager;
 pub mod lazy;

@@ -1,0 +1,124 @@
+//! First-NaN attribution across the three backends: plant a non-finite
+//! value mid-computation and assert the *producing* op is the one
+//! reported, with the right backend label.
+//!
+//! The numerics checker is process-global state, so every test serializes
+//! on one mutex and clears the recorded violation before running.
+
+use s4tf_diag::{
+    clear_numerics, first_violation, scans_performed, set_numerics_mode, NumericsMode,
+};
+use s4tf_runtime::{DTensor, Device};
+use s4tf_tensor::Tensor;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    // A failed assertion in one test poisons the lock; later tests should
+    // still run (the state they need is reset below, not the mutex).
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// 0/0 mid-graph: `y = x - x` (finite zeros), `z = y / y` (NaN), then a
+/// further op consuming the NaN. The first violation must name the
+/// division, not the downstream consumer.
+fn nan_mid_graph(device: &Device) -> DTensor {
+    let x = DTensor::from_tensor(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]), device);
+    let y = x.sub(&x);
+    let z = y.div(&y);
+    z.add(&x)
+}
+
+#[test]
+fn naive_attributes_first_nan_to_div() {
+    let _g = guard();
+    set_numerics_mode(NumericsMode::Warn);
+    clear_numerics();
+    let device = Device::naive();
+    let out = nan_mid_graph(&device);
+    assert!(out.to_tensor().as_slice()[0].is_nan());
+    let v = first_violation().expect("violation recorded");
+    assert_eq!(v.op, "div", "the producing op, not the consuming add");
+    assert_eq!(v.backend, "naive");
+    assert_eq!(v.kind, "NaN");
+    assert_eq!(v.shape, vec![4]);
+    assert_eq!(v.dtype, "f32");
+    set_numerics_mode(NumericsMode::Off);
+}
+
+#[test]
+fn eager_attributes_first_nan_to_div() {
+    let _g = guard();
+    set_numerics_mode(NumericsMode::Warn);
+    clear_numerics();
+    let device = Device::eager();
+    let out = nan_mid_graph(&device);
+    assert!(out.to_tensor().as_slice()[0].is_nan());
+    // The scan runs on the worker thread after each kernel; the barrier
+    // (queue sync) guarantees it has happened before we look.
+    device.barrier();
+    let v = first_violation().expect("violation recorded");
+    assert_eq!(v.op, "div");
+    assert_eq!(v.backend, "eager");
+    assert_eq!(v.kind, "NaN");
+    set_numerics_mode(NumericsMode::Off);
+}
+
+#[test]
+fn lazy_attributes_first_nan_to_producing_node() {
+    let _g = guard();
+    set_numerics_mode(NumericsMode::Warn);
+    clear_numerics();
+    let device = Device::lazy();
+    let out = nan_mid_graph(&device);
+    assert!(out.to_tensor().as_slice()[0].is_nan());
+    let v = first_violation().expect("violation recorded");
+    // The fuser may have merged the elementwise chain into one kernel; the
+    // report still names the first node whose *output* went non-finite.
+    assert!(
+        v.op == "div" || v.op.starts_with("fused"),
+        "unexpected producing op: {}",
+        v.op
+    );
+    assert_eq!(v.backend, "lazy");
+    assert_eq!(v.kind, "NaN");
+    set_numerics_mode(NumericsMode::Off);
+}
+
+#[test]
+fn panic_mode_panics_with_attribution() {
+    let _g = guard();
+    set_numerics_mode(NumericsMode::Panic);
+    clear_numerics();
+    let device = Device::naive();
+    let result = std::panic::catch_unwind(|| {
+        let x = DTensor::from_tensor(Tensor::zeros(&[2]), &device);
+        x.div(&x)
+    });
+    set_numerics_mode(NumericsMode::Off);
+    let err = result.expect_err("0/0 must panic in Panic mode");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("numerics check failed") && msg.contains("div"),
+        "panic message must attribute the op: {msg}"
+    );
+    clear_numerics();
+}
+
+#[test]
+fn disabled_mode_never_scans() {
+    let _g = guard();
+    set_numerics_mode(NumericsMode::Off);
+    clear_numerics();
+    let before = scans_performed();
+    let device = Device::naive();
+    let x = DTensor::from_tensor(Tensor::zeros(&[8]), &device);
+    let _ = x.div(&x).to_tensor();
+    assert_eq!(
+        scans_performed(),
+        before,
+        "with checking off, the dispatch path must not scan outputs"
+    );
+    assert!(first_violation().is_none());
+}

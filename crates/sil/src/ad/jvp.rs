@@ -31,6 +31,14 @@ use std::collections::HashMap;
 /// Returns [`AdError::NotDifferentiable`] when differentiability checking
 /// fails (active non-differentiable or unregistered operations, recursion).
 pub fn transform(module: &mut Module, func: FuncId, rules: &RuleSet) -> Result<FuncId, AdError> {
+    if crate::diag::dump_enabled() {
+        let _ = crate::diag::dump(
+            "ad",
+            "jvp.input",
+            "sil",
+            &crate::printer::print_function(module.func(func), module),
+        );
+    }
     // 0. Copy and inline the call tree ("recursively transform callees").
     let mut work = module.func(func).clone();
     work.name = format!("{}_jvp_work", work.name);
@@ -188,6 +196,14 @@ pub fn transform(module: &mut Module, func: FuncId, rules: &RuleSet) -> Result<F
 
     // Drop the inlined work copy, keep the jvp.
     module.functions.pop();
+    if crate::diag::dump_enabled() {
+        let _ = crate::diag::dump(
+            "ad",
+            "jvp.output",
+            "sil",
+            &crate::printer::print_function(&out, module),
+        );
+    }
     Ok(module.add_function(out))
 }
 

@@ -135,6 +135,15 @@ pub struct SynthesizedVjp {
 /// Returns [`AdError::NotDifferentiable`] for active non-differentiable
 /// operations or recursion.
 pub fn differentiate(module: &Module, func: FuncId) -> Result<SynthesizedVjp, AdError> {
+    let dumping = crate::diag::dump_enabled();
+    if dumping {
+        let _ = crate::diag::dump(
+            "ad",
+            "vjp.input",
+            "sil",
+            &crate::printer::print_function(module.func(func), module),
+        );
+    }
     let mut scratch = module.clone();
     inline_all(&mut scratch, func);
     let primal = scratch.func(func).clone();
@@ -161,11 +170,20 @@ pub fn differentiate(module: &Module, func: FuncId) -> Result<SynthesizedVjp, Ad
         });
     }
 
-    let pullbacks = primal
+    let pullbacks: Vec<BlockPullback> = primal
         .blocks
         .iter()
         .map(|block| synthesize_block(block, &activity))
         .collect();
+    if dumping {
+        let _ = crate::diag::dump(
+            "ad",
+            "vjp.primal",
+            "sil",
+            &crate::printer::print_function(&primal, &scratch),
+        );
+        let _ = crate::diag::dump("ad", "vjp.pullbacks", "txt", &format!("{pullbacks:#?}\n"));
+    }
 
     Ok(SynthesizedVjp {
         primal,

@@ -1,0 +1,17 @@
+//! Internal shim over `s4tf-diag`: with the `diag` feature this
+//! re-exports the real diagnostics layer; without it, the shared no-op
+//! mirror (`crates/diag/src/noop_shim.rs`) is `include!`d, so
+//! instrumentation sites compile identically and cost nothing.
+
+// Not every crate uses every hook; keep the shim surface uniform.
+#![allow(dead_code, unused_imports, unused_macros)]
+
+#[cfg(feature = "diag")]
+pub(crate) use s4tf_diag::{
+    check_f32s, dump, dump_enabled, event, events_enabled, memory_stats, metrics_enabled,
+    next_step, numerics_enabled, record_step, reset_peak_bytes, track_alloc, track_free,
+    MemoryStats, StepRecord,
+};
+
+#[cfg(not(feature = "diag"))]
+include!("../../diag/src/noop_shim.rs");

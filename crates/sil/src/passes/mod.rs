@@ -24,6 +24,10 @@ pub trait Pass {
 
 /// Runs the standard pipeline (inline → constfold → cse → simplify → dce)
 /// to a fixed point (bounded), returning the number of iterations.
+///
+/// With `S4TF_DUMP` set, writes the module before the pipeline, after each
+/// pass application that changed anything, and after the pipeline — each as
+/// a sequence-numbered `.sil` file.
 pub fn optimize(module: &mut Module, func: FuncId) -> usize {
     let passes: Vec<Box<dyn Pass>> = vec![
         Box::new(inline::Inline::default()),
@@ -32,14 +36,36 @@ pub fn optimize(module: &mut Module, func: FuncId) -> usize {
         Box::new(simplify::AlgebraicSimplify),
         Box::new(dce::Dce),
     ];
+    let dumping = crate::diag::dump_enabled();
+    if dumping {
+        let _ = crate::diag::dump(
+            "sil",
+            "before",
+            "sil",
+            &crate::printer::print_module(module),
+        );
+    }
     let mut iterations = 0;
     loop {
         iterations += 1;
         let mut changed = false;
         for p in &passes {
-            changed |= p.run(module, func);
+            let pass_changed = p.run(module, func);
+            if pass_changed && dumping {
+                let _ = crate::diag::dump(
+                    "sil",
+                    &format!("pass.{}", p.name()),
+                    "sil",
+                    &crate::printer::print_module(module),
+                );
+            }
+            changed |= pass_changed;
         }
         if !changed || iterations >= 10 {
+            if dumping {
+                let _ =
+                    crate::diag::dump("sil", "after", "sil", &crate::printer::print_module(module));
+            }
             return iterations;
         }
     }

@@ -42,6 +42,7 @@
 //! assert_eq!(d.as_slice()[0], 2.0);
 //! ```
 
+mod diag;
 pub mod dtype;
 pub mod error;
 pub mod ops;
@@ -54,7 +55,7 @@ pub use dtype::{Float, Scalar};
 pub use error::{Result, TensorError};
 pub use shape::Shape;
 pub use storage::Storage;
-pub use tensor::Tensor;
+pub use tensor::{NonFinite, Tensor};
 
 /// Convolution / pooling padding strategies (paper Figure 6 uses `.same`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

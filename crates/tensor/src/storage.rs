@@ -9,6 +9,7 @@
 //! that the paper relies on for both value semantics (§4) and in-place
 //! optimizer updates (§4.2).
 
+use crate::diag;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -19,6 +20,53 @@ static COW_COPIES: AtomicU64 = AtomicU64::new(0);
 /// Number of copy-on-write buffer copies performed process-wide so far.
 pub fn cow_copy_count() -> u64 {
     COW_COPIES.load(Ordering::Relaxed)
+}
+
+/// Element buffer with allocation accounting: reports its byte size to
+/// the `s4tf-diag` memory tracker when created and when released. The
+/// `Drop` runs exactly once — when the last `Storage` sharing the buffer
+/// goes away — so live-bytes bookkeeping is race-free by construction.
+#[derive(Debug, Default)]
+struct Buf<T> {
+    vec: Vec<T>,
+    /// Bytes reported to the tracker (buffer capacity at creation).
+    bytes: usize,
+}
+
+impl<T> Buf<T> {
+    fn new(vec: Vec<T>) -> Self {
+        let bytes = vec.capacity() * std::mem::size_of::<T>();
+        diag::track_alloc(bytes);
+        Buf { vec, bytes }
+    }
+
+    /// Moves the elements out, settling the tracker account immediately
+    /// (the subsequent `Drop` then has nothing left to report).
+    fn take(mut self) -> Vec<T> {
+        diag::track_free(self.bytes);
+        self.bytes = 0;
+        std::mem::take(&mut self.vec)
+    }
+}
+
+impl<T: Clone> Clone for Buf<T> {
+    /// A buffer copy (`Arc::make_mut` on a shared storage) is a fresh
+    /// allocation, and is tracked as one.
+    fn clone(&self) -> Self {
+        Buf::new(self.vec.clone())
+    }
+}
+
+impl<T: PartialEq> PartialEq for Buf<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.vec == other.vec
+    }
+}
+
+impl<T> Drop for Buf<T> {
+    fn drop(&mut self) {
+        diag::track_free(self.bytes);
+    }
 }
 
 /// Reference-counted, copy-on-write element buffer.
@@ -33,30 +81,30 @@ pub fn cow_copy_count() -> u64 {
 /// ```
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Storage<T> {
-    data: Arc<Vec<T>>,
+    data: Arc<Buf<T>>,
 }
 
 impl<T: Clone> Storage<T> {
     /// Creates storage owning `data`.
     pub fn from_vec(data: Vec<T>) -> Self {
         Storage {
-            data: Arc::new(data),
+            data: Arc::new(Buf::new(data)),
         }
     }
 
     /// Number of elements.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.data.vec.len()
     }
 
     /// True if the buffer has no elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.data.vec.is_empty()
     }
 
     /// Read-only view of the elements.
     pub fn as_slice(&self) -> &[T] {
-        &self.data
+        &self.data.vec
     }
 
     /// Mutable view of the elements.
@@ -67,7 +115,7 @@ impl<T: Clone> Storage<T> {
         if Arc::strong_count(&self.data) > 1 {
             COW_COPIES.fetch_add(1, Ordering::Relaxed);
         }
-        Arc::make_mut(&mut self.data).as_mut_slice()
+        Arc::make_mut(&mut self.data).vec.as_mut_slice()
     }
 
     /// True if this storage uniquely owns its buffer (mutation will not
@@ -84,10 +132,10 @@ impl<T: Clone> Storage<T> {
     /// Extracts the underlying vector, copying only if shared.
     pub fn into_vec(self) -> Vec<T> {
         match Arc::try_unwrap(self.data) {
-            Ok(v) => v,
+            Ok(buf) => buf.take(),
             Err(arc) => {
                 COW_COPIES.fetch_add(1, Ordering::Relaxed);
-                (*arc).clone()
+                arc.vec.clone()
             }
         }
     }

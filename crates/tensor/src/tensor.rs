@@ -8,6 +8,25 @@ use crate::storage::Storage;
 use rand::Rng;
 use std::fmt;
 
+/// A non-finite element found by [`Tensor::check_finite`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFinite {
+    /// Flat (row-major) index of the first non-finite element.
+    pub index: usize,
+    /// The offending value, widened to `f64`.
+    pub value: f64,
+    /// `"NaN"`, `"+Inf"` or `"-Inf"`.
+    pub kind: &'static str,
+}
+
+impl fmt::Display for NonFinite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at flat index {}", self.kind, self.index)
+    }
+}
+
+impl std::error::Error for NonFinite {}
+
 /// A multi-dimensional array with mutable value semantics.
 ///
 /// `Tensor` is the paper's central data type (§3). Cloning is O(1) and the
@@ -350,6 +369,37 @@ impl<T: Float> Tensor<T> {
     /// True if every element is finite.
     pub fn all_finite(&self) -> bool {
         self.as_slice().iter().all(|&x| x.is_finite_())
+    }
+
+    /// Checks every element for NaN/Inf, reporting the first offender
+    /// with its flat index — the host-side entry point of the numerics
+    /// checking pillar (the device paths scan automatically under
+    /// `S4TF_CHECK_NUMERICS=1`).
+    ///
+    /// ```
+    /// use s4tf_tensor::Tensor;
+    /// let t = Tensor::from_vec(vec![1.0, f32::NAN, 3.0], &[3]);
+    /// let err = t.check_finite().unwrap_err();
+    /// assert_eq!((err.index, err.kind), (1, "NaN"));
+    /// ```
+    pub fn check_finite(&self) -> std::result::Result<(), NonFinite> {
+        match self.as_slice().iter().position(|&x| !x.is_finite_()) {
+            None => Ok(()),
+            Some(index) => {
+                let value = self.as_slice()[index].to_f64();
+                Err(NonFinite {
+                    index,
+                    value,
+                    kind: if value.is_nan() {
+                        "NaN"
+                    } else if value > 0.0 {
+                        "+Inf"
+                    } else {
+                        "-Inf"
+                    },
+                })
+            }
+        }
     }
 
     /// Maximum absolute element-wise difference to `other`.

@@ -1,0 +1,63 @@
+//! Memory-tracking balance: tensor storage allocations and frees must
+//! pair up exactly, so live bytes return to baseline once every tensor is
+//! dropped. Only meaningful with the `diag` feature (the default
+//! workspace build); without it the whole file compiles away.
+#![cfg(feature = "diag")]
+
+use s4tf_diag::memory_stats;
+use s4tf_tensor::Tensor;
+use std::sync::Mutex;
+
+// The counters are process-global; concurrent tests would tear each
+// other's baselines.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+#[test]
+fn live_bytes_return_to_baseline_after_drop() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let baseline = memory_stats();
+    {
+        let a = Tensor::<f32>::ones(&[64, 64]);
+        let b = a.add(&a);
+        let c = b.mul(&b);
+        let grew = memory_stats();
+        assert!(
+            grew.live_bytes >= baseline.live_bytes + 3 * 64 * 64 * 4,
+            "three 64x64 f32 tensors must be live: {} -> {}",
+            baseline.live_bytes,
+            grew.live_bytes
+        );
+        assert!(grew.allocs > baseline.allocs);
+        drop((a, b, c));
+    }
+    let after = memory_stats();
+    assert_eq!(
+        after.live_bytes, baseline.live_bytes,
+        "alloc/free accounting must balance"
+    );
+    assert_eq!(
+        after.allocs - baseline.allocs,
+        after.frees - baseline.frees,
+        "every allocation in the block above was freed"
+    );
+}
+
+#[test]
+fn cow_copy_is_tracked_as_a_new_allocation() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let baseline = memory_stats();
+    let a = Tensor::<f32>::ones(&[32]);
+    let mut b = a.clone(); // shares storage: no new bytes yet
+    let shared = memory_stats();
+    // Writing through the clone triggers the copy-on-write duplication,
+    // which must show up in the counters like any other allocation.
+    b.as_mut_slice()[0] = 2.0;
+    let after_cow = memory_stats();
+    assert!(
+        after_cow.live_bytes >= shared.live_bytes + 32 * 4,
+        "CoW duplication must be tracked"
+    );
+    assert!(after_cow.allocs > shared.allocs);
+    drop((a, b));
+    assert_eq!(memory_stats().live_bytes, baseline.live_bytes);
+}

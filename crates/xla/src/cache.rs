@@ -7,6 +7,7 @@
 //! the behavior §3.4 calls out as a limitation, reproduced faithfully and
 //! measured by the retracing ablation (experiment E8).
 
+use crate::diag;
 use crate::exec::{compile, Executable};
 use crate::graph::HloGraph;
 use crate::prof;
@@ -80,14 +81,27 @@ impl ProgramCache {
                 let exe = Arc::clone(exe);
                 inner.stats.hits += 1;
                 prof::counter_add("xla.cache_hit", 1);
+                diag::event!("xla.cache.hit", fingerprint = format_args!("{key:016x}"));
                 return exe;
             }
         }
         inner.stats.misses += 1;
         prof::counter_add("xla.cache_miss", 1);
+        diag::event!("xla.cache.miss", fingerprint = format_args!("{key:016x}"));
+        diag::event!(
+            "xla.compile.start",
+            fingerprint = format_args!("{key:016x}"),
+            nodes = graph.len(),
+        );
         let start = std::time::Instant::now();
         let exe = Arc::new(compile(graph));
         inner.compile_time += start.elapsed();
+        diag::event!(
+            "xla.compile.finish",
+            fingerprint = format_args!("{key:016x}"),
+            kernels = exe.kernel_count(),
+            dur_us = start.elapsed().as_micros(),
+        );
         inner
             .entries
             .entry(key)

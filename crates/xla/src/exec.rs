@@ -74,6 +74,17 @@ impl Executable {
     /// # Panics
     /// Panics if the number or shapes of `params` disagree with the trace.
     pub fn run(&self, params: &[&Tensor<f32>]) -> Vec<Tensor<f32>> {
+        self.run_with_backend(params, "xla")
+    }
+
+    /// [`run`](Executable::run) with an explicit backend label for
+    /// numerics-violation provenance: the lazy device executes through
+    /// this plan too, and its violations should say `lazy`, not `xla`.
+    pub fn run_with_backend(
+        &self,
+        params: &[&Tensor<f32>],
+        backend: &'static str,
+    ) -> Vec<Tensor<f32>> {
         let mut span = prof::span("xla.execute");
         if span.is_recording() {
             span.annotate_f64("kernels", self.kernel_count as f64);
@@ -126,7 +137,26 @@ impl Executable {
                 out.shape(),
                 node.shape
             );
+            // Nodes execute in topological order, so the first violating
+            // node here is the op that *introduced* the NaN/Inf — not
+            // whichever downstream op a caller observed it through.
+            if crate::diag::numerics_enabled() {
+                let _ = crate::diag::check_f32s(
+                    &node.op.mnemonic(),
+                    backend,
+                    out.dims(),
+                    out.as_slice(),
+                    prof::current_span().as_deref(),
+                );
+            }
             values[i] = Some(out);
+        }
+        // Per-backend live-bytes breakdown, surfaced through the profile
+        // gauge mechanism (report + Chrome-trace counter tracks).
+        if prof::enabled() {
+            let live = crate::diag::memory_stats().live_bytes as f64;
+            prof::gauge_set("mem.live_bytes", live);
+            prof::gauge_set(format!("mem.live_bytes.{backend}"), live);
         }
         self.graph
             .outputs

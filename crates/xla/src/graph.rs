@@ -186,6 +186,29 @@ impl HloGraph {
         out.push_str("}\n");
         out
     }
+
+    /// Plain-text listing — one node per line in topological order — the
+    /// format `S4TF_DUMP` writes before/after each compiler pass.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "HloGraph {{ nodes: {}, params: {} }}\n",
+            self.nodes.len(),
+            self.n_params
+        ));
+        for (i, node) in self.nodes.iter().enumerate() {
+            let inputs: Vec<String> = node.inputs.iter().map(|id| format!("%{}", id.0)).collect();
+            out.push_str(&format!(
+                "  %{i} = {}({}) : {}\n",
+                node.op.mnemonic(),
+                inputs.join(", "),
+                node.shape
+            ));
+        }
+        let outputs: Vec<String> = self.outputs.iter().map(|o| format!("%{}", o.0)).collect();
+        out.push_str(&format!("  outputs: [{}]\n", outputs.join(", ")));
+        out
+    }
 }
 
 #[cfg(test)]

@@ -48,6 +48,7 @@
 //! ```
 
 pub mod cache;
+mod diag;
 pub mod exec;
 pub mod graph;
 pub mod op;

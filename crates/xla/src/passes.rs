@@ -12,26 +12,34 @@ use std::collections::{HashMap, HashSet};
 
 /// Runs the full pipeline: constant folding → CSE → algebraic
 /// simplification → elementwise fusion → DCE.
+///
+/// With `S4TF_DUMP` set, the graph is dumped before the pipeline (text +
+/// Graphviz DOT) and after every pass, in sequence-numbered files.
 pub fn optimize(g: &mut HloGraph) {
-    {
-        let _span = crate::prof::span("xla.pass.constant_fold");
-        constant_fold(g);
+    let dumping = crate::diag::dump_enabled();
+    if dumping {
+        crate::diag::dump("xla", "before", "txt", &g.to_text());
+        crate::diag::dump("xla", "before", "dot", &g.to_dot("xla-before"));
     }
-    {
-        let _span = crate::prof::span("xla.pass.cse");
-        cse(g);
+    type Pass = fn(&mut HloGraph) -> bool;
+    let passes: [(&str, Pass); 5] = [
+        ("constant_fold", constant_fold),
+        ("cse", cse),
+        ("algebraic_simplify", algebraic_simplify),
+        ("fuse_elementwise", fuse_elementwise),
+        ("dce", dce),
+    ];
+    for (name, pass) in passes {
+        {
+            let _span = crate::prof::span(format!("xla.pass.{name}"));
+            pass(g);
+        }
+        if dumping {
+            crate::diag::dump("xla", &format!("pass.{name}"), "txt", &g.to_text());
+        }
     }
-    {
-        let _span = crate::prof::span("xla.pass.algebraic_simplify");
-        algebraic_simplify(g);
-    }
-    {
-        let _span = crate::prof::span("xla.pass.fuse_elementwise");
-        fuse_elementwise(g);
-    }
-    {
-        let _span = crate::prof::span("xla.pass.dce");
-        dce(g);
+    if dumping {
+        crate::diag::dump("xla", "after", "dot", &g.to_dot("xla-after"));
     }
 }
 

@@ -1,0 +1,115 @@
+//! `S4TF_DUMP` behavior of the XLA pass pipeline: before/after and
+//! per-pass dumps with monotonically increasing sequence numbers, plus a
+//! golden test of the Graphviz DOT exporter (pure string generation — the
+//! `dot` binary is never required).
+
+use s4tf_tensor::Tensor;
+use s4tf_xla::graph::HloGraph;
+use s4tf_xla::{ElemBinary, ElemUnary};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+// The dump directory is process-global; tests that touch it serialize.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn sample_graph() -> HloGraph {
+    let mut g = HloGraph::new();
+    let x = g.parameter(0, &[2]);
+    let c = g.constant(Tensor::scalar(2.0));
+    let m = g.binary(ElemBinary::Mul, x, c);
+    let r = g.unary(ElemUnary::Relu, m);
+    g.mark_output(r);
+    g
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("s4tf-xla-dumps-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn dot_exporter_golden() {
+    let dot = sample_graph().to_dot("golden");
+    let expected = "digraph \"golden\" {\n\
+                    \x20 rankdir=TB;\n\
+                    \x20 node [shape=box, fontname=\"monospace\"];\n\
+                    \x20 n0 [label=\"param0\\n[2]\", style=filled, fillcolor=lightblue];\n\
+                    \x20 n1 [label=\"const 2\\n[]\", style=filled, fillcolor=lightgray];\n\
+                    \x20 n2 [label=\"mul\\n[2]\"];\n\
+                    \x20 n0 -> n2;\n\
+                    \x20 n1 -> n2;\n\
+                    \x20 n3 [label=\"relu\\n[2]\"];\n\
+                    \x20 n2 -> n3;\n\
+                    \x20 out3 [label=\"output\", shape=ellipse];\n\
+                    \x20 n3 -> out3;\n\
+                    }\n";
+    assert_eq!(dot, expected);
+}
+
+#[test]
+fn optimize_writes_sequenced_pass_dumps() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = scratch_dir("passes");
+    s4tf_diag::set_dump_dir(Some(&dir));
+    let mut g = sample_graph();
+    s4tf_xla::passes::optimize(&mut g);
+    s4tf_diag::set_dump_dir(None);
+
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("dump dir created")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+
+    // The filename layout is <seq>.<category>.<name>.<ext>; sequence
+    // numbers must be unique and strictly increasing in pipeline order.
+    let seqs: Vec<u64> = names
+        .iter()
+        .map(|n| n.split('.').next().unwrap().parse().unwrap())
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "sequenced: {names:?}");
+
+    assert!(
+        names
+            .iter()
+            .any(|n| n.contains(".xla.before.") && n.ends_with(".txt")),
+        "before-pipeline text dump: {names:?}"
+    );
+    assert!(
+        names
+            .iter()
+            .any(|n| n.contains(".xla.before.") && n.ends_with(".dot")),
+        "before-pipeline DOT dump: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.contains(".xla.pass.")),
+        "at least one per-pass dump (the fuser fires on this mul→relu chain): {names:?}"
+    );
+    assert!(
+        names
+            .iter()
+            .any(|n| n.contains(".xla.after.") && n.ends_with(".dot")),
+        "after-pipeline DOT dump: {names:?}"
+    );
+
+    // Every .dot dump parses as a digraph (structurally, not via Graphviz).
+    for n in names.iter().filter(|n| n.ends_with(".dot")) {
+        let text = std::fs::read_to_string(dir.join(n)).unwrap();
+        assert!(text.starts_with("digraph"), "{n} is not DOT");
+        assert!(text.trim_end().ends_with('}'), "{n} is truncated");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dumps_off_by_default_and_render_nothing() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // With no dump dir configured, the pipeline must not write anywhere.
+    let dir = scratch_dir("off");
+    s4tf_diag::set_dump_dir(None);
+    let mut g = sample_graph();
+    s4tf_xla::passes::optimize(&mut g);
+    assert!(!dir.exists());
+    assert!(s4tf_diag::dump("xla", "x", "txt", "ignored").is_none());
+}

@@ -74,4 +74,33 @@ fn main() {
         ctx.cache().stats().misses
     );
     assert_eq!(ctx.cache().stats().misses, 2);
+
+    // A small SIL leg: differentiate and optimize an IR function, so a run
+    // under `S4TF_DUMP=<dir>` also exercises the compiler-side dumps
+    // (before/after-pass `.sil` files and the AD synthesis stages).
+    let mut module = s4tf::sil::parser::parse_module_unwrap(
+        r#"
+        func @f(%x: f64) -> f64 {
+        bb0(%x: f64):
+          %a = mul %x, %x
+          %b = sin %a
+          %c = add %a, %b
+          ret %c
+        }
+        "#,
+    );
+    let f = module.func_id("f").expect("function exists");
+    let grad = s4tf::sil::ad::gradient(&module, f, &[0.5]).expect("differentiable");
+    let iters = s4tf::sil::passes::optimize(&mut module, f);
+    eprintln!(
+        "sil: grad f(0.5) = {:.4}, optimized in {iters} iteration(s)",
+        grad[0]
+    );
+
+    if s4tf::diag::dump_enabled() {
+        eprintln!(
+            "diagnostic dumps written to {}",
+            s4tf::diag::dump_dir().expect("dump dir set").display()
+        );
+    }
 }

@@ -69,6 +69,16 @@ fn main() {
         }
     }
 
+    // Memory tracking (s4tf::diag) is always on: the training loops above
+    // allocated tensor storage, so the counters must have moved.
+    let mem = s4tf::diag::memory_stats();
+    assert!(mem.allocs > 0, "tensor allocations must be counted");
+    assert!(mem.peak_bytes > 0, "peak bytes must be non-zero");
+    println!(
+        "memory: live {} B, peak {} B, {} allocs / {} frees",
+        mem.live_bytes, mem.peak_bytes, mem.allocs, mem.frees
+    );
+
     let stats = profile::pool_stats().expect("kernel pool ran, so stats must be registered");
     assert!(
         stats.tasks_run + stats.inline_runs > 0,

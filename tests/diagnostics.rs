@@ -1,0 +1,133 @@
+//! End-to-end diagnostics: the training telemetry stream's JSONL schema,
+//! the structured event ring, and memory accounting through the full
+//! stack.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use s4tf::nn::train::train_classifier_step;
+use s4tf::prelude::*;
+use serde_json::Value;
+use std::sync::Mutex;
+
+// diag state (metrics path, step counter, event ring) is process-global.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn num(v: &Value, key: &str) -> f64 {
+    match v.get(key) {
+        Some(Value::Int(n)) => *n as f64,
+        Some(Value::UInt(n)) => *n as f64,
+        Some(Value::Float(f)) => *f,
+        other => panic!("field `{key}` is not a number: {other:?}"),
+    }
+}
+
+fn string<'a>(v: &'a Value, key: &str) -> &'a str {
+    match v.get(key) {
+        Some(Value::Str(s)) => s,
+        other => panic!("field `{key}` is not a string: {other:?}"),
+    }
+}
+
+fn toy_batch(device: &Device) -> (DTensor, DTensor) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let x = DTensor::from_tensor(Tensor::<f32>::randn(&[16, 4], &mut rng), device);
+    let labels: Vec<usize> = (0..16).map(|i| i % 2).collect();
+    let y = DTensor::from_tensor(Tensor::one_hot(&labels, 2), device);
+    (x, y)
+}
+
+#[test]
+fn two_step_training_loop_emits_schema_conformant_jsonl() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = std::env::temp_dir().join(format!("s4tf-metrics-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    s4tf::diag::set_metrics_path(Some(&path));
+    s4tf::diag::reset_step_counter();
+
+    let device = Device::lazy();
+    let (x, y) = toy_batch(&device);
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let mut model = Dense::new(4, 2, Activation::Identity, &device, &mut rng);
+    let mut opt = Sgd::new(0.1);
+    let loss1 = train_classifier_step(&mut model, &mut opt, &x, &y);
+    let loss2 = train_classifier_step(&mut model, &mut opt, &x, &y);
+    s4tf::diag::set_metrics_path(None);
+
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "one JSONL record per step: {text}");
+    for (i, line) in lines.iter().enumerate() {
+        let v: Value = serde_json::from_str(line).expect("valid JSON");
+        assert_eq!(num(&v, "step") as u64, i as u64 + 1, "1-based steps");
+        let loss = num(&v, "loss");
+        let expected = if i == 0 { loss1 } else { loss2 };
+        assert!((loss - expected).abs() < 1e-9, "loss matches return value");
+        assert!(num(&v, "grad_norm") > 0.0);
+        assert!(num(&v, "examples_per_sec") > 0.0);
+        assert!(num(&v, "peak_bytes") > 0.0);
+        assert!(num(&v, "live_bytes") >= 0.0);
+        assert_eq!(string(&v, "backend"), "lazy");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn event_ring_captures_dispatch_compile_and_cache_traffic() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    s4tf::diag::clear_events();
+    s4tf::diag::set_events_enabled(true);
+
+    // One lazy step compiles (cache miss); the second hits the cache.
+    let device = Device::lazy();
+    let (x, y) = toy_batch(&device);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let mut model = Dense::new(4, 2, Activation::Identity, &device, &mut rng);
+    let mut opt = Sgd::new(0.1);
+    train_classifier_step(&mut model, &mut opt, &x, &y);
+    train_classifier_step(&mut model, &mut opt, &x, &y);
+
+    // An eager dispatch, for the op.dispatch event.
+    let e = Device::eager();
+    let a = DTensor::from_tensor(Tensor::<f32>::ones(&[4]), &e);
+    let _ = a.add(&a).to_tensor();
+
+    s4tf::diag::set_events_enabled(false);
+    let events = s4tf::diag::events();
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&"xla.cache.miss"), "kinds: {kinds:?}");
+    assert!(kinds.contains(&"xla.compile.start"));
+    assert!(kinds.contains(&"xla.compile.finish"));
+    assert!(kinds.contains(&"xla.cache.hit"));
+    assert!(kinds.contains(&"op.dispatch"));
+
+    // The JSONL export is one valid JSON object per line with the shared
+    // envelope (ts_us + kind) plus the per-kind fields.
+    for line in s4tf::diag::events_jsonl().lines() {
+        let v: Value = serde_json::from_str(line).expect("valid JSON");
+        assert!(num(&v, "ts_us") >= 0.0);
+        assert!(!string(&v, "kind").is_empty());
+    }
+    s4tf::diag::clear_events();
+}
+
+#[test]
+fn memory_accounting_balances_through_the_full_stack() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let device = Device::naive();
+    let baseline = s4tf::diag::memory_stats();
+    {
+        let (x, y) = toy_batch(&device);
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let mut model = Dense::new(4, 2, Activation::Identity, &device, &mut rng);
+        let mut opt = Sgd::new(0.1);
+        train_classifier_step(&mut model, &mut opt, &x, &y);
+        let during = s4tf::diag::memory_stats();
+        assert!(during.live_bytes > baseline.live_bytes);
+        assert!(during.allocs > baseline.allocs);
+    }
+    let after = s4tf::diag::memory_stats();
+    assert_eq!(
+        after.live_bytes, baseline.live_bytes,
+        "all training-step storage must be freed"
+    );
+}
