@@ -88,11 +88,13 @@ pub(crate) fn next_step() -> u64 {
 #[inline(always)]
 pub(crate) fn record_step(_record: &StepRecord) {}
 
-/// Inert stand-in for `s4tf_diag::event!`: expands to nothing, so field
-/// expressions are never evaluated.
+/// Inert stand-in for `s4tf_diag::event!`: borrows the field expressions
+/// (so call sites compile warning-free in both configurations) but never
+/// stringifies or records them — the optimizer removes the whole site.
 macro_rules! event {
-    ($kind:expr $(, $key:ident = $value:expr)* $(,)?) => {
-        ()
-    };
+    ($kind:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        let _ = &$kind;
+        $( let _ = &$value; )*
+    }};
 }
 pub(crate) use event;

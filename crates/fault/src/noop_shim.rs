@@ -1,0 +1,52 @@
+// No-op mirror of the `s4tf-fault` API, `include!`d by consumer crates
+// when their `fault` feature is off. Everything is inert and
+// `#[inline(always)]`, so the optimizer deletes the whole layer.
+//
+// Keep in sync with `crates/fault/src/lib.rs`.
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum FaultSite {
+    Dispatch,
+    Kernel,
+    Compile,
+    Allreduce,
+    CheckpointIo,
+    Io,
+}
+
+impl FaultSite {
+    #[inline(always)]
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            FaultSite::Dispatch => "dispatch",
+            FaultSite::Kernel => "kernel",
+            FaultSite::Compile => "compile",
+            FaultSite::Allreduce => "allreduce",
+            FaultSite::CheckpointIo => "checkpoint_io",
+            FaultSite::Io => "io",
+        }
+    }
+}
+
+#[inline(always)]
+pub(crate) fn injection_enabled() -> bool {
+    false
+}
+
+#[inline(always)]
+pub(crate) fn should_inject(_site: FaultSite) -> bool {
+    false
+}
+
+#[inline(always)]
+pub(crate) fn backoff_delay(attempt: u32) -> std::time::Duration {
+    std::time::Duration::from_millis(1u64 << attempt.min(3))
+}
+
+#[derive(Debug)]
+pub(crate) struct SuppressionGuard(());
+
+#[inline(always)]
+pub(crate) fn suppress() -> SuppressionGuard {
+    SuppressionGuard(())
+}

@@ -74,6 +74,28 @@ impl LeNet {
     }
 }
 
+impl Checkpointable for LeNet {
+    fn for_each_param(&self, prefix: &str, f: &mut dyn FnMut(&str, &DTensor)) {
+        use s4tf_nn::checkpoint::join_name;
+        self.conv1.for_each_param(&join_name(prefix, "conv1"), f);
+        self.conv2.for_each_param(&join_name(prefix, "conv2"), f);
+        self.fc1.for_each_param(&join_name(prefix, "fc1"), f);
+        self.fc2.for_each_param(&join_name(prefix, "fc2"), f);
+        self.fc3.for_each_param(&join_name(prefix, "fc3"), f);
+    }
+
+    fn for_each_param_mut(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut DTensor)) {
+        use s4tf_nn::checkpoint::join_name;
+        self.conv1
+            .for_each_param_mut(&join_name(prefix, "conv1"), f);
+        self.conv2
+            .for_each_param_mut(&join_name(prefix, "conv2"), f);
+        self.fc1.for_each_param_mut(&join_name(prefix, "fc1"), f);
+        self.fc2.for_each_param_mut(&join_name(prefix, "fc2"), f);
+        self.fc3.for_each_param_mut(&join_name(prefix, "fc3"), f);
+    }
+}
+
 impl Layer for LeNet {
     /// Figure 6's `callAsFunction`: `input.sequenced(through: conv1, pool1,
     /// conv2, pool2)` then `(flatten, fc1, fc2, fc3)`.

@@ -1,0 +1,13 @@
+//! Internal shim over `s4tf-fault`: with the `fault` feature this
+//! re-exports the real injection layer; without it, the shared no-op
+//! mirror (`crates/fault/src/noop_shim.rs`) is `include!`d, so injection
+//! sites compile identically and cost nothing.
+
+// Not every crate uses every hook; keep the shim surface uniform.
+#![allow(dead_code, unused_imports, unused_macros)]
+
+#[cfg(feature = "fault")]
+pub(crate) use s4tf_fault::{backoff_delay, injection_enabled, should_inject, suppress, FaultSite};
+
+#[cfg(not(feature = "fault"))]
+include!("../../fault/src/noop_shim.rs");

@@ -28,7 +28,9 @@
 //! model definition trains on the naive, eager and lazy backends.
 
 pub mod activation;
+pub mod checkpoint;
 mod diag;
+mod fault;
 pub mod layer;
 pub mod layers;
 pub mod loss;
@@ -39,6 +41,7 @@ pub mod schedule;
 pub mod train;
 
 pub use activation::Activation;
+pub use checkpoint::{Checkpoint, Checkpointable, TrainingSession};
 pub use layer::{Layer, PullbackFn};
 pub use layers::{
     AvgPool2D, BatchNorm, Chain, Conv2D, Dense, Dropout, Embedding, Flatten, MaxPool2D,
@@ -46,10 +49,12 @@ pub use layers::{
 pub use loss::{mse, softmax_cross_entropy};
 pub use optimizer::{Adam, Optimizer, RmsProp, Sgd};
 pub use schedule::Schedule;
+pub use train::FaultPolicy;
 
 /// Convenient glob-import surface for model code.
 pub mod prelude {
     pub use crate::activation::Activation;
+    pub use crate::checkpoint::{Checkpoint, Checkpointable, TrainingSession};
     pub use crate::layer::{Layer, PullbackFn};
     pub use crate::layers::{
         AvgPool2D, BatchNorm, Chain, Conv2D, Dense, Dropout, Embedding, Flatten, MaxPool2D,
@@ -57,6 +62,7 @@ pub mod prelude {
     pub use crate::loss::{mse, softmax_cross_entropy};
     pub use crate::optimizer::{Adam, Optimizer, RmsProp, Sgd};
     pub use crate::schedule::Schedule;
+    pub use crate::train::FaultPolicy;
     pub use s4tf_core::prelude::*;
     pub use s4tf_runtime::{DTensor, Device};
     pub use s4tf_tensor::{Padding, Tensor};

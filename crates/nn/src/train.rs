@@ -3,13 +3,18 @@
 //! training-loop library can automatically call `LazyTensorBarrier()` after
 //! the optimizer update step on behalf of the user").
 
+use crate::checkpoint::Checkpointable;
 use crate::diag;
+use crate::fault;
 use crate::layer::Layer;
 use crate::loss::softmax_cross_entropy;
 use crate::optimizer::Optimizer;
 use crate::prof;
 use s4tf_core::{AdditiveArithmetic, LossValue, VectorSpace};
-use s4tf_runtime::DTensor;
+use s4tf_runtime::{DTensor, Device};
+use s4tf_tensor::{panic_message, RuntimeError, Tensor};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Emits one [`diag::StepRecord`] to the `S4TF_METRICS_FILE` stream.
 ///
@@ -111,6 +116,27 @@ pub fn train_classifier_step_no_metrics<L, O>(
     device.barrier();
 }
 
+/// How a data-parallel step reacts to a failing shard (a kernel fault, a
+/// poisoned tensor, or an injected `allreduce` fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// Surface the first shard failure as the step's error.
+    FailFast,
+    /// Drop failed shards and renormalize the gradient average over the
+    /// surviving shards (the classic elastic all-reduce degradation). The
+    /// step only fails if *every* shard fails.
+    DropShard,
+    /// Re-run each failed shard up to this many extra attempts (with
+    /// exponential backoff) before giving up on the step.
+    Retry(u32),
+}
+
+/// Drains any error state the device accumulated during a handled fault so
+/// it cannot leak into a later, unrelated step.
+fn drain_device_errors(device: &Device) {
+    let _ = device.sync_checked();
+}
+
 /// One *synchronous data-parallel* classifier step across worker threads —
 /// the training regime of the paper's Table 1 ("hosts synchronously
 /// training a single model in data-parallel fashion"), with real threads
@@ -126,14 +152,45 @@ pub fn train_classifier_step_no_metrics<L, O>(
 /// Returns the mean of the shard losses.
 ///
 /// # Panics
-/// Panics if `shards` is empty.
+/// Panics if `shards` is empty or if any shard fails (this is the
+/// [`FaultPolicy::FailFast`] wrapper over
+/// [`data_parallel_classifier_step_with_policy`]).
 pub fn data_parallel_classifier_step<L, O>(
     model: &mut L,
     optimizer: &mut O,
     shards: &[(DTensor, DTensor)],
 ) -> f64
 where
-    L: Layer + Sync,
+    L: Layer + Checkpointable + Sync,
+    L::TangentVector: Send,
+    O: Optimizer<L>,
+{
+    data_parallel_classifier_step_with_policy(model, optimizer, shards, FaultPolicy::FailFast)
+        .unwrap_or_else(|e| panic!("data-parallel step failed: {e}"))
+}
+
+/// [`data_parallel_classifier_step`] with explicit fault handling.
+///
+/// The step is *transactional*: on `Err` the model is left with its
+/// pre-step parameters (a failed optimizer update is rolled back from a
+/// host-side snapshot), so a training loop can simply skip or retry the
+/// step. The snapshot is only taken when fault injection is active or a
+/// shard already failed — the fault-free fast path does no extra work
+/// beyond a cheap per-shard gradient probe.
+///
+/// Shard workers catch kernel panics (and observe deferred/poisoned
+/// values, which surface at the probe with their original op attribution)
+/// and report them as typed [`RuntimeError`]s rather than tearing down the
+/// whole step — the join handles can then only fail on bugs outside the
+/// guarded region, which are re-raised verbatim.
+pub fn data_parallel_classifier_step_with_policy<L, O>(
+    model: &mut L,
+    optimizer: &mut O,
+    shards: &[(DTensor, DTensor)],
+    policy: FaultPolicy,
+) -> Result<f64, RuntimeError>
+where
+    L: Layer + Checkpointable + Sync,
     L::TangentVector: Send,
     O: Optimizer<L>,
 {
@@ -143,41 +200,211 @@ where
     if span.is_recording() {
         span.annotate_f64("shards", shards.len() as f64);
     }
-    let results: Vec<(f64, L::TangentVector)> = std::thread::scope(|scope| {
+    let device = shards[0].0.device();
+    let backend = device.kind();
+
+    let model_ref = &*model;
+    // One shard's forward/backward, fault-guarded. The loss read and the
+    // gradient-norm probe force observation, so deferred faults (poisoned
+    // eager slots, naive poison values) surface *here*, inside the guard,
+    // carrying their original op attribution in the panic message.
+    let compute = |images: &DTensor, labels: &DTensor| {
+        catch_unwind(AssertUnwindSafe(|| {
+            let (logits, pullback) = model_ref.forward_with_pullback(images);
+            let (loss, loss_pullback) = softmax_cross_entropy(&logits, labels);
+            let dlogits = loss_pullback(&loss.scalar_like(1.0));
+            let (gradients, _) = pullback(&dlogits);
+            // Observation probe in a protected region: existing poison
+            // still surfaces (and is caught above), but the probe's own
+            // ops draw no fresh injections.
+            let _protect = fault::suppress();
+            let loss = loss.loss_value();
+            let _probe = gradients.norm_squared();
+            (loss, gradients)
+        }))
+        .map_err(|payload| {
+            let e = RuntimeError::kernel("data_parallel.shard", backend, panic_message(&*payload));
+            diag::event!("fault.shard_failed", op = e.op, backend = backend);
+            e
+        })
+    };
+
+    type ShardResult<T> = Result<(f64, T), RuntimeError>;
+    let mut results: Vec<ShardResult<L::TangentVector>> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
-            .map(|(images, labels)| {
-                let model_ref = &*model;
-                scope.spawn(move || {
-                    let (logits, pullback) = model_ref.forward_with_pullback(images);
-                    let (loss, loss_pullback) = softmax_cross_entropy(&logits, labels);
-                    let dlogits = loss_pullback(&loss.scalar_like(1.0));
-                    let (gradients, _) = pullback(&dlogits);
-                    (loss.loss_value(), gradients)
-                })
-            })
+            .map(|(images, labels)| scope.spawn(move || compute(images, labels)))
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
     });
 
-    // All-reduce: average the shard gradients.
-    let n = results.len();
+    // The all-reduce itself can fail (site `allreduce`): a lost shard
+    // contribution, drawn per shard.
+    for (k, r) in results.iter_mut().enumerate() {
+        if r.is_ok() && fault::should_inject(fault::FaultSite::Allreduce) {
+            diag::event!(
+                "fault.injected",
+                site = "allreduce",
+                op = "allreduce.mean",
+                backend = backend,
+                shard = k,
+            );
+            *r = Err(RuntimeError::injected(
+                "allreduce.mean",
+                backend,
+                "allreduce",
+            ));
+        }
+    }
+
+    let saw_failure = results.iter().any(|r| r.is_err());
+    match policy {
+        FaultPolicy::FailFast => {
+            if let Some(e) = results.iter().find_map(|r| r.as_ref().err()) {
+                let e = e.clone();
+                drain_device_errors(&device);
+                return Err(e);
+            }
+        }
+        FaultPolicy::Retry(attempts) => {
+            for (k, r) in results.iter_mut().enumerate() {
+                let mut attempt = 0;
+                while r.is_err() && attempt < attempts {
+                    std::thread::sleep(fault::backoff_delay(attempt));
+                    diag::event!("fault.shard_retry", shard = k, attempt = attempt + 1);
+                    *r = compute(&shards[k].0, &shards[k].1).and_then(|ok| {
+                        if fault::should_inject(fault::FaultSite::Allreduce) {
+                            Err(RuntimeError::injected(
+                                "allreduce.mean",
+                                backend,
+                                "allreduce",
+                            ))
+                        } else {
+                            Ok(ok)
+                        }
+                    });
+                    attempt += 1;
+                }
+            }
+            if let Some(e) = results.iter().find_map(|r| r.as_ref().err()) {
+                let e = e.clone();
+                drain_device_errors(&device);
+                return Err(e);
+            }
+        }
+        FaultPolicy::DropShard => {
+            for (k, r) in results.iter().enumerate() {
+                if let Err(e) = r {
+                    diag::event!(
+                        "fault.shard_dropped",
+                        shard = k,
+                        op = e.op,
+                        backend = backend,
+                    );
+                }
+            }
+            if results.iter().all(|r| r.is_err()) {
+                let e = results
+                    .into_iter()
+                    .next()
+                    .and_then(|r| r.err())
+                    .expect("all shards failed");
+                drain_device_errors(&device);
+                return Err(e);
+            }
+        }
+    }
+
+    // All-reduce: average the shard gradients over the survivors. Under
+    // `DropShard` the mean is renormalized by the survivor count, so the
+    // update stays an unbiased average of the gradients that made it.
+    //
+    // From here on we are in the recovery/apply half of the step — a
+    // protected region. Chaos specs stress the shard workers; the
+    // reduction, validation probes, optimizer update and rollback draw no
+    // fresh injections (real faults still propagate as poisoned values
+    // and are caught by the probes below). The guard is thread-local, so
+    // on the eager device only host-side draws are paused.
+    let _protect = fault::suppress();
+    let survivors = results.iter().filter(|r| r.is_ok()).count();
     let mut losses = 0.0;
     let mut summed: Option<L::TangentVector> = None;
-    for (loss, grad) in results {
+    for (loss, grad) in results.into_iter().flatten() {
         losses += loss;
         summed = Some(match summed.take() {
             None => grad,
             Some(acc) => acc.adding(&grad),
         });
     }
-    let mean_grad = summed.expect("non-empty shards").scaled_by(1.0 / n as f64);
+    let mean_grad = summed
+        .expect("≥1 surviving shard")
+        .scaled_by(1.0 / survivors as f64);
+
+    // The reduction and the update below dispatch fresh ops that can fault
+    // too. Only pay for validation when faults are actually possible.
+    let must_validate = fault::injection_enabled() || saw_failure;
+    if must_validate {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| mean_grad.norm_squared())) {
+            let e = RuntimeError::kernel("allreduce.mean", backend, panic_message(&*payload));
+            drain_device_errors(&device);
+            return Err(e);
+        }
+    }
+    let snapshot: Option<BTreeMap<String, Tensor<f32>>> = if must_validate {
+        let mut snap = BTreeMap::new();
+        let mut snap_err: Option<RuntimeError> = None;
+        model.for_each_param("", &mut |name, t| {
+            if snap_err.is_none() {
+                match t.to_tensor_checked() {
+                    Ok(host) => {
+                        snap.insert(name.to_string(), host);
+                    }
+                    Err(e) => snap_err = Some(e),
+                }
+            }
+        });
+        if let Some(e) = snap_err {
+            drain_device_errors(&device);
+            return Err(e);
+        }
+        Some(snap)
+    } else {
+        None
+    };
+
     optimizer.update(model, &mean_grad);
-    shards[0].0.device().barrier();
-    let loss = losses / n as f64;
+    device.barrier();
+
+    if let Some(snap) = &snapshot {
+        // Probe every parameter: a fault during the update phase poisons
+        // some weight, and the model must not carry it into the next step.
+        let mut probe_err: Option<RuntimeError> = None;
+        model.for_each_param("", &mut |_, t| {
+            if probe_err.is_none() {
+                if let Err(e) = t.to_tensor_checked() {
+                    probe_err = Some(e);
+                }
+            }
+        });
+        if let Some(e) = probe_err {
+            model.for_each_param_mut("", &mut |name, slot| {
+                if let Some(saved) = snap.get(name) {
+                    *slot = DTensor::from_tensor(saved.clone(), &device);
+                }
+            });
+            diag::event!("fault.step_rolled_back", op = e.op, backend = backend);
+            drain_device_errors(&device);
+            return Err(e);
+        }
+    }
+    if must_validate {
+        drain_device_errors(&device);
+    }
+
+    let loss = losses / survivors as f64;
     if span.is_recording() {
         span.annotate_f64("loss", loss);
     }
@@ -186,15 +413,9 @@ where
             .iter()
             .map(|(x, _)| x.dims().first().copied().unwrap_or(1))
             .sum();
-        emit_step_metrics(
-            loss,
-            &mean_grad,
-            examples,
-            start.elapsed(),
-            shards[0].0.device().kind(),
-        );
+        emit_step_metrics(loss, &mean_grad, examples, start.elapsed(), backend);
     }
-    loss
+    Ok(loss)
 }
 
 /// One regression training step with mean-squared error.

@@ -54,6 +54,24 @@ impl Device {
         }
     }
 
+    /// Like [`Device::barrier`], but surfaces the first runtime error the
+    /// device recorded since the last check instead of panicking at an
+    /// observation point. `Ok(())` on the naive device (errors there attach
+    /// directly to poisoned tensors and surface at observation).
+    pub fn sync_checked(&self) -> Result<(), s4tf_tensor::RuntimeError> {
+        match self {
+            Device::Naive => Ok(()),
+            Device::Eager(q) => q.sync_checked(),
+            Device::Lazy(ctx) => {
+                ctx.barrier();
+                match ctx.take_error() {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
     /// Program-cache hit/miss statistics: `Some` on the lazy device (the
     /// only backend with a JIT cache), `None` otherwise.
     pub fn cache_stats(&self) -> Option<CacheStats> {

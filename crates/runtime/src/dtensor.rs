@@ -14,10 +14,20 @@
 
 use crate::device::Device;
 use crate::eager::EagerTensor;
+use crate::fault;
 use crate::lazy::LazyTensor;
 use s4tf_core::{AdditiveArithmetic, Differentiable, LossValue, VectorSpace};
-use s4tf_tensor::{Padding, Tensor};
+use s4tf_tensor::{panic_message, Padding, RuntimeError, Shape, Tensor};
 use s4tf_xla::{ElemBinary, ElemUnary, HloOp, ReduceKind};
+use std::sync::Arc;
+
+/// A poisoned value: the shape the failed op would have produced plus
+/// the attributed error that killed it.
+#[derive(Debug)]
+pub struct Poison {
+    dims: Vec<usize>,
+    error: RuntimeError,
+}
 
 /// A tensor bound to an execution device.
 #[derive(Clone, Debug)]
@@ -28,6 +38,11 @@ pub enum DTensor {
     Eager(EagerTensor),
     /// Recorded on a lazy device.
     Lazy(LazyTensor),
+    /// Poisoned on the naive device: a kernel fault was captured and
+    /// attached to the value (paper §4); it propagates through downstream
+    /// ops and surfaces at an observation point. (The asynchronous
+    /// devices poison inside their own handle states instead.)
+    Poisoned(Arc<Poison>),
 }
 
 impl DTensor {
@@ -43,18 +58,33 @@ impl DTensor {
     }
 
     /// Observes the contents, forcing execution on every backend.
+    ///
+    /// # Panics
+    /// Panics with the original attributed error if the value is
+    /// poisoned; [`to_tensor_checked`](DTensor::to_tensor_checked) is the
+    /// non-panicking observation point.
     pub fn to_tensor(&self) -> Tensor<f32> {
+        self.to_tensor_checked()
+            .unwrap_or_else(|e| panic!("tensor observation failed: {e}"))
+    }
+
+    /// Observes the contents, surfacing a poisoned value as the error
+    /// that originally caused it (with op/backend attribution) — the
+    /// paper-§4 observation point where deferred failures become
+    /// `Result`s.
+    pub fn to_tensor_checked(&self) -> Result<Tensor<f32>, RuntimeError> {
         match self {
-            DTensor::Cpu(t) => t.clone(),
-            DTensor::Eager(t) => t.to_host(),
-            DTensor::Lazy(t) => t.to_host(),
+            DTensor::Cpu(t) => Ok(t.clone()),
+            DTensor::Eager(t) => t.to_host_checked(),
+            DTensor::Lazy(t) => t.to_host_checked(),
+            DTensor::Poisoned(p) => Err(p.error.clone()),
         }
     }
 
     /// The device this tensor lives on.
     pub fn device(&self) -> Device {
         match self {
-            DTensor::Cpu(_) => Device::Naive,
+            DTensor::Cpu(_) | DTensor::Poisoned(_) => Device::Naive,
             DTensor::Eager(t) => Device::Eager(t.queue().clone()),
             DTensor::Lazy(t) => Device::Lazy(t.context().clone()),
         }
@@ -66,6 +96,7 @@ impl DTensor {
             DTensor::Cpu(t) => t.dims().to_vec(),
             DTensor::Eager(t) => t.shape().dims().to_vec(),
             DTensor::Lazy(t) => t.shape().dims().to_vec(),
+            DTensor::Poisoned(p) => p.dims.clone(),
         }
     }
 
@@ -115,21 +146,7 @@ impl DTensor {
             .find(|d| !matches!(d, Device::Naive))
             .unwrap_or(Device::Naive);
         match &device {
-            Device::Naive => {
-                let tensors: Vec<Tensor<f32>> = inputs.iter().map(|t| t.to_tensor()).collect();
-                let refs: Vec<&Tensor<f32>> = tensors.iter().collect();
-                let result = s4tf_xla::eval_op(&op, &refs);
-                if crate::diag::numerics_enabled() {
-                    let _ = crate::diag::check_f32s(
-                        &op.mnemonic(),
-                        "naive",
-                        result.dims(),
-                        result.as_slice(),
-                        crate::prof::current_span().as_deref(),
-                    );
-                }
-                DTensor::Cpu(result)
-            }
+            Device::Naive => Self::apply_naive(op, inputs),
             Device::Eager(q) => {
                 let lifted: Vec<EagerTensor> = inputs
                     .iter()
@@ -139,6 +156,7 @@ impl DTensor {
                             e.clone()
                         }
                         DTensor::Cpu(c) => EagerTensor::from_host(q, c.clone()),
+                        DTensor::Poisoned(p) => EagerTensor::poisoned(q, &p.dims, p.error.clone()),
                         DTensor::Lazy(_) => panic!("cannot mix lazy and eager tensors"),
                     })
                     .collect();
@@ -151,6 +169,7 @@ impl DTensor {
                     .map(|t| match t {
                         DTensor::Lazy(l) => l.clone(),
                         DTensor::Cpu(c) => LazyTensor::from_host(ctx, c.clone()),
+                        DTensor::Poisoned(p) => LazyTensor::poisoned(ctx, &p.dims, p.error.clone()),
                         DTensor::Eager(_) => panic!("cannot mix eager and lazy tensors"),
                     })
                     .collect();
@@ -158,6 +177,80 @@ impl DTensor {
                 DTensor::Lazy(LazyTensor::record_op(ctx, op, &refs))
             }
         }
+    }
+
+    /// The naive (synchronous) dispatch arm, with poison propagation,
+    /// injection, and kernel-panic capture.
+    fn apply_naive(op: HloOp, inputs: &[&DTensor]) -> DTensor {
+        // Output dims the failed op *would* have produced (poison keeps
+        // the shape so downstream shape inference stays accurate).
+        let infer_dims = || -> Vec<usize> {
+            let shapes: Vec<Shape> = inputs.iter().map(|t| Shape::new(&t.dims())).collect();
+            let refs: Vec<&Shape> = shapes.iter().collect();
+            op.infer_shape(&refs).dims().to_vec()
+        };
+        let poison = inputs.iter().find_map(|t| match t {
+            DTensor::Poisoned(p) => Some(p.error.clone()),
+            _ => None,
+        });
+        if let Some(error) = poison {
+            // Propagate the *first* error; the shape still checks out.
+            let dims = infer_dims();
+            return DTensor::Poisoned(Arc::new(Poison { dims, error }));
+        }
+        for (site, name) in [
+            (fault::FaultSite::Dispatch, "dispatch"),
+            (fault::FaultSite::Kernel, "kernel"),
+        ] {
+            if fault::should_inject(site) {
+                let dims = infer_dims();
+                let error = RuntimeError::injected(op.mnemonic(), "naive", name)
+                    .with_span(crate::prof::current_span());
+                crate::diag::event!(
+                    "fault.injected",
+                    site = name,
+                    op = op.mnemonic(),
+                    backend = "naive",
+                );
+                return DTensor::Poisoned(Arc::new(Poison { dims, error }));
+            }
+        }
+        let tensors: Vec<Tensor<f32>> = inputs.iter().map(|t| t.to_tensor()).collect();
+        let refs: Vec<&Tensor<f32>> = tensors.iter().collect();
+        let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s4tf_xla::eval_op(&op, &refs)
+        })) {
+            Ok(t) => t,
+            Err(payload) => {
+                // Distinguish kernel faults from caller bugs: if shape
+                // inference rejects these inputs too, the panic was a
+                // shape error — those stay synchronous (paper §4).
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(infer_dims)) {
+                    Err(_) => std::panic::resume_unwind(payload),
+                    Ok(dims) => {
+                        let error =
+                            RuntimeError::kernel(op.mnemonic(), "naive", panic_message(&*payload))
+                                .with_span(crate::prof::current_span());
+                        crate::diag::event!(
+                            "fault.kernel_panic",
+                            op = op.mnemonic(),
+                            backend = "naive",
+                        );
+                        return DTensor::Poisoned(Arc::new(Poison { dims, error }));
+                    }
+                }
+            }
+        };
+        if crate::diag::numerics_enabled() {
+            let _ = crate::diag::check_f32s(
+                &op.mnemonic(),
+                "naive",
+                result.dims(),
+                result.as_slice(),
+                crate::prof::current_span().as_deref(),
+            );
+        }
+        DTensor::Cpu(result)
     }
 
     fn unary(&self, op: ElemUnary) -> DTensor {

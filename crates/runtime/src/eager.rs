@@ -12,31 +12,37 @@
 //! Table 3 measures against the lazy backend.
 
 use crate::diag;
+use crate::fault;
 use crate::prof;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
-use s4tf_tensor::{Shape, Tensor};
+use s4tf_tensor::{panic_message, RuntimeError, Shape, Tensor};
 use s4tf_xla::{eval_op, HloOp};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// The value a slot resolves to: a materialized tensor, or the attributed
+/// error that *poisoned* it (paper §4: asynchronous failures attach to
+/// values and surface at observation points).
+type SlotValue = Result<Tensor<f32>, RuntimeError>;
+
 /// A write-once result slot the host can block on.
 #[derive(Default)]
 struct Slot {
-    value: Mutex<Option<Tensor<f32>>>,
+    value: Mutex<Option<SlotValue>>,
     ready: Condvar,
 }
 
 impl Slot {
-    fn fill(&self, t: Tensor<f32>) {
+    fn fill(&self, t: SlotValue) {
         let mut guard = self.value.lock();
         debug_assert!(guard.is_none(), "slot filled twice");
         *guard = Some(t);
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> Tensor<f32> {
+    fn wait(&self) -> SlotValue {
         let mut guard = self.value.lock();
         while guard.is_none() {
             self.ready.wait(&mut guard);
@@ -46,7 +52,7 @@ impl Slot {
 
     /// Non-blocking read (used inside the worker, where FIFO execution
     /// guarantees operands are already filled).
-    fn take_ready(&self) -> Tensor<f32> {
+    fn take_ready(&self) -> SlotValue {
         self.value
             .lock()
             .clone()
@@ -56,6 +62,19 @@ impl Slot {
 
 type Job = Box<dyn FnOnce() + Send>;
 
+/// First *originated* error on the queue: kernel panics and injected
+/// faults record here (propagated poison does not), so `sync_checked`
+/// can report a failure even if every poisoned handle was dropped
+/// unobserved.
+type FirstError = Arc<Mutex<Option<RuntimeError>>>;
+
+fn record_first(slot: &FirstError, err: &RuntimeError) {
+    let mut guard = slot.lock();
+    if guard.is_none() {
+        *guard = Some(err.clone());
+    }
+}
+
 struct QueueInner {
     sender: Option<Sender<Job>>,
     worker: Mutex<Option<JoinHandle<()>>>,
@@ -64,10 +83,14 @@ struct QueueInner {
     /// jobs can bump it without keeping the whole queue alive (which
     /// would make the worker join itself on teardown).
     completed: Arc<AtomicU64>,
+    /// See [`FirstError`]; its own `Arc` for the same teardown reason.
+    first_error: FirstError,
 }
 
 impl QueueInner {
     fn sender(&self) -> &Sender<Job> {
+        // Infallible: `sender` is only taken in `Drop`, after which no
+        // method can run on this queue.
         self.sender.as_ref().expect("sender lives until drop")
     }
 }
@@ -118,6 +141,7 @@ impl EagerQueue {
                 worker: Mutex::new(Some(worker)),
                 dispatched: AtomicU64::new(0),
                 completed: Arc::new(AtomicU64::new(0)),
+                first_error: Arc::new(Mutex::new(None)),
             }),
         }
     }
@@ -132,15 +156,34 @@ impl EagerQueue {
         self.inner.dispatched.load(Ordering::Relaxed)
     }
 
-    /// Blocks until every dispatched kernel has executed.
+    /// Blocks until every dispatched kernel has executed. A dead worker
+    /// (killed by a Panic-mode numerics abort) counts as drained.
     pub fn sync(&self) {
         let slot = Arc::new(Slot::default());
         let s = Arc::clone(&slot);
-        self.inner
+        if self
+            .inner
             .sender()
-            .send(Box::new(move || s.fill(Tensor::scalar(0.0))))
-            .expect("eager worker is alive");
-        slot.wait();
+            .send(Box::new(move || s.fill(Ok(Tensor::scalar(0.0)))))
+            .is_err()
+        {
+            // Receiver gone: the worker has terminated, so nothing is
+            // still running — there is nothing to wait for.
+            return;
+        }
+        let _ = slot.wait();
+    }
+
+    /// [`sync`](EagerQueue::sync), then reports the first error that
+    /// *originated* on this queue (kernel panic or injected fault) since
+    /// the last check, clearing it. Propagated poison that was already
+    /// observed through `to_host_checked` is the same error.
+    pub fn sync_checked(&self) -> Result<(), RuntimeError> {
+        self.sync();
+        match self.inner.first_error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Kernels dispatched but not yet executed by the worker.
@@ -149,16 +192,24 @@ impl EagerQueue {
             .saturating_sub(self.inner.completed.load(Ordering::Relaxed))
     }
 
-    fn dispatch(&self, job: Job) {
+    /// Enqueues a job; a dead worker is reported as an error rather than
+    /// a panic, so the caller can poison the result slot.
+    fn dispatch(&self, job: Job) -> Result<(), RuntimeError> {
         let _span = prof::span("eager.enqueue");
         self.inner.dispatched.fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .sender()
-            .send(job)
-            .expect("eager worker is alive");
+        let sent = self.inner.sender().send(job);
         if prof::enabled() {
             prof::gauge_set("eager.queue_depth", self.queue_depth() as f64);
         }
+        sent.map_err(|_| {
+            let e = RuntimeError::kernel(
+                "eager.dispatch",
+                "eager",
+                "eager worker thread has terminated (a previous kernel aborted)",
+            );
+            record_first(&self.inner.first_error, &e);
+            e
+        })
     }
 }
 
@@ -188,10 +239,22 @@ impl EagerTensor {
     pub fn from_host(queue: &EagerQueue, t: Tensor<f32>) -> Self {
         let slot = Arc::new(Slot::default());
         let shape = t.shape().clone();
-        slot.fill(t);
+        slot.fill(Ok(t));
         EagerTensor {
             queue: queue.clone(),
             shape,
+            slot,
+        }
+    }
+
+    /// A handle already poisoned with `err` (used when lifting a poisoned
+    /// value from another device onto this queue).
+    pub fn poisoned(queue: &EagerQueue, dims: &[usize], err: RuntimeError) -> Self {
+        let slot = Arc::new(Slot::default());
+        slot.fill(Err(err));
+        EagerTensor {
+            queue: queue.clone(),
+            shape: Shape::new(dims),
             slot,
         }
     }
@@ -213,23 +276,80 @@ impl EagerTensor {
         let out = Arc::clone(&slot);
         let in_slots: Vec<Arc<Slot>> = inputs.iter().map(|t| Arc::clone(&t.slot)).collect();
         let completed = Arc::clone(&queue.inner.completed);
+        let first_error = Arc::clone(&queue.inner.first_error);
         diag::event!("op.dispatch", op = op.mnemonic(), backend = "eager");
-        queue.dispatch(Box::new(move || {
+        if fault::should_inject(fault::FaultSite::Dispatch) {
+            let e = RuntimeError::injected(op.mnemonic(), "eager", "dispatch")
+                .with_span(prof::current_span());
+            diag::event!(
+                "fault.injected",
+                site = "dispatch",
+                op = op.mnemonic(),
+                backend = "eager",
+            );
+            record_first(&first_error, &e);
+            slot.fill(Err(e));
+            return EagerTensor {
+                queue: queue.clone(),
+                shape,
+                slot,
+            };
+        }
+        let dispatched = queue.dispatch(Box::new(move || {
             let mut span = prof::span("eager.kernel_run");
             if span.is_recording() {
                 span.annotate("op", op.mnemonic());
                 span.annotate_f64("threads_used", s4tf_threads::num_threads() as f64);
             }
-            let tensors: Vec<Tensor<f32>> = in_slots.iter().map(|s| s.take_ready()).collect();
-            let refs: Vec<&Tensor<f32>> = tensors.iter().collect();
-            let result = eval_op(&op, &refs);
+            // A poisoned operand propagates without running the kernel:
+            // the *first* error (FIFO order makes it the originating op's)
+            // rides through the whole downstream dataflow.
+            let mut operands: Vec<Tensor<f32>> = Vec::with_capacity(in_slots.len());
+            let mut poison: Option<RuntimeError> = None;
+            for s in &in_slots {
+                match s.take_ready() {
+                    Ok(t) => operands.push(t),
+                    Err(e) => {
+                        poison = Some(e);
+                        break;
+                    }
+                }
+            }
+            let result: SlotValue = if let Some(e) = poison {
+                Err(e)
+            } else if fault::should_inject(fault::FaultSite::Kernel) {
+                let e = RuntimeError::injected(op.mnemonic(), "eager", "kernel")
+                    .with_span(prof::current_span());
+                diag::event!(
+                    "fault.injected",
+                    site = "kernel",
+                    op = op.mnemonic(),
+                    backend = "eager",
+                );
+                record_first(&first_error, &e);
+                Err(e)
+            } else {
+                let refs: Vec<&Tensor<f32>> = operands.iter().collect();
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eval_op(&op, &refs)))
+                {
+                    Ok(t) => Ok(t),
+                    Err(payload) => {
+                        let e =
+                            RuntimeError::kernel(op.mnemonic(), "eager", panic_message(&*payload))
+                                .with_span(prof::current_span());
+                        diag::event!("fault.kernel_panic", op = op.mnemonic(), backend = "eager");
+                        record_first(&first_error, &e);
+                        Err(e)
+                    }
+                }
+            };
             if diag::numerics_enabled() {
                 // Fill the slot *before* scanning: in Panic mode the scan
                 // unwinds the worker thread, and an unfilled slot would
                 // deadlock any host thread already blocked in `to_host`.
                 // Observers get the (non-finite) value; the worker dies and
-                // the next dispatch fails loudly. The clone is an Arc bump,
-                // not a data copy.
+                // the next dispatch poisons its result. The clone is an Arc
+                // bump, not a data copy.
                 let probe = result.clone();
                 out.fill(result);
                 if prof::enabled() {
@@ -239,18 +359,25 @@ impl EagerTensor {
                     );
                 }
                 completed.fetch_add(1, Ordering::Relaxed);
-                let _ = diag::check_f32s(
-                    &op.mnemonic(),
-                    "eager",
-                    probe.dims(),
-                    probe.as_slice(),
-                    prof::current_span().as_deref(),
-                );
+                if let Ok(t) = probe {
+                    let _ = diag::check_f32s(
+                        &op.mnemonic(),
+                        "eager",
+                        t.dims(),
+                        t.as_slice(),
+                        prof::current_span().as_deref(),
+                    );
+                }
             } else {
                 out.fill(result);
                 completed.fetch_add(1, Ordering::Relaxed);
             }
         }));
+        if let Err(e) = dispatched {
+            // The worker is gone; fill the slot here so observation never
+            // deadlocks on a job that will never run.
+            slot.fill(Err(e));
+        }
         EagerTensor {
             queue: queue.clone(),
             shape,
@@ -259,7 +386,19 @@ impl EagerTensor {
     }
 
     /// Observes the contents: blocks until the pipeline has produced them.
+    ///
+    /// # Panics
+    /// Panics with the original attributed error if the value is
+    /// poisoned; [`to_host_checked`](EagerTensor::to_host_checked) is the
+    /// non-panicking observation point.
     pub fn to_host(&self) -> Tensor<f32> {
+        self.to_host_checked()
+            .unwrap_or_else(|e| panic!("eager tensor observation failed: {e}"))
+    }
+
+    /// Observes the contents, surfacing a poisoned value as the error
+    /// that originally caused it (with op/backend attribution).
+    pub fn to_host_checked(&self) -> Result<Tensor<f32>, RuntimeError> {
         let _span = prof::span("eager.block_on_observe");
         self.slot.wait()
     }

@@ -14,9 +14,10 @@
 //! only on cache misses.
 
 use crate::diag;
+use crate::fault;
 use crate::prof;
 use parking_lot::Mutex;
-use s4tf_tensor::{Shape, Tensor};
+use s4tf_tensor::{RuntimeError, Shape, Tensor};
 use s4tf_xla::graph::HloGraph;
 use s4tf_xla::{HloOp, NodeId, ProgramCache};
 use std::sync::{Arc, Weak};
@@ -40,6 +41,11 @@ enum LazyState {
     },
     /// Pending node in the current trace.
     Pending { generation: u64, node: NodeId },
+    /// Poisoned: the batch this tensor belonged to failed (a kernel
+    /// panic or injected fault during execution), or a poisoned input
+    /// propagated into it at record time. The error is the *first*
+    /// failure, with op/backend attribution.
+    Failed(RuntimeError),
 }
 
 struct TraceState {
@@ -70,6 +76,10 @@ impl TraceState {
 pub struct LazyContext {
     trace: Mutex<TraceState>,
     cache: ProgramCache,
+    /// First error that originated on this device since the last
+    /// [`take_error`](LazyContext::take_error) (execution failures and
+    /// injected faults; not propagation).
+    first_error: Mutex<Option<RuntimeError>>,
 }
 
 impl std::fmt::Debug for LazyContext {
@@ -90,6 +100,7 @@ impl Default for LazyContext {
         LazyContext {
             trace: Mutex::new(TraceState::fresh(0)),
             cache: ProgramCache::new(),
+            first_error: Mutex::new(None),
         }
     }
 }
@@ -103,6 +114,19 @@ impl LazyContext {
     /// The program cache (hit/miss statistics, compile time).
     pub fn cache(&self) -> &ProgramCache {
         &self.cache
+    }
+
+    /// The first error that originated on this device since the last
+    /// call, clearing it.
+    pub fn take_error(&self) -> Option<RuntimeError> {
+        self.first_error.lock().take()
+    }
+
+    fn record_error(&self, err: &RuntimeError) {
+        let mut guard = self.first_error.lock();
+        if guard.is_none() {
+            *guard = Some(err.clone());
+        }
     }
 
     /// Number of nodes in the trace currently under construction.
@@ -206,14 +230,31 @@ impl LazyContext {
         let exe = self.cache.get_or_compile(&graph);
         let params = std::mem::take(&mut trace.params);
         let refs: Vec<&Tensor<f32>> = params.iter().collect();
-        let results = exe.run_with_backend(&refs, "lazy");
-
-        for ((handle, _), tensor) in outputs.into_iter().zip(results) {
-            *handle.lock() = LazyState::Value {
-                tensor,
-                lifted: None,
-                as_constant: false,
-            };
+        match exe.try_run_with_backend(&refs, "lazy") {
+            Ok(results) => {
+                for ((handle, _), tensor) in outputs.into_iter().zip(results) {
+                    *handle.lock() = LazyState::Value {
+                        tensor,
+                        lifted: None,
+                        as_constant: false,
+                    };
+                }
+            }
+            Err(e) => {
+                // The whole batch failed: every pending output is
+                // poisoned with the first (attributed) error, and the
+                // device records it for `sync_checked`.
+                diag::event!(
+                    "fault.batch_failed",
+                    backend = "lazy",
+                    op = e.op,
+                    outputs = outputs.len(),
+                );
+                self.record_error(&e);
+                for (handle, _) in outputs {
+                    *handle.lock() = LazyState::Failed(e.clone());
+                }
+            }
         }
         let generation = trace.generation + 1;
         let (cuts, trace_time) = (trace.cuts, trace.trace_time);
@@ -239,6 +280,7 @@ impl std::fmt::Debug for LazyTensor {
         let state = match &*self.state.lock() {
             LazyState::Value { .. } => "materialized",
             LazyState::Pending { .. } => "pending",
+            LazyState::Failed(_) => "failed",
         };
         write!(f, "LazyTensor(shape: {}, {state})", self.shape)
     }
@@ -271,6 +313,16 @@ impl LazyTensor {
                 lifted: None,
                 as_constant: true,
             })),
+        }
+    }
+
+    /// A handle already poisoned with `err` (used when lifting a poisoned
+    /// value from another device onto this context).
+    pub fn poisoned(ctx: &Arc<LazyContext>, dims: &[usize], err: RuntimeError) -> Self {
+        LazyTensor {
+            ctx: Arc::clone(ctx),
+            shape: Shape::new(dims),
+            state: Arc::new(Mutex::new(LazyState::Failed(err))),
         }
     }
 
@@ -318,6 +370,9 @@ impl LazyTensor {
                 *lifted = Some((trace.generation, node));
                 node
             }
+            LazyState::Failed(_) => {
+                unreachable!("poisoned inputs are filtered out in record_op")
+            }
         }
     }
 
@@ -329,13 +384,42 @@ impl LazyTensor {
     /// devices.
     pub fn record_op(ctx: &Arc<LazyContext>, op: HloOp, inputs: &[&LazyTensor]) -> LazyTensor {
         let start = std::time::Instant::now();
-        let mut trace = ctx.trace.lock();
         for t in inputs {
             assert!(
                 Arc::ptr_eq(&t.ctx, ctx),
                 "lazy tensors must live on the same device"
             );
         }
+        let poison = inputs.iter().find_map(|t| match &*t.state.lock() {
+            LazyState::Failed(e) => Some(e.clone()),
+            _ => None,
+        });
+        let injected = poison.is_none() && fault::should_inject(fault::FaultSite::Dispatch);
+        if poison.is_some() || injected {
+            // Shape inference stays synchronous (record time) even on
+            // the poisoned paths, so shape bugs never hide behind a
+            // fault.
+            let shapes: Vec<&Shape> = inputs.iter().map(|t| &t.shape).collect();
+            let inferred = op.infer_shape(&shapes);
+            let e = poison.unwrap_or_else(|| {
+                let e = RuntimeError::injected(op.mnemonic(), "lazy", "dispatch")
+                    .with_span(prof::current_span());
+                diag::event!(
+                    "fault.injected",
+                    site = "dispatch",
+                    op = op.mnemonic(),
+                    backend = "lazy",
+                );
+                ctx.record_error(&e);
+                e
+            });
+            return LazyTensor {
+                ctx: Arc::clone(ctx),
+                shape: inferred,
+                state: Arc::new(Mutex::new(LazyState::Failed(e))),
+            };
+        }
+        let mut trace = ctx.trace.lock();
         let nodes: Vec<NodeId> = inputs
             .iter()
             .map(|t| t.node_in_current_trace(&mut trace))
@@ -357,12 +441,26 @@ impl LazyTensor {
     }
 
     /// Observes the contents: cuts the trace if this tensor is pending.
+    ///
+    /// # Panics
+    /// Panics with the original attributed error if the tensor is
+    /// poisoned; [`to_host_checked`](LazyTensor::to_host_checked) is the
+    /// non-panicking observation point.
     pub fn to_host(&self) -> Tensor<f32> {
+        self.to_host_checked()
+            .unwrap_or_else(|e| panic!("lazy tensor observation failed: {e}"))
+    }
+
+    /// Observes the contents, surfacing a poisoned value as the error
+    /// that originally caused it (with op/backend attribution).
+    pub fn to_host_checked(&self) -> Result<Tensor<f32>, RuntimeError> {
         loop {
             {
                 let state = self.state.lock();
-                if let LazyState::Value { tensor, .. } = &*state {
-                    return tensor.clone();
+                match &*state {
+                    LazyState::Value { tensor, .. } => return Ok(tensor.clone()),
+                    LazyState::Failed(e) => return Err(e.clone()),
+                    LazyState::Pending { .. } => {}
                 }
             }
             self.ctx.barrier();

@@ -42,10 +42,12 @@ pub mod device;
 mod diag;
 pub mod dtensor;
 pub mod eager;
+mod fault;
 pub mod lazy;
 mod prof;
 pub mod sim;
 
 pub use device::Device;
 pub use dtensor::DTensor;
+pub use s4tf_tensor::{FaultKind, RuntimeError};
 pub use s4tf_xla::CacheStats;

@@ -86,6 +86,155 @@ impl fmt::Display for TensorError {
 
 impl Error for TensorError {}
 
+/// What category of fault a [`RuntimeError`] represents.
+///
+/// Mirrors the fault-injection sites of `s4tf-fault`, but lives here (in
+/// the always-compiled tensor crate) because attributed errors are part of
+/// the public runtime API even when injection is compiled out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Shape inference or validation failed.
+    Shape,
+    /// XLA compilation failed (after retry/fallback exhausted).
+    Compile,
+    /// A kernel panicked during execution.
+    Kernel,
+    /// File I/O failed (checkpoint read/write and friends).
+    Io,
+    /// A deliberately injected fault (`S4TF_FAULT_SPEC`).
+    Injected,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::Shape => "shape",
+            FaultKind::Compile => "compile",
+            FaultKind::Kernel => "kernel",
+            FaultKind::Io => "io",
+            FaultKind::Injected => "injected",
+        })
+    }
+}
+
+/// An attributed runtime failure.
+///
+/// Asynchronous backends cannot raise at the call site (paper §4): the
+/// error is captured where it happens — with the op mnemonic, backend,
+/// and (when profiling is on) the enclosing profile span — poisons the
+/// value it would have produced, and surfaces at an observation point
+/// (`to_host_checked` / `sync_checked`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeError {
+    /// Fault category.
+    pub kind: FaultKind,
+    /// The op mnemonic that failed (e.g. `"matmul"`), or a phase name for
+    /// non-op failures (e.g. `"xla.compile"`, `"checkpoint.save"`).
+    pub op: String,
+    /// The backend the failure occurred on (`"naive"`, `"eager"`,
+    /// `"lazy"`, or `"host"` for I/O).
+    pub backend: &'static str,
+    /// The innermost profile span open when the fault originated, if the
+    /// `profile` feature captured one.
+    pub span: Option<String>,
+    /// Human-readable detail (panic payload, io error text, …).
+    pub message: String,
+}
+
+impl RuntimeError {
+    fn new(
+        kind: FaultKind,
+        op: impl Into<String>,
+        backend: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        RuntimeError {
+            kind,
+            op: op.into(),
+            backend,
+            span: None,
+            message: message.into(),
+        }
+    }
+
+    /// A kernel execution failure.
+    pub fn kernel(
+        op: impl Into<String>,
+        backend: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        Self::new(FaultKind::Kernel, op, backend, message)
+    }
+
+    /// A compilation failure.
+    pub fn compile(
+        op: impl Into<String>,
+        backend: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        Self::new(FaultKind::Compile, op, backend, message)
+    }
+
+    /// A file-I/O failure.
+    pub fn io(op: impl Into<String>, message: impl Into<String>) -> Self {
+        Self::new(FaultKind::Io, op, "host", message)
+    }
+
+    /// A shape-validation failure.
+    pub fn shape(op: impl Into<String>, backend: &'static str, message: impl Into<String>) -> Self {
+        Self::new(FaultKind::Shape, op, backend, message)
+    }
+
+    /// A deliberately injected fault.
+    pub fn injected(op: impl Into<String>, backend: &'static str, site: &str) -> Self {
+        Self::new(
+            FaultKind::Injected,
+            op,
+            backend,
+            format!("injected fault at site `{site}` (S4TF_FAULT_SPEC)"),
+        )
+    }
+
+    /// Attaches the originating profile span.
+    pub fn with_span(mut self, span: Option<String>) -> Self {
+        self.span = span;
+        self
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fault in op `{}` on backend `{}`",
+            self.kind, self.op, self.backend
+        )?;
+        if let Some(span) = &self.span {
+            write!(f, " (span `{span}`)")?;
+        }
+        if !self.message.is_empty() {
+            write!(f, ": {}", self.message)?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for RuntimeError {}
+
+/// Extracts a readable message from a `catch_unwind` payload.
+///
+/// Panic payloads are `&str` for literal messages and `String` for
+/// formatted ones; anything else gets a placeholder.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +257,32 @@ mod tests {
     fn error_is_std_error() {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<TensorError>();
+        assert_err::<RuntimeError>();
+    }
+
+    #[test]
+    fn runtime_error_display_carries_attribution() {
+        let e =
+            RuntimeError::kernel("matmul", "eager", "boom").with_span(Some("train.step".into()));
+        let s = e.to_string();
+        assert!(s.contains("kernel fault"), "{s}");
+        assert!(s.contains("`matmul`"), "{s}");
+        assert!(s.contains("`eager`"), "{s}");
+        assert!(s.contains("`train.step`"), "{s}");
+        assert!(s.contains("boom"), "{s}");
+
+        let e = RuntimeError::injected("add", "lazy", "dispatch");
+        assert!(e.to_string().contains("injected fault"), "{e}");
+        assert!(e.to_string().contains("S4TF_FAULT_SPEC"), "{e}");
+    }
+
+    #[test]
+    fn panic_message_downcasts_common_payloads() {
+        let err = std::panic::catch_unwind(|| panic!("literal")).unwrap_err();
+        assert_eq!(panic_message(&*err), "literal");
+        let err = std::panic::catch_unwind(|| panic!("{}", 42)).unwrap_err();
+        assert_eq!(panic_message(&*err), "42");
+        let err = std::panic::catch_unwind(|| std::panic::panic_any(7u32)).unwrap_err();
+        assert_eq!(panic_message(&*err), "non-string panic payload");
     }
 }

@@ -52,7 +52,7 @@ pub mod storage;
 pub mod tensor;
 
 pub use dtype::{Float, Scalar};
-pub use error::{Result, TensorError};
+pub use error::{panic_message, FaultKind, Result, RuntimeError, TensorError};
 pub use shape::Shape;
 pub use storage::Storage;
 pub use tensor::{NonFinite, Tensor};

@@ -8,7 +8,8 @@
 //! measured by the retracing ablation (experiment E8).
 
 use crate::diag;
-use crate::exec::{compile, Executable};
+use crate::exec::{compile, compile_unoptimized, Executable};
+use crate::fault;
 use crate::graph::HloGraph;
 use crate::prof;
 use parking_lot::Mutex;
@@ -23,6 +24,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compile.
     pub misses: u64,
+    /// Compilations that exhausted their retries and degraded to the
+    /// unoptimized trace interpreter (same semantics, no fusion).
+    pub compile_fallbacks: u64,
 }
 
 impl CacheStats {
@@ -94,7 +98,11 @@ impl ProgramCache {
             nodes = graph.len(),
         );
         let start = std::time::Instant::now();
-        let exe = Arc::new(compile(graph));
+        let (exe, fell_back) = compile_resilient(graph, key);
+        let exe = Arc::new(exe);
+        if fell_back {
+            inner.stats.compile_fallbacks += 1;
+        }
         inner.compile_time += start.elapsed();
         diag::event!(
             "xla.compile.finish",
@@ -136,6 +144,62 @@ impl ProgramCache {
     }
 }
 
+/// How many times a failed compile is retried before degrading.
+const COMPILE_RETRIES: u32 = 2;
+
+/// Compiles with the graceful-degradation ladder: a failure (a compiler
+/// panic, or an injected `compile`-site fault) is retried up to
+/// [`COMPILE_RETRIES`] times with bounded backoff; if every attempt
+/// fails, the trace degrades to [`compile_unoptimized`] — the trace
+/// interpreter: same kernels in the same topological order, no fusion —
+/// so training continues at reduced speed instead of aborting.
+///
+/// Returns the executable and whether it is the fallback.
+fn compile_resilient(graph: &HloGraph, key: u64) -> (Executable, bool) {
+    let mut attempt = 0u32;
+    loop {
+        let failure: Option<String> = if fault::should_inject(fault::FaultSite::Compile) {
+            diag::event!(
+                "fault.injected",
+                site = "compile",
+                fingerprint = format_args!("{key:016x}"),
+                attempt = attempt,
+            );
+            Some("injected fault at site `compile` (S4TF_FAULT_SPEC)".to_string())
+        } else {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| compile(graph))) {
+                Ok(exe) => return (exe, false),
+                Err(payload) => Some(s4tf_tensor::panic_message(&*payload)),
+            }
+        };
+        let failure = failure.unwrap_or_default();
+        if attempt >= COMPILE_RETRIES {
+            prof::counter_add("xla.compile_fallback", 1);
+            diag::event!(
+                "xla.compile.fallback",
+                fingerprint = format_args!("{key:016x}"),
+                attempts = attempt + 1,
+                error = failure,
+            );
+            eprintln!(
+                "s4tf fault: XLA compile of trace {key:016x} failed {} times ({failure}); \
+                 falling back to trace interpreter",
+                attempt + 1,
+            );
+            return (compile_unoptimized(graph), true);
+        }
+        prof::counter_add("xla.compile_retry", 1);
+        diag::event!(
+            "xla.compile.retry",
+            fingerprint = format_args!("{key:016x}"),
+            attempt = attempt,
+            error = failure,
+        );
+        std::thread::sleep(fault::backoff_delay(attempt));
+        attempt += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,7 +223,14 @@ mod tests {
         let a = cache.get_or_compile(&g);
         let b = cache.get_or_compile(&g);
         assert!(Arc::ptr_eq(&a, &b), "same trace must reuse the program");
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                compile_fallbacks: 0
+            }
+        );
         assert_eq!(cache.len(), 1);
     }
 

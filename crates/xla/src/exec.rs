@@ -1,11 +1,12 @@
 //! Compilation and execution: an [`Executable`] is the optimized,
 //! topologically ordered kernel plan for one trace.
 
+use crate::fault;
 use crate::graph::{HloGraph, NodeId};
 use crate::op::{FusedInst, HloOp, ReduceKind};
 use crate::passes;
 use crate::prof;
-use s4tf_tensor::Tensor;
+use s4tf_tensor::{panic_message, RuntimeError, Tensor};
 
 /// A compiled trace: the optimized graph plus execution bookkeeping.
 #[derive(Debug, Clone)]
@@ -80,11 +81,35 @@ impl Executable {
     /// [`run`](Executable::run) with an explicit backend label for
     /// numerics-violation provenance: the lazy device executes through
     /// this plan too, and its violations should say `lazy`, not `xla`.
+    ///
+    /// # Panics
+    /// Panics with the attributed [`RuntimeError`] if a kernel fails; the
+    /// lazy device uses [`try_run_with_backend`](Executable::try_run_with_backend)
+    /// to poison its handles instead.
     pub fn run_with_backend(
         &self,
         params: &[&Tensor<f32>],
         backend: &'static str,
     ) -> Vec<Tensor<f32>> {
+        self.try_run_with_backend(params, backend)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Executes the plan, returning the *first* kernel failure (a panic
+    /// caught on this node, or an injected fault) as an attributed error
+    /// instead of unwinding. Nodes run in topological order, so the error
+    /// names the op that introduced the failure, not a downstream consumer.
+    ///
+    /// # Panics
+    /// Still panics on caller bugs: wrong parameter count or shapes
+    /// (shape errors are synchronous, paper §4), and numerics-check
+    /// panics in [`NumericsMode::Panic`](s4tf_diag::NumericsMode) — those
+    /// are an explicitly requested abort, not a runtime fault.
+    pub fn try_run_with_backend(
+        &self,
+        params: &[&Tensor<f32>],
+        backend: &'static str,
+    ) -> std::result::Result<Vec<Tensor<f32>>, RuntimeError> {
         let mut span = prof::span("xla.execute");
         if span.is_recording() {
             span.annotate_f64("kernels", self.kernel_count as f64);
@@ -118,15 +143,46 @@ impl Executable {
                     t.clone()
                 }
                 HloOp::Constant(c) => c.clone(),
-                // Fused kernels take their output shape from the plan (a
-                // trailing-broadcast input may tie the element count).
-                HloOp::Fused { insts, .. } => {
-                    let inputs: Vec<&Tensor<f32>> = node.inputs.iter().map(|&i| get(i)).collect();
-                    run_fused(insts, &inputs, node.shape.dims())
-                }
                 op => {
                     let inputs: Vec<&Tensor<f32>> = node.inputs.iter().map(|&i| get(i)).collect();
-                    eval_op(op, &inputs)
+                    let mnemonic = node.op.mnemonic();
+                    if fault::should_inject(fault::FaultSite::Kernel) {
+                        crate::diag::event!(
+                            "fault.injected",
+                            site = "kernel",
+                            op = mnemonic,
+                            backend = backend,
+                        );
+                        return Err(RuntimeError::injected(mnemonic, backend, "kernel")
+                            .with_span(prof::current_span()));
+                    }
+                    // Only the kernel itself is caught: the numerics scan
+                    // below stays outside so a Panic-mode abort unwinds to
+                    // the caller as requested, not as a poisoned value.
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match op {
+                            // Fused kernels take their output shape from
+                            // the plan (a trailing-broadcast input may tie
+                            // the element count).
+                            HloOp::Fused { insts, .. } => {
+                                run_fused(insts, &inputs, node.shape.dims())
+                            }
+                            op => eval_op(op, &inputs),
+                        }));
+                    match result {
+                        Ok(t) => t,
+                        Err(payload) => {
+                            let err =
+                                RuntimeError::kernel(mnemonic, backend, panic_message(&*payload))
+                                    .with_span(prof::current_span());
+                            crate::diag::event!(
+                                "fault.kernel_panic",
+                                op = node.op.mnemonic(),
+                                backend = backend,
+                            );
+                            return Err(err);
+                        }
+                    }
                 }
             };
             debug_assert_eq!(
@@ -158,11 +214,12 @@ impl Executable {
             prof::gauge_set("mem.live_bytes", live);
             prof::gauge_set(format!("mem.live_bytes.{backend}"), live);
         }
-        self.graph
+        Ok(self
+            .graph
             .outputs
             .iter()
             .map(|o| values[o.0 as usize].clone().expect("outputs computed"))
-            .collect()
+            .collect())
     }
 }
 

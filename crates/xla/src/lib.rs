@@ -50,6 +50,7 @@
 pub mod cache;
 mod diag;
 pub mod exec;
+mod fault;
 pub mod graph;
 pub mod op;
 pub mod passes;

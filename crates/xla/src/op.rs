@@ -287,7 +287,19 @@ impl HloOp {
             HloOp::Transpose(p) => format!("transpose{p:?}"),
             HloOp::Broadcast(d) => format!("broadcast{d:?}"),
             HloOp::ReduceToShape(d) => format!("reduce_to{d:?}"),
-            HloOp::Fused { insts, .. } => format!("fused[{}]", insts.len()),
+            HloOp::Fused { insts, .. } => {
+                // Name the constituent ops, not just the count: error
+                // attribution and trace dumps both read this.
+                let ops: Vec<String> = insts
+                    .iter()
+                    .filter_map(|inst| match inst {
+                        FusedInst::Unary(u, _) => Some(format!("{u:?}").to_lowercase()),
+                        FusedInst::Binary(b, _, _) => Some(format!("{b:?}").to_lowercase()),
+                        _ => None,
+                    })
+                    .collect();
+                format!("fused[{}]", ops.join(","))
+            }
         }
     }
 

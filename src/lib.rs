@@ -21,6 +21,7 @@
 //! | [`data`] | `s4tf-data` | §5 — synthetic dataset substitutes |
 //! | [`profile`] | `s4tf-profile` | spans, counters and Chrome-trace export across every backend |
 //! | [`diag`] | `s4tf-diag` | numerics checking, IR/trace dumps, memory tracking, telemetry (`S4TF_CHECK_NUMERICS`, `S4TF_DUMP`, `S4TF_METRICS_FILE`) |
+//! | [`fault`] | `s4tf-fault` | deterministic seed-driven fault injection for chaos runs (`S4TF_FAULT_SPEC`) |
 //! | [`threads`] | `s4tf-threads` | the work-chunking kernel thread pool (`S4TF_NUM_THREADS`) |
 //!
 //! ## Quickstart
@@ -45,6 +46,7 @@
 pub use s4tf_core as core;
 pub use s4tf_data as data;
 pub use s4tf_diag as diag;
+pub use s4tf_fault as fault;
 pub use s4tf_models as models;
 pub use s4tf_nn as nn;
 pub use s4tf_profile as profile;

@@ -1,67 +1,78 @@
-//! End-to-end checkpointing: because models are value types of plain
-//! tensors (§4.1 — no `Variable` wrappers), a checkpoint is just the
-//! parameter tensors, serializable with ordinary serde.
+//! End-to-end checkpointing through `nn::checkpoint`: because models are
+//! value types of plain tensors (§4.1 — no `Variable` wrappers), a
+//! checkpoint is just the named parameter tensors, serialized into the
+//! versioned, checksummed binary format with atomic writes.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use s4tf::models::LeNet;
+use s4tf::nn::checkpoint::{self, Checkpoint};
+use s4tf::nn::train::train_classifier_step;
 use s4tf::prelude::*;
-use std::collections::BTreeMap;
+use s4tf::tensor::FaultKind;
+use std::path::PathBuf;
 
-/// Extracts a LeNet's parameters as named host tensors.
-fn checkpoint(model: &LeNet) -> BTreeMap<String, Tensor<f32>> {
-    let mut m = BTreeMap::new();
-    m.insert("conv1.filter".into(), model.conv1.filter.to_tensor());
-    m.insert("conv1.bias".into(), model.conv1.bias.to_tensor());
-    m.insert("conv2.filter".into(), model.conv2.filter.to_tensor());
-    m.insert("conv2.bias".into(), model.conv2.bias.to_tensor());
-    m.insert("fc1.weight".into(), model.fc1.weight.to_tensor());
-    m.insert("fc1.bias".into(), model.fc1.bias.to_tensor());
-    m.insert("fc2.weight".into(), model.fc2.weight.to_tensor());
-    m.insert("fc2.bias".into(), model.fc2.bias.to_tensor());
-    m.insert("fc3.weight".into(), model.fc3.weight.to_tensor());
-    m.insert("fc3.bias".into(), model.fc3.bias.to_tensor());
-    m
+/// A fresh scratch directory, unique per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("s4tf-ckpt-{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
-/// Restores a checkpoint onto a model placed on `device`.
-fn restore(model: &mut LeNet, ckpt: &BTreeMap<String, Tensor<f32>>, device: &Device) {
-    let get = |k: &str| DTensor::from_tensor(ckpt[k].clone(), device);
-    model.conv1.filter = get("conv1.filter");
-    model.conv1.bias = get("conv1.bias");
-    model.conv2.filter = get("conv2.filter");
-    model.conv2.bias = get("conv2.bias");
-    model.fc1.weight = get("fc1.weight");
-    model.fc1.bias = get("fc1.bias");
-    model.fc2.weight = get("fc2.weight");
-    model.fc2.bias = get("fc2.bias");
-    model.fc3.weight = get("fc3.weight");
-    model.fc3.bias = get("fc3.bias");
+/// Deterministic, linearly separable minibatch for a LeNet-shaped input:
+/// class 0 is a dark image, class 1 a bright one.
+fn lenet_batch(step: u64, n: usize, device: &Device) -> (DTensor, DTensor) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1000 + step);
+    let mut pixels = Vec::with_capacity(n * 28 * 28);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 2;
+        let base: f32 = if class == 0 { -0.5 } else { 0.5 };
+        for _ in 0..28 * 28 {
+            pixels.push(base + Tensor::<f32>::randn(&[1], &mut rng).scalar_value() * 0.1);
+        }
+        labels.push(class);
+    }
+    (
+        DTensor::from_tensor(Tensor::from_vec(pixels, &[n, 28, 28, 1]), device),
+        DTensor::from_tensor(Tensor::one_hot(&labels, 10), device),
+    )
 }
 
 #[test]
-fn lenet_checkpoint_round_trips_through_json_across_devices() {
+fn lenet_checkpoint_round_trips_across_devices() {
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     let naive = Device::naive();
     let trained = LeNet::new(&naive, &mut rng);
     let x = DTensor::from_tensor(Tensor::<f32>::randn(&[2, 28, 28, 1], &mut rng), &naive);
     let expected = trained.forward(&x).to_tensor();
 
-    // Serialize → JSON → deserialize.
-    let json = serde_json::to_string(&checkpoint(&trained)).unwrap();
-    let restored_ckpt: BTreeMap<String, Tensor<f32>> = serde_json::from_str(&json).unwrap();
+    // Serialize → binary file → load.
+    let dir = scratch("roundtrip");
+    let path = Checkpoint::from_model(0, &trained)
+        .unwrap()
+        .save(&dir)
+        .unwrap();
+    let restored_ckpt = Checkpoint::load(&path).unwrap();
+    assert_eq!(restored_ckpt.len(), 10, "5 layers × (weight, bias)");
+    assert!(restored_ckpt.get("conv1.filter").is_some());
+    assert!(restored_ckpt.get("fc3.bias").is_some());
 
-    // Restore onto a *lazy-device* model: checkpoints are device-agnostic.
-    let lazy = Device::lazy();
-    let mut rng2 = ChaCha8Rng::seed_from_u64(99); // different init, then overwritten
-    let mut fresh = LeNet::new(&lazy, &mut rng2);
-    restore(&mut fresh, &restored_ckpt, &lazy);
-    let xl = DTensor::from_tensor(x.to_tensor(), &lazy);
-    let out = fresh.forward(&xl).to_tensor();
-    assert!(
-        out.allclose(&expected, 1e-5),
-        "restored model must reproduce the trained model's outputs"
-    );
+    // Restore onto *eager-* and *lazy-device* models: checkpoints are
+    // device-agnostic.
+    for device in [Device::eager(), Device::lazy()] {
+        let mut rng2 = ChaCha8Rng::seed_from_u64(99); // different init, then overwritten
+        let mut fresh = LeNet::new(&device, &mut rng2);
+        restored_ckpt.restore(&mut fresh, &device).unwrap();
+        let xd = DTensor::from_tensor(x.to_tensor(), &device);
+        let out = fresh.forward(&xd).to_tensor();
+        assert!(
+            out.allclose(&expected, 1e-5),
+            "{}: restored model must reproduce the trained model's outputs",
+            device.kind()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -69,14 +80,133 @@ fn checkpoints_are_snapshots_not_references() {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let d = Device::naive();
     let mut model = LeNet::new(&d, &mut rng);
-    let ckpt = checkpoint(&model);
+    let ckpt = Checkpoint::from_model(0, &model).unwrap();
     // Train the live model; the checkpoint must not move (value semantics).
     let x = DTensor::from_tensor(Tensor::<f32>::randn(&[1, 28, 28, 1], &mut rng), &d);
     let (y, pb) = model.forward_with_pullback(&x);
     let (g, _) = pb(&y.ones_like());
     model.move_along(&g.scaled_by(-1.0));
     assert!(
-        ckpt["fc3.weight"].max_abs_diff(&model.fc3.weight.to_tensor()) > 1e-6,
+        ckpt.get("fc3.weight")
+            .unwrap()
+            .max_abs_diff(&model.fc3.weight.to_tensor())
+            > 1e-6,
         "training moved the live weights"
     );
+}
+
+#[test]
+fn corrupted_checkpoint_is_a_typed_error_not_a_panic() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let d = Device::naive();
+    let model = LeNet::new(&d, &mut rng);
+    let dir = scratch("corrupt");
+    let path = Checkpoint::from_model(3, &model)
+        .unwrap()
+        .save(&dir)
+        .unwrap();
+
+    // Flip one byte in the middle of the file: the checksum must catch it
+    // and surface a typed I/O error, never a garbage model or a panic.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = Checkpoint::load(&path).unwrap_err();
+    assert_eq!(err.kind, FaultKind::Io);
+    assert_eq!(err.op, "checkpoint.load");
+    assert!(err.to_string().contains("checksum mismatch"), "{err}");
+
+    // Truncation (a torn write that dodged the atomic rename) too.
+    std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+    let err = Checkpoint::load(&path).unwrap_err();
+    assert_eq!(err.kind, FaultKind::Io);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn latest_discovers_the_newest_checkpoint() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let d = Device::naive();
+    let model = LeNet::new(&d, &mut rng);
+    let dir = scratch("latest");
+    assert_eq!(checkpoint::latest(&dir).unwrap(), None);
+    for step in [2, 9, 5] {
+        Checkpoint::from_model(step, &model)
+            .unwrap()
+            .save(&dir)
+            .unwrap();
+    }
+    let newest = checkpoint::latest(&dir).unwrap().unwrap();
+    assert_eq!(checkpoint::step_of(&newest), Some(9));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The crash-resume acceptance test: a training run killed mid-step
+/// resumes from the latest checkpoint and finishes **bit-identically** to
+/// an uninterrupted run — possible because SGD is stateless, the data
+/// order is a pure function of the step index, and the interrupted step's
+/// partial effects died with the "process" (here: a discarded session).
+#[test]
+fn killed_training_run_resumes_bit_identically() {
+    let device = Device::naive();
+    let total_steps = 10;
+    let every = 4;
+    let model_init = {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        LeNet::new(&device, &mut rng)
+    };
+    let run_one_step = |model: &mut LeNet, step: u64| -> f64 {
+        let (x, y) = lenet_batch(step, 4, &Device::naive());
+        let mut opt = Sgd::new(0.05);
+        train_classifier_step(model, &mut opt, &x, &y)
+    };
+
+    // Reference: an uninterrupted run.
+    let dir_a = scratch("uninterrupted");
+    let mut reference = TrainingSession::new(model_init.clone(), &device, &dir_a, every).unwrap();
+    assert_eq!(reference.resumed_from(), None);
+    while reference.step < total_steps {
+        reference.run_step(run_one_step).unwrap();
+    }
+
+    // Crash run: same schedule, killed mid-step 7 (after checkpoint at 4).
+    let dir_b = scratch("crashed");
+    {
+        let mut doomed = TrainingSession::new(model_init.clone(), &device, &dir_b, every).unwrap();
+        while doomed.step < 6 {
+            doomed.run_step(run_one_step).unwrap();
+        }
+        // Simulate the kill arriving mid-step 7: the step mutates the
+        // model, then the process dies before run_step returns — all of
+        // that state evaporates with the session.
+        run_one_step(&mut doomed.model, doomed.step);
+        // (session dropped here without checkpointing)
+    }
+
+    // Survivor: resumes from ckpt-00000004 and replays steps 4..10.
+    let mut resumed = TrainingSession::new(model_init.clone(), &device, &dir_b, every).unwrap();
+    assert_eq!(
+        resumed.resumed_from(),
+        Some(4),
+        "must pick up from the last durable snapshot, not the crash point"
+    );
+    while resumed.step < total_steps {
+        resumed.run_step(run_one_step).unwrap();
+    }
+
+    // Bit-identical: exact f32 equality, not allclose.
+    let final_a = Checkpoint::from_model(total_steps, &reference.model).unwrap();
+    let final_b = Checkpoint::from_model(total_steps, &resumed.model).unwrap();
+    for name in final_a.names() {
+        let a = final_a.get(name).unwrap().as_slice().to_vec();
+        let b = final_b.get(name).unwrap().as_slice().to_vec();
+        assert!(
+            a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "`{name}` differs after resume — not bit-identical"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
 }

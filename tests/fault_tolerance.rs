@@ -1,0 +1,468 @@
+//! End-to-end fault-tolerance: deterministic injection, poisoned-value
+//! propagation with first-error attribution on all three backends,
+//! data-parallel fault policies, XLA-compile fallback, and the chaos-run
+//! acceptance criterion (LeNet keeps training under kernel faults).
+//!
+//! The fault spec is process-global, so every test takes the `SERIAL`
+//! lock **and** installs its own spec explicitly (`set_fault_spec` beats
+//! the `S4TF_FAULT_SPEC` env var, which CI's chaos job exports).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use s4tf::fault::{self, would_inject, FaultSite};
+use s4tf::models::LeNet;
+use s4tf::nn::checkpoint::{self, Checkpoint};
+use s4tf::nn::train::{
+    data_parallel_classifier_step_with_policy, train_classifier_step, FaultPolicy,
+};
+use s4tf::prelude::*;
+use s4tf::tensor::FaultKind;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A linearly separable 2-class problem, shardable 4 ways.
+fn toy_shards(device: &Device, n_shards: usize, per_shard: usize) -> Vec<(DTensor, DTensor)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(300);
+    (0..n_shards)
+        .map(|_| {
+            let mut data = Vec::with_capacity(per_shard * 2);
+            let mut labels = Vec::with_capacity(per_shard);
+            for i in 0..per_shard {
+                let class = i % 2;
+                let center = if class == 0 { -2.0 } else { 2.0 };
+                data.push(center + Tensor::<f32>::randn(&[1], &mut rng).scalar_value() * 0.5);
+                data.push(center * 0.5 + Tensor::<f32>::randn(&[1], &mut rng).scalar_value() * 0.5);
+                labels.push(class);
+            }
+            (
+                DTensor::from_tensor(Tensor::from_vec(data, &[per_shard, 2]), device),
+                DTensor::from_tensor(Tensor::one_hot(&labels, 2), device),
+            )
+        })
+        .collect()
+}
+
+fn bitwise_eq(a: &Tensor<f32>, b: &Tensor<f32>) -> bool {
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Same spec seed → the same ops fault, observed end-to-end through the
+/// runtime (not just the `would_inject` hash): a pipeline of 40 naive ops
+/// replayed under the same spec poisons the identical subset.
+#[test]
+fn same_seed_replays_the_same_injected_fault_sequence() {
+    let _g = serial();
+    let device = Device::naive();
+    let t = Tensor::from_vec(vec![1.0f32, -2.0, 3.0], &[3]);
+    let run = || -> Vec<bool> {
+        (0..40)
+            .map(|_| {
+                let x = DTensor::from_tensor(t.clone(), &device);
+                x.relu().to_tensor_checked().is_ok()
+            })
+            .collect()
+    };
+
+    fault::set_fault_spec(Some("kernel:0.3:42")).unwrap();
+    let a = run();
+    fault::set_fault_spec(Some("kernel:0.3:42")).unwrap();
+    let b = run();
+    assert_eq!(a, b, "same seed must fault the same ops");
+    assert!(a.iter().any(|&ok| !ok), "p=0.3 over 40 ops faults some");
+    assert!(a.iter().any(|&ok| ok), "...but not all");
+
+    fault::set_fault_spec(Some("kernel:0.3:43")).unwrap();
+    let c = run();
+    assert_ne!(a, c, "a different seed faults a different subset");
+    fault::set_fault_spec(None).unwrap();
+}
+
+/// A fault poisons the value it struck; downstream ops propagate the
+/// poison without re-attributing it, and observation surfaces the *first*
+/// error — with the original op mnemonic — identically on naive, eager,
+/// and lazy.
+#[test]
+fn poisoned_values_surface_the_first_error_on_every_backend() {
+    let _g = serial();
+    let t = Tensor::from_vec(vec![1.0f32, -2.0, 3.0], &[3]);
+    for device in [Device::naive(), Device::eager(), Device::lazy()] {
+        fault::set_fault_spec(Some("kernel:1:0")).unwrap();
+        let x = DTensor::from_tensor(t.clone(), &device);
+        let z = x.relu().mul_scalar(2.0); // relu faults; mul_scalar inherits
+        let err = z
+            .to_tensor_checked()
+            .expect_err("injected fault must surface at observation");
+        assert_eq!(err.kind, FaultKind::Injected, "{}: {err}", device.kind());
+        // Naive/eager attribute the individual op. The lazy backend's
+        // unit of execution is the fused kernel, which names its
+        // constituents — `relu` must appear either way.
+        assert!(
+            err.op == "relu" || (err.op.starts_with("fused[") && err.op.contains("relu")),
+            "{}: must carry the *first* faulting op, not the one observed (got `{}`)",
+            device.kind(),
+            err.op
+        );
+        fault::set_fault_spec(None).unwrap();
+        device.sync_checked().ok(); // drain sticky state
+    }
+}
+
+/// The infallible observation path still works — it panics with the full
+/// attributed error rather than a generic message.
+#[test]
+fn infallible_to_tensor_panics_with_the_attributed_error() {
+    let _g = serial();
+    fault::set_fault_spec(Some("kernel:1:0")).unwrap();
+    let device = Device::naive();
+    let x = DTensor::from_tensor(Tensor::from_vec(vec![1.0f32, 2.0], &[2]), &device);
+    let y = x.relu();
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| y.to_tensor()))
+        .expect_err("poisoned value must panic on infallible read");
+    let msg = s4tf::tensor::panic_message(&*payload);
+    assert!(msg.contains("relu"), "panic must name the op: {msg}");
+    assert!(msg.contains("injected"), "panic must name the cause: {msg}");
+    fault::set_fault_spec(None).unwrap();
+}
+
+/// `sync_checked` surfaces (and drains) the first recorded error on the
+/// eager device, so a handled fault cannot leak into the next step.
+#[test]
+fn eager_sync_checked_drains_the_first_error() {
+    let _g = serial();
+    fault::set_fault_spec(Some("kernel:1:0")).unwrap();
+    let device = Device::eager();
+    let x = DTensor::from_tensor(Tensor::from_vec(vec![1.0f32, 2.0], &[2]), &device);
+    let _poisoned = x.relu();
+    let err = device.sync_checked().expect_err("first error must surface");
+    assert_eq!(err.op, "relu");
+    assert_eq!(err.kind, FaultKind::Injected);
+    fault::set_fault_spec(None).unwrap();
+    assert!(
+        device.sync_checked().is_ok(),
+        "error state must drain after being observed"
+    );
+    // The queue is healthy again.
+    let y = x.mul_scalar(3.0).to_tensor_checked().unwrap();
+    assert_eq!(y.as_slice(), &[3.0, 6.0]);
+}
+
+/// `DropShard` renormalizes the gradient average over the survivors: a
+/// step that loses one shard to an `allreduce` fault matches a no-fault
+/// step computed over the surviving shards alone.
+#[test]
+fn drop_shard_matches_the_no_fault_step_over_survivors() {
+    let _g = serial();
+    // Pick a seed where exactly one of the 4 per-shard draws (p=0.5)
+    // injects — the deterministic hash makes this a compile-time-ish fact.
+    let seed = (0u64..)
+        .find(|&s| {
+            (0..4)
+                .filter(|&i| would_inject(s, FaultSite::Allreduce, i, 0.5))
+                .count()
+                == 1
+        })
+        .unwrap();
+    let dropped = (0..4)
+        .position(|i| would_inject(seed, FaultSite::Allreduce, i, 0.5))
+        .unwrap();
+
+    let device = Device::naive();
+    let shards = toy_shards(&device, 4, 8);
+    let init = {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        Dense::new(2, 2, Activation::Tanh, &device, &mut rng)
+    };
+
+    // Faulted step: shard `dropped` loses its all-reduce contribution.
+    fault::set_fault_spec(Some(&format!("allreduce:0.5:{seed}"))).unwrap();
+    let mut faulted = init.clone();
+    let mut opt = Sgd::new(0.3);
+    data_parallel_classifier_step_with_policy(
+        &mut faulted,
+        &mut opt,
+        &shards,
+        FaultPolicy::DropShard,
+    )
+    .expect("3 of 4 shards survive");
+    assert!(fault::injections(FaultSite::Allreduce) >= 1);
+    fault::set_fault_spec(None).unwrap();
+
+    // Reference: a clean step over only the survivors.
+    let survivors: Vec<_> = shards
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| *k != dropped)
+        .map(|(_, s)| s.clone())
+        .collect();
+    let mut reference = init.clone();
+    let mut opt = Sgd::new(0.3);
+    data_parallel_classifier_step_with_policy(
+        &mut reference,
+        &mut opt,
+        &survivors,
+        FaultPolicy::FailFast,
+    )
+    .unwrap();
+
+    assert!(
+        faulted
+            .weight
+            .to_tensor()
+            .allclose(&reference.weight.to_tensor(), 1e-7),
+        "renormalized mean must equal the survivors-only mean"
+    );
+    assert!(faulted
+        .bias
+        .to_tensor()
+        .allclose(&reference.bias.to_tensor(), 1e-7));
+}
+
+/// `Retry` re-runs a failed shard and succeeds when the fault was
+/// transient; `FailFast` on the same spec surfaces it as a typed error
+/// and — transactionally — leaves the model untouched.
+#[test]
+fn retry_recovers_where_fail_fast_surfaces() {
+    let _g = serial();
+    // Seed where draw 0 (shard 0's all-reduce) injects but draws 1..5 —
+    // including the retry's re-draw at index 4 — do not.
+    let seed = (0u64..)
+        .find(|&s| {
+            would_inject(s, FaultSite::Allreduce, 0, 0.5)
+                && !(1..5).any(|i| would_inject(s, FaultSite::Allreduce, i, 0.5))
+        })
+        .unwrap();
+    let spec = format!("allreduce:0.5:{seed}");
+
+    let device = Device::naive();
+    let shards = toy_shards(&device, 4, 8);
+    let init = {
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        Dense::new(2, 2, Activation::Tanh, &device, &mut rng)
+    };
+
+    // Clean reference step over all 4 shards.
+    fault::set_fault_spec(None).unwrap();
+    let mut reference = init.clone();
+    let mut opt = Sgd::new(0.3);
+    data_parallel_classifier_step_with_policy(
+        &mut reference,
+        &mut opt,
+        &shards,
+        FaultPolicy::FailFast,
+    )
+    .unwrap();
+
+    // Retry(2): the transient fault is absorbed; result matches the
+    // clean step exactly.
+    fault::set_fault_spec(Some(&spec)).unwrap();
+    let mut retried = init.clone();
+    let mut opt = Sgd::new(0.3);
+    data_parallel_classifier_step_with_policy(
+        &mut retried,
+        &mut opt,
+        &shards,
+        FaultPolicy::Retry(2),
+    )
+    .expect("retry must absorb a transient allreduce fault");
+    assert!(retried
+        .weight
+        .to_tensor()
+        .allclose(&reference.weight.to_tensor(), 1e-7));
+
+    // FailFast under the identical spec: typed error, model unchanged.
+    fault::set_fault_spec(Some(&spec)).unwrap();
+    let mut untouched = init.clone();
+    let mut opt = Sgd::new(0.3);
+    let err = data_parallel_classifier_step_with_policy(
+        &mut untouched,
+        &mut opt,
+        &shards,
+        FaultPolicy::FailFast,
+    )
+    .expect_err("FailFast must surface the shard fault");
+    assert_eq!(err.kind, FaultKind::Injected);
+    assert_eq!(err.op, "allreduce.mean");
+    assert!(
+        bitwise_eq(&untouched.weight.to_tensor(), &init.weight.to_tensor()),
+        "a failed step must leave the model exactly as it was"
+    );
+    fault::set_fault_spec(None).unwrap();
+}
+
+/// An injected XLA-compile failure exhausts its retries, falls back to
+/// the trace interpreter, and training proceeds with results matching the
+/// uninjected run.
+#[test]
+fn compile_fallback_matches_the_uninjected_run() {
+    let _g = serial();
+    let train = |device: &Device| -> (Tensor<f32>, Tensor<f32>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let shards = toy_shards(device, 1, 16);
+        let (x, y) = &shards[0];
+        let mut model = Dense::new(2, 2, Activation::Tanh, device, &mut rng);
+        let mut opt = Sgd::new(0.3);
+        for _ in 0..3 {
+            train_classifier_step(&mut model, &mut opt, x, y);
+        }
+        (model.weight.to_tensor(), model.bias.to_tensor())
+    };
+
+    fault::set_fault_spec(None).unwrap();
+    let clean = train(&Device::lazy());
+
+    fault::set_fault_spec(Some("compile:1:3")).unwrap();
+    let device = Device::lazy();
+    let faulted = train(&device);
+    let stats = device.cache_stats().unwrap();
+    assert!(
+        stats.compile_fallbacks >= 1,
+        "every compile fails → the interpreter must have been used: {stats:?}"
+    );
+    fault::set_fault_spec(None).unwrap();
+
+    assert!(
+        clean.0.allclose(&faulted.0, 1e-6) && clean.1.allclose(&faulted.1, 1e-6),
+        "interpreter fallback must compute what the compiled program would"
+    );
+}
+
+/// Checkpoint I/O faults surface as typed errors with the right site
+/// attribution — never a torn file or a panic.
+#[test]
+fn checkpoint_io_faults_are_typed_errors() {
+    let _g = serial();
+    let dir = std::env::temp_dir().join(format!("s4tf-faultio-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let device = Device::naive();
+    let mut rng = ChaCha8Rng::seed_from_u64(34);
+    let model = Dense::new(2, 2, Activation::Identity, &device, &mut rng);
+    let ckpt = Checkpoint::from_model(5, &model).unwrap();
+
+    fault::set_fault_spec(Some("checkpoint_io:1:0")).unwrap();
+    let err = ckpt.save(&dir).expect_err("write fault must surface");
+    assert_eq!(err.kind, FaultKind::Injected);
+    assert_eq!(err.op, "checkpoint.save");
+
+    fault::set_fault_spec(Some("io:1:0")).unwrap();
+    let err = checkpoint::latest(&dir).expect_err("read fault must surface");
+    assert_eq!(err.kind, FaultKind::Injected);
+
+    // And with injection off, the same calls succeed.
+    fault::set_fault_spec(None).unwrap();
+    let path = ckpt.save(&dir).unwrap();
+    assert_eq!(checkpoint::latest(&dir).unwrap(), Some(path));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance chaos run: LeNet data-parallel training under
+/// `kernel:0.05` faults with `DropShard` completes every step (failed
+/// steps roll back and are skipped), logs the injections as diag events,
+/// and still converges.
+#[test]
+fn lenet_chaos_run_survives_and_converges_under_drop_shard() {
+    let _g = serial();
+    let device = Device::naive();
+    let mut rng = ChaCha8Rng::seed_from_u64(40);
+    let mut model = LeNet::new(&device, &mut rng);
+    let mut opt = Sgd::new(0.05);
+
+    // 4 shards × 4 images of a separable task: dark ↔ class 0, bright ↔ 1.
+    let shards: Vec<(DTensor, DTensor)> = (0..4)
+        .map(|k| {
+            let mut srng = ChaCha8Rng::seed_from_u64(500 + k);
+            let n = 4;
+            let mut pixels = Vec::with_capacity(n * 28 * 28);
+            let mut labels = Vec::with_capacity(n);
+            for i in 0..n {
+                let class = i % 2;
+                let base: f32 = if class == 0 { -0.5 } else { 0.5 };
+                for _ in 0..28 * 28 {
+                    pixels.push(base + Tensor::<f32>::randn(&[1], &mut srng).scalar_value() * 0.1);
+                }
+                labels.push(class);
+            }
+            (
+                DTensor::from_tensor(Tensor::from_vec(pixels, &[n, 28, 28, 1]), &device),
+                DTensor::from_tensor(Tensor::one_hot(&labels, 10), &device),
+            )
+        })
+        .collect();
+
+    // Clean evaluation in a protected region: the probe itself must not
+    // draw injections (on the naive device ops run on this thread).
+    let eval_loss = |model: &LeNet| -> f64 {
+        let _protect = fault::suppress();
+        let mut total = 0.0;
+        for (x, y) in &shards {
+            let logits = model.forward(x);
+            let (loss, _) = softmax_cross_entropy(&logits, y);
+            total += loss.loss_value();
+        }
+        total / shards.len() as f64
+    };
+
+    s4tf::diag::set_events_enabled(true);
+    s4tf::diag::clear_events();
+    fault::set_fault_spec(Some("kernel:0.05:7")).unwrap();
+    let initial = eval_loss(&model);
+
+    // A LeNet shard draws ~70 kernel injections per forward/backward, so
+    // at p=0.05 most shards die and many steps lose *all* shards. Which
+    // steps survive depends on thread interleaving (draw indices are
+    // claimed dynamically), so run until enough steps have landed, with a
+    // hard cap as the liveness bound.
+    let target_ok = 5;
+    let max_steps = 150;
+    let mut ok_steps = 0;
+    let mut steps = 0;
+    while ok_steps < target_ok && steps < max_steps {
+        steps += 1;
+        match data_parallel_classifier_step_with_policy(
+            &mut model,
+            &mut opt,
+            &shards,
+            FaultPolicy::DropShard,
+        ) {
+            Ok(loss) => {
+                assert!(loss.is_finite());
+                ok_steps += 1;
+            }
+            // Every shard faulted: the step rolled back; just skip it.
+            Err(e) => assert_ne!(e.kind, FaultKind::Shape, "only injected/kernel faults: {e}"),
+        }
+    }
+    let kernel_injections = fault::injections(FaultSite::Kernel);
+    let final_loss = eval_loss(&model);
+    fault::set_fault_spec(None).unwrap();
+    s4tf::diag::set_events_enabled(false);
+
+    assert!(
+        kernel_injections > 0,
+        "p=0.05 over a LeNet chaos run must inject"
+    );
+    assert!(
+        ok_steps >= target_ok,
+        "chaos run starved: only {ok_steps} steps survived in {steps}"
+    );
+    let events = s4tf::diag::events_jsonl();
+    assert!(
+        events.contains("fault.injected"),
+        "injections must be logged as diag events"
+    );
+    assert!(
+        events.contains("fault.shard_dropped") || events.contains("fault.shard_failed"),
+        "shard handling must be logged as diag events"
+    );
+    assert!(
+        final_loss < initial,
+        "chaos training must still converge: {initial} → {final_loss}"
+    );
+}
