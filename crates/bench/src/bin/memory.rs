@@ -1,0 +1,187 @@
+//! Memory-planner benchmark: LeNet-5 training steps on all three backends
+//! with the buffer pool + memory planner on vs. off, writing allocator
+//! calls per step, peak live bytes, and steps/sec to `BENCH_memory.json`.
+//!
+//! ```sh
+//! cargo run -p s4tf-bench --release --bin memory            # full steps
+//! cargo run -p s4tf-bench --release --bin memory -- --smoke # CI smoke
+//! ```
+//!
+//! `--out PATH` overrides the output path. The run asserts bit-identical
+//! per-step losses between the on and off configurations on every backend
+//! — the planner is a pure memory optimization, never a numerics change —
+//! and records the allocator-call reduction the pool + planner achieve.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use s4tf_models::LeNet;
+use s4tf_nn::train::train_classifier_step;
+use s4tf_nn::Sgd;
+use s4tf_runtime::{DTensor, Device};
+use s4tf_tensor::Tensor;
+use serde::Value;
+use std::time::Instant;
+
+const BATCH: usize = 8;
+
+struct RunResult {
+    backend: &'static str,
+    planner: bool,
+    allocs_per_step: f64,
+    frees_per_step: f64,
+    peak_bytes: u64,
+    steps_per_sec: f64,
+    losses: Vec<f64>,
+}
+
+/// Synthetic MNIST-shaped minibatch (deterministic, shared across runs).
+fn minibatch(device: &Device, rng: &mut ChaCha8Rng) -> (DTensor, DTensor) {
+    let images = Tensor::<f32>::randn(&[BATCH, 28, 28, 1], rng);
+    // One-hot labels, class i % 10 for example i.
+    let mut onehot = vec![0.0f32; BATCH * 10];
+    for i in 0..BATCH {
+        onehot[i * 10 + i % 10] = 1.0;
+    }
+    let labels = Tensor::from_vec(onehot, &[BATCH, 10]);
+    (
+        DTensor::from_tensor(images, device),
+        DTensor::from_tensor(labels, device),
+    )
+}
+
+/// Trains `steps` LeNet steps on `backend` and measures allocator traffic.
+fn run(backend: &'static str, planner: bool, steps: usize) -> RunResult {
+    s4tf_tensor::set_pool_enabled(planner);
+    s4tf_xla::set_plan_enabled(planner);
+    s4tf_tensor::clear_pools();
+
+    let device = match backend {
+        "naive" => Device::naive(),
+        "eager" => Device::eager(),
+        "lazy" => Device::lazy(),
+        _ => unreachable!(),
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut model = LeNet::new(&device, &mut rng);
+    let mut opt = Sgd::<LeNet>::with_momentum(0.05, 0.9);
+    let (images, labels) = minibatch(&device, &mut rng);
+
+    // Warm-up step: first-touch allocations (velocity, program cache,
+    // pool population) are setup cost, not steady-state traffic.
+    train_classifier_step(&mut model, &mut opt, &images, &labels);
+
+    s4tf_diag::reset_peak_bytes();
+    let before = s4tf_diag::memory_stats();
+    let start = Instant::now();
+    let mut losses = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        losses.push(train_classifier_step(
+            &mut model, &mut opt, &images, &labels,
+        ));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let after = s4tf_diag::memory_stats();
+
+    RunResult {
+        backend,
+        planner,
+        allocs_per_step: (after.allocs - before.allocs) as f64 / steps as f64,
+        frees_per_step: (after.frees - before.frees) as f64 / steps as f64,
+        peak_bytes: after.peak_bytes,
+        steps_per_sec: steps as f64 / secs,
+        losses,
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_memory.json".to_string());
+    let steps = if smoke { 3 } else { 10 };
+
+    println!(
+        "memory bench: LeNet batch {BATCH}, {steps} steps, planner off vs on{}",
+        if smoke { ", smoke" } else { "" }
+    );
+
+    let mut results = Vec::new();
+    let mut records = Vec::new();
+    for backend in ["naive", "eager", "lazy"] {
+        // Off first, then on, so the "on" run cannot warm the pool for
+        // the "off" run; `clear_pools` in `run` isolates them anyway.
+        let off = run(backend, false, steps);
+        let on = run(backend, true, steps);
+        assert_eq!(
+            off.losses, on.losses,
+            "{backend}: planner must be bit-transparent to the losses"
+        );
+        let alloc_reduction = if on.allocs_per_step > 0.0 {
+            off.allocs_per_step / on.allocs_per_step
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "  {backend:<6} allocs/step {:>8.1} -> {:>8.1}  ({alloc_reduction:>5.2}x)   \
+             peak {:>10} -> {:>10} B   {:>6.2} steps/s",
+            off.allocs_per_step,
+            on.allocs_per_step,
+            off.peak_bytes,
+            on.peak_bytes,
+            on.steps_per_sec,
+        );
+        for r in [&off, &on] {
+            results.push(obj(vec![
+                ("backend", Value::Str(r.backend.to_string())),
+                (
+                    "planner",
+                    Value::Str(if r.planner { "on" } else { "off" }.to_string()),
+                ),
+                ("allocs_per_step", Value::Float(r.allocs_per_step)),
+                ("frees_per_step", Value::Float(r.frees_per_step)),
+                ("peak_bytes", Value::UInt(r.peak_bytes)),
+                ("steps_per_sec", Value::Float(r.steps_per_sec)),
+                (
+                    "final_loss",
+                    Value::Float(r.losses.last().copied().unwrap_or(f64::NAN)),
+                ),
+            ]));
+        }
+        records.push((backend, off, on, alloc_reduction));
+    }
+
+    let lazy = records
+        .iter()
+        .find(|(b, ..)| *b == "lazy")
+        .expect("lazy backend ran");
+    let report = obj(vec![
+        ("bench", Value::Str("memory".to_string())),
+        ("smoke", Value::Bool(smoke)),
+        ("model", Value::Str("lenet".to_string())),
+        ("batch", Value::UInt(BATCH as u64)),
+        ("steps", Value::UInt(steps as u64)),
+        ("bit_identical_losses", Value::Bool(true)),
+        ("alloc_reduction_lazy", Value::Float(lazy.3)),
+        (
+            "peak_reduction_lazy",
+            Value::Float(lazy.1.peak_bytes as f64 / lazy.2.peak_bytes.max(1) as f64),
+        ),
+        ("results", Value::Array(results)),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json.as_bytes()).expect("write benchmark JSON");
+    println!("wrote {out_path} ({} bytes)", json.len());
+}

@@ -43,6 +43,16 @@ pub trait Differentiable: Clone {
     fn zero_tangent(&self) -> Self::TangentVector {
         Self::TangentVector::zero()
     }
+
+    /// Moves `self` along `alpha · direction` without materializing the
+    /// scaled tangent — the zero-allocation SGD update
+    /// `model.move_along_scaled(&gradient, -lr)` (paper §4.2: the
+    /// optimizer holds the model via a unique borrow, so the update is
+    /// in place). Bit-identical to
+    /// `self.move_along(&direction.scaled_by(alpha))`.
+    fn move_along_scaled(&mut self, direction: &Self::TangentVector, alpha: f64) {
+        self.move_along(&direction.scaled_by(alpha));
+    }
 }
 
 impl Differentiable for f32 {
@@ -50,12 +60,18 @@ impl Differentiable for f32 {
     fn move_along(&mut self, direction: &f32) {
         *self += direction;
     }
+    fn move_along_scaled(&mut self, direction: &f32, alpha: f64) {
+        *self += (*direction as f64 * alpha) as f32;
+    }
 }
 
 impl Differentiable for f64 {
     type TangentVector = f64;
     fn move_along(&mut self, direction: &f64) {
         *self += direction;
+    }
+    fn move_along_scaled(&mut self, direction: &f64, alpha: f64) {
+        *self += direction * alpha;
     }
 }
 
@@ -68,6 +84,19 @@ impl<T: Float> Differentiable for Tensor<T> {
             self.add_scalar_assign(direction.scalar_value());
         } else {
             self.add_assign_tensor(direction);
+        }
+    }
+
+    fn move_along_scaled(&mut self, direction: &Tensor<T>, alpha: f64) {
+        if direction.rank() == 0 {
+            // Matches the default path: the tangent is scaled first, then
+            // added (`(d·α) + x`, elementwise).
+            self.add_scalar_assign(direction.scalar_value() * T::from_f64(alpha));
+        } else if self.shape() == direction.shape() {
+            self.scaled_add_assign(T::from_f64(alpha), direction);
+        } else {
+            // Trailing-broadcast tangent: no in-place kernel, scale then add.
+            self.add_assign_tensor(&direction.mul_scalar(T::from_f64(alpha)));
         }
     }
 
@@ -87,6 +116,10 @@ impl<A: Differentiable, B: Differentiable> Differentiable for (A, B) {
         self.0.move_along(&direction.0);
         self.1.move_along(&direction.1);
     }
+    fn move_along_scaled(&mut self, direction: &Self::TangentVector, alpha: f64) {
+        self.0.move_along_scaled(&direction.0, alpha);
+        self.1.move_along_scaled(&direction.1, alpha);
+    }
     fn zero_tangent(&self) -> Self::TangentVector {
         (self.0.zero_tangent(), self.1.zero_tangent())
     }
@@ -101,6 +134,15 @@ impl<A: Differentiable> Differentiable for Vec<A> {
         assert_eq!(self.len(), direction.len(), "tangent length mismatch");
         for (x, d) in self.iter_mut().zip(direction) {
             x.move_along(d);
+        }
+    }
+    fn move_along_scaled(&mut self, direction: &Self::TangentVector, alpha: f64) {
+        if direction.is_empty() {
+            return; // broadcastable zero
+        }
+        assert_eq!(self.len(), direction.len(), "tangent length mismatch");
+        for (x, d) in self.iter_mut().zip(direction) {
+            x.move_along_scaled(d, alpha);
         }
     }
     fn zero_tangent(&self) -> Self::TangentVector {

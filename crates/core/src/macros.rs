@@ -135,6 +135,15 @@ macro_rules! differentiable_struct {
             fn norm_squared(&self) -> f64 {
                 0.0 $( + $crate::VectorSpace::norm_squared(&self.$field) )*
             }
+
+            fn scale_assign(&mut self, factor: f64) {
+                $( $crate::VectorSpace::scale_assign(&mut self.$field, factor); )*
+            }
+
+            fn add_scaled_assign(&mut self, alpha: f64, rhs: &Self) {
+                $( $crate::VectorSpace::add_scaled_assign(
+                    &mut self.$field, alpha, &rhs.$field); )*
+            }
         }
 
         impl $crate::vector_space::PointwiseMath for $tangent {
@@ -173,6 +182,11 @@ macro_rules! differentiable_struct {
             fn move_along(&mut self, direction: &$tangent) {
                 $( $crate::Differentiable::move_along(
                     &mut self.$field, &direction.$field); )*
+            }
+
+            fn move_along_scaled(&mut self, direction: &$tangent, alpha: f64) {
+                $( $crate::Differentiable::move_along_scaled(
+                    &mut self.$field, &direction.$field, alpha); )*
             }
 
             fn zero_tangent(&self) -> $tangent {

@@ -41,6 +41,18 @@ pub trait VectorSpace: AdditiveArithmetic {
     /// squared form composes additively across structs and tuples so the
     /// final `sqrt` happens once, at the top.
     fn norm_squared(&self) -> f64;
+    /// `self ← factor · self`, in place where the representation allows
+    /// (tensors mutate their buffer when uniquely owned; see paper §4.2).
+    /// Bit-identical to [`scaled_by`](VectorSpace::scaled_by).
+    fn scale_assign(&mut self, factor: f64) {
+        *self = self.scaled_by(factor);
+    }
+    /// `self ← self + alpha · rhs` (axpy), in place where possible —
+    /// the inner loop of every first-order optimizer update. Bit-identical
+    /// to `self.adding(&rhs.scaled_by(alpha))`.
+    fn add_scaled_assign(&mut self, alpha: f64, rhs: &Self) {
+        *self = self.adding(&rhs.scaled_by(alpha));
+    }
 }
 
 /// Element-wise (Hadamard) arithmetic on tangent vectors, beyond the plain
@@ -175,6 +187,12 @@ macro_rules! impl_scalar_vector_space {
             fn norm_squared(&self) -> f64 {
                 (*self as f64) * (*self as f64)
             }
+            fn scale_assign(&mut self, factor: f64) {
+                *self = (*self as f64 * factor) as $t;
+            }
+            fn add_scaled_assign(&mut self, alpha: f64, rhs: &Self) {
+                *self += (*rhs as f64 * alpha) as $t;
+            }
         }
     };
 }
@@ -215,6 +233,21 @@ impl<T: Float> VectorSpace for Tensor<T> {
             })
             .sum()
     }
+    fn scale_assign(&mut self, factor: f64) {
+        self.mul_scalar_assign(T::from_f64(factor));
+    }
+    fn add_scaled_assign(&mut self, alpha: f64, rhs: &Self) {
+        if self.shape() == rhs.shape() {
+            // Same per-element `d + alpha·s` as the default path (the
+            // scaling multiplication is commutative bit-for-bit), with
+            // no intermediate tensor.
+            self.scaled_add_assign(T::from_f64(alpha), rhs);
+        } else {
+            // Broadcasting case (e.g. the scalar zero tangent):
+            // materialize through the allocating path.
+            *self = self.adding(&rhs.scaled_by(alpha));
+        }
+    }
 }
 
 impl AdditiveArithmetic for () {
@@ -248,6 +281,14 @@ impl<A: VectorSpace, B: VectorSpace> VectorSpace for (A, B) {
     }
     fn norm_squared(&self) -> f64 {
         self.0.norm_squared() + self.1.norm_squared()
+    }
+    fn scale_assign(&mut self, factor: f64) {
+        self.0.scale_assign(factor);
+        self.1.scale_assign(factor);
+    }
+    fn add_scaled_assign(&mut self, alpha: f64, rhs: &Self) {
+        self.0.add_scaled_assign(alpha, &rhs.0);
+        self.1.add_scaled_assign(alpha, &rhs.1);
     }
 }
 
@@ -290,6 +331,24 @@ impl<A: VectorSpace> VectorSpace for Vec<A> {
     }
     fn norm_squared(&self) -> f64 {
         self.iter().map(VectorSpace::norm_squared).sum()
+    }
+    fn scale_assign(&mut self, factor: f64) {
+        for a in self.iter_mut() {
+            a.scale_assign(factor);
+        }
+    }
+    fn add_scaled_assign(&mut self, alpha: f64, rhs: &Self) {
+        if rhs.is_empty() {
+            return; // the empty vector is a broadcastable zero
+        }
+        if self.is_empty() {
+            *self = rhs.scaled_by(alpha);
+            return;
+        }
+        assert_eq!(self.len(), rhs.len(), "Vec tangent length mismatch");
+        for (a, b) in self.iter_mut().zip(rhs) {
+            a.add_scaled_assign(alpha, b);
+        }
     }
 }
 

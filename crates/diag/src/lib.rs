@@ -44,7 +44,10 @@ pub use events::{
     clear_events, events, events_enabled, events_jsonl, record_event, set_events_enabled,
     EventRecord,
 };
-pub use memory::{memory_stats, reset_peak_bytes, track_alloc, track_free, MemoryStats};
+pub use memory::{
+    memory_stats, reset_peak_bytes, track_alloc, track_free, track_recycled_alloc,
+    track_recycled_free, MemoryStats,
+};
 pub use metrics::{
     metrics_enabled, next_step, record_step, reset_step_counter, set_metrics_path, StepRecord,
 };

@@ -44,6 +44,34 @@ pub fn track_alloc(bytes: usize) {
         return;
     }
     ALLOCS.fetch_add(1, Ordering::Relaxed);
+    bump_live(bytes);
+}
+
+/// Records a buffer handed out by the storage recycling pool: the bytes
+/// become live again (and can set a new peak), but no allocator call
+/// happened, so [`MemoryStats::allocs`] is not incremented. Keeping
+/// `allocs`/`frees` as *real allocator traffic* is what makes the pool's
+/// effect measurable through [`memory_stats`].
+#[inline]
+pub fn track_recycled_alloc(bytes: usize) {
+    if bytes == 0 {
+        return;
+    }
+    bump_live(bytes);
+}
+
+/// Records a buffer returned to the recycling pool: no longer live, but
+/// not an allocator free either ([`MemoryStats::frees`] is untouched).
+#[inline]
+pub fn track_recycled_free(bytes: usize) {
+    if bytes == 0 {
+        return;
+    }
+    LIVE.fetch_sub(bytes as u64, Ordering::Relaxed);
+}
+
+#[inline]
+fn bump_live(bytes: usize) {
     let live = LIVE.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
     let mut peak = PEAK.load(Ordering::Relaxed);
     while live > peak {

@@ -68,6 +68,12 @@ pub(crate) fn track_alloc(_bytes: usize) {}
 pub(crate) fn track_free(_bytes: usize) {}
 
 #[inline(always)]
+pub(crate) fn track_recycled_alloc(_bytes: usize) {}
+
+#[inline(always)]
+pub(crate) fn track_recycled_free(_bytes: usize) {}
+
+#[inline(always)]
 pub(crate) fn memory_stats() -> MemoryStats {
     MemoryStats::default()
 }

@@ -47,17 +47,21 @@ impl<M: Differentiable> Sgd<M> {
 
 impl<M: Differentiable> Optimizer<M> for Sgd<M> {
     fn update(&mut self, model: &mut M, gradient: &M::TangentVector) {
-        let step = if self.momentum == 0.0 {
-            gradient.scaled_by(-self.learning_rate)
+        if self.momentum == 0.0 {
+            // Zero-allocation update: the scaled gradient is never
+            // materialized, and the model's buffers are mutated through
+            // the unique borrow (paper §4.2).
+            model.move_along_scaled(gradient, -self.learning_rate);
         } else {
-            let prev = self.velocity.take().unwrap_or_else(M::TangentVector::zero);
-            let v = prev
-                .scaled_by(self.momentum)
-                .adding(&gradient.scaled_by(-self.learning_rate));
-            self.velocity = Some(v.clone());
-            v
-        };
-        model.move_along(&step);
+            // `v ← μ·v − lr·g`, then `model ← model + v` — all in place
+            // on the velocity and model buffers (bit-identical to the
+            // allocating `v.scaled_by(μ) + g.scaled_by(−lr)` spelling).
+            let mut v = self.velocity.take().unwrap_or_else(M::TangentVector::zero);
+            v.scale_assign(self.momentum);
+            v.add_scaled_assign(-self.learning_rate, gradient);
+            model.move_along(&v);
+            self.velocity = Some(v);
+        }
     }
 }
 

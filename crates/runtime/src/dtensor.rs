@@ -215,10 +215,12 @@ impl DTensor {
                 return DTensor::Poisoned(Arc::new(Poison { dims, error }));
             }
         }
+        // Operands move into the kernel: `eval_op_owned` releases each
+        // buffer as soon as it is consumed, and runs elementwise kernels
+        // in place when a buffer turns out to be uniquely owned.
         let tensors: Vec<Tensor<f32>> = inputs.iter().map(|t| t.to_tensor()).collect();
-        let refs: Vec<&Tensor<f32>> = tensors.iter().collect();
         let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            s4tf_xla::eval_op(&op, &refs)
+            s4tf_xla::eval_op_owned(&op, tensors)
         })) {
             Ok(t) => t,
             Err(payload) => {
@@ -680,6 +682,24 @@ impl VectorSpace for DTensor {
             })
             .sum()
     }
+
+    fn scale_assign(&mut self, factor: f64) {
+        match self {
+            // In-place on the CPU backend (copy-on-write: free when the
+            // buffer is uniquely owned).
+            DTensor::Cpu(t) => t.mul_scalar_assign(factor as f32),
+            this => *this = this.mul_scalar(factor as f32),
+        }
+    }
+
+    fn add_scaled_assign(&mut self, alpha: f64, rhs: &Self) {
+        match (self, rhs) {
+            (DTensor::Cpu(t), DTensor::Cpu(r)) if t.shape() == r.shape() => {
+                t.scaled_add_assign(alpha as f32, r);
+            }
+            (this, rhs) => *this = this.adding(&rhs.scaled_by(alpha)),
+        }
+    }
 }
 
 impl Differentiable for DTensor {
@@ -687,6 +707,10 @@ impl Differentiable for DTensor {
 
     fn move_along(&mut self, direction: &DTensor) {
         self.scaled_add_assign(1.0, direction);
+    }
+
+    fn move_along_scaled(&mut self, direction: &DTensor, alpha: f64) {
+        VectorSpace::add_scaled_assign(self, alpha, direction);
     }
 
     fn zero_tangent(&self) -> DTensor {

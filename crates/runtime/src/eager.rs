@@ -17,7 +17,8 @@ use crate::prof;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use s4tf_tensor::{panic_message, RuntimeError, Shape, Tensor};
-use s4tf_xla::{eval_op, HloOp};
+use s4tf_xla::exec::eval_op_owned;
+use s4tf_xla::HloOp;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -304,10 +305,24 @@ impl EagerTensor {
             // A poisoned operand propagates without running the kernel:
             // the *first* error (FIFO order makes it the originating op's)
             // rides through the whole downstream dataflow.
+            //
+            // An operand slot whose only reference is this job (the handle
+            // died and no later dispatch captured it) can never be read
+            // again, so its value is *stolen* rather than cloned — the
+            // kernel then owns the buffer uniquely and may run in place.
+            let steal = s4tf_xla::plan_enabled();
             let mut operands: Vec<Tensor<f32>> = Vec::with_capacity(in_slots.len());
             let mut poison: Option<RuntimeError> = None;
             for s in &in_slots {
-                match s.take_ready() {
+                let value = if steal && Arc::strong_count(s) == 1 {
+                    s.value
+                        .lock()
+                        .take()
+                        .expect("FIFO worker ordering guarantees operands are ready")
+                } else {
+                    s.take_ready()
+                };
+                match value {
                     Ok(t) => operands.push(t),
                     Err(e) => {
                         poison = Some(e);
@@ -329,9 +344,14 @@ impl EagerTensor {
                 record_first(&first_error, &e);
                 Err(e)
             } else {
-                let refs: Vec<&Tensor<f32>> = operands.iter().collect();
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eval_op(&op, &refs)))
-                {
+                // Owned dispatch: operands move into the kernel, which
+                // releases (or reuses, via `eval_op_owned`) each input
+                // buffer as soon as it has executed instead of pinning
+                // all of them until the job completes.
+                let owned = std::mem::take(&mut operands);
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    eval_op_owned(&op, owned)
+                })) {
                     Ok(t) => Ok(t),
                     Err(payload) => {
                         let e =
@@ -357,6 +377,9 @@ impl EagerTensor {
                         "mem.live_bytes.eager",
                         diag::memory_stats().live_bytes as f64,
                     );
+                    let pool = s4tf_tensor::pool_stats();
+                    prof::gauge_set("pool.hits", pool.hits as f64);
+                    prof::gauge_set("pool.recycled_bytes", pool.recycled_bytes as f64);
                 }
                 completed.fetch_add(1, Ordering::Relaxed);
                 if let Ok(t) = probe {

@@ -228,9 +228,14 @@ impl LazyContext {
         }
 
         let exe = self.cache.get_or_compile(&graph);
+        // Parameters pass by value: the trace's copies are *donated* to
+        // the executor. A parameter whose handle was rebound during
+        // tracing (the optimizer-update pattern) is uniquely owned here,
+        // so the memory plan updates it in place — `param_new` aliases
+        // `param_old`'s buffer. Parameters with live handles stay shared
+        // and are never overwritten.
         let params = std::mem::take(&mut trace.params);
-        let refs: Vec<&Tensor<f32>> = params.iter().collect();
-        match exe.try_run_with_backend(&refs, "lazy") {
+        match exe.try_run_owned(params, "lazy") {
             Ok(results) => {
                 for ((handle, _), tensor) in outputs.into_iter().zip(results) {
                     *handle.lock() = LazyState::Value {

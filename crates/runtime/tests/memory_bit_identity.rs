@@ -1,0 +1,132 @@
+//! The memory subsystem must be invisible in the numbers: the buffer
+//! pool (`S4TF_POOL`) and the memory planner (`S4TF_PLAN`) only change
+//! where bytes live, never what is computed. Random programs are run on
+//! every backend with each knob on and off, and the results must match
+//! *bitwise*.
+//!
+//! Lives in its own integration-test binary because the toggles are
+//! process-wide; a mutex serializes the two properties so a flip in one
+//! cannot race a run in the other.
+
+use proptest::prelude::*;
+use s4tf_runtime::{DTensor, Device};
+use s4tf_tensor::Tensor;
+use std::sync::Mutex;
+
+static TOGGLES: Mutex<()> = Mutex::new(());
+
+/// One step of a random program over two live values (subset of the
+/// cross-backend consistency fuzz, plus fusion-friendly chains so the
+/// planner's in-place fused path is exercised).
+#[derive(Debug, Clone)]
+enum Op {
+    Relu,
+    Tanh,
+    Square,
+    Neg,
+    AddScalar(f32),
+    MulScalar(f32),
+    AddPair,
+    MulPair,
+    Matmul,
+    Softmax,
+    Observe,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Relu),
+        Just(Op::Tanh),
+        Just(Op::Square),
+        Just(Op::Neg),
+        (-2.0f32..2.0).prop_map(Op::AddScalar),
+        (-1.5f32..1.5).prop_map(Op::MulScalar),
+        Just(Op::AddPair),
+        Just(Op::MulPair),
+        Just(Op::Matmul),
+        Just(Op::Softmax),
+        Just(Op::Observe),
+    ]
+}
+
+fn run(ops: &[Op], a0: &Tensor<f32>, b0: &Tensor<f32>, device: &Device) -> Tensor<f32> {
+    let mut a = DTensor::from_tensor(a0.clone(), device);
+    let b = DTensor::from_tensor(b0.clone(), device);
+    for op in ops {
+        a = match op {
+            Op::Relu => a.relu(),
+            Op::Tanh => a.tanh(),
+            Op::Square => a.square(),
+            Op::Neg => a.neg(),
+            Op::AddScalar(s) => a.add_scalar(*s),
+            Op::MulScalar(s) => a.mul_scalar(*s),
+            Op::AddPair => a.add(&b),
+            Op::MulPair => a.mul(&b),
+            Op::Matmul => a.matmul(&b).tanh(),
+            Op::Softmax => a.softmax(),
+            Op::Observe => {
+                let _ = a.to_tensor();
+                a
+            }
+        };
+    }
+    a.to_tensor()
+}
+
+fn bits(t: &Tensor<f32>) -> Vec<u32> {
+    t.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+fn devices() -> [Device; 3] {
+    [Device::naive(), Device::eager(), Device::lazy()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pool_toggle_is_bit_transparent(
+        ops in proptest::collection::vec(op_strategy(), 1..10),
+        a in proptest::collection::vec(-2.0f32..2.0, 16),
+        b in proptest::collection::vec(-2.0f32..2.0, 16),
+    ) {
+        let _g = TOGGLES.lock().unwrap_or_else(|e| e.into_inner());
+        let a0 = Tensor::from_vec(a, &[4, 4]);
+        let b0 = Tensor::from_vec(b, &[4, 4]);
+        for device in devices() {
+            s4tf_tensor::set_pool_enabled(true);
+            let with_pool = run(&ops, &a0, &b0, &device);
+            s4tf_tensor::set_pool_enabled(false);
+            let without = run(&ops, &a0, &b0, &device);
+            s4tf_tensor::set_pool_enabled(true);
+            prop_assert_eq!(
+                bits(&with_pool),
+                bits(&without),
+                "pool must be bit-transparent on {}", device.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn plan_toggle_is_bit_transparent(
+        ops in proptest::collection::vec(op_strategy(), 1..10),
+        a in proptest::collection::vec(-2.0f32..2.0, 16),
+        b in proptest::collection::vec(-2.0f32..2.0, 16),
+    ) {
+        let _g = TOGGLES.lock().unwrap_or_else(|e| e.into_inner());
+        let a0 = Tensor::from_vec(a, &[4, 4]);
+        let b0 = Tensor::from_vec(b, &[4, 4]);
+        for device in devices() {
+            s4tf_xla::set_plan_enabled(true);
+            let planned = run(&ops, &a0, &b0, &device);
+            s4tf_xla::set_plan_enabled(false);
+            let unplanned = run(&ops, &a0, &b0, &device);
+            s4tf_xla::set_plan_enabled(true);
+            prop_assert_eq!(
+                bits(&planned),
+                bits(&unplanned),
+                "planner must be bit-transparent on {}", device.kind()
+            );
+        }
+    }
+}

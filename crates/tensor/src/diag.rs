@@ -10,7 +10,7 @@
 pub(crate) use s4tf_diag::{
     check_f32s, dump, dump_enabled, event, events_enabled, memory_stats, metrics_enabled,
     next_step, numerics_enabled, record_step, reset_peak_bytes, track_alloc, track_free,
-    MemoryStats, StepRecord,
+    track_recycled_alloc, track_recycled_free, MemoryStats, StepRecord,
 };
 
 #[cfg(not(feature = "diag"))]

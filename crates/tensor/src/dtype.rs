@@ -76,6 +76,11 @@ pub trait Scalar:
             self
         }
     }
+    /// The process-wide buffer-recycling pool for this element type
+    /// (see [`crate::pool`]). The static lives inside each impl's method
+    /// body — the standard stand-in for per-type generic statics.
+    #[doc(hidden)]
+    fn buffer_pool() -> &'static crate::pool::TypedPool<Self>;
 }
 
 /// Floating-point element type, required by transcendental kernels
@@ -119,6 +124,10 @@ macro_rules! impl_scalar_float {
             }
             fn to_f64(self) -> f64 {
                 self as f64
+            }
+            fn buffer_pool() -> &'static $crate::pool::TypedPool<Self> {
+                static POOL: $crate::pool::TypedPool<$t> = $crate::pool::TypedPool::new();
+                &POOL
             }
         }
 
@@ -174,6 +183,10 @@ macro_rules! impl_scalar_int {
             }
             fn to_f64(self) -> f64 {
                 self as f64
+            }
+            fn buffer_pool() -> &'static $crate::pool::TypedPool<Self> {
+                static POOL: $crate::pool::TypedPool<$t> = $crate::pool::TypedPool::new();
+                &POOL
             }
         }
     };

@@ -47,12 +47,14 @@ pub mod dtype;
 pub mod error;
 pub mod ops;
 mod par;
+pub mod pool;
 pub mod shape;
 pub mod storage;
 pub mod tensor;
 
 pub use dtype::{Float, Scalar};
 pub use error::{panic_message, FaultKind, Result, RuntimeError, TensorError};
+pub use pool::{clear_pools, pool_enabled, pool_stats, set_pool_enabled, PoolStats};
 pub use shape::Shape;
 pub use storage::Storage;
 pub use tensor::{NonFinite, Tensor};

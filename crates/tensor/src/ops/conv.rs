@@ -231,7 +231,8 @@ impl<T: Float> Tensor<T> {
         let g = geometry(self, filter, strides, padding);
         let x = self.as_slice();
         let w = filter.as_slice();
-        let mut out = vec![T::zero(); g.batch * g.out_h * g.out_w * g.out_c];
+        let (mut out, out_recycled) =
+            crate::pool::zeroed_vec::<T>(g.batch * g.out_h * g.out_w * g.out_c);
         let kdim = g.kdim();
         let macs = out.len() * kdim;
         if macs < DIRECT_MAX_MACS {
@@ -266,7 +267,7 @@ impl<T: Float> Tensor<T> {
                 },
             );
         }
-        Tensor::from_vec(out, &[g.batch, g.out_h, g.out_w, g.out_c])
+        Tensor::from_pooled_vec((out, out_recycled), &[g.batch, g.out_h, g.out_w, g.out_c])
     }
 
     /// Gradient of [`Tensor::conv2d`] with respect to its *input*,
@@ -292,7 +293,8 @@ impl<T: Float> Tensor<T> {
         );
         let dy = grad_out.as_slice();
         let w = filter.as_slice();
-        let mut dx = vec![T::zero(); g.batch * g.in_h * g.in_w * g.in_c];
+        let (mut dx, dx_recycled) =
+            crate::pool::zeroed_vec::<T>(g.batch * g.in_h * g.in_w * g.in_c);
         let img = g.in_h * g.in_w * g.in_c;
         let img_macs = (g.out_h * g.out_w * g.out_c * g.kdim()).max(1);
         let grain_imgs = (CHUNK_MACS / img_macs).max(1);
@@ -302,7 +304,7 @@ impl<T: Float> Tensor<T> {
                 backward_input_image(dy, w, dx_img, &g, n0 + u);
             }
         });
-        Tensor::from_vec(dx, &[g.batch, g.in_h, g.in_w, g.in_c])
+        Tensor::from_pooled_vec((dx, dx_recycled), &[g.batch, g.in_h, g.in_w, g.in_c])
     }
 
     /// Gradient of [`Tensor::conv2d`] with respect to its *filter*,
@@ -338,13 +340,13 @@ impl<T: Float> Tensor<T> {
             }
             partial
         });
-        let mut dw = vec![T::zero(); dw_len];
+        let (mut dw, dw_recycled) = crate::pool::zeroed_vec::<T>(dw_len);
         for partial in partials {
             for (acc, p) in dw.iter_mut().zip(partial) {
                 *acc += p;
             }
         }
-        Tensor::from_vec(dw, filter_dims)
+        Tensor::from_pooled_vec((dw, dw_recycled), filter_dims)
     }
 }
 

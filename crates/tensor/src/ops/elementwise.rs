@@ -244,6 +244,43 @@ impl<T: Scalar> Tensor<T> {
         );
         zip_assign(self.as_mut_slice(), rhs.as_slice(), |d, s| *d += alpha * s);
     }
+
+    /// `self[i] = f(self[i], rhs[i])` in place — the in-place spelling of
+    /// [`Tensor::zip_map`] with `self` as the *left* operand. Runs the
+    /// same per-element function over the same chunking, so the result is
+    /// bit-identical to `self.zip_map(rhs, f)`; the memory planner uses
+    /// it to overwrite a dying operand instead of allocating.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ (no broadcasting, like `zip_map`).
+    pub fn zip_apply_assign(&mut self, rhs: &Tensor<T>, f: impl Fn(T, T) -> T + Sync) {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "zip_apply_assign requires identical shapes ({} vs {})",
+            self.shape(),
+            rhs.shape()
+        );
+        zip_assign(self.as_mut_slice(), rhs.as_slice(), |d, s| *d = f(*d, s));
+    }
+
+    /// `self[i] = f(lhs[i], self[i])` in place — like
+    /// [`Tensor::zip_apply_assign`] but with `self` as the *right*
+    /// operand, preserving the argument order of `lhs.zip_map(self, f)`
+    /// so non-commutative ops stay bit-identical.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn zip_apply_assign_rev(&mut self, lhs: &Tensor<T>, f: impl Fn(T, T) -> T + Sync) {
+        assert_eq!(
+            self.shape(),
+            lhs.shape(),
+            "zip_apply_assign_rev requires identical shapes ({} vs {})",
+            self.shape(),
+            lhs.shape()
+        );
+        zip_assign(self.as_mut_slice(), lhs.as_slice(), |d, s| *d = f(s, *d));
+    }
 }
 
 impl<T: Float> Tensor<T> {

@@ -60,7 +60,7 @@ impl<T: Scalar> Tensor<T> {
             // the dedicated row-dot kernel skips packing entirely.
             return self.matvec(&rhs.reshape(&[k])).reshape(&[m, 1]);
         }
-        let mut out = vec![T::zero(); m * n];
+        let (mut out, out_recycled) = crate::pool::zeroed_vec::<T>(m * n);
         if m * k * n < PACKED_MIN_MACS {
             gemm_serial(self.as_slice(), rhs.as_slice(), &mut out, m, k, n);
         } else {
@@ -74,7 +74,7 @@ impl<T: Scalar> Tensor<T> {
                 n,
             );
         }
-        Tensor::from_vec(out, &[m, n])
+        Tensor::from_pooled_vec((out, out_recycled), &[m, n])
     }
 
     /// `selfᵀ × rhs`: `[k,m]ᵀ × [k,n] → [m,n]`, without materializing the
@@ -90,7 +90,7 @@ impl<T: Scalar> Tensor<T> {
         assert_eq!(k, k2, "matmul_tn leading dims differ");
         let a = self.as_slice();
         let b = rhs.as_slice();
-        let mut out = vec![T::zero(); m * n];
+        let (mut out, out_recycled) = crate::pool::zeroed_vec::<T>(m * n);
         if m * k * n < PACKED_MIN_MACS {
             for kk in 0..k {
                 for i in 0..m {
@@ -115,7 +115,7 @@ impl<T: Scalar> Tensor<T> {
                 n,
             );
         }
-        Tensor::from_vec(out, &[m, n])
+        Tensor::from_pooled_vec((out, out_recycled), &[m, n])
     }
 
     /// `self × rhsᵀ`: `[m,k] × [n,k]ᵀ → [m,n]`, without materializing the
@@ -131,7 +131,7 @@ impl<T: Scalar> Tensor<T> {
         assert_eq!(k, k2, "matmul_nt trailing dims differ");
         let a = self.as_slice();
         let b = rhs.as_slice();
-        let mut out = vec![T::zero(); m * n];
+        let (mut out, out_recycled) = crate::pool::zeroed_vec::<T>(m * n);
         if m * k * n < PACKED_MIN_MACS {
             // Serial path: hoist the A row out of the j loop and walk j
             // in strips of NR accumulators so one pass over the row's k
@@ -165,7 +165,7 @@ impl<T: Scalar> Tensor<T> {
                 n,
             );
         }
-        Tensor::from_vec(out, &[m, n])
+        Tensor::from_pooled_vec((out, out_recycled), &[m, n])
     }
 
     /// Matrix–vector product: `[m,k] × [k] → [m]`, one dot product per
@@ -185,7 +185,7 @@ impl<T: Scalar> Tensor<T> {
         );
         let a = self.as_slice();
         let v = rhs.as_slice();
-        let mut out = vec![T::zero(); m];
+        let (mut out, out_recycled) = crate::pool::zeroed_vec::<T>(m);
         let grain = (MATVEC_CHUNK_MACS / k.max(1)).max(1);
         s4tf_threads::parallel_chunks_mut(&mut out, 1, grain, |start, chunk| {
             for (r, slot) in chunk.iter_mut().enumerate() {
@@ -197,7 +197,7 @@ impl<T: Scalar> Tensor<T> {
                 *slot = acc;
             }
         });
-        Tensor::from_vec(out, &[m])
+        Tensor::from_pooled_vec((out, out_recycled), &[m])
     }
 }
 

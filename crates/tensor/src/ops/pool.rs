@@ -71,7 +71,8 @@ impl<T: Float> Tensor<T> {
     ) -> Tensor<T> {
         let g = geometry(self, pool, strides, padding);
         let x = self.as_slice();
-        let mut out = vec![T::zero(); g.batch * g.out_h * g.out_w * g.ch];
+        let (mut out, out_recycled) =
+            crate::pool::zeroed_vec::<T>(g.batch * g.out_h * g.out_w * g.ch);
         for n in 0..g.batch {
             for oy in 0..g.out_h {
                 for ox in 0..g.out_w {
@@ -102,7 +103,7 @@ impl<T: Float> Tensor<T> {
                 }
             }
         }
-        Tensor::from_vec(out, &[g.batch, g.out_h, g.out_w, g.ch])
+        Tensor::from_pooled_vec((out, out_recycled), &[g.batch, g.out_h, g.out_w, g.ch])
     }
 
     /// Gradient of [`Tensor::avg_pool2d`] with respect to its input.
@@ -123,7 +124,7 @@ impl<T: Float> Tensor<T> {
             "grad_out shape mismatch"
         );
         let dy = grad_out.as_slice();
-        let mut dx = vec![T::zero(); self.num_elements()];
+        let (mut dx, dx_recycled) = crate::pool::zeroed_vec::<T>(self.num_elements());
         for n in 0..g.batch {
             for oy in 0..g.out_h {
                 for ox in 0..g.out_w {
@@ -163,7 +164,7 @@ impl<T: Float> Tensor<T> {
                 }
             }
         }
-        Tensor::from_vec(dx, self.dims())
+        Tensor::from_pooled_vec((dx, dx_recycled), self.dims())
     }
 
     /// Max pooling over `[N,H,W,C]`.
@@ -178,7 +179,8 @@ impl<T: Float> Tensor<T> {
     ) -> Tensor<T> {
         let g = geometry(self, pool, strides, padding);
         let x = self.as_slice();
-        let mut out = vec![T::neg_infinity(); g.batch * g.out_h * g.out_w * g.ch];
+        let (mut out, out_recycled) =
+            crate::pool::filled_vec::<T>(g.batch * g.out_h * g.out_w * g.ch, T::neg_infinity());
         for n in 0..g.batch {
             for oy in 0..g.out_h {
                 for ox in 0..g.out_w {
@@ -203,7 +205,7 @@ impl<T: Float> Tensor<T> {
                 }
             }
         }
-        Tensor::from_vec(out, &[g.batch, g.out_h, g.out_w, g.ch])
+        Tensor::from_pooled_vec((out, out_recycled), &[g.batch, g.out_h, g.out_w, g.ch])
     }
 
     /// Gradient of [`Tensor::max_pool2d`]: routes each output gradient to
@@ -226,7 +228,7 @@ impl<T: Float> Tensor<T> {
         );
         let x = self.as_slice();
         let dy = grad_out.as_slice();
-        let mut dx = vec![T::zero(); self.num_elements()];
+        let (mut dx, dx_recycled) = crate::pool::zeroed_vec::<T>(self.num_elements());
         for n in 0..g.batch {
             for oy in 0..g.out_h {
                 for ox in 0..g.out_w {
@@ -259,7 +261,7 @@ impl<T: Float> Tensor<T> {
                 }
             }
         }
-        Tensor::from_vec(dx, self.dims())
+        Tensor::from_pooled_vec((dx, dx_recycled), self.dims())
     }
 }
 

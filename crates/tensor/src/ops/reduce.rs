@@ -132,7 +132,7 @@ impl<T: Scalar> Tensor<T> {
         let outer: usize = self.dims()[..axis].iter().product();
         let inner: usize = self.dims()[axis + 1..].iter().product();
         let src = self.as_slice();
-        let mut out = vec![0i64; outer * inner];
+        let (mut out, out_recycled) = crate::pool::zeroed_vec::<i64>(outer * inner);
         if !out.is_empty() {
             let grain = (crate::par::REDUCE_GRAIN / d.max(1)).max(1);
             s4tf_threads::parallel_chunks_mut(&mut out, inner, grain, |start, chunk| {
@@ -155,7 +155,7 @@ impl<T: Scalar> Tensor<T> {
             });
         }
         let dims = self.shape().removing(axis);
-        Tensor::from_vec(out, dims.dims())
+        Tensor::from_pooled_vec((out, out_recycled), dims.dims())
     }
 
     fn reduce_axis(
@@ -170,7 +170,7 @@ impl<T: Scalar> Tensor<T> {
         let outer: usize = self.dims()[..axis].iter().product();
         let inner: usize = self.dims()[axis + 1..].iter().product();
         let src = self.as_slice();
-        let mut out = vec![init; outer * inner];
+        let (mut out, out_recycled) = crate::pool::filled_vec(outer * inner, init);
         if !out.is_empty() {
             // Chunks split on whole output rows (quantum = inner), so
             // every output element is reduced by one task in the serial
@@ -194,7 +194,7 @@ impl<T: Scalar> Tensor<T> {
         } else {
             self.shape().removing(axis)
         };
-        Tensor::from_vec(out, shape.dims())
+        Tensor::from_pooled_vec((out, out_recycled), shape.dims())
     }
 }
 

@@ -83,7 +83,7 @@ impl<T: Scalar> Tensor<T> {
         let src_dims = self.dims();
         let offset = target.rank() - self.rank();
         let src_strides = self.shape().strides();
-        let mut out = vec![T::zero(); target.num_elements()];
+        let (mut out, out_recycled) = crate::pool::zeroed_vec::<T>(target.num_elements());
         let mut idx = vec![0usize; target.rank()];
         for slot in out.iter_mut() {
             let mut src_flat = 0;
@@ -102,7 +102,7 @@ impl<T: Scalar> Tensor<T> {
                 idx[axis] = 0;
             }
         }
-        Tensor::from_vec(out, dims)
+        Tensor::from_pooled_vec((out, out_recycled), dims)
     }
 
     /// Permutes the dimensions. `perm` must be a permutation of `0..rank`.
@@ -120,7 +120,7 @@ impl<T: Scalar> Tensor<T> {
         let out_shape = Shape::new(&out_dims);
         let src_strides = self.shape().strides();
         let src = self.as_slice();
-        let mut out = vec![T::zero(); self.num_elements()];
+        let (mut out, out_recycled) = crate::pool::zeroed_vec::<T>(self.num_elements());
         let mut idx = vec![0usize; self.rank()];
         for slot in out.iter_mut() {
             let mut src_flat = 0;
@@ -136,7 +136,7 @@ impl<T: Scalar> Tensor<T> {
                 idx[axis] = 0;
             }
         }
-        Tensor::from_vec(out, &out_dims)
+        Tensor::from_pooled_vec((out, out_recycled), &out_dims)
     }
 
     /// Transposes the last two dimensions (matrix transpose for rank 2).
@@ -167,14 +167,14 @@ impl<T: Scalar> Tensor<T> {
         let inner: usize = self.dims()[axis + 1..].iter().product();
         let d = self.dims()[axis];
         let src = self.as_slice();
-        let mut out = Vec::with_capacity(outer * len * inner);
+        let (mut out, out_recycled) = crate::pool::empty_vec::<T>(outer * len * inner);
         for o in 0..outer {
             let base = o * d * inner + start * inner;
             out.extend_from_slice(&src[base..base + len * inner]);
         }
         let mut dims = self.dims().to_vec();
         dims[axis] = len;
-        Tensor::from_vec(out, &dims)
+        Tensor::from_pooled_vec((out, out_recycled), &dims)
     }
 
     /// Writes `src` into `[start, start+src.dim(axis))` along `axis` in
@@ -330,14 +330,14 @@ impl<T: Scalar> Tensor<T> {
         assert!(self.rank() >= 1, "gather_rows requires rank >= 1");
         let row = self.num_elements() / self.dims()[0].max(1);
         let src = self.as_slice();
-        let mut out = Vec::with_capacity(indices.len() * row);
+        let (mut out, out_recycled) = crate::pool::empty_vec::<T>(indices.len() * row);
         for &i in indices {
             assert!(i < self.dims()[0], "row index {i} out of bounds");
             out.extend_from_slice(&src[i * row..(i + 1) * row]);
         }
         let mut dims = self.dims().to_vec();
         dims[0] = indices.len();
-        Tensor::from_vec(out, &dims)
+        Tensor::from_pooled_vec((out, out_recycled), &dims)
     }
 }
 

@@ -1,0 +1,446 @@
+//! Size-bucketed buffer recycling for tensor storage.
+//!
+//! The paper's lazy backend exists so a compiler can plan resources for a
+//! whole program (§3.3); this module is the allocator-side half of that
+//! plan. Every buffer dropped by [`crate::Storage`] is offered to a
+//! per-element-type free list here instead of going back to the system
+//! allocator, and every sufficiently large storage allocation first asks
+//! the free list for a buffer of at least the requested capacity. On
+//! allocation-bound CPU workloads (small/medium tensors, the common case
+//! for this repo's 1-core kernels) this removes the malloc/free pair from
+//! the steady-state training loop entirely.
+//!
+//! Buffers are bucketed by power-of-two *capacity in bytes*: a request
+//! for `n` bytes looks only in bucket `ceil(log2 n)`, whose entries are
+//! guaranteed to hold at least `n` bytes, so reuse wastes less than 2x
+//! the requested size. For that exact-bucket lookup to hit in the steady
+//! state, fresh allocations on a pool miss reserve capacity rounded *up*
+//! to the bucket's byte size ([`recycle_capacity`]): a training step
+//! re-requests the same (usually non-power-of-two) sizes every
+//! iteration, and a buffer allocated at exactly that size would park one
+//! bucket *below* where the next identical request looks — it would
+//! never be found again. Each bucket keeps at most
+//! [`MAX_ENTRIES_PER_BUCKET`] buffers and the pool as a whole at most
+//! [`MAX_POOLED_BYTES`], so the cache cannot grow without bound.
+//!
+//! Interaction with the `s4tf-diag` live/peak accounting: a pool *hit*
+//! raises live-bytes (`track_recycled_alloc`) without counting an
+//! allocator call, and a buffer accepted by the pool lowers live-bytes
+//! (`track_recycled_free`) without counting an allocator free — so
+//! `MemoryStats::allocs`/`frees` keep meaning *real allocator traffic*,
+//! which is exactly what `bench/src/bin/memory.rs` measures. Buffers
+//! evicted by [`clear_pools`] are dropped without touching the
+//! alloc/free counters (their original allocation was already counted).
+//!
+//! Knobs: `S4TF_POOL=0` disables recycling entirely (every drop goes to
+//! the allocator, every alloc is fresh — byte-for-byte the pre-pool
+//! behavior); [`set_pool_enabled`] overrides the environment at runtime.
+//! Results are bit-identical either way: the pool only changes *where*
+//! bytes come from, never what is written into them.
+
+use crate::dtype::Scalar;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI8, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Maximum buffers kept per size bucket. Sized so a whole traced step's
+/// worth of same-bucket buffers (a LeNet trace holds a few dozen live
+/// scalar constants at once) can park between iterations.
+pub const MAX_ENTRIES_PER_BUCKET: usize = 64;
+
+/// Maximum bytes the pool will hold across all buckets and element types.
+pub const MAX_POOLED_BYTES: u64 = 256 * 1024 * 1024;
+
+/// Buffers larger than this are never pooled (one giant buffer would
+/// crowd out the steady-state working set).
+pub const MAX_BUFFER_BYTES: usize = 64 * 1024 * 1024;
+
+/// Smallest buffer the pool recycles. Everything non-empty qualifies:
+/// tiny buffers are individually cheap to malloc, but scalar constants
+/// dominate a traced graph's allocation *count* (tens per LeNet step),
+/// and the per-step allocator-call number is exactly what the memory
+/// benchmark measures and CI gates on.
+pub const MIN_BUFFER_BYTES: usize = 1;
+
+// ------------------------------------------------------------- enable gate
+
+/// Runtime override: -1 = unset (consult `S4TF_POOL`), 0 = off, 1 = on.
+static POOL_OVERRIDE: AtomicI8 = AtomicI8::new(-1);
+static POOL_ENV: OnceLock<bool> = OnceLock::new();
+
+/// True if buffer recycling is enabled (default: on; `S4TF_POOL=0`
+/// disables, [`set_pool_enabled`] overrides either way).
+#[inline]
+pub fn pool_enabled() -> bool {
+    match POOL_OVERRIDE.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => *POOL_ENV.get_or_init(|| match std::env::var("S4TF_POOL") {
+            Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+            Err(_) => true,
+        }),
+    }
+}
+
+/// Forces buffer recycling on or off, overriding `S4TF_POOL`.
+/// Process-wide; intended for tests and benchmarks.
+pub fn set_pool_enabled(enabled: bool) {
+    POOL_OVERRIDE.store(if enabled { 1 } else { 0 }, Ordering::Relaxed);
+}
+
+// ------------------------------------------------------------------ stats
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static RECYCLED_BYTES: AtomicU64 = AtomicU64::new(0);
+static POOLED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the pool counters (process-wide, across element types).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Allocation requests served from the free list.
+    pub hits: u64,
+    /// Allocation requests the free list could not serve (fresh alloc).
+    pub misses: u64,
+    /// Total capacity bytes served from the free list so far.
+    pub recycled_bytes: u64,
+    /// Capacity bytes currently parked in the free lists.
+    pub pooled_bytes: u64,
+}
+
+/// Current pool counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        recycled_bytes: RECYCLED_BYTES.load(Ordering::Relaxed),
+        pooled_bytes: POOLED_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+// -------------------------------------------------------- bucket rounding
+
+/// Bucket a request for `bytes` looks in: the smallest power-of-two
+/// exponent `b` with `2^b >= bytes`. Every buffer parked in bucket `b`
+/// has capacity `>= 2^b`, so any entry satisfies the request.
+pub(crate) fn bucket_for_request(bytes: usize) -> u32 {
+    debug_assert!(bytes > 0);
+    usize::BITS - bytes.saturating_sub(1).leading_zeros()
+}
+
+/// Bucket a buffer of capacity `bytes` is parked in: the largest
+/// power-of-two exponent `b` with `2^b <= bytes`.
+pub(crate) fn bucket_for_capacity(bytes: usize) -> u32 {
+    debug_assert!(bytes > 0);
+    usize::BITS - 1 - bytes.leading_zeros()
+}
+
+/// Elements a *fresh* allocation should reserve so the buffer, once
+/// dead, parks in exactly the bucket future same-size requests search:
+/// the request's bucket rounded up to its power-of-two byte size. Without
+/// this, any non-power-of-two tensor size would miss the pool on every
+/// single step (capacities round *down* into buckets, requests round
+/// *up*). Returns `n` unchanged when the pool would not keep the buffer
+/// anyway (disabled, or out of the min/max size range). The slack is
+/// real memory and is reported to the live/peak tracker as such.
+#[inline]
+pub(crate) fn recycle_capacity<T>(n: usize) -> usize {
+    let size = std::mem::size_of::<T>();
+    let Some(need) = n.checked_mul(size) else {
+        return n;
+    };
+    if !(MIN_BUFFER_BYTES..=MAX_BUFFER_BYTES).contains(&need) || !pool_enabled() {
+        return n;
+    }
+    // `MAX_BUFFER_BYTES` is itself a power of two, so the round-up never
+    // produces a capacity the pool would refuse to park.
+    (1usize << bucket_for_request(need)) / size
+}
+
+// -------------------------------------------------------------- the pool
+
+/// A free list of buffers of one element type, bucketed by capacity.
+///
+/// One static instance exists per [`Scalar`] type, reached through
+/// `Scalar::buffer_pool()` (the static lives inside the trait-impl
+/// method body — the standard workaround for Rust's lack of generic
+/// statics). Const-constructible so the statics need no lazy init.
+pub struct TypedPool<T> {
+    buckets: Mutex<BTreeMap<u32, Vec<Vec<T>>>>,
+}
+
+impl<T> TypedPool<T> {
+    /// An empty pool (usable in `static` initializers).
+    pub const fn new() -> Self {
+        TypedPool {
+            buckets: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<u32, Vec<Vec<T>>>> {
+        // Keep recycling alive after a panic unwound through a holder
+        // (fault injection panics inside kernels on purpose).
+        match self.buckets.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Takes a buffer with capacity for at least `n` elements, emptied
+    /// (`len == 0`). `None` — a miss — means the caller should allocate.
+    pub fn take(&self, n: usize) -> Option<Vec<T>> {
+        let need = n.checked_mul(std::mem::size_of::<T>())?;
+        if !(MIN_BUFFER_BYTES..=MAX_BUFFER_BYTES).contains(&need) {
+            return None;
+        }
+        let bucket = bucket_for_request(need);
+        let taken = self.lock().get_mut(&bucket).and_then(Vec::pop);
+        match taken {
+            Some(v) => {
+                debug_assert!(v.capacity() >= n);
+                let cap_bytes = (v.capacity() * std::mem::size_of::<T>()) as u64;
+                HITS.fetch_add(1, Ordering::Relaxed);
+                RECYCLED_BYTES.fetch_add(cap_bytes, Ordering::Relaxed);
+                POOLED_BYTES.fetch_sub(cap_bytes, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                MISSES.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Offers a dead buffer to the free list. Returns `true` if the pool
+    /// kept it (the buffer is cleared, its capacity retained); `false`
+    /// if it was rejected and dropped to the allocator.
+    pub fn give(&self, mut v: Vec<T>) -> bool {
+        let cap_bytes = v.capacity() * std::mem::size_of::<T>();
+        if !(MIN_BUFFER_BYTES..=MAX_BUFFER_BYTES).contains(&cap_bytes) {
+            return false;
+        }
+        if POOLED_BYTES.load(Ordering::Relaxed) + cap_bytes as u64 > MAX_POOLED_BYTES {
+            return false;
+        }
+        let bucket = bucket_for_capacity(cap_bytes);
+        let mut buckets = self.lock();
+        let entries = buckets.entry(bucket).or_default();
+        if entries.len() >= MAX_ENTRIES_PER_BUCKET {
+            return false;
+        }
+        v.clear();
+        entries.push(v);
+        POOLED_BYTES.fetch_add(cap_bytes as u64, Ordering::Relaxed);
+        true
+    }
+
+    /// Drops every parked buffer back to the allocator.
+    pub fn clear(&self) {
+        let buckets = std::mem::take(&mut *self.lock());
+        let bytes: usize = buckets
+            .values()
+            .flatten()
+            .map(|v| v.capacity() * std::mem::size_of::<T>())
+            .sum();
+        POOLED_BYTES.fetch_sub(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Parked buffers (for tests).
+    pub fn len(&self) -> usize {
+        self.lock().values().map(Vec::len).sum()
+    }
+
+    /// True if no buffers are parked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for TypedPool<T> {
+    fn default() -> Self {
+        TypedPool::new()
+    }
+}
+
+/// Empties the free lists of all element types, returning parked
+/// capacity to the allocator (e.g. between benchmark scenarios).
+pub fn clear_pools() {
+    // `Scalar` is sealed, so this list is exhaustive.
+    f32::buffer_pool().clear();
+    f64::buffer_pool().clear();
+    i32::buffer_pool().clear();
+    i64::buffer_pool().clear();
+}
+
+// ------------------------------------------- storage-facing entry points
+
+/// Pool-aware take: `None` when the pool is disabled, the size is out of
+/// range, or no parked buffer fits. Public so runtime layers can recycle
+/// *scratch* buffers (e.g. the fused-kernel register file) that never
+/// become tensor storage; scratch is untracked by the memory stats both
+/// ways, so taking and giving it back keeps the accounting consistent.
+#[inline]
+pub fn take_vec<T: Scalar>(n: usize) -> Option<Vec<T>> {
+    if n == 0 || !pool_enabled() {
+        return None;
+    }
+    T::buffer_pool().take(n)
+}
+
+/// Pool-aware give: `false` (caller drops to the allocator) when the
+/// pool is disabled or rejects the buffer.
+#[inline]
+pub fn give_vec<T: Scalar>(v: Vec<T>) -> bool {
+    if !pool_enabled() {
+        return false;
+    }
+    T::buffer_pool().give(v)
+}
+
+/// A `value`-filled output buffer for kernels, recycled when possible.
+/// The flag records provenance so `Tensor::from_pooled_vec` can keep the
+/// alloc accounting honest.
+#[inline]
+pub(crate) fn filled_vec<T: Scalar>(n: usize, value: T) -> (Vec<T>, bool) {
+    match take_vec::<T>(n) {
+        Some(mut v) => {
+            v.resize(n, value);
+            (v, true)
+        }
+        None => {
+            let mut v = Vec::with_capacity(recycle_capacity::<T>(n));
+            v.resize(n, value);
+            (v, false)
+        }
+    }
+}
+
+/// A zero-filled output buffer for kernels, recycled when possible.
+#[inline]
+pub(crate) fn zeroed_vec<T: Scalar>(n: usize) -> (Vec<T>, bool) {
+    filled_vec(n, T::zero())
+}
+
+/// An empty buffer with capacity for at least `n` elements, recycled
+/// when possible (for kernels that build output by pushing).
+#[inline]
+pub(crate) fn empty_vec<T: Scalar>(n: usize) -> (Vec<T>, bool) {
+    match take_vec::<T>(n) {
+        Some(v) => (v, true),
+        None => (Vec::with_capacity(recycle_capacity::<T>(n)), false),
+    }
+}
+
+/// Collects exactly `n` items from `iter` into a pool-aware buffer.
+#[inline]
+pub(crate) fn collect_n<T: Scalar>(n: usize, iter: impl Iterator<Item = T>) -> (Vec<T>, bool) {
+    match take_vec::<T>(n) {
+        Some(mut v) => {
+            v.extend(iter);
+            debug_assert_eq!(v.len(), n);
+            (v, true)
+        }
+        None => {
+            let mut v = Vec::with_capacity(recycle_capacity::<T>(n));
+            v.extend(iter);
+            debug_assert_eq!(v.len(), n);
+            (v, false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_rounding() {
+        // Requests round up: bucket 2^b is the smallest holding `bytes`.
+        assert_eq!(bucket_for_request(1), 0);
+        assert_eq!(bucket_for_request(2), 1);
+        assert_eq!(bucket_for_request(3), 2);
+        assert_eq!(bucket_for_request(4), 2);
+        assert_eq!(bucket_for_request(5), 3);
+        assert_eq!(bucket_for_request(1024), 10);
+        assert_eq!(bucket_for_request(1025), 11);
+
+        // Capacities round down: a buffer lands in the largest bucket it
+        // fully covers.
+        assert_eq!(bucket_for_capacity(1), 0);
+        assert_eq!(bucket_for_capacity(3), 1);
+        assert_eq!(bucket_for_capacity(4), 2);
+        assert_eq!(bucket_for_capacity(1023), 9);
+        assert_eq!(bucket_for_capacity(1024), 10);
+
+        // The invariant that makes `take` safe with an exact-bucket
+        // lookup: anything parked in bucket b satisfies any request
+        // that maps to bucket b.
+        for cap in [64usize, 65, 100, 127, 128, 4096, 5000] {
+            for need in [64usize, 65, 100, 127, 128, 4096, 5000] {
+                if bucket_for_capacity(cap) == bucket_for_request(need) {
+                    assert!(cap >= need, "cap {cap} must satisfy need {need}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn take_returns_parked_buffer_of_sufficient_capacity() {
+        let pool: TypedPool<f32> = TypedPool::new();
+        assert!(pool.take(100).is_none(), "empty pool misses");
+        let v = Vec::with_capacity(128);
+        assert!(pool.give(v));
+        assert_eq!(pool.len(), 1);
+        // 100 f32 = 400 bytes -> bucket 9; 128 f32 = 512 bytes -> bucket 9.
+        let got = pool.take(100).expect("hit");
+        assert!(got.capacity() >= 100);
+        assert!(got.is_empty());
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn empty_and_giant_buffers_are_rejected() {
+        let pool: TypedPool<f32> = TypedPool::new();
+        assert!(!pool.give(Vec::new()), "zero capacity is below the floor");
+        assert!(
+            !pool.give(Vec::with_capacity(MAX_BUFFER_BYTES / 4 + 1)),
+            "above MAX_BUFFER_BYTES"
+        );
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn recycle_capacity_rounds_fresh_allocations_to_the_lookup_bucket() {
+        if !pool_enabled() {
+            // With recycling off (S4TF_POOL=0 CI leg) nothing will park,
+            // so fresh allocations must stay exact-size.
+            assert_eq!(recycle_capacity::<f32>(37), 37);
+            return;
+        }
+        // The steady-state guarantee: allocate n, free it, request n again
+        // — the request must find the freed buffer.
+        for n in [1usize, 16, 37, 100, 960, 37_632 / 4, 150_528 / 4] {
+            let cap = recycle_capacity::<f32>(n);
+            assert!(cap >= n);
+            assert_eq!(
+                bucket_for_capacity(cap * 4),
+                bucket_for_request(n * 4),
+                "n = {n}: freed capacity must park where requests look"
+            );
+        }
+        // Out-of-range sizes are left alone (the pool won't keep them).
+        assert_eq!(recycle_capacity::<f32>(MAX_BUFFER_BYTES), MAX_BUFFER_BYTES);
+    }
+
+    #[test]
+    fn bucket_entry_cap_is_enforced() {
+        let pool: TypedPool<f32> = TypedPool::new();
+        for _ in 0..MAX_ENTRIES_PER_BUCKET {
+            assert!(pool.give(Vec::with_capacity(64)));
+        }
+        assert!(!pool.give(Vec::with_capacity(64)), "bucket is full");
+        assert_eq!(pool.len(), MAX_ENTRIES_PER_BUCKET);
+        pool.clear();
+        assert!(pool.is_empty());
+    }
+}

@@ -10,6 +10,8 @@
 //! optimizer updates (§4.2).
 
 use crate::diag;
+use crate::dtype::Scalar;
+use crate::pool;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -27,17 +29,40 @@ pub fn cow_copy_count() -> u64 {
 /// `Drop` runs exactly once — when the last `Storage` sharing the buffer
 /// goes away — so live-bytes bookkeeping is race-free by construction.
 #[derive(Debug, Default)]
-struct Buf<T> {
+struct Buf<T: Scalar> {
     vec: Vec<T>,
     /// Bytes reported to the tracker (buffer capacity at creation).
     bytes: usize,
 }
 
-impl<T> Buf<T> {
+impl<T: Scalar> Buf<T> {
     fn new(vec: Vec<T>) -> Self {
         let bytes = vec.capacity() * std::mem::size_of::<T>();
         diag::track_alloc(bytes);
         Buf { vec, bytes }
+    }
+
+    /// Wraps a buffer that came out of the recycling pool: live/peak
+    /// accounting moves, but no allocator call is counted.
+    fn recycled(vec: Vec<T>) -> Self {
+        let bytes = vec.capacity() * std::mem::size_of::<T>();
+        diag::track_recycled_alloc(bytes);
+        Buf { vec, bytes }
+    }
+
+    /// Pool-aware copy of a slice.
+    fn copy_of(data: &[T]) -> Self {
+        match pool::take_vec::<T>(data.len()) {
+            Some(mut v) => {
+                v.extend_from_slice(data);
+                Buf::recycled(v)
+            }
+            None => {
+                let mut v = Vec::with_capacity(pool::recycle_capacity::<T>(data.len()));
+                v.extend_from_slice(data);
+                Buf::new(v)
+            }
+        }
     }
 
     /// Moves the elements out, settling the tracker account immediately
@@ -49,23 +74,35 @@ impl<T> Buf<T> {
     }
 }
 
-impl<T: Clone> Clone for Buf<T> {
-    /// A buffer copy (`Arc::make_mut` on a shared storage) is a fresh
-    /// allocation, and is tracked as one.
+impl<T: Scalar> Clone for Buf<T> {
+    /// A buffer copy (`Arc::make_mut` on a shared storage) needs fresh
+    /// capacity — recycled from the pool when possible, and tracked as a
+    /// fresh allocation otherwise.
     fn clone(&self) -> Self {
-        Buf::new(self.vec.clone())
+        Buf::copy_of(&self.vec)
     }
 }
 
-impl<T: PartialEq> PartialEq for Buf<T> {
+impl<T: Scalar> PartialEq for Buf<T> {
     fn eq(&self, other: &Self) -> bool {
         self.vec == other.vec
     }
 }
 
-impl<T> Drop for Buf<T> {
+impl<T: Scalar> Drop for Buf<T> {
+    /// The last `Storage` sharing the buffer dropped: offer the capacity
+    /// to the recycling pool, and settle with the allocator only if the
+    /// pool declines.
     fn drop(&mut self) {
-        diag::track_free(self.bytes);
+        if self.bytes == 0 {
+            return;
+        }
+        let vec = std::mem::take(&mut self.vec);
+        if pool::give_vec(vec) {
+            diag::track_recycled_free(self.bytes);
+        } else {
+            diag::track_free(self.bytes);
+        }
     }
 }
 
@@ -80,15 +117,56 @@ impl<T> Drop for Buf<T> {
 /// assert_eq!(a.as_slice()[0], 9);
 /// ```
 #[derive(Clone, Debug, Default, PartialEq)]
-pub struct Storage<T> {
+pub struct Storage<T: Scalar> {
     data: Arc<Buf<T>>,
 }
 
-impl<T: Clone> Storage<T> {
+impl<T: Scalar> Storage<T> {
     /// Creates storage owning `data`.
     pub fn from_vec(data: Vec<T>) -> Self {
         Storage {
             data: Arc::new(Buf::new(data)),
+        }
+    }
+
+    /// Creates storage from a buffer obtained via [`crate::pool`]
+    /// (tracked as recycled, not as a fresh allocation).
+    pub(crate) fn from_recycled_vec(data: Vec<T>) -> Self {
+        Storage {
+            data: Arc::new(Buf::recycled(data)),
+        }
+    }
+
+    /// Creates storage holding a copy of `data`, recycling pooled
+    /// capacity when available.
+    pub(crate) fn copy_of_slice(data: &[T]) -> Self {
+        Storage {
+            data: Arc::new(Buf::copy_of(data)),
+        }
+    }
+
+    /// Wraps a buffer whose pool provenance the caller tracked.
+    pub(crate) fn from_vec_flagged(data: Vec<T>, recycled: bool) -> Self {
+        if recycled {
+            Storage::from_recycled_vec(data)
+        } else {
+            Storage::from_vec(data)
+        }
+    }
+
+    /// Creates storage of `n` copies of `value`, recycling pooled
+    /// capacity when available.
+    pub fn filled(n: usize, value: T) -> Self {
+        match pool::take_vec::<T>(n) {
+            Some(mut v) => {
+                v.resize(n, value);
+                Storage::from_recycled_vec(v)
+            }
+            None => {
+                let mut v = Vec::with_capacity(pool::recycle_capacity::<T>(n));
+                v.resize(n, value);
+                Storage::from_vec(v)
+            }
         }
     }
 
@@ -141,13 +219,13 @@ impl<T: Clone> Storage<T> {
     }
 }
 
-impl<T: Clone> From<Vec<T>> for Storage<T> {
+impl<T: Scalar> From<Vec<T>> for Storage<T> {
     fn from(data: Vec<T>) -> Self {
         Storage::from_vec(data)
     }
 }
 
-impl<T: Clone> FromIterator<T> for Storage<T> {
+impl<T: Scalar> FromIterator<T> for Storage<T> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
         Storage::from_vec(iter.into_iter().collect())
     }

@@ -42,7 +42,7 @@ impl std::error::Error for NonFinite {}
 /// assert_eq!(y.as_slice(), &[2.0, 4.0, 6.0]);
 /// ```
 #[derive(Clone)]
-pub struct Tensor<T = f32> {
+pub struct Tensor<T: Scalar = f32> {
     shape: Shape,
     storage: Storage<T>,
 }
@@ -90,7 +90,7 @@ impl<T: Scalar> Tensor<T> {
     pub fn scalar(value: T) -> Self {
         Tensor {
             shape: Shape::scalar(),
-            storage: Storage::from_vec(vec![value]),
+            storage: Storage::filled(1, value),
         }
     }
 
@@ -100,7 +100,7 @@ impl<T: Scalar> Tensor<T> {
         let n = shape.num_elements();
         Tensor {
             shape,
-            storage: Storage::from_vec(vec![value; n]),
+            storage: Storage::filled(n, value),
         }
     }
 
@@ -121,25 +121,27 @@ impl<T: Scalar> Tensor<T> {
 
     /// The `n × n` identity matrix.
     pub fn eye(n: usize) -> Self {
-        let mut data = vec![T::zero(); n * n];
+        let (mut data, recycled) = crate::pool::zeroed_vec::<T>(n * n);
         for i in 0..n {
             data[i * n + i] = T::one();
         }
-        Tensor::from_vec(data, &[n, n])
+        Tensor::from_pooled_vec((data, recycled), &[n, n])
     }
 
     /// `[0, 1, 2, …, n-1]` as a rank-1 tensor.
     pub fn arange(n: usize) -> Self {
-        Tensor::from_vec((0..n).map(T::from_usize).collect(), &[n])
+        let data = crate::pool::collect_n(n, (0..n).map(T::from_usize));
+        Tensor::from_pooled_vec(data, &[n])
     }
 
     /// Builds a tensor by evaluating `f` at every flat index.
     pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> T) -> Self {
         let shape = Shape::new(dims);
-        let data = (0..shape.num_elements()).map(&mut f).collect();
+        let n = shape.num_elements();
+        let (data, recycled) = crate::pool::collect_n(n, (0..n).map(&mut f));
         Tensor {
             shape,
-            storage: Storage::from_vec(data),
+            storage: Storage::from_vec_flagged(data, recycled),
         }
     }
 
@@ -150,6 +152,45 @@ impl<T: Scalar> Tensor<T> {
     pub(crate) fn from_parts(shape: Shape, storage: Storage<T>) -> Self {
         debug_assert_eq!(shape.num_elements(), storage.len());
         Tensor { shape, storage }
+    }
+
+    /// A tensor holding a copy of `data`, recycling pooled capacity when
+    /// available (the pool-aware spelling of `from_vec(data.to_vec(), …)`).
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the shape's element count.
+    pub fn copy_of_slice(data: &[T], dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.num_elements(),
+            "buffer of {} elements cannot have shape {shape}",
+            data.len()
+        );
+        Tensor {
+            shape,
+            storage: Storage::copy_of_slice(data),
+        }
+    }
+
+    /// Assembles a tensor from a buffer whose pool provenance is known
+    /// (the flag returned by the `crate::pool` allocation helpers), so a
+    /// recycled buffer is not double-counted as a fresh allocation.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the shape's element count.
+    pub(crate) fn from_pooled_vec((data, recycled): (Vec<T>, bool), dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.num_elements(),
+            "buffer of {} elements cannot have shape {shape}",
+            data.len()
+        );
+        Tensor {
+            shape,
+            storage: Storage::from_vec_flagged(data, recycled),
+        }
     }
 
     /// The underlying storage (crate-internal; no CoW trigger).
@@ -230,6 +271,13 @@ impl<T: Scalar> Tensor<T> {
         self.storage.ptr_eq(&other.storage)
     }
 
+    /// True if this tensor uniquely owns its buffer — in-place mutation
+    /// will not trigger a copy. The runtime layers use this to decide
+    /// when an operand can be updated in place or donated (paper §4.2).
+    pub fn storage_unique(&self) -> bool {
+        self.storage.is_unique()
+    }
+
     // ------------------------------------------------------------ functional
 
     /// Applies `f` element-wise, producing a new tensor. Large tensors
@@ -239,7 +287,7 @@ impl<T: Scalar> Tensor<T> {
         let src = self.as_slice();
         let storage = if src.len() >= crate::par::ELEMWISE_GRAIN && s4tf_threads::num_threads() > 1
         {
-            let mut out = vec![U::zero(); src.len()];
+            let (mut out, recycled) = crate::pool::zeroed_vec::<U>(src.len());
             s4tf_threads::parallel_chunks_mut(
                 &mut out,
                 1,
@@ -251,9 +299,10 @@ impl<T: Scalar> Tensor<T> {
                     }
                 },
             );
-            Storage::from_vec(out)
+            Storage::from_vec_flagged(out, recycled)
         } else {
-            src.iter().map(|&x| f(x)).collect()
+            let (out, recycled) = crate::pool::collect_n(src.len(), src.iter().map(|&x| f(x)));
+            Storage::from_vec_flagged(out, recycled)
         };
         Tensor {
             shape: self.shape.clone(),
@@ -292,7 +341,7 @@ impl<T: Scalar> Tensor<T> {
         let rhs = other.as_slice();
         let storage = if lhs.len() >= crate::par::ELEMWISE_GRAIN && s4tf_threads::num_threads() > 1
         {
-            let mut out = vec![T::zero(); lhs.len()];
+            let (mut out, recycled) = crate::pool::zeroed_vec::<T>(lhs.len());
             s4tf_threads::parallel_chunks_mut(
                 &mut out,
                 1,
@@ -303,9 +352,11 @@ impl<T: Scalar> Tensor<T> {
                     }
                 },
             );
-            Storage::from_vec(out)
+            Storage::from_vec_flagged(out, recycled)
         } else {
-            lhs.iter().zip(rhs).map(|(&a, &b)| f(a, b)).collect()
+            let (out, recycled) =
+                crate::pool::collect_n(lhs.len(), lhs.iter().zip(rhs).map(|(&a, &b)| f(a, b)));
+            Storage::from_vec_flagged(out, recycled)
         };
         Tensor {
             shape: self.shape.clone(),

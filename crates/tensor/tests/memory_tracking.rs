@@ -2,19 +2,46 @@
 //! pair up exactly, so live bytes return to baseline once every tensor is
 //! dropped. Only meaningful with the `diag` feature (the default
 //! workspace build); without it the whole file compiles away.
+//!
+//! Runs with the recycling pool pinned *off*: with the pool on, a drop
+//! parks the buffer instead of freeing it (by design, `allocs`/`frees`
+//! count real allocator traffic only), so strict pairing is exactly the
+//! `S4TF_POOL=0` contract. `pool_respects_the_same_live_accounting`
+//! checks the pool-on half: live bytes still return to baseline even
+//! when the allocator counters diverge.
 #![cfg(feature = "diag")]
 
 use s4tf_diag::memory_stats;
-use s4tf_tensor::Tensor;
+use s4tf_tensor::{clear_pools, pool_enabled, set_pool_enabled, Tensor};
 use std::sync::Mutex;
 
 // The counters are process-global; concurrent tests would tear each
 // other's baselines.
 static SERIAL: Mutex<()> = Mutex::new(());
 
+/// Pins the pool off (or on) for one test, restoring the previous
+/// effective setting on drop.
+struct PoolGuard(bool);
+
+impl PoolGuard {
+    fn pin(enabled: bool) -> Self {
+        let was = pool_enabled();
+        set_pool_enabled(enabled);
+        clear_pools();
+        PoolGuard(was)
+    }
+}
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        set_pool_enabled(self.0);
+    }
+}
+
 #[test]
 fn live_bytes_return_to_baseline_after_drop() {
     let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let _pool = PoolGuard::pin(false);
     let baseline = memory_stats();
     {
         let a = Tensor::<f32>::ones(&[64, 64]);
@@ -45,6 +72,7 @@ fn live_bytes_return_to_baseline_after_drop() {
 #[test]
 fn cow_copy_is_tracked_as_a_new_allocation() {
     let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let _pool = PoolGuard::pin(false);
     let baseline = memory_stats();
     let a = Tensor::<f32>::ones(&[32]);
     let mut b = a.clone(); // shares storage: no new bytes yet
@@ -60,4 +88,24 @@ fn cow_copy_is_tracked_as_a_new_allocation() {
     assert!(after_cow.allocs > shared.allocs);
     drop((a, b));
     assert_eq!(memory_stats().live_bytes, baseline.live_bytes);
+}
+
+#[test]
+fn pool_respects_the_same_live_accounting() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let _pool = PoolGuard::pin(true);
+    let baseline = memory_stats();
+    for _ in 0..4 {
+        // Second iteration onward recycles: live bytes cycle up and back
+        // down whether the capacity came from the allocator or the pool.
+        let t = Tensor::<f32>::ones(&[64, 64]);
+        let u = t.add(&t);
+        assert!(memory_stats().live_bytes >= baseline.live_bytes + 2 * 64 * 64 * 4);
+        drop((t, u));
+        assert_eq!(memory_stats().live_bytes, baseline.live_bytes);
+    }
+    // Parked capacity is not live, but it is also not allocator-freed:
+    // the alloc/free counters are allowed to diverge here — that
+    // divergence *is* the pool's saving.
+    clear_pools();
 }

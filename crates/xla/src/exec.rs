@@ -2,11 +2,45 @@
 //! topologically ordered kernel plan for one trace.
 
 use crate::fault;
-use crate::graph::{HloGraph, NodeId};
+use crate::graph::HloGraph;
 use crate::op::{FusedInst, HloOp, ReduceKind};
-use crate::passes;
+use crate::passes::{self, MemoryPlan};
 use crate::prof;
 use s4tf_tensor::{panic_message, RuntimeError, Tensor};
+use std::sync::atomic::{AtomicI8, Ordering};
+use std::sync::OnceLock;
+
+/// Runtime override for the memory planner (−1 = unset, 0 = off, 1 = on).
+static PLAN_OVERRIDE: AtomicI8 = AtomicI8::new(-1);
+/// `S4TF_PLAN` read once; the planner defaults to on.
+static PLAN_ENV: OnceLock<bool> = OnceLock::new();
+
+/// Whether compiled executions apply their memory plan (drop values at
+/// last use, run elementwise kernels in place on dying unique buffers).
+///
+/// Controlled by [`set_plan_enabled`], else the `S4TF_PLAN` environment
+/// variable (`0`/`false`/`off`/`no` disable), else on. Results are
+/// bit-identical either way; the plan changes only allocation traffic.
+pub fn plan_enabled() -> bool {
+    match PLAN_OVERRIDE.load(Ordering::Relaxed) {
+        0 => false,
+        1 => true,
+        _ => *PLAN_ENV.get_or_init(|| {
+            !std::env::var("S4TF_PLAN")
+                .map(|v| {
+                    let v = v.trim().to_ascii_lowercase();
+                    v == "0" || v == "false" || v == "off" || v == "no"
+                })
+                .unwrap_or(false)
+        }),
+    }
+}
+
+/// Programmatic override of [`plan_enabled`] (takes precedence over the
+/// environment). Process-wide, for tests and experiments.
+pub fn set_plan_enabled(enabled: bool) {
+    PLAN_OVERRIDE.store(enabled as i8, Ordering::Relaxed);
+}
 
 /// A compiled trace: the optimized graph plus execution bookkeeping.
 #[derive(Debug, Clone)]
@@ -14,6 +48,9 @@ pub struct Executable {
     graph: HloGraph,
     /// Nodes that actually execute (excludes parameters/constants).
     kernel_count: usize,
+    /// Buffer liveness computed at compile time (paper §3.3: the trace
+    /// exposes whole-program structure, so buffer assignment is static).
+    plan: MemoryPlan,
 }
 
 /// Compiles a graph: runs the whole-program pass pipeline (constant
@@ -38,9 +75,11 @@ pub fn compile(graph: &HloGraph) -> Executable {
             .count();
         prof::counter_add("xla.fused_kernels", fused as u64);
     }
+    let plan = passes::plan_memory(&g);
     Executable {
         graph: g,
         kernel_count,
+        plan,
     }
 }
 
@@ -52,9 +91,11 @@ pub fn compile_unoptimized(graph: &HloGraph) -> Executable {
         .iter()
         .filter(|n| !matches!(n.op, HloOp::Parameter(_) | HloOp::Constant(_)))
         .count();
+    let plan = passes::plan_memory(&g);
     Executable {
         graph: g,
         kernel_count,
+        plan,
     }
 }
 
@@ -110,6 +151,33 @@ impl Executable {
         params: &[&Tensor<f32>],
         backend: &'static str,
     ) -> std::result::Result<Vec<Tensor<f32>>, RuntimeError> {
+        // Borrowed parameters are cloned; the caller's handles keep the
+        // buffers shared, so the planner's uniqueness checks refuse to
+        // overwrite them (donation requires an owned run).
+        let owned: Vec<Option<Tensor<f32>>> = params.iter().map(|t| Some((*t).clone())).collect();
+        self.run_values(owned, backend)
+    }
+
+    /// [`try_run_with_backend`](Executable::try_run_with_backend), taking
+    /// parameters *by value*: the caller donates its buffers. A donated
+    /// parameter whose last graph use is an in-place-eligible elementwise
+    /// node (the fused optimizer-update pattern `p ← p − lr·g`) is
+    /// overwritten in place, so the updated parameter aliases the old
+    /// one's buffer. Parameters the caller still holds other handles to
+    /// are shared, hence copied — donation never breaks value semantics.
+    pub fn try_run_owned(
+        &self,
+        params: Vec<Tensor<f32>>,
+        backend: &'static str,
+    ) -> std::result::Result<Vec<Tensor<f32>>, RuntimeError> {
+        self.run_values(params.into_iter().map(Some).collect(), backend)
+    }
+
+    fn run_values(
+        &self,
+        mut params: Vec<Option<Tensor<f32>>>,
+        backend: &'static str,
+    ) -> std::result::Result<Vec<Tensor<f32>>, RuntimeError> {
         let mut span = prof::span("xla.execute");
         if span.is_recording() {
             span.annotate_f64("kernels", self.kernel_count as f64);
@@ -123,16 +191,14 @@ impl Executable {
             self.graph.n_params,
             params.len()
         );
+        let plan_on = plan_enabled();
         let mut values: Vec<Option<Tensor<f32>>> = vec![None; self.graph.nodes.len()];
         for (i, node) in self.graph.nodes.iter().enumerate() {
-            let get = |id: NodeId| -> &Tensor<f32> {
-                values[id.0 as usize]
-                    .as_ref()
-                    .expect("topological order guarantees operands are ready")
-            };
             let out = match &node.op {
                 HloOp::Parameter(p) => {
-                    let t = params[*p];
+                    let t = params[*p]
+                        .take()
+                        .expect("each parameter index appears in one node");
                     assert_eq!(
                         t.shape(),
                         &node.shape,
@@ -140,11 +206,10 @@ impl Executable {
                         t.shape(),
                         node.shape
                     );
-                    t.clone()
+                    t
                 }
                 HloOp::Constant(c) => c.clone(),
                 op => {
-                    let inputs: Vec<&Tensor<f32>> = node.inputs.iter().map(|&i| get(i)).collect();
                     let mnemonic = node.op.mnemonic();
                     if fault::should_inject(fault::FaultSite::Kernel) {
                         crate::diag::event!(
@@ -156,10 +221,38 @@ impl Executable {
                         return Err(RuntimeError::injected(mnemonic, backend, "kernel")
                             .with_span(prof::current_span()));
                     }
+                    // The memory plan marks an operand this step may
+                    // overwrite; commit to it only if that operand's
+                    // buffer is uniquely owned right now (no other value
+                    // slot, parameter handle, or caller clone shares it).
+                    let inplace_at = if plan_on {
+                        self.plan.inplace[i].filter(|&k| {
+                            values[node.inputs[k].0 as usize]
+                                .as_ref()
+                                .is_some_and(|t| t.storage_unique())
+                        })
+                    } else {
+                        None
+                    };
                     // Only the kernel itself is caught: the numerics scan
                     // below stays outside so a Panic-mode abort unwinds to
                     // the caller as requested, not as a poisoned value.
-                    let result =
+                    let result = if let Some(k) = inplace_at {
+                        let target_id = node.inputs[k].0 as usize;
+                        let target = values[target_id]
+                            .take()
+                            .expect("topological order guarantees operands are ready");
+                        self.eval_inplace(i, k, target, &values)
+                    } else {
+                        let inputs: Vec<&Tensor<f32>> = node
+                            .inputs
+                            .iter()
+                            .map(|&id| {
+                                values[id.0 as usize]
+                                    .as_ref()
+                                    .expect("topological order guarantees operands are ready")
+                            })
+                            .collect();
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match op {
                             // Fused kernels take their output shape from
                             // the plan (a trailing-broadcast input may tie
@@ -168,7 +261,8 @@ impl Executable {
                                 run_fused(insts, &inputs, node.shape.dims())
                             }
                             op => eval_op(op, &inputs),
-                        }));
+                        }))
+                    };
                     match result {
                         Ok(t) => t,
                         Err(payload) => {
@@ -206,6 +300,14 @@ impl Executable {
                 );
             }
             values[i] = Some(out);
+            if plan_on {
+                // Drop dead intermediates now: their buffers return to
+                // the recycling pool for reuse by later steps instead of
+                // staying live until the end of the run.
+                for &dead in &self.plan.drop_after[i] {
+                    values[dead as usize] = None;
+                }
+            }
         }
         // Per-backend live-bytes breakdown, surfaced through the profile
         // gauge mechanism (report + Chrome-trace counter tracks).
@@ -213,6 +315,11 @@ impl Executable {
             let live = crate::diag::memory_stats().live_bytes as f64;
             prof::gauge_set("mem.live_bytes", live);
             prof::gauge_set(format!("mem.live_bytes.{backend}"), live);
+            let pool = s4tf_tensor::pool_stats();
+            prof::gauge_set("pool.hits", pool.hits as f64);
+            prof::gauge_set("pool.misses", pool.misses as f64);
+            prof::gauge_set("pool.recycled_bytes", pool.recycled_bytes as f64);
+            prof::gauge_set("pool.pooled_bytes", pool.pooled_bytes as f64);
         }
         Ok(self
             .graph
@@ -220,6 +327,59 @@ impl Executable {
             .iter()
             .map(|o| values[o.0 as usize].clone().expect("outputs computed"))
             .collect())
+    }
+
+    /// Runs node `i`'s kernel *in place* on `target` (the taken value of
+    /// operand `k`, uniquely owned and shaped like the output). Per-element
+    /// arithmetic, operand order and chunking are identical to the
+    /// out-of-place kernels, so results are bit-identical.
+    fn eval_inplace(
+        &self,
+        i: usize,
+        k: usize,
+        target: Tensor<f32>,
+        values: &[Option<Tensor<f32>>],
+    ) -> std::thread::Result<Tensor<f32>> {
+        let node = &self.graph.nodes[i];
+        let ready = |id: crate::graph::NodeId| -> &Tensor<f32> {
+            values[id.0 as usize]
+                .as_ref()
+                .expect("topological order guarantees operands are ready")
+        };
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &node.op {
+            HloOp::Unary(u) => {
+                let u = *u;
+                let mut t = target;
+                t.map_assign(move |x| u.apply(x));
+                t
+            }
+            HloOp::Binary(b) => {
+                let b = *b;
+                let other = ready(node.inputs[1 - k]);
+                let mut t = target;
+                if k == 0 {
+                    t.zip_apply_assign(other, move |x, y| b.apply(x, y));
+                } else {
+                    t.zip_apply_assign_rev(other, move |x, y| b.apply(x, y));
+                }
+                t
+            }
+            HloOp::Fused { insts, .. } => {
+                // Input positions naming the aliased node read the output
+                // buffer itself (each chunk is read before it is written).
+                let alias = node.inputs[k];
+                let slices: Vec<Option<&[f32]>> = node
+                    .inputs
+                    .iter()
+                    .map(|&id| (id != alias).then(|| ready(id).as_slice()))
+                    .collect();
+                let mut t = target;
+                let n = t.num_elements();
+                run_fused_kernel(insts, &slices, n, t.as_mut_slice());
+                t
+            }
+            op => unreachable!("plan marks only elementwise ops in-place, got {op:?}"),
+        }))
     }
 }
 
@@ -332,6 +492,41 @@ pub fn eval_op(op: &HloOp, inputs: &[&Tensor<f32>]) -> Tensor<f32> {
     }
 }
 
+/// [`eval_op`] over *owned* operands: when the planner is enabled and an
+/// operand's buffer is uniquely owned (its handle died and no other value
+/// shares the storage), elementwise kernels write into it instead of
+/// allocating. The eager and naive devices route through here; results
+/// are bit-identical to [`eval_op`].
+pub fn eval_op_owned(op: &HloOp, mut operands: Vec<Tensor<f32>>) -> Tensor<f32> {
+    if plan_enabled() {
+        match op {
+            HloOp::Unary(u) if operands[0].storage_unique() => {
+                let u = *u;
+                let mut t = operands.swap_remove(0);
+                t.map_assign(move |x| u.apply(x));
+                return t;
+            }
+            HloOp::Binary(b) if operands[0].shape() == operands[1].shape() => {
+                let b = *b;
+                if operands[0].storage_unique() {
+                    let t = operands.swap_remove(0);
+                    let mut t = t;
+                    t.zip_apply_assign(&operands[0], move |x, y| b.apply(x, y));
+                    return t;
+                }
+                if operands[1].storage_unique() {
+                    let mut t = operands.swap_remove(1);
+                    t.zip_apply_assign_rev(&operands[0], move |x, y| b.apply(x, y));
+                    return t;
+                }
+            }
+            _ => {}
+        }
+    }
+    let refs: Vec<&Tensor<f32>> = operands.iter().collect();
+    eval_op(op, &refs)
+}
+
 pub(crate) fn apply_binary(
     a: &Tensor<f32>,
     b: &Tensor<f32>,
@@ -364,15 +559,42 @@ const FUSED_GRAIN: usize = 8 * FUSED_CHUNK;
 
 fn run_fused(insts: &[FusedInst], inputs: &[&Tensor<f32>], out_dims: &[usize]) -> Tensor<f32> {
     let n: usize = out_dims.iter().product();
-    let slices: Vec<&[f32]> = inputs.iter().map(|t| t.as_slice()).collect();
-    let mut out = vec![0.0f32; n];
+    let slices: Vec<Option<&[f32]>> = inputs.iter().map(|t| Some(t.as_slice())).collect();
+    // The output buffer comes through the tensor constructors, which
+    // recycle pooled capacity; the fill value is overwritten below.
+    let mut out = Tensor::full(0.0f32, out_dims);
+    run_fused_kernel(insts, &slices, n, out.as_mut_slice());
+    out
+}
+
+/// The fused interpreter core, writing into a caller-provided output
+/// buffer. `slices[i]` is `None` when input `i` *aliases the output
+/// buffer* (in-place execution on a dying operand): reads then come from
+/// the output chunk itself, which still holds the operand's original
+/// elements because every chunk is fully read into registers before its
+/// output range is written. Only full-shape inputs may alias.
+fn run_fused_kernel(insts: &[FusedInst], slices: &[Option<&[f32]>], n: usize, out: &mut [f32]) {
     // Outputs above the grain split across the thread pool; each task
     // interprets a disjoint output range with its own chunk-register
     // file, so per-element evaluation is unchanged by the split
     // (bit-identical for every thread count).
-    s4tf_threads::parallel_chunks_mut(&mut out, 1, FUSED_GRAIN, |task_start, out_chunk| {
-        // Chunk-wide registers, one row per instruction.
-        let mut regs = vec![0.0f32; insts.len() * FUSED_CHUNK];
+    s4tf_threads::parallel_chunks_mut(out, 1, FUSED_GRAIN, |task_start, out_chunk| {
+        // Chunk-wide registers, one row per instruction — recycled
+        // scratch when the pool has capacity parked.
+        let regs_len = insts.len() * FUSED_CHUNK;
+        let mut regs = match s4tf_tensor::pool::take_vec::<f32>(regs_len) {
+            Some(mut v) => {
+                v.resize(regs_len, 0.0);
+                v
+            }
+            None => {
+                // Round capacity up to a power of two so the freed
+                // buffer parks in the bucket the next task searches.
+                let mut v = Vec::with_capacity(regs_len.next_power_of_two());
+                v.resize(regs_len, 0.0);
+                v
+            }
+        };
         let mut start = 0usize;
         while start < out_chunk.len() {
             let len = FUSED_CHUNK.min(out_chunk.len() - start);
@@ -384,17 +606,20 @@ fn run_fused(insts: &[FusedInst], inputs: &[&Tensor<f32>], out_dims: &[usize]) -
                 let (read, write) = regs.split_at_mut(r * FUSED_CHUNK);
                 let dst = &mut write[..len];
                 match inst {
-                    FusedInst::Input(i) => {
-                        let src = slices[*i];
-                        if src.len() == n {
+                    FusedInst::Input(i) => match slices[*i] {
+                        Some(src) if src.len() == n => {
                             dst.copy_from_slice(&src[global..global + len]);
-                        } else {
+                        }
+                        Some(src) => {
                             let m = src.len();
                             for (j, d) in dst.iter_mut().enumerate() {
                                 *d = src[(global + j) % m];
                             }
                         }
-                    }
+                        // Aliased input: its elements for this chunk sit
+                        // in the not-yet-written output range.
+                        None => dst.copy_from_slice(&out_chunk[start..start + len]),
+                    },
                     FusedInst::Imm(x) => dst.fill(*x),
                     FusedInst::Unary(u, a) => {
                         let src = &read[a * FUSED_CHUNK..a * FUSED_CHUNK + len];
@@ -415,8 +640,8 @@ fn run_fused(insts: &[FusedInst], inputs: &[&Tensor<f32>], out_dims: &[usize]) -
             out_chunk[start..start + len].copy_from_slice(&regs[last..last + len]);
             start += len;
         }
+        s4tf_tensor::pool::give_vec(regs);
     });
-    Tensor::from_vec(out, out_dims)
 }
 
 #[cfg(test)]
@@ -571,5 +796,85 @@ mod tests {
         let out = compile(&g).run(&[&t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])]);
         assert_eq!(out[0].dims(), &[1, 3]);
         assert_eq!(out[0].as_slice(), &[10.0, 14.0, 18.0]);
+    }
+
+    /// The optimizer-update pattern `p ← p − lr·g`: an owned run donates
+    /// the parameter buffer, so the updated parameter aliases it.
+    fn update_graph(n: usize) -> HloGraph {
+        let mut g = HloGraph::new();
+        let p = g.parameter(0, &[n]);
+        let grad = g.parameter(1, &[n]);
+        let lr = g.constant(Tensor::scalar(0.1));
+        let step = g.binary(ElemBinary::Mul, grad, lr);
+        let new = g.binary(ElemBinary::Sub, p, step);
+        g.mark_output(new);
+        g
+    }
+
+    #[test]
+    fn owned_run_donates_unique_param_buffer() {
+        if !plan_enabled() {
+            return; // planner switched off for this process
+        }
+        let n = 1000;
+        let exe = compile(&update_graph(n));
+        let param = Tensor::full(1.0f32, &[n]);
+        let grad = Tensor::full(0.5f32, &[n]);
+        let ptr = param.as_slice().as_ptr();
+        let out = exe.try_run_owned(vec![param, grad], "xla").unwrap();
+        assert_eq!(
+            out[0].as_slice().as_ptr(),
+            ptr,
+            "param_new should alias param_old's buffer"
+        );
+        assert!(out[0].as_slice().iter().all(|&x| (x - 0.95).abs() < 1e-6));
+    }
+
+    #[test]
+    fn donation_refuses_shared_storage() {
+        let n = 1000;
+        let exe = compile(&update_graph(n));
+        let param = Tensor::full(1.0f32, &[n]);
+        let keep = param.clone(); // a live handle shares the buffer
+        let grad = Tensor::full(0.5f32, &[n]);
+        let out = exe.try_run_owned(vec![param, grad], "xla").unwrap();
+        assert_ne!(
+            out[0].as_slice().as_ptr(),
+            keep.as_slice().as_ptr(),
+            "shared storage must not be overwritten"
+        );
+        assert!(keep.as_slice().iter().all(|&x| x == 1.0), "value semantics");
+    }
+
+    #[test]
+    fn borrowed_run_never_touches_caller_buffers() {
+        let n = 1000;
+        let exe = compile(&update_graph(n));
+        let param = Tensor::full(1.0f32, &[n]);
+        let grad = Tensor::full(0.5f32, &[n]);
+        let out = exe.try_run_with_backend(&[&param, &grad], "xla").unwrap();
+        assert!(param.as_slice().iter().all(|&x| x == 1.0));
+        assert!(out[0].as_slice().iter().all(|&x| (x - 0.95).abs() < 1e-6));
+    }
+
+    #[test]
+    fn inplace_fused_chain_matches_eval_op() {
+        // A fusable chain over a donated buffer: in-place fused execution
+        // must agree exactly with the out-of-place interpreter.
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[2000]);
+        let a = g.unary(ElemUnary::Tanh, x);
+        let b = g.unary(ElemUnary::Square, a);
+        let c = g.binary(ElemBinary::Add, a, b);
+        g.mark_output(c);
+        let xs = Tensor::<f32>::randn(&[2000], &mut rng);
+        let expect = compile_unoptimized(&g).run(&[&xs]);
+        let got = compile(&g).try_run_owned(vec![xs], "xla").unwrap();
+        assert_eq!(
+            expect[0].as_slice(),
+            got[0].as_slice(),
+            "fused in-place must be bit-identical"
+        );
     }
 }

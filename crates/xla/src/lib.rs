@@ -57,6 +57,10 @@ pub mod passes;
 mod prof;
 
 pub use cache::{CacheStats, ProgramCache};
-pub use exec::{compile, compile_unoptimized, eval_op, Executable};
+pub use exec::{
+    compile, compile_unoptimized, eval_op, eval_op_owned, plan_enabled, set_plan_enabled,
+    Executable,
+};
 pub use graph::{HloGraph, NodeId};
 pub use op::{ElemBinary, ElemUnary, HloOp, ReduceKind};
+pub use passes::{plan_memory, MemoryPlan};

@@ -416,6 +416,126 @@ pub fn dce(g: &mut HloGraph) -> bool {
     true
 }
 
+// ------------------------------------------------------- memory planning
+
+/// A buffer-assignment plan computed once at compile time (nodes execute
+/// in topological order, so liveness is a static property of the graph):
+/// which values die after each step, and which steps may write their
+/// output into a dying operand's buffer.
+///
+/// The executor applies the plan only when the runtime conditions hold
+/// (planner enabled, operand storage uniquely owned) — results are
+/// bit-identical with the plan on or off.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryPlan {
+    /// `drop_after[i]`: node ids whose value is dead once node `i` has
+    /// executed (their last use was node `i`, or they are never used and
+    /// `i` created them). Graph outputs never appear.
+    pub drop_after: Vec<Vec<u32>>,
+    /// `inplace[i]`: operand *position* of a same-shaped input that dies
+    /// at node `i`, for ops whose kernel can run in place (elementwise
+    /// unary/binary and fused programs). `None` when no operand
+    /// qualifies statically; the executor still re-checks buffer
+    /// uniqueness at run time.
+    pub inplace: Vec<Option<usize>>,
+}
+
+impl MemoryPlan {
+    /// Number of in-place-eligible steps — surfaced in tests and stats.
+    pub fn inplace_count(&self) -> usize {
+        self.inplace.iter().filter(|p| p.is_some()).count()
+    }
+}
+
+/// Computes per-node last-use liveness and in-place eligibility.
+///
+/// In-place eligibility is deliberately conservative:
+/// * **Unary**: the sole operand dies here (unary preserves shape).
+/// * **Binary**: both operands have the node's exact shape (no
+///   broadcasting) and are *distinct* nodes, and the chosen one dies
+///   here. Position 0 writes through `zip_apply_assign`, position 1
+///   through `zip_apply_assign_rev`, preserving operand order.
+/// * **Fused**: some *full-shape* input dies here. The interpreter reads
+///   each chunk of a full-shape input before writing that chunk of the
+///   output, so aliasing the two is safe; modulo-broadcast inputs are
+///   never aliased (they are smaller, hence a different buffer).
+pub fn plan_memory(g: &HloGraph) -> MemoryPlan {
+    let n = g.nodes.len();
+    let mut last_use: Vec<Option<usize>> = vec![None; n];
+    for (i, node) in g.nodes.iter().enumerate() {
+        for inp in &node.inputs {
+            last_use[inp.0 as usize] = Some(i);
+        }
+    }
+    let outputs: HashSet<u32> = g.outputs.iter().map(|o| o.0).collect();
+
+    let mut drop_after: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (j, lu) in last_use.iter().enumerate() {
+        if outputs.contains(&(j as u32)) {
+            continue;
+        }
+        // Unused non-output values (possible without DCE) die immediately.
+        let at = lu.unwrap_or(j);
+        drop_after[at].push(j as u32);
+    }
+
+    let mut inplace: Vec<Option<usize>> = vec![None; n];
+    for (i, node) in g.nodes.iter().enumerate() {
+        let dies_here = |id: NodeId| {
+            last_use[id.0 as usize] == Some(i)
+                && !outputs.contains(&id.0)
+                && !matches!(g.node(id).op, HloOp::Constant(_))
+        };
+        let full_shape = |id: NodeId| g.node(id).shape == node.shape;
+        inplace[i] = match &node.op {
+            HloOp::Unary(_) => {
+                let a = node.inputs[0];
+                (full_shape(a) && dies_here(a)).then_some(0)
+            }
+            HloOp::Binary(_) => {
+                let (a, b) = (node.inputs[0], node.inputs[1]);
+                if a == b || !full_shape(a) || !full_shape(b) {
+                    None
+                } else if dies_here(a) {
+                    Some(0)
+                } else if dies_here(b) {
+                    Some(1)
+                } else {
+                    None
+                }
+            }
+            HloOp::Fused { insts, .. } => {
+                let qualifies = |id: NodeId| full_shape(id) && dies_here(id);
+                // The accumulator pattern `p ← p ⊕ f(…)` (the fused
+                // optimizer update) has the updated value as the lhs of
+                // the root instruction: prefer it, so `param_new` writes
+                // into the donated `param_old` buffer. Fall back to a
+                // dying parameter, then to any dying full-shape input.
+                let root_lhs = match insts.last() {
+                    Some(FusedInst::Binary(_, a, _)) => match insts.get(*a) {
+                        Some(FusedInst::Input(pos)) => Some(*pos),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                root_lhs
+                    .filter(|&pos| pos < node.inputs.len() && qualifies(node.inputs[pos]))
+                    .or_else(|| {
+                        node.inputs.iter().position(|&id| {
+                            qualifies(id) && matches!(g.node(id).op, HloOp::Parameter(_))
+                        })
+                    })
+                    .or_else(|| node.inputs.iter().position(|&id| qualifies(id)))
+            }
+            _ => None,
+        };
+    }
+    MemoryPlan {
+        drop_after,
+        inplace,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -644,5 +764,82 @@ mod tests {
         let before = compile_unoptimized(&g).run(&[&xs, &ws]);
         let after = compile_unoptimized(&opt).run(&[&xs, &ws]);
         assert!(before[0].allclose(&after[0], 1e-5));
+    }
+
+    #[test]
+    fn plan_last_use_on_diamond() {
+        // x → (exp, neg) → add: both branches die at the join; the
+        // parameter's last use is the *later* branch.
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[4]);
+        let a = g.unary(ElemUnary::Exp, x);
+        let b = g.unary(ElemUnary::Neg, x);
+        let s = g.binary(ElemBinary::Add, a, b);
+        g.mark_output(s);
+        let plan = plan_memory(&g);
+        assert_eq!(plan.drop_after[b.0 as usize], vec![x.0], "x dies at neg");
+        let mut at_join = plan.drop_after[s.0 as usize].clone();
+        at_join.sort_unstable();
+        assert_eq!(at_join, vec![a.0, b.0], "both branches die at the join");
+        assert!(
+            plan.drop_after[s.0 as usize + 1..]
+                .iter()
+                .all(Vec::is_empty),
+            "the output is never dropped"
+        );
+        // The join may overwrite either dying same-shaped operand.
+        assert_eq!(plan.inplace[s.0 as usize], Some(0));
+    }
+
+    #[test]
+    fn plan_last_use_on_fan_out() {
+        // One value consumed by three users: it dies only at the last.
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[4]);
+        let v = g.unary(ElemUnary::Square, x);
+        let u1 = g.unary(ElemUnary::Exp, v);
+        let u2 = g.unary(ElemUnary::Neg, v);
+        let u3 = g.unary(ElemUnary::Relu, v);
+        let s1 = g.binary(ElemBinary::Add, u1, u2);
+        let s2 = g.binary(ElemBinary::Add, s1, u3);
+        g.mark_output(s2);
+        let plan = plan_memory(&g);
+        assert!(!plan.drop_after[u1.0 as usize].contains(&v.0));
+        assert!(!plan.drop_after[u2.0 as usize].contains(&v.0));
+        assert!(plan.drop_after[u3.0 as usize].contains(&v.0));
+        // u1/u2 keep v alive, so they may not run in place on it…
+        assert_eq!(plan.inplace[u1.0 as usize], None);
+        assert_eq!(plan.inplace[u2.0 as usize], None);
+        // …but v's final consumer may.
+        assert_eq!(plan.inplace[u3.0 as usize], Some(0));
+    }
+
+    #[test]
+    fn plan_never_drops_or_overwrites_outputs() {
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[4]);
+        let a = g.unary(ElemUnary::Exp, x);
+        let b = g.unary(ElemUnary::Neg, a); // a is an output AND an operand
+        g.mark_output(a);
+        g.mark_output(b);
+        let plan = plan_memory(&g);
+        assert!(plan.drop_after.iter().all(|d| !d.contains(&a.0)));
+        assert_eq!(
+            plan.inplace[b.0 as usize], None,
+            "an output operand must not be overwritten"
+        );
+    }
+
+    #[test]
+    fn plan_refuses_inplace_on_broadcast_or_self_pairs() {
+        let mut g = HloGraph::new();
+        let x = g.parameter(0, &[2, 3]);
+        let bias = g.parameter(1, &[3]);
+        let bc = g.binary(ElemBinary::Add, x, bias); // shapes differ
+        let dbl = g.binary(ElemBinary::Add, bc, bc); // same node twice
+        g.mark_output(dbl);
+        let plan = plan_memory(&g);
+        assert_eq!(plan.inplace[bc.0 as usize], None, "broadcast operand");
+        assert_eq!(plan.inplace[dbl.0 as usize], None, "self-aliasing pair");
     }
 }
