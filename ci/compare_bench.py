@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: diff a measured bench artifact against its
+checked-in baseline.
+
+Usage:
+    python3 ci/compare_bench.py MEASURED.json BASELINE.json \
+        [--fail-under 0.7] [--notice-over 1.3] [--strict]
+
+Both files must be artifacts of the same bench binary (`kernels` or
+`ops`). For every case present in the baseline, the measured GFLOP/s is
+compared as a ratio; a case below ``--fail-under`` x baseline is a
+regression, above ``--notice-over`` x is a notice (update the baseline to
+bank the win). The schema of the measured file is validated first, so a
+bench binary that drops a field fails here rather than producing an
+uncomparable artifact.
+
+Throughput is only comparable between like machines. When the two
+artifacts' machine fingerprints differ, regressions are reported but
+downgraded to warnings (exit 0) unless ``--strict`` is given — CI runners
+are not the machine the baseline was recorded on.
+"""
+
+import argparse
+import json
+import sys
+
+# Per-bench schema: (result key fields, required result fields, metric).
+SCHEMAS = {
+    "kernels": {
+        "key": ("kernel", "case"),
+        "required": (
+            "kernel", "case", "threads_1_ms", "threads_n_ms", "speedup",
+            "flops", "bytes", "gflops_1", "gflops_n",
+        ),
+        "metric": "gflops_1",
+    },
+    "ops": {
+        "key": ("op", "case", "backend"),
+        "required": (
+            "op", "case", "backend", "median_ms", "iqr_ms", "trials",
+            "flops", "bytes", "gflops", "gbs",
+        ),
+        "metric": "gflops",
+    },
+}
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def validate(doc, path):
+    """Schema-checks one artifact; returns its bench kind."""
+    kind = doc.get("bench")
+    if kind not in SCHEMAS:
+        sys.exit(f"{path}: unknown bench kind {kind!r}")
+    schema = SCHEMAS[kind]
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        sys.exit(f"{path}: empty or missing results")
+    machine = doc.get("machine")
+    if not isinstance(machine, dict) or "fingerprint" not in machine:
+        sys.exit(f"{path}: missing machine fingerprint")
+    for r in results:
+        for field in schema["required"]:
+            if field not in r:
+                sys.exit(f"{path}: result missing field {field!r}: {r}")
+        if r[schema["metric"]] < 0:
+            sys.exit(f"{path}: negative {schema['metric']}: {r}")
+    return kind
+
+
+def keyed(doc, schema):
+    return {
+        tuple(r[k] for k in schema["key"]): r[schema["metric"]]
+        for r in doc["results"]
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("measured")
+    ap.add_argument("baseline")
+    ap.add_argument("--fail-under", type=float, default=0.7)
+    ap.add_argument("--notice-over", type=float, default=1.3)
+    ap.add_argument("--strict", action="store_true",
+                    help="fail on regressions even across unlike machines")
+    args = ap.parse_args()
+
+    measured = load(args.measured)
+    baseline = load(args.baseline)
+    kind = validate(measured, args.measured)
+    base_kind = validate(baseline, args.baseline)
+    if kind != base_kind:
+        sys.exit(f"bench kind mismatch: {kind} vs {base_kind}")
+    schema = SCHEMAS[kind]
+
+    m_fp = measured["machine"]["fingerprint"]
+    b_fp = baseline["machine"]["fingerprint"]
+    same_machine = m_fp == b_fp
+    if not same_machine:
+        print(f"note: machine mismatch (measured {m_fp}, baseline {b_fp}); "
+              "regressions are advisory" + (" [--strict overrides]" if not args.strict else ""))
+
+    got = keyed(measured, schema)
+    want = keyed(baseline, schema)
+    regressions, notices, compared = [], [], 0
+    for key, base_val in sorted(want.items()):
+        if key not in got:
+            regressions.append(f"{key}: missing from measured artifact")
+            continue
+        if base_val <= 0:
+            continue
+        ratio = got[key] / base_val
+        compared += 1
+        line = (f"{'/'.join(key)}: {got[key]:.3f} vs baseline "
+                f"{base_val:.3f} GFLOP/s ({ratio:.2f}x)")
+        if ratio < args.fail_under:
+            regressions.append(line)
+        elif ratio > args.notice_over:
+            notices.append(line)
+
+    print(f"{kind}: compared {compared} cases against {args.baseline}")
+    for n in notices:
+        print(f"  faster (consider re-baselining): {n}")
+    for r in regressions:
+        print(f"  REGRESSION: {r}")
+    if regressions and (same_machine or args.strict):
+        sys.exit(f"{len(regressions)} case(s) regressed below "
+                 f"{args.fail_under}x baseline")
+    if regressions:
+        print("regressions are advisory on this machine; exiting 0")
+    if not regressions and not notices:
+        print("  all cases within tolerance")
+
+
+if __name__ == "__main__":
+    main()

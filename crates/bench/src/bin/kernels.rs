@@ -8,16 +8,20 @@
 //! ```
 //!
 //! `--out PATH` overrides the output path (default `BENCH_kernels.json`
-//! in the current directory). The JSON records the host's
-//! `available_parallelism` verbatim: on a single-core runner the N-thread
-//! column measures pool overhead, not speedup, and the file says so.
+//! in the current directory). Each case carries its analytic FLOP count
+//! from the cost model, so the artifact records achieved GFLOP/s per
+//! thread configuration alongside the raw times — that is what the CI
+//! regression gate compares against the checked-in baseline. The JSON
+//! records the host's `available_parallelism` verbatim: on a single-core
+//! runner the N-thread column measures pool overhead, not speedup, and
+//! the file says so.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use s4tf_tensor::{Padding, Tensor};
+use s4tf_bench::harness::{machine_value, measure};
+use s4tf_tensor::{cost, OpCost, Padding, Tensor};
 use serde::Value;
 use std::hint::black_box;
-use std::time::Instant;
 
 /// Thread count for the parallel column: `S4TF_NUM_THREADS` when it names
 /// more than one thread, else 4 (the acceptance point of comparison).
@@ -29,21 +33,10 @@ fn parallel_threads() -> usize {
         .unwrap_or(4)
 }
 
-/// Best-of-`reps` wall time of `f`, in milliseconds, after one warmup run.
-fn time_best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
-    f();
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_secs_f64() * 1e3);
-    }
-    best
-}
-
 struct Case {
     kernel: &'static str,
     name: String,
+    cost: OpCost,
     run: Box<dyn FnMut()>,
 }
 
@@ -53,6 +46,7 @@ fn gemm_case(m: usize, k: usize, n: usize, rng: &mut ChaCha8Rng) -> Case {
     Case {
         kernel: "gemm",
         name: format!("{m}x{k}x{n}"),
+        cost: cost::matmul(m, k, n),
         run: Box::new(move || {
             black_box(a.matmul(&b));
         }),
@@ -65,6 +59,7 @@ fn matvec_case(m: usize, k: usize, rng: &mut ChaCha8Rng) -> Case {
     Case {
         kernel: "matvec",
         name: format!("{m}x{k}"),
+        cost: cost::matvec(m, k),
         run: Box::new(move || {
             black_box(a.matvec(&v));
         }),
@@ -80,9 +75,17 @@ fn conv_case(
 ) -> Case {
     let x = Tensor::<f32>::randn(x_dims, rng);
     let w = Tensor::<f32>::randn(w_dims, rng);
+    let (n, ih, iw, c_in) = (x_dims[0], x_dims[1], x_dims[2], x_dims[3]);
+    let (kh, kw, c_out) = (w_dims[0], w_dims[1], w_dims[3]);
+    let (oh, ow) = match padding {
+        Padding::Same => (ih, iw),
+        Padding::Valid => (ih - kh + 1, iw - kw + 1),
+    };
+    let in_elems = n * ih * iw * c_in;
     Case {
         kernel: "conv2d",
         name: label.to_string(),
+        cost: cost::conv2d(n, c_in, kh, kw, c_out, oh, ow, in_elems),
         run: Box::new(move || {
             black_box(x.conv2d(&w, (1, 1), padding));
         }),
@@ -94,6 +97,7 @@ fn elementwise_case(n: usize, rng: &mut ChaCha8Rng) -> Case {
     Case {
         kernel: "elementwise",
         name: format!("map n={n}"),
+        cost: cost::elementwise(n, n, 1),
         run: Box::new(move || {
             black_box(x.map(|v| v.mul_add(1.0001, 0.5)));
         }),
@@ -121,7 +125,7 @@ fn main() {
 
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads_n = parallel_threads();
-    let reps = if smoke { 2 } else { 5 };
+    let (warmup, trials) = if smoke { (1, 5) } else { (2, 11) };
     let mut rng = ChaCha8Rng::seed_from_u64(7);
 
     let mut cases: Vec<Case> = Vec::new();
@@ -163,21 +167,25 @@ fn main() {
     }
 
     println!(
-        "kernel bench: {} cases, best of {reps}, 1 vs {threads_n} threads \
+        "kernel bench: {} cases, median of {trials} (+{warmup} warmup), 1 vs {threads_n} threads \
          (host parallelism {host}){}",
         cases.len(),
         if smoke { ", smoke" } else { "" }
     );
 
+    let machine = machine_value();
     let mut results = Vec::new();
     for case in &mut cases {
         s4tf_threads::set_num_threads(1);
-        let t1 = time_best_ms(reps, &mut case.run);
+        let s1 = measure(warmup, trials, &mut case.run);
         s4tf_threads::set_num_threads(threads_n);
-        let tn = time_best_ms(reps, &mut case.run);
+        let sn = measure(warmup, trials, &mut case.run);
+        let (t1, tn) = (s1.median_ms, sn.median_ms);
         let speedup = t1 / tn;
+        let (g1, gn) = (s1.gflops(case.cost.flops), sn.gflops(case.cost.flops));
         println!(
-            "  {:<11} {:<28} 1T {t1:>9.3} ms   {threads_n}T {tn:>9.3} ms   {speedup:>5.2}x",
+            "  {:<11} {:<28} 1T {t1:>9.3} ms ({g1:>7.3} GF/s)   \
+             {threads_n}T {tn:>9.3} ms ({gn:>7.3} GF/s)   {speedup:>5.2}x",
             case.kernel, case.name
         );
         results.push(obj(vec![
@@ -186,6 +194,13 @@ fn main() {
             ("threads_1_ms", Value::Float(t1)),
             ("threads_n_ms", Value::Float(tn)),
             ("speedup", Value::Float(speedup)),
+            ("threads_1_iqr_ms", Value::Float(s1.iqr_ms)),
+            ("threads_n_iqr_ms", Value::Float(sn.iqr_ms)),
+            ("flops", Value::UInt(case.cost.flops)),
+            ("bytes", Value::UInt(case.cost.bytes)),
+            ("gflops_1", Value::Float(g1)),
+            ("gflops_n", Value::Float(gn)),
+            ("gbs_1", Value::Float(s1.gbps(case.cost.bytes))),
         ]));
     }
     s4tf_threads::set_num_threads(1);
@@ -208,7 +223,9 @@ fn main() {
             "threads_compared",
             Value::Array(vec![Value::UInt(1), Value::UInt(threads_n as u64)]),
         ),
-        ("reps_best_of", Value::UInt(reps as u64)),
+        ("warmup", Value::UInt(warmup as u64)),
+        ("trials", Value::UInt(trials as u64)),
+        ("machine", machine),
         ("note", Value::Str(note)),
         ("results", Value::Array(results)),
     ]);

@@ -1,0 +1,201 @@
+//! Statistically rigorous micro-benchmark measurement: warmup runs,
+//! repeated trials, median + IQR-based outlier rejection, and a machine
+//! fingerprint for the recorded artifacts.
+//!
+//! Best-of-N (the previous harness) under-reports variance and is at the
+//! mercy of one lucky run; mean-of-N is at the mercy of one unlucky one
+//! (a GC pause, a scheduler preemption). The standard remedy — median of
+//! many trials with Tukey-fence outlier rejection — is robust to both,
+//! and the reported IQR makes regression gating principled: a change
+//! inside the interquartile range is noise, not a regression.
+
+use serde::Value;
+use std::time::Instant;
+
+/// Robust statistics over one benchmark case's trials (milliseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialStats {
+    /// Median wall time of the retained trials.
+    pub median_ms: f64,
+    /// Interquartile range of the retained trials (the noise scale).
+    pub iqr_ms: f64,
+    /// Mean of the retained trials.
+    pub mean_ms: f64,
+    /// Fastest retained trial.
+    pub min_ms: f64,
+    /// Trials that were run.
+    pub trials: usize,
+    /// Trials rejected as outliers (outside the 1.5×IQR Tukey fences).
+    pub rejected: usize,
+}
+
+impl TrialStats {
+    /// Achieved GFLOP/s at the median trial time.
+    pub fn gflops(&self, flops: u64) -> f64 {
+        if self.median_ms <= 0.0 {
+            0.0
+        } else {
+            flops as f64 / 1e6 / self.median_ms
+        }
+    }
+
+    /// Achieved GB/s at the median trial time.
+    pub fn gbps(&self, bytes: u64) -> f64 {
+        if self.median_ms <= 0.0 {
+            0.0
+        } else {
+            bytes as f64 / 1e6 / self.median_ms
+        }
+    }
+
+    /// The stats as JSON fields (merged into a result object).
+    pub fn fields(&self) -> Vec<(&'static str, Value)> {
+        vec![
+            ("median_ms", Value::Float(self.median_ms)),
+            ("iqr_ms", Value::Float(self.iqr_ms)),
+            ("mean_ms", Value::Float(self.mean_ms)),
+            ("min_ms", Value::Float(self.min_ms)),
+            ("trials", Value::UInt(self.trials as u64)),
+            ("rejected", Value::UInt(self.rejected as u64)),
+        ]
+    }
+}
+
+/// Times `f` over `trials` runs after `warmup` unmeasured runs, rejecting
+/// outliers outside the Tukey fences (`[q1 − 1.5·IQR, q3 + 1.5·IQR]`).
+pub fn measure(warmup: usize, trials: usize, mut f: impl FnMut()) -> TrialStats {
+    assert!(trials > 0, "at least one trial");
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times_ms: Vec<f64> = (0..trials)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times_ms.sort_by(|a, b| a.total_cmp(b));
+    stats_of_sorted(&times_ms)
+}
+
+/// The robust statistics of an already-sorted sample.
+pub fn stats_of_sorted(sorted_ms: &[f64]) -> TrialStats {
+    let q1 = quantile(sorted_ms, 0.25);
+    let q3 = quantile(sorted_ms, 0.75);
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<f64> = sorted_ms
+        .iter()
+        .copied()
+        .filter(|&t| t >= lo && t <= hi)
+        .collect();
+    let kept = if kept.is_empty() {
+        sorted_ms.to_vec() // degenerate fences (all-equal samples) keep all
+    } else {
+        kept
+    };
+    TrialStats {
+        median_ms: quantile(&kept, 0.5),
+        iqr_ms: quantile(&kept, 0.75) - quantile(&kept, 0.25),
+        mean_ms: kept.iter().sum::<f64>() / kept.len() as f64,
+        min_ms: kept[0],
+        trials: sorted_ms.len(),
+        rejected: sorted_ms.len() - kept.len(),
+    }
+}
+
+/// Linear-interpolated quantile of a sorted sample.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// The benchmarking host described as a JSON object: fingerprint, probed
+/// peak FLOP rate and bandwidth. Recorded into every artifact so the CI
+/// regression gate can refuse to compare numbers from unlike machines.
+pub fn machine_value() -> Value {
+    let probe = s4tf_profile::machine_probe();
+    Value::Object(
+        [
+            (
+                "fingerprint".to_string(),
+                Value::Str(s4tf_profile::machine_fingerprint()),
+            ),
+            (
+                "cores".to_string(),
+                Value::UInt(std::thread::available_parallelism().map_or(1, |n| n.get()) as u64),
+            ),
+            ("peak_gflops".to_string(), Value::Float(probe.peak_gflops)),
+            ("peak_gbps".to_string(), Value::Float(probe.peak_gbps)),
+        ]
+        .into_iter()
+        .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&s, 0.0), 1.0);
+        assert_eq!(quantile(&s, 1.0), 4.0);
+        assert_eq!(quantile(&s, 0.5), 2.5);
+        assert_eq!(quantile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn outliers_are_rejected() {
+        // 9 tight samples and one 100x straggler: the straggler must not
+        // drag the median or mean.
+        let mut s: Vec<f64> = vec![1.0, 1.01, 1.02, 0.99, 1.0, 1.03, 0.98, 1.01, 1.0, 100.0];
+        s.sort_by(|a, b| a.total_cmp(b));
+        let stats = stats_of_sorted(&s);
+        assert_eq!(stats.rejected, 1);
+        assert!(stats.median_ms < 1.05);
+        assert!(stats.mean_ms < 1.05);
+    }
+
+    #[test]
+    fn identical_samples_keep_everything() {
+        let s = [2.0; 5];
+        let stats = stats_of_sorted(&s);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.median_ms, 2.0);
+        assert_eq!(stats.iqr_ms, 0.0);
+    }
+
+    #[test]
+    fn throughput_conversions() {
+        let stats = TrialStats {
+            median_ms: 2.0,
+            iqr_ms: 0.0,
+            mean_ms: 2.0,
+            min_ms: 2.0,
+            trials: 3,
+            rejected: 0,
+        };
+        // 2e9 FLOPs in 2 ms = 1000 GFLOP/s.
+        assert!((stats.gflops(2_000_000_000) - 1000.0).abs() < 1e-9);
+        assert!((stats.gbps(2_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measure_runs_and_reports() {
+        let mut calls = 0u32;
+        let stats = measure(2, 5, || calls += 1);
+        assert_eq!(calls, 7);
+        assert_eq!(stats.trials, 5);
+        assert!(stats.median_ms >= 0.0);
+    }
+}

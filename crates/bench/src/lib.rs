@@ -20,7 +20,9 @@
 //! * `ablation_allreduce` — per-core throughput retention vs. interconnect.
 
 pub mod alloc_track;
+pub mod harness;
 pub mod report;
 pub mod tracing;
 
+pub use harness::{measure, TrialStats};
 pub use report::{print_table, Row};

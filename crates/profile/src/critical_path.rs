@@ -1,0 +1,240 @@
+//! Critical-path reconstruction over the recorded op events.
+//!
+//! Each [`crate::OpEvent`] carries its dependencies (the ops whose
+//! results it consumed, plus scheduling edges like "previous job on the
+//! eager worker" or "the compile that produced this kernel"), so the
+//! recorded events form a DAG. [`critical_path`] finds the longest
+//! weighted chain through it — the sequence of dependent ops that bounds
+//! the step time no matter how much run-ahead or parallelism the
+//! scheduler achieves — and decomposes that chain's time into queue wait
+//! vs. kernel execution vs. compile vs. trace recording.
+//!
+//! Events are processed in recording order, which is topological for all
+//! three backends (an op's event is recorded at completion, after all of
+//! its dependencies completed); a dependency recorded later (impossible
+//! today) would simply be ignored.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// One op on the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    /// Op mnemonic.
+    pub name: String,
+    /// Backend that dispatched it.
+    pub backend: &'static str,
+    /// Phase bucket: `kernel`, `compile`, or `trace`.
+    pub phase: &'static str,
+    /// Time spent ready-but-waiting before execution, microseconds
+    /// (measured from the later of its enqueue and its chain
+    /// predecessor's completion).
+    pub queue_us: u64,
+    /// Execution time, microseconds.
+    pub run_us: u64,
+}
+
+/// The longest dependency chain and its time decomposition.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPathReport {
+    /// Chain steps in execution order.
+    pub steps: Vec<PathStep>,
+    /// Total chain time (sum of queue + run along the path), microseconds.
+    pub chain_us: u64,
+    /// Wall time spanned by *all* recorded ops (first enqueue to last
+    /// finish), microseconds. `chain_us / wall_us` close to 1 means the
+    /// workload is serialized on this chain.
+    pub wall_us: u64,
+    /// Chain time spent waiting in queues.
+    pub queue_us: u64,
+    /// Chain time executing kernels.
+    pub kernel_us: u64,
+    /// Chain time compiling programs.
+    pub compile_us: u64,
+    /// Chain time recording lazy traces.
+    pub trace_us: u64,
+}
+
+impl CriticalPathReport {
+    /// True when no op events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Fraction of chain time in `bucket_us`, as a percentage.
+    fn pct(&self, bucket_us: u64) -> f64 {
+        if self.chain_us == 0 {
+            0.0
+        } else {
+            bucket_us as f64 / self.chain_us as f64 * 100.0
+        }
+    }
+
+    /// Percentage of chain time spent waiting in queues.
+    pub fn queue_pct(&self) -> f64 {
+        self.pct(self.queue_us)
+    }
+
+    /// Percentage of chain time executing kernels.
+    pub fn kernel_pct(&self) -> f64 {
+        self.pct(self.kernel_us)
+    }
+
+    /// Percentage of chain time compiling.
+    pub fn compile_pct(&self) -> f64 {
+        self.pct(self.compile_us)
+    }
+
+    /// Percentage of chain time recording traces.
+    pub fn trace_pct(&self) -> f64 {
+        self.pct(self.trace_us)
+    }
+}
+
+impl fmt::Display for CriticalPathReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.steps.is_empty() {
+            return writeln!(f, "critical path: no op events recorded");
+        }
+        writeln!(
+            f,
+            "critical path: {} ops, {:.2}ms of {:.2}ms wall ({:.0}%)",
+            self.steps.len(),
+            self.chain_us as f64 / 1e3,
+            self.wall_us as f64 / 1e3,
+            if self.wall_us > 0 {
+                self.chain_us as f64 / self.wall_us as f64 * 100.0
+            } else {
+                0.0
+            }
+        )?;
+        writeln!(
+            f,
+            "  queue {:.1}%  kernel {:.1}%  compile {:.1}%  trace {:.1}%",
+            self.queue_pct(),
+            self.kernel_pct(),
+            self.compile_pct(),
+            self.trace_pct()
+        )?;
+        // Collapse runs of the same (backend, name, phase) so long chains
+        // of small elementwise kernels stay readable.
+        let mut i = 0;
+        while i < self.steps.len() {
+            let step = &self.steps[i];
+            let mut count = 1;
+            let mut queue = step.queue_us;
+            let mut run = step.run_us;
+            while i + count < self.steps.len() {
+                let next = &self.steps[i + count];
+                if next.name == step.name
+                    && next.backend == step.backend
+                    && next.phase == step.phase
+                {
+                    queue += next.queue_us;
+                    run += next.run_us;
+                    count += 1;
+                } else {
+                    break;
+                }
+            }
+            let label = format!("{}/{}", step.backend, step.name);
+            write!(f, "  {label:<24} [{:<7}]", step.phase)?;
+            if count > 1 {
+                write!(f, " x{count:<4}")?;
+            } else {
+                write!(f, "      ")?;
+            }
+            writeln!(
+                f,
+                " queue {:>9}  run {:>9}",
+                format!("{:.1}us", queue as f64),
+                format!("{:.1}us", run as f64)
+            )?;
+            i += count;
+        }
+        Ok(())
+    }
+}
+
+/// Reconstructs the longest dependency chain over everything recorded.
+pub fn critical_path() -> CriticalPathReport {
+    let ops = crate::op_events();
+    if ops.is_empty() {
+        return CriticalPathReport::default();
+    }
+
+    let index: HashMap<u64, usize> = ops.iter().enumerate().map(|(i, op)| (op.id, i)).collect();
+    // chain[i] = (total chain cost ending at i, predecessor index)
+    let mut chain: Vec<(u64, Option<usize>)> = Vec::with_capacity(ops.len());
+    for (i, op) in ops.iter().enumerate() {
+        let mut best: Option<usize> = None;
+        for dep in &op.deps {
+            // Only already-processed events can be predecessors (recording
+            // order is topological); id 0 means "no dependency".
+            let Some(&j) = index.get(dep) else { continue };
+            if j >= i {
+                continue;
+            }
+            if best.is_none_or(|b| chain[j].0 > chain[b].0) {
+                best = Some(j);
+            }
+        }
+        let ready = match best {
+            Some(j) => ops[j].end_us.max(op.enqueue_us),
+            None => op.enqueue_us,
+        };
+        let wait = op.start_us.saturating_sub(ready);
+        let cost = best.map(|j| chain[j].0).unwrap_or(0) + wait + op.run_us();
+        chain.push((cost, best));
+    }
+
+    let mut at = chain
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, (cost, _))| *cost)
+        .map(|(i, _)| i)
+        .unwrap();
+    let chain_us = chain[at].0;
+
+    let mut steps = Vec::new();
+    loop {
+        let op = &ops[at];
+        let pred = chain[at].1;
+        let ready = match pred {
+            Some(j) => ops[j].end_us.max(op.enqueue_us),
+            None => op.enqueue_us,
+        };
+        steps.push(PathStep {
+            name: op.name.to_string(),
+            backend: op.backend,
+            phase: op.phase,
+            queue_us: op.start_us.saturating_sub(ready),
+            run_us: op.run_us(),
+        });
+        match pred {
+            Some(j) => at = j,
+            None => break,
+        }
+    }
+    steps.reverse();
+
+    let wall_us = ops.iter().map(|op| op.end_us).max().unwrap_or(0)
+        - ops.iter().map(|op| op.enqueue_us).min().unwrap_or(0);
+    let queue_us = steps.iter().map(|s| s.queue_us).sum();
+    let bucket = |phase: &str| -> u64 {
+        steps
+            .iter()
+            .filter(|s| s.phase == phase)
+            .map(|s| s.run_us)
+            .sum()
+    };
+    CriticalPathReport {
+        chain_us,
+        wall_us,
+        queue_us,
+        kernel_us: bucket("kernel"),
+        compile_us: bucket("compile"),
+        trace_us: bucket("trace"),
+        steps,
+    }
+}

@@ -30,9 +30,15 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 mod chrome;
+mod critical_path;
+mod machine;
 mod report;
+mod roofline;
 
+pub use critical_path::{critical_path, CriticalPathReport, PathStep};
+pub use machine::{machine_fingerprint, machine_probe, MachineProfile};
 pub use report::{CounterTotal, ProfileReport, SpanStats};
+pub use roofline::{roofline, RooflineReport, RooflineRow};
 
 // --------------------------------------------------------------- state
 
@@ -75,7 +81,10 @@ pub fn set_enabled(on: bool) {
 }
 
 /// Microseconds since the profiler's (lazily fixed) epoch.
-fn now_us() -> u64 {
+///
+/// Public so the backends can timestamp op-event phases (enqueue, start,
+/// finish) on the same clock the span recorder uses.
+pub fn now_us() -> u64 {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     let epoch = *EPOCH.get_or_init(Instant::now);
     Instant::now().duration_since(epoch).as_micros() as u64
@@ -115,6 +124,13 @@ pub(crate) struct SpanEvent {
     pub dur_us: u64,
     pub thread: u64,
     pub annotations: Vec<(Cow<'static, str>, String)>,
+    /// Analytic work attributed to this span (see [`SpanGuard::record_work`]).
+    pub flops: u64,
+    pub bytes: u64,
+    /// Chrome-trace flow bindings: `(flow id, is_start)`. A start on one
+    /// span and an end on another draws an arrow between them, e.g.
+    /// eager `enqueue` → `kernel_run`.
+    pub flows: Vec<(u64, bool)>,
 }
 
 /// One recorded gauge sample.
@@ -124,11 +140,58 @@ pub(crate) struct GaugeSample {
     pub value: f64,
 }
 
+/// One dispatched tensor operation, as recorded by a backend for
+/// roofline and critical-path analysis.
+///
+/// Unlike a [`SpanEvent`] (a wall-clock interval on one thread), an
+/// `OpEvent` carries *scheduling* structure: when the op was enqueued vs.
+/// when it actually started (queue latency), which ops it depends on, and
+/// the analytic work it performed. The eager backend emits one per
+/// dispatched kernel; the lazy backend emits trace/compile phase events
+/// per barrier plus one kernel event per executed HLO node; the naive
+/// backend emits synchronous events chained serially.
+#[derive(Debug, Clone)]
+pub struct OpEvent {
+    /// Process-unique id (ids start at 1; 0 means "no op").
+    pub id: u64,
+    /// Op mnemonic, e.g. `matmul`, `conv2d`, `fused`, `compile`.
+    pub name: Cow<'static, str>,
+    /// Which backend dispatched it: `eager`, `lazy`, `naive`.
+    pub backend: &'static str,
+    /// Execution phase: `kernel`, `compile`, or `trace`.
+    pub phase: &'static str,
+    /// When the op was submitted ([`now_us`] clock).
+    pub enqueue_us: u64,
+    /// When execution actually began.
+    pub start_us: u64,
+    /// When execution finished.
+    pub end_us: u64,
+    /// Ids of the ops whose results this op consumed (0 entries ignored).
+    pub deps: Vec<u64>,
+    /// Analytic FLOPs performed.
+    pub flops: u64,
+    /// Analytic bytes moved.
+    pub bytes: u64,
+}
+
+impl OpEvent {
+    /// Queue latency: time between submission and execution start.
+    pub fn queue_us(&self) -> u64 {
+        self.start_us.saturating_sub(self.enqueue_us)
+    }
+
+    /// Execution time.
+    pub fn run_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
 #[derive(Default)]
 pub(crate) struct Recorder {
     pub spans: Vec<SpanEvent>,
     pub counters: HashMap<Cow<'static, str>, u64>,
     pub gauges: HashMap<Cow<'static, str>, Vec<GaugeSample>>,
+    pub ops: Vec<OpEvent>,
 }
 
 static RECORDER: Mutex<Option<Recorder>> = Mutex::new(None);
@@ -156,6 +219,9 @@ struct ActiveSpan {
     name: Cow<'static, str>,
     start_us: u64,
     annotations: Vec<(Cow<'static, str>, String)>,
+    flops: u64,
+    bytes: u64,
+    flows: Vec<(u64, bool)>,
 }
 
 /// Opens a span named `name`, closed (and recorded) when the returned
@@ -172,6 +238,9 @@ pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
             name,
             start_us: now_us(),
             annotations: Vec::new(),
+            flops: 0,
+            bytes: 0,
+            flows: Vec::new(),
         }),
     }
 }
@@ -190,6 +259,31 @@ impl SpanGuard {
     pub fn annotate_f64(&mut self, key: impl Into<Cow<'static, str>>, value: f64) {
         if self.active.is_some() {
             self.annotate(key, format!("{value}"));
+        }
+    }
+
+    /// Attributes analytic work (FLOPs + bytes moved) to this span.
+    /// Accumulates across calls; the report derives achieved-GFLOP/s and
+    /// GB/s per span name from these totals, and the Chrome exporter adds
+    /// `flops`/`bytes`/`gflops` to the event's `args`.
+    pub fn record_work(&mut self, flops: u64, bytes: u64) {
+        if let Some(active) = &mut self.active {
+            active.flops += flops;
+            active.bytes += bytes;
+        }
+    }
+
+    /// Marks this span as the *origin* of a Chrome-trace flow arrow.
+    pub fn flow_start(&mut self, flow_id: u64) {
+        if let Some(active) = &mut self.active {
+            active.flows.push((flow_id, true));
+        }
+    }
+
+    /// Marks this span as the *destination* of a Chrome-trace flow arrow.
+    pub fn flow_end(&mut self, flow_id: u64) {
+        if let Some(active) = &mut self.active {
+            active.flows.push((flow_id, false));
         }
     }
 
@@ -215,6 +309,9 @@ impl Drop for SpanGuard {
                 name: active.name,
                 thread: thread_id(),
                 annotations: active.annotations,
+                flops: active.flops,
+                bytes: active.bytes,
+                flows: active.flows,
             };
             with_recorder(|r| r.spans.push(event));
         }
@@ -244,6 +341,113 @@ pub fn gauge_set(name: impl Into<Cow<'static, str>>, value: f64) {
         value,
     };
     with_recorder(|r| r.gauges.entry(name.into()).or_default().push(sample));
+}
+
+// ----------------------------------------------------------- op events
+
+static NEXT_OP_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_FLOW_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh process-unique op id (never 0).
+///
+/// Backends allocate one per dispatched op even when recording is off so
+/// dependency edges stay valid if profiling is enabled mid-run; the
+/// allocation is a single relaxed fetch-add.
+#[inline]
+pub fn next_op_id() -> u64 {
+    NEXT_OP_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Allocates a fresh flow id for a Chrome-trace arrow.
+#[inline]
+pub fn next_flow_id() -> u64 {
+    NEXT_FLOW_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Records a dispatched-op event (no-op when the profiler is disabled).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn op_event(
+    id: u64,
+    name: impl Into<Cow<'static, str>>,
+    backend: &'static str,
+    phase: &'static str,
+    enqueue_us: u64,
+    start_us: u64,
+    end_us: u64,
+    deps: Vec<u64>,
+    flops: u64,
+    bytes: u64,
+) {
+    if !enabled() {
+        return;
+    }
+    let event = OpEvent {
+        id,
+        name: name.into(),
+        backend,
+        phase,
+        enqueue_us,
+        start_us,
+        end_us,
+        deps,
+        flops,
+        bytes,
+    };
+    with_recorder(|r| r.ops.push(event));
+}
+
+/// Snapshot of all recorded op events (in recording order).
+pub fn op_events() -> Vec<OpEvent> {
+    with_recorder(|r| r.ops.clone())
+}
+
+thread_local! {
+    /// An op id that subsequently recorded ops on this thread should
+    /// depend on when they have no data dependency of their own. The lazy
+    /// backend sets this to its compile-phase event so per-node kernel
+    /// events chain after compilation on the critical path.
+    static OP_ROOT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Sets the calling thread's root dependency for op events (0 clears it).
+pub fn set_op_root(id: u64) {
+    OP_ROOT.with(|root| root.set(id));
+}
+
+/// The calling thread's current root op dependency (0 when unset).
+pub fn op_root() -> u64 {
+    OP_ROOT.with(|root| root.get())
+}
+
+// --------------------------------------------------------- thread names
+
+/// Human-readable names for profiler thread ids, exported as Chrome-trace
+/// `thread_name` metadata. Survives [`reset`] — worker threads register
+/// once at spawn.
+static THREAD_NAMES: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
+
+/// Names the calling thread in trace exports (e.g. `eager-worker`).
+/// Idempotent; later calls rename.
+pub fn set_thread_name(name: impl Into<String>) {
+    let id = thread_id();
+    let name = name.into();
+    let mut guard = match THREAD_NAMES.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(entry) = guard.iter_mut().find(|(tid, _)| *tid == id) {
+        entry.1 = name;
+    } else {
+        guard.push((id, name));
+    }
+}
+
+pub(crate) fn thread_names() -> Vec<(u64, String)> {
+    match THREAD_NAMES.lock() {
+        Ok(g) => g.clone(),
+        Err(poisoned) => poisoned.into_inner().clone(),
+    }
 }
 
 // ------------------------------------------------------- pool statistics
@@ -296,10 +500,34 @@ pub fn chrome_trace_json() -> String {
     with_recorder(chrome::render)
 }
 
-/// Discards all recorded spans, counters and gauges (the enabled flag
-/// is left unchanged).
+/// Discards all recorded spans, counters, gauges and op events (the
+/// enabled flag and thread names are left unchanged).
 pub fn reset() {
     with_recorder(|r| *r = Recorder::default());
+}
+
+/// Whether the user asked for a performance report via
+/// `S4TF_PERF_REPORT=1` (checked once, cached).
+pub fn perf_report_requested() -> bool {
+    static REQUESTED: OnceLock<bool> = OnceLock::new();
+    *REQUESTED.get_or_init(|| {
+        matches!(
+            std::env::var("S4TF_PERF_REPORT").as_deref(),
+            Ok("1") | Ok("true") | Ok("on") | Ok("TRUE") | Ok("ON")
+        )
+    })
+}
+
+/// Renders the full performance observatory — aggregated span report,
+/// roofline table (against the machine probe), and critical-path
+/// decomposition — as one printable string.
+pub fn perf_report() -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{}", report());
+    let machine = machine_probe();
+    let _ = write!(out, "\n{}", roofline().with_machine(machine));
+    let _ = write!(out, "\n{}", critical_path());
+    out
 }
 
 // Hand-rolled string formatting helpers shared by the exporters.

@@ -1,0 +1,138 @@
+//! Measured machine ceilings for roofline reporting.
+//!
+//! [`machine_probe`] runs two short microbenchmarks — a dependent-free
+//! fused-multiply-add loop for peak single-thread f32 FLOP/s and a large
+//! out-of-cache buffer copy for peak memory bandwidth — and caches the
+//! result for the process lifetime. The ceilings are *practical* peaks
+//! (what straightforward compiled Rust achieves on one core), which is
+//! the honest denominator for kernels that are themselves straightforward
+//! compiled Rust.
+
+use std::hint::black_box;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Measured machine ceilings, single-threaded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineProfile {
+    /// Peak sustained f32 GFLOP/s (fma loop, one core).
+    pub peak_gflops: f64,
+    /// Peak sustained memory bandwidth in GB/s (streaming copy, read +
+    /// write counted, one core).
+    pub peak_gbps: f64,
+}
+
+impl MachineProfile {
+    /// The attainable GFLOP/s roof for a kernel of the given arithmetic
+    /// intensity (FLOPs per byte): `min(peak_gflops, intensity · peak_gbps)`.
+    pub fn roof_gflops(&self, intensity: f64) -> f64 {
+        self.peak_gflops.min(intensity * self.peak_gbps)
+    }
+
+    /// Intensity at which the machine transitions from bandwidth-bound to
+    /// compute-bound (the roofline "ridge point"), in FLOPs/byte.
+    pub fn ridge_intensity(&self) -> f64 {
+        if self.peak_gbps > 0.0 {
+            self.peak_gflops / self.peak_gbps
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Probes (once per process, then cached) the machine's practical peak
+/// FLOP rate and memory bandwidth. Costs roughly 100 ms on first call.
+pub fn machine_probe() -> MachineProfile {
+    static PROBE: OnceLock<MachineProfile> = OnceLock::new();
+    *PROBE.get_or_init(|| MachineProfile {
+        peak_gflops: probe_flops(),
+        peak_gbps: probe_bandwidth(),
+    })
+}
+
+/// Peak f32 FLOP/s: 64 independent accumulators of `a*s + b` (2 FLOPs
+/// each), wide enough to autovectorize and hide arithmetic latency.
+/// Deliberately a plain multiply-add, not `f32::mul_add`: without fused
+/// codegen the latter lowers to a libm call and would report a ceiling
+/// far below what the actual kernels (plain mul + add) achieve.
+fn probe_flops() -> f64 {
+    let mut acc = [1.0f32; 64];
+    let scale = black_box(1.000_000_1f32);
+    let bias = black_box(1.0e-9f32);
+    let mut passes = 0u64;
+    let start = Instant::now();
+    loop {
+        for _ in 0..512 {
+            for a in acc.iter_mut() {
+                *a = *a * scale + bias;
+            }
+        }
+        passes += 512;
+        if start.elapsed() >= Duration::from_millis(40) {
+            break;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    black_box(acc);
+    (passes as f64 * acc.len() as f64 * 2.0) / secs / 1e9
+}
+
+/// Peak memory bandwidth: stream-copy a 32 MiB f32 buffer (large enough
+/// to defeat last-level caches), counting each pass as read + write.
+fn probe_bandwidth() -> f64 {
+    const ELEMS: usize = 8 << 20; // 8 Mi f32 = 32 MiB per buffer
+    let src = vec![1.0f32; ELEMS];
+    let mut dst = vec![0.0f32; ELEMS];
+    dst.copy_from_slice(&src); // warm the pages
+    let mut passes = 0u64;
+    let start = Instant::now();
+    loop {
+        dst.copy_from_slice(black_box(&src));
+        black_box(&dst);
+        passes += 1;
+        if start.elapsed() >= Duration::from_millis(60) {
+            break;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (passes as f64 * (2 * ELEMS * 4) as f64) / secs / 1e9
+}
+
+/// A stable fingerprint of the benchmarking host, recorded into bench
+/// artifacts so the CI regression gate can refuse to compare numbers
+/// from unlike machines.
+pub fn machine_fingerprint() -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    format!(
+        "{}-{}-{}c",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        cores
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roof_is_min_of_ceilings() {
+        let m = MachineProfile {
+            peak_gflops: 10.0,
+            peak_gbps: 5.0,
+        };
+        // ridge at 2 FLOPs/byte
+        assert!((m.ridge_intensity() - 2.0).abs() < 1e-12);
+        // below the ridge: bandwidth-bound
+        assert!((m.roof_gflops(1.0) - 5.0).abs() < 1e-12);
+        // above the ridge: compute-bound
+        assert!((m.roof_gflops(4.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_mentions_arch() {
+        assert!(machine_fingerprint().contains(std::env::consts::ARCH));
+    }
+}

@@ -11,6 +11,9 @@ pub(crate) struct SpanGuard;
 impl SpanGuard {
     pub(crate) fn annotate(&mut self, _key: &'static str, _value: impl Into<String>) {}
     pub(crate) fn annotate_f64(&mut self, _key: &'static str, _value: f64) {}
+    pub(crate) fn record_work(&mut self, _flops: u64, _bytes: u64) {}
+    pub(crate) fn flow_start(&mut self, _flow_id: u64) {}
+    pub(crate) fn flow_end(&mut self, _flow_id: u64) {}
     pub(crate) fn is_recording(&self) -> bool {
         false
     }
@@ -36,3 +39,45 @@ pub(crate) fn gauge_set(_name: impl Into<std::borrow::Cow<'static, str>>, _value
 pub(crate) fn current_span() -> Option<String> {
     None
 }
+
+#[inline(always)]
+pub(crate) fn now_us() -> u64 {
+    0
+}
+
+#[inline(always)]
+pub(crate) fn next_op_id() -> u64 {
+    0
+}
+
+#[inline(always)]
+pub(crate) fn next_flow_id() -> u64 {
+    0
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn op_event(
+    _id: u64,
+    _name: impl Into<std::borrow::Cow<'static, str>>,
+    _backend: &'static str,
+    _phase: &'static str,
+    _enqueue_us: u64,
+    _start_us: u64,
+    _end_us: u64,
+    _deps: Vec<u64>,
+    _flops: u64,
+    _bytes: u64,
+) {
+}
+
+#[inline(always)]
+pub(crate) fn set_op_root(_id: u64) {}
+
+#[inline(always)]
+pub(crate) fn op_root() -> u64 {
+    0
+}
+
+#[inline(always)]
+pub(crate) fn set_thread_name(_name: impl Into<String>) {}

@@ -22,6 +22,31 @@ pub struct SpanStats {
     pub min_us: u64,
     /// Longest occurrence, microseconds.
     pub max_us: u64,
+    /// Total analytic FLOPs attributed via `SpanGuard::record_work`.
+    pub flops: u64,
+    /// Total analytic bytes moved attributed via `record_work`.
+    pub bytes: u64,
+}
+
+impl SpanStats {
+    /// Achieved throughput in GFLOP/s over this span's total time
+    /// (0 when no work or no time was recorded).
+    pub fn gflops(&self) -> f64 {
+        if self.total_us == 0 {
+            0.0
+        } else {
+            self.flops as f64 / 1e3 / self.total_us as f64
+        }
+    }
+
+    /// Achieved memory throughput in GB/s over this span's total time.
+    pub fn gbps(&self) -> f64 {
+        if self.total_us == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / 1e3 / self.total_us as f64
+        }
+    }
 }
 
 /// Final value of one monotonic counter.
@@ -94,13 +119,18 @@ impl fmt::Display for ProfileReport {
                 .max()
                 .unwrap_or(4)
                 .max(4);
-            writeln!(
+            let has_work = self.spans.iter().any(|s| s.flops > 0 || s.bytes > 0);
+            write!(
                 f,
                 "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>12}",
                 "span", "count", "total", "mean", "p95"
             )?;
+            if has_work {
+                write!(f, "  {:>9}  {:>8}", "gflop/s", "gb/s")?;
+            }
+            writeln!(f)?;
             for s in &self.spans {
-                writeln!(
+                write!(
                     f,
                     "{:<name_w$}  {:>8}  {:>12}  {:>12}  {:>12}",
                     s.name,
@@ -109,6 +139,14 @@ impl fmt::Display for ProfileReport {
                     fmt_us(s.mean_us),
                     fmt_us(s.p95_us as f64),
                 )?;
+                if has_work {
+                    if s.flops > 0 || s.bytes > 0 {
+                        write!(f, "  {:>9.2}  {:>8.2}", s.gflops(), s.gbps())?;
+                    } else {
+                        write!(f, "  {:>9}  {:>8}", "-", "-")?;
+                    }
+                }
+                writeln!(f)?;
             }
         }
         if !self.counters.is_empty() {
@@ -145,13 +183,16 @@ fn p95(sorted: &[u64]) -> u64 {
 }
 
 pub(crate) fn build(recorder: &mut Recorder) -> ProfileReport {
-    let mut durations: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    let mut durations: BTreeMap<&str, (Vec<u64>, u64, u64)> = BTreeMap::new();
     for event in &recorder.spans {
-        durations.entry(&event.name).or_default().push(event.dur_us);
+        let entry = durations.entry(&event.name).or_default();
+        entry.0.push(event.dur_us);
+        entry.1 += event.flops;
+        entry.2 += event.bytes;
     }
     let mut spans: Vec<SpanStats> = durations
         .into_iter()
-        .map(|(name, mut durs)| {
+        .map(|(name, (mut durs, flops, bytes))| {
             durs.sort_unstable();
             let count = durs.len() as u64;
             let total_us: u64 = durs.iter().sum();
@@ -163,6 +204,8 @@ pub(crate) fn build(recorder: &mut Recorder) -> ProfileReport {
                 p95_us: p95(&durs),
                 min_us: durs[0],
                 max_us: *durs.last().unwrap(),
+                flops,
+                bytes,
             }
         })
         .collect();

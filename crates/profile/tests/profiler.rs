@@ -192,3 +192,258 @@ fn span_names_accept_owned_strings() {
     s4tf_profile::set_enabled(false);
     s4tf_profile::reset();
 }
+
+#[test]
+fn record_work_surfaces_throughput_in_the_report() {
+    let _guard = exclusive_profiler(true);
+    {
+        let mut span = s4tf_profile::span("gemm");
+        span.record_work(2_000_000, 1_000_000);
+        std::thread::sleep(std::time::Duration::from_micros(500));
+    }
+    let report = s4tf_profile::report();
+    let stats = report.span("gemm").expect("span recorded");
+    assert_eq!(stats.flops, 2_000_000);
+    assert_eq!(stats.bytes, 1_000_000);
+    assert!(stats.gflops() > 0.0);
+    assert!(stats.gbps() > 0.0);
+    // 2e6 FLOPs over total_us: the identity gflops = flops/1e3/total_us.
+    let expect = stats.flops as f64 / 1e3 / stats.total_us as f64;
+    assert!((stats.gflops() - expect).abs() < 1e-9);
+    let rendered = report.to_string();
+    assert!(rendered.contains("gflop/s"), "{rendered}");
+    s4tf_profile::set_enabled(false);
+    s4tf_profile::reset();
+}
+
+#[test]
+fn roofline_aggregates_only_kernel_phase_events() {
+    let _guard = exclusive_profiler(true);
+    let (a, b, c) = (
+        s4tf_profile::next_op_id(),
+        s4tf_profile::next_op_id(),
+        s4tf_profile::next_op_id(),
+    );
+    s4tf_profile::op_event(
+        a,
+        "matmul",
+        "eager",
+        "kernel",
+        0,
+        0,
+        1000,
+        vec![],
+        1_000_000,
+        500_000,
+    );
+    s4tf_profile::op_event(
+        b,
+        "matmul",
+        "eager",
+        "kernel",
+        1000,
+        1000,
+        2000,
+        vec![a],
+        1_000_000,
+        500_000,
+    );
+    // Compile-phase events must not count toward kernel throughput.
+    s4tf_profile::op_event(c, "program", "lazy", "compile", 0, 0, 5000, vec![], 0, 0);
+
+    let roof = s4tf_profile::roofline();
+    assert!(!roof.is_empty());
+    let row = roof.row("eager", "matmul").expect("aggregated row");
+    assert_eq!(row.count, 2);
+    assert_eq!(row.flops, 2_000_000);
+    assert_eq!(row.total_us, 2000);
+    // 2e6 FLOPs / 2000 us = 1 GFLOP/s; intensity = 2e6/1e6 = 2 FLOPs/byte.
+    assert!((row.gflops() - 1.0).abs() < 1e-9);
+    assert!((row.intensity() - 2.0).abs() < 1e-9);
+    assert!(roof.row("lazy", "program").is_none());
+
+    // With machine ceilings the rendering gains %-of-roof and bound labels.
+    let machine = s4tf_profile::MachineProfile {
+        peak_gflops: 10.0,
+        peak_gbps: 5.0,
+    };
+    let rendered = roof.with_machine(machine).to_string();
+    assert!(rendered.contains("matmul"), "{rendered}");
+    assert!(rendered.contains("roof"), "{rendered}");
+    s4tf_profile::set_enabled(false);
+    s4tf_profile::reset();
+}
+
+#[test]
+fn critical_path_follows_the_longest_diamond_arm() {
+    let _guard = exclusive_profiler(true);
+    let (a, b, c, d) = (
+        s4tf_profile::next_op_id(),
+        s4tf_profile::next_op_id(),
+        s4tf_profile::next_op_id(),
+        s4tf_profile::next_op_id(),
+    );
+    // Diamond: a fans out to b (slow arm) and c (fast arm); d joins both.
+    s4tf_profile::op_event(a, "a", "eager", "kernel", 0, 0, 100, vec![], 0, 0);
+    s4tf_profile::op_event(b, "b", "eager", "kernel", 0, 100, 600, vec![a], 0, 0);
+    s4tf_profile::op_event(c, "c", "eager", "kernel", 0, 100, 150, vec![a], 0, 0);
+    s4tf_profile::op_event(d, "d", "eager", "kernel", 0, 620, 720, vec![b, c], 0, 0);
+
+    let cp = s4tf_profile::critical_path();
+    let names: Vec<&str> = cp.steps.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["a", "b", "d"], "must pick the slow arm, skip c");
+    // a runs 100, b runs 500, d waits 20 (620 - b's finish at 600) + runs 100.
+    assert_eq!(cp.chain_us, 100 + 500 + 20 + 100);
+    assert_eq!(cp.queue_us, 20);
+    assert_eq!(cp.kernel_us, 700);
+    assert_eq!(cp.wall_us, 720);
+    assert!((cp.kernel_pct() - 700.0 / 720.0 * 100.0).abs() < 1e-9);
+    let rendered = cp.to_string();
+    assert!(rendered.contains("critical path"), "{rendered}");
+    s4tf_profile::set_enabled(false);
+    s4tf_profile::reset();
+}
+
+#[test]
+fn critical_path_decomposes_lazy_phases() {
+    let _guard = exclusive_profiler(true);
+    let (t, c, k) = (
+        s4tf_profile::next_op_id(),
+        s4tf_profile::next_op_id(),
+        s4tf_profile::next_op_id(),
+    );
+    // trace -> compile -> kernel, strictly chained.
+    s4tf_profile::op_event(t, "step", "lazy", "trace", 0, 0, 200, vec![], 0, 0);
+    s4tf_profile::op_event(
+        c,
+        "program",
+        "lazy",
+        "compile",
+        200,
+        200,
+        1200,
+        vec![t],
+        0,
+        0,
+    );
+    s4tf_profile::op_event(
+        k,
+        "matmul",
+        "lazy",
+        "kernel",
+        1200,
+        1200,
+        1500,
+        vec![c],
+        9,
+        9,
+    );
+
+    let cp = s4tf_profile::critical_path();
+    assert_eq!(cp.steps.len(), 3);
+    assert_eq!(cp.trace_us, 200);
+    assert_eq!(cp.compile_us, 1000);
+    assert_eq!(cp.kernel_us, 300);
+    assert_eq!(cp.queue_us, 0);
+    assert_eq!(cp.chain_us, 1500);
+    s4tf_profile::set_enabled(false);
+    s4tf_profile::reset();
+}
+
+#[test]
+fn chrome_trace_carries_metadata_flows_and_work_args() {
+    let _guard = exclusive_profiler(true);
+    s4tf_profile::set_thread_name("test-worker");
+    let flow = s4tf_profile::next_flow_id();
+    {
+        let mut span = s4tf_profile::span("enqueue");
+        span.flow_start(flow);
+        std::thread::sleep(std::time::Duration::from_micros(50));
+    }
+    {
+        let mut span = s4tf_profile::span("kernel_run");
+        span.record_work(1_000, 2_000);
+        span.flow_end(flow);
+        std::thread::sleep(std::time::Duration::from_micros(50));
+    }
+
+    let json = s4tf_profile::chrome_trace_json();
+    let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    let events = match value.get("traceEvents") {
+        Some(serde_json::Value::Array(events)) => events.clone(),
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    let ph = |e: &serde_json::Value| match e.get("ph") {
+        Some(serde_json::Value::Str(s)) => s.clone(),
+        _ => String::new(),
+    };
+    let name = |e: &serde_json::Value| match e.get("name") {
+        Some(serde_json::Value::Str(s)) => s.clone(),
+        _ => String::new(),
+    };
+
+    // Metadata: a process_name record and our named thread.
+    assert!(events
+        .iter()
+        .any(|e| ph(e) == "M" && name(e) == "process_name"));
+    let thread_meta: Vec<String> = events
+        .iter()
+        .filter(|e| ph(e) == "M" && name(e) == "thread_name")
+        .map(|e| format!("{:?}", e.get("args")))
+        .collect();
+    assert!(
+        thread_meta.iter().any(|a| a.contains("test-worker")),
+        "{thread_meta:?}"
+    );
+
+    // Flow arrows: a start ("s") and a binding end ("f").
+    assert!(events.iter().any(|e| ph(e) == "s"));
+    let flow_end = events
+        .iter()
+        .find(|e| ph(e) == "f")
+        .expect("flow end event");
+    assert_eq!(
+        flow_end.get("bp"),
+        Some(&serde_json::Value::Str("e".to_string()))
+    );
+
+    // The kernel_run span's args carry the cost-model work.
+    let kernel = events
+        .iter()
+        .find(|e| ph(e) == "X" && name(e) == "kernel_run")
+        .expect("kernel_run span event");
+    let args = kernel.get("args").expect("work args");
+    assert!(args.get("flops").is_some(), "{args:?}");
+    assert!(args.get("bytes").is_some(), "{args:?}");
+    assert!(args.get("gflops").is_some(), "{args:?}");
+    s4tf_profile::set_enabled(false);
+    s4tf_profile::reset();
+}
+
+#[test]
+fn machine_probe_reports_positive_ceilings() {
+    let machine = s4tf_profile::machine_probe();
+    assert!(machine.peak_gflops > 0.0, "{machine:?}");
+    assert!(machine.peak_gbps > 0.0, "{machine:?}");
+    // The roof can never exceed the compute ceiling, and the ridge point
+    // is where both ceilings meet.
+    assert!(machine.roof_gflops(1e9) <= machine.peak_gflops + 1e-9);
+    let ridge = machine.ridge_intensity();
+    assert!((machine.roof_gflops(ridge) - machine.peak_gflops).abs() < 1e-6);
+    assert!(s4tf_profile::machine_fingerprint().contains(std::env::consts::OS));
+}
+
+#[test]
+fn op_events_survive_until_reset_and_ids_advance() {
+    let _guard = exclusive_profiler(true);
+    let id = s4tf_profile::next_op_id();
+    let id2 = s4tf_profile::next_op_id();
+    assert!(id2 > id);
+    s4tf_profile::op_event(id, "op", "naive", "kernel", 0, 0, 10, vec![], 1, 1);
+    assert_eq!(s4tf_profile::op_events().len(), 1);
+    s4tf_profile::reset();
+    assert!(s4tf_profile::op_events().is_empty());
+    assert!(s4tf_profile::critical_path().is_empty());
+    assert!(s4tf_profile::roofline().is_empty());
+    s4tf_profile::set_enabled(false);
+}

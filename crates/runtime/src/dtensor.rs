@@ -219,6 +219,8 @@ impl DTensor {
         // buffer as soon as it is consumed, and runs elementwise kernels
         // in place when a buffer turns out to be uniquely owned.
         let tensors: Vec<Tensor<f32>> = inputs.iter().map(|t| t.to_tensor()).collect();
+        let profiling = crate::prof::enabled();
+        let start_us = if profiling { crate::prof::now_us() } else { 0 };
         let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             s4tf_xla::eval_op_owned(&op, tensors)
         })) {
@@ -243,6 +245,30 @@ impl DTensor {
                 }
             }
         };
+        if profiling {
+            // Synchronous execution: enqueue == start, and each op chains
+            // serially after the previous naive op on this thread.
+            thread_local! {
+                static LAST_NAIVE_OP: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+            }
+            let shapes: Vec<Shape> = inputs.iter().map(|t| Shape::new(&t.dims())).collect();
+            let shape_refs: Vec<&Shape> = shapes.iter().collect();
+            let cost = s4tf_xla::op_cost(&op, &shape_refs, result.shape());
+            let id = crate::prof::next_op_id();
+            let prev = LAST_NAIVE_OP.with(|last| last.replace(id));
+            crate::prof::op_event(
+                id,
+                op.family(),
+                "naive",
+                "kernel",
+                start_us,
+                start_us,
+                crate::prof::now_us(),
+                vec![prev],
+                cost.flops,
+                cost.bytes,
+            );
+        }
         if crate::diag::numerics_enabled() {
             let _ = crate::diag::check_f32s(
                 &op.mnemonic(),

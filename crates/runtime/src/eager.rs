@@ -80,6 +80,11 @@ struct QueueInner {
     sender: Option<Sender<Job>>,
     worker: Mutex<Option<JoinHandle<()>>>,
     dispatched: AtomicU64,
+    /// Profiler op id of the most recently dispatched job: the worker is
+    /// a single FIFO lane, so every job also depends on its predecessor.
+    /// Critical-path analysis uses this edge to model head-of-line
+    /// blocking, not just data dependencies.
+    last_op: AtomicU64,
     /// Kernels the worker has finished. Held behind its own `Arc` so
     /// jobs can bump it without keeping the whole queue alive (which
     /// would make the worker join itself on teardown).
@@ -131,6 +136,7 @@ impl EagerQueue {
         let worker = std::thread::Builder::new()
             .name("s4tf-eager-worker".into())
             .spawn(move || {
+                prof::set_thread_name("eager-worker");
                 for job in receiver {
                     job();
                 }
@@ -141,6 +147,7 @@ impl EagerQueue {
                 sender: Some(sender),
                 worker: Mutex::new(Some(worker)),
                 dispatched: AtomicU64::new(0),
+                last_op: AtomicU64::new(0),
                 completed: Arc::new(AtomicU64::new(0)),
                 first_error: Arc::new(Mutex::new(None)),
             }),
@@ -194,9 +201,14 @@ impl EagerQueue {
     }
 
     /// Enqueues a job; a dead worker is reported as an error rather than
-    /// a panic, so the caller can poison the result slot.
-    fn dispatch(&self, job: Job) -> Result<(), RuntimeError> {
-        let _span = prof::span("eager.enqueue");
+    /// a panic, so the caller can poison the result slot. `flow_id` (0 =
+    /// none) draws the Chrome-trace arrow from this enqueue to the
+    /// worker-side `kernel_run` span.
+    fn dispatch(&self, job: Job, flow_id: u64) -> Result<(), RuntimeError> {
+        let mut span = prof::span("eager.enqueue");
+        if flow_id != 0 {
+            span.flow_start(flow_id);
+        }
         self.inner.dispatched.fetch_add(1, Ordering::Relaxed);
         let sent = self.inner.sender().send(job);
         if prof::enabled() {
@@ -222,6 +234,10 @@ pub struct EagerTensor {
     queue: EagerQueue,
     shape: Shape,
     slot: Arc<Slot>,
+    /// Profiler op id of the kernel that produces this tensor (0 for
+    /// host transfers and poisoned handles): the dependency edge recorded
+    /// by downstream dispatches for critical-path analysis.
+    op_id: u64,
 }
 
 impl std::fmt::Debug for Slot {
@@ -245,6 +261,7 @@ impl EagerTensor {
             queue: queue.clone(),
             shape,
             slot,
+            op_id: 0,
         }
     }
 
@@ -257,6 +274,7 @@ impl EagerTensor {
             queue: queue.clone(),
             shape: Shape::new(dims),
             slot,
+            op_id: 0,
         }
     }
 
@@ -273,6 +291,22 @@ impl EagerTensor {
     pub fn dispatch_op(queue: &EagerQueue, op: HloOp, inputs: &[&EagerTensor]) -> EagerTensor {
         let shapes: Vec<&Shape> = inputs.iter().map(|t| &t.shape).collect();
         let shape = op.infer_shape(&shapes);
+        // Cost and identity for the performance observatory: an id is
+        // allocated unconditionally (one relaxed fetch-add) so dependency
+        // edges stay valid if profiling is switched on mid-run.
+        let cost = s4tf_xla::op_cost(&op, &shapes, &shape);
+        let op_id = prof::next_op_id();
+        let family = op.family();
+        let enqueue_us = prof::now_us();
+        let flow_id = if prof::enabled() {
+            prof::next_flow_id()
+        } else {
+            0
+        };
+        let mut deps: Vec<u64> = inputs.iter().map(|t| t.op_id).collect();
+        // The single worker lane serializes jobs: the previous dispatch is
+        // a scheduling dependency even without a data edge.
+        deps.push(queue.inner.last_op.swap(op_id, Ordering::Relaxed));
         let slot = Arc::new(Slot::default());
         let out = Arc::clone(&slot);
         let in_slots: Vec<Arc<Slot>> = inputs.iter().map(|t| Arc::clone(&t.slot)).collect();
@@ -294,13 +328,19 @@ impl EagerTensor {
                 queue: queue.clone(),
                 shape,
                 slot,
+                op_id: 0,
             };
         }
-        let dispatched = queue.dispatch(Box::new(move || {
+        let job = Box::new(move || {
+            let start_us = prof::now_us();
             let mut span = prof::span("eager.kernel_run");
             if span.is_recording() {
                 span.annotate("op", op.mnemonic());
                 span.annotate_f64("threads_used", s4tf_threads::num_threads() as f64);
+                span.record_work(cost.flops, cost.bytes);
+                if flow_id != 0 {
+                    span.flow_end(flow_id);
+                }
             }
             // A poisoned operand propagates without running the kernel:
             // the *first* error (FIFO order makes it the originating op's)
@@ -363,6 +403,20 @@ impl EagerTensor {
                     }
                 }
             };
+            if prof::enabled() {
+                prof::op_event(
+                    op_id,
+                    family,
+                    "eager",
+                    "kernel",
+                    enqueue_us,
+                    start_us,
+                    prof::now_us(),
+                    deps,
+                    cost.flops,
+                    cost.bytes,
+                );
+            }
             if diag::numerics_enabled() {
                 // Fill the slot *before* scanning: in Panic mode the scan
                 // unwinds the worker thread, and an unfilled slot would
@@ -395,8 +449,8 @@ impl EagerTensor {
                 out.fill(result);
                 completed.fetch_add(1, Ordering::Relaxed);
             }
-        }));
-        if let Err(e) = dispatched {
+        });
+        if let Err(e) = queue.dispatch(job, flow_id) {
             // The worker is gone; fill the slot here so observation never
             // deadlocks on a job that will never run.
             slot.fill(Err(e));
@@ -405,6 +459,7 @@ impl EagerTensor {
             queue: queue.clone(),
             shape,
             slot,
+            op_id,
         }
     }
 

@@ -56,6 +56,10 @@ struct TraceState {
     pending: Vec<Weak<Mutex<LazyState>>>,
     /// Time spent recording trace nodes (the §3.4 tracing overhead).
     trace_time: Duration,
+    /// Value of `trace_time` when this trace started: `trace_time` is
+    /// cumulative across traces, so the difference is the recording time
+    /// of the *current* trace (the per-step trace phase).
+    trace_time_base: Duration,
     cuts: u64,
 }
 
@@ -67,8 +71,20 @@ impl TraceState {
             generation,
             pending: Vec::new(),
             trace_time: Duration::ZERO,
+            trace_time_base: Duration::ZERO,
             cuts: 0,
         }
+    }
+
+    /// Starts a fresh trace in place, carrying the cumulative counters
+    /// forward and re-basing the per-trace clock.
+    fn restart(&mut self) {
+        let generation = self.generation + 1;
+        let (cuts, trace_time) = (self.cuts, self.trace_time);
+        *self = TraceState::fresh(generation);
+        self.cuts = cuts;
+        self.trace_time = trace_time;
+        self.trace_time_base = trace_time;
     }
 }
 
@@ -80,6 +96,10 @@ pub struct LazyContext {
     /// [`take_error`](LazyContext::take_error) (execution failures and
     /// injected faults; not propagation).
     first_error: Mutex<Option<RuntimeError>>,
+    /// Profiler op id of the last event of the previous barrier (its
+    /// final executed kernel): the scheduling edge that chains one step's
+    /// trace after the previous step's execution on the critical path.
+    last_step_op: std::sync::atomic::AtomicU64,
 }
 
 impl std::fmt::Debug for LazyContext {
@@ -101,6 +121,7 @@ impl Default for LazyContext {
             trace: Mutex::new(TraceState::fresh(0)),
             cache: ProgramCache::new(),
             first_error: Mutex::new(None),
+            last_step_op: std::sync::atomic::AtomicU64::new(0),
         }
     }
 }
@@ -181,12 +202,7 @@ impl LazyContext {
     /// tensors become unusable (their nodes are gone); intended for
     /// simulation workflows that only needed the trace structure.
     pub fn abandon_trace(&self) {
-        let mut trace = self.trace.lock();
-        let generation = trace.generation + 1;
-        let (cuts, trace_time) = (trace.cuts, trace.trace_time);
-        *trace = TraceState::fresh(generation);
-        trace.cuts = cuts;
-        trace.trace_time = trace_time;
+        self.trace.lock().restart();
     }
 
     /// Cuts the trace (the paper's `LazyTensorBarrier()`): compiles (via
@@ -209,8 +225,9 @@ impl LazyContext {
             }
         }
         if outputs.is_empty() {
-            let generation = trace.generation + 1;
-            *trace = TraceState::fresh(generation);
+            // `restart` (not `fresh`) so the cumulative cut and trace-time
+            // counters survive an empty barrier.
+            trace.restart();
             return;
         }
         let mut graph = std::mem::take(&mut trace.graph);
@@ -227,7 +244,54 @@ impl LazyContext {
             let _ = diag::dump("lazy", "trace", "dot", &graph.to_dot("lazy trace"));
         }
 
+        // Performance-observatory phase events: the step's trace phase
+        // (re-based per trace), then the compile phase, then — inside
+        // `try_run_owned` — one kernel event per executed node, chained
+        // through the thread-local op root. Each phase depends on its
+        // predecessor, and the trace depends on the previous barrier's
+        // last kernel, so critical-path analysis sees the full
+        // trace → compile → execute chain of every step.
+        use std::sync::atomic::Ordering;
+        let profiling = prof::enabled();
+        let mut trace_id = 0;
+        if profiling {
+            let now = prof::now_us();
+            let trace_us = trace
+                .trace_time
+                .saturating_sub(trace.trace_time_base)
+                .as_micros() as u64;
+            trace_id = prof::next_op_id();
+            prof::op_event(
+                trace_id,
+                "trace",
+                "lazy",
+                "trace",
+                now.saturating_sub(trace_us),
+                now.saturating_sub(trace_us),
+                now,
+                vec![self.last_step_op.load(Ordering::Relaxed)],
+                0,
+                0,
+            );
+        }
+        let compile_start = prof::now_us();
         let exe = self.cache.get_or_compile(&graph);
+        if profiling {
+            let compile_id = prof::next_op_id();
+            prof::op_event(
+                compile_id,
+                "compile",
+                "lazy",
+                "compile",
+                compile_start,
+                compile_start,
+                prof::now_us(),
+                vec![trace_id],
+                0,
+                0,
+            );
+            prof::set_op_root(compile_id);
+        }
         // Parameters pass by value: the trace's copies are *donated* to
         // the executor. A parameter whose handle was rebound during
         // tracing (the optimizer-update pattern) is uniquely owned here,
@@ -235,7 +299,14 @@ impl LazyContext {
         // `param_old`'s buffer. Parameters with live handles stay shared
         // and are never overwritten.
         let params = std::mem::take(&mut trace.params);
-        match exe.try_run_owned(params, "lazy") {
+        let run_result = exe.try_run_owned(params, "lazy");
+        if profiling {
+            // The executor left its last kernel's id in the op root; the
+            // next step's trace chains after it.
+            self.last_step_op.store(prof::op_root(), Ordering::Relaxed);
+            prof::set_op_root(0);
+        }
+        match run_result {
             Ok(results) => {
                 for ((handle, _), tensor) in outputs.into_iter().zip(results) {
                     *handle.lock() = LazyState::Value {
@@ -261,11 +332,7 @@ impl LazyContext {
                 }
             }
         }
-        let generation = trace.generation + 1;
-        let (cuts, trace_time) = (trace.cuts, trace.trace_time);
-        *trace = TraceState::fresh(generation);
-        trace.cuts = cuts;
-        trace.trace_time = trace_time;
+        trace.restart();
     }
 }
 

@@ -7,7 +7,10 @@
 #![allow(dead_code, unused_imports)]
 
 #[cfg(feature = "profile")]
-pub(crate) use s4tf_profile::{counter_add, current_span, enabled, gauge_set, span, SpanGuard};
+pub(crate) use s4tf_profile::{
+    counter_add, current_span, enabled, gauge_set, next_flow_id, next_op_id, now_us, op_event,
+    op_root, set_op_root, set_thread_name, span, SpanGuard,
+};
 
 #[cfg(not(feature = "profile"))]
 include!("../../profile/src/noop_shim.rs");

@@ -1,0 +1,237 @@
+//! Analytic per-kernel cost model: exact FLOP and bytes-moved formulas
+//! for every kernel family the runtime dispatches.
+//!
+//! The formulas are the standard dense-linear-algebra counts (matmul is
+//! `2·m·k·n`, conv2d is its im2col GEMM, elementwise ops are one FLOP per
+//! output element) with bytes counted as *algorithmic* traffic: every
+//! operand read once plus the output written once, in units of the f32
+//! element size. They deliberately ignore caches and re-reads — the point
+//! is a stable denominator for achieved-GFLOP/s and arithmetic-intensity
+//! reporting, not a machine model.
+//!
+//! The op-level mapping (HLO mnemonic → formula) lives in `s4tf-xla`,
+//! which knows the op vocabulary; this module owns the arithmetic so the
+//! formulas are unit-testable against hand counts without a graph.
+
+/// Size of one `f32` element in bytes.
+pub const F32_BYTES: u64 = 4;
+
+/// The analytic cost of one kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCost {
+    /// Floating-point operations (adds, multiplies, comparisons, and
+    /// transcendental calls each count 1).
+    pub flops: u64,
+    /// Bytes moved: every input element read once + every output element
+    /// written once.
+    pub bytes: u64,
+}
+
+impl OpCost {
+    /// A zero cost (shape-only ops).
+    pub const ZERO: OpCost = OpCost { flops: 0, bytes: 0 };
+
+    /// Builds a cost from raw counts.
+    pub fn new(flops: u64, bytes: u64) -> OpCost {
+        OpCost { flops, bytes }
+    }
+
+    /// Arithmetic intensity in FLOPs per byte (0 when no bytes move).
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
+}
+
+impl std::ops::Add for OpCost {
+    type Output = OpCost;
+    fn add(self, rhs: OpCost) -> OpCost {
+        OpCost {
+            flops: self.flops + rhs.flops,
+            bytes: self.bytes + rhs.bytes,
+        }
+    }
+}
+
+impl std::ops::AddAssign for OpCost {
+    fn add_assign(&mut self, rhs: OpCost) {
+        self.flops += rhs.flops;
+        self.bytes += rhs.bytes;
+    }
+}
+
+impl std::iter::Sum for OpCost {
+    fn sum<I: Iterator<Item = OpCost>>(iter: I) -> OpCost {
+        iter.fold(OpCost::ZERO, |a, b| a + b)
+    }
+}
+
+/// `C[m,n] = A[m,k] · B[k,n]`: one multiply + one add per inner-product
+/// term, `2·m·k·n` total; reads both operands, writes the product.
+pub fn matmul(m: usize, k: usize, n: usize) -> OpCost {
+    OpCost {
+        flops: 2 * (m * k * n) as u64,
+        bytes: F32_BYTES * (m * k + k * n + m * n) as u64,
+    }
+}
+
+/// `y[m] = A[m,k] · x[k]` — matmul with `n = 1`.
+pub fn matvec(m: usize, k: usize) -> OpCost {
+    matmul(m, k, 1)
+}
+
+/// 2-D convolution, counted as its im2col GEMM: output `[n, oh, ow, c_out]`
+/// over a filter `[kh, kw, c_in, c_out]` is a `(n·oh·ow) × (kh·kw·c_in) ×
+/// c_out` matrix product. Bytes count the logical input/filter/output
+/// reads, not the materialized im2col patch matrix (which is an
+/// implementation detail the roofline should *charge against*, not hide).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d(
+    n: usize,
+    c_in: usize,
+    kh: usize,
+    kw: usize,
+    c_out: usize,
+    oh: usize,
+    ow: usize,
+    in_elems: usize,
+) -> OpCost {
+    OpCost {
+        flops: 2 * (n * oh * ow * kh * kw * c_in * c_out) as u64,
+        bytes: F32_BYTES * (in_elems + kh * kw * c_in * c_out + n * oh * ow * c_out) as u64,
+    }
+}
+
+/// Both conv2d gradients perform the same multiply-accumulate volume as
+/// the forward pass (each output-gradient element touches the same
+/// `kh·kw·c_in` patch).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_grad(
+    n: usize,
+    c_in: usize,
+    kh: usize,
+    kw: usize,
+    c_out: usize,
+    oh: usize,
+    ow: usize,
+    read_elems: usize,
+    out_elems: usize,
+) -> OpCost {
+    OpCost {
+        flops: 2 * (n * oh * ow * kh * kw * c_in * c_out) as u64,
+        bytes: F32_BYTES * (read_elems + out_elems) as u64,
+    }
+}
+
+/// Elementwise map: one FLOP per output element per fused instruction
+/// (`n_ops = 1` for a plain unary/binary kernel).
+pub fn elementwise(out_elems: usize, in_elems: usize, n_ops: usize) -> OpCost {
+    OpCost {
+        flops: (out_elems * n_ops) as u64,
+        bytes: F32_BYTES * (in_elems + out_elems) as u64,
+    }
+}
+
+/// Full or axis reduction over `in_elems` inputs producing `out_elems`
+/// outputs: `in − out` combines, plus one scale per output for a mean.
+pub fn reduce(in_elems: usize, out_elems: usize, is_mean: bool) -> OpCost {
+    let combines = in_elems.saturating_sub(out_elems);
+    OpCost {
+        flops: (combines + if is_mean { out_elems } else { 0 }) as u64,
+        bytes: F32_BYTES * (in_elems + out_elems) as u64,
+    }
+}
+
+/// 2-D pooling: `window` combines per output element (average adds then
+/// scales; max compares), reading the input once.
+pub fn pool2d(in_elems: usize, out_elems: usize, window: usize) -> OpCost {
+    OpCost {
+        flops: (out_elems * window) as u64,
+        bytes: F32_BYTES * (in_elems + out_elems) as u64,
+    }
+}
+
+/// A pure data-movement op (transpose, broadcast, gather, copy-reshape):
+/// zero FLOPs, reads `in_elems`, writes `out_elems`.
+pub fn data_movement(in_elems: usize, out_elems: usize) -> OpCost {
+    OpCost {
+        flops: 0,
+        bytes: F32_BYTES * (in_elems + out_elems) as u64,
+    }
+}
+
+/// Scatter-add (the gather gradient): one add per scattered element.
+pub fn scatter_add(in_elems: usize, out_elems: usize) -> OpCost {
+    OpCost {
+        flops: in_elems as u64,
+        bytes: F32_BYTES * (in_elems + out_elems) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_hand_count() {
+        // 2x3 · 3x4: every one of the 8 outputs is a 3-term inner product
+        // = 3 multiplies + 3 adds (fma-style count) = 6 FLOPs.
+        let c = matmul(2, 3, 4);
+        assert_eq!(c.flops, 8 * 6);
+        assert_eq!(c.bytes, 4 * (6 + 12 + 8));
+        assert_eq!(matvec(5, 7), matmul(5, 7, 1));
+    }
+
+    #[test]
+    fn conv2d_hand_count() {
+        // 1x3x3x1 input (Valid, stride 1) with a 2x2x1x1 filter: 2x2
+        // output, each element a 4-term inner product = 8 FLOPs.
+        let c = conv2d(1, 1, 2, 2, 1, 2, 2, 9);
+        assert_eq!(c.flops, 4 * 8);
+        assert_eq!(c.bytes, 4 * (9 + 4 + 4));
+    }
+
+    #[test]
+    fn conv2d_equals_its_im2col_gemm_flops() {
+        // LeNet c1: 32x28x28x1 (Same) * 5x5x1x6 = GEMM (32·28·28)x(25)x6.
+        let conv = conv2d(32, 1, 5, 5, 6, 28, 28, 32 * 28 * 28);
+        let gemm = matmul(32 * 28 * 28, 5 * 5, 6);
+        assert_eq!(conv.flops, gemm.flops);
+    }
+
+    #[test]
+    fn elementwise_and_reduce_hand_counts() {
+        assert_eq!(elementwise(10, 10, 1).flops, 10); // unary
+        assert_eq!(elementwise(10, 20, 1).flops, 10); // binary: 1 FLOP/out
+        assert_eq!(elementwise(10, 20, 1).bytes, 4 * 30);
+        // sum of n elements is n-1 adds.
+        assert_eq!(reduce(100, 1, false).flops, 99);
+        // mean adds one scale per output.
+        assert_eq!(reduce(100, 1, true).flops, 100);
+        // axis reduce [4, 25] -> [4]: 4·24 adds.
+        assert_eq!(reduce(100, 4, false).flops, 96);
+    }
+
+    #[test]
+    fn pooling_and_movement() {
+        // 2x2/2 pool over 4x4: 4 outputs, 4 combines each.
+        assert_eq!(pool2d(16, 4, 4).flops, 16);
+        assert_eq!(data_movement(16, 16).flops, 0);
+        assert_eq!(data_movement(16, 16).bytes, 4 * 32);
+        assert_eq!(scatter_add(8, 32).flops, 8);
+    }
+
+    #[test]
+    fn costs_sum() {
+        let a = OpCost::new(10, 100);
+        let b = OpCost::new(5, 50);
+        assert_eq!(a + b, OpCost::new(15, 150));
+        let total: OpCost = [a, b, OpCost::ZERO].into_iter().sum();
+        assert_eq!(total, OpCost::new(15, 150));
+        assert!((OpCost::new(8, 4).intensity() - 2.0).abs() < 1e-12);
+        assert_eq!(OpCost::ZERO.intensity(), 0.0);
+    }
+}

@@ -42,6 +42,7 @@
 //! assert_eq!(d.as_slice()[0], 2.0);
 //! ```
 
+pub mod cost;
 mod diag;
 pub mod dtype;
 pub mod error;
@@ -52,6 +53,7 @@ pub mod shape;
 pub mod storage;
 pub mod tensor;
 
+pub use cost::OpCost;
 pub use dtype::{Float, Scalar};
 pub use error::{panic_message, FaultKind, Result, RuntimeError, TensorError};
 pub use pool::{clear_pools, pool_enabled, pool_stats, set_pool_enabled, PoolStats};

@@ -1,0 +1,237 @@
+//! Maps each [`HloOp`] to its analytic [`OpCost`] (FLOPs + bytes moved),
+//! using the kernel-family formulas in [`s4tf_tensor::cost`].
+//!
+//! Every dispatch path (naive, eager, compiled/lazy) calls [`op_cost`]
+//! with the operand and output shapes it already has from shape
+//! inference, and feeds the result into the profiler's per-op work
+//! accounting — the denominator for achieved-GFLOP/s, GB/s and roofline
+//! reporting.
+
+use crate::op::{FusedInst, HloOp, ReduceKind};
+use s4tf_tensor::cost as formulas;
+use s4tf_tensor::{OpCost, Shape};
+
+/// The analytic cost of one invocation of `op` over `inputs`, producing
+/// `out`. Shape-only ops (reshape) and leaves cost zero; a fused kernel
+/// costs the sum of its constituent instructions over the output extent,
+/// with bytes counting only the fused inputs and the single output (no
+/// intermediates — the fusion payoff the roofline should credit).
+pub fn op_cost(op: &HloOp, inputs: &[&Shape], out: &Shape) -> OpCost {
+    let in_elems = || inputs.iter().map(|s| s.num_elements()).sum::<usize>();
+    let out_elems = out.num_elements();
+    match op {
+        HloOp::Parameter(_) | HloOp::Constant(_) => OpCost::ZERO,
+        HloOp::Unary(_) | HloOp::Binary(_) => formulas::elementwise(out_elems, in_elems(), 1),
+        HloOp::MatMul { t_lhs, t_rhs } => {
+            let (m, k) = if *t_lhs {
+                (inputs[0].dim(1), inputs[0].dim(0))
+            } else {
+                (inputs[0].dim(0), inputs[0].dim(1))
+            };
+            let n = if *t_rhs {
+                inputs[1].dim(0)
+            } else {
+                inputs[1].dim(1)
+            };
+            formulas::matmul(m, k, n)
+        }
+        HloOp::Conv2D { .. } => {
+            let (i, f) = (inputs[0], inputs[1]);
+            formulas::conv2d(
+                i.dim(0),
+                f.dim(2),
+                f.dim(0),
+                f.dim(1),
+                f.dim(3),
+                out.dim(1),
+                out.dim(2),
+                i.num_elements(),
+            )
+        }
+        // Gradients: operands are (filter, grad_out) / (input, grad_out);
+        // the MAC volume matches the forward conv over grad_out's spatial
+        // extent.
+        HloOp::Conv2DBackwardInput { .. } => {
+            let (f, g) = (inputs[0], inputs[1]);
+            formulas::conv2d_grad(
+                g.dim(0),
+                f.dim(2),
+                f.dim(0),
+                f.dim(1),
+                f.dim(3),
+                g.dim(1),
+                g.dim(2),
+                in_elems(),
+                out_elems,
+            )
+        }
+        HloOp::Conv2DBackwardFilter { filter_dims, .. } => {
+            let g = inputs[1];
+            formulas::conv2d_grad(
+                g.dim(0),
+                filter_dims[2],
+                filter_dims[0],
+                filter_dims[1],
+                filter_dims[3],
+                g.dim(1),
+                g.dim(2),
+                in_elems(),
+                out_elems,
+            )
+        }
+        HloOp::AvgPool { pool, .. } | HloOp::MaxPool { pool, .. } => {
+            formulas::pool2d(inputs[0].num_elements(), out_elems, pool.0 * pool.1)
+        }
+        // Pooling gradients route each output-gradient element back to its
+        // window: the same combine volume as the forward pool.
+        HloOp::AvgPoolGrad { pool, .. } | HloOp::MaxPoolGrad { pool, .. } => {
+            formulas::pool2d(in_elems(), out_elems, pool.0 * pool.1)
+        }
+        HloOp::GatherRows => {
+            formulas::data_movement(inputs[1].num_elements() + out_elems, out_elems)
+        }
+        HloOp::GatherRowsGrad { .. } => formulas::scatter_add(inputs[1].num_elements(), out_elems),
+        HloOp::Reduce { kind, .. } => formulas::reduce(
+            inputs[0].num_elements(),
+            out_elems,
+            matches!(kind, ReduceKind::Mean),
+        ),
+        // Reshape shares storage — no elements move.
+        HloOp::Reshape(_) => OpCost::ZERO,
+        HloOp::Transpose(_) | HloOp::Broadcast(_) => {
+            formulas::data_movement(inputs[0].num_elements(), out_elems)
+        }
+        HloOp::ReduceToShape(_) => formulas::reduce(inputs[0].num_elements(), out_elems, false),
+        HloOp::Fused { insts, .. } => {
+            let ops = insts
+                .iter()
+                .filter(|i| matches!(i, FusedInst::Unary(..) | FusedInst::Binary(..)))
+                .count();
+            formulas::elementwise(out_elems, in_elems(), ops)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{ElemBinary, ElemUnary};
+
+    fn s(dims: &[usize]) -> Shape {
+        Shape::new(dims)
+    }
+
+    #[test]
+    fn matmul_variants_agree_with_hand_count() {
+        let a = s(&[5, 3]);
+        let b = s(&[3, 7]);
+        let out = s(&[5, 7]);
+        let mm = HloOp::MatMul {
+            t_lhs: false,
+            t_rhs: false,
+        };
+        let c = op_cost(&mm, &[&a, &b], &out);
+        assert_eq!(c.flops, 2 * 5 * 3 * 7);
+        assert_eq!(c.bytes, 4 * (15 + 21 + 35));
+        // Transposed operands describe the same product.
+        let tn = HloOp::MatMul {
+            t_lhs: true,
+            t_rhs: false,
+        };
+        assert_eq!(op_cost(&tn, &[&s(&[3, 5]), &b], &out).flops, c.flops);
+        let nt = HloOp::MatMul {
+            t_lhs: false,
+            t_rhs: true,
+        };
+        assert_eq!(op_cost(&nt, &[&a, &s(&[7, 3])], &out).flops, c.flops);
+    }
+
+    #[test]
+    fn conv2d_flops_match_im2col_gemm() {
+        let i = s(&[2, 28, 28, 1]);
+        let f = s(&[5, 5, 1, 6]);
+        let out = s(&[2, 28, 28, 6]);
+        let conv = HloOp::Conv2D {
+            strides: (1, 1),
+            padding: s4tf_tensor::Padding::Same,
+        };
+        let c = op_cost(&conv, &[&i, &f], &out);
+        // im2col GEMM: (2·28·28) x (5·5·1) x 6, 2 FLOPs per MAC.
+        assert_eq!(c.flops, 2 * (2 * 28 * 28) as u64 * 25 * 6);
+        // Both gradients carry the same MAC volume.
+        let bwd_in = HloOp::Conv2DBackwardInput {
+            input_dims: vec![2, 28, 28, 1],
+            strides: (1, 1),
+            padding: s4tf_tensor::Padding::Same,
+        };
+        assert_eq!(op_cost(&bwd_in, &[&f, &out], &i).flops, c.flops);
+        let bwd_f = HloOp::Conv2DBackwardFilter {
+            filter_dims: vec![5, 5, 1, 6],
+            strides: (1, 1),
+            padding: s4tf_tensor::Padding::Same,
+        };
+        assert_eq!(op_cost(&bwd_f, &[&i, &out], &f).flops, c.flops);
+    }
+
+    #[test]
+    fn reduction_hand_counts() {
+        let x = s(&[4, 25]);
+        let sum_all = HloOp::Reduce {
+            kind: ReduceKind::Sum,
+            axis: None,
+        };
+        assert_eq!(op_cost(&sum_all, &[&x], &Shape::scalar()).flops, 99);
+        let mean_all = HloOp::Reduce {
+            kind: ReduceKind::Mean,
+            axis: None,
+        };
+        assert_eq!(op_cost(&mean_all, &[&x], &Shape::scalar()).flops, 100);
+        let sum_axis = HloOp::Reduce {
+            kind: ReduceKind::Sum,
+            axis: Some(1),
+        };
+        assert_eq!(op_cost(&sum_axis, &[&x], &s(&[4])).flops, 96);
+    }
+
+    #[test]
+    fn fused_cost_is_sum_of_constituents() {
+        // sigmoid built from 4 elementwise ops: neg → exp → add 1 → recip.
+        let n = 1000usize;
+        let x = s(&[n]);
+        let insts = vec![
+            FusedInst::Input(0),
+            FusedInst::Unary(ElemUnary::Neg, 0),
+            FusedInst::Unary(ElemUnary::Exp, 1),
+            FusedInst::Imm(1.0),
+            FusedInst::Binary(ElemBinary::Add, 2, 3),
+            FusedInst::Unary(ElemUnary::Recip, 4),
+        ];
+        let fused = HloOp::Fused { insts, n_inputs: 1 };
+        let fused_cost = op_cost(&fused, &[&x], &x);
+        // FLOPs: exactly the sum of the four constituent elementwise ops.
+        let constituents: u64 = (0..4)
+            .map(|_| op_cost(&HloOp::Unary(ElemUnary::Neg), &[&x], &x).flops)
+            .sum();
+        assert_eq!(fused_cost.flops, constituents);
+        assert_eq!(fused_cost.flops, 4 * n as u64);
+        // Bytes: one input + one output — strictly less than the unfused
+        // chain's 4 reads + 4 writes. This asymmetry IS the fusion win.
+        assert_eq!(fused_cost.bytes, 4 * (n + n) as u64);
+        let unfused_bytes: u64 = (0..4)
+            .map(|_| op_cost(&HloOp::Unary(ElemUnary::Neg), &[&x], &x).bytes)
+            .sum();
+        assert!(fused_cost.bytes < unfused_bytes);
+    }
+
+    #[test]
+    fn shape_ops_cost_no_flops() {
+        let x = s(&[2, 3]);
+        assert_eq!(
+            op_cost(&HloOp::Reshape(vec![6]), &[&x], &s(&[6])),
+            OpCost::ZERO
+        );
+        let t = op_cost(&HloOp::Transpose(vec![1, 0]), &[&x], &s(&[3, 2]));
+        assert_eq!(t.flops, 0);
+        assert_eq!(t.bytes, 4 * 12);
+    }
+}

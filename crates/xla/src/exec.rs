@@ -192,8 +192,24 @@ impl Executable {
             params.len()
         );
         let plan_on = plan_enabled();
+        // Per-node op events for roofline and critical-path analysis.
+        // `node_ids` maps graph nodes to the op ids of *this run* so data
+        // dependencies become event edges; `prev_id` chains nodes serially
+        // (execution is single-lane) starting from the thread's op root —
+        // the lazy device sets it to its compile-phase event so kernels
+        // chain after compilation.
+        let profiling = prof::enabled();
+        let mut node_ids: Vec<u64> = if profiling {
+            vec![0; self.graph.nodes.len()]
+        } else {
+            Vec::new()
+        };
+        let entry_root = if profiling { prof::op_root() } else { 0 };
+        let mut prev_id = entry_root;
+        let (mut step_flops, mut step_bytes) = (0u64, 0u64);
         let mut values: Vec<Option<Tensor<f32>>> = vec![None; self.graph.nodes.len()];
         for (i, node) in self.graph.nodes.iter().enumerate() {
+            let node_start = if profiling { prof::now_us() } else { 0 };
             let out = match &node.op {
                 HloOp::Parameter(p) => {
                     let t = params[*p]
@@ -287,6 +303,37 @@ impl Executable {
                 out.shape(),
                 node.shape
             );
+            if profiling && !matches!(node.op, HloOp::Parameter(_) | HloOp::Constant(_)) {
+                let in_shapes: Vec<&s4tf_tensor::Shape> = node
+                    .inputs
+                    .iter()
+                    .map(|&id| &self.graph.nodes[id.0 as usize].shape)
+                    .collect();
+                let cost = crate::cost::op_cost(&node.op, &in_shapes, &node.shape);
+                let mut deps: Vec<u64> = node
+                    .inputs
+                    .iter()
+                    .map(|&id| node_ids[id.0 as usize])
+                    .collect();
+                deps.push(prev_id);
+                let id = prof::next_op_id();
+                prof::op_event(
+                    id,
+                    node.op.family(),
+                    backend,
+                    "kernel",
+                    node_start,
+                    node_start,
+                    prof::now_us(),
+                    deps,
+                    cost.flops,
+                    cost.bytes,
+                );
+                node_ids[i] = id;
+                prev_id = id;
+                step_flops += cost.flops;
+                step_bytes += cost.bytes;
+            }
             // Nodes execute in topological order, so the first violating
             // node here is the op that *introduced* the NaN/Inf — not
             // whichever downstream op a caller observed it through.
@@ -307,6 +354,15 @@ impl Executable {
                 for &dead in &self.plan.drop_after[i] {
                     values[dead as usize] = None;
                 }
+            }
+        }
+        if profiling {
+            span.record_work(step_flops, step_bytes);
+            // Leave the last kernel's id in the thread's op root (only
+            // when a root was set, i.e. the lazy device is driving) so the
+            // caller can chain the next step's trace after this execution.
+            if entry_root != 0 {
+                prof::set_op_root(prev_id);
             }
         }
         // Per-backend live-bytes breakdown, surfaced through the profile

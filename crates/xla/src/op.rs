@@ -303,6 +303,28 @@ impl HloOp {
         }
     }
 
+    /// Coarse kernel-family name: the aggregation key for roofline and
+    /// critical-path reporting (where `mnemonic()` would split hairs —
+    /// and allocate — per instance).
+    pub fn family(&self) -> &'static str {
+        match self {
+            HloOp::Parameter(_) => "param",
+            HloOp::Constant(_) => "const",
+            HloOp::Unary(_) | HloOp::Binary(_) => "elementwise",
+            HloOp::MatMul { .. } => "matmul",
+            HloOp::Conv2D { .. } => "conv2d",
+            HloOp::Conv2DBackwardInput { .. } => "conv2d_bwd_input",
+            HloOp::Conv2DBackwardFilter { .. } => "conv2d_bwd_filter",
+            HloOp::AvgPool { .. } | HloOp::MaxPool { .. } => "pool",
+            HloOp::AvgPoolGrad { .. } | HloOp::MaxPoolGrad { .. } => "pool_grad",
+            HloOp::GatherRows => "gather",
+            HloOp::GatherRowsGrad { .. } => "gather_grad",
+            HloOp::Reduce { .. } | HloOp::ReduceToShape(_) => "reduce",
+            HloOp::Reshape(_) | HloOp::Transpose(_) | HloOp::Broadcast(_) => "shape",
+            HloOp::Fused { .. } => "fused",
+        }
+    }
+
     /// Infers the output shape from operand shapes.
     ///
     /// # Panics

@@ -57,6 +57,26 @@ fn main() {
             device.kind()
         );
         println!("{}", profile::report());
+
+        // The performance observatory: per-op achieved GFLOP/s against the
+        // machine's probed ceilings, and the longest dependency chain with
+        // its queue/kernel/compile/trace decomposition. Training dispatched
+        // real ops on every backend, so neither view may come back empty.
+        let roofline = profile::roofline().with_machine(profile::machine_probe());
+        assert!(
+            !roofline.is_empty(),
+            "{}: training steps must produce roofline rows",
+            device.kind()
+        );
+        println!("{roofline}");
+        let critical = profile::critical_path();
+        assert!(
+            !critical.is_empty(),
+            "{}: training steps must produce a critical path",
+            device.kind()
+        );
+        println!("{critical}");
+
         if let Some(stats) = device.cache_stats() {
             println!(
                 "program cache: {} compiled, {} hits ({:.0}% hit rate)\n",
@@ -88,6 +108,14 @@ fn main() {
         "kernel pool: {} workers, {} tasks ({} chunks), {} inline runs, {}us busy",
         stats.workers, stats.tasks_run, stats.chunks_dispatched, stats.inline_runs, stats.busy_us
     );
+
+    // S4TF_PERF_REPORT=1 asks for the combined observatory rendering
+    // (span report + roofline + critical path) in one block — the same
+    // string any embedding binary can print at exit.
+    if profile::perf_report_requested() {
+        println!("--- S4TF_PERF_REPORT (lazy run) ---");
+        println!("{}", profile::perf_report());
+    }
 
     // The profiler still holds the lazy run's events; export them.
     if let Some(path) = trace_path {
