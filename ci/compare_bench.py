@@ -24,23 +24,29 @@ import argparse
 import json
 import sys
 
-# Per-bench schema: (result key fields, required result fields, metric).
+# Per-bench schema: (result key fields, required result fields, metrics).
+# Every metric listed is gated independently against the baseline's value
+# for the same key — for `kernels` that means the active dispatch path
+# (gflops_1, usually simd8) AND the scalar reference path
+# (gflops_scalar_1) each hold their own line, so a SIMD win cannot mask a
+# scalar-path regression or vice versa.
 SCHEMAS = {
     "kernels": {
         "key": ("kernel", "case"),
         "required": (
-            "kernel", "case", "threads_1_ms", "threads_n_ms", "speedup",
-            "flops", "bytes", "gflops_1", "gflops_n",
+            "kernel", "case", "path", "threads_1_ms", "threads_n_ms",
+            "threads_scalar_1_ms", "speedup", "flops", "bytes",
+            "gflops_1", "gflops_n", "gflops_scalar_1",
         ),
-        "metric": "gflops_1",
+        "metrics": ("gflops_1", "gflops_scalar_1"),
     },
     "ops": {
         "key": ("op", "case", "backend"),
         "required": (
-            "op", "case", "backend", "median_ms", "iqr_ms", "trials",
-            "flops", "bytes", "gflops", "gbs",
+            "op", "case", "backend", "path", "median_ms", "iqr_ms",
+            "trials", "flops", "bytes", "gflops", "gbs",
         ),
-        "metric": "gflops",
+        "metrics": ("gflops",),
     },
 }
 
@@ -66,14 +72,25 @@ def validate(doc, path):
         for field in schema["required"]:
             if field not in r:
                 sys.exit(f"{path}: result missing field {field!r}: {r}")
-        if r[schema["metric"]] < 0:
-            sys.exit(f"{path}: negative {schema['metric']}: {r}")
+        for metric in schema["metrics"]:
+            if r[metric] < 0:
+                sys.exit(f"{path}: negative {metric}: {r}")
     return kind
 
 
+# Metrics measured on the scalar reference path regardless of the active
+# dispatch path; these stay comparable even when measured and baseline
+# artifacts ran with different S4TF_SIMD settings.
+PATH_INDEPENDENT = {"gflops_scalar_1"}
+
+
 def keyed(doc, schema):
+    """{key tuple: (dispatch path, {metric: value})} per result row."""
     return {
-        tuple(r[k] for k in schema["key"]): r[schema["metric"]]
+        tuple(r[k] for k in schema["key"]): (
+            r.get("path", ""),
+            {m: r[m] for m in schema["metrics"] if m in r},
+        )
         for r in doc["results"]
     }
 
@@ -105,23 +122,37 @@ def main():
 
     got = keyed(measured, schema)
     want = keyed(baseline, schema)
-    regressions, notices, compared = [], [], 0
-    for key, base_val in sorted(want.items()):
+    regressions, notices, compared, path_skips = [], [], 0, 0
+    for key, (base_path, base_metrics) in sorted(want.items()):
         if key not in got:
             regressions.append(f"{key}: missing from measured artifact")
             continue
-        if base_val <= 0:
-            continue
-        ratio = got[key] / base_val
-        compared += 1
-        line = (f"{'/'.join(key)}: {got[key]:.3f} vs baseline "
-                f"{base_val:.3f} GFLOP/s ({ratio:.2f}x)")
-        if ratio < args.fail_under:
-            regressions.append(line)
-        elif ratio > args.notice_over:
-            notices.append(line)
+        m_path, m_metrics = got[key]
+        for metric in schema["metrics"]:
+            base_val = base_metrics.get(metric)
+            if base_val is None or base_val <= 0:
+                continue
+            if base_path != m_path and metric not in PATH_INDEPENDENT:
+                # e.g. a S4TF_SIMD=0 run against a simd8 baseline: the
+                # active-path column measures a different kernel.
+                path_skips += 1
+                continue
+            if metric not in m_metrics:
+                regressions.append(f"{key}: missing metric {metric}")
+                continue
+            ratio = m_metrics[metric] / base_val
+            compared += 1
+            line = (f"{'/'.join(key)} [{metric}]: {m_metrics[metric]:.3f} "
+                    f"vs baseline {base_val:.3f} GFLOP/s ({ratio:.2f}x)")
+            if ratio < args.fail_under:
+                regressions.append(line)
+            elif ratio > args.notice_over:
+                notices.append(line)
 
-    print(f"{kind}: compared {compared} cases against {args.baseline}")
+    print(f"{kind}: compared {compared} metric(s) against {args.baseline}")
+    if path_skips:
+        print(f"  note: {path_skips} active-path metric(s) skipped "
+              "(dispatch path differs from baseline)")
     for n in notices:
         print(f"  faster (consider re-baselining): {n}")
     for r in regressions:

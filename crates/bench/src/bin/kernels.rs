@@ -125,7 +125,7 @@ fn main() {
 
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     let threads_n = parallel_threads();
-    let (warmup, trials) = if smoke { (1, 5) } else { (2, 11) };
+    let (warmup, trials) = if smoke { (2, 9) } else { (2, 11) };
     let mut rng = ChaCha8Rng::seed_from_u64(7);
 
     let mut cases: Vec<Case> = Vec::new();
@@ -174,25 +174,43 @@ fn main() {
     );
 
     let machine = machine_value();
+    // The active dispatch path (follows S4TF_SIMD + CPU detection); every
+    // case is additionally timed on the scalar reference path at one
+    // thread so the artifact carries both per-path GFLOP/s columns and
+    // the CI gate can hold each path to its own baseline.
+    let active_simd = s4tf_tensor::simd_enabled();
+    let path = s4tf_tensor::path_label();
     let mut results = Vec::new();
     for case in &mut cases {
         s4tf_threads::set_num_threads(1);
         let s1 = measure(warmup, trials, &mut case.run);
+        let scalar1 = if active_simd {
+            s4tf_tensor::set_simd_enabled(false);
+            let s = measure(warmup, trials, &mut case.run);
+            s4tf_tensor::set_simd_enabled(true);
+            s
+        } else {
+            s1.clone()
+        };
         s4tf_threads::set_num_threads(threads_n);
         let sn = measure(warmup, trials, &mut case.run);
         let (t1, tn) = (s1.median_ms, sn.median_ms);
         let speedup = t1 / tn;
         let (g1, gn) = (s1.gflops(case.cost.flops), sn.gflops(case.cost.flops));
+        let gs1 = scalar1.gflops(case.cost.flops);
         println!(
             "  {:<11} {:<28} 1T {t1:>9.3} ms ({g1:>7.3} GF/s)   \
-             {threads_n}T {tn:>9.3} ms ({gn:>7.3} GF/s)   {speedup:>5.2}x",
+             {threads_n}T {tn:>9.3} ms ({gn:>7.3} GF/s)   {speedup:>5.2}x   \
+             [{path}; scalar 1T {gs1:>7.3} GF/s]",
             case.kernel, case.name
         );
         results.push(obj(vec![
             ("kernel", Value::Str(case.kernel.to_string())),
             ("case", Value::Str(case.name.clone())),
+            ("path", Value::Str(path.to_string())),
             ("threads_1_ms", Value::Float(t1)),
             ("threads_n_ms", Value::Float(tn)),
+            ("threads_scalar_1_ms", Value::Float(scalar1.median_ms)),
             ("speedup", Value::Float(speedup)),
             ("threads_1_iqr_ms", Value::Float(s1.iqr_ms)),
             ("threads_n_iqr_ms", Value::Float(sn.iqr_ms)),
@@ -200,6 +218,7 @@ fn main() {
             ("bytes", Value::UInt(case.cost.bytes)),
             ("gflops_1", Value::Float(g1)),
             ("gflops_n", Value::Float(gn)),
+            ("gflops_scalar_1", Value::Float(gs1)),
             ("gbs_1", Value::Float(s1.gbps(case.cost.bytes))),
         ]));
     }

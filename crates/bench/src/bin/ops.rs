@@ -134,7 +134,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_ops.json".to_string());
-    let (warmup, trials) = if smoke { (2, 5) } else { (3, 11) };
+    let (warmup, trials) = if smoke { (2, 9) } else { (3, 11) };
 
     let cases: Vec<Case> = if smoke {
         vec![
@@ -178,6 +178,9 @@ fn main() {
     );
 
     let machine = machine_value();
+    // All backends share the tensor kernels, so one dispatch-path label
+    // (S4TF_SIMD + CPU detection) covers the whole artifact.
+    let path = s4tf_tensor::path_label();
     let mut results = Vec::new();
     for case in &cases {
         for backend in BACKENDS {
@@ -193,6 +196,7 @@ fn main() {
                 ("op", Value::Str(case.op.to_string())),
                 ("case", Value::Str(case.name.clone())),
                 ("backend", Value::Str(backend.to_string())),
+                ("path", Value::Str(path.to_string())),
             ];
             fields.extend(stats.fields());
             fields.extend([

@@ -121,24 +121,47 @@ fn quantile(sorted: &[f64], q: f64) -> f64 {
 /// The benchmarking host described as a JSON object: fingerprint, probed
 /// peak FLOP rate and bandwidth. Recorded into every artifact so the CI
 /// regression gate can refuse to compare numbers from unlike machines.
+///
+/// `peak_gflops`/`peak_gbps` are the ceilings of the *active* dispatch
+/// path (what the kernels in this process actually run); the per-path
+/// `peak_gflops_scalar`/`peak_gflops_simd` ceilings are recorded
+/// alongside so a `S4TF_SIMD=0` artifact still documents the headroom
+/// the machine offers.
 pub fn machine_value() -> Value {
-    let probe = s4tf_profile::machine_probe();
-    Value::Object(
-        [
-            (
-                "fingerprint".to_string(),
-                Value::Str(s4tf_profile::machine_fingerprint()),
-            ),
-            (
-                "cores".to_string(),
-                Value::UInt(std::thread::available_parallelism().map_or(1, |n| n.get()) as u64),
-            ),
-            ("peak_gflops".to_string(), Value::Float(probe.peak_gflops)),
-            ("peak_gbps".to_string(), Value::Float(probe.peak_gbps)),
-        ]
-        .into_iter()
-        .collect(),
-    )
+    let simd = s4tf_tensor::simd_enabled();
+    let probe = s4tf_profile::machine_probe_path(simd);
+    let scalar = s4tf_profile::machine_probe_path(false);
+    let mut fields = vec![
+        (
+            "fingerprint".to_string(),
+            Value::Str(s4tf_profile::machine_fingerprint()),
+        ),
+        (
+            "cores".to_string(),
+            Value::UInt(std::thread::available_parallelism().map_or(1, |n| n.get()) as u64),
+        ),
+        (
+            "path".to_string(),
+            Value::Str(s4tf_tensor::path_label().to_string()),
+        ),
+        (
+            "lane_width".to_string(),
+            Value::UInt(s4tf_tensor::lane_width() as u64),
+        ),
+        ("peak_gflops".to_string(), Value::Float(probe.peak_gflops)),
+        ("peak_gbps".to_string(), Value::Float(probe.peak_gbps)),
+        (
+            "peak_gflops_scalar".to_string(),
+            Value::Float(scalar.peak_gflops),
+        ),
+    ];
+    if s4tf_profile::simd_probe_supported() {
+        fields.push((
+            "peak_gflops_simd".to_string(),
+            Value::Float(s4tf_profile::machine_probe_path(true).peak_gflops),
+        ));
+    }
+    Value::Object(fields.into_iter().collect())
 }
 
 #[cfg(test)]

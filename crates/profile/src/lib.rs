@@ -36,7 +36,9 @@ mod report;
 mod roofline;
 
 pub use critical_path::{critical_path, CriticalPathReport, PathStep};
-pub use machine::{machine_fingerprint, machine_probe, MachineProfile};
+pub use machine::{
+    machine_fingerprint, machine_probe, machine_probe_path, simd_probe_supported, MachineProfile,
+};
 pub use report::{CounterTotal, ProfileReport, SpanStats};
 pub use roofline::{roofline, RooflineReport, RooflineRow};
 
@@ -160,6 +162,11 @@ pub struct OpEvent {
     pub backend: &'static str,
     /// Execution phase: `kernel`, `compile`, or `trace`.
     pub phase: &'static str,
+    /// Kernel dispatch path the tensor engine was on when the op ran:
+    /// `simd8` (8-wide lane kernels) or `scalar` (the reference loops).
+    /// Keyed into the roofline so regressions are attributable to path
+    /// selection vs. kernel quality.
+    pub path: &'static str,
     /// When the op was submitted ([`now_us`] clock).
     pub enqueue_us: u64,
     /// When execution actually began.
@@ -372,6 +379,7 @@ pub fn op_event(
     name: impl Into<Cow<'static, str>>,
     backend: &'static str,
     phase: &'static str,
+    path: &'static str,
     enqueue_us: u64,
     start_us: u64,
     end_us: u64,
@@ -387,6 +395,7 @@ pub fn op_event(
         name: name.into(),
         backend,
         phase,
+        path,
         enqueue_us,
         start_us,
         end_us,

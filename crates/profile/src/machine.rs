@@ -1,12 +1,26 @@
 //! Measured machine ceilings for roofline reporting.
 //!
 //! [`machine_probe`] runs two short microbenchmarks — a dependent-free
-//! fused-multiply-add loop for peak single-thread f32 FLOP/s and a large
+//! multiply-add loop for peak single-thread f32 FLOP/s and a large
 //! out-of-cache buffer copy for peak memory bandwidth — and caches the
 //! result for the process lifetime. The ceilings are *practical* peaks
 //! (what straightforward compiled Rust achieves on one core), which is
 //! the honest denominator for kernels that are themselves straightforward
 //! compiled Rust.
+//!
+//! The FLOP probe exists per *dispatch path* ([`machine_probe_path`]):
+//! the SIMD-path probe runs the same lane-chunked `f32::mul_add` pattern
+//! the vectorized kernels use, inside the same `avx2,fma` target-feature
+//! frame, so kernel GFLOP/s and the roofline ceiling are measured like
+//! for like. (An earlier revision probed `mul_add` *without* the
+//! target-feature frame; it lowered to a libm call and under-reported
+//! the ceiling ~60×, pinned by `simd_probe_ceiling_is_sane` below.)
+//! Which path [`machine_probe`] reports follows the same `S4TF_SIMD` +
+//! CPU-detection rule the kernels use — duplicated here because this
+//! crate sits *below* `s4tf-tensor` (where the dispatch switch lives) in
+//! the dependency graph. Programmatic `set_simd_enabled` overrides are
+//! not visible at this level; benches that flip paths ask for
+//! [`machine_probe_path`] explicitly.
 
 use std::hint::black_box;
 use std::sync::OnceLock;
@@ -40,22 +54,74 @@ impl MachineProfile {
     }
 }
 
+/// True when this CPU can run the SIMD dispatch path's target features
+/// (the same test `s4tf_tensor::simd_supported` performs).
+pub fn simd_probe_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static SUPPORTED: OnceLock<bool> = OnceLock::new();
+        *SUPPORTED.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        true
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+/// The dispatch path the kernels select by default: `S4TF_SIMD` (off
+/// values `0`/`false`/`off`/`no`, default on) ANDed with CPU support.
+fn simd_env_active() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        !std::env::var("S4TF_SIMD")
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                v == "0" || v == "false" || v == "off" || v == "no"
+            })
+            .unwrap_or(false)
+    }) && simd_probe_supported()
+}
+
 /// Probes (once per process, then cached) the machine's practical peak
-/// FLOP rate and memory bandwidth. Costs roughly 100 ms on first call.
+/// FLOP rate and memory bandwidth *on the active dispatch path* (see the
+/// module docs). Costs roughly 100 ms on first call.
 pub fn machine_probe() -> MachineProfile {
-    static PROBE: OnceLock<MachineProfile> = OnceLock::new();
-    *PROBE.get_or_init(|| MachineProfile {
-        peak_gflops: probe_flops(),
+    machine_probe_path(simd_env_active())
+}
+
+/// Ceilings for one dispatch path: `simd = true` probes the lane-chunked
+/// `mul_add` pattern the vectorized kernels run (falling back to the
+/// scalar pattern when the CPU lacks the features), `false` the plain
+/// multiply-add loop of the scalar reference kernels. Cached per path.
+pub fn machine_probe_path(simd: bool) -> MachineProfile {
+    static SCALAR: OnceLock<MachineProfile> = OnceLock::new();
+    static SIMD: OnceLock<MachineProfile> = OnceLock::new();
+    let simd = simd && simd_probe_supported();
+    let cell = if simd { &SIMD } else { &SCALAR };
+    *cell.get_or_init(|| MachineProfile {
+        peak_gflops: if simd {
+            probe_flops_simd()
+        } else {
+            probe_flops_scalar()
+        },
         peak_gbps: probe_bandwidth(),
     })
 }
 
-/// Peak f32 FLOP/s: 64 independent accumulators of `a*s + b` (2 FLOPs
-/// each), wide enough to autovectorize and hide arithmetic latency.
-/// Deliberately a plain multiply-add, not `f32::mul_add`: without fused
-/// codegen the latter lowers to a libm call and would report a ceiling
-/// far below what the actual kernels (plain mul + add) achieve.
-fn probe_flops() -> f64 {
+/// Peak scalar-path f32 FLOP/s: 64 independent accumulators of `a*s + b`
+/// (2 FLOPs each), wide enough to autovectorize and hide arithmetic
+/// latency. Deliberately a plain multiply-add, not `f32::mul_add`:
+/// without fused codegen the latter lowers to a libm call and would
+/// report a ceiling far below what the scalar kernels (plain mul + add)
+/// achieve.
+fn probe_flops_scalar() -> f64 {
     let mut acc = [1.0f32; 64];
     let scale = black_box(1.000_000_1f32);
     let bias = black_box(1.0e-9f32);
@@ -75,6 +141,56 @@ fn probe_flops() -> f64 {
     let secs = start.elapsed().as_secs_f64();
     black_box(acc);
     (passes as f64 * acc.len() as f64 * 2.0) / secs / 1e9
+}
+
+/// The SIMD-path probe body: 12 independent 8-wide lanes of
+/// `f32::mul_add` — the exact accumulator pattern of the 6×16 GEMM
+/// micro-kernel. Must be inlined into a target-feature frame to compile
+/// as `vfmadd` (see [`probe_flops_simd`]).
+#[inline(always)]
+fn probe_flops_lanes_body() -> f64 {
+    const LANES: usize = 8;
+    const ACCS: usize = 12;
+    let mut acc = [[1.0f32; LANES]; ACCS];
+    let scale = black_box([1.000_000_1f32; LANES]);
+    let bias = black_box([1.0e-9f32; LANES]);
+    let mut passes = 0u64;
+    let start = Instant::now();
+    loop {
+        for _ in 0..512 {
+            for a in acc.iter_mut() {
+                for j in 0..LANES {
+                    a[j] = a[j].mul_add(scale[j], bias[j]);
+                }
+            }
+        }
+        passes += 512;
+        if start.elapsed() >= Duration::from_millis(40) {
+            break;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    black_box(acc);
+    (passes as f64 * (ACCS * LANES) as f64 * 2.0) / secs / 1e9
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn probe_flops_lanes_x86() -> f64 {
+    probe_flops_lanes_body()
+}
+
+/// Peak SIMD-path f32 FLOP/s. Callers guarantee [`simd_probe_supported`].
+fn probe_flops_simd() -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: gated on runtime detection in `machine_probe_path`.
+        unsafe { probe_flops_lanes_x86() }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        probe_flops_lanes_body()
+    }
 }
 
 /// Peak memory bandwidth: stream-copy a 32 MiB f32 buffer (large enough
@@ -134,5 +250,25 @@ mod tests {
     #[test]
     fn fingerprint_mentions_arch() {
         assert!(machine_fingerprint().contains(std::env::consts::ARCH));
+    }
+
+    /// Pins the PR 6 probe bug: `f32::mul_add` outside a fused-codegen
+    /// frame lowers to a libm call and under-reported the ceiling ~60×.
+    /// The lane probe now runs inside the kernels' target-feature frame,
+    /// so where the SIMD path exists its ceiling must be at least
+    /// comparable to the scalar probe (in practice it is ~2× higher —
+    /// FMA doubles FLOPs per instruction).
+    #[test]
+    fn simd_probe_ceiling_is_sane() {
+        if !simd_probe_supported() {
+            return;
+        }
+        let scalar = machine_probe_path(false).peak_gflops;
+        let simd = machine_probe_path(true).peak_gflops;
+        assert!(
+            simd >= 0.8 * scalar,
+            "simd-path probe ({simd:.2} GF/s) far below scalar probe \
+             ({scalar:.2} GF/s): mul_add is compiling as a libm call again"
+        );
     }
 }

@@ -62,6 +62,7 @@ pub(crate) fn op_event(
     _name: impl Into<std::borrow::Cow<'static, str>>,
     _backend: &'static str,
     _phase: &'static str,
+    _path: &'static str,
     _enqueue_us: u64,
     _start_us: u64,
     _end_us: u64,

@@ -14,13 +14,16 @@ use std::fmt;
 
 use crate::machine::MachineProfile;
 
-/// One `(backend, op)` aggregate in the roofline report.
+/// One `(backend, op, path)` aggregate in the roofline report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RooflineRow {
     /// Op mnemonic (e.g. `matmul`, `conv2d`, `fused`).
     pub name: String,
     /// Dispatching backend (`eager`, `lazy`, `naive`).
     pub backend: String,
+    /// Kernel dispatch path the op ran on (`simd8` / `scalar`), so a
+    /// mixed-path run shows each path's achieved throughput separately.
+    pub path: String,
     /// Number of kernel invocations.
     pub count: u64,
     /// Total execution time across invocations, microseconds.
@@ -73,11 +76,19 @@ impl RooflineReport {
         &self.rows
     }
 
-    /// Looks up the row for one op on one backend.
+    /// Looks up the row for one op on one backend (any dispatch path; a
+    /// run that mixed paths returns the first, most-expensive row).
     pub fn row(&self, backend: &str, name: &str) -> Option<&RooflineRow> {
         self.rows
             .iter()
             .find(|r| r.backend == backend && r.name == name)
+    }
+
+    /// Looks up the row for one op on one backend and dispatch path.
+    pub fn row_on_path(&self, backend: &str, name: &str, path: &str) -> Option<&RooflineRow> {
+        self.rows
+            .iter()
+            .find(|r| r.backend == backend && r.name == name && r.path == path)
     }
 
     /// True when no kernel op events were recorded.
@@ -111,7 +122,7 @@ impl fmt::Display for RooflineReport {
         let name_w = self
             .rows
             .iter()
-            .map(|r| r.name.len() + r.backend.len() + 1)
+            .map(|r| r.name.len() + r.backend.len() + r.path.len() + 2)
             .max()
             .unwrap_or(2)
             .max(10);
@@ -125,7 +136,11 @@ impl fmt::Display for RooflineReport {
         }
         writeln!(f)?;
         for row in &self.rows {
-            let label = format!("{}/{}", row.backend, row.name);
+            let label = if row.path.is_empty() {
+                format!("{}/{}", row.backend, row.name)
+            } else {
+                format!("{}/{}@{}", row.backend, row.name, row.path)
+            };
             write!(
                 f,
                 "{:<name_w$}  {:>7}  {:>9.2}ms  {:>9.2}  {:>8.2}  {:>9.2}",
@@ -158,15 +173,20 @@ impl fmt::Display for RooflineReport {
 
 /// Builds the roofline report from all op events recorded so far.
 pub fn roofline() -> RooflineReport {
-    let mut agg: BTreeMap<(String, String), RooflineRow> = BTreeMap::new();
+    let mut agg: BTreeMap<(String, String, String), RooflineRow> = BTreeMap::new();
     for op in crate::op_events() {
         if op.phase != "kernel" {
             continue;
         }
-        let key = (op.backend.to_string(), op.name.to_string());
+        let key = (
+            op.backend.to_string(),
+            op.name.to_string(),
+            op.path.to_string(),
+        );
         let row = agg.entry(key).or_insert_with(|| RooflineRow {
             name: op.name.to_string(),
             backend: op.backend.to_string(),
+            path: op.path.to_string(),
             count: 0,
             total_us: 0,
             flops: 0,

@@ -229,6 +229,7 @@ fn roofline_aggregates_only_kernel_phase_events() {
         "matmul",
         "eager",
         "kernel",
+        "simd8",
         0,
         0,
         1000,
@@ -241,6 +242,7 @@ fn roofline_aggregates_only_kernel_phase_events() {
         "matmul",
         "eager",
         "kernel",
+        "simd8",
         1000,
         1000,
         2000,
@@ -249,7 +251,19 @@ fn roofline_aggregates_only_kernel_phase_events() {
         500_000,
     );
     // Compile-phase events must not count toward kernel throughput.
-    s4tf_profile::op_event(c, "program", "lazy", "compile", 0, 0, 5000, vec![], 0, 0);
+    s4tf_profile::op_event(
+        c,
+        "program",
+        "lazy",
+        "compile",
+        "",
+        0,
+        0,
+        5000,
+        vec![],
+        0,
+        0,
+    );
 
     let roof = s4tf_profile::roofline();
     assert!(!roof.is_empty());
@@ -284,10 +298,46 @@ fn critical_path_follows_the_longest_diamond_arm() {
         s4tf_profile::next_op_id(),
     );
     // Diamond: a fans out to b (slow arm) and c (fast arm); d joins both.
-    s4tf_profile::op_event(a, "a", "eager", "kernel", 0, 0, 100, vec![], 0, 0);
-    s4tf_profile::op_event(b, "b", "eager", "kernel", 0, 100, 600, vec![a], 0, 0);
-    s4tf_profile::op_event(c, "c", "eager", "kernel", 0, 100, 150, vec![a], 0, 0);
-    s4tf_profile::op_event(d, "d", "eager", "kernel", 0, 620, 720, vec![b, c], 0, 0);
+    s4tf_profile::op_event(a, "a", "eager", "kernel", "scalar", 0, 0, 100, vec![], 0, 0);
+    s4tf_profile::op_event(
+        b,
+        "b",
+        "eager",
+        "kernel",
+        "scalar",
+        0,
+        100,
+        600,
+        vec![a],
+        0,
+        0,
+    );
+    s4tf_profile::op_event(
+        c,
+        "c",
+        "eager",
+        "kernel",
+        "scalar",
+        0,
+        100,
+        150,
+        vec![a],
+        0,
+        0,
+    );
+    s4tf_profile::op_event(
+        d,
+        "d",
+        "eager",
+        "kernel",
+        "scalar",
+        0,
+        620,
+        720,
+        vec![b, c],
+        0,
+        0,
+    );
 
     let cp = s4tf_profile::critical_path();
     let names: Vec<&str> = cp.steps.iter().map(|s| s.name.as_str()).collect();
@@ -313,12 +363,13 @@ fn critical_path_decomposes_lazy_phases() {
         s4tf_profile::next_op_id(),
     );
     // trace -> compile -> kernel, strictly chained.
-    s4tf_profile::op_event(t, "step", "lazy", "trace", 0, 0, 200, vec![], 0, 0);
+    s4tf_profile::op_event(t, "step", "lazy", "trace", "", 0, 0, 200, vec![], 0, 0);
     s4tf_profile::op_event(
         c,
         "program",
         "lazy",
         "compile",
+        "",
         200,
         200,
         1200,
@@ -331,6 +382,7 @@ fn critical_path_decomposes_lazy_phases() {
         "matmul",
         "lazy",
         "kernel",
+        "simd8",
         1200,
         1200,
         1500,
@@ -439,7 +491,19 @@ fn op_events_survive_until_reset_and_ids_advance() {
     let id = s4tf_profile::next_op_id();
     let id2 = s4tf_profile::next_op_id();
     assert!(id2 > id);
-    s4tf_profile::op_event(id, "op", "naive", "kernel", 0, 0, 10, vec![], 1, 1);
+    s4tf_profile::op_event(
+        id,
+        "op",
+        "naive",
+        "kernel",
+        "scalar",
+        0,
+        0,
+        10,
+        vec![],
+        1,
+        1,
+    );
     assert_eq!(s4tf_profile::op_events().len(), 1);
     s4tf_profile::reset();
     assert!(s4tf_profile::op_events().is_empty());

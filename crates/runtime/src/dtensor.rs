@@ -261,6 +261,7 @@ impl DTensor {
                 op.family(),
                 "naive",
                 "kernel",
+                s4tf_tensor::path_label(),
                 start_us,
                 start_us,
                 crate::prof::now_us(),

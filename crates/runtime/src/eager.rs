@@ -409,6 +409,7 @@ impl EagerTensor {
                     family,
                     "eager",
                     "kernel",
+                    s4tf_tensor::path_label(),
                     enqueue_us,
                     start_us,
                     prof::now_us(),

@@ -266,6 +266,7 @@ impl LazyContext {
                 "trace",
                 "lazy",
                 "trace",
+                "",
                 now.saturating_sub(trace_us),
                 now.saturating_sub(trace_us),
                 now,
@@ -283,6 +284,7 @@ impl LazyContext {
                 "compile",
                 "lazy",
                 "compile",
+                "",
                 compile_start,
                 compile_start,
                 prof::now_us(),

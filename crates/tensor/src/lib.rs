@@ -50,6 +50,7 @@ pub mod ops;
 mod par;
 pub mod pool;
 pub mod shape;
+pub mod simd;
 pub mod storage;
 pub mod tensor;
 
@@ -58,6 +59,7 @@ pub use dtype::{Float, Scalar};
 pub use error::{panic_message, FaultKind, Result, RuntimeError, TensorError};
 pub use pool::{clear_pools, pool_enabled, pool_stats, set_pool_enabled, PoolStats};
 pub use shape::Shape;
+pub use simd::{lane_width, path_label, set_simd_enabled, simd_enabled, simd_supported};
 pub use storage::Storage;
 pub use tensor::{NonFinite, Tensor};
 

@@ -90,23 +90,58 @@ fn geometry<T: Float>(
     }
 }
 
-/// Fills `col` (`out_w × kdim`) with the patch matrix for output row
-/// `oy` of image `n`; padded positions become zeros.
-fn im2col_strip<T: Float>(x: &[T], g: &ConvGeom, n: usize, oy: usize, col: &mut [T]) {
-    let kdim = g.kdim();
-    for ox in 0..g.out_w {
-        let dst = &mut col[ox * kdim..(ox + 1) * kdim];
-        for ky in 0..g.k_h {
-            let iy = (oy * g.stride.0 + ky) as isize - g.pad_top as isize;
-            let row_ok = iy >= 0 && (iy as usize) < g.in_h;
-            for kx in 0..g.k_w {
-                let ix = (ox * g.stride.1 + kx) as isize - g.pad_left as isize;
-                let patch = &mut dst[(ky * g.k_w + kx) * g.in_c..(ky * g.k_w + kx + 1) * g.in_c];
-                if row_ok && ix >= 0 && (ix as usize) < g.in_w {
-                    let base = ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
-                    patch.copy_from_slice(&x[base..base + g.in_c]);
-                } else {
-                    patch.fill(T::zero());
+/// Fills `colt` (`kdim × out_w`, *k-major*) with the transposed patch
+/// matrix for output row `oy` of image `n`; padded positions become
+/// zeros.
+///
+/// k-major layout makes each `(ky, kx, ic)` scratch row a strided walk
+/// along one input row, so single-channel stride-1 convolutions (the
+/// LeNet c1 shape) fill a whole row with one `copy_from_slice` instead
+/// of `out_w` single-element copies — the scratch fill was the dominant
+/// cost of small-channel strips, not the GEMM. The GEMM reads the
+/// scratch through a transposed [`Layout`] (stride swap), which changes
+/// neither the values nor any element's summation order.
+fn im2col_strip_t<T: Float>(x: &[T], g: &ConvGeom, n: usize, oy: usize, colt: &mut [T]) {
+    let (sh, sw) = g.stride;
+    let krow = g.in_c * g.out_w;
+    for ky in 0..g.k_h {
+        let iy = (oy * sh + ky) as isize - g.pad_top as isize;
+        let krows = &mut colt[ky * g.k_w * krow..(ky + 1) * g.k_w * krow];
+        if iy < 0 || iy as usize >= g.in_h {
+            krows.fill(T::zero());
+            continue;
+        }
+        let row_base = (n * g.in_h + iy as usize) * g.in_w * g.in_c;
+        for kx in 0..g.k_w {
+            // `ix = ox·sw + off` must stay in `[0, in_w)`:
+            let off = kx as isize - g.pad_left as isize;
+            let ox_lo = if off >= 0 {
+                0
+            } else {
+                ((-off) as usize).div_ceil(sw).min(g.out_w)
+            };
+            let ox_hi = if (g.in_w as isize) <= off {
+                ox_lo
+            } else {
+                ((g.in_w as isize - off) as usize)
+                    .div_ceil(sw)
+                    .clamp(ox_lo, g.out_w)
+            };
+            let rows = &mut krows[kx * krow..(kx + 1) * krow];
+            if g.in_c == 1 && sw == 1 {
+                rows[..ox_lo].fill(T::zero());
+                rows[ox_hi..].fill(T::zero());
+                let src0 = (row_base as isize + ox_lo as isize + off) as usize;
+                rows[ox_lo..ox_hi].copy_from_slice(&x[src0..src0 + (ox_hi - ox_lo)]);
+            } else {
+                for ic in 0..g.in_c {
+                    let row = &mut rows[ic * g.out_w..(ic + 1) * g.out_w];
+                    row[..ox_lo].fill(T::zero());
+                    row[ox_hi..].fill(T::zero());
+                    for (ox, slot) in row[ox_lo..ox_hi].iter_mut().enumerate() {
+                        let ix = ((ox_lo + ox) * sw) as isize + off;
+                        *slot = x[row_base + ix as usize * g.in_c + ic];
+                    }
                 }
             }
         }
@@ -249,15 +284,15 @@ impl<T: Float> Tensor<T> {
                 grain_strips * strip,
                 |start, chunk| {
                     // One im2col scratch per chunk, reused across strips.
-                    let mut col = vec![T::zero(); g.out_w * kdim];
+                    let mut colt = vec![T::zero(); g.out_w * kdim];
                     let strip0 = start / strip;
                     for (u, cslice) in chunk.chunks_mut(strip).enumerate() {
                         let id = strip0 + u;
                         let (n, oy) = (id / g.out_h, id % g.out_h);
-                        im2col_strip(x, &g, n, oy, &mut col);
+                        im2col_strip_t(x, &g, n, oy, &mut colt);
                         gemm::gemm_rows(
-                            &col,
-                            Layout::row_major(kdim),
+                            &colt,
+                            Layout::transposed(g.out_w),
                             &wp,
                             cslice,
                             g.out_c,

@@ -47,9 +47,13 @@ fn zip_assign<T: Scalar>(dst: &mut [T], src: &[T], f: impl Fn(&mut T, T) + Sync)
     debug_assert_eq!(dst.len(), src.len());
     s4tf_threads::parallel_chunks_mut(dst, 1, crate::par::ELEMWISE_GRAIN, |start, chunk| {
         let src = &src[start..start + chunk.len()];
-        for (d, &s) in chunk.iter_mut().zip(src) {
-            f(d, s);
-        }
+        // Codegen-only vectorization: per-element arithmetic is the same
+        // on both dispatch paths (bit-identical; see `crate::simd`).
+        crate::simd::vectorize(|| {
+            for (d, &s) in chunk.iter_mut().zip(src) {
+                f(d, s);
+            }
+        });
     });
 }
 

@@ -188,6 +188,20 @@ impl<T: Scalar> Tensor<T> {
         let (mut out, out_recycled) = crate::pool::zeroed_vec::<T>(m);
         let grain = (MATVEC_CHUNK_MACS / k.max(1)).max(1);
         s4tf_threads::parallel_chunks_mut(&mut out, 1, grain, |start, chunk| {
+            if crate::simd::simd_enabled() {
+                if let (Some(af), Some(vf)) =
+                    (crate::simd::as_f32_slice(a), crate::simd::as_f32_slice(v))
+                {
+                    let cf = crate::simd::as_f32_slice_mut(chunk).expect("T is f32");
+                    crate::simd::vectorize(|| {
+                        for (r, slot) in cf.iter_mut().enumerate() {
+                            *slot =
+                                crate::simd::dot_f32(&af[(start + r) * k..(start + r + 1) * k], vf);
+                        }
+                    });
+                    return;
+                }
+            }
             for (r, slot) in chunk.iter_mut().enumerate() {
                 let row = &a[(start + r) * k..(start + r + 1) * k];
                 let mut acc = T::zero();

@@ -2,23 +2,66 @@
 //! plus `argmax` and the gradient helper `unreduce`.
 
 use crate::dtype::{Float, Scalar};
+use crate::simd;
 use crate::tensor::Tensor;
+
+/// Serial-order sum of one slice, dispatched to the lane-parallel
+/// [`simd::sum_f32`] for f32 when SIMD is on. The lane path reassociates
+/// within the slice (documented on `sum_f32`); callers hand whole chunks
+/// here and combine partials in chunk order, so the thread count never
+/// changes the result on either path.
+fn sum_slice<T: Scalar>(xs: &[T]) -> T {
+    if simd::simd_enabled() {
+        if let Some(f) = simd::as_f32_slice(xs) {
+            let mut out = T::zero();
+            simd::write_f32(&mut out, simd::vectorize(|| simd::sum_f32(f)));
+            return out;
+        }
+    }
+    xs.iter().copied().sum()
+}
+
+/// `Scalar::maximum` fold of a non-empty slice (lane path for f32).
+fn max_slice<T: Scalar>(xs: &[T]) -> T {
+    if simd::simd_enabled() {
+        if let Some(f) = simd::as_f32_slice(xs) {
+            let mut out = T::zero();
+            simd::write_f32(&mut out, simd::vectorize(|| simd::max_f32(f)));
+            return out;
+        }
+    }
+    xs.iter().copied().fold(xs[0], |a, b| a.maximum(b))
+}
+
+/// `Scalar::minimum` fold of a non-empty slice (lane path for f32).
+fn min_slice<T: Scalar>(xs: &[T]) -> T {
+    if simd::simd_enabled() {
+        if let Some(f) = simd::as_f32_slice(xs) {
+            let mut out = T::zero();
+            simd::write_f32(&mut out, simd::vectorize(|| simd::min_f32(f)));
+            return out;
+        }
+    }
+    xs.iter().copied().fold(xs[0], |a, b| a.minimum(b))
+}
 
 impl<T: Scalar> Tensor<T> {
     /// Sum of all elements, as a rank-0 tensor.
     ///
     /// Large tensors sum per-chunk partials on the thread pool, combined
     /// in chunk-index order: exact for integers; for floats the order
-    /// within each chunk is the serial one, so results are deterministic
-    /// for a fixed thread count (DESIGN.md, "CPU parallelism").
+    /// within each chunk is the serial one (or the fixed lane-striped
+    /// order of [`simd::sum_f32`] on the SIMD path), so results are
+    /// deterministic for a fixed thread count (DESIGN.md, "CPU
+    /// parallelism").
     pub fn sum(&self) -> Tensor<T> {
         let src = self.as_slice();
         if src.len() < crate::par::REDUCE_GRAIN {
-            return Tensor::scalar(src.iter().copied().sum());
+            return Tensor::scalar(sum_slice(src));
         }
         let parts =
             s4tf_threads::parallel_map_chunks(0..src.len(), crate::par::REDUCE_GRAIN, |r| {
-                src[r].iter().copied().sum::<T>()
+                sum_slice(&src[r])
             });
         Tensor::scalar(parts.into_iter().sum())
     }
@@ -69,14 +112,13 @@ impl<T: Scalar> Tensor<T> {
         assert!(self.num_elements() > 0, "max of empty tensor");
         let src = self.as_slice();
         if src.len() < crate::par::REDUCE_GRAIN {
-            return Tensor::scalar(src.iter().copied().fold(src[0], |a, b| a.maximum(b)));
+            return Tensor::scalar(max_slice(src));
         }
-        // max is associative and commutative, so the chunk combine is
-        // exact for floats too.
+        // max is associative and commutative, so the chunk combine (and
+        // the lane reduction) is exact for floats too.
         let parts =
             s4tf_threads::parallel_map_chunks(0..src.len(), crate::par::REDUCE_GRAIN, |r| {
-                let first = src[r.start];
-                src[r].iter().copied().fold(first, |a, b| a.maximum(b))
+                max_slice(&src[r])
             });
         Tensor::scalar(parts.into_iter().fold(src[0], |a, b| a.maximum(b)))
     }
@@ -89,12 +131,11 @@ impl<T: Scalar> Tensor<T> {
         assert!(self.num_elements() > 0, "min of empty tensor");
         let src = self.as_slice();
         if src.len() < crate::par::REDUCE_GRAIN {
-            return Tensor::scalar(src.iter().copied().fold(src[0], |a, b| a.minimum(b)));
+            return Tensor::scalar(min_slice(src));
         }
         let parts =
             s4tf_threads::parallel_map_chunks(0..src.len(), crate::par::REDUCE_GRAIN, |r| {
-                let first = src[r.start];
-                src[r].iter().copied().fold(first, |a, b| a.minimum(b))
+                min_slice(&src[r])
             });
         Tensor::scalar(parts.into_iter().fold(src[0], |a, b| a.minimum(b)))
     }
@@ -178,15 +219,20 @@ impl<T: Scalar> Tensor<T> {
             let grain = (crate::par::REDUCE_GRAIN / d.max(1)).max(1);
             s4tf_threads::parallel_chunks_mut(&mut out, inner, grain, |start, chunk| {
                 let o0 = start / inner;
-                for (u, orow) in chunk.chunks_mut(inner).enumerate() {
-                    let o = o0 + u;
-                    for k in 0..d {
-                        let base = o * d * inner + k * inner;
-                        for (i, ov) in orow.iter_mut().enumerate() {
-                            *ov = f(*ov, src[base + i]);
+                // Codegen-only vectorization of the inner-stride loop:
+                // the k-order per output element is unchanged, so both
+                // dispatch paths are bit-identical.
+                simd::vectorize(|| {
+                    for (u, orow) in chunk.chunks_mut(inner).enumerate() {
+                        let o = o0 + u;
+                        for k in 0..d {
+                            let base = o * d * inner + k * inner;
+                            for (i, ov) in orow.iter_mut().enumerate() {
+                                *ov = f(*ov, src[base + i]);
+                            }
                         }
                     }
-                }
+                });
             });
         }
         let shape = if keep_dims {
@@ -240,15 +286,21 @@ impl<T: Float> Tensor<T> {
         assert_eq!(self.shape(), other.shape(), "dot requires identical shapes");
         let a = self.as_slice();
         let b = other.as_slice();
+        fn dot_slices<T: Float>(a: &[T], b: &[T]) -> T {
+            if simd::simd_enabled() {
+                if let (Some(af), Some(bf)) = (simd::as_f32_slice(a), simd::as_f32_slice(b)) {
+                    let mut out = T::zero();
+                    simd::write_f32(&mut out, simd::vectorize(|| simd::dot_f32(af, bf)));
+                    return out;
+                }
+            }
+            a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+        }
         if a.len() < crate::par::REDUCE_GRAIN {
-            return a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+            return dot_slices(a, b);
         }
         let parts = s4tf_threads::parallel_map_chunks(0..a.len(), crate::par::REDUCE_GRAIN, |r| {
-            a[r.clone()]
-                .iter()
-                .zip(&b[r])
-                .map(|(&x, &y)| x * y)
-                .sum::<T>()
+            dot_slices(&a[r.clone()], &b[r])
         });
         parts.into_iter().sum()
     }

@@ -294,14 +294,21 @@ impl<T: Scalar> Tensor<T> {
                 crate::par::ELEMWISE_GRAIN,
                 |start, chunk| {
                     let src = &src[start..start + chunk.len()];
-                    for (o, &x) in chunk.iter_mut().zip(src) {
-                        *o = f(x);
-                    }
+                    // `vectorize` only changes codegen (wider registers,
+                    // fused mul_add), never the per-element arithmetic,
+                    // so both dispatch paths are bit-identical here.
+                    crate::simd::vectorize(|| {
+                        for (o, &x) in chunk.iter_mut().zip(src) {
+                            *o = f(x);
+                        }
+                    });
                 },
             );
             Storage::from_vec_flagged(out, recycled)
         } else {
-            let (out, recycled) = crate::pool::collect_n(src.len(), src.iter().map(|&x| f(x)));
+            let (out, recycled) = crate::simd::vectorize(|| {
+                crate::pool::collect_n(src.len(), src.iter().map(|&x| f(x)))
+            });
             Storage::from_vec_flagged(out, recycled)
         };
         Tensor {
@@ -318,9 +325,11 @@ impl<T: Scalar> Tensor<T> {
             1,
             crate::par::ELEMWISE_GRAIN,
             |_, chunk| {
-                for x in chunk {
-                    *x = f(*x);
-                }
+                crate::simd::vectorize(|| {
+                    for x in chunk {
+                        *x = f(*x);
+                    }
+                });
             },
         );
     }
@@ -347,15 +356,18 @@ impl<T: Scalar> Tensor<T> {
                 1,
                 crate::par::ELEMWISE_GRAIN,
                 |start, chunk| {
-                    for (i, o) in chunk.iter_mut().enumerate() {
-                        *o = f(lhs[start + i], rhs[start + i]);
-                    }
+                    crate::simd::vectorize(|| {
+                        for (i, o) in chunk.iter_mut().enumerate() {
+                            *o = f(lhs[start + i], rhs[start + i]);
+                        }
+                    });
                 },
             );
             Storage::from_vec_flagged(out, recycled)
         } else {
-            let (out, recycled) =
-                crate::pool::collect_n(lhs.len(), lhs.iter().zip(rhs).map(|(&a, &b)| f(a, b)));
+            let (out, recycled) = crate::simd::vectorize(|| {
+                crate::pool::collect_n(lhs.len(), lhs.iter().zip(rhs).map(|(&a, &b)| f(a, b)))
+            });
             Storage::from_vec_flagged(out, recycled)
         };
         Tensor {

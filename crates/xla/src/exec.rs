@@ -322,6 +322,7 @@ impl Executable {
                     node.op.family(),
                     backend,
                     "kernel",
+                    s4tf_tensor::path_label(),
                     node_start,
                     node_start,
                     prof::now_us(),
@@ -651,51 +652,53 @@ fn run_fused_kernel(insts: &[FusedInst], slices: &[Option<&[f32]>], n: usize, ou
                 v
             }
         };
-        let mut start = 0usize;
-        while start < out_chunk.len() {
-            let len = FUSED_CHUNK.min(out_chunk.len() - start);
-            // Broadcast inputs index by *global* element position.
-            let global = task_start + start;
-            for (r, inst) in insts.iter().enumerate() {
-                // Split the register file so an instruction can read earlier
-                // rows while writing its own.
-                let (read, write) = regs.split_at_mut(r * FUSED_CHUNK);
-                let dst = &mut write[..len];
-                match inst {
-                    FusedInst::Input(i) => match slices[*i] {
-                        Some(src) if src.len() == n => {
-                            dst.copy_from_slice(&src[global..global + len]);
-                        }
-                        Some(src) => {
-                            let m = src.len();
-                            for (j, d) in dst.iter_mut().enumerate() {
-                                *d = src[(global + j) % m];
+        // The whole interpretation loop runs inside `vectorize`, so each
+        // instruction's `apply_slice` chunk loop compiles with the lane
+        // path's target features — fusion wins compound with vector
+        // width. Per-element arithmetic is identical on both dispatch
+        // paths (bit-identical results; see `s4tf_tensor::simd`).
+        s4tf_tensor::simd::vectorize(|| {
+            let mut start = 0usize;
+            while start < out_chunk.len() {
+                let len = FUSED_CHUNK.min(out_chunk.len() - start);
+                // Broadcast inputs index by *global* element position.
+                let global = task_start + start;
+                for (r, inst) in insts.iter().enumerate() {
+                    // Split the register file so an instruction can read earlier
+                    // rows while writing its own.
+                    let (read, write) = regs.split_at_mut(r * FUSED_CHUNK);
+                    let dst = &mut write[..len];
+                    match inst {
+                        FusedInst::Input(i) => match slices[*i] {
+                            Some(src) if src.len() == n => {
+                                dst.copy_from_slice(&src[global..global + len]);
                             }
+                            Some(src) => {
+                                let m = src.len();
+                                for (j, d) in dst.iter_mut().enumerate() {
+                                    *d = src[(global + j) % m];
+                                }
+                            }
+                            // Aliased input: its elements for this chunk sit
+                            // in the not-yet-written output range.
+                            None => dst.copy_from_slice(&out_chunk[start..start + len]),
+                        },
+                        FusedInst::Imm(x) => dst.fill(*x),
+                        FusedInst::Unary(u, a) => {
+                            u.apply_slice(dst, &read[a * FUSED_CHUNK..a * FUSED_CHUNK + len]);
                         }
-                        // Aliased input: its elements for this chunk sit
-                        // in the not-yet-written output range.
-                        None => dst.copy_from_slice(&out_chunk[start..start + len]),
-                    },
-                    FusedInst::Imm(x) => dst.fill(*x),
-                    FusedInst::Unary(u, a) => {
-                        let src = &read[a * FUSED_CHUNK..a * FUSED_CHUNK + len];
-                        for (d, &s) in dst.iter_mut().zip(src) {
-                            *d = u.apply(s);
-                        }
-                    }
-                    FusedInst::Binary(b, a, c) => {
-                        let lhs = &read[a * FUSED_CHUNK..a * FUSED_CHUNK + len];
-                        let rhs = &read[c * FUSED_CHUNK..c * FUSED_CHUNK + len];
-                        for ((d, &x), &y) in dst.iter_mut().zip(lhs).zip(rhs) {
-                            *d = b.apply(x, y);
+                        FusedInst::Binary(b, a, c) => {
+                            let lhs = &read[a * FUSED_CHUNK..a * FUSED_CHUNK + len];
+                            let rhs = &read[c * FUSED_CHUNK..c * FUSED_CHUNK + len];
+                            b.apply_slice(dst, lhs, rhs);
                         }
                     }
                 }
+                let last = (insts.len() - 1) * FUSED_CHUNK;
+                out_chunk[start..start + len].copy_from_slice(&regs[last..last + len]);
+                start += len;
             }
-            let last = (insts.len() - 1) * FUSED_CHUNK;
-            out_chunk[start..start + len].copy_from_slice(&regs[last..last + len]);
-            start += len;
-        }
+        });
         s4tf_tensor::pool::give_vec(regs);
     });
 }

@@ -150,3 +150,44 @@ fn observation_is_the_only_distinguisher() {
         assert!((val - outs[0].1).abs() < 1e-4);
     }
 }
+
+/// The SIMD dispatch switch must be invisible at the backend level: on
+/// each dispatch path all three backends agree, and per backend the two
+/// paths agree within FMA-rounding tolerance (the lane kernels use fused
+/// multiply-adds; see `s4tf_tensor::simd`). Runs a LeNet forward so the
+/// comparison covers conv2d, GEMM, elementwise and reduction kernels at
+/// once — including lenet-c1's out_c = 6, the narrow-panel GEMM case.
+#[test]
+fn simd_paths_agree_on_every_backend() {
+    let data = Dataset::generate(ImageSpec::mnist_like(), 16, 21);
+    let batch = data.batch(8, 0, 0);
+    let mut rng = ChaCha8Rng::seed_from_u64(22);
+    let naive = Device::naive();
+    let reference = LeNet::new(&naive, &mut rng);
+
+    let mut per_path = Vec::new();
+    for simd in [false, true] {
+        s4tf::tensor::set_simd_enabled(simd);
+        let mut outs = Vec::new();
+        for device in [Device::naive(), Device::eager(), Device::lazy()] {
+            let model = lenet_on(&device, &reference);
+            let x = DTensor::from_tensor(batch.images.clone(), &device);
+            outs.push((device.kind(), model.forward(&x).to_tensor()));
+        }
+        let (_, reference_out) = &outs[0];
+        for (kind, y) in &outs[1..] {
+            assert!(
+                y.allclose(reference_out, 1e-4),
+                "{kind} diverged from naive on the {} path",
+                if simd { "simd" } else { "scalar" }
+            );
+        }
+        per_path.push(outs.remove(0).1);
+    }
+    s4tf::tensor::set_simd_enabled(true);
+    assert!(
+        per_path[0].allclose(&per_path[1], 1e-3),
+        "scalar and simd paths diverged beyond FMA tolerance: max diff {}",
+        per_path[0].max_abs_diff(&per_path[1])
+    );
+}
