@@ -4,46 +4,33 @@
 //! training loop appends one JSON object per optimization step:
 //!
 //! ```json
-//! {"step":1,"loss":2.3025,"grad_norm":0.4812,"examples_per_sec":15873.0,
-//!  "peak_bytes":1048576,"live_bytes":524288,"backend":"lazy"}
+//! {"kind":"step","step":1,"loss":2.3025,"grad_norm":0.4812,
+//!  "examples_per_sec":15873.0,"peak_bytes":1048576,"live_bytes":524288,
+//!  "backend":"lazy"}
 //! ```
 //!
-//! The file is opened in append mode per write, so several short runs
-//! can share one log and a crashed run loses at most the in-flight line.
+//! The sink itself (path resolution, the append-per-write file handling)
+//! lives in `s4tf-metrics`, which shares the same file with its periodic
+//! registry snapshots (`"kind":"snapshot"` lines) — one file, one
+//! schema, discriminated by `kind`.
 
-use crate::{lock_unpoisoned, push_json_f64, Gate, GATE_OFF, GATE_ON};
-use std::io::Write as _;
-use std::path::{Path, PathBuf};
+use crate::push_json_f64;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
-static PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
 static STEP: AtomicU64 = AtomicU64::new(0);
-
-fn init_from_env() -> u8 {
-    match std::env::var("S4TF_METRICS_FILE") {
-        Ok(p) if !p.is_empty() => {
-            *lock_unpoisoned(&PATH) = Some(PathBuf::from(p));
-            GATE_ON
-        }
-        _ => GATE_OFF,
-    }
-}
-
-static GATE: Gate = Gate::new(init_from_env);
 
 /// Whether a metrics sink is configured — the one-relaxed-load branch
 /// the training loop takes before computing gradient norms or timings.
 #[inline]
 pub fn metrics_enabled() -> bool {
-    GATE.on()
+    s4tf_metrics::jsonl_enabled()
 }
 
 /// Points the stream at `path` (`None` disables). Overrides
 /// `S4TF_METRICS_FILE`.
 pub fn set_metrics_path(path: Option<&Path>) {
-    *lock_unpoisoned(&PATH) = path.map(Path::to_path_buf);
-    GATE.set(if path.is_some() { GATE_ON } else { GATE_OFF });
+    s4tf_metrics::set_jsonl_path(path);
 }
 
 /// Next 1-based global step number (process-wide, shared by every
@@ -77,10 +64,12 @@ pub struct StepRecord {
 }
 
 impl StepRecord {
-    /// The JSONL rendering (no trailing newline).
+    /// The JSONL rendering (no trailing newline). The `kind`
+    /// discriminator separates step records from the registry's
+    /// `"kind":"snapshot"` lines in the shared stream.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(160);
-        out.push_str("{\"step\":");
+        out.push_str("{\"kind\":\"step\",\"step\":");
         out.push_str(&self.step.to_string());
         out.push_str(",\"loss\":");
         push_json_f64(&mut out, self.loss);
@@ -104,21 +93,7 @@ pub fn record_step(record: &StepRecord) {
     if !metrics_enabled() {
         return;
     }
-    let Some(path) = lock_unpoisoned(&PATH).clone() else {
-        return;
-    };
-    let line = record.to_json();
-    let result = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-        .and_then(|mut f| writeln!(f, "{line}"));
-    if let Err(e) = result {
-        eprintln!(
-            "[s4tf-diag] metrics write to {} failed: {e}",
-            path.display()
-        );
-    }
+    s4tf_metrics::append_jsonl(&record.to_json());
 }
 
 #[cfg(test)]
@@ -138,7 +113,8 @@ mod tests {
         };
         assert_eq!(
             r.to_json(),
-            "{\"step\":3,\"loss\":0.5,\"grad_norm\":1.25,\"examples_per_sec\":100,\
+            "{\"kind\":\"step\",\"step\":3,\"loss\":0.5,\"grad_norm\":1.25,\
+             \"examples_per_sec\":100,\
              \"peak_bytes\":2048,\"live_bytes\":1024,\"backend\":\"naive\"}"
         );
     }

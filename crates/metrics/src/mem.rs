@@ -1,0 +1,244 @@
+//! Live/peak memory attribution by allocating subsystem.
+//!
+//! The tensor storage layer reports every buffer allocation through
+//! [`mem_alloc`]/[`mem_free`]. Subsystems scope the allocations they
+//! cause with an RAII [`mem_site`] guard ("eager", "trace", "checkpoint",
+//! …); unscoped allocations land on the default `"host"` site. Each site
+//! keeps live/peak byte levels plus alloc/free counts, and a process
+//! total is maintained alongside so the headline
+//! `s4tf_mem_live_bytes`/`s4tf_mem_peak_bytes` gauges agree with the sum
+//! of attributions.
+//!
+//! The hot path is a thread-local read, one site lookup (cached
+//! per-thread by `&'static str` identity) and three relaxed atomics.
+
+use crate::{read_unpoisoned, write_unpoisoned};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+#[derive(Default)]
+struct SiteStats {
+    live: AtomicI64,
+    peak: AtomicI64,
+    allocs: AtomicU64,
+    frees: AtomicU64,
+}
+
+impl SiteStats {
+    fn on_alloc(&self, bytes: i64) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        let live = self.live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn on_free(&self, bytes: i64) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+        self.live.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+/// Process-total live/peak (kept alongside the per-site split so the
+/// total never depends on summing sites).
+static TOTAL: SiteStats = SiteStats {
+    live: AtomicI64::new(0),
+    peak: AtomicI64::new(0),
+    allocs: AtomicU64::new(0),
+    frees: AtomicU64::new(0),
+};
+
+fn sites() -> &'static RwLock<Vec<(&'static str, &'static SiteStats)>> {
+    static SITES: OnceLock<RwLock<Vec<(&'static str, &'static SiteStats)>>> = OnceLock::new();
+    SITES.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+thread_local! {
+    static CURRENT_SITE: Cell<&'static str> = const { Cell::new("host") };
+    /// Per-thread memo of the last site looked up, keyed by pointer
+    /// identity of the `&'static str` (site names are literals).
+    static SITE_CACHE: Cell<Option<(*const u8, &'static SiteStats)>> = const { Cell::new(None) };
+}
+
+fn stats_for(site: &'static str) -> &'static SiteStats {
+    if let Some((ptr, stats)) = SITE_CACHE.with(Cell::get) {
+        if std::ptr::eq(ptr, site.as_ptr()) {
+            return stats;
+        }
+    }
+    let found = read_unpoisoned(sites())
+        .iter()
+        .find(|(name, _)| *name == site)
+        .map(|(_, s)| *s);
+    let stats = found.unwrap_or_else(|| {
+        let mut table = write_unpoisoned(sites());
+        if let Some((_, s)) = table.iter().find(|(name, _)| *name == site) {
+            *s
+        } else {
+            let leaked: &'static SiteStats = Box::leak(Box::default());
+            table.push((site, leaked));
+            leaked
+        }
+    });
+    SITE_CACHE.with(|c| c.set(Some((site.as_ptr(), stats))));
+    stats
+}
+
+/// Restores the previous attribution site on drop.
+pub struct MemSiteGuard {
+    prev: &'static str,
+}
+
+impl Drop for MemSiteGuard {
+    fn drop(&mut self) {
+        CURRENT_SITE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Attributes allocations on this thread to `site` until the guard
+/// drops.
+pub fn mem_site(site: &'static str) -> MemSiteGuard {
+    let prev = CURRENT_SITE.with(|c| c.replace(site));
+    MemSiteGuard { prev }
+}
+
+/// Records a `bytes`-sized allocation against the current site and
+/// returns that site, which the buffer must hand back to [`mem_free`] —
+/// buffers outlive site scopes, so the credit site travels with the
+/// buffer. Returns `""` (free becomes a no-op) while recording is
+/// disabled.
+#[inline]
+pub fn mem_alloc(bytes: usize) -> &'static str {
+    if !crate::enabled() {
+        return "";
+    }
+    let site = CURRENT_SITE.with(Cell::get);
+    stats_for(site).on_alloc(bytes as i64);
+    TOTAL.on_alloc(bytes as i64);
+    site
+}
+
+/// Records the matching free for a [`mem_alloc`] that returned `site`.
+#[inline]
+pub fn mem_free(site: &'static str, bytes: usize) {
+    if site.is_empty() {
+        return;
+    }
+    stats_for(site).on_free(bytes as i64);
+    TOTAL.on_free(bytes as i64);
+}
+
+/// One site's attribution snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteMem {
+    /// The allocating subsystem (`"eager"`, `"trace"`, `"checkpoint"`,
+    /// `"host"`, …).
+    pub site: &'static str,
+    /// Bytes currently live that this site allocated.
+    pub live_bytes: i64,
+    /// High-water mark of this site's live bytes.
+    pub peak_bytes: i64,
+    /// Allocations attributed here.
+    pub allocs: u64,
+    /// Frees of buffers this site allocated.
+    pub frees: u64,
+}
+
+/// Live/peak bytes broken down by allocating subsystem, sorted by site
+/// name.
+pub fn memory_by_site() -> Vec<SiteMem> {
+    let mut out: Vec<SiteMem> = read_unpoisoned(sites())
+        .iter()
+        .map(|(site, s)| SiteMem {
+            site,
+            live_bytes: s.live.load(Ordering::Relaxed),
+            peak_bytes: s.peak.load(Ordering::Relaxed),
+            allocs: s.allocs.load(Ordering::Relaxed),
+            frees: s.frees.load(Ordering::Relaxed),
+        })
+        .collect();
+    out.sort_by_key(|m| m.site);
+    out
+}
+
+/// Process-total (live, peak) bytes across every site.
+pub(crate) fn totals() -> (i64, i64) {
+    (
+        TOTAL.live.load(Ordering::Relaxed),
+        TOTAL.peak.load(Ordering::Relaxed),
+    )
+}
+
+/// Zeroes every site and the process totals (tests; racing recorders
+/// make this approximate at best outside of them).
+pub fn reset_memory_by_site() {
+    for (_, s) in read_unpoisoned(sites()).iter() {
+        s.live.store(0, Ordering::Relaxed);
+        s.peak.store(0, Ordering::Relaxed);
+        s.allocs.store(0, Ordering::Relaxed);
+        s.frees.store(0, Ordering::Relaxed);
+    }
+    TOTAL.live.store(0, Ordering::Relaxed);
+    TOTAL.peak.store(0, Ordering::Relaxed);
+    TOTAL.allocs.store(0, Ordering::Relaxed);
+    TOTAL.frees.store(0, Ordering::Relaxed);
+}
+
+/// Refreshes the registry gauges from the attribution tables (called at
+/// every export so scrapes and snapshots see current levels without the
+/// hot path touching the registry).
+pub(crate) fn publish() {
+    let (live, peak) = totals();
+    crate::gauge("s4tf_mem_live_bytes", "Live tensor-storage bytes").set(live);
+    crate::gauge("s4tf_mem_peak_bytes", "Peak tensor-storage bytes").set(peak);
+    for m in memory_by_site() {
+        crate::gauge(
+            &format!("s4tf_mem_site_live_bytes{{site=\"{}\"}}", m.site),
+            "Live bytes by allocating subsystem",
+        )
+        .set(m.live_bytes);
+        crate::gauge(
+            &format!("s4tf_mem_site_peak_bytes{{site=\"{}\"}}", m.site),
+            "Peak live bytes by allocating subsystem",
+        )
+        .set(m.peak_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sites_scope_and_nest() {
+        crate::set_enabled(true);
+        let outer = mem_alloc(8);
+        let (inner, nested) = {
+            let _g = mem_site("mem-test-a");
+            let inner = mem_alloc(100);
+            let nested = {
+                let _g2 = mem_site("mem-test-b");
+                mem_alloc(50)
+            };
+            (inner, nested)
+        };
+        assert_eq!(outer, "host");
+        assert_eq!(inner, "mem-test-a");
+        assert_eq!(nested, "mem-test-b");
+
+        let by_site = memory_by_site();
+        let get = |s: &str| *by_site.iter().find(|m| m.site == s).unwrap();
+        assert_eq!(get("mem-test-a").live_bytes, 100);
+        assert_eq!(get("mem-test-b").live_bytes, 50);
+
+        // Frees credit the allocation site even after the scope is gone.
+        mem_free(inner, 100);
+        mem_free(nested, 50);
+        mem_free(outer, 8);
+        let by_site = memory_by_site();
+        let get = |s: &str| *by_site.iter().find(|m| m.site == s).unwrap();
+        assert_eq!(get("mem-test-a").live_bytes, 0);
+        assert_eq!(get("mem-test-a").peak_bytes, 100);
+        assert_eq!(get("mem-test-b").allocs, 1);
+        assert_eq!(get("mem-test-b").frees, 1);
+    }
+}

@@ -1,0 +1,121 @@
+// Inert mirror of the `s4tf-metrics` surface the runtime crates
+// instrument against. Not compiled into `s4tf-metrics` itself: consumer
+// crates `include!` this file from their `met.rs` shim when their
+// `metrics` feature is off, so every instrumentation site compiles
+// identically and costs nothing (see `s4tf-profile`'s shim for the
+// pattern).
+
+/// Inert stand-in for `s4tf_metrics::Counter`.
+pub(crate) struct Counter;
+
+impl Counter {
+    #[inline(always)]
+    pub(crate) fn add(&self, _delta: u64) {}
+    #[inline(always)]
+    pub(crate) fn inc(&self) {}
+    #[inline(always)]
+    pub(crate) fn value(&self) -> u64 {
+        0
+    }
+}
+
+/// Inert stand-in for `s4tf_metrics::Gauge`.
+pub(crate) struct Gauge;
+
+impl Gauge {
+    #[inline(always)]
+    pub(crate) fn set(&self, _value: i64) {}
+    #[inline(always)]
+    pub(crate) fn add(&self, _delta: i64) {}
+    #[inline(always)]
+    pub(crate) fn value(&self) -> i64 {
+        0
+    }
+}
+
+/// Inert stand-in for `s4tf_metrics::Histogram`.
+pub(crate) struct Histogram;
+
+impl Histogram {
+    #[inline(always)]
+    pub(crate) fn record(&self, _v: u64) {}
+    #[inline(always)]
+    pub(crate) fn count(&self) -> u64 {
+        0
+    }
+    #[inline(always)]
+    pub(crate) fn sum(&self) -> u64 {
+        0
+    }
+    #[inline(always)]
+    pub(crate) fn mean(&self) -> f64 {
+        0.0
+    }
+    #[inline(always)]
+    pub(crate) fn quantile(&self, _q: f64) -> f64 {
+        0.0
+    }
+}
+
+static NOOP_COUNTER: Counter = Counter;
+static NOOP_GAUGE: Gauge = Gauge;
+static NOOP_HISTOGRAM: Histogram = Histogram;
+
+#[inline(always)]
+pub(crate) fn enabled() -> bool {
+    false
+}
+
+#[inline(always)]
+pub(crate) fn counter(_name: &str, _help: &'static str) -> &'static Counter {
+    &NOOP_COUNTER
+}
+
+#[inline(always)]
+pub(crate) fn gauge(_name: &str, _help: &'static str) -> &'static Gauge {
+    &NOOP_GAUGE
+}
+
+#[inline(always)]
+pub(crate) fn dispatch_hist(_backend: &'static str, _family: &'static str) -> &'static Histogram {
+    &NOOP_HISTOGRAM
+}
+
+#[inline(always)]
+pub(crate) fn histogram(_name: &str, _help: &'static str) -> &'static Histogram {
+    &NOOP_HISTOGRAM
+}
+
+/// Inert stand-in for `s4tf_metrics::MemSiteGuard`.
+pub(crate) struct MemSiteGuard;
+
+#[inline(always)]
+pub(crate) fn mem_site(_site: &'static str) -> MemSiteGuard {
+    MemSiteGuard
+}
+
+#[inline(always)]
+pub(crate) fn mem_alloc(_bytes: usize) -> &'static str {
+    ""
+}
+
+#[inline(always)]
+pub(crate) fn mem_free(_site: &'static str, _bytes: usize) {}
+
+/// Inert stand-in for `s4tf_metrics::SiteMem`.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SiteMem {
+    pub(crate) site: &'static str,
+    pub(crate) live_bytes: i64,
+    pub(crate) peak_bytes: i64,
+    pub(crate) allocs: u64,
+    pub(crate) frees: u64,
+}
+
+#[inline(always)]
+pub(crate) fn memory_by_site() -> Vec<SiteMem> {
+    Vec::new()
+}
+
+#[inline(always)]
+pub(crate) fn sample_now() {}

@@ -1,0 +1,69 @@
+//! The live-pull exporter: a minimal std `TcpListener` HTTP endpoint
+//! serving [`crate::prometheus_text`].
+//!
+//! Deliberately tiny — one detached accept thread, one short-lived
+//! handler thread per connection, `Connection: close` — because its job
+//! is a scrape every few seconds, not traffic. Any `GET` path answers
+//! with the full exposition; anything else gets `405`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Binds `addr` (e.g. `127.0.0.1:9464`; port `0` picks a free one) and
+/// serves Prometheus text exposition from a detached thread. Returns the
+/// bound address.
+pub fn start_server(addr: &str) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("s4tf-metrics-http".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                // One thread per scrape: handlers are short-lived and a
+                // stuck client must not block the accept loop.
+                let _ = std::thread::Builder::new()
+                    .name("s4tf-metrics-conn".to_string())
+                    .spawn(move || handle(stream));
+            }
+        })?;
+    Ok(local)
+}
+
+fn handle(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+
+    // Read until the end of the request head (or 8 KiB, whichever first);
+    // the request body, if any, is irrelevant to a scrape.
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+        }
+    }
+
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let response = if request_line.starts_with(b"GET ") {
+        let body = crate::prometheus_text();
+        format!(
+            "HTTP/1.1 200 OK\r\n\
+             Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        )
+    } else {
+        "HTTP/1.1 405 Method Not Allowed\r\nAllow: GET\r\nContent-Length: 0\r\n\
+         Connection: close\r\n\r\n"
+            .to_string()
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}

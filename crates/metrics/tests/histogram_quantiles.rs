@@ -1,0 +1,158 @@
+//! Histogram correctness: quantile estimates against an exact sorted
+//! reference, concurrent recording, and the documented edge cases.
+//!
+//! The documented bound (see `s4tf_metrics::hist`): `quantile(q)` is the
+//! midpoint of the bucket containing the true nearest-rank quantile, so
+//! it is exact for values < 32 and within `1/64` relative error for
+//! values ≥ 32 (bucket width ≤ lower_bound / 32).
+
+use proptest::prelude::*;
+use s4tf_metrics::{histogram, set_enabled, Histogram};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fresh, uniquely named histogram (the registry interns by name and
+/// never forgets, so each test case gets its own instrument).
+fn fresh_hist() -> &'static Histogram {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let id = NEXT.fetch_add(1, Ordering::Relaxed);
+    histogram(
+        &format!("s4tf_test_quantile_case_{id}"),
+        "quantile proptest scratch",
+    )
+}
+
+/// Exact nearest-rank quantile: the value at rank `ceil(q·n)` (1-based)
+/// of the sorted sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// p0/p25/p50/p90/p95/p99/p100 all land within the documented
+    /// relative-error bound of the exact sorted reference.
+    #[test]
+    fn quantiles_within_documented_bound(
+        values in prop::collection::vec(0u64..(1u64 << 40), 1..200),
+    ) {
+        set_enabled(true);
+        let h = fresh_hist();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let est = h.quantile(q);
+            let truth = exact_quantile(&sorted, q);
+            if truth < 32 {
+                // Unit buckets: exact.
+                prop_assert_eq!(est, truth as f64, "q={} values={:?}", q, values);
+            } else {
+                let err = (est - truth as f64).abs();
+                let bound = truth as f64 / 64.0;
+                prop_assert!(
+                    err <= bound + 1e-9,
+                    "q={}: est {} vs exact {} (err {} > bound {})",
+                    q, est, truth, err, bound
+                );
+            }
+        }
+    }
+
+    /// `quantile` is monotone in `q` — a p99 can never undercut a p50.
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        values in prop::collection::vec(0u64..(1u64 << 40), 1..100),
+    ) {
+        set_enabled(true);
+        let h = fresh_hist();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut prev = -1.0f64;
+        for i in 0..=20 {
+            let cur = h.quantile(i as f64 / 20.0);
+            prop_assert!(cur >= prev, "quantile({}) = {} < {}", i as f64 / 20.0, cur, prev);
+            prev = cur;
+        }
+    }
+
+    /// `count`/`sum`/`mean` agree with the recorded sample exactly.
+    #[test]
+    fn count_and_sum_are_exact(
+        values in prop::collection::vec(0u64..(1u64 << 32), 0..100),
+    ) {
+        set_enabled(true);
+        let h = fresh_hist();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let sum: u64 = values.iter().sum();
+        prop_assert_eq!(h.sum(), sum);
+        if values.is_empty() {
+            prop_assert_eq!(h.mean(), 0.0);
+        } else {
+            prop_assert!((h.mean() - sum as f64 / values.len() as f64).abs() < 1e-9);
+        }
+    }
+}
+
+/// Eight threads hammer one histogram; totals come out exact (relaxed
+/// atomics lose nothing, they only reorder).
+#[test]
+fn concurrent_recording_is_lossless() {
+    set_enabled(true);
+    let h = fresh_hist();
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // A spread of octaves, deterministic per thread.
+                    h.record((t * 1000 + i) % 100_000);
+                }
+            });
+        }
+    });
+    assert_eq!(h.count(), THREADS * PER_THREAD);
+    let expected: u64 = (0..THREADS)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (t * 1000 + i) % 100_000))
+        .sum();
+    assert_eq!(h.sum(), expected);
+    // Quantiles stay ordered and inside the recorded range.
+    let p50 = h.quantile(0.5);
+    let p99 = h.quantile(0.99);
+    assert!(p50 <= p99);
+    assert!(h.quantile(1.0) <= 100_000.0 * (1.0 + 1.0 / 64.0));
+}
+
+/// Values past the highest resolved octave (2⁴⁴) collapse into the
+/// overflow bucket, and quantiles landing there clamp to its lower bound
+/// instead of inventing a midpoint with `u64::MAX`.
+#[test]
+fn overflow_bucket_clamps() {
+    set_enabled(true);
+    let h = fresh_hist();
+    h.record(u64::MAX);
+    h.record(u64::MAX / 2);
+    assert_eq!(h.count(), 2);
+    let p99 = h.quantile(0.99);
+    assert!(p99.is_finite());
+    assert!(p99 <= (u64::MAX / 2) as f64);
+    assert!(p99 >= (1u64 << 44) as f64);
+}
+
+/// An empty histogram answers 0 for everything rather than panicking.
+#[test]
+fn empty_histogram_is_all_zero() {
+    let h = fresh_hist();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.mean(), 0.0);
+    assert_eq!(h.quantile(0.5), 0.0);
+}

@@ -1,0 +1,76 @@
+//! The shared JSONL sink: one file, one writer, lines discriminated by
+//! `"kind"`. Kept in its own test binary because the sink path is
+//! process-global — other test binaries must not race it.
+
+use s4tf_metrics::{
+    append_jsonl, counter, jsonl_enabled, jsonl_path, sample_now, set_enabled, set_jsonl_path,
+};
+use std::path::PathBuf;
+
+fn scratch_file() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "s4tf_metrics_sink_test_{}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// Step-style lines (what `s4tf-diag` appends) and sampler snapshots
+/// land in the same file, every line parses, and each carries the
+/// `kind` discriminator.
+#[test]
+fn step_and_snapshot_lines_share_one_file() {
+    set_enabled(true);
+    let path = scratch_file();
+    let _ = std::fs::remove_file(&path);
+
+    set_jsonl_path(Some(&path));
+    assert!(jsonl_enabled());
+    assert_eq!(jsonl_path(), Some(path.clone()));
+
+    // A training-step record, as the diag stream renders it.
+    append_jsonl(
+        "{\"kind\":\"step\",\"step\":1,\"loss\":0.5,\"grad_norm\":1.0,\
+         \"examples_per_sec\":100,\"peak_bytes\":0,\"live_bytes\":0,\
+         \"backend\":\"naive\"}",
+    );
+    // A sampler tick appends one registry snapshot.
+    counter("s4tf_test_sink_total", "sink test seed").inc();
+    sample_now();
+
+    let contents = std::fs::read_to_string(&path).expect("sink file exists");
+    let lines: Vec<&str> = contents.lines().collect();
+    assert_eq!(lines.len(), 2, "expected step + snapshot:\n{contents}");
+
+    let mut kinds = Vec::new();
+    for line in &lines {
+        let value: serde_json::Value = serde_json::from_str(line).expect("line parses");
+        match value.get("kind") {
+            Some(serde_json::Value::Str(k)) => kinds.push(k.clone()),
+            other => panic!("line without kind ({other:?}): {line}"),
+        }
+    }
+    assert_eq!(kinds, ["step", "snapshot"]);
+
+    // The snapshot carries the counter recorded before the tick.
+    let snap: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+    assert!(
+        snap.get("counters")
+            .and_then(|c| c.get("s4tf_test_sink_total"))
+            .is_some(),
+        "snapshot missing registry counter: {}",
+        lines[1]
+    );
+
+    // Disabling the sink makes appends no-ops again.
+    set_jsonl_path(None);
+    assert!(!jsonl_enabled());
+    append_jsonl("{\"kind\":\"step\"}");
+    let after = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(
+        after.lines().count(),
+        2,
+        "write-after-disable leaked through"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}

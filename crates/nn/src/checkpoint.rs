@@ -84,6 +84,9 @@ impl Checkpoint {
         step: u64,
         model: &M,
     ) -> Result<Checkpoint, RuntimeError> {
+        // Host copies of the parameters are checkpoint-I/O working set,
+        // not model memory — credit them to the checkpoint site.
+        let _site = crate::met::mem_site("checkpoint");
         let mut params = BTreeMap::new();
         let mut first_err: Option<RuntimeError> = None;
         model.for_each_param("", &mut |name, t| {
@@ -196,6 +199,8 @@ impl Checkpoint {
     /// Parses the binary format, verifying magic, version, structure and
     /// the trailing checksum. Every failure mode is a typed I/O error.
     pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, RuntimeError> {
+        // Tensors decoded from the file are checkpoint-I/O allocations.
+        let _site = crate::met::mem_site("checkpoint");
         let bad = |msg: String| RuntimeError::io("checkpoint.load", msg);
         if bytes.len() < MAGIC.len() + 4 + 8 + 4 + 8 {
             return Err(bad(format!("file too short ({} bytes)", bytes.len())));

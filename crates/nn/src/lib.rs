@@ -34,6 +34,7 @@ mod fault;
 pub mod layer;
 pub mod layers;
 pub mod loss;
+mod met;
 pub mod metrics;
 pub mod optimizer;
 mod prof;

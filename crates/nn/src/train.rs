@@ -8,6 +8,7 @@ use crate::diag;
 use crate::fault;
 use crate::layer::Layer;
 use crate::loss::softmax_cross_entropy;
+use crate::met;
 use crate::optimizer::Optimizer;
 use crate::prof;
 use s4tf_core::{AdditiveArithmetic, LossValue, VectorSpace};
@@ -15,6 +16,49 @@ use s4tf_runtime::{DTensor, Device};
 use s4tf_tensor::{panic_message, RuntimeError, Tensor};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Records one step into the metrics registry (step-time and loss
+/// histograms, step/example counters) — live export surface, recorded on
+/// every step whether or not the `S4TF_METRICS_FILE` stream is active.
+fn record_step_instruments(loss: f64, examples: usize, elapsed: std::time::Duration) {
+    if !met::enabled() {
+        return;
+    }
+    fn h(name: &str, help: &'static str) -> &'static met::Histogram {
+        met::histogram(name, help)
+    }
+    static STEP: std::sync::OnceLock<&'static met::Histogram> = std::sync::OnceLock::new();
+    static LOSS: std::sync::OnceLock<&'static met::Histogram> = std::sync::OnceLock::new();
+    static STEPS: std::sync::OnceLock<&'static met::Counter> = std::sync::OnceLock::new();
+    static EXAMPLES: std::sync::OnceLock<&'static met::Counter> = std::sync::OnceLock::new();
+    STEP.get_or_init(|| {
+        h(
+            "s4tf_train_step_us",
+            "Wall time of one training step, microseconds",
+        )
+    })
+    .record(elapsed.as_micros() as u64);
+    // The histogram is integer-valued; losses live near zero, so scale to
+    // micro-loss units to keep sub-unit resolution (p50 of 0.3 → 300000).
+    LOSS.get_or_init(|| {
+        h(
+            "s4tf_train_loss_micros",
+            "Per-step training loss, scaled by 1e6 (micro-loss units)",
+        )
+    })
+    .record((loss.max(0.0) * 1e6) as u64);
+    STEPS
+        .get_or_init(|| met::counter("s4tf_train_steps_total", "Training steps completed"))
+        .inc();
+    EXAMPLES
+        .get_or_init(|| {
+            met::counter(
+                "s4tf_train_examples_total",
+                "Training examples consumed across all steps",
+            )
+        })
+        .add(examples as u64);
+}
 
 /// Emits one [`diag::StepRecord`] to the `S4TF_METRICS_FILE` stream.
 ///
@@ -87,8 +131,9 @@ where
     if span.is_recording() {
         span.annotate_f64("loss", loss);
     }
+    let examples = images.dims().first().copied().unwrap_or(1);
+    record_step_instruments(loss, examples, start.elapsed());
     if diag::metrics_enabled() {
-        let examples = images.dims().first().copied().unwrap_or(1);
         emit_step_metrics(loss, &gradients, examples, start.elapsed(), device.kind());
     }
     loss
@@ -408,11 +453,12 @@ where
     if span.is_recording() {
         span.annotate_f64("loss", loss);
     }
+    let examples: usize = shards
+        .iter()
+        .map(|(x, _)| x.dims().first().copied().unwrap_or(1))
+        .sum();
+    record_step_instruments(loss, examples, start.elapsed());
     if diag::metrics_enabled() {
-        let examples: usize = shards
-            .iter()
-            .map(|(x, _)| x.dims().first().copied().unwrap_or(1))
-            .sum();
         emit_step_metrics(loss, &mean_grad, examples, start.elapsed(), backend);
     }
     Ok(loss)
@@ -442,8 +488,9 @@ where
     if span.is_recording() {
         span.annotate_f64("loss", loss);
     }
+    let examples = inputs.dims().first().copied().unwrap_or(1);
+    record_step_instruments(loss, examples, start.elapsed());
     if diag::metrics_enabled() {
-        let examples = inputs.dims().first().copied().unwrap_or(1);
         emit_step_metrics(loss, &gradients, examples, start.elapsed(), device.kind());
     }
     loss

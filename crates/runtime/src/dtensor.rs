@@ -221,6 +221,7 @@ impl DTensor {
         let tensors: Vec<Tensor<f32>> = inputs.iter().map(|t| t.to_tensor()).collect();
         let profiling = crate::prof::enabled();
         let start_us = if profiling { crate::prof::now_us() } else { 0 };
+        let dispatch_timer = crate::met::enabled().then(std::time::Instant::now);
         let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             s4tf_xla::eval_op_owned(&op, tensors)
         })) {
@@ -245,6 +246,9 @@ impl DTensor {
                 }
             }
         };
+        if let Some(t0) = dispatch_timer {
+            crate::met::dispatch_hist("naive", op.family()).record(t0.elapsed().as_micros() as u64);
+        }
         if profiling {
             // Synchronous execution: enqueue == start, and each op chains
             // serially after the previous naive op on this thread.

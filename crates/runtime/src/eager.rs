@@ -13,6 +13,7 @@
 
 use crate::diag;
 use crate::fault;
+use crate::met;
 use crate::prof;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
@@ -20,8 +21,19 @@ use s4tf_tensor::{panic_message, RuntimeError, Shape, Tensor};
 use s4tf_xla::exec::eval_op_owned;
 use s4tf_xla::HloOp;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+
+/// The eager dispatch queue's registry gauge (kernels in flight).
+fn eager_queue_gauge() -> &'static met::Gauge {
+    static G: OnceLock<&'static met::Gauge> = OnceLock::new();
+    G.get_or_init(|| {
+        met::gauge(
+            "s4tf_queue_depth{queue=\"eager\"}",
+            "Kernels dispatched to the eager worker but not yet executed",
+        )
+    })
+}
 
 /// The value a slot resolves to: a materialized tensor, or the attributed
 /// error that *poisoned* it (paper §4: asynchronous failures attach to
@@ -214,6 +226,7 @@ impl EagerQueue {
         if prof::enabled() {
             prof::gauge_set("eager.queue_depth", self.queue_depth() as f64);
         }
+        eager_queue_gauge().set(self.queue_depth() as i64);
         sent.map_err(|_| {
             let e = RuntimeError::kernel(
                 "eager.dispatch",
@@ -298,6 +311,9 @@ impl EagerTensor {
         let op_id = prof::next_op_id();
         let family = op.family();
         let enqueue_us = prof::now_us();
+        // Clock for the registry's dispatch-latency histogram (enqueue →
+        // kernel completion); `None` keeps the disabled path free.
+        let dispatch_timer = met::enabled().then(std::time::Instant::now);
         let flow_id = if prof::enabled() {
             prof::next_flow_id()
         } else {
@@ -333,6 +349,9 @@ impl EagerTensor {
         }
         let job = Box::new(move || {
             let start_us = prof::now_us();
+            // Result buffers allocated by this kernel are attributed to
+            // the eager subsystem in `memory_by_site()`.
+            let _site = met::mem_site("eager");
             let mut span = prof::span("eager.kernel_run");
             if span.is_recording() {
                 span.annotate("op", op.mnemonic());
@@ -403,6 +422,9 @@ impl EagerTensor {
                     }
                 }
             };
+            if let Some(t0) = dispatch_timer {
+                met::dispatch_hist("eager", family).record(t0.elapsed().as_micros() as u64);
+            }
             if prof::enabled() {
                 prof::op_event(
                     op_id,

@@ -301,7 +301,11 @@ impl LazyContext {
         // `param_old`'s buffer. Parameters with live handles stay shared
         // and are never overwritten.
         let params = std::mem::take(&mut trace.params);
+        // Kernel outputs materialized by this barrier are credited to the
+        // lazy executor in `memory_by_site()`.
+        let mem_site = crate::met::mem_site("lazy");
         let run_result = exe.try_run_owned(params, "lazy");
+        drop(mem_site);
         if profiling {
             // The executor left its last kernel's id in the op root; the
             // next step's trace chains after it.
@@ -434,6 +438,9 @@ impl LazyTensor {
                         return *node;
                     }
                 }
+                // Buffers lifted into the trace (embedded constants and
+                // parameter copies) are credited to the trace subsystem.
+                let _site = crate::met::mem_site("trace");
                 let node = if *as_constant {
                     trace.graph.constant(tensor.clone())
                 } else {

@@ -44,6 +44,7 @@ pub mod dtensor;
 pub mod eager;
 mod fault;
 pub mod lazy;
+mod met;
 mod prof;
 pub mod sim;
 

@@ -46,6 +46,7 @@ pub mod cost;
 mod diag;
 pub mod dtype;
 pub mod error;
+mod met;
 pub mod ops;
 mod par;
 pub mod pool;

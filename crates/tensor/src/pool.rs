@@ -39,6 +39,7 @@
 //! bytes come from, never what is written into them.
 
 use crate::dtype::Scalar;
+use crate::met;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI8, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -116,6 +117,70 @@ pub fn pool_stats() -> PoolStats {
         recycled_bytes: RECYCLED_BYTES.load(Ordering::Relaxed),
         pooled_bytes: POOLED_BYTES.load(Ordering::Relaxed),
     }
+}
+
+/// Current pool counters — the public mirror of the provider the
+/// profiler polls (`profile::pool_stats`), so callers can watch hit
+/// rates without enabling the profiler.
+pub fn stats() -> PoolStats {
+    pool_stats()
+}
+
+// -------------------------------------------------- registry instruments
+
+/// One registry counter per power-of-two size bucket, interned lazily so
+/// the hot path never formats a metric name: bucket indices are small
+/// (`MAX_BUFFER_BYTES` = 64 MiB caps them at 26) and stable, so a fixed
+/// slot table of `OnceLock`s suffices.
+const METRIC_BUCKET_SLOTS: usize = 28;
+
+struct BucketCounters {
+    name: &'static str,
+    help: &'static str,
+    slots: [OnceLock<&'static met::Counter>; METRIC_BUCKET_SLOTS],
+}
+
+impl BucketCounters {
+    const fn new(name: &'static str, help: &'static str) -> Self {
+        BucketCounters {
+            name,
+            help,
+            slots: [const { OnceLock::new() }; METRIC_BUCKET_SLOTS],
+        }
+    }
+
+    fn get(&'static self, bucket: u32) -> &'static met::Counter {
+        let idx = (bucket as usize).min(METRIC_BUCKET_SLOTS - 1);
+        self.slots[idx].get_or_init(|| {
+            met::counter(
+                &format!("{}{{bucket=\"{}\"}}", self.name, 1u64 << idx),
+                self.help,
+            )
+        })
+    }
+}
+
+static HIT_COUNTERS: BucketCounters = BucketCounters::new(
+    "s4tf_pool_hits_total",
+    "Pool allocation requests served from the free list, by power-of-two byte bucket",
+);
+static MISS_COUNTERS: BucketCounters = BucketCounters::new(
+    "s4tf_pool_misses_total",
+    "Pool allocation requests that fell through to the allocator, by power-of-two byte bucket",
+);
+static RECYCLE_COUNTERS: BucketCounters = BucketCounters::new(
+    "s4tf_pool_recycled_total",
+    "Dead buffers accepted back into the free list, by power-of-two byte bucket",
+);
+
+fn resident_gauge() -> &'static met::Gauge {
+    static G: OnceLock<&'static met::Gauge> = OnceLock::new();
+    G.get_or_init(|| {
+        met::gauge(
+            "s4tf_pool_resident_bytes",
+            "Capacity bytes currently parked in the buffer-recycling free lists",
+        )
+    })
 }
 
 // -------------------------------------------------------- bucket rounding
@@ -201,11 +266,14 @@ impl<T> TypedPool<T> {
                 let cap_bytes = (v.capacity() * std::mem::size_of::<T>()) as u64;
                 HITS.fetch_add(1, Ordering::Relaxed);
                 RECYCLED_BYTES.fetch_add(cap_bytes, Ordering::Relaxed);
-                POOLED_BYTES.fetch_sub(cap_bytes, Ordering::Relaxed);
+                let pooled = POOLED_BYTES.fetch_sub(cap_bytes, Ordering::Relaxed) - cap_bytes;
+                HIT_COUNTERS.get(bucket).inc();
+                resident_gauge().set(pooled as i64);
                 Some(v)
             }
             None => {
                 MISSES.fetch_add(1, Ordering::Relaxed);
+                MISS_COUNTERS.get(bucket).inc();
                 None
             }
         }
@@ -230,7 +298,9 @@ impl<T> TypedPool<T> {
         }
         v.clear();
         entries.push(v);
-        POOLED_BYTES.fetch_add(cap_bytes as u64, Ordering::Relaxed);
+        let pooled = POOLED_BYTES.fetch_add(cap_bytes as u64, Ordering::Relaxed) + cap_bytes as u64;
+        RECYCLE_COUNTERS.get(bucket).inc();
+        resident_gauge().set(pooled as i64);
         true
     }
 
@@ -242,7 +312,8 @@ impl<T> TypedPool<T> {
             .flatten()
             .map(|v| v.capacity() * std::mem::size_of::<T>())
             .sum();
-        POOLED_BYTES.fetch_sub(bytes as u64, Ordering::Relaxed);
+        let pooled = POOLED_BYTES.fetch_sub(bytes as u64, Ordering::Relaxed) - bytes as u64;
+        resident_gauge().set(pooled as i64);
     }
 
     /// Parked buffers (for tests).

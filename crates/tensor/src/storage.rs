@@ -11,6 +11,7 @@
 
 use crate::diag;
 use crate::dtype::Scalar;
+use crate::met;
 use crate::pool;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -33,13 +34,17 @@ struct Buf<T: Scalar> {
     vec: Vec<T>,
     /// Bytes reported to the tracker (buffer capacity at creation).
     bytes: usize,
+    /// Allocation site credited in the metrics registry's per-subsystem
+    /// attribution (`""` when metrics are disabled — frees then no-op).
+    site: &'static str,
 }
 
 impl<T: Scalar> Buf<T> {
     fn new(vec: Vec<T>) -> Self {
         let bytes = vec.capacity() * std::mem::size_of::<T>();
         diag::track_alloc(bytes);
-        Buf { vec, bytes }
+        let site = met::mem_alloc(bytes);
+        Buf { vec, bytes, site }
     }
 
     /// Wraps a buffer that came out of the recycling pool: live/peak
@@ -47,7 +52,8 @@ impl<T: Scalar> Buf<T> {
     fn recycled(vec: Vec<T>) -> Self {
         let bytes = vec.capacity() * std::mem::size_of::<T>();
         diag::track_recycled_alloc(bytes);
-        Buf { vec, bytes }
+        let site = met::mem_alloc(bytes);
+        Buf { vec, bytes, site }
     }
 
     /// Pool-aware copy of a slice.
@@ -69,6 +75,7 @@ impl<T: Scalar> Buf<T> {
     /// (the subsequent `Drop` then has nothing left to report).
     fn take(mut self) -> Vec<T> {
         diag::track_free(self.bytes);
+        met::mem_free(self.site, self.bytes);
         self.bytes = 0;
         std::mem::take(&mut self.vec)
     }
@@ -97,6 +104,9 @@ impl<T: Scalar> Drop for Buf<T> {
         if self.bytes == 0 {
             return;
         }
+        // The bytes leave tensor-live accounting either way: capacity the
+        // pool keeps is reported separately as `s4tf_pool_resident_bytes`.
+        met::mem_free(self.site, self.bytes);
         let vec = std::mem::take(&mut self.vec);
         if pool::give_vec(vec) {
             diag::track_recycled_free(self.bytes);

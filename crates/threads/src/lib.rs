@@ -49,7 +49,31 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
+mod met;
 mod prof;
+
+/// Cached handle for the pool's queue-depth gauge (set under the queue
+/// lock, so sampling never racily overshoots).
+fn queue_depth_gauge() -> &'static met::Gauge {
+    static G: OnceLock<&'static met::Gauge> = OnceLock::new();
+    G.get_or_init(|| {
+        met::gauge(
+            "s4tf_queue_depth{queue=\"threadpool\"}",
+            "Chunks waiting in the kernel thread pool queue",
+        )
+    })
+}
+
+/// Cached handle for the worker task-latency histogram.
+fn task_latency_hist() -> &'static met::Histogram {
+    static H: OnceLock<&'static met::Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        met::histogram(
+            "s4tf_pool_task_us",
+            "Thread-pool chunk execution latency in microseconds",
+        )
+    })
+}
 
 // ------------------------------------------------------------ configuration
 
@@ -243,6 +267,7 @@ impl Pool {
                 let mut queue = lock(&self.queue);
                 loop {
                     if let Some(task) = queue.pop_front() {
+                        queue_depth_gauge().set(queue.len() as i64);
                         break task;
                     }
                     queue = match self.available.wait(queue) {
@@ -259,10 +284,10 @@ impl Pool {
                 }
                 run_chunk(task);
             }
+            let elapsed_us = start.elapsed().as_micros() as u64;
+            task_latency_hist().record(elapsed_us);
             STATS.tasks_run.fetch_add(1, Ordering::Relaxed);
-            STATS
-                .busy_us
-                .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+            STATS.busy_us.fetch_add(elapsed_us, Ordering::Relaxed);
         }
     }
 }
@@ -369,6 +394,7 @@ where
         if prof::enabled() {
             prof::gauge_set("pool.queue_depth", queue.len() as f64);
         }
+        queue_depth_gauge().set(queue.len() as i64);
         drop(queue);
         pool.available.notify_all();
     }

@@ -1,0 +1,11 @@
+//! The metrics-registry shim: the real `s4tf-metrics` surface when the
+//! `metrics` feature is on, the shared inert mirror when it is off, so
+//! instrumentation sites compile identically either way.
+
+#![allow(dead_code, unused_imports)]
+
+#[cfg(feature = "metrics")]
+pub(crate) use s4tf_metrics::{counter, enabled, gauge, histogram, Counter, Gauge, Histogram};
+
+#[cfg(not(feature = "metrics"))]
+include!("../../metrics/src/noop_shim.rs");

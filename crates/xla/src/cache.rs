@@ -11,10 +11,12 @@ use crate::diag;
 use crate::exec::{compile, compile_unoptimized, Executable};
 use crate::fault;
 use crate::graph::HloGraph;
+use crate::met;
 use crate::prof;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Cache statistics.
@@ -27,6 +29,15 @@ pub struct CacheStats {
     /// Compilations that exhausted their retries and degraded to the
     /// unoptimized trace interpreter (same semantics, no fusion).
     pub compile_fallbacks: u64,
+    /// Analytic peak live bytes, summed over the cache's distinct
+    /// programs (each program's liveness-schedule budget).
+    pub planned_bytes: u64,
+    /// Kernels (across all cached programs' runs) that committed to
+    /// writing in place into a dying operand's buffer.
+    pub in_place: u64,
+    /// The subset of `in_place` that overwrote a caller-donated
+    /// parameter buffer.
+    pub donated: u64,
 }
 
 impl CacheStats {
@@ -69,6 +80,46 @@ impl std::fmt::Debug for ProgramCache {
     }
 }
 
+fn cache_hit_counter() -> &'static met::Counter {
+    static C: OnceLock<&'static met::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        met::counter(
+            "s4tf_xla_cache_total{result=\"hit\"}",
+            "Program-cache lookups, by whether a compiled program was found",
+        )
+    })
+}
+
+fn cache_miss_counter() -> &'static met::Counter {
+    static C: OnceLock<&'static met::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        met::counter(
+            "s4tf_xla_cache_total{result=\"miss\"}",
+            "Program-cache lookups, by whether a compiled program was found",
+        )
+    })
+}
+
+fn compile_fallback_counter() -> &'static met::Counter {
+    static C: OnceLock<&'static met::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        met::counter(
+            "s4tf_xla_compile_fallback_total",
+            "Compilations that exhausted retries and degraded to the trace interpreter",
+        )
+    })
+}
+
+fn compile_time_hist() -> &'static met::Histogram {
+    static H: OnceLock<&'static met::Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        met::histogram(
+            "s4tf_xla_compile_us",
+            "Wall time of one XLA-program compilation, microseconds",
+        )
+    })
+}
+
 impl ProgramCache {
     /// An empty cache.
     pub fn new() -> Self {
@@ -84,12 +135,14 @@ impl ProgramCache {
             if let Some((_, exe)) = bucket.iter().find(|(g, _)| g == graph) {
                 let exe = Arc::clone(exe);
                 inner.stats.hits += 1;
+                cache_hit_counter().inc();
                 prof::counter_add("xla.cache_hit", 1);
                 diag::event!("xla.cache.hit", fingerprint = format_args!("{key:016x}"));
                 return exe;
             }
         }
         inner.stats.misses += 1;
+        cache_miss_counter().inc();
         prof::counter_add("xla.cache_miss", 1);
         diag::event!("xla.cache.miss", fingerprint = format_args!("{key:016x}"));
         diag::event!(
@@ -98,11 +151,17 @@ impl ProgramCache {
             nodes = graph.len(),
         );
         let start = std::time::Instant::now();
+        // Buffers the compiler materializes (folded constants, fused
+        // graphs) are attributed to the compile site, not the caller's.
+        let site = met::mem_site("xla.compile");
         let (exe, fell_back) = compile_resilient(graph, key);
+        drop(site);
         let exe = Arc::new(exe);
         if fell_back {
             inner.stats.compile_fallbacks += 1;
+            compile_fallback_counter().inc();
         }
+        compile_time_hist().record(start.elapsed().as_micros() as u64);
         inner.compile_time += start.elapsed();
         diag::event!(
             "xla.compile.finish",
@@ -118,9 +177,18 @@ impl ProgramCache {
         exe
     }
 
-    /// Current statistics.
+    /// Current statistics, including each cached program's planner
+    /// budget and accumulated run-time plan outcomes.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats
+        let inner = self.inner.lock();
+        let mut stats = inner.stats;
+        for (_, exe) in inner.entries.values().flatten() {
+            stats.planned_bytes += exe.planned_bytes();
+            let counters = exe.plan_counters();
+            stats.in_place += counters.in_place.load(Ordering::Relaxed);
+            stats.donated += counters.donated.load(Ordering::Relaxed);
+        }
+        stats
     }
 
     /// Total time spent compiling (the JIT cost the cache amortizes).
@@ -223,13 +291,14 @@ mod tests {
         let a = cache.get_or_compile(&g);
         let b = cache.get_or_compile(&g);
         assert!(Arc::ptr_eq(&a, &b), "same trace must reuse the program");
+        let stats = cache.stats();
         assert_eq!(
-            cache.stats(),
-            CacheStats {
-                hits: 1,
-                misses: 1,
-                compile_fallbacks: 0
-            }
+            (stats.hits, stats.misses, stats.compile_fallbacks),
+            (1, 1, 0)
+        );
+        assert!(
+            stats.planned_bytes > 0,
+            "a cached program carries its planner budget"
         );
         assert_eq!(cache.len(), 1);
     }

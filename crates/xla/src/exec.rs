@@ -3,12 +3,13 @@
 
 use crate::fault;
 use crate::graph::HloGraph;
+use crate::met;
 use crate::op::{FusedInst, HloOp, ReduceKind};
 use crate::passes::{self, MemoryPlan};
 use crate::prof;
 use s4tf_tensor::{panic_message, RuntimeError, Tensor};
-use std::sync::atomic::{AtomicI8, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicI8, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Runtime override for the memory planner (−1 = unset, 0 = off, 1 = on).
 static PLAN_OVERRIDE: AtomicI8 = AtomicI8::new(-1);
@@ -42,6 +43,40 @@ pub fn set_plan_enabled(enabled: bool) {
     PLAN_OVERRIDE.store(enabled as i8, Ordering::Relaxed);
 }
 
+fn plan_in_place_counter() -> &'static met::Counter {
+    static C: OnceLock<&'static met::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        met::counter(
+            "s4tf_plan_in_place_total",
+            "Kernels that wrote their output in place into a dying operand's buffer",
+        )
+    })
+}
+
+fn plan_donated_counter() -> &'static met::Counter {
+    static C: OnceLock<&'static met::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        met::counter(
+            "s4tf_plan_donated_total",
+            "In-place kernel commits that overwrote a caller-donated parameter buffer",
+        )
+    })
+}
+
+/// What the memory plan actually did at run time, accumulated across
+/// every execution of one program (clones share the tally via `Arc`).
+/// "Planned" numbers live on [`MemoryPlan`]; these are the outcomes.
+#[derive(Debug, Default)]
+pub struct PlanCounters {
+    /// Kernels that committed to writing their output into a dying
+    /// operand's buffer (the run-time uniqueness check passed).
+    pub in_place: AtomicU64,
+    /// The subset of in-place commits whose overwritten operand was a
+    /// *parameter* — a caller-donated buffer (the optimizer-update
+    /// pattern `p ← p − lr·g`).
+    pub donated: AtomicU64,
+}
+
 /// A compiled trace: the optimized graph plus execution bookkeeping.
 #[derive(Debug, Clone)]
 pub struct Executable {
@@ -51,6 +86,8 @@ pub struct Executable {
     /// Buffer liveness computed at compile time (paper §3.3: the trace
     /// exposes whole-program structure, so buffer assignment is static).
     plan: MemoryPlan,
+    /// Run-time plan outcomes, shared across clones of this program.
+    counters: Arc<PlanCounters>,
 }
 
 /// Compiles a graph: runs the whole-program pass pipeline (constant
@@ -80,6 +117,7 @@ pub fn compile(graph: &HloGraph) -> Executable {
         graph: g,
         kernel_count,
         plan,
+        counters: Arc::default(),
     }
 }
 
@@ -96,6 +134,7 @@ pub fn compile_unoptimized(graph: &HloGraph) -> Executable {
         graph: g,
         kernel_count,
         plan,
+        counters: Arc::default(),
     }
 }
 
@@ -109,6 +148,16 @@ impl Executable {
     /// fusion experiments report.
     pub fn kernel_count(&self) -> usize {
         self.kernel_count
+    }
+
+    /// The liveness schedule's analytic peak live bytes for one run.
+    pub fn planned_bytes(&self) -> u64 {
+        self.plan.planned_bytes
+    }
+
+    /// Run-time plan outcomes accumulated over this program's executions.
+    pub fn plan_counters(&self) -> &PlanCounters {
+        &self.counters
     }
 
     /// Executes the plan on runtime parameters.
@@ -207,9 +256,15 @@ impl Executable {
         let entry_root = if profiling { prof::op_root() } else { 0 };
         let mut prev_id = entry_root;
         let (mut step_flops, mut step_bytes) = (0u64, 0u64);
+        let met_on = met::enabled();
         let mut values: Vec<Option<Tensor<f32>>> = vec![None; self.graph.nodes.len()];
         for (i, node) in self.graph.nodes.iter().enumerate() {
             let node_start = if profiling { prof::now_us() } else { 0 };
+            let node_timer = if met_on {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            };
             let out = match &node.op {
                 HloOp::Parameter(p) => {
                     let t = params[*p]
@@ -255,6 +310,12 @@ impl Executable {
                     // the caller as requested, not as a poisoned value.
                     let result = if let Some(k) = inplace_at {
                         let target_id = node.inputs[k].0 as usize;
+                        self.counters.in_place.fetch_add(1, Ordering::Relaxed);
+                        plan_in_place_counter().inc();
+                        if matches!(self.graph.nodes[target_id].op, HloOp::Parameter(_)) {
+                            self.counters.donated.fetch_add(1, Ordering::Relaxed);
+                            plan_donated_counter().inc();
+                        }
                         let target = values[target_id]
                             .take()
                             .expect("topological order guarantees operands are ready");
@@ -303,6 +364,12 @@ impl Executable {
                 out.shape(),
                 node.shape
             );
+            if let Some(t0) = node_timer {
+                if !matches!(node.op, HloOp::Parameter(_) | HloOp::Constant(_)) {
+                    met::dispatch_hist(backend, node.op.family())
+                        .record(t0.elapsed().as_micros() as u64);
+                }
+            }
             if profiling && !matches!(node.op, HloOp::Parameter(_) | HloOp::Constant(_)) {
                 let in_shapes: Vec<&s4tf_tensor::Shape> = node
                     .inputs

@@ -53,6 +53,7 @@ mod diag;
 pub mod exec;
 mod fault;
 pub mod graph;
+mod met;
 pub mod op;
 pub mod passes;
 mod prof;
@@ -61,7 +62,7 @@ pub use cache::{CacheStats, ProgramCache};
 pub use cost::op_cost;
 pub use exec::{
     compile, compile_unoptimized, eval_op, eval_op_owned, plan_enabled, set_plan_enabled,
-    Executable,
+    Executable, PlanCounters,
 };
 pub use graph::{HloGraph, NodeId};
 pub use op::{ElemBinary, ElemUnary, HloOp, ReduceKind};

@@ -1,0 +1,14 @@
+//! The metrics-registry shim: the real `s4tf-metrics` surface when the
+//! `metrics` feature is on, the shared inert mirror when it is off, so
+//! instrumentation sites compile identically either way.
+
+#![allow(dead_code, unused_imports)]
+
+#[cfg(feature = "metrics")]
+pub(crate) use s4tf_metrics::{
+    counter, dispatch_hist, enabled, gauge, histogram, mem_site, Counter, Gauge, Histogram,
+    MemSiteGuard,
+};
+
+#[cfg(not(feature = "metrics"))]
+include!("../../metrics/src/noop_shim.rs");

@@ -438,6 +438,12 @@ pub struct MemoryPlan {
     /// qualifies statically; the executor still re-checks buffer
     /// uniqueness at run time.
     pub inplace: Vec<Option<usize>>,
+    /// Peak live bytes the liveness schedule predicts for one execution:
+    /// each node's output counts from its step until its `drop_after`
+    /// step (out-of-place model, f32 elements). Planned, not measured —
+    /// the planner's budget, compared against pool/live gauges at run
+    /// time.
+    pub planned_bytes: u64,
 }
 
 impl MemoryPlan {
@@ -530,9 +536,24 @@ pub fn plan_memory(g: &HloGraph) -> MemoryPlan {
             _ => None,
         };
     }
+    // The schedule's analytic memory budget: replay the liveness walk,
+    // charging each output at creation and crediting it at its drop step.
+    // Graph outputs never drop, so they stay charged through the end.
+    let bytes_of = |j: usize| (g.nodes[j].shape.num_elements() * std::mem::size_of::<f32>()) as u64;
+    let mut live = 0u64;
+    let mut planned_bytes = 0u64;
+    for (i, drops) in drop_after.iter().enumerate() {
+        live += bytes_of(i);
+        planned_bytes = planned_bytes.max(live);
+        for &dead in drops {
+            live -= bytes_of(dead as usize);
+        }
+    }
+
     MemoryPlan {
         drop_after,
         inplace,
+        planned_bytes,
     }
 }
 
