@@ -48,6 +48,19 @@ SCHEMAS = {
         ),
         "metrics": ("gflops",),
     },
+    # Multi-process ring all-reduce: throughput gates advisory only (the
+    # baseline's 1-worker row records ring_gbps 0, which is skipped); the
+    # schema check is the hard gate — a bench that stops emitting the
+    # step-time quantiles or the predicted-vs-measured columns fails here.
+    "dist": {
+        "key": ("case",),
+        "required": (
+            "case", "workers", "steps", "step_ms_p50", "step_ms_p99",
+            "allreduce_ms_p50", "ring_gbps", "tx_bytes_per_step",
+            "final_loss", "predicted_step_ms", "measured_over_predicted",
+        ),
+        "metrics": ("ring_gbps",),
+    },
 }
 
 

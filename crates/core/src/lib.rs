@@ -64,6 +64,7 @@ pub mod registry;
 pub mod subscript;
 pub mod tape;
 pub mod vector_space;
+pub mod visit;
 
 pub use differentiable::Differentiable;
 pub use function::{
@@ -71,6 +72,7 @@ pub use function::{
     DifferentiableFn, Differential, Pullback,
 };
 pub use vector_space::{AdditiveArithmetic, LossValue, PointwiseMath, VectorSpace};
+pub use visit::VisitTangent;
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -81,4 +83,5 @@ pub mod prelude {
         DifferentiableFn,
     };
     pub use crate::vector_space::{AdditiveArithmetic, LossValue, PointwiseMath, VectorSpace};
+    pub use crate::visit::VisitTangent;
 }

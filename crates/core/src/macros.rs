@@ -176,6 +176,23 @@ macro_rules! differentiable_struct {
             }
         }
 
+        impl<__Leaf> $crate::VisitTangent<__Leaf> for $tangent
+        where
+            __Leaf: Sized,
+            $( <$ftype as $crate::Differentiable>::TangentVector:
+                $crate::VisitTangent<__Leaf>, )*
+        {
+            fn visit_leaves(&self, f: &mut dyn FnMut(&__Leaf)) {
+                let _ = &f;
+                $( $crate::VisitTangent::visit_leaves(&self.$field, f); )*
+            }
+
+            fn visit_leaves_mut(&mut self, f: &mut dyn FnMut(&mut __Leaf)) {
+                let _ = &f;
+                $( $crate::VisitTangent::visit_leaves_mut(&mut self.$field, f); )*
+            }
+        }
+
         impl $crate::Differentiable for $name {
             type TangentVector = $tangent;
 

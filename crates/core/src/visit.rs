@@ -1,0 +1,126 @@
+//! Leaf traversal over tangent vectors.
+//!
+//! A tangent vector is an aggregate of tensor leaves (plus scalar and
+//! unit components for non-tensor state). Collectives — the distributed
+//! data-parallel all-reduce in `s4tf::dist` — need to walk those leaves
+//! generically to flatten a gradient onto the wire and scatter the
+//! reduced values back, without knowing the concrete model type.
+//!
+//! [`VisitTangent<Leaf>`] is that traversal: `visit_leaves` calls `f`
+//! once per leaf of type `Leaf`, in declaration order (the same stable
+//! order on every worker, which is what makes the wire layout a pure
+//! function of the model architecture). [`differentiable_struct!`]
+//! synthesizes the impl for every generated tangent struct, so any model
+//! declared through the macro is wire-reducible for free.
+//!
+//! Scalar (`f32`/`f64`) and unit components are *not* leaves for any
+//! `Leaf` type: no layer stores trainable scalars, and a scalar that
+//! never crosses the wire cannot desynchronize workers. The tensor leaf
+//! instance lives here ([`Tensor<T>`]); the device-tensor instance
+//! (`DTensor`) lives in `s4tf-runtime` next to the type.
+
+use s4tf_tensor::{Float, Tensor};
+
+/// Visits every `Leaf`-typed component of a tangent vector, in stable
+/// declaration order.
+pub trait VisitTangent<Leaf> {
+    /// Calls `f` on each leaf, by reference.
+    fn visit_leaves(&self, f: &mut dyn FnMut(&Leaf));
+
+    /// Calls `f` on each leaf, by mutable reference (for scattering
+    /// reduced values back into the tangent).
+    fn visit_leaves_mut(&mut self, f: &mut dyn FnMut(&mut Leaf));
+
+    /// Number of leaves the traversal visits.
+    fn leaf_count(&self) -> usize {
+        let mut n = 0;
+        self.visit_leaves(&mut |_| n += 1);
+        n
+    }
+}
+
+/// A tensor tangent is a single leaf.
+impl<T: Float> VisitTangent<Tensor<T>> for Tensor<T> {
+    fn visit_leaves(&self, f: &mut dyn FnMut(&Tensor<T>)) {
+        f(self);
+    }
+
+    fn visit_leaves_mut(&mut self, f: &mut dyn FnMut(&mut Tensor<T>)) {
+        f(self);
+    }
+}
+
+/// Scalar and unit tangent components carry no tensor leaves.
+macro_rules! leafless {
+    ($($ty:ty),* $(,)?) => {$(
+        impl<Leaf> VisitTangent<Leaf> for $ty {
+            fn visit_leaves(&self, _f: &mut dyn FnMut(&Leaf)) {}
+            fn visit_leaves_mut(&mut self, _f: &mut dyn FnMut(&mut Leaf)) {}
+        }
+    )*};
+}
+
+leafless!((), f32, f64);
+
+/// Pair tangents (e.g. `Chain`'s `(A::TangentVector, B::TangentVector)`)
+/// traverse first then second.
+impl<Leaf, A: VisitTangent<Leaf>, B: VisitTangent<Leaf>> VisitTangent<Leaf> for (A, B) {
+    fn visit_leaves(&self, f: &mut dyn FnMut(&Leaf)) {
+        self.0.visit_leaves(f);
+        self.1.visit_leaves(f);
+    }
+
+    fn visit_leaves_mut(&mut self, f: &mut dyn FnMut(&mut Leaf)) {
+        self.0.visit_leaves_mut(f);
+        self.1.visit_leaves_mut(f);
+    }
+}
+
+/// Sequence tangents traverse in element order.
+impl<Leaf, A: VisitTangent<Leaf>> VisitTangent<Leaf> for Vec<A> {
+    fn visit_leaves(&self, f: &mut dyn FnMut(&Leaf)) {
+        for x in self {
+            x.visit_leaves(f);
+        }
+    }
+
+    fn visit_leaves_mut(&mut self, f: &mut dyn FnMut(&mut Leaf)) {
+        for x in self {
+            x.visit_leaves_mut(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_is_one_leaf() {
+        let t = Tensor::<f32>::zeros(&[2, 3]);
+        assert_eq!(VisitTangent::<Tensor<f32>>::leaf_count(&t), 1);
+    }
+
+    #[test]
+    fn scalars_and_unit_are_leafless() {
+        assert_eq!(VisitTangent::<Tensor<f32>>::leaf_count(&3.5f64), 0);
+        assert_eq!(VisitTangent::<Tensor<f32>>::leaf_count(&()), 0);
+    }
+
+    #[test]
+    fn pairs_and_vecs_compose_in_order() {
+        let mut pair = (
+            Tensor::<f32>::from_vec(vec![1.0], &[1]),
+            vec![
+                Tensor::<f32>::from_vec(vec![2.0], &[1]),
+                Tensor::<f32>::from_vec(vec![3.0], &[1]),
+            ],
+        );
+        let mut seen = Vec::new();
+        pair.visit_leaves(&mut |t: &Tensor<f32>| seen.push(t.as_slice()[0]));
+        assert_eq!(seen, vec![1.0, 2.0, 3.0], "declaration order");
+        pair.visit_leaves_mut(&mut |t: &mut Tensor<f32>| *t = t.mul_scalar(2.0));
+        assert_eq!(pair.0.as_slice(), &[2.0]);
+        assert_eq!(pair.1[1].as_slice(), &[6.0]);
+    }
+}

@@ -1,0 +1,246 @@
+//! The launcher: spawns worker processes, supervises them, and runs the
+//! coordinator to completion.
+//!
+//! Workers are this very executable re-exec'd with `S4TF_DIST_ROLE=worker`
+//! and the run's parameters in `S4TF_DIST_*` environment variables. The
+//! hosting binary (test, example, or bench) checks
+//! [`crate::worker::is_worker_process`] first thing in `main` and branches
+//! into its worker entry point, so one artifact plays both roles.
+//!
+//! Chaos hooks: [`ClusterConfig::abort`] plants a deterministic
+//! `kill -9`-style death in one worker (see `S4TF_DIST_ABORT_SPEC`), and
+//! [`ClusterConfig::restart_ms`] makes the supervisor respawn a dead
+//! worker once — without the abort spec — so it registers again and
+//! exercises the checkpoint rejoin path.
+
+use crate::coordinator::{self, ClusterReport};
+use s4tf_nn::FaultPolicy;
+use s4tf_tensor::RuntimeError;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything a cluster run needs. Fields mirror the `S4TF_DIST_*`
+/// environment the launcher sets on each worker.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Initial number of workers.
+    pub world: u32,
+    /// Steps to train.
+    pub steps: u64,
+    /// Examples per shard per step.
+    pub shard_batch: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Model-init seed (identical on every worker).
+    pub seed: u64,
+    /// Base seed for shard data (mixed with each worker's rank).
+    pub data_seed: u64,
+    /// All-reduce bucket size in bytes.
+    pub bucket_bytes: usize,
+    /// Worker heartbeat interval, milliseconds.
+    pub heartbeat_ms: u64,
+    /// Straggler timeout (ring + control silence), milliseconds.
+    pub timeout_ms: u64,
+    /// Whole-run deadline, milliseconds: no code path outlives it.
+    pub deadline_ms: u64,
+    /// Collective retries per step before the run fails.
+    pub max_retries: u32,
+    /// Directory for sync checkpoints; created if missing.
+    pub ckpt_dir: PathBuf,
+    /// Reaction to a worker death: `DropShard` expels and renormalizes,
+    /// `FailFast` aborts the run. (`Retry` is treated like `DropShard`.)
+    pub fault_policy: FaultPolicy,
+    /// Deterministic chaos: `(rank, step, phase)` makes that worker die a
+    /// `kill -9` death at the step, with phase `midring` or `precommit`.
+    pub abort: Option<(u32, u64, String)>,
+    /// When set, the supervisor respawns a dead worker once after this
+    /// many milliseconds (without the abort spec), exercising rejoin.
+    pub restart_ms: Option<u64>,
+    /// `S4TF_FAULT_SPEC` for the workers (e.g. `net:0.01:seed=7`), on top
+    /// of whatever the parent environment carries.
+    pub fault_spec: Option<String>,
+    /// Forces the injected wire-fault mode (`S4TF_DIST_NET_MODE`).
+    pub net_mode: Option<String>,
+}
+
+impl ClusterConfig {
+    /// A config with robust defaults for `world` workers × `steps` steps,
+    /// checkpointing into `ckpt_dir`.
+    pub fn new(world: u32, steps: u64, ckpt_dir: PathBuf) -> ClusterConfig {
+        ClusterConfig {
+            world,
+            steps,
+            shard_batch: 8,
+            learning_rate: 0.05,
+            seed: 7,
+            data_seed: 11,
+            bucket_bytes: 64 * 1024,
+            heartbeat_ms: 200,
+            timeout_ms: 3000,
+            deadline_ms: 120_000,
+            max_retries: 8,
+            ckpt_dir,
+            fault_policy: FaultPolicy::DropShard,
+            abort: None,
+            restart_ms: None,
+            fault_spec: None,
+            net_mode: None,
+        }
+    }
+}
+
+fn net_err(op: &'static str, msg: impl Into<String>) -> RuntimeError {
+    RuntimeError::net(op, None, msg.into())
+}
+
+/// Builds the child command for one worker rank. `with_abort` controls
+/// whether the configured abort spec is planted (restarts omit it so the
+/// rejoined incarnation lives).
+fn worker_command(
+    cfg: &ClusterConfig,
+    coord_port: u16,
+    rank: u32,
+    with_abort: bool,
+) -> Result<Command, RuntimeError> {
+    let exe = std::env::current_exe()
+        .map_err(|e| net_err("dist.spawn", format!("current_exe failed: {e}")))?;
+    let mut cmd = Command::new(exe);
+    cmd.env("S4TF_DIST_ROLE", "worker")
+        .env("S4TF_DIST_RANK", rank.to_string())
+        .env("S4TF_DIST_COORD", coord_port.to_string())
+        .env("S4TF_DIST_SHARD_BATCH", cfg.shard_batch.to_string())
+        .env("S4TF_DIST_LR", cfg.learning_rate.to_string())
+        .env("S4TF_DIST_SEED", cfg.seed.to_string())
+        .env("S4TF_DIST_DATA_SEED", cfg.data_seed.to_string())
+        .env("S4TF_DIST_BUCKET_BYTES", cfg.bucket_bytes.to_string())
+        .env("S4TF_DIST_HEARTBEAT_MS", cfg.heartbeat_ms.to_string())
+        .env("S4TF_DIST_TIMEOUT_MS", cfg.timeout_ms.to_string())
+        .env("S4TF_DIST_DEADLINE_MS", cfg.deadline_ms.to_string())
+        .env("S4TF_DIST_CKPT_DIR", &cfg.ckpt_dir)
+        // Bit-determinism across process shapes: one compute thread.
+        .env("S4TF_NUM_THREADS", "1")
+        .stdin(Stdio::null())
+        .stdout(Stdio::inherit())
+        .stderr(Stdio::inherit());
+    if let Some(spec) = &cfg.fault_spec {
+        cmd.env("S4TF_FAULT_SPEC", spec);
+    }
+    if let Some(mode) = &cfg.net_mode {
+        cmd.env("S4TF_DIST_NET_MODE", mode);
+    }
+    match &cfg.abort {
+        Some((at_rank, step, phase)) if with_abort && *at_rank == rank => {
+            cmd.env("S4TF_DIST_ABORT_SPEC", format!("{step}:{phase}"));
+        }
+        _ => {
+            cmd.env_remove("S4TF_DIST_ABORT_SPEC");
+        }
+    }
+    Ok(cmd)
+}
+
+/// Launches `cfg.world` workers, drives the coordinator to completion,
+/// and reaps every child before returning. The supervisor thread restarts
+/// dead workers when [`ClusterConfig::restart_ms`] asks for it.
+pub fn run(cfg: &ClusterConfig) -> Result<ClusterReport, RuntimeError> {
+    if cfg.world == 0 || cfg.steps == 0 {
+        return Err(net_err("dist.run", "world and steps must both be nonzero"));
+    }
+    std::fs::create_dir_all(&cfg.ckpt_dir).map_err(|e| {
+        net_err(
+            "dist.run",
+            format!("creating {}: {e}", cfg.ckpt_dir.display()),
+        )
+    })?;
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| net_err("dist.run", format!("binding control listener: {e}")))?;
+    let coord_port = listener
+        .local_addr()
+        .map_err(|e| net_err("dist.run", e.to_string()))?
+        .port();
+
+    let children: Arc<Mutex<Vec<(u32, Child)>>> = Arc::new(Mutex::new(Vec::new()));
+    {
+        let mut kids = children.lock().expect("fresh mutex");
+        for rank in 0..cfg.world {
+            let child = worker_command(cfg, coord_port, rank, true)?
+                .spawn()
+                .map_err(|e| net_err("dist.spawn", format!("spawning rank {rank}: {e}")))?;
+            kids.push((rank, child));
+        }
+    }
+
+    // Supervisor: reap exits; optionally respawn each dead rank once.
+    let stop = Arc::new(AtomicBool::new(false));
+    let supervisor = {
+        let stop = Arc::clone(&stop);
+        let children = Arc::clone(&children);
+        let cfg = cfg.clone();
+        std::thread::spawn(move || {
+            let mut restarted: Vec<u32> = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(25));
+                let mut respawn: Vec<u32> = Vec::new();
+                {
+                    let Ok(mut kids) = children.lock() else { break };
+                    kids.retain_mut(|(rank, child)| match child.try_wait() {
+                        Ok(Some(_status)) => {
+                            if cfg.restart_ms.is_some() && !restarted.contains(rank) {
+                                respawn.push(*rank);
+                            }
+                            false
+                        }
+                        Ok(None) => true,
+                        Err(_) => true,
+                    });
+                }
+                for rank in respawn {
+                    restarted.push(rank);
+                    std::thread::sleep(Duration::from_millis(cfg.restart_ms.unwrap_or(0)));
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(mut cmd) = worker_command(&cfg, coord_port, rank, false) else {
+                        continue;
+                    };
+                    if let Ok(child) = cmd.spawn() {
+                        if let Ok(mut kids) = children.lock() {
+                            kids.push((rank, child));
+                        }
+                    }
+                }
+            }
+        })
+    };
+
+    let result = coordinator::run(cfg, listener);
+
+    // Tear down: stop the supervisor, give workers a grace window to act
+    // on their Shutdown message, then force-kill stragglers and reap.
+    stop.store(true, Ordering::Relaxed);
+    let _ = supervisor.join();
+    let grace = Instant::now() + Duration::from_millis(2000);
+    loop {
+        let alive = {
+            let Ok(mut kids) = children.lock() else { break };
+            kids.retain_mut(|(_rank, child)| !matches!(child.try_wait(), Ok(Some(_))));
+            !kids.is_empty()
+        };
+        if !alive || Instant::now() >= grace {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    if let Ok(mut kids) = children.lock() {
+        for (_rank, child) in kids.iter_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        kids.clear();
+    }
+    result
+}

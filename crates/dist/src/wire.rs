@@ -1,0 +1,374 @@
+//! Length-prefixed, checksummed framing for the distributed runtime.
+//!
+//! Every message on either plane (control or data) is one frame:
+//!
+//! ```text
+//! magic    u32  "S4DF"
+//! kind     u8   message discriminant (see [`crate::protocol`])
+//! sender   u32  sender rank ([`COORDINATOR`] for the coordinator)
+//! epoch    u32  membership-view epoch the frame belongs to
+//! attempt  u32  collective attempt within the step
+//! step     u64  training step
+//! seq      u64  data-plane sequence tag (bucket/phase/iteration)
+//! len      u32  payload length in bytes
+//! payload  [u8; len]
+//! digest   u64  FNV-1a over every preceding byte
+//! ```
+//!
+//! A frame that fails magic, bounds, or digest validation surfaces a typed
+//! [`RuntimeError`] (`FaultKind::Net`) attributed to the peer the stream
+//! belongs to — corruption can never deliver garbage into a gradient, and
+//! the sender's identity travels in the header so attribution survives
+//! multi-peer fan-in.
+
+use s4tf_tensor::RuntimeError;
+use std::io::{Read, Write};
+
+/// Frame magic: `S4DF`.
+pub const MAGIC: u32 = 0x5334_4446;
+
+/// Sender id used by the coordinator (workers use their rank).
+pub const COORDINATOR: u32 = u32::MAX;
+
+/// Fixed header length in bytes (everything before the payload).
+pub const HEADER_LEN: usize = 4 + 1 + 4 + 4 + 4 + 8 + 8 + 4;
+
+/// Hard cap on payload size — a corrupted length field must not cause an
+/// unbounded allocation before the digest check can reject the frame.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// One parsed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message discriminant.
+    pub kind: u8,
+    /// Sender rank, or [`COORDINATOR`].
+    pub sender: u32,
+    /// Membership epoch.
+    pub epoch: u32,
+    /// Collective attempt within the step.
+    pub attempt: u32,
+    /// Training step.
+    pub step: u64,
+    /// Data-plane sequence tag.
+    pub seq: u64,
+    /// Message payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A control-plane frame (no sequence tag).
+    pub fn control(kind: u8, sender: u32, epoch: u32, attempt: u32, step: u64) -> Frame {
+        Frame {
+            kind,
+            sender,
+            epoch,
+            attempt,
+            step,
+            seq: 0,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Serializes the frame, appending the trailing digest.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len() + 8);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.push(self.kind);
+        out.extend_from_slice(&self.sender.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.attempt.to_le_bytes());
+        out.extend_from_slice(&self.step.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let digest = fnv1a(&out);
+        out.extend_from_slice(&digest.to_le_bytes());
+        out
+    }
+}
+
+/// FNV-1a over `bytes` — matches the checkpoint format's digest.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    hash
+}
+
+/// Maps an I/O failure on a peer stream to a typed net error. Timeouts are
+/// labelled as straggler timeouts so the failure mode is legible in logs.
+pub fn io_err(op: &'static str, peer: Option<usize>, e: &std::io::Error) -> RuntimeError {
+    use std::io::ErrorKind;
+    let detail = match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+            format!("straggler timeout waiting on the wire ({e})")
+        }
+        ErrorKind::UnexpectedEof | ErrorKind::ConnectionReset | ErrorKind::BrokenPipe => {
+            format!("connection lost ({e})")
+        }
+        _ => e.to_string(),
+    };
+    RuntimeError::net(op, peer, detail)
+}
+
+/// Writes one frame to `w`. `peer` is the destination's rank, for error
+/// attribution.
+pub fn write_frame(
+    w: &mut impl Write,
+    frame: &Frame,
+    peer: Option<usize>,
+) -> Result<(), RuntimeError> {
+    write_encoded(w, &frame.encode(), peer)
+}
+
+/// Writes pre-encoded frame bytes (the send path encodes once, so the
+/// injector can corrupt the serialized form after the digest is computed).
+pub fn write_encoded(
+    w: &mut impl Write,
+    bytes: &[u8],
+    peer: Option<usize>,
+) -> Result<(), RuntimeError> {
+    w.write_all(bytes)
+        .and_then(|_| w.flush())
+        .map_err(|e| io_err("dist.send", peer, &e))
+}
+
+/// Reads one frame from `r`, validating magic, bounds and digest. Every
+/// failure mode is a typed net error attributed to `peer`.
+pub fn read_frame(r: &mut impl Read, peer: Option<usize>) -> Result<Frame, RuntimeError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)
+        .map_err(|e| io_err("dist.recv", peer, &e))?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("fixed slice"));
+    if magic != MAGIC {
+        return Err(RuntimeError::net(
+            "dist.recv",
+            peer,
+            format!("bad frame magic {magic:08x} (stream corrupt or desynchronized)"),
+        ));
+    }
+    let kind = header[4];
+    let sender = u32::from_le_bytes(header[5..9].try_into().expect("fixed slice"));
+    let epoch = u32::from_le_bytes(header[9..13].try_into().expect("fixed slice"));
+    let attempt = u32::from_le_bytes(header[13..17].try_into().expect("fixed slice"));
+    let step = u64::from_le_bytes(header[17..25].try_into().expect("fixed slice"));
+    let seq = u64::from_le_bytes(header[25..33].try_into().expect("fixed slice"));
+    let len = u32::from_le_bytes(header[33..37].try_into().expect("fixed slice")) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(RuntimeError::net(
+            "dist.recv",
+            peer,
+            format!("frame declares {len} payload bytes (cap {MAX_PAYLOAD}); rejecting"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| io_err("dist.recv", peer, &e))?;
+    let mut tail = [0u8; 8];
+    r.read_exact(&mut tail)
+        .map_err(|e| io_err("dist.recv", peer, &e))?;
+    let stored = u64::from_le_bytes(tail);
+    let mut whole = Vec::with_capacity(HEADER_LEN + len);
+    whole.extend_from_slice(&header);
+    whole.extend_from_slice(&payload);
+    let computed = fnv1a(&whole);
+    if stored != computed {
+        return Err(RuntimeError::net(
+            "dist.recv",
+            peer,
+            format!(
+                "frame checksum mismatch: stored {stored:016x}, computed {computed:016x} \
+                 (wire corruption)"
+            ),
+        ));
+    }
+    Ok(Frame {
+        kind,
+        sender,
+        epoch,
+        attempt,
+        step,
+        seq,
+        payload,
+    })
+}
+
+/// Little-endian payload writer for protocol messages.
+#[derive(Default)]
+pub struct PayloadWriter(pub Vec<u8>);
+
+impl PayloadWriter {
+    /// Appends a `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64`.
+    pub fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked payload reader for protocol messages.
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    peer: Option<usize>,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// A reader over `buf`; decode errors are attributed to `peer`.
+    pub fn new(buf: &'a [u8], peer: Option<usize>) -> Self {
+        PayloadReader { buf, pos: 0, peer }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RuntimeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(RuntimeError::net(
+                "dist.decode",
+                self.peer,
+                format!(
+                    "truncated payload: wanted {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.buf.len()
+                ),
+            ));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> Result<u16, RuntimeError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("fixed slice"),
+        ))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, RuntimeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("fixed slice"),
+        ))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, RuntimeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("fixed slice"),
+        ))
+    }
+
+    /// Reads an `f64`.
+    pub fn f64(&mut self) -> Result<f64, RuntimeError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("fixed slice"),
+        ))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, RuntimeError> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|e| {
+            RuntimeError::net("dist.decode", self.peer, format!("non-UTF-8 string: {e}"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s4tf_tensor::FaultKind;
+
+    fn sample() -> Frame {
+        Frame {
+            kind: 2,
+            sender: 3,
+            epoch: 1,
+            attempt: 0,
+            step: 7,
+            seq: 42,
+            payload: vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let f = sample();
+        let bytes = f.encode();
+        let back = read_frame(&mut bytes.as_slice(), Some(3)).expect("valid frame");
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn corruption_surfaces_typed_net_error_with_peer() {
+        let mut bytes = sample().encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        let err = read_frame(&mut bytes.as_slice(), Some(3)).expect_err("must reject");
+        assert_eq!(err.kind, FaultKind::Net);
+        assert!(err.to_string().contains("peer rank 3"), "{err}");
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_are_errors() {
+        let bytes = sample().encode();
+        let err = read_frame(&mut bytes[..10].to_vec().as_slice(), None).expect_err("short");
+        assert_eq!(err.kind, FaultKind::Net);
+
+        let mut wrong = bytes.clone();
+        wrong[0] ^= 0x55;
+        // Recompute the digest so only the magic is wrong.
+        let body = wrong.len() - 8;
+        let digest = fnv1a(&wrong[..body]).to_le_bytes();
+        wrong[body..].copy_from_slice(&digest);
+        let err = read_frame(&mut wrong.as_slice(), Some(1)).expect_err("bad magic");
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut bytes = sample().encode();
+        bytes[33..37].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut bytes.as_slice(), Some(2)).expect_err("oversized");
+        assert!(err.to_string().contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn payload_reader_round_trips() {
+        let mut w = PayloadWriter::default();
+        w.u16(9);
+        w.u32(12345);
+        w.u64(1 << 40);
+        w.f64(0.5);
+        w.str("hello");
+        let mut r = PayloadReader::new(&w.0, None);
+        assert_eq!(r.u16().expect("u16"), 9);
+        assert_eq!(r.u32().expect("u32"), 12345);
+        assert_eq!(r.u64().expect("u64"), 1 << 40);
+        assert_eq!(r.f64().expect("f64"), 0.5);
+        assert_eq!(r.str().expect("str"), "hello");
+        assert!(r.u16().is_err(), "reads past the end are typed errors");
+    }
+}

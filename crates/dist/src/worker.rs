@@ -1,0 +1,782 @@
+//! The worker process: shard compute, ring collectives, two-phase apply,
+//! checkpoint sync, and deterministic chaos hooks.
+//!
+//! A worker is a child process launched by [`crate::cluster::Cluster`]. It
+//! dials the coordinator, registers its data-plane port, and then follows
+//! the control protocol: on `View` it (re)builds its ring neighbors and
+//! computes the step's shard gradient; the bucketed ring all-reduce runs
+//! on the wire; `StepDone` is reported and the update is applied only when
+//! `Commit` arrives (two-phase — a peer dying mid-collective can never
+//! leave this worker half-applied). The per-step gradient is kept pristine
+//! so a `Retry` or a membership change replays the collective without
+//! recomputing — and without any bit drift.
+//!
+//! Rejoin: a restarted worker registers like a fresh one; its first `View`
+//! carries a `resume_step` ahead of its local progress, which it satisfies
+//! by loading the sync checkpoint the surviving lowest rank saved at the
+//! admission barrier. Training resumes bit-identically because the
+//! optimizer is stateless ([`Sgd`] without momentum) and shard data is
+//! keyed by original rank and step, not by ring position.
+
+use crate::collective::{
+    flatten_tangent, ring_all_reduce, unflatten_tangent, RingConnection, RingHeader,
+};
+use crate::protocol::{kind, Control, Member};
+use crate::wire::{read_frame, write_encoded, Frame, COORDINATOR};
+use s4tf_core::{LossValue, VisitTangent};
+use s4tf_nn::checkpoint::{latest, Checkpoint, Checkpointable};
+use s4tf_nn::loss::softmax_cross_entropy;
+use s4tf_nn::{Layer, Optimizer};
+use s4tf_runtime::{DTensor, Device};
+use s4tf_tensor::RuntimeError;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Role marker: is this process a spawned dist worker?
+///
+/// Binaries that host workers (tests, examples, benches) call this first
+/// and hand control to their worker entry point when it returns true.
+pub fn is_worker_process() -> bool {
+    std::env::var("S4TF_DIST_ROLE").as_deref() == Ok("worker")
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Worker-side configuration, read from the `S4TF_DIST_*` environment the
+/// launcher sets on each child.
+#[derive(Debug, Clone)]
+pub struct WorkerEnv {
+    /// This worker's rank (stable across restarts).
+    pub rank: u32,
+    /// Coordinator control port on 127.0.0.1.
+    pub coord_port: u16,
+    /// Examples per shard per step.
+    pub shard_batch: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Model-init seed (identical on every worker).
+    pub seed: u64,
+    /// Base seed for shard data (mixed with the rank).
+    pub data_seed: u64,
+    /// All-reduce bucket size, bytes of f32 payload.
+    pub bucket_bytes: usize,
+    /// Heartbeat interval, milliseconds.
+    pub heartbeat_ms: u64,
+    /// Straggler timeout for ring and control I/O, milliseconds.
+    pub timeout_ms: u64,
+    /// Overall worker deadline, milliseconds.
+    pub deadline_ms: u64,
+    /// Directory for sync checkpoints (shared with the coordinator).
+    pub ckpt_dir: PathBuf,
+    /// Deterministic chaos hook: `"<step>:<phase>"` with phase `midring`
+    /// (abort with the ring established, peers mid-collective) or
+    /// `precommit` (abort after `StepDone`, before `Commit` applies).
+    pub abort_spec: Option<(u64, String)>,
+}
+
+impl WorkerEnv {
+    /// Reads the configuration from the environment. Fails with a typed
+    /// error when a required variable is missing or malformed.
+    pub fn from_env() -> Result<WorkerEnv, RuntimeError> {
+        let req = |name: &str| -> Result<String, RuntimeError> {
+            std::env::var(name)
+                .map_err(|_| RuntimeError::net("dist.worker", None, format!("{name} is not set")))
+        };
+        let rank: u32 = req("S4TF_DIST_RANK")?.trim().parse().map_err(|_| {
+            RuntimeError::net("dist.worker", None, "S4TF_DIST_RANK is not a number")
+        })?;
+        let coord_port: u16 = req("S4TF_DIST_COORD")?
+            .trim()
+            .parse()
+            .map_err(|_| RuntimeError::net("dist.worker", None, "S4TF_DIST_COORD is not a port"))?;
+        let ckpt_dir = PathBuf::from(req("S4TF_DIST_CKPT_DIR")?);
+        let abort_spec = std::env::var("S4TF_DIST_ABORT_SPEC").ok().and_then(|v| {
+            let (step, phase) = v.split_once(':')?;
+            Some((step.trim().parse().ok()?, phase.trim().to_string()))
+        });
+        Ok(WorkerEnv {
+            rank,
+            coord_port,
+            shard_batch: env_u64("S4TF_DIST_SHARD_BATCH", 8) as usize,
+            learning_rate: env_f64("S4TF_DIST_LR", 0.05),
+            seed: env_u64("S4TF_DIST_SEED", 7),
+            data_seed: env_u64("S4TF_DIST_DATA_SEED", 11),
+            bucket_bytes: env_u64("S4TF_DIST_BUCKET_BYTES", 64 * 1024) as usize,
+            heartbeat_ms: env_u64("S4TF_DIST_HEARTBEAT_MS", 200),
+            timeout_ms: env_u64("S4TF_DIST_TIMEOUT_MS", 3000),
+            deadline_ms: env_u64("S4TF_DIST_DEADLINE_MS", 120_000),
+            ckpt_dir,
+            abort_spec,
+        })
+    }
+
+    fn bucket_elems(&self) -> usize {
+        (self.bucket_bytes / 4).max(1)
+    }
+}
+
+/// Applies a reduced flat gradient to the model: renormalize by the
+/// survivor count, scatter into the tangent, and run the optimizer
+/// update + barrier. Shared verbatim by the worker and by
+/// [`crate::reference`], which is what makes the multi-process run
+/// bit-identical to the in-process baseline.
+pub fn apply_reduced<L, O>(
+    model: &mut L,
+    optimizer: &mut O,
+    tangent: &mut L::TangentVector,
+    reduced: &[f32],
+    survivors: u32,
+    device: &Device,
+) -> Result<(), RuntimeError>
+where
+    L: Layer,
+    L::TangentVector: VisitTangent<DTensor>,
+    O: Optimizer<L>,
+{
+    let scale = survivors.max(1) as f32;
+    let averaged: Vec<f32> = reduced.iter().map(|v| v / scale).collect();
+    unflatten_tangent(tangent, &averaged, device)?;
+    optimizer.update(model, tangent);
+    device.barrier();
+    Ok(())
+}
+
+/// Forward + loss + pullback for one shard batch, without applying the
+/// update (that waits for `Commit`). Returns the shard loss and the
+/// gradient tangent.
+pub fn shard_gradient<L: Layer>(
+    model: &L,
+    images: &DTensor,
+    labels: &DTensor,
+) -> (f64, L::TangentVector) {
+    let _span = s4tf_profile::span("dist.shard_grad");
+    let (logits, pullback) = model.forward_with_pullback(images);
+    let (loss, loss_pullback) = softmax_cross_entropy(&logits, labels);
+    let dlogits = loss_pullback(&loss.scalar_like(1.0));
+    let (gradients, _dinput) = pullback(&dlogits);
+    images.device().barrier();
+    (loss.loss_value(), gradients)
+}
+
+/// Control-plane connection: serialized writes (main thread + heartbeat
+/// thread) over one stream, reads on a private clone.
+struct ControlLink {
+    writer: Arc<Mutex<TcpStream>>,
+    reader: TcpStream,
+    rank: u32,
+    epoch: u32,
+    attempt: u32,
+    step: u64,
+}
+
+impl ControlLink {
+    fn connect(env: &WorkerEnv) -> Result<ControlLink, RuntimeError> {
+        let stream = TcpStream::connect(("127.0.0.1", env.coord_port)).map_err(|e| {
+            RuntimeError::net(
+                "dist.control",
+                None,
+                format!(
+                    "could not reach coordinator on port {}: {e}",
+                    env.coord_port
+                ),
+            )
+        })?;
+        stream
+            .set_write_timeout(Some(Duration::from_millis(env.timeout_ms.max(1))))
+            .map_err(|e| RuntimeError::net("dist.control", None, e.to_string()))?;
+        // Control reads wait on the coordinator's pacing (commits arrive
+        // only after the slowest member), so the read budget is the run
+        // deadline, not the straggler timeout.
+        stream
+            .set_read_timeout(Some(Duration::from_millis(env.deadline_ms.max(1))))
+            .map_err(|e| RuntimeError::net("dist.control", None, e.to_string()))?;
+        let reader = stream
+            .try_clone()
+            .map_err(|e| RuntimeError::net("dist.control", None, e.to_string()))?;
+        Ok(ControlLink {
+            writer: Arc::new(Mutex::new(stream)),
+            reader,
+            rank: env.rank,
+            epoch: 0,
+            attempt: 0,
+            step: 0,
+        })
+    }
+
+    fn send(&self, ctrl: &Control) -> Result<(), RuntimeError> {
+        let frame = ctrl.frame(self.rank, self.epoch, self.attempt, self.step);
+        let bytes = frame.encode();
+        let mut w = self
+            .writer
+            .lock()
+            .map_err(|_| RuntimeError::net("dist.control", None, "control writer poisoned"))?;
+        write_encoded(&mut *w, &bytes, None)
+    }
+
+    fn recv(&mut self) -> Result<(Frame, Control), RuntimeError> {
+        let frame = read_frame(&mut self.reader, None)?;
+        if frame.sender != COORDINATOR {
+            return Err(RuntimeError::net(
+                "dist.control",
+                Some(frame.sender as usize),
+                "unexpected non-coordinator frame on the control stream",
+            ));
+        }
+        let ctrl = Control::decode(&frame, None)?;
+        Ok((frame, ctrl))
+    }
+}
+
+/// Heartbeat thread handle; stops and joins on drop.
+struct HeartbeatPump {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HeartbeatPump {
+    fn start(writer: Arc<Mutex<TcpStream>>, rank: u32, interval_ms: u64) -> HeartbeatPump {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let beat = Control::Heartbeat;
+            while !stop2.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(interval_ms.max(10)));
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                let frame = beat.frame(rank, 0, 0, 0);
+                let bytes = frame.encode();
+                let Ok(mut w) = writer.lock() else { break };
+                if write_encoded(&mut *w, &bytes, None).is_err() {
+                    break; // coordinator gone; the main thread will notice
+                }
+            }
+        });
+        HeartbeatPump {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for HeartbeatPump {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// An accepted (but not yet claimed) incoming ring connection.
+type PendingConn = (Frame, TcpStream);
+
+/// Free-running acceptor for the data-plane listener: completes the
+/// `DATA_HELLO` handshake off the main thread and queues the connection.
+fn spawn_data_acceptor(listener: TcpListener, timeout_ms: u64) -> mpsc::Receiver<PendingConn> {
+    let (tx, rx) = mpsc::channel::<PendingConn>();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let timeout = Some(Duration::from_millis(timeout_ms.max(1)));
+                if stream.set_read_timeout(timeout).is_err()
+                    || stream.set_write_timeout(timeout).is_err()
+                {
+                    return;
+                }
+                let mut s = stream;
+                let Ok(hello) = read_frame(&mut s, None) else {
+                    return;
+                };
+                if hello.kind == kind::DATA_HELLO {
+                    let _ = tx.send((hello, s));
+                }
+            });
+        }
+    });
+    rx
+}
+
+/// The current membership view, from the worker's perspective.
+struct ViewState {
+    members: Vec<Member>,
+    /// My index in `members`.
+    position: usize,
+}
+
+impl ViewState {
+    fn from_members(rank: u32, members: Vec<Member>) -> Result<ViewState, RuntimeError> {
+        let position = members
+            .iter()
+            .position(|(r, _)| *r == rank)
+            .ok_or_else(|| {
+                RuntimeError::net(
+                    "dist.view",
+                    Some(rank as usize),
+                    "this rank is not in the view it was sent",
+                )
+            })?;
+        Ok(ViewState { members, position })
+    }
+
+    fn k(&self) -> usize {
+        self.members.len()
+    }
+
+    fn left(&self) -> Member {
+        self.members[(self.position + self.k() - 1) % self.k()]
+    }
+
+    fn right(&self) -> Member {
+        self.members[(self.position + 1) % self.k()]
+    }
+
+    fn lowest_rank(&self) -> u32 {
+        self.members.iter().map(|(r, _)| *r).min().unwrap_or(0)
+    }
+}
+
+/// Establishes the per-(epoch, attempt, step) ring: dial the right
+/// neighbor, send `DATA_HELLO`, and claim the left neighbor's incoming
+/// connection from the acceptor queue. Stale pending connections are
+/// discarded; ones from the future are kept for the next attempt.
+#[allow(clippy::too_many_arguments)]
+fn establish_ring(
+    env: &WorkerEnv,
+    view: &ViewState,
+    header: RingHeader,
+    incoming: &mpsc::Receiver<PendingConn>,
+    pending: &mut Vec<PendingConn>,
+) -> Result<RingConnection, RuntimeError> {
+    let (right_rank, right_port) = view.right();
+    let (left_rank, _) = view.left();
+    let deadline = Instant::now() + Duration::from_millis(env.timeout_ms.max(1));
+
+    // Dial the right neighbor, retrying while it (re)binds its acceptor.
+    let right = loop {
+        match TcpStream::connect(("127.0.0.1", right_port)) {
+            Ok(s) => break s,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(RuntimeError::net(
+                        "dist.ring",
+                        Some(right_rank as usize),
+                        format!("could not dial right neighbor: {e}"),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    };
+    let timeout = Some(Duration::from_millis(env.timeout_ms.max(1)));
+    right
+        .set_write_timeout(timeout)
+        .and_then(|()| right.set_read_timeout(timeout))
+        .map_err(|e| RuntimeError::net("dist.ring", Some(right_rank as usize), e.to_string()))?;
+    {
+        let hello = Frame::control(
+            kind::DATA_HELLO,
+            header.rank,
+            header.epoch,
+            header.attempt,
+            header.step,
+        );
+        let bytes = hello.encode();
+        let mut w = &right;
+        write_encoded(&mut w, &bytes, Some(right_rank as usize))?;
+    }
+
+    // Claim the left neighbor's connection for these exact coordinates.
+    let want = (header.epoch, header.step, header.attempt);
+    let claim = |pending: &mut Vec<PendingConn>| -> Option<TcpStream> {
+        let mut found = None;
+        pending.retain_mut(|(hello, stream)| {
+            if found.is_some() {
+                return true;
+            }
+            let coords = (hello.epoch, hello.step, hello.attempt);
+            if hello.sender == left_rank && coords == want {
+                // `retain_mut` can't move the stream out; swap a dummy in.
+                if let Ok(taken) = stream.try_clone() {
+                    found = Some(taken);
+                    return false;
+                }
+            }
+            coords >= want // keep the future, drop the stale
+        });
+        found
+    };
+    loop {
+        if let Some(left) = claim(pending) {
+            return Ok(RingConnection::new(
+                header.rank,
+                left_rank,
+                left,
+                right_rank,
+                right,
+            ));
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(RuntimeError::net(
+                "dist.ring",
+                Some(left_rank as usize),
+                "timed out waiting for the left neighbor to connect",
+            ));
+        }
+        match incoming.recv_timeout(deadline - now) {
+            Ok(conn) => pending.push(conn),
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(RuntimeError::net(
+                    "dist.ring",
+                    Some(left_rank as usize),
+                    "data acceptor thread exited",
+                ));
+            }
+        }
+    }
+}
+
+/// Outcome of one collective attempt.
+enum CycleOutcome {
+    Done {
+        loss: f64,
+        allreduce_us: u64,
+        tx_bytes: u64,
+        reduced: Vec<f32>,
+    },
+    Failed(RuntimeError),
+}
+
+/// Deterministic chaos: `S4TF_DIST_ABORT_SPEC="<step>:<phase>"`.
+fn maybe_abort(env: &WorkerEnv, step: u64, phase: &str) {
+    if let Some((at_step, at_phase)) = &env.abort_spec {
+        if *at_step == step && at_phase == phase {
+            eprintln!(
+                "s4tf-dist: worker rank {} dying at step {step} phase {phase} (injected kill -9)",
+                env.rank
+            );
+            // The hardest death available: SIGKILL from outside — no
+            // unwinding, no flush; peers must detect it on the wire.
+            let _ = std::process::Command::new("kill")
+                .args(["-9", &std::process::id().to_string()])
+                .status();
+            std::process::abort(); // fallback when `kill` is unavailable
+        }
+    }
+}
+
+/// Generic worker driver. `data` maps `step` to this worker's shard batch
+/// `(images, one-hot labels)` — keyed by the worker's *original* rank so
+/// survivors keep their own data stream after an expulsion. Returns the
+/// number of committed steps on clean shutdown.
+pub fn run_worker<L, O, D>(
+    env: &WorkerEnv,
+    mut model: L,
+    mut optimizer: O,
+    mut data: D,
+    device: &Device,
+) -> Result<u64, RuntimeError>
+where
+    L: Layer + Checkpointable,
+    L::TangentVector: VisitTangent<DTensor>,
+    O: Optimizer<L>,
+    D: FnMut(u64) -> (DTensor, DTensor),
+{
+    let mut ctl = ControlLink::connect(env)?;
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| RuntimeError::net("dist.worker", None, e.to_string()))?;
+    let data_port = listener
+        .local_addr()
+        .map_err(|e| RuntimeError::net("dist.worker", None, e.to_string()))?
+        .port();
+    let incoming = spawn_data_acceptor(listener, env.timeout_ms);
+    let mut pending: Vec<PendingConn> = Vec::new();
+
+    ctl.send(&Control::Register { data_port })?;
+    let _pump = HeartbeatPump::start(Arc::clone(&ctl.writer), env.rank, env.heartbeat_ms);
+
+    let mut view: Option<ViewState> = None;
+    let mut completed: u64 = 0;
+    // Pristine per-step state: (loss, tangent, flat gradient). Kept across
+    // retries and view changes; dropped on commit or checkpoint load.
+    let mut pristine: Option<(f64, L::TangentVector, Vec<f32>)> = None;
+    let mut reduced: Option<Vec<f32>> = None;
+
+    loop {
+        let (frame, ctrl) = ctl.recv()?;
+        match ctrl {
+            Control::Welcome | Control::Heartbeat => {}
+            Control::Shutdown { error } => {
+                return if error.is_empty() {
+                    Ok(completed)
+                } else {
+                    Err(RuntimeError::net("dist.run", None, error))
+                };
+            }
+            Control::View {
+                resume_step,
+                members,
+            } => {
+                ctl.epoch = frame.epoch;
+                ctl.step = resume_step;
+                ctl.attempt = 0;
+                let v = ViewState::from_members(env.rank, members)?;
+                if resume_step != completed {
+                    // Rejoin (or admission barrier catch-up): load the
+                    // sync checkpoint saved at `resume_step`.
+                    load_sync_checkpoint(env, resume_step, &mut model, device)
+                        .inspect_err(|e| report_fatal(&ctl, e))?;
+                    completed = resume_step;
+                    pristine = None;
+                }
+                view = Some(v);
+                run_cycle(
+                    env,
+                    &mut ctl,
+                    &mut model,
+                    &mut data,
+                    view.as_ref(),
+                    &incoming,
+                    &mut pending,
+                    &mut pristine,
+                    &mut reduced,
+                )?;
+            }
+            Control::Retry => {
+                if frame.epoch != ctl.epoch || frame.step != ctl.step {
+                    continue; // stale retry from a superseded view
+                }
+                ctl.attempt = frame.attempt;
+                run_cycle(
+                    env,
+                    &mut ctl,
+                    &mut model,
+                    &mut data,
+                    view.as_ref(),
+                    &incoming,
+                    &mut pending,
+                    &mut pristine,
+                    &mut reduced,
+                )?;
+            }
+            Control::Commit {
+                survivors,
+                then_sync,
+            } => {
+                if frame.epoch != ctl.epoch || frame.step != ctl.step {
+                    continue; // stale
+                }
+                let Some((_, tangent, _)) = pristine.as_mut() else {
+                    continue; // stale commit for state we no longer hold
+                };
+                let Some(red) = reduced.take() else { continue };
+                apply_reduced(&mut model, &mut optimizer, tangent, &red, survivors, device)
+                    .inspect_err(|e| report_fatal(&ctl, e))?;
+                completed = ctl.step + 1;
+                pristine = None;
+                if then_sync {
+                    if let Some(v) = &view {
+                        if v.lowest_rank() == env.rank {
+                            save_sync_checkpoint(env, completed, &model)
+                                .inspect_err(|e| report_fatal(&ctl, e))?;
+                            ctl.step = completed;
+                            ctl.send(&Control::SavedSync)?;
+                        }
+                    }
+                    // Barrier: wait for the next View or Shutdown.
+                } else {
+                    ctl.step = completed;
+                    ctl.attempt = 0;
+                    run_cycle(
+                        env,
+                        &mut ctl,
+                        &mut model,
+                        &mut data,
+                        view.as_ref(),
+                        &incoming,
+                        &mut pending,
+                        &mut pristine,
+                        &mut reduced,
+                    )?;
+                }
+            }
+            // Worker-bound streams never carry these kinds.
+            Control::Register { .. }
+            | Control::StepDone { .. }
+            | Control::CollectiveFailed { .. }
+            | Control::SavedSync
+            | Control::Fatal { .. } => {}
+        }
+    }
+}
+
+/// One collective attempt for the current (epoch, step, attempt): compute
+/// the shard gradient if this step has none yet, run the ring, and report
+/// `StepDone` or `CollectiveFailed`. Wire failures are reported and
+/// survived; local compute failures are fatal.
+#[allow(clippy::too_many_arguments)]
+fn run_cycle<L, D>(
+    env: &WorkerEnv,
+    ctl: &mut ControlLink,
+    model: &mut L,
+    data: &mut D,
+    view: Option<&ViewState>,
+    incoming: &mpsc::Receiver<PendingConn>,
+    pending: &mut Vec<PendingConn>,
+    pristine: &mut Option<(f64, L::TangentVector, Vec<f32>)>,
+    reduced: &mut Option<Vec<f32>>,
+) -> Result<(), RuntimeError>
+where
+    L: Layer + Checkpointable,
+    L::TangentVector: VisitTangent<DTensor>,
+    D: FnMut(u64) -> (DTensor, DTensor),
+{
+    let Some(view) = view else {
+        return Ok(()); // no view yet; wait for one
+    };
+    let step = ctl.step;
+    if pristine.is_none() {
+        let (images, labels) = data(step);
+        let (loss, tangent) = shard_gradient(model, &images, &labels);
+        let flat = flatten_tangent(&tangent).inspect_err(|e| report_fatal(ctl, e))?;
+        *pristine = Some((loss, tangent, flat.0));
+    }
+    let (loss, _, flat_ref) = pristine.as_ref().expect("set above");
+    let loss = *loss;
+    let mut flat = flat_ref.clone();
+
+    let outcome = if view.k() == 1 {
+        maybe_abort(env, step, "midring");
+        CycleOutcome::Done {
+            loss,
+            allreduce_us: 0,
+            tx_bytes: 0,
+            reduced: flat,
+        }
+    } else {
+        let header = RingHeader {
+            rank: env.rank,
+            epoch: ctl.epoch,
+            attempt: ctl.attempt,
+            step,
+        };
+        match establish_ring(env, view, header, incoming, pending) {
+            Err(e) => CycleOutcome::Failed(e),
+            Ok(mut ring) => {
+                maybe_abort(env, step, "midring");
+                let t0 = Instant::now();
+                match ring_all_reduce(
+                    &mut flat,
+                    view.position,
+                    view.k(),
+                    &mut ring,
+                    header,
+                    env.bucket_elems(),
+                ) {
+                    Err(e) => CycleOutcome::Failed(e),
+                    Ok(()) => {
+                        let allreduce_us = t0.elapsed().as_micros() as u64;
+                        match ring.shutdown() {
+                            Err(e) => CycleOutcome::Failed(e),
+                            Ok(tx_bytes) => CycleOutcome::Done {
+                                loss,
+                                allreduce_us,
+                                tx_bytes,
+                                reduced: flat,
+                            },
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    match outcome {
+        CycleOutcome::Done {
+            loss,
+            allreduce_us,
+            tx_bytes,
+            reduced: red,
+        } => {
+            *reduced = Some(red);
+            ctl.send(&Control::StepDone {
+                loss,
+                allreduce_us,
+                tx_bytes,
+            })?;
+            maybe_abort(env, step, "precommit");
+        }
+        CycleOutcome::Failed(e) => {
+            *reduced = None;
+            ctl.send(&Control::CollectiveFailed {
+                error: e.to_string(),
+            })?;
+        }
+    }
+    Ok(())
+}
+
+fn report_fatal(ctl: &ControlLink, e: &RuntimeError) {
+    let _ = ctl.send(&Control::Fatal {
+        error: e.to_string(),
+    });
+}
+
+fn save_sync_checkpoint<L: Checkpointable>(
+    env: &WorkerEnv,
+    step: u64,
+    model: &L,
+) -> Result<(), RuntimeError> {
+    let ckpt = Checkpoint::from_model(step, model)?;
+    ckpt.save(&env.ckpt_dir)?;
+    s4tf_diag::event!("dist.sync_checkpoint", rank = env.rank, step = step);
+    Ok(())
+}
+
+fn load_sync_checkpoint<L: Checkpointable>(
+    env: &WorkerEnv,
+    step: u64,
+    model: &mut L,
+    device: &Device,
+) -> Result<(), RuntimeError> {
+    let path = latest(&env.ckpt_dir)?.ok_or_else(|| {
+        RuntimeError::net(
+            "dist.rejoin",
+            Some(env.rank as usize),
+            format!("no sync checkpoint in {}", env.ckpt_dir.display()),
+        )
+    })?;
+    let ckpt = Checkpoint::load(&path)?;
+    if ckpt.step != step {
+        return Err(RuntimeError::net(
+            "dist.rejoin",
+            Some(env.rank as usize),
+            format!(
+                "sync checkpoint is at step {}, but the view resumes at {step}",
+                ckpt.step
+            ),
+        ));
+    }
+    ckpt.restore(model, device)?;
+    s4tf_diag::event!("dist.rejoin_load", rank = env.rank, step = step);
+    Ok(())
+}

@@ -13,7 +13,7 @@
 //! ```text
 //! S4TF_FAULT_SPEC = <entry> [ "," <entry> ]*
 //! <entry>         = <site> ":" <prob> ":" <seed>
-//! <site>          = dispatch | kernel | compile | allreduce | checkpoint_io | io
+//! <site>          = dispatch | kernel | compile | allreduce | checkpoint_io | io | net
 //! ```
 //!
 //! e.g. `S4TF_FAULT_SPEC=kernel:0.05:42,compile:1:7` injects kernel faults
@@ -29,6 +29,13 @@
 //! | `allreduce` | per-shard gradient reduction in the data-parallel step |
 //! | `checkpoint_io` | checkpoint writes (`nn::checkpoint::save`) |
 //! | `io` | checkpoint reads and other file I/O |
+//! | `net` | data-plane wire frames in `s4tf::dist` (drop / delay / corrupt) |
+//!
+//! The `net` site is consumed differently from the others: `s4tf-dist`
+//! keeps a *per-peer* draw counter and calls [`would_inject`] directly
+//! (via [`site_params`]), so the injected sequence for each peer link is
+//! independent of traffic on the other links — expelling one worker does
+//! not shift the fault stream another worker sees.
 //!
 //! The disabled path is one relaxed atomic load (the gate pattern shared
 //! with `s4tf-profile`/`s4tf-diag`), and with the consumer crates'
@@ -53,10 +60,12 @@ pub enum FaultSite {
     CheckpointIo,
     /// Checkpoint reads / generic file I/O.
     Io,
+    /// Data-plane network frames (the `s4tf::dist` wire).
+    Net,
 }
 
 /// Number of distinct sites (array-index bound).
-const N_SITES: usize = 6;
+const N_SITES: usize = 7;
 
 impl FaultSite {
     /// Every site, in spec order.
@@ -67,6 +76,7 @@ impl FaultSite {
         FaultSite::Allreduce,
         FaultSite::CheckpointIo,
         FaultSite::Io,
+        FaultSite::Net,
     ];
 
     /// The spec-grammar name.
@@ -78,6 +88,7 @@ impl FaultSite {
             FaultSite::Allreduce => "allreduce",
             FaultSite::CheckpointIo => "checkpoint_io",
             FaultSite::Io => "io",
+            FaultSite::Net => "net",
         }
     }
 
@@ -94,6 +105,7 @@ impl FaultSite {
             FaultSite::Allreduce => 3,
             FaultSite::CheckpointIo => 4,
             FaultSite::Io => 5,
+            FaultSite::Net => 6,
         }
     }
 }
@@ -130,8 +142,10 @@ static DECISIONS: [AtomicU64; N_SITES] = [
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
+    AtomicU64::new(0),
 ];
 static INJECTIONS: [AtomicU64; N_SITES] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
@@ -240,6 +254,24 @@ pub fn active_spec() -> Option<String> {
     } else {
         Some(parts.join(","))
     }
+}
+
+/// The `(prob, seed)` configured for `site`, or `None` when the site (or
+/// injection as a whole) is off. Consumers that need their own draw-index
+/// streams — `s4tf-dist` keeps one per peer link — read the spec here and
+/// decide via [`would_inject`] without advancing the global counters.
+pub fn site_params(site: FaultSite) -> Option<(f64, u64)> {
+    if !injection_enabled() {
+        return None;
+    }
+    lock_specs()[site.index()].map(|s| (s.prob, s.seed))
+}
+
+/// SplitMix64 finalizer, exposed so consumers deriving sub-streams (e.g.
+/// a per-peer seed `seed ^ mix64(rank)`) mix with the same function the
+/// decision hash uses.
+pub fn mix64(x: u64) -> u64 {
+    splitmix64(x)
 }
 
 /// SplitMix64 finalizer: a well-mixed 64-bit hash.
@@ -473,6 +505,31 @@ mod tests {
             "suppressed draws not counted"
         );
         set_fault_spec(None).unwrap();
+    }
+
+    #[test]
+    fn net_site_parses_and_exposes_params() {
+        let _g = guard();
+        set_fault_spec(Some("net:0.25:99")).unwrap();
+        assert_eq!(site_params(FaultSite::Net), Some((0.25, 99)));
+        assert_eq!(site_params(FaultSite::Kernel), None);
+        // Per-peer sub-streams: mixing the peer rank into the seed gives
+        // independent deterministic sequences per link.
+        let a: Vec<bool> = (0..64)
+            .map(|i| would_inject(99 ^ mix64(1), FaultSite::Net, i, 0.25))
+            .collect();
+        let b: Vec<bool> = (0..64)
+            .map(|i| would_inject(99 ^ mix64(2), FaultSite::Net, i, 0.25))
+            .collect();
+        assert_ne!(a, b, "different peers draw different streams");
+        let a2: Vec<bool> = (0..64)
+            .map(|i| would_inject(99 ^ mix64(1), FaultSite::Net, i, 0.25))
+            .collect();
+        assert_eq!(a, a2, "per-peer streams replay exactly");
+        // The direct draws above consumed no global indices.
+        assert_eq!(decisions(FaultSite::Net), 0);
+        set_fault_spec(None).unwrap();
+        assert_eq!(site_params(FaultSite::Net), None);
     }
 
     #[test]

@@ -12,6 +12,7 @@ pub(crate) enum FaultSite {
     Allreduce,
     CheckpointIo,
     Io,
+    Net,
 }
 
 impl FaultSite {
@@ -24,6 +25,7 @@ impl FaultSite {
             FaultSite::Allreduce => "allreduce",
             FaultSite::CheckpointIo => "checkpoint_io",
             FaultSite::Io => "io",
+            FaultSite::Net => "net",
         }
     }
 }

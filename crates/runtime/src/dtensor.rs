@@ -749,6 +749,18 @@ impl Differentiable for DTensor {
     }
 }
 
+/// A device tensor is a single leaf for collective traversal: the
+/// distributed all-reduce flattens model tangents down to `DTensor`s.
+impl s4tf_core::VisitTangent<DTensor> for DTensor {
+    fn visit_leaves(&self, f: &mut dyn FnMut(&DTensor)) {
+        f(self);
+    }
+
+    fn visit_leaves_mut(&mut self, f: &mut dyn FnMut(&mut DTensor)) {
+        f(self);
+    }
+}
+
 impl s4tf_core::PointwiseMath for DTensor {
     fn pointwise_mul(&self, rhs: &Self) -> Self {
         self.mul(rhs)

@@ -17,6 +17,19 @@ pub struct ClusterModel {
     pub link_latency: f64,
 }
 
+/// How a measured step time compares to the model's prediction — the
+/// honesty check wired into EXPERIMENTS.md: simulated Table-1 numbers are
+/// always reported next to what the real `s4tf::dist` runtime measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionGap {
+    /// Model-predicted step time, seconds.
+    pub predicted: f64,
+    /// Measured step time, seconds.
+    pub measured: f64,
+    /// `measured / predicted` — >1 means the model is optimistic.
+    pub ratio: f64,
+}
+
 impl ClusterModel {
     /// A TPUv3 pod slice with `num_cores` cores.
     pub fn tpu_v3(num_cores: usize) -> Self {
@@ -25,6 +38,41 @@ impl ClusterModel {
             num_cores,
             link_bandwidth: 70.0e9, // ICI per-link
             link_latency: 2.0e-6,
+        }
+    }
+
+    /// A model of `s4tf::dist`'s own fabric: worker processes exchanging
+    /// ring all-reduce chunks over loopback TCP on one machine. Loopback
+    /// moves bytes at memcpy-like speed but every hop pays scheduler +
+    /// syscall latency, so the latency term dominates at small tensors.
+    pub fn loopback_tcp(num_workers: usize) -> Self {
+        ClusterModel {
+            core: AcceleratorModel::tpu_v3_core(),
+            num_cores: num_workers,
+            link_bandwidth: 2.0e9,
+            link_latency: 50.0e-6,
+        }
+    }
+
+    /// Compares a measured step time against this model's prediction for
+    /// the same shape. `measured` is seconds; the returned ratio is the
+    /// model's honesty metric (>1 ⇒ the model was optimistic).
+    pub fn predicted_vs_measured(
+        &self,
+        per_core_compute: f64,
+        grad_bytes: f64,
+        measured: f64,
+    ) -> PredictionGap {
+        let predicted = self.step_time(per_core_compute, grad_bytes);
+        let ratio = if predicted > 0.0 {
+            measured / predicted
+        } else {
+            f64::INFINITY
+        };
+        PredictionGap {
+            predicted,
+            measured,
+            ratio,
         }
     }
 
@@ -97,6 +145,30 @@ mod tests {
         assert!(
             scaling > 7.0 && scaling < 8.0,
             "8× cores give a bit under 8× throughput, got {scaling:.2}×"
+        );
+    }
+
+    #[test]
+    fn predicted_vs_measured_reports_the_gap() {
+        let c = ClusterModel::loopback_tcp(4);
+        let predicted = c.step_time(0.010, 1.0e6);
+        let gap = c.predicted_vs_measured(0.010, 1.0e6, predicted * 1.5);
+        assert_eq!(gap.predicted, predicted);
+        assert!((gap.ratio - 1.5).abs() < 1e-9);
+        // A perfect measurement scores exactly 1.
+        let exact = c.predicted_vs_measured(0.010, 1.0e6, predicted);
+        assert!((exact.ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loopback_is_latency_bound_at_small_tensors() {
+        let c = ClusterModel::loopback_tcp(4);
+        // LeNet-sized gradients: ~50K params ≈ 200 KB.
+        let t = c.allreduce_time(200e3);
+        let latency_term = 2.0 * 3.0 * c.link_latency;
+        assert!(
+            latency_term > t / 2.0,
+            "latency should dominate small-tensor loopback all-reduce"
         );
     }
 

@@ -101,6 +101,9 @@ pub enum FaultKind {
     Kernel,
     /// File I/O failed (checkpoint read/write and friends).
     Io,
+    /// A network/wire failure (frame checksum mismatch, peer reset,
+    /// straggler timeout) in the distributed runtime.
+    Net,
     /// A deliberately injected fault (`S4TF_FAULT_SPEC`).
     Injected,
 }
@@ -112,6 +115,7 @@ impl fmt::Display for FaultKind {
             FaultKind::Compile => "compile",
             FaultKind::Kernel => "kernel",
             FaultKind::Io => "io",
+            FaultKind::Net => "net",
             FaultKind::Injected => "injected",
         })
     }
@@ -178,6 +182,18 @@ impl RuntimeError {
     /// A file-I/O failure.
     pub fn io(op: impl Into<String>, message: impl Into<String>) -> Self {
         Self::new(FaultKind::Io, op, "host", message)
+    }
+
+    /// A wire failure in the distributed runtime, attributed to the peer
+    /// it occurred against. `peer` is the peer's worker rank, or `None`
+    /// when the failure is not tied to one link (e.g. a listener error).
+    pub fn net(op: impl Into<String>, peer: Option<usize>, message: impl Into<String>) -> Self {
+        let message = message.into();
+        let message = match peer {
+            Some(rank) => format!("peer rank {rank}: {message}"),
+            None => message,
+        };
+        Self::new(FaultKind::Net, op, "net", message)
     }
 
     /// A shape-validation failure.

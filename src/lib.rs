@@ -23,6 +23,7 @@
 //! | [`metrics`] | `s4tf-metrics` | unified metrics registry: histograms with quantiles, memory attribution, Prometheus/JSONL export (`S4TF_METRICS_ADDR`, `S4TF_METRICS_INTERVAL`) |
 //! | [`diag`] | `s4tf-diag` | numerics checking, IR/trace dumps, memory tracking, telemetry (`S4TF_CHECK_NUMERICS`, `S4TF_DUMP`, `S4TF_METRICS_FILE`) |
 //! | [`fault`] | `s4tf-fault` | deterministic seed-driven fault injection for chaos runs (`S4TF_FAULT_SPEC`) |
+//! | [`dist`] | `s4tf-dist` | §7 — multi-process data parallelism: fault-hardened ring all-reduce over local TCP, DropShard expulsion, checkpoint rejoin |
 //! | [`threads`] | `s4tf-threads` | the work-chunking kernel thread pool (`S4TF_NUM_THREADS`) |
 //!
 //! ## Quickstart
@@ -47,6 +48,7 @@
 pub use s4tf_core as core;
 pub use s4tf_data as data;
 pub use s4tf_diag as diag;
+pub use s4tf_dist as dist;
 pub use s4tf_fault as fault;
 pub use s4tf_metrics as metrics;
 pub use s4tf_models as models;
