@@ -19,7 +19,9 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use s4tf_bench::harness::{machine_value, measure};
-use s4tf_tensor::{cost, OpCost, Padding, Tensor};
+use s4tf_tensor::{cost, OpCost, Padding, Shape, Tensor};
+use s4tf_xla::op::FusedInst;
+use s4tf_xla::{ElemBinary, ElemUnary, HloOp};
 use serde::Value;
 use std::hint::black_box;
 
@@ -37,6 +39,11 @@ struct Case {
     kernel: &'static str,
     name: String,
     cost: OpCost,
+    /// Dispatch-path label override: fused cases pin their row to
+    /// `codegen` or the interpreter's active path so the two execution
+    /// strategies hold separate baselines; `None` follows the process's
+    /// SIMD dispatch label.
+    path: Option<&'static str>,
     run: Box<dyn FnMut()>,
 }
 
@@ -47,6 +54,7 @@ fn gemm_case(m: usize, k: usize, n: usize, rng: &mut ChaCha8Rng) -> Case {
         kernel: "gemm",
         name: format!("{m}x{k}x{n}"),
         cost: cost::matmul(m, k, n),
+        path: None,
         run: Box::new(move || {
             black_box(a.matmul(&b));
         }),
@@ -60,6 +68,7 @@ fn matvec_case(m: usize, k: usize, rng: &mut ChaCha8Rng) -> Case {
         kernel: "matvec",
         name: format!("{m}x{k}"),
         cost: cost::matvec(m, k),
+        path: None,
         run: Box::new(move || {
             black_box(a.matvec(&v));
         }),
@@ -86,6 +95,7 @@ fn conv_case(
         kernel: "conv2d",
         name: label.to_string(),
         cost: cost::conv2d(n, c_in, kh, kw, c_out, oh, ow, in_elems),
+        path: None,
         run: Box::new(move || {
             black_box(x.conv2d(&w, (1, 1), padding));
         }),
@@ -98,10 +108,103 @@ fn elementwise_case(n: usize, rng: &mut ChaCha8Rng) -> Case {
         kernel: "elementwise",
         name: format!("map n={n}"),
         cost: cost::elementwise(n, n, 1),
+        path: None,
         run: Box::new(move || {
             black_box(x.map(|v| v.mul_add(1.0001, 0.5)));
         }),
     }
+}
+
+/// One fused `FusedInst` program timed through both execution
+/// strategies: the chunked interpreter (`[interp]`, row keyed to the
+/// active SIMD path) and the compiled kernel (`[codegen]`, its own
+/// `path: codegen` row so each strategy holds its own CI baseline). The
+/// FLOP/byte denominators come from the fused cost model (the compiled
+/// IR's count), identical for both rows, so the GFLOP/s columns compare
+/// the strategies directly.
+fn fused_cases(label: &str, insts: Vec<FusedInst>, inputs: Vec<Tensor<f32>>) -> Vec<Case> {
+    let op = HloOp::Fused {
+        insts,
+        n_inputs: inputs.len(),
+    };
+    let in_shapes: Vec<&Shape> = inputs.iter().map(|t| t.shape()).collect();
+    let out_shape = inputs
+        .iter()
+        .map(|t| t.shape())
+        .max_by_key(|s| s.num_elements())
+        .expect("fused case has inputs")
+        .clone();
+    let cost = s4tf_xla::op_cost(&op, &in_shapes, &out_shape);
+    [("interp", false), ("codegen", true)]
+        .into_iter()
+        .map(|(tag, codegen)| {
+            let op = op.clone();
+            let inputs = inputs.clone();
+            Case {
+                kernel: "fused",
+                name: format!("{label} [{tag}]"),
+                cost,
+                path: codegen.then_some("codegen"),
+                run: Box::new(move || {
+                    s4tf_xla::set_codegen_enabled(codegen);
+                    let refs: Vec<&Tensor<f32>> = inputs.iter().collect();
+                    black_box(s4tf_xla::eval_op(&op, &refs));
+                }),
+            }
+        })
+        .collect()
+}
+
+/// The three fused chains the tracer actually emits hot: an affine+relu
+/// map, the SGD parameter update, and a broadcast bias+relu epilogue.
+fn all_fused_cases(n: usize, channels: usize, rng: &mut ChaCha8Rng) -> Vec<Case> {
+    let mut cases = Vec::new();
+    // relu(x·1.0001 + 0.5) — mul+add collapse into one MulBin, relu rides
+    // as the epilogue: the `mulbin_act` specialization.
+    cases.extend(fused_cases(
+        &format!("map n={n}"),
+        vec![
+            FusedInst::Input(0),
+            FusedInst::Imm(1.0001),
+            FusedInst::Binary(ElemBinary::Mul, 0, 1),
+            FusedInst::Imm(0.5),
+            FusedInst::Binary(ElemBinary::Add, 2, 3),
+            FusedInst::Unary(ElemUnary::Relu, 4),
+        ],
+        vec![Tensor::<f32>::randn(&[n], rng)],
+    ));
+    // p ← p + g·(−lr) — the optimizer update: one MulBin traversal.
+    cases.extend(fused_cases(
+        &format!("sgd-update n={n}"),
+        vec![
+            FusedInst::Input(0),
+            FusedInst::Imm(-0.01),
+            FusedInst::Binary(ElemBinary::Mul, 0, 1),
+            FusedInst::Input(1),
+            FusedInst::Binary(ElemBinary::Add, 3, 2),
+        ],
+        vec![
+            Tensor::<f32>::randn(&[n], rng),
+            Tensor::<f32>::randn(&[n], rng),
+        ],
+    ));
+    // relu(x + bias) with a trailing-broadcast bias row — the layer
+    // epilogue: the `bin_act` specialization over a cycled operand.
+    let rows = n / channels;
+    cases.extend(fused_cases(
+        &format!("bias+relu {rows}x{channels}"),
+        vec![
+            FusedInst::Input(0),
+            FusedInst::Input(1),
+            FusedInst::Binary(ElemBinary::Add, 0, 1),
+            FusedInst::Unary(ElemUnary::Relu, 2),
+        ],
+        vec![
+            Tensor::<f32>::randn(&[rows, channels], rng),
+            Tensor::<f32>::randn(&[channels], rng),
+        ],
+    ));
+    cases
 }
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -142,6 +245,7 @@ fn main() {
         for n in [64usize, 4096, 65_536] {
             cases.push(elementwise_case(n, &mut rng));
         }
+        cases.extend(all_fused_cases(65_536, 64, &mut rng));
     } else {
         for s in [128usize, 256, 512] {
             cases.push(gemm_case(s, s, s, &mut rng));
@@ -164,6 +268,7 @@ fn main() {
         for n in [64usize, 4096, 1 << 20] {
             cases.push(elementwise_case(n, &mut rng));
         }
+        cases.extend(all_fused_cases(1 << 20, 128, &mut rng));
     }
 
     println!(
@@ -198,16 +303,17 @@ fn main() {
         let speedup = t1 / tn;
         let (g1, gn) = (s1.gflops(case.cost.flops), sn.gflops(case.cost.flops));
         let gs1 = scalar1.gflops(case.cost.flops);
+        let row_path = case.path.unwrap_or(path);
         println!(
             "  {:<11} {:<28} 1T {t1:>9.3} ms ({g1:>7.3} GF/s)   \
              {threads_n}T {tn:>9.3} ms ({gn:>7.3} GF/s)   {speedup:>5.2}x   \
-             [{path}; scalar 1T {gs1:>7.3} GF/s]",
+             [{row_path}; scalar 1T {gs1:>7.3} GF/s]",
             case.kernel, case.name
         );
         results.push(obj(vec![
             ("kernel", Value::Str(case.kernel.to_string())),
             ("case", Value::Str(case.name.clone())),
-            ("path", Value::Str(path.to_string())),
+            ("path", Value::Str(row_path.to_string())),
             ("threads_1_ms", Value::Float(t1)),
             ("threads_n_ms", Value::Float(tn)),
             ("threads_scalar_1_ms", Value::Float(scalar1.median_ms)),

@@ -33,6 +33,12 @@ struct Case {
     op: &'static str,
     name: String,
     cost: OpCost,
+    /// Backends this case runs on (whole-model cases only make sense
+    /// where their execution strategy applies).
+    backends: &'static [&'static str],
+    /// Dispatch-path label override for the emitted rows; `None` uses
+    /// the machine-wide `s4tf_tensor::path_label()`.
+    path: Option<&'static str>,
     /// Builds the run closure for one backend; inputs live on its device.
     make: Box<dyn Fn(&Device) -> RunFn>,
 }
@@ -51,6 +57,8 @@ fn gemm_case(m: usize, k: usize, n: usize) -> Case {
         op: "gemm",
         name: format!("{m}x{k}x{n}"),
         cost: cost::matmul(m, k, n),
+        backends: &BACKENDS,
+        path: None,
         make: Box::new(move |device| {
             let mut rng = ChaCha8Rng::seed_from_u64(11);
             let a = DTensor::from_tensor(Tensor::<f32>::randn(&[m, k], &mut rng), device);
@@ -73,6 +81,8 @@ fn conv_case(label: &str, x_dims: [usize; 4], w_dims: [usize; 4], padding: Paddi
         op: "conv2d",
         name: label.to_string(),
         cost: cost::conv2d(n, c_in, kh, kw, c_out, oh, ow, n * ih * iw * c_in),
+        backends: &BACKENDS,
+        path: None,
         make: Box::new(move |device| {
             let mut rng = ChaCha8Rng::seed_from_u64(13);
             let x = DTensor::from_tensor(Tensor::<f32>::randn(&x_dims, &mut rng), device);
@@ -90,6 +100,8 @@ fn elementwise_case(n: usize) -> Case {
         name: format!("add n={n}"),
         // Binary add: one FLOP per output, reads both operands.
         cost: cost::elementwise(n, 2 * n, 1),
+        backends: &BACKENDS,
+        path: None,
         make: Box::new(move |device| {
             let mut rng = ChaCha8Rng::seed_from_u64(17);
             let a = DTensor::from_tensor(Tensor::<f32>::randn(&[n], &mut rng), device);
@@ -106,6 +118,8 @@ fn reduce_case(n: usize) -> Case {
         op: "reduction",
         name: format!("sum n={n}"),
         cost: cost::reduce(n, 1, false),
+        backends: &BACKENDS,
+        path: None,
         make: Box::new(move |device| {
             let mut rng = ChaCha8Rng::seed_from_u64(19);
             let x = DTensor::from_tensor(Tensor::<f32>::randn(&[n], &mut rng), device);
@@ -114,6 +128,58 @@ fn reduce_case(n: usize) -> Case {
             })
         }),
     }
+}
+
+/// One full LeNet training step (forward, softmax cross-entropy,
+/// pullback, momentum SGD update, barrier) on the lazy backend — the
+/// end-to-end number the fused-kernel compiler has to move. Emitted as
+/// two rows: the chunked fused interpreter and the compiled path
+/// (`path: codegen`).
+fn train_step_cases(batch: usize) -> Vec<Case> {
+    use s4tf_models::LeNet;
+    use s4tf_nn::optimizer::Sgd;
+    use s4tf_nn::train::train_classifier_step;
+
+    // Analytic step cost: forward = conv1 + conv2 + the three dense
+    // matmuls (pools, bias adds and activations are noise next to
+    // these); backward revisits each at roughly 2x (one pass per matmul
+    // operand). Total ~= 3x forward, the standard training-step count.
+    let fwd = [
+        cost::conv2d(batch, 1, 5, 5, 6, 28, 28, batch * 28 * 28),
+        cost::conv2d(batch, 6, 5, 5, 16, 10, 10, batch * 14 * 14 * 6),
+        cost::matmul(batch, 400, 120),
+        cost::matmul(batch, 120, 84),
+        cost::matmul(batch, 84, 10),
+    ];
+    let step_cost = OpCost {
+        flops: 3 * fwd.iter().map(|c| c.flops).sum::<u64>(),
+        bytes: 3 * fwd.iter().map(|c| c.bytes).sum::<u64>(),
+    };
+
+    [("interp", false), ("codegen", true)]
+        .into_iter()
+        .map(|(label, codegen)| Case {
+            op: "train-step",
+            name: format!("lenet b={batch} [{label}]"),
+            cost: step_cost,
+            backends: &["lazy"],
+            path: if codegen { Some("codegen") } else { None },
+            make: Box::new(move |device| {
+                let mut rng = ChaCha8Rng::seed_from_u64(23);
+                let mut model = LeNet::new(device, &mut rng);
+                let mut opt = Sgd::<LeNet>::with_momentum(0.05, 0.9);
+                let x = DTensor::from_tensor(
+                    Tensor::<f32>::randn(&[batch, 28, 28, 1], &mut rng),
+                    device,
+                );
+                let labels = DTensor::from_tensor(Tensor::zeros(&[batch, 10]), device);
+                Box::new(move || {
+                    s4tf_runtime::set_codegen_enabled(codegen);
+                    black_box(train_classifier_step(&mut model, &mut opt, &x, &labels));
+                })
+            }),
+        })
+        .collect()
 }
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -136,7 +202,7 @@ fn main() {
         .unwrap_or_else(|| "BENCH_ops.json".to_string());
     let (warmup, trials) = if smoke { (2, 9) } else { (3, 11) };
 
-    let cases: Vec<Case> = if smoke {
+    let mut cases: Vec<Case> = if smoke {
         vec![
             gemm_case(64, 64, 64),
             conv_case(
@@ -169,6 +235,8 @@ fn main() {
             reduce_case(1 << 18),
         ]
     };
+    // Last so their codegen toggling cannot perturb the rows above.
+    cases.extend(train_step_cases(if smoke { 4 } else { 16 }));
 
     println!(
         "op bench: {} cases x {} backends, median of {trials} (+{warmup} warmup){}",
@@ -183,11 +251,12 @@ fn main() {
     let path = s4tf_tensor::path_label();
     let mut results = Vec::new();
     for case in &cases {
-        for backend in BACKENDS {
+        for &backend in case.backends {
             let device = device_for(backend);
             let mut run = (case.make)(&device);
             let stats = measure(warmup, trials, &mut run);
             let gflops = stats.gflops(case.cost.flops);
+            let row_path = case.path.unwrap_or(path);
             println!(
                 "  {:<11} {:<28} {backend:<6} {:>9.3} ms (iqr {:>7.3})  {gflops:>8.3} GF/s",
                 case.op, case.name, stats.median_ms, stats.iqr_ms
@@ -196,7 +265,7 @@ fn main() {
                 ("op", Value::Str(case.op.to_string())),
                 ("case", Value::Str(case.name.clone())),
                 ("backend", Value::Str(backend.to_string())),
-                ("path", Value::Str(path.to_string())),
+                ("path", Value::Str(row_path.to_string())),
             ];
             fields.extend(stats.fields());
             fields.extend([

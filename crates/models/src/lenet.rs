@@ -230,6 +230,38 @@ mod tests {
     }
 
     #[test]
+    fn lazy_training_specializes_fused_kernels() {
+        // The fused-kernel compiler must close over LeNet's hot training
+        // patterns with *specialized* loop nests (not the fallback
+        // register machine): bias+relu epilogues, loss-gradient
+        // scalings, the momentum/SGD parameter updates. Three distinct
+        // specialized kernels is the acceptance floor.
+        use s4tf_nn::optimizer::Sgd;
+        use s4tf_nn::train::train_classifier_step;
+
+        s4tf_runtime::set_codegen_enabled(true);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let d = Device::lazy();
+        let mut model = LeNet::new(&d, &mut rng);
+        let mut opt = Sgd::<LeNet>::with_momentum(0.05, 0.9);
+        let x = DTensor::from_tensor(Tensor::<f32>::randn(&[4, 28, 28, 1], &mut rng), &d);
+        let labels = DTensor::from_tensor(Tensor::zeros(&[4, 10]), &d);
+        for _ in 0..2 {
+            let loss = train_classifier_step(&mut model, &mut opt, &x, &labels);
+            assert!(loss.is_finite(), "training diverged");
+        }
+        let stats = s4tf_runtime::codegen::stats();
+        assert!(
+            stats.distinct_specialized >= 3,
+            "expected >=3 distinct specialized fused kernels in a LeNet \
+             training step, got {} (stats: {:?})",
+            stats.distinct_specialized,
+            stats
+        );
+        assert!(stats.specialized > 0, "no specialized launches recorded");
+    }
+
+    #[test]
     fn identical_on_all_devices() {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let naive = Device::naive();

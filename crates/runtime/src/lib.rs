@@ -51,4 +51,8 @@ pub mod sim;
 pub use device::Device;
 pub use dtensor::DTensor;
 pub use s4tf_tensor::{FaultKind, RuntimeError};
-pub use s4tf_xla::CacheStats;
+// The fused-kernel compiler behind the lazy backend: its gate and
+// counters surface here so training code can ask "which of my fused
+// kernels got specialized" without depending on `s4tf-xla` directly.
+pub use s4tf_xla::codegen;
+pub use s4tf_xla::{codegen_enabled, set_codegen_enabled, CacheStats, CodegenStats};

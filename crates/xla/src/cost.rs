@@ -103,6 +103,21 @@ pub fn op_cost(op: &HloOp, inputs: &[&Shape], out: &Shape) -> OpCost {
         }
         HloOp::ReduceToShape(_) => formulas::reduce(inputs[0].num_elements(), out_elems, false),
         HloOp::Fused { insts, .. } => {
+            // Recount against the compiled IR: constant-folded, dead and
+            // peephole-absorbed instructions do no per-element work, and
+            // inputs the IR never reads move no bytes — summing the raw
+            // instruction list overstates fused roofline intensity.
+            if let Some(k) = crate::codegen::peek_or_compile(insts) {
+                let live_in: usize = inputs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| k.input_live(i))
+                    .map(|(_, s)| s.num_elements())
+                    .sum();
+                return formulas::elementwise(out_elems, live_in, k.flops_per_elem() as usize);
+            }
+            // Outside the compilable envelope the interpreter runs the raw
+            // list, so the raw count is the honest one.
             let ops = insts
                 .iter()
                 .filter(|i| matches!(i, FusedInst::Unary(..) | FusedInst::Binary(..)))
@@ -221,6 +236,37 @@ mod tests {
             .map(|_| op_cost(&HloOp::Unary(ElemUnary::Neg), &[&x], &x).bytes)
             .sum();
         assert!(fused_cost.bytes < unfused_bytes);
+    }
+
+    #[test]
+    fn fused_cost_counts_compiled_ir_not_raw_instructions() {
+        // Raw list: 5 arithmetic instructions. Compiled IR: the 2·3
+        // product folds to a constant, the dead exp is eliminated, and
+        // mul+add collapse into one MulBin — 2 FLOPs/element, and only
+        // the two live inputs move bytes.
+        let n = 1000usize;
+        let x = s(&[n]);
+        let y = s(&[n]);
+        let dead = s(&[n]);
+        let insts = vec![
+            FusedInst::Input(0), // x
+            FusedInst::Imm(2.0),
+            FusedInst::Imm(3.0),
+            FusedInst::Binary(ElemBinary::Mul, 1, 2), // folds to 6
+            FusedInst::Input(2),                      // never reaches the output
+            FusedInst::Unary(ElemUnary::Exp, 4),      // dead
+            FusedInst::Binary(ElemBinary::Mul, 0, 3), // x·6
+            FusedInst::Input(1),                      // y
+            FusedInst::Binary(ElemBinary::Add, 7, 6), // y + x·6 → MulBin
+        ];
+        let fused = HloOp::Fused { insts, n_inputs: 3 };
+        let c = op_cost(&fused, &[&x, &y, &dead], &x);
+        assert_eq!(c.flops, 2 * n as u64, "one MulBin = 2 FLOPs/element");
+        assert_eq!(
+            c.bytes,
+            4 * (n + n + n) as u64,
+            "two live inputs + output; the dead input moves nothing"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Compilation and execution: an [`Executable`] is the optimized,
 //! topologically ordered kernel plan for one trace.
 
+use crate::codegen;
 use crate::fault;
 use crate::graph::HloGraph;
 use crate::met;
@@ -88,6 +89,11 @@ pub struct Executable {
     plan: MemoryPlan,
     /// Run-time plan outcomes, shared across clones of this program.
     counters: Arc<PlanCounters>,
+    /// Per-node compiled fused kernels (codegen IR), built once here so
+    /// launches index instead of hashing; `None` for non-fused nodes and
+    /// programs outside the compilable envelope. Built even when codegen
+    /// is disabled so the `S4TF_CODEGEN` toggle works per-run.
+    fused: Vec<Option<Arc<codegen::CompiledKernel>>>,
 }
 
 /// Compiles a graph: runs the whole-program pass pipeline (constant
@@ -113,11 +119,13 @@ pub fn compile(graph: &HloGraph) -> Executable {
         prof::counter_add("xla.fused_kernels", fused as u64);
     }
     let plan = passes::plan_memory(&g);
+    let fused = codegen::fused_table(&g);
     Executable {
         graph: g,
         kernel_count,
         plan,
         counters: Arc::default(),
+        fused,
     }
 }
 
@@ -130,11 +138,13 @@ pub fn compile_unoptimized(graph: &HloGraph) -> Executable {
         .filter(|n| !matches!(n.op, HloOp::Parameter(_) | HloOp::Constant(_)))
         .count();
     let plan = passes::plan_memory(&g);
+    let fused = codegen::fused_table(&g);
     Executable {
         graph: g,
         kernel_count,
         plan,
         counters: Arc::default(),
+        fused,
     }
 }
 
@@ -335,7 +345,7 @@ impl Executable {
                             // the plan (a trailing-broadcast input may tie
                             // the element count).
                             HloOp::Fused { insts, .. } => {
-                                run_fused(insts, &inputs, node.shape.dims())
+                                run_fused(insts, &inputs, node.shape.dims(), self.fused[i].as_ref())
                             }
                             op => eval_op(op, &inputs),
                         }))
@@ -384,12 +394,23 @@ impl Executable {
                     .collect();
                 deps.push(prev_id);
                 let id = prof::next_op_id();
+                // Fused nodes that executed through the compiled path get
+                // their own roofline rows (`fused@codegen`), keeping the
+                // interpreter's `simd8`/`scalar` rows comparable per path.
+                let path = if matches!(node.op, HloOp::Fused { .. })
+                    && self.fused[i].is_some()
+                    && codegen::codegen_enabled()
+                {
+                    "codegen"
+                } else {
+                    s4tf_tensor::path_label()
+                };
                 prof::op_event(
                     id,
                     node.op.family(),
                     backend,
                     "kernel",
-                    s4tf_tensor::path_label(),
+                    path,
                     node_start,
                     node_start,
                     prof::now_us(),
@@ -499,7 +520,7 @@ impl Executable {
                     .collect();
                 let mut t = target;
                 let n = t.num_elements();
-                run_fused_kernel(insts, &slices, n, t.as_mut_slice());
+                dispatch_fused(self.fused[i].as_ref(), insts, &slices, n, t.as_mut_slice());
                 t
             }
             op => unreachable!("plan marks only elementwise ops in-place, got {op:?}"),
@@ -611,7 +632,7 @@ pub fn eval_op(op: &HloOp, inputs: &[&Tensor<f32>]) -> Tensor<f32> {
                 .max_by_key(|t| t.num_elements())
                 .map(|t| t.dims().to_vec())
                 .unwrap_or_default();
-            run_fused(insts, inputs, &dims)
+            run_fused(insts, inputs, &dims, None)
         }
     }
 }
@@ -681,14 +702,47 @@ const FUSED_CHUNK: usize = 512;
 /// its private register-file allocation.
 const FUSED_GRAIN: usize = 8 * FUSED_CHUNK;
 
-fn run_fused(insts: &[FusedInst], inputs: &[&Tensor<f32>], out_dims: &[usize]) -> Tensor<f32> {
+fn run_fused(
+    insts: &[FusedInst],
+    inputs: &[&Tensor<f32>],
+    out_dims: &[usize],
+    compiled: Option<&Arc<codegen::CompiledKernel>>,
+) -> Tensor<f32> {
     let n: usize = out_dims.iter().product();
     let slices: Vec<Option<&[f32]>> = inputs.iter().map(|t| Some(t.as_slice())).collect();
     // The output buffer comes through the tensor constructors, which
     // recycle pooled capacity; the fill value is overwritten below.
     let mut out = Tensor::full(0.0f32, out_dims);
-    run_fused_kernel(insts, &slices, n, out.as_mut_slice());
+    dispatch_fused(compiled, insts, &slices, n, out.as_mut_slice());
     out
+}
+
+/// Routes one fused launch: the compiled kernel when codegen is enabled
+/// (from the executable's per-node table, or the codegen cache for ad-hoc
+/// [`eval_op`] launches), otherwise the interpreter below. Both paths are
+/// bit-identical, so the choice is purely a performance dispatch.
+fn dispatch_fused(
+    compiled: Option<&Arc<codegen::CompiledKernel>>,
+    insts: &[FusedInst],
+    slices: &[Option<&[f32]>],
+    n: usize,
+    out: &mut [f32],
+) {
+    if codegen::codegen_enabled() {
+        let looked_up;
+        let kernel = match compiled {
+            Some(k) => Some(k),
+            None => {
+                looked_up = codegen::get_or_compile(insts);
+                looked_up.as_ref()
+            }
+        };
+        if let Some(k) = kernel {
+            k.run(slices, n, out);
+            return;
+        }
+    }
+    run_fused_kernel(insts, slices, n, out);
 }
 
 /// The fused interpreter core, writing into a caller-provided output
@@ -698,6 +752,30 @@ fn run_fused(insts: &[FusedInst], inputs: &[&Tensor<f32>], out_dims: &[usize]) -
 /// elements because every chunk is fully read into registers before its
 /// output range is written. Only full-shape inputs may alias.
 fn run_fused_kernel(insts: &[FusedInst], slices: &[Option<&[f32]>], n: usize, out: &mut [f32]) {
+    // Launch-wide instruction decode: input slices resolve their
+    // full-vs-broadcast-vs-alias class (and bound check) once here, not
+    // once per instruction per chunk.
+    enum Decoded<'a> {
+        Imm(f32),
+        Full(&'a [f32]),
+        Bcast(&'a [f32]),
+        Alias,
+        Unary(crate::op::ElemUnary, usize),
+        Binary(crate::op::ElemBinary, usize, usize),
+    }
+    let decoded: Vec<Decoded<'_>> = insts
+        .iter()
+        .map(|inst| match inst {
+            FusedInst::Imm(x) => Decoded::Imm(*x),
+            FusedInst::Input(i) => match slices[*i] {
+                Some(src) if src.len() == n => Decoded::Full(src),
+                Some(src) => Decoded::Bcast(src),
+                None => Decoded::Alias,
+            },
+            FusedInst::Unary(u, a) => Decoded::Unary(*u, *a),
+            FusedInst::Binary(b, a, c) => Decoded::Binary(*b, *a, *c),
+        })
+        .collect();
     // Outputs above the grain split across the thread pool; each task
     // interprets a disjoint output range with its own chunk-register
     // file, so per-element evaluation is unchanged by the split
@@ -725,36 +803,39 @@ fn run_fused_kernel(insts: &[FusedInst], slices: &[Option<&[f32]>], n: usize, ou
         // width. Per-element arithmetic is identical on both dispatch
         // paths (bit-identical results; see `s4tf_tensor::simd`).
         s4tf_tensor::simd::vectorize(|| {
+            // Immediate rows materialize once per task: no later
+            // instruction writes them, so they persist across chunks (the
+            // chunk loop skips `Imm` entirely).
+            for (r, d) in decoded.iter().enumerate() {
+                if let Decoded::Imm(x) = d {
+                    regs[r * FUSED_CHUNK..(r + 1) * FUSED_CHUNK].fill(*x);
+                }
+            }
             let mut start = 0usize;
             while start < out_chunk.len() {
                 let len = FUSED_CHUNK.min(out_chunk.len() - start);
                 // Broadcast inputs index by *global* element position.
                 let global = task_start + start;
-                for (r, inst) in insts.iter().enumerate() {
+                for (r, inst) in decoded.iter().enumerate() {
                     // Split the register file so an instruction can read earlier
                     // rows while writing its own.
                     let (read, write) = regs.split_at_mut(r * FUSED_CHUNK);
                     let dst = &mut write[..len];
                     match inst {
-                        FusedInst::Input(i) => match slices[*i] {
-                            Some(src) if src.len() == n => {
-                                dst.copy_from_slice(&src[global..global + len]);
-                            }
-                            Some(src) => {
-                                let m = src.len();
-                                for (j, d) in dst.iter_mut().enumerate() {
-                                    *d = src[(global + j) % m];
-                                }
-                            }
-                            // Aliased input: its elements for this chunk sit
-                            // in the not-yet-written output range.
-                            None => dst.copy_from_slice(&out_chunk[start..start + len]),
-                        },
-                        FusedInst::Imm(x) => dst.fill(*x),
-                        FusedInst::Unary(u, a) => {
+                        Decoded::Imm(_) => {}
+                        Decoded::Full(src) => {
+                            dst.copy_from_slice(&src[global..global + len]);
+                        }
+                        Decoded::Bcast(src) => {
+                            crate::codegen::fill_cycle(dst, src, global);
+                        }
+                        // Aliased input: its elements for this chunk sit
+                        // in the not-yet-written output range.
+                        Decoded::Alias => dst.copy_from_slice(&out_chunk[start..start + len]),
+                        Decoded::Unary(u, a) => {
                             u.apply_slice(dst, &read[a * FUSED_CHUNK..a * FUSED_CHUNK + len]);
                         }
-                        FusedInst::Binary(b, a, c) => {
+                        Decoded::Binary(b, a, c) => {
                             let lhs = &read[a * FUSED_CHUNK..a * FUSED_CHUNK + len];
                             let rhs = &read[c * FUSED_CHUNK..c * FUSED_CHUNK + len];
                             b.apply_slice(dst, lhs, rhs);
